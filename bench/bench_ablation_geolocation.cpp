@@ -1,0 +1,39 @@
+// §5.8.1: GCD geolocation accuracy against (simulated) operator ground
+// truth. The paper reports "our GCD reported locations closely match
+// reality", with nearby sites (Prague/Bratislava/Vienna) merging into one.
+#include <cstdio>
+
+#include "analysis/geolocation.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto pass = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                net::Protocol::kIcmp);
+  const auto targets = scenario.representatives(pass.anycast_targets);
+
+  std::printf("=== §5.8.1: GCD geolocation accuracy ===\n\n");
+  TextTable table({"VP set", "Prefixes", "Sites", "Median err (km)",
+                   "<=100km", "<=500km", "Enum ratio"});
+  for (const auto* ark : {&scenario.ark163(), &scenario.ark227()}) {
+    const auto gcd = scenario.run_gcd(*ark, targets);
+    const auto acc = analysis::evaluate_geolocation(scenario.world(),
+                                                    gcd.classification,
+                                                    scenario.day());
+    table.add_row({ark == &scenario.ark163() ? "Ark-163" : "Ark-227",
+                   with_commas((long long)acc.prefixes_evaluated),
+                   with_commas((long long)acc.sites_evaluated),
+                   fixed(acc.median_error_km, 0),
+                   pct(acc.within_100km * 100, 100),
+                   pct(acc.within_500km * 100, 100),
+                   fixed(acc.enumeration_ratio, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper: locations 'closely match reality'; nearby sites merge "
+              "into one (enum ratio < 1); more VPs tighten discs\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// §5.1.4 ablation: static probes (identical bytes from every worker) vs
+// regular probes (payload/checksum vary per worker).
+//
+// Paper finding: results match — load balancers hash flow headers only, so
+// payload variation does not split responses and load balancers are NOT a
+// source of FPs (contradicting the MAnycast^2 hypothesis).
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto varying = scenario.run_anycast_census(
+      session, scenario.ping_v4(), net::Protocol::kIcmp,
+      SimDuration::seconds(1), 50000.0, /*vary_payload=*/true);
+  const auto fixed_probes = scenario.run_anycast_census(
+      session, scenario.ping_v4(), net::Protocol::kIcmp,
+      SimDuration::seconds(1), 50000.0, /*vary_payload=*/false);
+
+  const auto cmp =
+      analysis::compare(varying.anycast_targets, fixed_probes.anycast_targets);
+
+  std::printf("=== §5.1.4 ablation: varying vs static probe payloads ===\n\n");
+  TextTable table({"Probe style", "ATs detected"});
+  table.add_row({"varying payload+checksum",
+                 with_commas((long long)cmp.a_total)});
+  table.add_row({"static (byte-identical)", with_commas((long long)cmp.b_total)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("intersection %s | only-varying %s | only-static %s\n",
+              with_commas((long long)cmp.both).c_str(),
+              with_commas((long long)cmp.a_only).c_str(),
+              with_commas((long long)cmp.b_only).c_str());
+  const double agreement =
+      cmp.a_total + cmp.b_total == 0
+          ? 1.0
+          : 2.0 * double(cmp.both) / double(cmp.a_total + cmp.b_total);
+  std::printf("agreement (Dice): %s\n", pct(agreement * 100, 100).c_str());
+  std::printf("\npaper: 'the results match our regular measurement' — load "
+              "balancers hash flow headers only,\nso they are not a cause of "
+              "FPs. Residual differences here stem from route-flip timing, "
+              "not payloads.\n");
+  return 0;
+}

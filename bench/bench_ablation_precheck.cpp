@@ -1,0 +1,54 @@
+// §6 extension: responsiveness pre-check ("check responsiveness from a
+// single VP before probing from all VPs").
+//
+// Quantifies the probing-budget saving and verifies classification parity
+// with the direct census. The saving scales with the unresponsive share of
+// the hitlist — on the paper's real hitlist (5.9M targets, ~4.0M
+// responsive) it would approach (1 - 4.0/5.9) x 31/32 ~ 31%.
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "core/precheck.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+  const auto targets = scenario.ping_v4().addresses();
+
+  // Direct census.
+  const auto direct = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                  net::Protocol::kIcmp);
+
+  // Pre-checked census.
+  core::MeasurementSpec spec;
+  spec.id = 0x9999;
+  spec.targets_per_second = 50000;
+  const auto prechecked = core::run_prechecked_census(session, spec, targets);
+  const auto prechecked_ats =
+      core::anycast_targets(prechecked.classification);
+
+  std::printf("=== §6 extension: responsiveness pre-check ===\n\n");
+  TextTable table({"Strategy", "Probes", "ATs detected"});
+  table.add_row({"direct census", with_commas((long long)direct.probes_sent),
+                 with_commas((long long)direct.anycast_targets.size())});
+  table.add_row({"pre-check + census",
+                 with_commas((long long)prechecked.stats.total_probes()),
+                 with_commas((long long)prechecked_ats.size())});
+  std::printf("%s\n", table.render().c_str());
+
+  const auto cmp = analysis::compare(direct.anycast_targets, prechecked_ats);
+  std::printf("probing saved: %s | AT agreement: %s in both, %s direct-only, "
+              "%s precheck-only\n",
+              pct(prechecked.stats.savings() * 100, 100).c_str(),
+              with_commas((long long)cmp.both).c_str(),
+              with_commas((long long)cmp.a_only).c_str(),
+              with_commas((long long)cmp.b_only).c_str());
+  std::printf("responsive targets: %zu / %zu\n",
+              prechecked.stats.targets_responsive,
+              prechecked.stats.targets_total);
+  std::printf("\nshape: probing cost drops by ~the unresponsive share with "
+              "near-identical AT sets (differences are route-flip noise)\n");
+  return 0;
+}

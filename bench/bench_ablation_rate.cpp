@@ -1,0 +1,48 @@
+// §5.5.2 ablation: probing-rate reduction.
+//
+// Paper: censusing at 1/8th the normal rate (while keeping 1-second
+// inter-worker offsets) detects the same number of anycast targets —
+// accuracy is rate-independent, enabling responsible probing (R3).
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  std::printf("=== §5.5.2 ablation: probing rate sweep ===\n\n");
+  TextTable table({"Rate (targets/s)", "ATs detected", "Responses",
+                   "Census span (sim)"});
+
+  analysis::PrefixSet reference;
+  const double base_rate = 40000.0;
+  for (double divisor : {1.0, 2.0, 8.0}) {
+    const double rate = base_rate / divisor;
+    const auto pass = scenario.run_anycast_census(
+        session, scenario.ping_v4(), net::Protocol::kIcmp,
+        SimDuration::seconds(1), rate);
+    const SimDuration span = pass.results.finished - pass.results.started;
+    table.add_row({with_commas((long long)rate),
+                   with_commas((long long)pass.anycast_targets.size()),
+                   with_commas((long long)pass.results.records.size()),
+                   to_string(span)});
+    if (reference.empty()) reference = pass.anycast_targets;
+    const auto cmp = analysis::compare(reference, pass.anycast_targets);
+    if (divisor > 1.0) {
+      std::printf("  rate/%.0f vs full rate: intersection %s (full-only %s, "
+                  "reduced-only %s)\n",
+                  divisor, with_commas((long long)cmp.both).c_str(),
+                  with_commas((long long)cmp.a_only).c_str(),
+                  with_commas((long long)cmp.b_only).c_str());
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("paper: at 1/8th rate MAnycastR detects the same number of "
+              "anycast targets\n");
+  std::printf("shape: AT counts stable across rates (differences are "
+              "route-flip noise, not rate effects)\n");
+  return 0;
+}

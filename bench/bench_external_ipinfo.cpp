@@ -1,0 +1,77 @@
+// §5.7 (IPInfo half): our daily GCD-confirmed census vs a commercial
+// weekly-snapshot dataset.
+//
+// Paper: IPv4 — ours 13.4k, IPInfo 14.0k, 12.6k in both; prefixes only in
+// IPInfo are dominated by temporary anti-DDoS anycast their weekly
+// snapshots sweep up; prefixes only in ours are mostly regional (few
+// commercial VPs there). IPv6 — ours 6.3k vs IPInfo 2.0k (better coverage).
+#include <cstdio>
+
+#include "analysis/external.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+  const auto& world = scenario.world();
+
+  std::printf("=== §5.7: daily census vs IPInfo-style weekly snapshots ===\n\n");
+  TextTable table({"Family", "Ours (GCD)", "IPInfo", "Both", "Ours only",
+                   "IPInfo only"});
+
+  analysis::PrefixSet ours_only_v4, ipinfo_only_v4;
+  for (const bool v4 : {true, false}) {
+    const auto& hitlist = v4 ? scenario.ping_v4() : scenario.ping_v6();
+    const auto& ark = v4 ? scenario.ark163() : scenario.ark118_v6();
+    const auto pass = scenario.run_anycast_census(session, hitlist,
+                                                  net::Protocol::kIcmp);
+    const auto gcd =
+        scenario.run_gcd(ark, scenario.representatives(pass.anycast_targets));
+    const auto ipinfo = analysis::simulate_ipinfo(
+        world, scenario.day(),
+        v4 ? net::IpVersion::kV4 : net::IpVersion::kV6);
+    const auto cmp = analysis::compare(gcd.anycast, ipinfo);
+    table.add_row({v4 ? "IPv4 /24" : "IPv6 /48",
+                   with_commas((long long)cmp.a_total),
+                   with_commas((long long)cmp.b_total),
+                   with_commas((long long)cmp.both),
+                   with_commas((long long)cmp.a_only),
+                   with_commas((long long)cmp.b_only)});
+    if (v4) {
+      ours_only_v4 = analysis::set_difference(gcd.anycast, ipinfo);
+      ipinfo_only_v4 = analysis::set_difference(ipinfo, gcd.anycast);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Attribute the disagreement, as §5.7 does.
+  std::size_t ipinfo_only_temporary = 0;
+  for (const auto& p : ipinfo_only_v4) {
+    const auto truth = world.truth(p, scenario.day());
+    const auto& dep = world.deployment(truth.representative_deployment);
+    if (dep.kind == topo::DeploymentKind::kTemporaryAnycast &&
+        !truth.anycast) {
+      ++ipinfo_only_temporary;
+    }
+  }
+  std::size_t ours_only_regional = 0;
+  for (const auto& p : ours_only_v4) {
+    const auto truth = world.truth(p, scenario.day());
+    if (world.deployment(truth.representative_deployment).kind ==
+        topo::DeploymentKind::kAnycastRegional) {
+      ++ours_only_regional;
+    }
+  }
+  std::printf("IPInfo-only v4 prefixes that are inactive temporary anycast "
+              "(weekly-snapshot sweep): %zu of %zu\n",
+              ipinfo_only_temporary, ipinfo_only_v4.size());
+  std::printf("Ours-only v4 prefixes that are regional deployments: %zu of "
+              "%zu\n",
+              ours_only_regional, ours_only_v4.size());
+  std::printf("\npaper: 12.6k/14.0k/13.4k high agreement; IPInfo-only "
+              "dominated by Imperva-style temporary anycast;\nours-only "
+              "mostly regional; v6 coverage 3x better in our census\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 10 + Appendix C: CHAOS-record site counts vs the anycast-based
+// and GCD methods, side by side on the nameserver hitlist using only the
+// MAnycastR deployment (32 VPs, both modes).
+//
+// Paper: of 161k nameservers, 2,762 anycast via the anycast-based method,
+// 2,371 of those GCD-confirmed; nameservers exposing few CHAOS values are
+// often colocated servers ("auth1"/"auth2") — multiple CHAOS records are a
+// weak anycast indicator; the anycast-based estimate tracks the CHAOS
+// count most closely.
+#include <cstdio>
+#include <map>
+
+#include "analysis/chaos.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto ns_hitlist =
+      hitlist::build_nameserver_hitlist(scenario.world(), net::IpVersion::kV4);
+  std::printf("nameserver hitlist: %zu addresses\n\n", ns_hitlist.size());
+
+  // CHAOS census (TXT/CH from every worker).
+  const auto chaos_pass = scenario.run_anycast_census(
+      session, ns_hitlist, net::Protocol::kUdpDns, SimDuration::seconds(1),
+      50000.0, true, /*chaos=*/true);
+  const auto chaos = analysis::chaos_counts(chaos_pass.results);
+
+  // Anycast-based census over the same addresses (UDP).
+  const auto anycast_pass = scenario.run_anycast_census(
+      session, ns_hitlist, net::Protocol::kUdpDns);
+
+  // GCD using the same 32 sites' unicast addresses.
+  const auto self_vps = platform::unicast_view(scenario.production_platform());
+  const auto gcd_pass =
+      scenario.run_gcd(self_vps, ns_hitlist.addresses(), net::Protocol::kUdpDns);
+
+  const auto rows = analysis::chaos_comparison(chaos, anycast_pass.classification,
+                                               gcd_pass.classification);
+
+  // Aggregate Figure 10: per distinct-CHAOS-count, mean estimates.
+  struct Agg {
+    double anycast_sum = 0, gcd_sum = 0;
+    std::size_t n = 0;
+  };
+  std::map<std::size_t, Agg> by_chaos;
+  for (const auto& row : rows) {
+    auto& agg = by_chaos[row.chaos_values];
+    agg.anycast_sum += static_cast<double>(row.anycast_based_vps);
+    agg.gcd_sum += static_cast<double>(row.gcd_sites);
+    ++agg.n;
+  }
+
+  std::printf("=== Figure 10: site estimates vs distinct CHAOS records ===\n\n");
+  TextTable table({"CHAOS values", "Nameservers", "Mean anycast-based VPs",
+                   "Mean GCD sites"});
+  for (const auto& [chaos_count, agg] : by_chaos) {
+    if (chaos_count > 24 && chaos_count % 4 != 0) continue;  // thin the tail
+    table.add_row({std::to_string(chaos_count), std::to_string(agg.n),
+                   fixed(agg.anycast_sum / agg.n, 1),
+                   fixed(agg.gcd_sum / agg.n, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Appendix C.1 headline: detection over the nameserver population.
+  std::size_t anycast_detected = 0, also_gcd = 0;
+  for (const auto& [prefix, obs] : anycast_pass.classification) {
+    if (obs.verdict != core::Verdict::kAnycast) continue;
+    ++anycast_detected;
+    const auto it = gcd_pass.classification.find(prefix);
+    if (it != gcd_pass.classification.end() &&
+        it->second.verdict == gcd::GcdVerdict::kAnycast) {
+      ++also_gcd;
+    }
+  }
+  std::printf("anycast-based detections on nameservers: %zu; GCD-confirmed: "
+              "%zu\n",
+              anycast_detected, also_gcd);
+  std::printf("\npaper: 2,762 anycast-based, 2,371 also GCD; low CHAOS counts "
+              "over-estimated by both methods (colocated auth1/auth2);\n"
+              "anycast-based tracks CHAOS counts more closely than GCD\n");
+  return 0;
+}

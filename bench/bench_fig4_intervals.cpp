@@ -1,0 +1,59 @@
+// Figure 4: false positives vs number of receiving VPs, for inter-probe
+// intervals of 13 min and 1 min (MAnycast^2 baseline) and 1 s / 0 s
+// (MAnycastR synchronized probing). Paper totals: 198,079 / 19,830 /
+// 14,506 / 13,312 FPs — FPs grow with the interval because route flips
+// land between probes, and the FP mass sits at low VP counts.
+#include <cstdio>
+#include <map>
+
+#include "baseline/manycast2.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+  const auto& world = scenario.world();
+
+  struct Variant {
+    const char* label;
+    SimDuration offset;
+    const char* paper_total;
+  };
+  const Variant variants[] = {
+      {"MAnycast2 13-min", SimDuration::minutes(13), "198,079"},
+      {"MAnycast2 1-min", SimDuration::minutes(1), "19,830"},
+      {"MAnycastR 1-s", SimDuration::seconds(1), "14,506"},
+      {"MAnycastR 0-s", SimDuration::seconds(0), "13,312"},
+  };
+
+  std::printf("=== Figure 4: FPs by receiving-VP count per probing interval ===\n\n");
+  TextTable table({"Interval", "FPs@2VP", "FPs@3VP", "FPs@4VP", "FPs@5+VP",
+                   "Total FPs", "Paper total"});
+
+  for (const auto& variant : variants) {
+    const auto pass = scenario.run_anycast_census(
+        session, scenario.ping_v4(), net::Protocol::kIcmp, variant.offset);
+    std::map<std::size_t, std::size_t> fp_by_vp;
+    std::size_t total_fp = 0;
+    for (const auto& [prefix, obs] : pass.classification) {
+      if (obs.verdict != core::Verdict::kAnycast) continue;
+      const auto truth = world.truth(prefix, scenario.day());
+      if (!truth.exists || truth.anycast) continue;
+      const std::size_t bucket = std::min<std::size_t>(obs.vp_count(), 5);
+      ++fp_by_vp[bucket];
+      ++total_fp;
+    }
+    table.add_row({variant.label, with_commas((long long)fp_by_vp[2]),
+                   with_commas((long long)fp_by_vp[3]),
+                   with_commas((long long)fp_by_vp[4]),
+                   with_commas((long long)fp_by_vp[5]),
+                   with_commas((long long)total_fp), variant.paper_total});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape: FPs grow with the inter-probe interval (route flips); "
+              "1 s is close to 0 s (the paper keeps 1 s for responsible "
+              "probing); FP mass concentrates at 2 receiving VPs\n");
+  return 0;
+}

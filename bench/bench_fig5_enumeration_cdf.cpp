@@ -1,0 +1,58 @@
+// Figure 5: CDF of the number of anycast sites detected per prefix, for
+// GCD from Ark vs from RIPE Atlas (paper §5.2).
+//
+// Paper shape: both platforms agree for small deployments; for hypergiants
+// Atlas (481 VPs) enumerates more sites (~80) than Ark (~60); counts are a
+// lower bound of true site counts (Cloudflare 300+ cities -> ~54 sites).
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto pass = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                net::Protocol::kIcmp);
+  const auto targets = scenario.representatives(pass.anycast_targets);
+
+  const auto atlas = platform::make_atlas(scenario.world(), 481, 100.0, 0x47);
+  const auto ark_pass = scenario.run_gcd(scenario.ark163(), targets);
+  const auto atlas_pass = scenario.run_gcd(atlas, targets);
+
+  const auto site_counts = [](const gcd::GcdClassification& cls) {
+    std::vector<double> counts;
+    for (const auto& [prefix, res] : cls) {
+      if (res.verdict == gcd::GcdVerdict::kAnycast) {
+        counts.push_back(static_cast<double>(res.site_count()));
+      }
+    }
+    return counts;
+  };
+  auto ark_counts = site_counts(ark_pass.classification);
+  auto atlas_counts = site_counts(atlas_pass.classification);
+
+  std::printf("=== Figure 5: sites detected per prefix (CDF) ===\n\n");
+  TextTable table({"Percentile", "Ark (163 VPs)", "RIPE Atlas (481 VPs)"});
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    table.add_row({fixed(p, 0) + "%", fixed(percentile(ark_counts, p), 1),
+                   fixed(percentile(atlas_counts, p), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Ark: %zu anycast prefixes, max sites %.0f; Atlas: %zu, max "
+              "sites %.0f\n",
+              ark_counts.size(), percentile(ark_counts, 100.0),
+              atlas_counts.size(), percentile(atlas_counts, 100.0));
+  std::printf("Atlas probing cost: %s probes, %.0f credits (vs Ark %s probes)\n",
+              with_commas((long long)atlas_pass.latency.probes_sent).c_str(),
+              atlas_pass.latency.credits_used,
+              with_commas((long long)ark_pass.latency.probes_sent).c_str());
+  std::printf("\npaper shape: distributions agree at small site counts; Atlas "
+              "tail reaches ~80 sites vs ~60 for Ark;\nboth are lower bounds "
+              "(Google 103 cities -> ~41 sites, Cloudflare 300+ -> ~54)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6: UpSet-style breakdown of anycast-based detections per protocol
+// for IPv4 (paper §5.3.1).
+//
+// Paper: ICMP 25,228; TCP 8,202; UDP 8,192 total detections. ICMP-only is
+// the largest region (12,874 = 48.8%); 566 prefixes are TCP-only and 512
+// UDP-only (including G-root-style DNS-only deployments), proving the
+// value of multi-protocol probing.
+#include <cstdio>
+
+#include "analysis/protocols.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto icmp = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                net::Protocol::kIcmp);
+  const auto tcp = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                               net::Protocol::kTcp);
+  const auto udp = scenario.run_anycast_census(session, scenario.dns_v4(),
+                                               net::Protocol::kUdpDns);
+
+  const auto bd = analysis::protocol_breakdown(
+      icmp.anycast_targets, tcp.anycast_targets, udp.anycast_targets);
+
+  std::printf("=== Figure 6: protocol intersections (IPv4) ===\n\n");
+  std::printf("totals: ICMP %s | TCP %s | UDP %s | union %s\n\n",
+              with_commas((long long)bd.icmp_total).c_str(),
+              with_commas((long long)bd.tcp_total).c_str(),
+              with_commas((long long)bd.udp_total).c_str(),
+              with_commas((long long)bd.union_total).c_str());
+
+  TextTable table({"Region", "Count", "% of union"});
+  for (const auto& region : bd.regions) {
+    table.add_row({region.label(), with_commas((long long)region.count),
+                   pct(double(region.count), double(bd.union_total))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper: ICMP 25,228 | TCP 8,202 | UDP 8,192; ICMP-only 12,874 "
+              "(48.8%%); TCP-only 566; UDP-only 512\n");
+  std::printf("shape: ICMP dominates; non-trivial TCP-only and UDP-only "
+              "regions justify multi-protocol probing\n");
+  return 0;
+}

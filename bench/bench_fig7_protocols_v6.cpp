@@ -1,0 +1,50 @@
+// Figure 7: protocol-intersection breakdown for IPv6 (paper §5.3.2,
+// Appendix Figure 7).
+//
+// Paper: 6,864 v6 candidates total, most via ICMP (6,659); TCP
+// responsiveness is much higher than for v4 (4,476 /48s) because the v6
+// hitlists reflect active services rather than ping scans.
+#include <cstdio>
+
+#include "analysis/protocols.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto icmp = scenario.run_anycast_census(session, scenario.ping_v6(),
+                                                net::Protocol::kIcmp);
+  const auto tcp = scenario.run_anycast_census(session, scenario.ping_v6(),
+                                               net::Protocol::kTcp);
+  const auto udp = scenario.run_anycast_census(session, scenario.dns_v6(),
+                                               net::Protocol::kUdpDns);
+
+  const auto bd = analysis::protocol_breakdown(
+      icmp.anycast_targets, tcp.anycast_targets, udp.anycast_targets);
+
+  std::printf("=== Figure 7: protocol intersections (IPv6) ===\n\n");
+  std::printf("totals: ICMP %s | TCP %s | UDP %s | union %s\n\n",
+              with_commas((long long)bd.icmp_total).c_str(),
+              with_commas((long long)bd.tcp_total).c_str(),
+              with_commas((long long)bd.udp_total).c_str(),
+              with_commas((long long)bd.union_total).c_str());
+
+  TextTable table({"Region", "Count", "% of union"});
+  for (const auto& region : bd.regions) {
+    table.add_row({region.label(), with_commas((long long)region.count),
+                   pct(double(region.count), double(bd.union_total))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double tcp_share_v6 =
+      bd.union_total ? double(bd.tcp_total) / double(bd.union_total) : 0.0;
+  std::printf("TCP share of v6 union: %s\n", pct(tcp_share_v6 * 100, 100).c_str());
+  std::printf("\npaper: 6,864 total, ICMP 6,659, TCP 4,476 — TCP share far "
+              "higher than v4 (hitlist origin)\n");
+  std::printf("shape: ICMP still leads, TCP covers a much larger fraction "
+              "than in the v4 census\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 8 (Appendix A): enumeration capability and probing cost as the
+// RIPE Atlas inter-node distance bound shrinks from 1,000 km to 100 km,
+// measured on a Cloudflare-like prefix with 300+ city presence.
+//
+// Paper shape: enumeration grows roughly linearly as nodes densify, while
+// probing cost grows much faster (exponential-looking) — the reason Atlas
+// is unsuitable for a daily census.
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+
+  // A Cloudflare-like prefix: the hypergiant with the largest PoP set.
+  net::IpAddress target;
+  bool found = false;
+  for (const auto& t : scenario.world().targets()) {
+    if (!t.representative || !t.address.is_v4()) continue;
+    const auto& dep = scenario.world().deployment(t.deployment);
+    if (dep.kind != topo::DeploymentKind::kAnycastGlobal) continue;
+    if (scenario.world().org(dep.org).name == "Cloudflare") {
+      target = t.address;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::printf("no Cloudflare-like prefix in world\n");
+    return 1;
+  }
+
+  const auto dense = platform::make_atlas(scenario.world(), 481, 100.0, 0x47);
+
+  std::printf("=== Figure 8: Atlas inter-node distance vs enumeration/cost ===\n");
+  std::printf("target: %s (Cloudflare-like, global PoPs)\n\n",
+              target.to_string().c_str());
+  TextTable table({"Min distance (km)", "VPs", "Sites detected",
+                   "Probes", "Cost vs 1000km", "Enum vs 1000km"});
+
+  double base_cost = 0, base_sites = 0;
+  for (double min_km : {1000.0, 800.0, 600.0, 400.0, 300.0, 200.0, 100.0}) {
+    const auto thinned = platform::thin_by_distance(dense, min_km);
+    const auto pass = scenario.run_gcd(thinned, {target}, net::Protocol::kIcmp,
+                                       static_cast<std::uint64_t>(min_km));
+    std::size_t sites = 0;
+    for (const auto& [prefix, res] : pass.classification) {
+      sites = res.site_count();
+    }
+    const double cost = static_cast<double>(pass.latency.probes_sent);
+    if (base_cost == 0) {
+      base_cost = cost;
+      base_sites = static_cast<double>(sites);
+    }
+    table.add_row({fixed(min_km, 0), std::to_string(thinned.vps.size()),
+                   std::to_string(sites), with_commas((long long)cost),
+                   "+" + pct(cost - base_cost, base_cost),
+                   "+" + pct(double(sites) - base_sites, base_sites)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper shape: enumeration increases ~linearly while probing "
+              "cost increases much faster as the distance bound shrinks\n");
+  return 0;
+}

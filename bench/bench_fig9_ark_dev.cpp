@@ -1,0 +1,59 @@
+// Figure 9 (Appendix B): enumeration with the 163-node production Ark vs
+// the 227-node development Ark.
+//
+// Paper: the 64 extra VPs raise the maximum enumeration from ~55 to ~65
+// sites (+18%) at +39% probing cost, with results remaining consistent —
+// unlike RIPE Atlas, the bigger Ark remains usable daily.
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto pass = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                net::Protocol::kIcmp);
+  const auto targets = scenario.representatives(pass.anycast_targets);
+
+  const auto prod = scenario.run_gcd(scenario.ark163(), targets);
+  const auto dev = scenario.run_gcd(scenario.ark227(), targets);
+
+  const auto counts = [](const gcd::GcdClassification& cls) {
+    std::vector<double> out;
+    for (const auto& [prefix, res] : cls) {
+      if (res.verdict == gcd::GcdVerdict::kAnycast) {
+        out.push_back(static_cast<double>(res.site_count()));
+      }
+    }
+    return out;
+  };
+  auto prod_counts = counts(prod.classification);
+  auto dev_counts = counts(dev.classification);
+
+  std::printf("=== Figure 9: production (163) vs development (227) Ark ===\n\n");
+  TextTable table({"Percentile", "Ark-163 sites", "Ark-227 sites"});
+  for (double p : {50.0, 75.0, 90.0, 99.0, 100.0}) {
+    table.add_row({fixed(p, 0) + "%", fixed(percentile(prod_counts, p), 1),
+                   fixed(percentile(dev_counts, p), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double max_prod = percentile(prod_counts, 100.0);
+  const double max_dev = percentile(dev_counts, 100.0);
+  std::printf("max enumeration: %.0f -> %.0f (%s)\n", max_prod, max_dev,
+              ("+" + pct(max_dev - max_prod, max_prod)).c_str());
+  std::printf("probing cost: %s -> %s (+%s)\n",
+              with_commas((long long)prod.latency.probes_sent).c_str(),
+              with_commas((long long)dev.latency.probes_sent).c_str(),
+              pct(double(dev.latency.probes_sent - prod.latency.probes_sent),
+                  double(prod.latency.probes_sent))
+                  .c_str());
+  std::printf("\npaper: ~55 -> ~65 max sites (+18%%) at +39%% probing cost\n");
+  std::printf("shape: modest enumeration gain, linear cost growth, results "
+              "consistent enough for daily use\n");
+  return 0;
+}

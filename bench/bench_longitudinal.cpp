@@ -1,0 +1,76 @@
+// §5.1.6: longitudinal precision over 56 daily censuses (March 21 -
+// May 15, 2024 in the paper).
+//
+// Paper: anycast-based averages 27.5k prefixes/day with a 78,687-prefix
+// union of which only 15,791 appear every day (high variability, FPs);
+// GCD averages 12.1k/day with a 12,605 union of which 11,359 appear every
+// day (stable). Shape: GCD set far more stable than the anycast-based set.
+//
+// Runs at quarter scale so 56 full pipeline days stay fast.
+#include <cstdio>
+
+#include "analysis/intermittence.hpp"
+#include "census/longitudinal.hpp"
+#include "census/pipeline.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario(/*seed=*/42, /*scale=*/4);
+  auto& session = scenario.production();
+
+  census::PipelineConfig config;
+  config.tcp = false;  // the paper's precision analysis uses ICMPv4 only
+  config.dns = false;
+  config.ipv6 = false;
+  config.targets_per_second = 50000;
+  census::Pipeline pipeline(scenario.network(), session, scenario.ark163(),
+                            scenario.ark118_v6(), config);
+
+  census::LongitudinalStore store;
+  constexpr std::uint32_t kDays = 56;
+  for (std::uint32_t day = 1; day <= kDays; ++day) {
+    store.add(pipeline.run_day(day));
+  }
+
+  const auto anycast = store.anycast_based_stability();
+  const auto gcd = store.gcd_stability();
+
+  std::printf("=== §5.1.6: longitudinal precision over %u days ===\n\n", kDays);
+  TextTable table({"Method", "Daily mean", "Union", "Every day",
+                   "Intermittent", "Stable share"});
+  table.add_row({"anycast-based", fixed(anycast.daily_mean, 0),
+                 with_commas((long long)anycast.union_size),
+                 with_commas((long long)anycast.every_day),
+                 with_commas((long long)anycast.intermittent()),
+                 pct(double(anycast.every_day), double(anycast.union_size))});
+  table.add_row({"GCD-confirmed", fixed(gcd.daily_mean, 0),
+                 with_commas((long long)gcd.union_size),
+                 with_commas((long long)gcd.every_day),
+                 with_commas((long long)gcd.intermittent()),
+                 pct(double(gcd.every_day), double(gcd.union_size))});
+  std::printf("%s\n", table.render().c_str());
+
+  // §5.1.6's follow-up: what drives the intermittence? (paper: regional
+  // anycast, FPs, downtime, temporary anycast)
+  const auto attribute = [&](const std::vector<net::Prefix>& prefixes,
+                             const char* label) {
+    const auto breakdown = analysis::attribute_intermittence(
+        scenario.world(), prefixes, 1, kDays);
+    std::printf("%s intermittent causes: %zu temporary anycast, %zu churn, "
+                "%zu false positives, %zu regional, %zu other\n",
+                label, breakdown.temporary_anycast, breakdown.churn,
+                breakdown.false_positive, breakdown.regional,
+                breakdown.other);
+  };
+  attribute(store.intermittent_anycast_based(), "anycast-based");
+  attribute(store.intermittent_gcd(), "GCD");
+
+  std::printf("\npaper: anycast-based 27.5k/day, union 78,687, every-day "
+              "15,791 (20%%); GCD 12.1k/day, union 12,605, every-day 11,359 "
+              "(90%%)\n");
+  std::printf("shape: the GCD set is far more stable day-to-day than the "
+              "anycast-based set -> the combined approach gives precision\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// §5.6: partial anycast — the /32-granularity GCD scan.
+//
+// The census probes one representative per /24, so a /24 mixing unicast
+// and anycast addresses (NTT-style: a resolver on .53, unicast elsewhere)
+// can be misclassified. The paper scans the whole allocated space at /32
+// granularity from nine VPs and finds 1,483 of 13.4k anycast /24s are
+// partial; ~305 are entirely unicast the next day (Imperva-style
+// temporary anycast behind the secondary address).
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace laces;
+
+struct ScanSummary {
+  std::size_t anycast_24s = 0;
+  std::vector<net::Prefix> partial;       // anycast + unicast mixed
+  std::unordered_set<net::Prefix, net::PrefixHash> any_anycast;
+};
+
+ScanSummary summarize(const gcd::GcdAddressClassification& per_addr) {
+  struct Mix {
+    bool anycast = false;
+    bool unicast = false;
+  };
+  std::unordered_map<net::Prefix, Mix, net::PrefixHash> mix;
+  for (const auto& [addr, res] : per_addr) {
+    auto& m = mix[net::Prefix::of(addr)];
+    if (res.verdict == gcd::GcdVerdict::kAnycast) m.anycast = true;
+    if (res.verdict == gcd::GcdVerdict::kUnicast) m.unicast = true;
+  }
+  ScanSummary s;
+  for (const auto& [prefix, m] : mix) {
+    if (!m.anycast) continue;
+    ++s.anycast_24s;
+    s.any_anycast.insert(prefix);
+    if (m.unicast) s.partial.push_back(prefix);
+  }
+  return s;
+}
+
+gcd::GcdAddressClassification scan_day(benchkit::Scenario& scenario,
+                                       const platform::UnicastPlatform& vps,
+                                       const std::vector<net::IpAddress>& all,
+                                       std::uint64_t run_seed) {
+  const auto pass = scenario.run_gcd(vps, all, net::Protocol::kIcmp, run_seed);
+  const auto analyzer = gcd::make_analyzer(vps);
+  return gcd::classify_gcd_per_address(analyzer, pass.latency);
+}
+
+}  // namespace
+
+int main() {
+  benchkit::Scenario scenario;
+
+  // Nine VPs across continents, as in the paper's scan.
+  const auto nine = platform::make_ark(scenario.world(), 9, 0x9);
+  const auto all_v4 = scenario.world().all_addresses(net::IpVersion::kV4);
+  std::printf("scanning %zu allocated addresses at /32 granularity from %zu "
+              "VPs...\n\n",
+              all_v4.size(), nine.vps.size());
+
+  const auto day1 = summarize(scan_day(scenario, nine, all_v4, 1));
+
+  std::printf("=== Section 5.6: partial anycast ===\n\n");
+  TextTable table({"Metric", "Measured", "Paper"});
+  table.add_row({"/24s with anycast", with_commas((long long)day1.anycast_24s),
+                 "13,400"});
+  table.add_row({"partial anycast /24s",
+                 with_commas((long long)day1.partial.size()), "1,483"});
+  table.add_row({"partial share",
+                 pct(double(day1.partial.size()), double(day1.anycast_24s)),
+                 pct(1483, 13400)});
+  std::printf("%s\n", table.render().c_str());
+
+  // Next-day check: how many partials read entirely unicast tomorrow?
+  scenario.set_day(scenario.day() + 1);
+  const auto day2 = summarize(scan_day(scenario, nine, all_v4, 2));
+  std::size_t gone = 0;
+  for (const auto& p : day1.partial) {
+    if (!day2.any_anycast.contains(p)) ++gone;
+  }
+  std::printf("partial-anycast /24s entirely unicast the following day: %zu "
+              "of %zu (paper: 305 of 1,483 - temporary anycast)\n",
+              gone, day1.partial.size());
+  std::printf("\nshape: a solid minority of anycast /24s is partial; some of "
+              "it is temporary (anti-DDoS style) and vanishes next day\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Performance: the measurement data path (R6/R10) — probe construction,
+// response parsing, channel framing (HMAC), network delivery, and a small
+// end-to-end census per second of wall time.
+#include <benchmark/benchmark.h>
+
+#include "common/scenario.hpp"
+#include "core/channel.hpp"
+#include "net/probe.hpp"
+#include "net/responder.hpp"
+
+namespace {
+
+using namespace laces;
+
+void BM_BuildIcmpProbe(benchmark::State& state) {
+  const net::IpAddress src{net::Ipv4Address(0xCB007101)};
+  const net::IpAddress dst{net::Ipv4Address(0x01020301)};
+  net::ProbeEncoding enc;
+  enc.measurement = 7;
+  enc.worker = 3;
+  enc.tx_time_ns = 123456789;
+  for (auto _ : state) {
+    enc.salt++;
+    benchmark::DoNotOptimize(net::build_icmp_probe(src, dst, enc));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildIcmpProbe);
+
+void BM_RoundTripIcmp(benchmark::State& state) {
+  const net::IpAddress src{net::Ipv4Address(0xCB007101)};
+  const net::IpAddress dst{net::Ipv4Address(0x01020301)};
+  net::ProbeEncoding enc;
+  enc.measurement = 7;
+  enc.worker = 3;
+  enc.tx_time_ns = 123456789;
+  net::ResponderConfig cfg;
+  for (auto _ : state) {
+    enc.salt++;
+    const auto probe = net::build_icmp_probe(src, dst, enc);
+    const auto response = net::craft_response(probe, cfg);
+    benchmark::DoNotOptimize(net::parse_response(*response, 7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundTripIcmp);
+
+void BM_RoundTripDns(benchmark::State& state) {
+  const net::IpAddress src{net::Ipv4Address(0xCB007101)};
+  const net::IpAddress dst{net::Ipv4Address(0x01020301)};
+  net::ProbeEncoding enc;
+  enc.measurement = 7;
+  enc.worker = 3;
+  enc.tx_time_ns = 123456789;
+  net::ResponderConfig cfg;
+  cfg.dns = true;
+  for (auto _ : state) {
+    enc.salt++;
+    const auto probe = net::build_dns_probe(src, dst, enc);
+    const auto response = net::craft_response(probe, cfg);
+    benchmark::DoNotOptimize(net::parse_response(*response, 7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundTripDns);
+
+void BM_ChannelFrame(benchmark::State& state) {
+  EventQueue events;
+  auto [a, b] = core::make_channel_pair(events, "key", "key");
+  std::size_t received = 0;
+  b->set_message_handler([&received](const core::Message&) { ++received; });
+  core::ResultBatch batch;
+  batch.measurement = 1;
+  batch.records.resize(64);
+  for (auto _ : state) {
+    a->send(batch);
+    events.run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChannelFrame);
+
+void BM_SmallCensusEndToEnd(benchmark::State& state) {
+  topo::WorldConfig cfg;
+  cfg.v4_unicast = 1000;
+  cfg.v4_unresponsive = 100;
+  cfg.v4_global_bgp_unicast = 50;
+  cfg.v4_medium_anycast_orgs = 8;
+  cfg.v6_unicast = 0;
+  cfg.v6_unresponsive = 0;
+  cfg.v6_medium_anycast_orgs = 0;
+  cfg.v6_regional_anycast = 0;
+  cfg.v6_backing_anycast = 0;
+  const auto world = topo::World::generate(cfg);
+  const auto hitlist = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+  net::MeasurementId id = 1;
+  for (auto _ : state) {
+    EventQueue events;
+    topo::SimNetwork network(world, events);
+    network.set_day(1);
+    core::Session session(network,
+                          platform::make_production_deployment(world));
+    core::MeasurementSpec spec;
+    spec.id = id++;
+    spec.targets_per_second = 100000;
+    benchmark::DoNotOptimize(session.run(spec, hitlist.addresses()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(hitlist.size()) * 32);
+  state.SetLabel("items = probes");
+}
+BENCHMARK(BM_SmallCensusEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

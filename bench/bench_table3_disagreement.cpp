@@ -1,0 +1,67 @@
+// Table 3: anycast-based ICMPv4 candidates, bucketed by the number of VPs
+// receiving responses, against GCD confirmation.
+//
+// Paper shape: the 2-VP bucket is huge and only ~6% GCD-confirmed; buckets
+// at >5 VPs are almost entirely confirmed (99%+ above 15 VPs).
+#include <cstdio>
+
+#include "analysis/disagreement.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  const auto pass = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                net::Protocol::kIcmp);
+  const auto gcd = scenario.run_gcd(
+      scenario.ark227(), scenario.representatives(pass.anycast_targets));
+
+  // Assemble a census view for the disagreement analysis.
+  census::DailyCensus census;
+  census.day = scenario.day();
+  for (const auto& [prefix, obs] : pass.classification) {
+    auto& rec = census.records[prefix];
+    rec.prefix = prefix;
+    rec.anycast_based[net::Protocol::kIcmp] = census::ProtocolObservation{
+        obs.verdict, static_cast<std::uint32_t>(obs.vp_count())};
+  }
+  for (const auto& [prefix, res] : gcd.classification) {
+    auto& rec = census.records[prefix];
+    rec.prefix = prefix;
+    rec.gcd_verdict = res.verdict;
+    rec.gcd_site_count = static_cast<std::uint32_t>(res.site_count());
+  }
+
+  const auto buckets =
+      analysis::vp_count_disagreement(census, net::Protocol::kIcmp, 32);
+
+  std::printf("=== Table 3: disagreement by receiving-VP count (ICMPv4) ===\n\n");
+  TextTable table({"# sites receiving", "Candidate anycast", "GCD confirmed",
+                   "notGCD confirmed", "Overlap (%)"});
+  std::size_t total_c = 0, total_g = 0, total_n = 0;
+  for (const auto& b : buckets) {
+    table.add_row({b.label, with_commas((long long)b.candidates),
+                   with_commas((long long)b.gcd_confirmed),
+                   with_commas((long long)b.not_confirmed),
+                   pct(double(b.gcd_confirmed), double(b.candidates), 2)});
+    total_c += b.candidates;
+    total_g += b.gcd_confirmed;
+    total_n += b.not_confirmed;
+  }
+  table.add_row({"Total", with_commas((long long)total_c),
+                 with_commas((long long)total_g),
+                 with_commas((long long)total_n),
+                 pct(double(total_g), double(total_c), 2)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "paper: 2 VPs 12,099/709 (5.86%%); 3 VPs 602/364 (60%%); 4 VPs 418/333 "
+      "(80%%);\n       15-20 VPs 4,775/4,766 (99.8%%); 25-32 VPs 2,078/2,078 "
+      "(100%%); total 25,228/13,193 (52.3%%)\n");
+  std::printf("shape: overlap rises monotonically with receiving-VP count; "
+              "2-VP bucket dominates the disagreement\n");
+  return 0;
+}

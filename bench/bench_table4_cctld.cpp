@@ -1,0 +1,59 @@
+// Table 4: replicability — anycast targets found by our 32-site deployment
+// vs an independent 12-site ccTLD-registry deployment (paper §5.4).
+//
+// Paper: ICMPv4 25,324 vs 16,208 (∩ 13,912); ICMPv6 6,996 vs 6,501
+// (∩ 6,255). Shape: the larger deployment finds considerably more v4
+// candidates (mostly 2-VP FPs are deployment-specific), v6 near parity;
+// the union covers ~98% of GCD-confirmed prefixes.
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& production = scenario.production();
+
+  const auto cctld_platform = platform::make_cctld_deployment(scenario.world());
+  core::Session cctld(scenario.network(), cctld_platform);
+
+  std::printf("=== Table 4: production vs ccTLD deployment ===\n\n");
+  TextTable table({"Protocol", "ATs (ours, 32 VPs)", "ATs (ccTLD, 12 VPs)",
+                   "Intersection"});
+
+  analysis::PrefixSet ours_v4, cctld_v4;
+  for (const auto* hl : {&scenario.ping_v4(), &scenario.ping_v6()}) {
+    const bool v4 = hl == &scenario.ping_v4();
+    const auto mine =
+        scenario.run_anycast_census(production, *hl, net::Protocol::kIcmp);
+    const auto theirs =
+        scenario.run_anycast_census(cctld, *hl, net::Protocol::kIcmp);
+    const auto cmp =
+        analysis::compare(mine.anycast_targets, theirs.anycast_targets);
+    table.add_row({v4 ? "ICMPv4" : "ICMPv6",
+                   with_commas((long long)cmp.a_total),
+                   with_commas((long long)cmp.b_total),
+                   with_commas((long long)cmp.both)});
+    if (v4) {
+      ours_v4 = mine.anycast_targets;
+      cctld_v4 = theirs.anycast_targets;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Union recall against GCD_Ark (paper: 13,409 / 13,692 = 98.0%).
+  const auto gcd_ark =
+      scenario.run_gcd(scenario.ark227(), scenario.ping_v4().addresses());
+  const auto at_union = analysis::set_union(ours_v4, cctld_v4);
+  const auto covered = analysis::set_intersection(at_union, gcd_ark.anycast);
+  std::printf("union of ATs covers %zu / %zu GCD_Ark prefixes (%s)\n",
+              covered.size(), gcd_ark.anycast.size(),
+              pct(double(covered.size()), double(gcd_ark.anycast.size())).c_str());
+
+  std::printf("\npaper: ICMPv4 25,324 | 16,208 | 13,912 ; ICMPv6 6,996 | 6,501 "
+              "| 6,255 ; union covers 98.0%% of GCD_Ark\n");
+  std::printf("shape: 32-site deployment finds more v4 ATs than the 12-site "
+              "one; union recall vs GCD high\n");
+  return 0;
+}

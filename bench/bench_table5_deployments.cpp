@@ -1,0 +1,66 @@
+// Table 5: anycast targets, missed GCD-confirmed prefixes and probing cost
+// across deployment sizes (paper §5.5.1).
+//
+// Paper rows (ATs | notGCD misses | probing cost):
+//   EU-NA (2 VPs)            12,492 | 2,164 (15.8%) |    12 M
+//   1-per-continent (6)      14,221 | 1,311  (9.6%) |    35 M
+//   2-per-continent (11)     27,379 |   633  (4.6%) |    65 M
+//   ccTLD (12)               16,208 |   632  (4.6%) |    71 M
+//   production (32)          25,324 |   263  (1.9%) |   188 M
+//   GCD_Ark (227, full)      13,692 |     0  (0.0%) | 1,335 M
+// Shape: misses fall as deployments grow; probing cost rises linearly;
+// the 2-per-continent anomaly (more ATs than bigger deployments) holds.
+#include <cstdio>
+
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+
+  // Reference: full-hitlist GCD_Ark from the 227-node development Ark.
+  const auto gcd_ark =
+      scenario.run_gcd(scenario.ark227(), scenario.ping_v4().addresses());
+  const auto& gcd_set = gcd_ark.anycast;
+
+  const auto production = scenario.production_platform();
+  struct Row {
+    platform::AnycastPlatform platform;
+  };
+  const Row rows[] = {
+      {platform::select_eu_na(production)},
+      {platform::select_per_continent(production, 1)},
+      {platform::select_per_continent(production, 2)},
+      {platform::make_cctld_deployment(scenario.world())},
+      {production},
+  };
+
+  std::printf("=== Table 5: reduced deployments vs GCD_Ark ===\n\n");
+  TextTable table({"Deployment", "VPs", "ATs", "notGCD", "(notGCD %)",
+                   "Probing cost"});
+  for (const auto& row : rows) {
+    core::Session session(scenario.network(), row.platform);
+    const auto pass = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                  net::Protocol::kIcmp);
+    const auto missed =
+        analysis::set_difference(gcd_set, pass.anycast_targets);
+    table.add_row({row.platform.name,
+                   std::to_string(row.platform.sites.size()),
+                   with_commas((long long)pass.anycast_targets.size()),
+                   with_commas((long long)missed.size()),
+                   pct(double(missed.size()), double(gcd_set.size())),
+                   with_commas((long long)pass.probes_sent)});
+  }
+  table.add_row({"GCD_Ark (full hitlist)",
+                 std::to_string(scenario.ark227().vps.size()),
+                 with_commas((long long)gcd_set.size()), "0", "0.0%",
+                 with_commas((long long)gcd_ark.latency.probes_sent)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper: see header comment; shape criteria: misses shrink "
+              "monotonically 2->32 VPs, cost grows ~linearly with VPs,\n"
+              "full-hitlist GCD costs ~an order of magnitude more than the "
+              "32-VP anycast census\n");
+  return 0;
+}

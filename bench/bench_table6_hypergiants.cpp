@@ -1,0 +1,60 @@
+// Table 6: largest ASes originating anycast prefixes (paper §5.8.2).
+//
+// Runs the full daily pipeline (anycast stage + GCD stage) and groups the
+// GCD-confirmed prefixes by originating organization. Paper ranking (v4):
+// Google Cloud 3,627; Cloudflare 3,133; Amazon 1,286; Fastly 435;
+// Cloudflare Spectrum 289. v6 leader: Cloudflare Spectrum 3,338.
+// Our world embeds these operators at ~1:10 scale.
+#include <cstdio>
+
+#include "analysis/truth.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  // v4: census + GCD over ATs.
+  const auto v4 = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                              net::Protocol::kIcmp);
+  const auto gcd_v4 = scenario.run_gcd(
+      scenario.ark163(), scenario.representatives(v4.anycast_targets));
+  // v6.
+  const auto v6 = scenario.run_anycast_census(session, scenario.ping_v6(),
+                                              net::Protocol::kIcmp);
+  const auto gcd_v6 = scenario.run_gcd(
+      scenario.ark118_v6(), scenario.representatives(v6.anycast_targets));
+
+  const auto ranking = analysis::origin_ranking(
+      scenario.world(), gcd_v4.anycast, gcd_v6.anycast, scenario.day());
+
+  std::printf("=== Table 6: largest ASes originating anycast prefixes ===\n\n");
+  TextTable table({"AS", "Organization", "IPv4 (/24)", "IPv6 (/48)"});
+  std::size_t shown = 0, hyper_v4 = 0, hyper_v6 = 0;
+  for (const auto& row : ranking) {
+    if (row.asn == 0) continue;  // unaffiliated bulk space
+    if (shown++ < 10) {
+      table.add_row({std::to_string(row.asn), row.org_name,
+                     with_commas((long long)row.v4_prefixes),
+                     with_commas((long long)row.v6_prefixes)});
+    }
+    if (shown <= 8) {
+      hyper_v4 += row.v4_prefixes;
+      hyper_v6 += row.v6_prefixes;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("top-8 orgs account for %s of detected v4 and %s of v6 anycast\n",
+              pct(double(hyper_v4), double(gcd_v4.anycast.size())).c_str(),
+              pct(double(hyper_v6), double(gcd_v6.anycast.size())).c_str());
+  std::printf("\npaper (1:1 scale): Google 3,627 v4; Cloudflare 3,133 v4 / 284 "
+              "v6; Amazon 1,286 v4; Fastly 435 v4;\n"
+              "Cloudflare Spectrum 289 v4 / 3,338 v6 (1st); Incapsula 352 v6; "
+              "hypergiants = 59%% of v4, 63%% of v6 census\n");
+  std::printf("shape: Google leads v4, Spectrum leads v6, hypergiants "
+              "dominate the census\n");
+  return 0;
+}

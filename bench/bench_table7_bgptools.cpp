@@ -1,0 +1,115 @@
+// Table 7 + §5.7: BGPTools-style census vs ours.
+//
+// BGPTools (1) lifts one anycast-based detection to the whole announced BGP
+// prefix and (2) applies no GCD filtering. The paper shows this overcounts:
+// its 3,047 BGP prefixes contain 9,739 GCD-anycast /24s but also 8,038
+// unicast and 12,651 unresponsive /24s.
+#include <cstdio>
+
+#include "analysis/external.hpp"
+#include "common/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+  benchkit::Scenario scenario;
+  auto& session = scenario.production();
+
+  // Our pipeline: anycast stage + GCD stage over ATs.
+  const auto pass = scenario.run_anycast_census(session, scenario.ping_v4(),
+                                                net::Protocol::kIcmp);
+  const auto gcd = scenario.run_gcd(
+      scenario.ark227(), scenario.representatives(pass.anycast_targets));
+
+  // BGPTools runs its own anycast-based stage from a handful of VPs
+  // ("anycatch" uses few nodes on different continents, §5.9) — which is
+  // why it misses regional anycast our census finds.
+  auto bgptools_platform =
+      platform::select_per_continent(scenario.production_platform(), 1);
+  bgptools_platform.name = "bgptools-anycatch";
+  core::Session bgptools_session(scenario.network(), bgptools_platform);
+  const auto bgptools_pass = scenario.run_anycast_census(
+      bgptools_session, scenario.ping_v4(), net::Protocol::kIcmp);
+
+  census::DailyCensus ours;
+  ours.day = scenario.day();
+  for (const auto& [prefix, obs] : pass.classification) {
+    auto& rec = ours.records[prefix];
+    rec.prefix = prefix;
+    rec.anycast_based[net::Protocol::kIcmp] = census::ProtocolObservation{
+        obs.verdict, static_cast<std::uint32_t>(obs.vp_count())};
+  }
+  for (const auto& [prefix, res] : gcd.classification) {
+    auto& rec = ours.records[prefix];
+    rec.prefix = prefix;
+    rec.gcd_verdict = res.verdict;
+  }
+
+  // BGPTools-style census: whole-prefix lifting, no GCD filter.
+  const auto bgptools = analysis::simulate_bgptools(
+      scenario.world(), bgptools_pass.anycast_targets);
+  const auto rows = analysis::bgptools_size_table(ours, bgptools);
+
+  std::printf("=== Table 7: BGPTools anycast BGP prefixes by size ===\n\n");
+  TextTable table({"Prefix size", "Occurrence", "Anycast /24s",
+                   "Unicast /24s", "Unresponsive /24s"});
+  std::size_t occ = 0, any = 0, uni = 0, unresp = 0;
+  for (const auto& row : rows) {
+    table.add_row({"/" + std::to_string(row.prefix_length),
+                   with_commas((long long)row.occurrence),
+                   with_commas((long long)row.anycast_24s),
+                   with_commas((long long)row.unicast_24s),
+                   with_commas((long long)row.unresponsive_24s)});
+    occ += row.occurrence;
+    any += row.anycast_24s;
+    uni += row.unicast_24s;
+    unresp += row.unresponsive_24s;
+  }
+  table.add_row({"Total", with_commas((long long)occ),
+                 with_commas((long long)any), with_commas((long long)uni),
+                 with_commas((long long)unresp)});
+  std::printf("%s\n", table.render().c_str());
+
+  // §5.7 headline numbers.
+  const auto our_gcd = gcd.anycast;
+  std::size_t covered = 0;
+  for (const auto& p : our_gcd) {
+    for (const auto& bgp : bgptools) {
+      if (p.version() == net::IpVersion::kV4 && bgp.contains(p.v4())) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  std::printf("our GCD-confirmed census: %zu /24s; covered by BGPTools "
+              "prefixes: %zu; missed by BGPTools: %zu\n",
+              our_gcd.size(), covered, our_gcd.size() - covered);
+
+  // §5.7's IPv6 comparison: BGPTools marks announced v6 prefixes; our
+  // census works at /48 granularity.
+  const auto v6_pass = scenario.run_anycast_census(
+      bgptools_session, scenario.ping_v6(), net::Protocol::kIcmp);
+  const auto bgptools_v6 =
+      analysis::simulate_bgptools_v6(scenario.world(), v6_pass.anycast_targets);
+  const auto our_v6_pass = scenario.run_anycast_census(
+      session, scenario.ping_v6(), net::Protocol::kIcmp);
+  const auto our_v6_gcd = scenario.run_gcd(
+      scenario.ark118_v6(), scenario.representatives(our_v6_pass.anycast_targets));
+  const auto v6cmp =
+      analysis::compare_bgptools_v6(bgptools_v6, our_v6_gcd.anycast);
+  std::printf("\nIPv6: BGPTools marks %zu announced prefixes (%zu covered by "
+              "our census); our census finds %zu anycast /48s of which "
+              "BGPTools misses %zu\n",
+              v6cmp.bgptools_prefixes, v6cmp.covered_by_ours,
+              v6cmp.our_gcd_total, v6cmp.missed_by_bgptools);
+
+  std::printf("\npaper: 3,047 BGP prefixes -> 9,739 anycast + 8,038 unicast + "
+              "12,651 unresponsive /24s;\n/24 (2,580) and /20 (221) dominate; "
+              "our census finds 13,495 GCD /24s of which BGPTools misses 3,756;\n"
+              "v6: BGPTools 1,148 prefixes (1,131 covered), ours 6,358 /48s "
+              "of which 1,479 missed by BGPTools\n");
+  std::printf("shape: BGPTools prefixes contain large unicast+unresponsive "
+              "space -> whole-prefix assumption overcounts; our v6 coverage "
+              "is broader\n");
+  return 0;
+}

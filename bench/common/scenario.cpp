@@ -1,0 +1,120 @@
+#include "common/scenario.hpp"
+
+namespace laces::benchkit {
+
+topo::WorldConfig standard_config(std::uint64_t seed, std::size_t scale) {
+  topo::WorldConfig cfg;
+  cfg.seed = seed;
+  if (scale > 1) {
+    cfg.v4_unicast /= scale;
+    cfg.v4_unresponsive /= scale;
+    cfg.v4_medium_anycast_orgs /= scale;
+    cfg.v4_regional_anycast /= scale;
+    cfg.v4_global_bgp_unicast /= scale;
+    cfg.v4_temporary_anycast /= scale;
+    cfg.v4_partial_anycast /= scale;
+    cfg.tcp_only_anycast /= scale;
+    cfg.v6_unicast /= scale;
+    cfg.v6_unresponsive /= scale;
+    cfg.v6_medium_anycast_orgs /= scale;
+    cfg.v6_regional_anycast /= scale;
+    cfg.v6_backing_anycast /= scale;
+    cfg.as_graph.stub_count /= scale;
+  }
+  return cfg;
+}
+
+Scenario::Scenario(std::uint64_t seed, std::size_t scale) {
+  world_ = std::make_unique<topo::World>(
+      topo::World::generate(standard_config(seed, scale)));
+  network_ = std::make_unique<topo::SimNetwork>(*world_, events_);
+  network_->set_day(day_);
+  production_platform_ = platform::make_production_deployment(*world_);
+  // Two of the development Ark's nodes sit in /48-filtering ASes — the
+  // IPv6 misclassification mechanism of §5.8.2.
+  ark163_ = platform::make_ark(*world_, 163, seed ^ 0x163);
+  ark227_ = platform::make_ark(*world_, 227, seed ^ 0x163, 2);
+  ark118_ = platform::make_ark(*world_, 118, seed ^ 0x118, 2);
+  ping_v4_ = hitlist::build_ping_hitlist(*world_, net::IpVersion::kV4);
+  ping_v6_ = hitlist::build_ping_hitlist(*world_, net::IpVersion::kV6);
+  dns_v4_ = hitlist::build_dns_hitlist(*world_, net::IpVersion::kV4);
+  dns_v6_ = hitlist::build_dns_hitlist(*world_, net::IpVersion::kV6);
+  for (const auto* hl : {&ping_v4_, &ping_v6_, &dns_v4_, &dns_v6_}) {
+    for (const auto& e : hl->entries()) {
+      rep_.emplace(net::Prefix::of(e.address), e.address);
+    }
+  }
+}
+
+core::Session& Scenario::production() {
+  if (!production_) {
+    production_ =
+        std::make_unique<core::Session>(*network_, production_platform_);
+  }
+  return *production_;
+}
+
+void Scenario::set_day(std::uint32_t day) {
+  day_ = day;
+  network_->set_day(day);
+}
+
+Scenario::CensusPass Scenario::run_anycast_census(
+    core::Session& session, const hitlist::Hitlist& hitlist,
+    net::Protocol protocol, SimDuration worker_offset, double rate,
+    bool vary_payload, bool chaos) {
+  core::MeasurementSpec spec;
+  spec.id = next_measurement_++;
+  spec.protocol = protocol;
+  spec.version = hitlist.entries().empty()
+                     ? net::IpVersion::kV4
+                     : hitlist.entries().front().address.version();
+  spec.mode = core::ProbeMode::kAnycast;
+  spec.worker_offset = worker_offset;
+  spec.targets_per_second = rate;
+  spec.vary_payload = vary_payload;
+  spec.chaos = chaos;
+
+  CensusPass pass;
+  const auto addrs = hitlist.addresses();
+  pass.results = session.run(spec, addrs);
+  pass.probes_sent = pass.results.probes_sent;
+  pass.classification = core::classify_anycast(pass.results, addrs);
+  pass.anycast_targets = core::anycast_targets(pass.classification);
+  return pass;
+}
+
+Scenario::GcdPass Scenario::run_gcd(const platform::UnicastPlatform& vps,
+                                    const std::vector<net::IpAddress>& targets,
+                                    net::Protocol protocol,
+                                    std::uint64_t run_seed) {
+  platform::LatencyOptions options;
+  options.protocol = protocol;
+  options.targets_per_second = 10000;
+  options.measurement_id = next_measurement_++;
+  options.run_seed = run_seed;
+
+  GcdPass pass;
+  pass.latency = platform::measure_latency(*network_, vps, targets, options);
+  const auto analyzer = gcd::make_analyzer(vps);
+  pass.classification = gcd::classify_gcd(analyzer, pass.latency, targets);
+  pass.anycast = gcd::gcd_anycast_prefixes(pass.classification);
+  return pass;
+}
+
+std::vector<net::IpAddress> Scenario::representatives(
+    const analysis::PrefixSet& prefixes) const {
+  std::vector<net::IpAddress> out;
+  out.reserve(prefixes.size());
+  for (const auto& p : prefixes) {
+    const auto it = rep_.find(p);
+    if (it != rep_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::string paper_vs(const std::string& paper, const std::string& measured) {
+  return "paper " + paper + " | measured " + measured;
+}
+
+}  // namespace laces::benchkit

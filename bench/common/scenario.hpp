@@ -1,0 +1,105 @@
+// Shared experiment scaffolding for the bench/ harnesses and examples.
+//
+// A Scenario owns a generated world, its event queue and network, and the
+// standard measurement platforms, wired the way the paper's production
+// pipeline is (§4.2). Experiment binaries print paper-reported values next
+// to measured values; absolute numbers differ by the world scale (see
+// EXPERIMENTS.md), the *shape* is what must match.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/compare.hpp"
+#include "core/classify.hpp"
+#include "core/session.hpp"
+#include "gcd/classify.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/latency.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+#include "topo/world.hpp"
+
+namespace laces::benchkit {
+
+/// Everything a table/figure experiment needs, default paper-shaped scale.
+class Scenario {
+ public:
+  /// `scale` divides the default population (1 = default ~30k v4 prefixes;
+  /// 4 = quarter-size for long longitudinal runs).
+  explicit Scenario(std::uint64_t seed = 42, std::size_t scale = 1);
+
+  const topo::World& world() const { return *world_; }
+  topo::SimNetwork& network() { return *network_; }
+  EventQueue& events() { return events_; }
+
+  /// The 32-site production deployment session (created on first use).
+  core::Session& production();
+  const platform::AnycastPlatform& production_platform() {
+    return production_platform_;
+  }
+
+  /// Ark platforms: 163 nodes (production GCD), 227 (development,
+  /// GCD_Ark), 118 (IPv6).
+  const platform::UnicastPlatform& ark163() const { return ark163_; }
+  const platform::UnicastPlatform& ark227() const { return ark227_; }
+  const platform::UnicastPlatform& ark118_v6() const { return ark118_; }
+
+  const hitlist::Hitlist& ping_v4() const { return ping_v4_; }
+  const hitlist::Hitlist& ping_v6() const { return ping_v6_; }
+  const hitlist::Hitlist& dns_v4() const { return dns_v4_; }
+  const hitlist::Hitlist& dns_v6() const { return dns_v6_; }
+
+  /// One anycast-based census pass + classification.
+  struct CensusPass {
+    core::MeasurementResults results;
+    core::AnycastClassification classification;
+    analysis::PrefixSet anycast_targets;
+    std::uint64_t probes_sent = 0;
+  };
+  CensusPass run_anycast_census(core::Session& session,
+                                const hitlist::Hitlist& hitlist,
+                                net::Protocol protocol,
+                                SimDuration worker_offset = SimDuration::seconds(1),
+                                double rate = 50000.0,
+                                bool vary_payload = true,
+                                bool chaos = false);
+
+  /// GCD pass from a unicast platform toward `targets`.
+  struct GcdPass {
+    platform::LatencyResults latency;
+    gcd::GcdClassification classification;
+    analysis::PrefixSet anycast;
+  };
+  GcdPass run_gcd(const platform::UnicastPlatform& vps,
+                  const std::vector<net::IpAddress>& targets,
+                  net::Protocol protocol = net::Protocol::kIcmp,
+                  std::uint64_t run_seed = 1);
+
+  /// Representative addresses for a prefix set (via the hitlists).
+  std::vector<net::IpAddress> representatives(
+      const analysis::PrefixSet& prefixes) const;
+
+  std::uint32_t day() const { return day_; }
+  void set_day(std::uint32_t day);
+
+ private:
+  std::unique_ptr<topo::World> world_;
+  EventQueue events_;
+  std::unique_ptr<topo::SimNetwork> network_;
+  platform::AnycastPlatform production_platform_;
+  std::unique_ptr<core::Session> production_;
+  platform::UnicastPlatform ark163_, ark227_, ark118_;
+  hitlist::Hitlist ping_v4_, ping_v6_, dns_v4_, dns_v6_;
+  std::unordered_map<net::Prefix, net::IpAddress, net::PrefixHash> rep_;
+  net::MeasurementId next_measurement_ = 1000;
+  std::uint32_t day_ = 1;
+};
+
+/// The world configuration used by all experiments at a given scale.
+topo::WorldConfig standard_config(std::uint64_t seed, std::size_t scale);
+
+/// "paper=X measured=Y" annotation used in experiment output.
+std::string paper_vs(const std::string& paper, const std::string& measured);
+
+}  // namespace laces::benchkit

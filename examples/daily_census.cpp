@@ -1,0 +1,75 @@
+// Daily census: the full Figure-3 pipeline run for a week, publishing one
+// CSV per day (the paper's public-repository format) and printing the
+// longitudinal precision summary of §5.1.6.
+//
+//   ./build/examples/daily_census [output-dir]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "census/longitudinal.hpp"
+#include "census/output.hpp"
+#include "census/pipeline.hpp"
+#include "core/session.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+#include "topo/world.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace laces;
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "census-out";
+  std::filesystem::create_directories(out_dir);
+
+  // A mid-sized world so a week of censuses runs in seconds.
+  topo::WorldConfig config;
+  config.seed = 7;
+  config.v4_unicast = 4000;
+  config.v4_unresponsive = 400;
+  config.v4_global_bgp_unicast = 150;
+  config.v6_unicast = 1200;
+  config.v6_unresponsive = 300;
+  const auto world = topo::World::generate(config);
+
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  core::Session session(network, platform::make_production_deployment(world));
+
+  census::PipelineConfig pipeline_config;
+  pipeline_config.ipv6 = true;
+  pipeline_config.targets_per_second = 30000;
+  census::Pipeline pipeline(network, session,
+                            platform::make_ark(world, 80, 0x163),
+                            platform::make_ark(world, 40, 0x118),
+                            pipeline_config);
+
+  census::LongitudinalStore store;
+  for (std::uint32_t day = 1; day <= 7; ++day) {
+    const auto daily = pipeline.run_day(day);
+    store.add(daily);
+
+    const auto path = out_dir / ("census-day-" + std::to_string(day) + ".csv");
+    std::ofstream file(path);
+    census::write_census(file, daily);
+    std::printf(
+        "day %u: %zu ATs, %zu GCD-confirmed, %zu published -> %s\n", day,
+        daily.anycast_targets.size(), daily.gcd_confirmed_prefixes().size(),
+        daily.published_prefixes().size(), path.string().c_str());
+  }
+
+  const auto anycast = store.anycast_based_stability();
+  const auto gcd = store.gcd_stability();
+  std::printf("\n=== longitudinal precision over %zu days (paper §5.1.6) ===\n",
+              store.days());
+  TextTable table({"Method", "Daily mean", "Union", "Every day"});
+  table.add_row({"anycast-based", fixed(anycast.daily_mean, 1),
+                 std::to_string(anycast.union_size),
+                 std::to_string(anycast.every_day)});
+  table.add_row({"GCD-confirmed", fixed(gcd.daily_mean, 1),
+                 std::to_string(gcd.union_size),
+                 std::to_string(gcd.every_day)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The GCD set is the stable one; anycast-based detections come "
+              "and go with route flips and temporary anycast.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Regional-anycast study: the hard case of §5.5/§5.8.1.
+//
+// ccTLD registries often run anycast confined to one region. Such
+// deployments are the main blind spot of both census stages: the
+// anycast-based method needs a measuring site inside the region's
+// catchment, and GCD needs disc separations larger than the site spacing.
+// This example quantifies both effects against the simulator's ground
+// truth, comparing the 32-site production deployment with the reduced
+// deployments of Table 5.
+//
+//   ./build/examples/regional_anycast_study
+#include <cstdio>
+
+#include "core/classify.hpp"
+#include "core/session.hpp"
+#include "gcd/classify.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/latency.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+#include "topo/world.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace laces;
+
+  topo::WorldConfig config;
+  config.seed = 11;
+  config.v4_unicast = 1500;
+  config.v4_regional_anycast = 60;  // many regional deployments to study
+  const auto world = topo::World::generate(config);
+
+  // Collect the regional ground truth.
+  std::vector<net::IpAddress> regional_addrs;
+  for (const auto& t : world.targets()) {
+    if (!t.representative || !t.address.is_v4()) continue;
+    if (world.deployment(t.deployment).kind ==
+        topo::DeploymentKind::kAnycastRegional) {
+      regional_addrs.push_back(t.address);
+    }
+  }
+  std::printf("ground truth: %zu regional anycast /24s\n\n",
+              regional_addrs.size());
+
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  network.set_day(1);
+  const auto hitlist = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+
+  const auto production = platform::make_production_deployment(world);
+  struct Row {
+    platform::AnycastPlatform platform;
+  };
+  const Row deployments[] = {
+      {platform::select_eu_na(production)},
+      {platform::select_per_continent(production, 1)},
+      {production},
+  };
+
+  TextTable table({"Deployment", "VPs", "Regional detected (anycast-based)",
+                   "Recall"});
+  net::MeasurementId next_id = 1;
+  for (const auto& row : deployments) {
+    core::Session session(network, row.platform);
+    core::MeasurementSpec spec;
+    spec.id = next_id++;
+    spec.targets_per_second = 20000;
+    const auto results = session.run(spec, hitlist.addresses());
+    const auto classification =
+        core::classify_anycast(results, hitlist.addresses());
+    std::size_t detected = 0;
+    for (const auto& addr : regional_addrs) {
+      const auto it = classification.find(net::Prefix::of(addr));
+      if (it != classification.end() &&
+          it->second.verdict == core::Verdict::kAnycast) {
+        ++detected;
+      }
+    }
+    table.add_row({row.platform.name,
+                   std::to_string(row.platform.sites.size()),
+                   std::to_string(detected),
+                   pct(double(detected), double(regional_addrs.size()))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // GCD view: regional sites sit close together, so latency discs overlap
+  // and violations vanish — count how many regionals GCD confirms.
+  const auto ark = platform::make_ark(world, 163, 0x163);
+  const auto latency = platform::measure_latency(network, ark, regional_addrs);
+  const auto gcd_result =
+      gcd::classify_gcd(gcd::make_analyzer(ark), latency, regional_addrs);
+  std::size_t gcd_detected = 0;
+  double mean_sites = 0;
+  for (const auto& [prefix, res] : gcd_result) {
+    if (res.verdict == gcd::GcdVerdict::kAnycast) {
+      ++gcd_detected;
+      mean_sites += static_cast<double>(res.site_count());
+    }
+  }
+  std::printf("GCD (163 VPs) confirms %zu / %zu regional deployments",
+              gcd_detected, regional_addrs.size());
+  if (gcd_detected > 0) {
+    std::printf(" (mean %.1f sites enumerated)", mean_sites / gcd_detected);
+  }
+  std::printf("\n\nTakeaway (paper §5.9): a geographically broad measuring "
+              "deployment is what buys regional-anycast coverage;\nGCD "
+              "under-counts sites that sit within one latency disc.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "analysis/catchment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "net/address.hpp"
+
+namespace laces::analysis {
+
+double CatchmentStats::top_share(std::size_t k) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < k && i < sites.size(); ++i) {
+    total += sites[i].share;
+  }
+  return total;
+}
+
+double CatchmentStats::imbalance() const {
+  if (sites.empty()) return 0.0;
+  const double mean = 1.0 / static_cast<double>(sites.size());
+  return sites.front().share / mean;
+}
+
+CatchmentStats catchment_stats(const core::MeasurementResults& results) {
+  std::unordered_map<net::Prefix, net::WorkerId, net::PrefixHash> assignment;
+  for (const auto& rec : results.records) {
+    assignment.try_emplace(net::Prefix::of(rec.target), rec.rx_worker);
+  }
+
+  std::map<net::WorkerId, std::size_t> counts;
+  for (const auto& [prefix, worker] : assignment) ++counts[worker];
+
+  CatchmentStats stats;
+  stats.responsive_prefixes = assignment.size();
+  if (assignment.empty()) return stats;
+
+  const double total = static_cast<double>(assignment.size());
+  for (const auto& [worker, count] : counts) {
+    stats.sites.push_back(SiteCatchment{
+        worker, count, static_cast<double>(count) / total});
+  }
+  std::sort(stats.sites.begin(), stats.sites.end(),
+            [](const SiteCatchment& a, const SiteCatchment& b) {
+              return a.prefixes > b.prefixes;
+            });
+
+  if (stats.sites.size() > 1) {
+    double entropy = 0.0;
+    for (const auto& site : stats.sites) {
+      entropy -= site.share * std::log2(site.share);
+    }
+    stats.normalized_entropy =
+        entropy / std::log2(static_cast<double>(stats.sites.size()));
+  } else {
+    stats.normalized_entropy = 0.0;
+  }
+  return stats;
+}
+
+}  // namespace laces::analysis

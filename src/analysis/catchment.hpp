@@ -1,0 +1,41 @@
+// Catchment statistics (the Verfploeter-style operational view the tool
+// also supports, paper §4.1.3 / de Vries et al. 2017).
+//
+// From one anycast-mode measurement, maps every responsive census prefix
+// to the site that captured its responses, and summarizes how (un)evenly
+// the Internet distributes over the deployment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/results.hpp"
+
+namespace laces::analysis {
+
+struct SiteCatchment {
+  net::WorkerId worker = 0;
+  std::size_t prefixes = 0;
+  double share = 0.0;  // fraction of responsive prefixes
+};
+
+struct CatchmentStats {
+  /// Per-site catchments, descending by size.
+  std::vector<SiteCatchment> sites;
+  std::size_t responsive_prefixes = 0;
+  /// Shannon entropy of the share distribution, normalized to [0, 1]
+  /// (1 = perfectly even across the sites that received anything).
+  double normalized_entropy = 0.0;
+  /// Combined share of the k largest catchments.
+  double top_share(std::size_t k) const;
+  /// Largest catchment / mean catchment (imbalance factor).
+  double imbalance() const;
+};
+
+/// Computes catchments from an anycast-mode measurement. A prefix is
+/// assigned to the site that captured its first response (catchments are
+/// per-flow stable; later duplicates come from ECMP/flip noise).
+CatchmentStats catchment_stats(const core::MeasurementResults& results);
+
+}  // namespace laces::analysis

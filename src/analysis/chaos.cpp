@@ -1,0 +1,40 @@
+#include "analysis/chaos.hpp"
+
+#include <algorithm>
+
+namespace laces::analysis {
+
+ChaosCounts chaos_counts(const core::MeasurementResults& chaos_results) {
+  ChaosCounts out;
+  for (const auto& rec : chaos_results.records) {
+    if (!rec.txt) continue;
+    out[net::Prefix::of(rec.target)].insert(*rec.txt);
+  }
+  return out;
+}
+
+std::vector<ChaosComparison> chaos_comparison(
+    const ChaosCounts& chaos, const core::AnycastClassification& anycast_based,
+    const gcd::GcdClassification& gcd_results) {
+  std::vector<ChaosComparison> out;
+  out.reserve(chaos.size());
+  for (const auto& [prefix, values] : chaos) {
+    ChaosComparison cmp;
+    cmp.prefix = prefix;
+    cmp.chaos_values = values.size();
+    if (const auto it = anycast_based.find(prefix); it != anycast_based.end()) {
+      cmp.anycast_based_vps = it->second.vp_count();
+    }
+    if (const auto it = gcd_results.find(prefix); it != gcd_results.end()) {
+      cmp.gcd_sites = it->second.site_count();
+    }
+    out.push_back(std::move(cmp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChaosComparison& a, const ChaosComparison& b) {
+              return a.prefix < b.prefix;
+            });
+  return out;
+}
+
+}  // namespace laces::analysis

@@ -1,0 +1,40 @@
+// CHAOS-record analysis (paper §5.3.1, Appendix C, Figure 10).
+//
+// RFC 4892 CHAOS TXT answers disclose a per-site identity. Counting
+// distinct values observed from all VPs gives a third, DNS-only site
+// estimate — compared here against the anycast-based VP count and the
+// GCD enumeration for the same nameservers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/results.hpp"
+#include "gcd/classify.hpp"
+
+namespace laces::analysis {
+
+/// Distinct CHAOS values observed per census prefix.
+using ChaosCounts =
+    std::unordered_map<net::Prefix, std::unordered_set<std::string>,
+                       net::PrefixHash>;
+
+ChaosCounts chaos_counts(const core::MeasurementResults& chaos_results);
+
+/// One Figure-10 point: the three site estimates for one nameserver prefix.
+struct ChaosComparison {
+  net::Prefix prefix;
+  std::size_t chaos_values = 0;
+  std::size_t anycast_based_vps = 0;
+  std::size_t gcd_sites = 0;
+};
+
+/// Joins the three measurements over prefixes that answered CHAOS.
+std::vector<ChaosComparison> chaos_comparison(
+    const ChaosCounts& chaos, const core::AnycastClassification& anycast_based,
+    const gcd::GcdClassification& gcd_results);
+
+}  // namespace laces::analysis

@@ -1,0 +1,49 @@
+#include "analysis/compare.hpp"
+
+#include <algorithm>
+
+namespace laces::analysis {
+
+PrefixSet canonical(PrefixSet prefixes) {
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  return prefixes;
+}
+
+PrefixSet set_intersection(const PrefixSet& a, const PrefixSet& b) {
+  PrefixSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+PrefixSet set_difference(const PrefixSet& a, const PrefixSet& b) {
+  PrefixSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+PrefixSet set_union(const PrefixSet& a, const PrefixSet& b) {
+  PrefixSet out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+bool contains(const PrefixSet& set, const net::Prefix& p) {
+  return std::binary_search(set.begin(), set.end(), p);
+}
+
+SetComparison compare(const PrefixSet& a, const PrefixSet& b) {
+  SetComparison c;
+  c.a_total = a.size();
+  c.b_total = b.size();
+  c.both = set_intersection(a, b).size();
+  c.a_only = c.a_total - c.both;
+  c.b_only = c.b_total - c.both;
+  return c;
+}
+
+}  // namespace laces::analysis

@@ -1,0 +1,31 @@
+// Prefix-set algebra used by every comparison table.
+#pragma once
+
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace laces::analysis {
+
+using PrefixSet = std::vector<net::Prefix>;  // kept sorted & unique
+
+/// Sorts and deduplicates in place, returning the canonical set.
+PrefixSet canonical(PrefixSet prefixes);
+
+PrefixSet set_intersection(const PrefixSet& a, const PrefixSet& b);
+PrefixSet set_difference(const PrefixSet& a, const PrefixSet& b);
+PrefixSet set_union(const PrefixSet& a, const PrefixSet& b);
+bool contains(const PrefixSet& set, const net::Prefix& p);
+
+/// Two-set comparison summary (the shape of Table 2/Table 4 rows).
+struct SetComparison {
+  std::size_t a_total = 0;
+  std::size_t b_total = 0;
+  std::size_t both = 0;
+  std::size_t a_only = 0;
+  std::size_t b_only = 0;
+};
+
+SetComparison compare(const PrefixSet& a, const PrefixSet& b);
+
+}  // namespace laces::analysis

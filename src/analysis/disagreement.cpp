@@ -1,0 +1,44 @@
+#include "analysis/disagreement.hpp"
+
+namespace laces::analysis {
+
+std::vector<VpCountBucket> vp_count_disagreement(
+    const census::DailyCensus& census, net::Protocol protocol,
+    std::size_t deployment_size) {
+  struct Range {
+    std::size_t lo, hi;  // inclusive lower, exclusive upper
+    std::string label;
+  };
+  std::vector<Range> ranges = {
+      {2, 3, "2"},   {3, 4, "3"},   {4, 5, "4"},   {5, 6, "5"},
+      {6, 11, "5-10"},   {11, 16, "10-15"}, {16, 21, "15-20"},
+      {21, 26, "20-25"}, {26, deployment_size + 1, "25-32"},
+  };
+  std::vector<VpCountBucket> buckets;
+  for (const auto& r : ranges) {
+    buckets.push_back(VpCountBucket{r.label, 0, 0, 0});
+  }
+
+  for (const auto& [prefix, rec] : census.records) {
+    const auto it = rec.anycast_based.find(protocol);
+    if (it == rec.anycast_based.end() ||
+        it->second.verdict != core::Verdict::kAnycast) {
+      continue;
+    }
+    const std::size_t vps = it->second.vp_count;
+    for (std::size_t b = 0; b < ranges.size(); ++b) {
+      if (vps >= ranges[b].lo && vps < ranges[b].hi) {
+        ++buckets[b].candidates;
+        if (rec.gcd_confirmed()) {
+          ++buckets[b].gcd_confirmed;
+        } else {
+          ++buckets[b].not_confirmed;
+        }
+        break;
+      }
+    }
+  }
+  return buckets;
+}
+
+}  // namespace laces::analysis

@@ -1,0 +1,31 @@
+// Table 3: anycast-based candidates bucketed by receiving-VP count,
+// cross-checked against GCD confirmation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "census/census.hpp"
+
+namespace laces::analysis {
+
+struct VpCountBucket {
+  std::string label;        // "2", "3", ..., "5-10", "25-32"
+  std::size_t candidates = 0;   // anycast-based ATs in the bucket
+  std::size_t gcd_confirmed = 0;
+  std::size_t not_confirmed = 0;
+
+  double overlap() const {
+    return candidates == 0
+               ? 0.0
+               : static_cast<double>(gcd_confirmed) / candidates;
+  }
+};
+
+/// Buckets a census's anycast-based detections for `protocol` by VP count
+/// using the paper's bucket boundaries (2,3,4,5, 5-10, 10-15, ..., 25-32).
+std::vector<VpCountBucket> vp_count_disagreement(
+    const census::DailyCensus& census, net::Protocol protocol,
+    std::size_t deployment_size = 32);
+
+}  // namespace laces::analysis

@@ -1,0 +1,148 @@
+#include "analysis/external.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace laces::analysis {
+
+std::vector<net::Ipv4Prefix> simulate_bgptools(
+    const topo::World& world, const PrefixSet& anycast_based_v4) {
+  std::vector<net::Ipv4Prefix> out;
+  for (const auto& announcement : world.bgp_table()) {
+    const auto& bgp = announcement.prefix;
+    // BGPTools: one anycast address inside => the whole prefix is anycast.
+    const bool any_at = std::any_of(
+        anycast_based_v4.begin(), anycast_based_v4.end(),
+        [&](const net::Prefix& at) {
+          return at.version() == net::IpVersion::kV4 && bgp.contains(at.v4());
+        });
+    if (any_at) out.push_back(bgp);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Slash24Class classify_slash24(const census::DailyCensus& ours,
+                              const net::Ipv4Prefix& slash24) {
+  const auto* rec = ours.find(net::Prefix(slash24));
+  if (rec == nullptr) return Slash24Class::kUnresponsive;
+  if (rec->gcd_confirmed()) return Slash24Class::kAnycast;
+  // GCD says unicast, or only the anycast-based stage saw responses.
+  if (rec->gcd_verdict && *rec->gcd_verdict == gcd::GcdVerdict::kUnicast) {
+    return Slash24Class::kUnicast;
+  }
+  for (const auto& [proto, obs] : rec->anycast_based) {
+    if (obs.verdict != core::Verdict::kUnresponsive) {
+      return Slash24Class::kUnicast;
+    }
+  }
+  return Slash24Class::kUnresponsive;
+}
+
+std::vector<PrefixSizeRow> bgptools_size_table(
+    const census::DailyCensus& ours,
+    const std::vector<net::Ipv4Prefix>& bgptools_prefixes) {
+  std::map<std::uint8_t, PrefixSizeRow> rows;
+  for (const auto& bgp : bgptools_prefixes) {
+    auto& row = rows[bgp.length()];
+    row.prefix_length = bgp.length();
+    ++row.occurrence;
+    const std::uint64_t slash24s = bgp.count_slash24();
+    for (std::uint64_t i = 0; i < slash24s; ++i) {
+      const net::Ipv4Prefix sub(
+          net::Ipv4Address(bgp.address().value() +
+                           static_cast<std::uint32_t>(i) * 256),
+          24);
+      switch (classify_slash24(ours, sub)) {
+        case Slash24Class::kAnycast:
+          ++row.anycast_24s;
+          break;
+        case Slash24Class::kUnicast:
+          ++row.unicast_24s;
+          break;
+        case Slash24Class::kUnresponsive:
+          ++row.unresponsive_24s;
+          break;
+      }
+    }
+  }
+  std::vector<PrefixSizeRow> out;
+  for (auto& [len, row] : rows) out.push_back(row);
+  return out;
+}
+
+std::vector<net::Ipv6Prefix> simulate_bgptools_v6(
+    const topo::World& world, const PrefixSet& anycast_based_v6) {
+  std::vector<net::Ipv6Prefix> out;
+  for (const auto& announcement : world.bgp_table_v6()) {
+    const auto& bgp = announcement.prefix;
+    const bool any_at = std::any_of(
+        anycast_based_v6.begin(), anycast_based_v6.end(),
+        [&](const net::Prefix& at) {
+          return at.version() == net::IpVersion::kV6 &&
+                 bgp.contains(at.v6().address());
+        });
+    if (any_at) out.push_back(bgp);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+BgpToolsV6Comparison compare_bgptools_v6(
+    const std::vector<net::Ipv6Prefix>& bgptools, const PrefixSet& ours_gcd) {
+  BgpToolsV6Comparison cmp;
+  cmp.bgptools_prefixes = bgptools.size();
+  cmp.our_gcd_total = ours_gcd.size();
+  for (const auto& bgp : bgptools) {
+    const bool covered = std::any_of(
+        ours_gcd.begin(), ours_gcd.end(), [&](const net::Prefix& p) {
+          return p.version() == net::IpVersion::kV6 &&
+                 bgp.contains(p.v6().address());
+        });
+    if (covered) ++cmp.covered_by_ours;
+  }
+  for (const auto& p : ours_gcd) {
+    if (p.version() != net::IpVersion::kV6) continue;
+    const bool inside = std::any_of(
+        bgptools.begin(), bgptools.end(), [&](const net::Ipv6Prefix& bgp) {
+          return bgp.contains(p.v6().address());
+        });
+    if (!inside) ++cmp.missed_by_bgptools;
+  }
+  return cmp;
+}
+
+PrefixSet simulate_ipinfo(const topo::World& world, std::uint32_t snapshot_day,
+                          net::IpVersion version, std::uint64_t seed) {
+  PrefixSet out;
+  for (const auto& target : world.targets()) {
+    if (!target.representative || target.address.version() != version) {
+      continue;
+    }
+    const auto prefix = net::Prefix::of(target.address);
+    const auto& dep = world.deployment(target.deployment);
+    bool anycast_in_window = false;
+    for (std::uint32_t d = snapshot_day >= 6 ? snapshot_day - 6 : 0;
+         d <= snapshot_day; ++d) {
+      if (topo::is_anycast_ground_truth(dep.kind, dep.anycast_active(d))) {
+        anycast_in_window = true;
+        break;
+      }
+    }
+    if (!anycast_in_window) continue;
+    // Commercial coverage gap: regional deployments are missed at ~35%.
+    if (dep.kind == topo::DeploymentKind::kAnycastRegional) {
+      StableHash h(seed);
+      h.mix(net::hash_value(target.address));
+      if (h.unit() < 0.35) continue;
+    }
+    out.push_back(prefix);
+  }
+  return canonical(std::move(out));
+}
+
+}  // namespace laces::analysis

@@ -1,0 +1,70 @@
+// External-census comparators (paper §5.7, Table 7, Appendix D).
+//
+// * BGPTools-style census: runs on our anycast-based stage but (1) lifts a
+//   single anycast address to the whole announced BGP prefix and (2) never
+//   filters with GCD — reproducing both of its overcounting mechanisms.
+// * IPInfo-style census: weekly snapshots, which sweep up temporary
+//   anycast that a daily census sees come and go.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/compare.hpp"
+#include "census/census.hpp"
+#include "topo/world.hpp"
+
+namespace laces::analysis {
+
+/// BGP-announced prefixes a BGPTools-style system would flag as anycast:
+/// every announcement containing at least one anycast-based AT.
+std::vector<net::Ipv4Prefix> simulate_bgptools(
+    const topo::World& world, const PrefixSet& anycast_based_v4);
+
+/// Classification of one /24 from our census's point of view.
+enum class Slash24Class : std::uint8_t { kAnycast, kUnicast, kUnresponsive };
+
+/// Classifies each /24 inside `bgp_prefix` using our census (GCD verdicts),
+/// falling back to unresponsive for unallocated space.
+Slash24Class classify_slash24(const census::DailyCensus& ours,
+                              const net::Ipv4Prefix& slash24);
+
+/// Table 7 row: BGPTools anycast prefixes of one size and the GCD-based
+/// class mix of the /24s they cover.
+struct PrefixSizeRow {
+  std::uint8_t prefix_length = 24;
+  std::size_t occurrence = 0;
+  std::size_t anycast_24s = 0;
+  std::size_t unicast_24s = 0;
+  std::size_t unresponsive_24s = 0;
+};
+
+std::vector<PrefixSizeRow> bgptools_size_table(
+    const census::DailyCensus& ours,
+    const std::vector<net::Ipv4Prefix>& bgptools_prefixes);
+
+/// v6 BGPTools census: every announced IPv6 prefix containing at least
+/// one anycast-based AT (§5.7's second comparison).
+std::vector<net::Ipv6Prefix> simulate_bgptools_v6(
+    const topo::World& world, const PrefixSet& anycast_based_v6);
+
+/// §5.7's v6 headline numbers.
+struct BgpToolsV6Comparison {
+  std::size_t bgptools_prefixes = 0;   // announced prefixes they mark
+  std::size_t covered_by_ours = 0;     // of those, overlapping our census
+  std::size_t our_gcd_total = 0;       // /48s we confirm
+  std::size_t missed_by_bgptools = 0;  // our /48s not inside any marked pfx
+};
+
+BgpToolsV6Comparison compare_bgptools_v6(
+    const std::vector<net::Ipv6Prefix>& bgptools, const PrefixSet& ours_gcd);
+
+/// IPInfo-style weekly snapshot: prefixes that were anycast (ground truth)
+/// on ANY day of the 7 days ending at `snapshot_day`, with a small
+/// regional-anycast miss rate (commercial detection has fewer VPs in
+/// remote regions).
+PrefixSet simulate_ipinfo(const topo::World& world, std::uint32_t snapshot_day,
+                          net::IpVersion version, std::uint64_t seed = 0x1bf0);
+
+}  // namespace laces::analysis

@@ -1,0 +1,60 @@
+#include "analysis/geolocation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace laces::analysis {
+
+GeolocationAccuracy evaluate_geolocation(const topo::World& world,
+                                         const gcd::GcdClassification& gcd,
+                                         std::uint32_t day) {
+  GeolocationAccuracy acc;
+  std::vector<double> errors;
+  double ratio_sum = 0.0;
+
+  for (const auto& [prefix, result] : gcd) {
+    if (result.verdict != gcd::GcdVerdict::kAnycast) continue;
+    const auto truth = world.truth(prefix, day);
+    if (!truth.exists || !truth.anycast) continue;
+    const auto& dep = world.deployment(truth.representative_deployment);
+    if (dep.pops.empty()) continue;
+
+    ++acc.prefixes_evaluated;
+    ratio_sum += static_cast<double>(result.site_count()) /
+                 static_cast<double>(dep.pops.size());
+
+    for (const auto& site : result.sites) {
+      if (!site.city) continue;
+      const auto& estimate = geo::city(*site.city).location;
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& pop : dep.pops) {
+        best = std::min(best, geo::distance_km(
+                                  estimate, geo::city(pop.attach.city).location));
+      }
+      errors.push_back(best);
+    }
+  }
+
+  acc.sites_evaluated = errors.size();
+  if (!errors.empty()) {
+    acc.mean_error_km = mean(errors);
+    acc.median_error_km = median(errors);
+    const auto count_within = [&errors](double km) {
+      return static_cast<double>(std::count_if(
+                 errors.begin(), errors.end(),
+                 [km](double e) { return e <= km; })) /
+             static_cast<double>(errors.size());
+    };
+    acc.within_100km = count_within(100.0);
+    acc.within_500km = count_within(500.0);
+  }
+  if (acc.prefixes_evaluated > 0) {
+    acc.enumeration_ratio =
+        ratio_sum / static_cast<double>(acc.prefixes_evaluated);
+  }
+  return acc;
+}
+
+}  // namespace laces::analysis

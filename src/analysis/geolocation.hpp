@@ -1,0 +1,30 @@
+// GCD geolocation accuracy against ground truth (paper §5.8.1: "our GCD
+// reported locations closely match reality, exceptions being multiple
+// sites in a single city or nearby cities ... detected as a single site").
+#pragma once
+
+#include "gcd/classify.hpp"
+#include "topo/world.hpp"
+
+namespace laces::analysis {
+
+struct GeolocationAccuracy {
+  std::size_t prefixes_evaluated = 0;
+  std::size_t sites_evaluated = 0;
+  /// Great-circle error from each estimated site to the nearest true PoP.
+  double mean_error_km = 0.0;
+  double median_error_km = 0.0;
+  /// Fraction of estimated sites within 100 / 500 km of a true PoP.
+  double within_100km = 0.0;
+  double within_500km = 0.0;
+  /// Mean (estimated sites / true PoPs) — the under-enumeration factor.
+  double enumeration_ratio = 0.0;
+};
+
+/// Compares every GCD-anycast prefix's estimated site cities against the
+/// ground-truth PoP cities of the deployment serving the prefix on `day`.
+GeolocationAccuracy evaluate_geolocation(const topo::World& world,
+                                         const gcd::GcdClassification& gcd,
+                                         std::uint32_t day);
+
+}  // namespace laces::analysis

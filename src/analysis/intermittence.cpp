@@ -1,0 +1,85 @@
+#include "analysis/intermittence.hpp"
+
+namespace laces::analysis {
+
+std::string_view to_string(IntermittenceCause cause) {
+  switch (cause) {
+    case IntermittenceCause::kTemporaryAnycast:
+      return "temporary anycast";
+    case IntermittenceCause::kChurn:
+      return "target churn";
+    case IntermittenceCause::kFalsePositive:
+      return "false positive";
+    case IntermittenceCause::kRegionalAnycast:
+      return "regional anycast";
+    case IntermittenceCause::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+IntermittenceCause classify_intermittence(const topo::World& world,
+                                          const net::Prefix& prefix,
+                                          std::uint32_t first_day,
+                                          std::uint32_t last_day) {
+  const auto truth = world.truth(prefix, first_day);
+  if (!truth.exists) return IntermittenceCause::kOther;
+  const auto& dep = world.deployment(truth.representative_deployment);
+
+  if (dep.kind == topo::DeploymentKind::kTemporaryAnycast) {
+    return IntermittenceCause::kTemporaryAnycast;
+  }
+  // Never anycast on any day in the window => the flicker is measurement
+  // noise (route flips / per-packet ECMP), i.e. a false positive.
+  bool ever_anycast = false;
+  for (std::uint32_t d = first_day; d <= last_day; ++d) {
+    ever_anycast |= world.truth(prefix, d).anycast;
+  }
+  if (!ever_anycast) return IntermittenceCause::kFalsePositive;
+
+  // Real anycast: was the representative down on some days?
+  const auto* target = world.find_target(
+      prefix.version() == net::IpVersion::kV4
+          ? net::IpAddress(
+                net::Ipv4Address(prefix.v4().address().value() + 1))
+          : net::IpAddress(
+                net::Ipv6Address(prefix.v6().address().hi(), 1)));
+  if (target != nullptr) {
+    for (std::uint32_t d = first_day; d <= last_day; ++d) {
+      if (world.target_down(*target, d)) return IntermittenceCause::kChurn;
+    }
+  }
+  if (dep.kind == topo::DeploymentKind::kAnycastRegional) {
+    return IntermittenceCause::kRegionalAnycast;
+  }
+  return IntermittenceCause::kOther;
+}
+
+IntermittenceBreakdown attribute_intermittence(const topo::World& world,
+                                               const PrefixSet& intermittent,
+                                               std::uint32_t first_day,
+                                               std::uint32_t last_day) {
+  IntermittenceBreakdown breakdown;
+  for (const auto& prefix : intermittent) {
+    switch (classify_intermittence(world, prefix, first_day, last_day)) {
+      case IntermittenceCause::kTemporaryAnycast:
+        ++breakdown.temporary_anycast;
+        break;
+      case IntermittenceCause::kChurn:
+        ++breakdown.churn;
+        break;
+      case IntermittenceCause::kFalsePositive:
+        ++breakdown.false_positive;
+        break;
+      case IntermittenceCause::kRegionalAnycast:
+        ++breakdown.regional;
+        break;
+      case IntermittenceCause::kOther:
+        ++breakdown.other;
+        break;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace laces::analysis

@@ -1,0 +1,52 @@
+// Attribution of longitudinal intermittence (paper §5.1.6's follow-up:
+// prefixes not observed every day "include regional anycast deployments
+// that are difficult to detect with GCD, cases of suspected BGP prefix
+// hijacking (causing FPs), and anycast deployments that had downtime").
+//
+// Given the prefixes a method detected only on SOME days, classify each by
+// the oracle-visible mechanism behind the flicker.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/compare.hpp"
+#include "topo/world.hpp"
+
+namespace laces::analysis {
+
+enum class IntermittenceCause : std::uint8_t {
+  kTemporaryAnycast,   // deployment genuinely switches anycast<->unicast
+  kChurn,              // target down on some days (hitlist churn)
+  kFalsePositive,      // never anycast: route-flip / ECMP flicker
+  kRegionalAnycast,    // real but hard to detect (regional deployment)
+  kOther,              // stable global anycast flickering for other reasons
+};
+
+std::string_view to_string(IntermittenceCause cause);
+
+struct IntermittenceBreakdown {
+  std::size_t temporary_anycast = 0;
+  std::size_t churn = 0;
+  std::size_t false_positive = 0;
+  std::size_t regional = 0;
+  std::size_t other = 0;
+
+  std::size_t total() const {
+    return temporary_anycast + churn + false_positive + regional + other;
+  }
+};
+
+/// Classifies one intermittent prefix over a day range [first_day, last_day].
+IntermittenceCause classify_intermittence(const topo::World& world,
+                                          const net::Prefix& prefix,
+                                          std::uint32_t first_day,
+                                          std::uint32_t last_day);
+
+/// Aggregates over a set of intermittent prefixes.
+IntermittenceBreakdown attribute_intermittence(const topo::World& world,
+                                               const PrefixSet& intermittent,
+                                               std::uint32_t first_day,
+                                               std::uint32_t last_day);
+
+}  // namespace laces::analysis

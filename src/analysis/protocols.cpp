@@ -1,0 +1,53 @@
+#include "analysis/protocols.hpp"
+
+#include <algorithm>
+
+namespace laces::analysis {
+
+std::string ProtocolRegion::label() const {
+  std::string out;
+  if (icmp) out += "ICMP";
+  if (tcp) {
+    if (!out.empty()) out += "+";
+    out += "TCP";
+  }
+  if (udp) {
+    if (!out.empty()) out += "+";
+    out += "UDP";
+  }
+  return out.empty() ? "none" : out;
+}
+
+ProtocolBreakdown protocol_breakdown(const PrefixSet& icmp,
+                                     const PrefixSet& tcp,
+                                     const PrefixSet& udp) {
+  ProtocolBreakdown bd;
+  bd.icmp_total = icmp.size();
+  bd.tcp_total = tcp.size();
+  bd.udp_total = udp.size();
+  const auto all = set_union(set_union(icmp, tcp), udp);
+  bd.union_total = all.size();
+
+  std::array<std::size_t, 8> counts{};
+  for (const auto& prefix : all) {
+    const int mask = (contains(icmp, prefix) ? 1 : 0) |
+                     (contains(tcp, prefix) ? 2 : 0) |
+                     (contains(udp, prefix) ? 4 : 0);
+    ++counts[static_cast<std::size_t>(mask)];
+  }
+  for (int mask = 1; mask < 8; ++mask) {
+    ProtocolRegion region;
+    region.icmp = (mask & 1) != 0;
+    region.tcp = (mask & 2) != 0;
+    region.udp = (mask & 4) != 0;
+    region.count = counts[static_cast<std::size_t>(mask)];
+    bd.regions.push_back(region);
+  }
+  std::sort(bd.regions.begin(), bd.regions.end(),
+            [](const ProtocolRegion& a, const ProtocolRegion& b) {
+              return a.count > b.count;
+            });
+  return bd;
+}
+
+}  // namespace laces::analysis

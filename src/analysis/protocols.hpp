@@ -1,0 +1,39 @@
+// Figures 6/7: protocol-intersection (UpSet-style) breakdown of the
+// anycast-based detections for ICMP, TCP and UDP.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/compare.hpp"
+
+namespace laces::analysis {
+
+/// One UpSet region: membership mask over {ICMP, TCP, UDP} and its
+/// EXCLUSIVE count (prefixes in exactly those sets).
+struct ProtocolRegion {
+  bool icmp = false;
+  bool tcp = false;
+  bool udp = false;
+  std::size_t count = 0;
+
+  std::string label() const;
+  /// Number of protocols in the region (1, 2 or 3).
+  int arity() const { return int{icmp} + int{tcp} + int{udp}; }
+};
+
+struct ProtocolBreakdown {
+  std::size_t icmp_total = 0;
+  std::size_t tcp_total = 0;
+  std::size_t udp_total = 0;
+  std::size_t union_total = 0;
+  /// The 7 non-empty membership regions, descending by count.
+  std::vector<ProtocolRegion> regions;
+};
+
+ProtocolBreakdown protocol_breakdown(const PrefixSet& icmp,
+                                     const PrefixSet& tcp,
+                                     const PrefixSet& udp);
+
+}  // namespace laces::analysis

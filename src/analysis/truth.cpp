@@ -1,0 +1,68 @@
+#include "analysis/truth.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace laces::analysis {
+
+ConfusionMatrix evaluate(const topo::World& world, const PrefixSet& detected,
+                         const PrefixSet& probed, std::uint32_t day) {
+  ConfusionMatrix m;
+  for (const auto& prefix : probed) {
+    const auto truth = world.truth(prefix, day);
+    if (!truth.exists) continue;
+    const bool hit = contains(detected, prefix);
+    if (truth.anycast) {
+      if (hit) {
+        ++m.true_positive;
+      } else {
+        ++m.false_negative;
+      }
+    } else {
+      if (hit) {
+        ++m.false_positive;
+        if (truth.global_bgp_unicast) ++m.fp_global_bgp;
+      } else {
+        ++m.true_negative;
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<OriginCount> origin_ranking(const topo::World& world,
+                                        const PrefixSet& detected_v4,
+                                        const PrefixSet& detected_v6,
+                                        std::uint32_t day) {
+  std::map<topo::OrgId, OriginCount> counts;
+  const auto tally = [&](const PrefixSet& set, bool v4) {
+    for (const auto& prefix : set) {
+      const auto truth = world.truth(prefix, day);
+      if (!truth.exists) continue;
+      const auto& org = world.org(truth.org);
+      auto& entry = counts[org.id];
+      entry.org_name = org.name;
+      entry.asn = org.asn;
+      if (v4) {
+        ++entry.v4_prefixes;
+      } else {
+        ++entry.v6_prefixes;
+      }
+    }
+  };
+  tally(detected_v4, true);
+  tally(detected_v6, false);
+
+  std::vector<OriginCount> out;
+  out.reserve(counts.size());
+  for (auto& [org, entry] : counts) out.push_back(std::move(entry));
+  // Paper Table 6 presentation: IPv4 count first, IPv6 as tie-breaker.
+  std::sort(out.begin(), out.end(), [](const OriginCount& a,
+                                       const OriginCount& b) {
+    if (a.v4_prefixes != b.v4_prefixes) return a.v4_prefixes > b.v4_prefixes;
+    return a.v6_prefixes > b.v6_prefixes;
+  });
+  return out;
+}
+
+}  // namespace laces::analysis

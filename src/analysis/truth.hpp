@@ -1,0 +1,57 @@
+// Ground-truth evaluation (the role operator data plays in §5.8).
+//
+// Measurement code never sees the world's deployment registry; analysis
+// code uses it here exactly where the paper uses operator ground truth:
+// to label TP/FP/FN and to build the hypergiant table (Table 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/compare.hpp"
+#include "topo/world.hpp"
+
+namespace laces::analysis {
+
+/// Confusion counts of a detection set against ground truth over a probed
+/// population.
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+  /// FPs explained by global-BGP-unicast prefixes (the Microsoft-style
+  /// family of §5.1.3 — "mostly FPs ... these also contain TPs").
+  std::size_t fp_global_bgp = 0;
+
+  double recall() const {
+    const auto denom = true_positive + false_negative;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+  }
+  double precision() const {
+    const auto denom = true_positive + false_positive;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+  }
+};
+
+/// Evaluates `detected` (prefixes classified anycast) against ground truth
+/// over `probed` prefixes on `day`.
+ConfusionMatrix evaluate(const topo::World& world, const PrefixSet& detected,
+                         const PrefixSet& probed, std::uint32_t day);
+
+/// Table 6 row: an origin AS and its anycast prefix counts.
+struct OriginCount {
+  std::string org_name;
+  topo::Asn asn = 0;
+  std::size_t v4_prefixes = 0;
+  std::size_t v6_prefixes = 0;
+};
+
+/// Groups detected anycast prefixes by originating org, sorted by
+/// v4 + v6 count descending (largest ASes first).
+std::vector<OriginCount> origin_ranking(const topo::World& world,
+                                        const PrefixSet& detected_v4,
+                                        const PrefixSet& detected_v6,
+                                        std::uint32_t day);
+
+}  // namespace laces::analysis

@@ -1,0 +1,22 @@
+#include "baseline/manycast2.hpp"
+
+namespace laces::baseline {
+
+core::MeasurementSpec manycast2_spec(const MAnycast2Options& options) {
+  core::MeasurementSpec spec;
+  spec.id = options.measurement_id;
+  spec.protocol = options.protocol;
+  spec.version = options.version;
+  spec.mode = core::ProbeMode::kAnycast;
+  spec.worker_offset = options.pass_interval;
+  spec.targets_per_second = options.targets_per_second;
+  return spec;
+}
+
+core::MeasurementResults run_manycast2(
+    core::Session& session, const std::vector<net::IpAddress>& targets,
+    const MAnycast2Options& options) {
+  return session.run(manycast2_spec(options), targets);
+}
+
+}  // namespace laces::baseline

@@ -1,0 +1,35 @@
+// MAnycast^2 baseline (Sommese et al. 2020; paper §2.2, §5.1.5).
+//
+// MAnycast^2 probes the entire hitlist from each vantage point in sequence,
+// so successive probes to the same target are separated by a full hitlist
+// pass (~13 minutes on the original deployment). That window lets routing
+// flips land between probes and misclassify unicast targets as anycast —
+// Figure 4 quantifies this against MAnycastR's synchronized probing. Here
+// the sequential schedule is expressed as a MeasurementSpec whose
+// worker_offset equals the hitlist-pass interval.
+#pragma once
+
+#include "core/measurement.hpp"
+#include "core/results.hpp"
+#include "core/session.hpp"
+
+namespace laces::baseline {
+
+struct MAnycast2Options {
+  /// Interval between VP passes (the original system's ~13 minutes).
+  SimDuration pass_interval = SimDuration::minutes(13);
+  double targets_per_second = 4000.0;
+  net::Protocol protocol = net::Protocol::kIcmp;
+  net::IpVersion version = net::IpVersion::kV4;
+  net::MeasurementId measurement_id = 0x2222;
+};
+
+/// The MeasurementSpec realizing the MAnycast^2 schedule.
+core::MeasurementSpec manycast2_spec(const MAnycast2Options& options);
+
+/// Run the baseline census on an existing deployment session.
+core::MeasurementResults run_manycast2(
+    core::Session& session, const std::vector<net::IpAddress>& targets,
+    const MAnycast2Options& options = {});
+
+}  // namespace laces::baseline

@@ -1,0 +1,51 @@
+#include "census/canary.hpp"
+
+namespace laces::census {
+
+std::map<net::WorkerId, double> CanaryMonitor::share_of(
+    const core::MeasurementResults& results) const {
+  std::map<net::WorkerId, std::size_t> counts;
+  for (const auto& rec : results.records) ++counts[rec.rx_worker];
+  std::map<net::WorkerId, double> shares;
+  if (results.records.empty()) return shares;
+  const double total = static_cast<double>(results.records.size());
+  for (const auto& [worker, count] : counts) {
+    shares[worker] = static_cast<double>(count) / total;
+  }
+  return shares;
+}
+
+double CanaryMonitor::baseline_share(net::WorkerId worker) const {
+  if (days_ == 0) return 0.0;
+  const auto it = share_sums_.find(worker);
+  if (it == share_sums_.end()) return 0.0;
+  return it->second / static_cast<double>(days_);
+}
+
+std::vector<CanaryAlarm> CanaryMonitor::observe(
+    const core::MeasurementResults& results) {
+  const auto today = share_of(results);
+  std::vector<CanaryAlarm> alarms;
+
+  if (days_ > 0) {
+    for (const auto& [worker, sum] : share_sums_) {
+      const double baseline = sum / static_cast<double>(days_);
+      if (baseline < min_baseline_share_) continue;
+      const auto it = today.find(worker);
+      const double now = it == today.end() ? 0.0 : it->second;
+      if (now < baseline * (1.0 - alarm_drop_)) {
+        alarms.push_back(CanaryAlarm{worker, baseline, now});
+      }
+    }
+  }
+
+  // Fold today into the baseline (alarmed days included: a persistent
+  // outage alarms once per day until the baseline adapts).
+  ++days_;
+  for (const auto& [worker, share] : today) {
+    share_sums_[worker] += share;
+  }
+  return alarms;
+}
+
+}  // namespace laces::census

@@ -1,0 +1,54 @@
+// Canary monitoring (paper §6 future work: "add support for a canary
+// anycast deployment to detect outages").
+//
+// Each day the deployment probes a small, stable reference target set and
+// the monitor tracks which share of responses every worker captures. A
+// healthy site owns a roughly constant catchment share; a site whose share
+// collapses relative to its own baseline has lost its announcement or its
+// connectivity — exactly the failure the daily census must not silently
+// absorb (a vanished site deflates receiving-VP counts and miscounts
+// anycast).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/results.hpp"
+
+namespace laces::census {
+
+struct CanaryAlarm {
+  net::WorkerId worker = 0;
+  double baseline_share = 0.0;
+  double today_share = 0.0;
+};
+
+class CanaryMonitor {
+ public:
+  /// `alarm_drop`: alarm when a site's share falls below
+  /// (1 - alarm_drop) x its baseline. `min_baseline_share` ignores sites
+  /// that never carried meaningful traffic.
+  explicit CanaryMonitor(double alarm_drop = 0.8,
+                         double min_baseline_share = 0.005)
+      : alarm_drop_(alarm_drop), min_baseline_share_(min_baseline_share) {}
+
+  /// Record one canary measurement. Returns the alarms raised by this
+  /// observation compared to the baseline built from all prior ones.
+  std::vector<CanaryAlarm> observe(const core::MeasurementResults& results);
+
+  std::size_t days_observed() const { return days_; }
+  /// Baseline response share of a worker (mean over observed days).
+  double baseline_share(net::WorkerId worker) const;
+
+ private:
+  std::map<net::WorkerId, double> share_of(
+      const core::MeasurementResults& results) const;
+
+  double alarm_drop_;
+  double min_baseline_share_;
+  std::size_t days_ = 0;
+  std::map<net::WorkerId, double> share_sums_;
+};
+
+}  // namespace laces::census

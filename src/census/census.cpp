@@ -1,0 +1,47 @@
+#include "census/census.hpp"
+
+#include <algorithm>
+
+namespace laces::census {
+
+bool PrefixRecord::anycast_based_detected() const {
+  return std::any_of(anycast_based.begin(), anycast_based.end(),
+                     [](const auto& kv) {
+                       return kv.second.verdict == core::Verdict::kAnycast;
+                     });
+}
+
+std::uint32_t PrefixRecord::max_vp_count() const {
+  std::uint32_t best = 0;
+  for (const auto& [proto, obs] : anycast_based) {
+    best = std::max(best, obs.vp_count);
+  }
+  return best;
+}
+
+const PrefixRecord* DailyCensus::find(const net::Prefix& prefix) const {
+  const auto it = records.find(prefix);
+  return it == records.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Prefix> DailyCensus::published_prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, rec] : records) {
+    if (rec.anycast_based_detected() || rec.gcd_confirmed()) {
+      out.push_back(prefix);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::Prefix> DailyCensus::gcd_confirmed_prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, rec] : records) {
+    if (rec.gcd_confirmed()) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace laces::census

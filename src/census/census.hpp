@@ -1,0 +1,61 @@
+// Daily census data model (paper §4.2.4).
+//
+// For each prefix the census independently records the anycast-based
+// verdict per protocol and the GCD verdict (R1: confidence is conveyed by
+// listing both), the site estimates of each method, GCD geolocations, and
+// the partial-anycast flag.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "gcd/igreedy.hpp"
+#include "net/address.hpp"
+#include "net/protocol.hpp"
+
+namespace laces::census {
+
+/// Anycast-based observation for one protocol.
+struct ProtocolObservation {
+  core::Verdict verdict = core::Verdict::kUnresponsive;
+  std::uint32_t vp_count = 0;  // receiving VPs = anycast-based site estimate
+};
+
+/// Everything the census publishes about one prefix on one day.
+struct PrefixRecord {
+  net::Prefix prefix;
+  std::map<net::Protocol, ProtocolObservation> anycast_based;
+  std::optional<gcd::GcdVerdict> gcd_verdict;
+  std::uint32_t gcd_site_count = 0;
+  std::vector<geo::CityId> gcd_locations;
+  bool partial_anycast = false;
+
+  /// Anycast according to the anycast-based stage under any protocol.
+  bool anycast_based_detected() const;
+  /// Anycast according to the GCD stage.
+  bool gcd_confirmed() const {
+    return gcd_verdict && *gcd_verdict == gcd::GcdVerdict::kAnycast;
+  }
+  std::uint32_t max_vp_count() const;
+};
+
+/// One day's census output plus cost accounting.
+struct DailyCensus {
+  std::uint32_t day = 0;
+  std::unordered_map<net::Prefix, PrefixRecord, net::PrefixHash> records;
+  /// The candidate anycast-target list fed to the GCD stage (Figure 3).
+  std::vector<net::Prefix> anycast_targets;
+  std::uint64_t anycast_probes_sent = 0;
+  std::uint64_t gcd_probes_sent = 0;
+
+  const PrefixRecord* find(const net::Prefix& prefix) const;
+  /// Prefixes anycast by either method — what gets published.
+  std::vector<net::Prefix> published_prefixes() const;
+  std::vector<net::Prefix> gcd_confirmed_prefixes() const;
+};
+
+}  // namespace laces::census

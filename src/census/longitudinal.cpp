@@ -1,0 +1,72 @@
+#include "census/longitudinal.hpp"
+
+namespace laces::census {
+
+void LongitudinalStore::add(const DailyCensus& census) {
+  ++days_;
+  for (const auto& [prefix, rec] : census.records) {
+    if (rec.anycast_based_detected()) {
+      ++anycast_days_[prefix];
+      ++anycast_total_;
+    }
+    if (rec.gcd_confirmed()) {
+      ++gcd_days_[prefix];
+      ++gcd_total_;
+    }
+  }
+}
+
+StabilityStats LongitudinalStore::stability(
+    const std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>&
+        counts,
+    std::size_t total) const {
+  StabilityStats stats;
+  stats.days = days_;
+  stats.union_size = counts.size();
+  for (const auto& [prefix, n] : counts) {
+    if (n == days_) ++stats.every_day;
+  }
+  stats.daily_mean =
+      days_ == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(days_);
+  return stats;
+}
+
+StabilityStats LongitudinalStore::anycast_based_stability() const {
+  return stability(anycast_days_, anycast_total_);
+}
+
+StabilityStats LongitudinalStore::gcd_stability() const {
+  return stability(gcd_days_, gcd_total_);
+}
+
+std::size_t LongitudinalStore::gcd_days(const net::Prefix& prefix) const {
+  const auto it = gcd_days_.find(prefix);
+  return it == gcd_days_.end() ? 0 : it->second;
+}
+
+namespace {
+
+std::vector<net::Prefix> intermittent_of(
+    const std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>&
+        counts,
+    std::size_t days) {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, n] : counts) {
+    if (n < days) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<net::Prefix> LongitudinalStore::intermittent_anycast_based()
+    const {
+  return intermittent_of(anycast_days_, days_);
+}
+
+std::vector<net::Prefix> LongitudinalStore::intermittent_gcd() const {
+  return intermittent_of(gcd_days_, days_);
+}
+
+}  // namespace laces::census

@@ -1,0 +1,58 @@
+// Longitudinal census store and precision statistics (paper §5.1.6).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "census/census.hpp"
+
+namespace laces::census {
+
+/// Stability statistics over a sequence of daily censuses.
+struct StabilityStats {
+  std::size_t days = 0;
+  /// Union of prefixes ever detected by the method.
+  std::size_t union_size = 0;
+  /// Prefixes detected on every single day.
+  std::size_t every_day = 0;
+  /// Prefixes detected only on some days.
+  std::size_t intermittent() const { return union_size - every_day; }
+  /// Mean prefixes detected per day.
+  double daily_mean = 0.0;
+};
+
+/// Accumulates daily censuses and answers longitudinal queries.
+class LongitudinalStore {
+ public:
+  void add(const DailyCensus& census);
+
+  std::size_t days() const { return days_; }
+
+  /// Stability of the anycast-based detections.
+  StabilityStats anycast_based_stability() const;
+  /// Stability of the GCD-confirmed detections.
+  StabilityStats gcd_stability() const;
+
+  /// Days on which `prefix` was GCD-confirmed.
+  std::size_t gcd_days(const net::Prefix& prefix) const;
+
+  /// Prefixes detected on some but not all days, per method (sorted).
+  std::vector<net::Prefix> intermittent_anycast_based() const;
+  std::vector<net::Prefix> intermittent_gcd() const;
+
+ private:
+  StabilityStats stability(
+      const std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>&
+          counts,
+      std::size_t total) const;
+
+  std::size_t days_ = 0;
+  std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>
+      anycast_days_;
+  std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash> gcd_days_;
+  std::size_t anycast_total_ = 0;
+  std::size_t gcd_total_ = 0;
+};
+
+}  // namespace laces::census

@@ -1,0 +1,153 @@
+#include "census/output.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace laces::census {
+namespace {
+
+void append_protocol(std::string& line, const PrefixRecord& rec,
+                     net::Protocol protocol) {
+  const auto it = rec.anycast_based.find(protocol);
+  if (it == rec.anycast_based.end()) {
+    line += ",n/a,0";
+    return;
+  }
+  line += ",";
+  line += core::to_string(it->second.verdict);
+  line += ",";
+  line += std::to_string(it->second.vp_count);
+}
+
+}  // namespace
+
+std::string csv_header() {
+  return "prefix,icmp,icmp_vps,tcp,tcp_vps,udp,udp_vps,gcd,gcd_sites,"
+         "partial,locations";
+}
+
+std::string to_csv(const PrefixRecord& rec) {
+  std::string line = rec.prefix.to_string();
+  append_protocol(line, rec, net::Protocol::kIcmp);
+  append_protocol(line, rec, net::Protocol::kTcp);
+  append_protocol(line, rec, net::Protocol::kUdpDns);
+  line += ",";
+  line += rec.gcd_verdict ? gcd::to_string(*rec.gcd_verdict) : "n/a";
+  line += ",";
+  line += std::to_string(rec.gcd_site_count);
+  line += rec.partial_anycast ? ",partial" : ",full";
+  line += ",";
+  for (std::size_t i = 0; i < rec.gcd_locations.size(); ++i) {
+    if (i > 0) line += "|";
+    const auto& city = geo::city(rec.gcd_locations[i]);
+    line += std::string(city.name) + "/" + std::string(city.country);
+  }
+  return line;
+}
+
+void write_census(std::ostream& out, const DailyCensus& census) {
+  out << "# LACeS census day " << census.day << "\n" << csv_header() << "\n";
+  for (const auto& prefix : census.published_prefixes()) {
+    out << to_csv(*census.find(prefix)) << "\n";
+  }
+}
+
+std::string render_census(const DailyCensus& census) {
+  std::ostringstream out;
+  write_census(out, census);
+  return out.str();
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+core::Verdict parse_verdict(const std::string& s) {
+  if (s == "unicast") return core::Verdict::kUnicast;
+  if (s == "anycast") return core::Verdict::kAnycast;
+  return core::Verdict::kUnresponsive;
+}
+
+void parse_protocol_fields(PrefixRecord& rec, net::Protocol protocol,
+                           const std::string& verdict,
+                           const std::string& vps) {
+  if (verdict == "n/a") return;
+  rec.anycast_based[protocol] = ProtocolObservation{
+      parse_verdict(verdict),
+      static_cast<std::uint32_t>(std::stoul(vps))};
+}
+
+}  // namespace
+
+DailyCensus parse_census(std::istream& in) {
+  DailyCensus census;
+  std::string line;
+  // Comment line: "# LACeS census day N".
+  if (!std::getline(in, line) || line.rfind("# LACeS census day ", 0) != 0) {
+    throw std::runtime_error("census file: missing day header");
+  }
+  census.day = static_cast<std::uint32_t>(std::stoul(line.substr(19)));
+  if (!std::getline(in, line) || line != csv_header()) {
+    throw std::runtime_error("census file: bad column header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != 11) {
+      throw std::runtime_error("census file: bad field count: " + line);
+    }
+    PrefixRecord rec;
+    if (const auto p4 = net::Ipv4Prefix::parse(fields[0])) {
+      rec.prefix = *p4;
+    } else {
+      // IPv6 prefix: "<addr>/48".
+      const auto slash = fields[0].find('/');
+      const auto addr = net::Ipv6Address::parse(fields[0].substr(0, slash));
+      if (!addr || slash == std::string::npos) {
+        throw std::runtime_error("census file: bad prefix: " + fields[0]);
+      }
+      rec.prefix = net::Ipv6Prefix(
+          *addr, static_cast<std::uint8_t>(
+                     std::stoul(fields[0].substr(slash + 1))));
+    }
+    parse_protocol_fields(rec, net::Protocol::kIcmp, fields[1], fields[2]);
+    parse_protocol_fields(rec, net::Protocol::kTcp, fields[3], fields[4]);
+    parse_protocol_fields(rec, net::Protocol::kUdpDns, fields[5], fields[6]);
+    if (fields[7] != "n/a") {
+      if (fields[7] == "anycast") {
+        rec.gcd_verdict = gcd::GcdVerdict::kAnycast;
+      } else if (fields[7] == "unicast") {
+        rec.gcd_verdict = gcd::GcdVerdict::kUnicast;
+      } else {
+        rec.gcd_verdict = gcd::GcdVerdict::kUnresponsive;
+      }
+    }
+    rec.gcd_site_count = static_cast<std::uint32_t>(std::stoul(fields[8]));
+    rec.partial_anycast = fields[9] == "partial";
+    if (!fields[10].empty()) {
+      for (const auto& loc : split(fields[10], '|')) {
+        const auto slash = loc.find('/');
+        const auto city = geo::find_city(loc.substr(0, slash));
+        if (city) rec.gcd_locations.push_back(*city);
+      }
+    }
+    census.records.emplace(rec.prefix, std::move(rec));
+  }
+  return census;
+}
+
+}  // namespace laces::census

@@ -1,0 +1,32 @@
+// Census publication format (the public Git repository of §4.2.4).
+//
+// One CSV-style line per published prefix:
+//   prefix,icmp,icmp_vps,tcp,tcp_vps,udp,udp_vps,gcd,gcd_sites,partial,locations
+// where locations is a |-separated list of "City/CC" geolocations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "census/census.hpp"
+
+namespace laces::census {
+
+/// Header line of the publication format.
+std::string csv_header();
+
+/// One prefix's census line.
+std::string to_csv(const PrefixRecord& record);
+
+/// Writes the full census (published prefixes only, sorted) to `out`.
+void write_census(std::ostream& out, const DailyCensus& census);
+
+/// Renders the whole census to a string (convenience for tests/examples).
+std::string render_census(const DailyCensus& census);
+
+/// Parses a published census back (the consumer side of the public
+/// repository: longitudinal tooling reads prior days' files).
+/// Throws std::runtime_error on malformed input.
+DailyCensus parse_census(std::istream& in);
+
+}  // namespace laces::census

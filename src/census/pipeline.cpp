@@ -1,0 +1,148 @@
+#include "census/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace laces::census {
+
+Pipeline::Pipeline(topo::SimNetwork& network, core::Session& session,
+                   platform::UnicastPlatform ark_v4,
+                   platform::UnicastPlatform ark_v6, PipelineConfig config)
+    : network_(network),
+      session_(session),
+      ark_v4_(std::move(ark_v4)),
+      ark_v6_(std::move(ark_v6)),
+      config_(config) {
+  const auto& world = network_.world();
+  ping_v4_ = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+  ping_v6_ = hitlist::build_ping_hitlist(world, net::IpVersion::kV6);
+  dns_v4_ = hitlist::build_dns_hitlist(world, net::IpVersion::kV4);
+  dns_v6_ = hitlist::build_dns_hitlist(world, net::IpVersion::kV6);
+  for (const auto& hl : {ping_v4_, ping_v6_, dns_v4_, dns_v6_}) {
+    for (const auto& e : hl.entries()) {
+      rep_.emplace(net::Prefix::of(e.address), e.address);
+    }
+  }
+}
+
+const hitlist::Hitlist& Pipeline::ping_hitlist(net::IpVersion version) const {
+  return version == net::IpVersion::kV4 ? ping_v4_ : ping_v6_;
+}
+
+const hitlist::Hitlist& Pipeline::dns_hitlist(net::IpVersion version) const {
+  return version == net::IpVersion::kV4 ? dns_v4_ : dns_v6_;
+}
+
+std::optional<net::IpAddress> Pipeline::representative(
+    const net::Prefix& p) const {
+  const auto it = rep_.find(p);
+  if (it == rep_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Pipeline::extend_at_list(const std::vector<net::Prefix>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (at_set_.insert(p).second) at_list_.push_back(p);
+  }
+}
+
+void Pipeline::flag_partial_anycast(const std::vector<net::Prefix>& prefixes) {
+  partial_.insert(prefixes.begin(), prefixes.end());
+}
+
+DailyCensus Pipeline::run_day(std::uint32_t day) {
+  network_.set_day(day);
+  DailyCensus census;
+  census.day = day;
+  if (config_.ipv4) run_family(census, net::IpVersion::kV4, day);
+  if (config_.ipv6) run_family(census, net::IpVersion::kV6, day);
+  // Feed GCD-confirmed prefixes back into the persistent AT list.
+  extend_at_list(census.gcd_confirmed_prefixes());
+  for (auto& [prefix, rec] : census.records) {
+    rec.partial_anycast = partial_.contains(prefix);
+  }
+  return census;
+}
+
+void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
+                          std::uint32_t day) {
+  struct Stage {
+    net::Protocol protocol;
+    const hitlist::Hitlist* hitlist;
+    bool enabled;
+  };
+  const Stage stages[] = {
+      {net::Protocol::kIcmp, &ping_hitlist(version), config_.icmp},
+      {net::Protocol::kTcp, &ping_hitlist(version), config_.tcp},
+      {net::Protocol::kUdpDns, &dns_hitlist(version), config_.dns},
+  };
+
+  // --- Stage 1: anycast-based censuses per protocol ---
+  std::unordered_set<net::Prefix, net::PrefixHash> day_ats;
+  for (const auto& stage : stages) {
+    if (!stage.enabled || stage.hitlist->empty()) continue;
+    core::MeasurementSpec spec;
+    spec.id = next_measurement_++;
+    spec.protocol = stage.protocol;
+    spec.version = version;
+    spec.mode = core::ProbeMode::kAnycast;
+    spec.worker_offset = config_.worker_offset;
+    spec.targets_per_second = config_.targets_per_second;
+
+    const auto addrs = stage.hitlist->addresses();
+    const auto results = session_.run(spec, addrs);
+    census.anycast_probes_sent += results.probes_sent;
+    const auto classification = core::classify_anycast(results, addrs);
+    for (const auto& [prefix, obs] : classification) {
+      auto& rec = census.records[prefix];
+      rec.prefix = prefix;
+      rec.anycast_based[stage.protocol] = ProtocolObservation{
+          obs.verdict, static_cast<std::uint32_t>(obs.vp_count())};
+      if (obs.verdict == core::Verdict::kAnycast) day_ats.insert(prefix);
+    }
+  }
+
+  // --- Stage 2: assemble the AT list (today's + persistent feedback) ---
+  std::vector<net::Prefix> ats(day_ats.begin(), day_ats.end());
+  for (const auto& p : at_list_) {
+    if (p.version() == version && !day_ats.contains(p)) ats.push_back(p);
+  }
+  std::sort(ats.begin(), ats.end());
+  for (const auto& p : ats) {
+    if (p.version() == version) census.anycast_targets.push_back(p);
+  }
+
+  // --- Stage 3: GCD from Ark toward the ATs only (two orders of magnitude
+  // cheaper than a full-hitlist GCD run, §4.2.2) ---
+  std::vector<net::IpAddress> gcd_targets;
+  gcd_targets.reserve(ats.size());
+  for (const auto& p : ats) {
+    if (const auto addr = representative(p)) gcd_targets.push_back(*addr);
+  }
+  const auto& ark = version == net::IpVersion::kV4 ? ark_v4_ : ark_v6_;
+  if (!gcd_targets.empty() && !ark.vps.empty()) {
+    platform::LatencyOptions opts;
+    opts.protocol = config_.gcd_protocol;
+    opts.targets_per_second = config_.gcd_targets_per_second;
+    opts.measurement_id = next_measurement_++;
+    opts.run_seed = 0xa2c0 + day + (gcd_run_counter_++ << 8);
+    const auto latency =
+        platform::measure_latency(network_, ark, gcd_targets, opts);
+    census.gcd_probes_sent += latency.probes_sent;
+    const auto analyzer = gcd::make_analyzer(ark);
+    const auto gcd_cls = gcd::classify_gcd(analyzer, latency, gcd_targets);
+    for (const auto& [prefix, res] : gcd_cls) {
+      auto& rec = census.records[prefix];
+      rec.prefix = prefix;
+      rec.gcd_verdict = res.verdict;
+      rec.gcd_site_count = static_cast<std::uint32_t>(res.site_count());
+      rec.gcd_locations.clear();
+      for (const auto& site : res.sites) {
+        if (site.city) rec.gcd_locations.push_back(*site.city);
+      }
+    }
+  }
+}
+
+}  // namespace laces::census

@@ -1,0 +1,86 @@
+// The daily measurement pipeline of Figure 3.
+//
+//   anycast-based censuses (ICMP/TCP/DNS, v4+v6, from the anycast
+//   deployment) -> candidate anycast targets (AT) -> GCD measurements from
+//   Ark toward the ATs only -> merged daily output.
+//
+// The AT list is persistent and fed back (the purple arrow): prefixes found
+// by GCD — including the bi-annual full-hitlist GCD_Ark runs and operator
+// ground truth — stay on the list so anycast-based FNs remain covered.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "census/census.hpp"
+#include "core/session.hpp"
+#include "gcd/classify.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/latency.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+
+namespace laces::census {
+
+struct PipelineConfig {
+  bool icmp = true;
+  bool tcp = true;
+  bool dns = true;
+  bool ipv4 = true;
+  bool ipv6 = false;
+  /// Anycast-stage probing.
+  double targets_per_second = 20000.0;
+  SimDuration worker_offset = SimDuration::seconds(1);
+  /// GCD-stage probing.
+  net::Protocol gcd_protocol = net::Protocol::kIcmp;
+  double gcd_targets_per_second = 4000.0;
+};
+
+class Pipeline {
+ public:
+  /// `session` wraps the anycast deployment, `ark_v4`/`ark_v6` the latency
+  /// platforms (the paper's 163 production Ark nodes / 118 v6 nodes).
+  Pipeline(topo::SimNetwork& network, core::Session& session,
+           platform::UnicastPlatform ark_v4, platform::UnicastPlatform ark_v6,
+           PipelineConfig config = {});
+
+  /// Run the full pipeline for one day.
+  DailyCensus run_day(std::uint32_t day);
+
+  /// Seed the persistent AT list (GCD_Ark results, operator ground truth).
+  void extend_at_list(const std::vector<net::Prefix>& prefixes);
+
+  /// Flag prefixes as partial anycast (from the /32-granularity scan,
+  /// §5.6); subsequent censuses carry the flag.
+  void flag_partial_anycast(const std::vector<net::Prefix>& prefixes);
+
+  const std::vector<net::Prefix>& persistent_at_list() const {
+    return at_list_;
+  }
+
+  /// The hitlists the pipeline probes (rebuilt per construction).
+  const hitlist::Hitlist& ping_hitlist(net::IpVersion version) const;
+  const hitlist::Hitlist& dns_hitlist(net::IpVersion version) const;
+
+ private:
+  void run_family(DailyCensus& census, net::IpVersion version,
+                  std::uint32_t day);
+  /// Representative probe address for a census prefix.
+  std::optional<net::IpAddress> representative(const net::Prefix& p) const;
+
+  topo::SimNetwork& network_;
+  core::Session& session_;
+  platform::UnicastPlatform ark_v4_;
+  platform::UnicastPlatform ark_v6_;
+  PipelineConfig config_;
+  hitlist::Hitlist ping_v4_, ping_v6_, dns_v4_, dns_v6_;
+  std::unordered_map<net::Prefix, net::IpAddress, net::PrefixHash> rep_;
+  std::vector<net::Prefix> at_list_;
+  std::unordered_set<net::Prefix, net::PrefixHash> at_set_;
+  std::unordered_set<net::Prefix, net::PrefixHash> partial_;
+  net::MeasurementId next_measurement_ = 100;
+  std::uint64_t gcd_run_counter_ = 0;
+};
+
+}  // namespace laces::census

@@ -1,0 +1,59 @@
+#include "census/trigger.hpp"
+
+#include <algorithm>
+
+#include "core/classify.hpp"
+
+namespace laces::census {
+
+TriggerEngine::TriggerEngine(
+    core::Session& session, platform::UnicastPlatform gcd_vps,
+    std::unordered_map<net::Prefix, net::IpAddress, net::PrefixHash>
+        representatives)
+    : session_(session),
+      gcd_vps_(std::move(gcd_vps)),
+      reps_(std::move(representatives)) {}
+
+TriggerScanResult TriggerEngine::react(
+    const std::vector<topo::World::BgpUpdate>& updates) {
+  TriggerScanResult out;
+
+  std::vector<net::IpAddress> targets;
+  for (const auto& update : updates) {
+    if (!update.announced) continue;  // withdrawals need no probing
+    const auto it = reps_.find(update.prefix);
+    if (it == reps_.end()) continue;  // not in our hitlists
+    out.measured.push_back(update.prefix);
+    targets.push_back(it->second);
+  }
+  std::sort(out.measured.begin(), out.measured.end());
+  if (targets.empty()) return out;
+
+  // Targeted anycast-based measurement: tiny hitlist, full deployment.
+  core::MeasurementSpec spec;
+  spec.id = next_id_++;
+  spec.targets_per_second = 1000;
+  const auto results = session_.run(spec, targets);
+  out.probes_sent += results.probes_sent;
+  const auto classification = core::classify_anycast(results, targets);
+  out.anycast_based = core::anycast_targets(classification);
+
+  // GCD confirmation of the hits only.
+  std::vector<net::IpAddress> gcd_targets;
+  for (const auto& prefix : out.anycast_based) {
+    gcd_targets.push_back(reps_.at(prefix));
+  }
+  if (!gcd_targets.empty() && !gcd_vps_.vps.empty()) {
+    platform::LatencyOptions opts;
+    opts.measurement_id = next_id_++;
+    const auto latency = platform::measure_latency(session_.network(),
+                                                   gcd_vps_, gcd_targets, opts);
+    out.probes_sent += latency.probes_sent;
+    const auto analyzer = gcd::make_analyzer(gcd_vps_);
+    out.gcd_confirmed = gcd::gcd_anycast_prefixes(
+        gcd::classify_gcd(analyzer, latency, gcd_targets));
+  }
+  return out;
+}
+
+}  // namespace laces::census

@@ -1,0 +1,54 @@
+// Trigger-based detection of temporary anycast (paper §6 future work:
+// "trigger-based detection of temporary anycast — e.g., from BGP route
+// collectors").
+//
+// A daily census misses anycast that lives for hours (Imperva-style
+// on-demand DDoS mitigation, §5.6/§5.7). Route collectors see those
+// prefixes (re)announced, though: this engine consumes a BGP-update feed,
+// runs a targeted anycast-based measurement toward just the updated
+// prefixes, and GCD-confirms the hits — catching short-lived anycast at a
+// probing cost proportional to the day's churn, not the hitlist.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.hpp"
+#include "gcd/classify.hpp"
+#include "platform/latency.hpp"
+#include "topo/world.hpp"
+
+namespace laces::census {
+
+struct TriggerScanResult {
+  /// Prefixes re-measured because of BGP updates.
+  std::vector<net::Prefix> measured;
+  /// Of those, confirmed anycast by the anycast-based stage.
+  std::vector<net::Prefix> anycast_based;
+  /// Of those, confirmed by GCD.
+  std::vector<net::Prefix> gcd_confirmed;
+  std::uint64_t probes_sent = 0;
+};
+
+class TriggerEngine {
+ public:
+  /// `representatives` maps census prefixes to their probe address (from
+  /// the hitlists).
+  TriggerEngine(core::Session& session, platform::UnicastPlatform gcd_vps,
+                std::unordered_map<net::Prefix, net::IpAddress,
+                                   net::PrefixHash>
+                    representatives);
+
+  /// React to a day's BGP updates: measure every announced prefix.
+  /// Withdrawn prefixes are recorded but not probed (nothing to confirm).
+  TriggerScanResult react(
+      const std::vector<topo::World::BgpUpdate>& updates);
+
+ private:
+  core::Session& session_;
+  platform::UnicastPlatform gcd_vps_;
+  std::unordered_map<net::Prefix, net::IpAddress, net::PrefixHash> reps_;
+  net::MeasurementId next_id_ = 0x7716;
+};
+
+}  // namespace laces::census

@@ -1,0 +1,74 @@
+#include "core/channel.hpp"
+
+namespace laces::core {
+namespace {
+
+Sha256Digest frame_mac(const std::string& key,
+                       std::span<const std::uint8_t> payload) {
+  return hmac_sha256(
+      std::span(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      payload);
+}
+
+}  // namespace
+
+void Channel::send(const Message& message) {
+  if (!open_) return;
+  auto peer = peer_.lock();
+  if (!peer) return;
+  auto payload = encode_message(message);
+  auto mac = frame_mac(key_, payload);
+  events_->schedule_after(
+      latency_, [peer, payload = std::move(payload), mac]() mutable {
+        peer->deliver_frame(std::move(payload), mac);
+      });
+}
+
+void Channel::deliver_frame(std::vector<std::uint8_t> payload,
+                            Sha256Digest mac) {
+  if (!open_) return;
+  if (!digest_equal(mac, frame_mac(key_, payload))) {
+    ++auth_failures_;
+    return;
+  }
+  Message msg;
+  try {
+    msg = decode_message(payload);
+  } catch (const DecodeError&) {
+    ++auth_failures_;
+    return;
+  }
+  if (on_message_) on_message_(msg);
+}
+
+void Channel::close() {
+  if (!open_) return;
+  open_ = false;
+  if (auto peer = peer_.lock()) {
+    events_->schedule_after(latency_, [peer]() { peer->peer_closed(); });
+  }
+}
+
+void Channel::peer_closed() {
+  if (!open_) return;
+  open_ = false;
+  if (on_close_) on_close_();
+}
+
+std::pair<std::shared_ptr<Channel>, std::shared_ptr<Channel>>
+make_channel_pair(EventQueue& events, std::string key_a, std::string key_b,
+                  SimDuration latency) {
+  auto a = std::shared_ptr<Channel>(new Channel());
+  auto b = std::shared_ptr<Channel>(new Channel());
+  a->events_ = &events;
+  b->events_ = &events;
+  a->latency_ = latency;
+  b->latency_ = latency;
+  a->key_ = std::move(key_a);
+  b->key_ = std::move(key_b);
+  a->peer_ = b;
+  b->peer_ = a;
+  return {a, b};
+}
+
+}  // namespace laces::core

@@ -1,0 +1,68 @@
+// Authenticated control-plane channel (paper R8).
+//
+// Frames carry an HMAC-SHA256 tag over the encoded message; an endpoint
+// whose key does not match the sender's silently drops frames (and counts
+// them), so an unauthenticated party can neither inject measurements nor
+// forge results. Delivery is asynchronous over the shared EventQueue with
+// a configurable control-plane latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/messages.hpp"
+#include "util/event_queue.hpp"
+#include "util/sha256.hpp"
+
+namespace laces::core {
+
+class Channel : public std::enable_shared_from_this<Channel> {
+ public:
+  using MessageHandler = std::function<void(const Message&)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Encode, sign and schedule delivery at the peer. No-op if closed.
+  void send(const Message& message);
+
+  void set_message_handler(MessageHandler handler) {
+    on_message_ = std::move(handler);
+  }
+  void set_close_handler(CloseHandler handler) {
+    on_close_ = std::move(handler);
+  }
+
+  /// Close this end and (after the link latency) notify the peer.
+  void close();
+
+  bool is_open() const { return open_; }
+  /// Frames dropped because their MAC did not verify.
+  std::uint64_t auth_failures() const { return auth_failures_; }
+
+ private:
+  friend std::pair<std::shared_ptr<Channel>, std::shared_ptr<Channel>>
+  make_channel_pair(EventQueue& events, std::string key_a, std::string key_b,
+                    SimDuration latency);
+
+  void deliver_frame(std::vector<std::uint8_t> payload, Sha256Digest mac);
+  void peer_closed();
+
+  EventQueue* events_ = nullptr;
+  SimDuration latency_{};
+  std::string key_;
+  std::weak_ptr<Channel> peer_;
+  MessageHandler on_message_;
+  CloseHandler on_close_;
+  bool open_ = true;
+  std::uint64_t auth_failures_ = 0;
+};
+
+/// Creates a connected channel pair. Endpoints authenticate each other only
+/// if `key_a == key_b`; unequal keys model an impostor (its frames are
+/// dropped at the other end).
+std::pair<std::shared_ptr<Channel>, std::shared_ptr<Channel>>
+make_channel_pair(EventQueue& events, std::string key_a, std::string key_b,
+                  SimDuration latency = SimDuration::millis(40));
+
+}  // namespace laces::core

@@ -1,0 +1,57 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+
+namespace laces::core {
+
+std::string_view to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kUnresponsive:
+      return "unresponsive";
+    case Verdict::kUnicast:
+      return "unicast";
+    case Verdict::kAnycast:
+      return "anycast";
+  }
+  return "?";
+}
+
+AnycastClassification classify_anycast(
+    const MeasurementResults& results,
+    const std::vector<net::IpAddress>& probed) {
+  AnycastClassification out;
+  out.reserve(probed.size());
+  for (const auto& addr : probed) {
+    out.emplace(net::Prefix::of(addr), AnycastObservation{});
+  }
+  for (const auto& rec : results.records) {
+    auto& obs = out[net::Prefix::of(rec.target)];
+    ++obs.responses;
+    if (std::find(obs.rx_workers.begin(), obs.rx_workers.end(),
+                  rec.rx_worker) == obs.rx_workers.end()) {
+      obs.rx_workers.push_back(rec.rx_worker);
+    }
+  }
+  for (auto& [prefix, obs] : out) {
+    std::sort(obs.rx_workers.begin(), obs.rx_workers.end());
+    if (obs.rx_workers.empty()) {
+      obs.verdict = Verdict::kUnresponsive;
+    } else if (obs.rx_workers.size() == 1) {
+      obs.verdict = Verdict::kUnicast;
+    } else {
+      obs.verdict = Verdict::kAnycast;
+    }
+  }
+  return out;
+}
+
+std::vector<net::Prefix> anycast_targets(const AnycastClassification& c) {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, obs] : c) {
+    if (obs.verdict == Verdict::kAnycast) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace laces::core

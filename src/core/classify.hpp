@@ -1,0 +1,47 @@
+// Anycast-based classification (paper §2.2, §5.1.3).
+//
+// A prefix whose responses arrive at one worker is unicast; at multiple
+// workers, anycast (the receiving-VP count is the anycast-based site
+// estimate and the confidence signal of Table 3); no responses at all,
+// unresponsive.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/results.hpp"
+#include "net/address.hpp"
+
+namespace laces::core {
+
+enum class Verdict : std::uint8_t { kUnresponsive, kUnicast, kAnycast };
+
+std::string_view to_string(Verdict v);
+
+/// Per-prefix observation from one anycast-mode measurement.
+struct AnycastObservation {
+  Verdict verdict = Verdict::kUnresponsive;
+  /// Distinct workers that captured responses, sorted.
+  std::vector<net::WorkerId> rx_workers;
+  /// Total responses captured for the prefix.
+  std::uint32_t responses = 0;
+
+  std::size_t vp_count() const { return rx_workers.size(); }
+};
+
+using AnycastClassification =
+    std::unordered_map<net::Prefix, AnycastObservation, net::PrefixHash>;
+
+/// Classify measurement results. `probed` supplies the full target list so
+/// unresponsive prefixes appear with Verdict::kUnresponsive.
+AnycastClassification classify_anycast(
+    const MeasurementResults& results,
+    const std::vector<net::IpAddress>& probed);
+
+/// The anycast-target (AT) list: prefixes classified anycast (Figure 3's
+/// red list feeding the GCD stage).
+std::vector<net::Prefix> anycast_targets(const AnycastClassification& c);
+
+}  // namespace laces::core

@@ -1,0 +1,77 @@
+#include "core/cli.hpp"
+
+#include <algorithm>
+
+#include "core/orchestrator.hpp"
+
+namespace laces::core {
+
+void Cli::connect(std::shared_ptr<Channel> channel) {
+  channel_ = std::move(channel);
+  channel_->set_message_handler([this](const Message& m) { on_message(m); });
+}
+
+void Cli::submit(const MeasurementSpec& spec,
+                 const std::vector<net::IpAddress>& targets) {
+  results_ = MeasurementResults{};
+  results_.measurement = spec.id;
+  current_ = spec.id;
+  finished_ = false;
+  workers_lost_ = 0;
+
+  channel_->send(SubmitMeasurement{spec});
+  // Upload the hitlist; the Orchestrator buffers it (workers never do).
+  std::size_t index = 0;
+  while (index < targets.size()) {
+    const std::size_t n =
+        std::min(Orchestrator::kChunkSize, targets.size() - index);
+    TargetChunk chunk;
+    chunk.measurement = spec.id;
+    chunk.base_index = index;
+    chunk.targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(index),
+                         targets.begin() + static_cast<std::ptrdiff_t>(index + n));
+    channel_->send(chunk);
+    index += n;
+  }
+  channel_->send(EndOfTargets{spec.id});
+}
+
+void Cli::abort() {
+  if (channel_ && channel_->is_open()) channel_->send(Abort{current_});
+}
+
+void Cli::disconnect() {
+  if (channel_) channel_->close();
+}
+
+MeasurementResults Cli::take_results() { return std::move(results_); }
+
+void Cli::on_message(const Message& message) {
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ResultBatch>) {
+          if (m.measurement != current_) return;
+          if (results_.records.empty() && !m.records.empty()) {
+            results_.started = m.records.front().rx_time;
+          }
+          results_.records.insert(results_.records.end(), m.records.begin(),
+                                  m.records.end());
+          results_.probes_sent += m.probes_sent;
+          if (std::find(results_.workers.begin(), results_.workers.end(),
+                        m.worker) == results_.workers.end()) {
+            results_.workers.push_back(m.worker);
+          }
+          if (!m.records.empty()) {
+            results_.finished = m.records.back().rx_time;
+          }
+        } else if constexpr (std::is_same_v<T, MeasurementComplete>) {
+          if (m.measurement != current_) return;
+          workers_lost_ = m.workers_lost;
+          finished_ = true;
+        }
+      },
+      message);
+}
+
+}  // namespace laces::core

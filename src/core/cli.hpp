@@ -1,0 +1,45 @@
+// CLI: submits a measurement to the Orchestrator and aggregates the result
+// stream into a single MeasurementResults (the "single file" of §4.1.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/measurement.hpp"
+#include "core/results.hpp"
+
+namespace laces::core {
+
+class Cli {
+ public:
+  /// Attach the channel to the Orchestrator.
+  void connect(std::shared_ptr<Channel> channel);
+
+  /// Submit `spec` with the given target list. Results accumulate as
+  /// events are pumped; finished() turns true on MeasurementComplete.
+  void submit(const MeasurementSpec& spec,
+              const std::vector<net::IpAddress>& targets);
+
+  /// Abort the in-flight measurement (misconfiguration guard, R3).
+  void abort();
+
+  /// Disconnecting the CLI also cancels the measurement (paper §4.1.3).
+  void disconnect();
+
+  bool finished() const { return finished_; }
+  const MeasurementResults& results() const { return results_; }
+  MeasurementResults take_results();
+  std::uint16_t workers_lost() const { return workers_lost_; }
+
+ private:
+  void on_message(const Message& message);
+
+  std::shared_ptr<Channel> channel_;
+  MeasurementResults results_;
+  net::MeasurementId current_ = 0;
+  bool finished_ = false;
+  std::uint16_t workers_lost_ = 0;
+};
+
+}  // namespace laces::core

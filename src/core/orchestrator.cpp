@@ -1,0 +1,204 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+
+namespace laces::core {
+namespace {
+
+/// Streaming lead: chunks arrive at workers this long before the first
+/// probe in the chunk is due.
+constexpr SimDuration kStreamLead = SimDuration::millis(500);
+
+}  // namespace
+
+Orchestrator::Orchestrator(EventQueue& events) : events_(events) {}
+
+std::size_t Orchestrator::connected_workers() const {
+  std::size_t n = 0;
+  for (const auto& w : workers_) {
+    if (w->alive && w->registered) ++n;
+  }
+  return n;
+}
+
+void Orchestrator::accept_worker(std::shared_ptr<Channel> channel) {
+  auto conn = std::make_unique<WorkerConn>();
+  conn->channel = std::move(channel);
+  WorkerConn* raw = conn.get();
+  conn->channel->set_message_handler(
+      [this, raw](const Message& m) { on_worker_message(*raw, m); });
+  conn->channel->set_close_handler([this, raw]() { on_worker_closed(*raw); });
+  workers_.push_back(std::move(conn));
+}
+
+void Orchestrator::attach_cli(std::shared_ptr<Channel> channel) {
+  cli_ = std::move(channel);
+  cli_->set_message_handler([this](const Message& m) { on_cli_message(m); });
+  cli_->set_close_handler([this]() { on_cli_closed(); });
+}
+
+void Orchestrator::on_worker_message(WorkerConn& worker,
+                                     const Message& message) {
+  std::visit(
+      [this, &worker](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, WorkerHello>) {
+          worker.registered = true;
+          worker.name = m.worker_name;
+          worker.id = next_worker_id_++;
+          worker.channel->send(HelloAck{worker.id});
+        } else if constexpr (std::is_same_v<T, ResultBatch>) {
+          // Aggregation: results stream through to the CLI immediately.
+          if (cli_ && cli_->is_open()) cli_->send(m);
+        } else if constexpr (std::is_same_v<T, WorkerDone>) {
+          if (run_ && m.measurement == run_->spec.id) {
+            worker.done = true;
+            check_completion();
+          }
+        }
+      },
+      message);
+}
+
+void Orchestrator::on_worker_closed(WorkerConn& worker) {
+  worker.alive = false;
+  // A lost worker must not stall the measurement (R5): the run completes
+  // with the remaining workers.
+  if (run_ && worker.participating && !worker.done) {
+    ++run_->lost;
+    check_completion();
+  }
+}
+
+void Orchestrator::on_cli_message(const Message& message) {
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SubmitMeasurement>) {
+          // Orphan any paced stream events of a replaced run.
+          ++stream_generation_;
+          run_ = std::make_unique<Run>();
+          run_->spec = m.spec;
+        } else if constexpr (std::is_same_v<T, TargetChunk>) {
+          if (run_ && m.measurement == run_->spec.id) {
+            run_->hitlist.insert(run_->hitlist.end(), m.targets.begin(),
+                                 m.targets.end());
+          }
+        } else if constexpr (std::is_same_v<T, EndOfTargets>) {
+          if (run_ && m.measurement == run_->spec.id &&
+              !run_->hitlist_complete) {
+            run_->hitlist_complete = true;
+            begin_run();
+          }
+        } else if constexpr (std::is_same_v<T, Abort>) {
+          if (run_ && m.measurement == run_->spec.id) abort_run();
+        }
+      },
+      message);
+}
+
+void Orchestrator::on_cli_closed() {
+  // Disconnecting the CLI cancels a misconfigured measurement (R3).
+  if (run_) abort_run();
+  cli_.reset();
+}
+
+void Orchestrator::begin_run() {
+  auto& run = *run_;
+  const SimTime start_time = events_.now() + kStreamLead + kStreamLead;
+
+  std::uint16_t index = 0;
+  std::uint16_t count = 0;
+  for (const auto& w : workers_) {
+    if (w->alive && w->registered) ++count;
+  }
+  if (run.spec.max_participants > 0) {
+    count = std::min(count, run.spec.max_participants);
+  }
+  for (auto& w : workers_) w->participating = false;
+  for (auto& w : workers_) {
+    if (!w->alive || !w->registered || index >= count) continue;
+    w->participating = true;
+    w->done = false;
+    StartMeasurement start;
+    start.spec = run.spec;
+    start.participant_index = index++;
+    start.participant_count = count;
+    start.anycast_source = run.spec.version == net::IpVersion::kV4
+                               ? anycast_v4_
+                               : anycast_v6_;
+    start.start_time = start_time;
+    w->channel->send(start);
+  }
+  run.participants = count;
+  run.start_time = start_time;
+  ++stream_generation_;
+  stream_step();
+}
+
+void Orchestrator::stream_step() {
+  if (!run_ || run_->streaming_done) return;
+  auto& run = *run_;
+
+  if (run.next_index >= run.hitlist.size()) {
+    run.streaming_done = true;
+    for (auto& w : workers_) {
+      if (w->alive && w->participating) {
+        w->channel->send(EndOfTargets{run.spec.id});
+      }
+    }
+    check_completion();
+    return;
+  }
+
+  const std::size_t n =
+      std::min(kChunkSize, run.hitlist.size() - run.next_index);
+  TargetChunk chunk;
+  chunk.measurement = run.spec.id;
+  chunk.base_index = run.next_index;
+  chunk.targets.assign(run.hitlist.begin() + static_cast<std::ptrdiff_t>(run.next_index),
+                       run.hitlist.begin() +
+                           static_cast<std::ptrdiff_t>(run.next_index + n));
+  for (auto& w : workers_) {
+    if (w->alive && w->participating) w->channel->send(chunk);
+  }
+  run.next_index += n;
+
+  // Pace the stream so chunk k arrives kStreamLead before its first probe.
+  const double rate = std::max(1.0, run.spec.targets_per_second);
+  const SimTime next_send =
+      run.start_time +
+      SimDuration::from_seconds(static_cast<double>(run.next_index) / rate) -
+      kStreamLead;
+  const std::uint64_t generation = stream_generation_;
+  events_.schedule_at(next_send, [this, generation]() {
+    if (generation == stream_generation_) stream_step();
+  });
+}
+
+void Orchestrator::check_completion() {
+  if (!run_ || !run_->streaming_done || run_->completed) return;
+  for (const auto& w : workers_) {
+    if (w->participating && w->alive && !w->done) return;
+  }
+  run_->completed = true;
+  if (cli_ && cli_->is_open()) {
+    cli_->send(MeasurementComplete{run_->spec.id, run_->participants,
+                                   run_->lost});
+  }
+  run_.reset();
+}
+
+void Orchestrator::abort_run() {
+  if (!run_) return;
+  ++stream_generation_;  // cancel pending stream steps
+  for (auto& w : workers_) {
+    if (w->alive && w->participating) {
+      w->channel->send(Abort{run_->spec.id});
+      w->participating = false;
+    }
+  }
+  run_.reset();
+}
+
+}  // namespace laces::core

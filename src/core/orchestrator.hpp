@@ -1,0 +1,85 @@
+// Orchestrator: the central controller (paper §4.1.1-§4.1.2).
+//
+// Accepts Worker registrations, takes a measurement + hitlist from the CLI,
+// buffers the hitlist (workers never hold it, R10), streams paced target
+// chunks to every worker for synchronized probing, forwards result streams
+// to the CLI, and completes measurements even when workers drop out mid-run
+// (R5). A CLI disconnect aborts the ongoing measurement (R3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/measurement.hpp"
+#include "util/event_queue.hpp"
+
+namespace laces::core {
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(EventQueue& events);
+
+  /// Accept a worker connection (expects WorkerHello as first message).
+  void accept_worker(std::shared_ptr<Channel> channel);
+
+  /// Attach the CLI connection.
+  void attach_cli(std::shared_ptr<Channel> channel);
+
+  /// Configure the deployment's anycast addresses handed to workers as the
+  /// probe source for anycast-mode measurements.
+  void set_anycast_addresses(net::IpAddress v4, net::IpAddress v6) {
+    anycast_v4_ = v4;
+    anycast_v6_ = v6;
+  }
+
+  std::size_t connected_workers() const;
+  bool measurement_active() const { return run_ != nullptr; }
+
+  /// Chunk size used when streaming the hitlist to workers.
+  static constexpr std::size_t kChunkSize = 512;
+
+ private:
+  struct WorkerConn {
+    std::shared_ptr<Channel> channel;
+    net::WorkerId id = 0;
+    std::string name;
+    bool registered = false;
+    bool participating = false;
+    bool done = false;
+    bool alive = true;
+  };
+
+  struct Run {
+    MeasurementSpec spec;
+    std::vector<net::IpAddress> hitlist;
+    bool hitlist_complete = false;
+    bool streaming_done = false;
+    std::uint64_t next_index = 0;
+    std::uint16_t participants = 0;
+    std::uint16_t lost = 0;
+    bool completed = false;
+    SimTime start_time;
+  };
+
+  void on_worker_message(WorkerConn& worker, const Message& message);
+  void on_worker_closed(WorkerConn& worker);
+  void on_cli_message(const Message& message);
+  void on_cli_closed();
+  void begin_run();
+  void stream_step();
+  void check_completion();
+  void abort_run();
+
+  EventQueue& events_;
+  std::vector<std::unique_ptr<WorkerConn>> workers_;
+  std::shared_ptr<Channel> cli_;
+  net::IpAddress anycast_v4_;
+  net::IpAddress anycast_v6_;
+  std::unique_ptr<Run> run_;
+  net::WorkerId next_worker_id_ = 1;
+  std::uint64_t stream_generation_ = 0;
+};
+
+}  // namespace laces::core

@@ -1,0 +1,42 @@
+#include "core/precheck.hpp"
+
+#include <unordered_set>
+
+namespace laces::core {
+
+PrecheckedCensus run_prechecked_census(
+    Session& session, MeasurementSpec spec,
+    const std::vector<net::IpAddress>& targets) {
+  PrecheckedCensus out;
+  out.stats.targets_total = targets.size();
+  out.stats.full_cost_estimate =
+      static_cast<std::uint64_t>(targets.size()) * session.worker_count();
+
+  // Phase 1: one worker probes everything once.
+  MeasurementSpec precheck = spec;
+  precheck.id = spec.id - 1;
+  precheck.max_participants = 1;
+  const auto phase1 = session.run(precheck, targets);
+  out.stats.precheck_probes = phase1.probes_sent;
+
+  std::unordered_set<net::IpAddress, net::IpAddressHash> responsive;
+  for (const auto& rec : phase1.records) responsive.insert(rec.target);
+
+  std::vector<net::IpAddress> responders;
+  responders.reserve(responsive.size());
+  for (const auto& addr : targets) {
+    if (responsive.contains(addr)) responders.push_back(addr);
+  }
+  out.stats.targets_responsive = responders.size();
+
+  // Phase 2: the synchronized census over responders only.
+  out.results = session.run(spec, responders);
+  out.stats.census_probes = out.results.probes_sent;
+
+  // Classify against the FULL target list so dropped prefixes appear as
+  // unresponsive, exactly as in a direct census.
+  out.classification = classify_anycast(out.results, targets);
+  return out;
+}
+
+}  // namespace laces::core

@@ -1,0 +1,52 @@
+// Responsiveness pre-check (paper §6 future work: "check responsiveness
+// from a single VP before probing from all VPs").
+//
+// A full anycast census spends |hitlist| x |workers| probes, most of them
+// on targets that never answer. Pre-checking with ONE worker first and
+// running the synchronized census only against responders cuts the probing
+// budget roughly by (1 - responsive_share) x (N-1)/N while leaving the
+// classification unchanged — unresponsive targets cannot contribute
+// receiving-VP evidence anyway.
+#pragma once
+
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/session.hpp"
+
+namespace laces::core {
+
+struct PrecheckStats {
+  std::size_t targets_total = 0;
+  std::size_t targets_responsive = 0;
+  std::uint64_t precheck_probes = 0;
+  std::uint64_t census_probes = 0;
+  /// Probes a direct full census would have cost.
+  std::uint64_t full_cost_estimate = 0;
+
+  std::uint64_t total_probes() const {
+    return precheck_probes + census_probes;
+  }
+  double savings() const {
+    if (full_cost_estimate == 0) return 0.0;
+    return 1.0 - static_cast<double>(total_probes()) /
+                     static_cast<double>(full_cost_estimate);
+  }
+};
+
+struct PrecheckedCensus {
+  MeasurementResults results;
+  AnycastClassification classification;
+  PrecheckStats stats;
+};
+
+/// Runs `spec` in two phases on `session`: a single-worker responsiveness
+/// probe over all `targets`, then the full synchronized measurement over
+/// the responders only. Prefixes dropped by the pre-check classify
+/// unresponsive. `spec.id` is used for the census phase; the pre-check
+/// uses `spec.id - 1` (both must be unused).
+PrecheckedCensus run_prechecked_census(
+    Session& session, MeasurementSpec spec,
+    const std::vector<net::IpAddress>& targets);
+
+}  // namespace laces::core

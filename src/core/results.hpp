@@ -1,0 +1,43 @@
+// Probe results: what workers stream back and the CLI aggregates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/probe.hpp"
+#include "net/protocol.hpp"
+#include "util/simtime.hpp"
+
+namespace laces::core {
+
+/// One captured response, annotated with receive-side context.
+struct ProbeRecord {
+  net::IpAddress target;      // the responding (probed) address
+  net::Protocol protocol = net::Protocol::kIcmp;
+  net::WorkerId rx_worker = 0;
+  /// Sending worker, decoded from the echoed probe fields (absent for
+  /// static probes, which carry no worker identity).
+  std::optional<net::WorkerId> tx_worker;
+  SimTime rx_time;
+  /// Round-trip time, available when the receiving worker also sent the
+  /// probe (unicast/GCD mode keeps precise local transmit state).
+  std::optional<SimDuration> rtt;
+  /// CHAOS TXT site identity, when the probe asked for one.
+  std::optional<std::string> txt;
+};
+
+/// Aggregated output of one measurement (the single file of §4.1.2).
+struct MeasurementResults {
+  net::MeasurementId measurement = 0;
+  std::vector<ProbeRecord> records;
+  /// Workers that participated (ids as assigned by the Orchestrator).
+  std::vector<net::WorkerId> workers;
+  /// Probes sent across all workers (probing-cost accounting, Table 5).
+  std::uint64_t probes_sent = 0;
+  SimTime started;
+  SimTime finished;
+};
+
+}  // namespace laces::core

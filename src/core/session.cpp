@@ -1,0 +1,46 @@
+#include "core/session.hpp"
+
+namespace laces::core {
+
+Session::Session(topo::SimNetwork& network,
+                 const platform::AnycastPlatform& platform,
+                 SessionOptions options)
+    : network_(network), platform_(platform) {
+  auto& events = network_.events();
+  orchestrator_ = std::make_unique<Orchestrator>(events);
+  orchestrator_->set_anycast_addresses(platform_.anycast_v4,
+                                       platform_.anycast_v6);
+
+  for (const auto& site : platform_.sites) {
+    auto worker = std::make_unique<Worker>(site.name, site, network_);
+    auto [worker_end, orch_end] =
+        make_channel_pair(events, options.key, options.key,
+                          options.control_latency);
+    orchestrator_->accept_worker(orch_end);
+    worker->connect(worker_end);
+    workers_.push_back(std::move(worker));
+  }
+
+  cli_ = std::make_unique<Cli>();
+  auto [cli_end, orch_cli_end] = make_channel_pair(
+      events, options.key, options.key, options.control_latency);
+  orchestrator_->attach_cli(orch_cli_end);
+  cli_->connect(cli_end);
+
+  // Let registrations settle before the first measurement.
+  events.run();
+}
+
+void Session::submit(const MeasurementSpec& spec,
+                     const std::vector<net::IpAddress>& targets) {
+  cli_->submit(spec, targets);
+}
+
+MeasurementResults Session::run(const MeasurementSpec& spec,
+                                const std::vector<net::IpAddress>& targets) {
+  submit(spec, targets);
+  network_.events().run();
+  return cli_->take_results();
+}
+
+}  // namespace laces::core

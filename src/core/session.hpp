@@ -1,0 +1,57 @@
+// Session: wires a full MAnycastR instance onto one anycast platform.
+//
+// Owns the Orchestrator, one Worker per platform site, the CLI, and the
+// authenticated channels between them — the whole Figure 3 control plane —
+// and drives measurements to completion on the simulated event loop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/measurement.hpp"
+#include "core/orchestrator.hpp"
+#include "core/worker.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+
+namespace laces::core {
+
+struct SessionOptions {
+  /// Shared channel-authentication key (R8).
+  std::string key = "laces-census-key";
+  SimDuration control_latency = SimDuration::millis(40);
+};
+
+class Session {
+ public:
+  Session(topo::SimNetwork& network, const platform::AnycastPlatform& platform,
+          SessionOptions options = {});
+
+  /// Run one measurement to completion and return the aggregated results.
+  MeasurementResults run(const MeasurementSpec& spec,
+                         const std::vector<net::IpAddress>& targets);
+
+  /// Submit without pumping the event loop (async use: failure injection
+  /// mid-measurement). Drive with network().events().run() and read
+  /// cli().results() once cli().finished().
+  void submit(const MeasurementSpec& spec,
+              const std::vector<net::IpAddress>& targets);
+
+  Worker& worker(std::size_t index) { return *workers_[index]; }
+  std::size_t worker_count() const { return workers_.size(); }
+  Orchestrator& orchestrator() { return *orchestrator_; }
+  Cli& cli() { return *cli_; }
+  topo::SimNetwork& network() { return network_; }
+  const platform::AnycastPlatform& platform() const { return platform_; }
+
+ private:
+  topo::SimNetwork& network_;
+  platform::AnycastPlatform platform_;
+  std::unique_ptr<Orchestrator> orchestrator_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Cli> cli_;
+};
+
+}  // namespace laces::core

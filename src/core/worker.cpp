@@ -1,0 +1,231 @@
+#include "core/worker.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace laces::core {
+namespace {
+
+constexpr std::size_t kResultBatchSize = 256;
+
+std::uint64_t pending_key(const net::IpAddress& target) {
+  return net::hash_value(target);
+}
+
+}  // namespace
+
+Worker::Worker(std::string name, platform::Site site,
+               topo::SimNetwork& network, SimDuration drain)
+    : name_(std::move(name)),
+      site_(std::move(site)),
+      network_(network),
+      drain_(drain),
+      rng_(StableHash(0x30b).mix(name_).value()) {}
+
+Worker::~Worker() { teardown_active(); }
+
+void Worker::connect(std::shared_ptr<Channel> channel) {
+  channel_ = std::move(channel);
+  channel_->set_message_handler(
+      [this](const Message& m) { on_message(m); });
+  channel_->set_close_handler([this]() { teardown_active(); });
+  channel_->send(WorkerHello{name_});
+}
+
+void Worker::disconnect() {
+  if (channel_) channel_->close();
+  teardown_active();
+}
+
+void Worker::teardown_active() {
+  if (!active_) return;
+  for (const std::uint64_t iface : active_->interfaces) {
+    network_.detach(iface);
+  }
+  active_.reset();
+  ++generation_;  // orphan any still-scheduled probe events
+}
+
+void Worker::on_message(const Message& message) {
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, HelloAck>) {
+          id_ = m.worker_id;
+        } else if constexpr (std::is_same_v<T, StartMeasurement>) {
+          handle_start(m);
+        } else if constexpr (std::is_same_v<T, TargetChunk>) {
+          handle_chunk(m);
+        } else if constexpr (std::is_same_v<T, EndOfTargets>) {
+          handle_end(m);
+        } else if constexpr (std::is_same_v<T, Abort>) {
+          handle_abort(m.measurement);
+        }
+      },
+      message);
+}
+
+void Worker::handle_start(const StartMeasurement& start) {
+  teardown_active();
+  active_ = std::make_unique<Active>();
+  active_->start = start;
+
+  const bool v4 = start.spec.version == net::IpVersion::kV4;
+  if (start.spec.mode == ProbeMode::kAnycast) {
+    active_->source = start.anycast_source;
+  } else {
+    active_->source = v4 ? site_.unicast_v4 : site_.unicast_v6;
+  }
+
+  // Announce the source address here; responses whose catchment selects
+  // this site will be delivered to us.
+  active_->interfaces.push_back(network_.attach(
+      active_->source, site_.attach,
+      [this](const net::Datagram& d, SimTime t) { on_datagram(d, t); }));
+}
+
+void Worker::handle_chunk(const TargetChunk& chunk) {
+  if (!active_ || chunk.measurement != active_->start.spec.id) return;
+  const auto& start = active_->start;
+  const double rate = std::max(1.0, start.spec.targets_per_second);
+
+  for (std::size_t j = 0; j < chunk.targets.size(); ++j) {
+    const std::uint64_t index = chunk.base_index + j;
+    const SimTime when =
+        start.start_time +
+        SimDuration::from_seconds(static_cast<double>(index) / rate) +
+        start.spec.worker_offset *
+            static_cast<std::int64_t>(start.participant_index);
+    ++active_->scheduled_unsent;
+    if (when > active_->last_probe_time) active_->last_probe_time = when;
+    const net::IpAddress target = chunk.targets[j];
+    const std::uint64_t generation = generation_;
+    network_.events().schedule_at(when, [this, target, generation]() {
+      if (generation != generation_ || !active_) return;
+      send_probe(target);
+      --active_->scheduled_unsent;
+      maybe_finish();
+    });
+  }
+}
+
+void Worker::send_probe(const net::IpAddress& target) {
+  auto& a = *active_;
+  const auto& spec = a.start.spec;
+
+  net::ProbeEncoding enc;
+  enc.measurement = spec.id;
+  enc.salt = static_cast<std::uint32_t>(rng_());
+  if (spec.vary_payload) {
+    enc.worker = id_;
+    enc.tx_time_ns = network_.now().ns();
+  } else {
+    enc.salt = 0;  // byte-identical probes across all workers (§5.1.4)
+  }
+
+  net::Datagram probe;
+  switch (spec.protocol) {
+    case net::Protocol::kIcmp:
+      probe = net::build_icmp_probe(a.source, target, enc, spec.vary_payload);
+      break;
+    case net::Protocol::kTcp:
+      probe = net::build_tcp_probe(a.source, target, enc);
+      break;
+    case net::Protocol::kUdpDns:
+      probe = spec.chaos ? net::build_chaos_probe(a.source, target, enc)
+                         : net::build_dns_probe(a.source, target, enc);
+      break;
+  }
+
+  a.pending_tx[pending_key(target)] = network_.now();
+  network_.send(probe, site_.attach);
+  ++a.probes_sent_delta;
+  ++probes_sent_total_;
+}
+
+void Worker::on_datagram(const net::Datagram& datagram, SimTime rx_time) {
+  if (!active_) return;
+  auto& a = *active_;
+  const auto parsed = net::parse_response(datagram, a.start.spec.id);
+  if (!parsed) return;  // not ours: wrong measurement, malformed, scan noise
+
+  ProbeRecord rec;
+  rec.target = parsed->target;
+  rec.protocol = parsed->protocol;
+  rec.rx_worker = id_;
+  rec.tx_worker = parsed->encoding.worker;
+  rec.rx_time = rx_time;
+  rec.txt = parsed->txt_answer;
+
+  // Precise RTT only for our own probes (we hold the transmit state).
+  if (parsed->encoding.worker && *parsed->encoding.worker == id_) {
+    const auto it = a.pending_tx.find(pending_key(parsed->target));
+    if (it != a.pending_tx.end()) {
+      rec.rtt = rx_time - it->second;
+      a.pending_tx.erase(it);
+    }
+  }
+
+  a.buffer.push_back(std::move(rec));
+  if (a.buffer.size() >= kResultBatchSize) flush_results(false);
+}
+
+void Worker::flush_results(bool force) {
+  if (!active_ || !channel_ || !channel_->is_open()) return;
+  auto& a = *active_;
+  if (a.buffer.empty() && !force) return;
+  ResultBatch batch;
+  batch.measurement = a.start.spec.id;
+  batch.worker = id_;
+  batch.records = std::move(a.buffer);
+  a.buffer.clear();
+  batch.probes_sent = a.probes_sent_delta;
+  a.probes_sent_delta = 0;
+  channel_->send(batch);
+}
+
+void Worker::handle_end(const EndOfTargets& end) {
+  if (!active_ || end.measurement != active_->start.spec.id) return;
+  active_->end_received = true;
+  maybe_finish();
+}
+
+void Worker::handle_abort(net::MeasurementId measurement) {
+  if (!active_ || measurement != active_->start.spec.id) return;
+  flush_results(true);
+  teardown_active();
+}
+
+void Worker::maybe_finish() {
+  if (!active_ || !active_->end_received || active_->scheduled_unsent > 0 ||
+      active_->done_sent) {
+    return;
+  }
+  active_->done_sent = true;
+  // Keep the anycast announcement up and keep capturing until EVERY worker
+  // has finished probing, not just this one: withdrawing early would shift
+  // catchments mid-measurement and corrupt other workers' probes. The
+  // global end is this worker's last probe plus the remaining offset slots.
+  const auto& start = active_->start;
+  const std::int64_t slots_after_me =
+      static_cast<std::int64_t>(start.participant_count) - 1 -
+      static_cast<std::int64_t>(start.participant_index);
+  SimTime finish_at = active_->last_probe_time +
+                      start.spec.worker_offset * std::max<std::int64_t>(
+                                                     0, slots_after_me) +
+                      drain_;
+  if (finish_at < network_.now()) finish_at = network_.now();
+  const std::uint64_t generation = generation_;
+  const net::MeasurementId meas = active_->start.spec.id;
+  network_.events().schedule_at(finish_at, [this, generation, meas]() {
+    if (generation != generation_ || !active_) return;
+    flush_results(true);
+    if (channel_ && channel_->is_open()) {
+      channel_->send(WorkerDone{meas, id_});
+    }
+    teardown_active();
+  });
+}
+
+}  // namespace laces::core

@@ -1,0 +1,84 @@
+// Worker: the per-site probing component (paper §4.1.1).
+//
+// A Worker lives at one anycast site. For each measurement it attaches the
+// probe source address to the network at its site (announcing the anycast
+// prefix there), sends one probe per hitlist target at its assigned offset
+// slot, validates captured responses against the echoed probe encoding, and
+// streams results to the Orchestrator immediately — it stores neither the
+// hitlist nor results (R10).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/measurement.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+#include "util/rng.hpp"
+
+namespace laces::core {
+
+class Worker {
+ public:
+  /// `drain` is how long the worker keeps listening after its last probe.
+  Worker(std::string name, platform::Site site, topo::SimNetwork& network,
+         SimDuration drain = SimDuration::seconds(3));
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Register with the Orchestrator over `channel` (sends WorkerHello).
+  void connect(std::shared_ptr<Channel> channel);
+
+  /// Simulate a site outage: closes the channel and withdraws all announced
+  /// addresses (R5). Ongoing probing stops.
+  void disconnect();
+
+  const std::string& name() const { return name_; }
+  const platform::Site& site() const { return site_; }
+  net::WorkerId id() const { return id_; }
+  bool connected() const { return channel_ && channel_->is_open(); }
+  std::uint64_t probes_sent() const { return probes_sent_total_; }
+
+ private:
+  struct Active {
+    StartMeasurement start;
+    net::IpAddress source;
+    std::vector<std::uint64_t> interfaces;
+    std::unordered_map<std::uint64_t, SimTime> pending_tx;  // RTT state
+    std::vector<ProbeRecord> buffer;
+    std::uint64_t probes_sent_delta = 0;
+    std::uint64_t scheduled_unsent = 0;
+    bool end_received = false;
+    bool done_sent = false;
+    SimTime last_probe_time;
+  };
+
+  void on_message(const Message& message);
+  void handle_start(const StartMeasurement& start);
+  void handle_chunk(const TargetChunk& chunk);
+  void handle_end(const EndOfTargets& end);
+  void handle_abort(net::MeasurementId measurement);
+  void send_probe(const net::IpAddress& target);
+  void on_datagram(const net::Datagram& datagram, SimTime rx_time);
+  void flush_results(bool force);
+  void maybe_finish();
+  void teardown_active();
+
+  std::string name_;
+  platform::Site site_;
+  topo::SimNetwork& network_;
+  SimDuration drain_;
+  std::shared_ptr<Channel> channel_;
+  net::WorkerId id_ = 0;
+  std::unique_ptr<Active> active_;
+  Rng rng_;
+  std::uint64_t probes_sent_total_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates scheduled probes on teardown
+};
+
+}  // namespace laces::core

@@ -1,0 +1,63 @@
+#include "gcd/classify.hpp"
+
+#include <algorithm>
+
+namespace laces::gcd {
+
+GcdAnalyzer make_analyzer(const platform::UnicastPlatform& platform,
+                          GcdOptions options) {
+  std::vector<geo::GeoPoint> locations;
+  locations.reserve(platform.vps.size());
+  for (const auto& vp : platform.vps) {
+    locations.push_back(geo::city(vp.city).location);
+  }
+  return GcdAnalyzer(std::move(locations), options);
+}
+
+GcdClassification classify_gcd(const GcdAnalyzer& analyzer,
+                               const platform::LatencyResults& latency,
+                               const std::vector<net::IpAddress>& probed) {
+  std::unordered_map<net::Prefix, std::vector<Observation>, net::PrefixHash>
+      grouped;
+  grouped.reserve(probed.size());
+  for (const auto& addr : probed) grouped[net::Prefix::of(addr)];
+  for (const auto& sample : latency.samples) {
+    grouped[net::Prefix::of(sample.target)].push_back(
+        Observation{sample.vp_index, sample.rtt_ms});
+  }
+
+  GcdClassification out;
+  out.reserve(grouped.size());
+  for (auto& [prefix, observations] : grouped) {
+    out.emplace(prefix, analyzer.analyze(observations));
+  }
+  return out;
+}
+
+GcdAddressClassification classify_gcd_per_address(
+    const GcdAnalyzer& analyzer, const platform::LatencyResults& latency) {
+  std::unordered_map<net::IpAddress, std::vector<Observation>,
+                     net::IpAddressHash>
+      grouped;
+  for (const auto& sample : latency.samples) {
+    grouped[sample.target].push_back(
+        Observation{sample.vp_index, sample.rtt_ms});
+  }
+  GcdAddressClassification out;
+  out.reserve(grouped.size());
+  for (auto& [addr, observations] : grouped) {
+    out.emplace(addr, analyzer.analyze(observations));
+  }
+  return out;
+}
+
+std::vector<net::Prefix> gcd_anycast_prefixes(const GcdClassification& c) {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, result] : c) {
+    if (result.verdict == GcdVerdict::kAnycast) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace laces::gcd

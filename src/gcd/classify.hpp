@@ -1,0 +1,38 @@
+// Prefix-level GCD classification: latency measurement -> iGreedy verdicts.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "gcd/igreedy.hpp"
+#include "platform/latency.hpp"
+#include "platform/platform.hpp"
+
+namespace laces::gcd {
+
+using GcdClassification =
+    std::unordered_map<net::Prefix, GcdResult, net::PrefixHash>;
+
+/// Analyzer bound to a unicast platform's VP geometry.
+GcdAnalyzer make_analyzer(const platform::UnicastPlatform& platform,
+                          GcdOptions options = {});
+
+/// Groups RTT samples per probed census prefix and runs iGreedy on each.
+/// Prefixes of `probed` addresses with no samples classify unresponsive.
+GcdClassification classify_gcd(const GcdAnalyzer& analyzer,
+                               const platform::LatencyResults& latency,
+                               const std::vector<net::IpAddress>& probed);
+
+/// Prefixes whose GCD verdict is anycast, sorted.
+std::vector<net::Prefix> gcd_anycast_prefixes(const GcdClassification& c);
+
+/// Per-address classification for /32-granularity scans (§5.6): unlike
+/// classify_gcd, observations are NOT merged per census prefix — a /24
+/// mixing unicast and anycast addresses keeps distinct verdicts.
+using GcdAddressClassification =
+    std::unordered_map<net::IpAddress, GcdResult, net::IpAddressHash>;
+
+GcdAddressClassification classify_gcd_per_address(
+    const GcdAnalyzer& analyzer, const platform::LatencyResults& latency);
+
+}  // namespace laces::gcd

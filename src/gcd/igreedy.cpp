@@ -1,0 +1,151 @@
+#include "gcd/igreedy.hpp"
+
+#include <algorithm>
+
+#include "geo/disc.hpp"
+#include "geo/lightspeed.hpp"
+#include "util/contracts.hpp"
+
+namespace laces::gcd {
+namespace {
+
+/// Valid observations sorted by ascending disc radius (iGreedy order:
+/// tighter discs pin sites more precisely and are chosen first).
+std::vector<Observation> usable_sorted(std::span<const Observation> obs,
+                                       double max_rtt_ms) {
+  std::vector<Observation> out;
+  out.reserve(obs.size());
+  for (const auto& o : obs) {
+    if (o.rtt_ms > 0.0 && o.rtt_ms <= max_rtt_ms) out.push_back(o);
+  }
+  std::sort(out.begin(), out.end(), [](const Observation& a, const Observation& b) {
+    if (a.rtt_ms != b.rtt_ms) return a.rtt_ms < b.rtt_ms;
+    return a.vp < b.vp;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(GcdVerdict v) {
+  switch (v) {
+    case GcdVerdict::kUnresponsive:
+      return "unresponsive";
+    case GcdVerdict::kUnicast:
+      return "unicast";
+    case GcdVerdict::kAnycast:
+      return "anycast";
+  }
+  return "?";
+}
+
+GcdAnalyzer::GcdAnalyzer(std::vector<geo::GeoPoint> vp_locations,
+                         GcdOptions options)
+    : vps_(std::move(vp_locations)), options_(options) {
+  const std::size_t n = vps_.size();
+  vp_dist_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const float d = static_cast<float>(geo::distance_km(vps_[i], vps_[j]));
+      vp_dist_[i * n + j] = d;
+      vp_dist_[j * n + i] = d;
+    }
+  }
+  if (options_.geolocate) {
+    const auto cities = geo::world_cities();
+    city_dist_.resize(n * cities.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < cities.size(); ++c) {
+        city_dist_[i * cities.size() + c] = static_cast<float>(
+            geo::distance_km(vps_[i], cities[c].location));
+      }
+    }
+  }
+}
+
+std::optional<geo::CityId> GcdAnalyzer::geolocate(std::uint32_t vp,
+                                                  double radius_km) const {
+  const auto cities = geo::world_cities();
+  std::optional<geo::CityId> best;
+  std::uint32_t best_pop = 0;
+  const float* row = city_dist_.data() + std::size_t{vp} * cities.size();
+  for (std::size_t c = 0; c < cities.size(); ++c) {
+    if (row[c] <= radius_km && cities[c].population > best_pop) {
+      best = static_cast<geo::CityId>(c);
+      best_pop = cities[c].population;
+    }
+  }
+  return best;
+}
+
+GcdResult GcdAnalyzer::analyze(std::span<const Observation> obs) const {
+  GcdResult result;
+  const auto usable = usable_sorted(obs, options_.max_rtt_ms);
+  if (usable.empty()) return result;  // unresponsive
+
+  // Greedy maximum independent set over discs, smallest radius first.
+  // Overlap tests are O(1): pairwise VP distances are precomputed.
+  const std::size_t n = vps_.size();
+  std::vector<std::pair<std::uint32_t, double>> selected;  // (vp, radius)
+  for (const auto& o : usable) {
+    expects(o.vp < n, "observation vp within analyzer's VP set");
+    const double radius = geo::max_one_way_km(o.rtt_ms);
+    const bool independent = std::all_of(
+        selected.begin(), selected.end(), [&](const auto& site) {
+          return vp_dist_[std::size_t{o.vp} * n + site.first] >
+                 radius + site.second + options_.disjoint_slack_km;
+        });
+    if (independent) selected.emplace_back(o.vp, radius);
+  }
+
+  result.verdict =
+      selected.size() >= 2 ? GcdVerdict::kAnycast : GcdVerdict::kUnicast;
+  result.sites.reserve(selected.size());
+  for (const auto& [vp, radius] : selected) {
+    SiteEstimate site;
+    site.vp = vp;
+    site.radius_km = radius;
+    if (options_.geolocate) site.city = geolocate(vp, radius);
+    result.sites.push_back(site);
+  }
+  return result;
+}
+
+GcdResult analyze_naive(std::span<const geo::GeoPoint> vp_locations,
+                        std::span<const Observation> obs,
+                        const GcdOptions& options) {
+  GcdResult result;
+  const auto usable = usable_sorted(obs, options.max_rtt_ms);
+  if (usable.empty()) return result;
+
+  std::vector<geo::Disc> selected_discs;
+  std::vector<std::uint32_t> selected_vps;
+  for (const auto& o : usable) {
+    expects(o.vp < vp_locations.size(), "vp index in range");
+    const geo::Disc disc{vp_locations[o.vp], geo::max_one_way_km(o.rtt_ms)};
+    const bool independent = std::all_of(
+        selected_discs.begin(), selected_discs.end(), [&](const geo::Disc& d) {
+          return geo::distance_km(disc.center, d.center) >
+                 disc.radius_km + d.radius_km + options.disjoint_slack_km;
+        });
+    if (independent) {
+      selected_discs.push_back(disc);
+      selected_vps.push_back(o.vp);
+    }
+  }
+
+  result.verdict = selected_discs.size() >= 2 ? GcdVerdict::kAnycast
+                                              : GcdVerdict::kUnicast;
+  for (std::size_t i = 0; i < selected_discs.size(); ++i) {
+    SiteEstimate site;
+    site.vp = selected_vps[i];
+    site.radius_km = selected_discs[i].radius_km;
+    if (options.geolocate) {
+      site.city = geo::most_populous_within(selected_discs[i]);
+    }
+    result.sites.push_back(site);
+  }
+  return result;
+}
+
+}  // namespace laces::gcd

@@ -1,0 +1,93 @@
+// iGreedy: GCD-based anycast detection, enumeration and geolocation
+// (Cicalese et al. 2015; paper §2.1, §4.1).
+//
+// Each (VP, RTT) pair bounds the target inside a disc of radius
+// RTT/2 x speed-of-light-in-fibre around the VP. Two disjoint discs are a
+// speed-of-light violation: the target must exist in both, so it is
+// anycast. Enumeration greedily selects a maximum independent set of discs
+// (smallest radius first), one anycast site per selected disc; geolocation
+// places each site at the most populous city inside its disc.
+//
+// GcdAnalyzer is the paper's re-engineered implementation ("reduces
+// processing time from hours to minutes"): pairwise VP distances and
+// VP-to-city distances are precomputed once per VP set, so per-target
+// analysis does no trigonometry. analyze_naive() is the reference
+// implementation used to validate it and to benchmark the speedup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/cities.hpp"
+#include "geo/coord.hpp"
+#include "net/address.hpp"
+
+namespace laces::gcd {
+
+/// One latency observation at one vantage point.
+struct Observation {
+  std::uint32_t vp = 0;  // index into the analyzer's VP list
+  double rtt_ms = 0.0;
+};
+
+enum class GcdVerdict : std::uint8_t { kUnresponsive, kUnicast, kAnycast };
+
+std::string_view to_string(GcdVerdict v);
+
+/// One enumerated anycast site.
+struct SiteEstimate {
+  std::uint32_t vp = 0;        // the VP whose disc selected this site
+  double radius_km = 0.0;      // disc radius (RTT-derived)
+  std::optional<geo::CityId> city;  // population-based geolocation
+};
+
+struct GcdResult {
+  GcdVerdict verdict = GcdVerdict::kUnresponsive;
+  std::vector<SiteEstimate> sites;
+
+  std::size_t site_count() const { return sites.size(); }
+};
+
+struct GcdOptions {
+  /// Observations with RTTs above this are treated as measurement noise.
+  double max_rtt_ms = 800.0;
+  /// Discs get this slack (km) before being called disjoint, absorbing
+  /// timestamping error without giving up violations across oceans.
+  double disjoint_slack_km = 10.0;
+  /// Run the population-based geolocation step.
+  bool geolocate = true;
+};
+
+/// Fast analyzer bound to a fixed VP set.
+class GcdAnalyzer {
+ public:
+  /// `vp_locations[i]` is the location of VP index i as used in
+  /// Observation::vp.
+  explicit GcdAnalyzer(std::vector<geo::GeoPoint> vp_locations,
+                       GcdOptions options = {});
+
+  /// Analyze one target's observations.
+  GcdResult analyze(std::span<const Observation> observations) const;
+
+  std::size_t vp_count() const { return vps_.size(); }
+  const GcdOptions& options() const { return options_; }
+
+ private:
+  std::optional<geo::CityId> geolocate(std::uint32_t vp,
+                                       double radius_km) const;
+
+  std::vector<geo::GeoPoint> vps_;
+  GcdOptions options_;
+  std::vector<float> vp_dist_;    // pairwise VP distances, row-major
+  std::vector<float> city_dist_;  // [vp][city] distances, row-major
+};
+
+/// Reference implementation: identical semantics, recomputes all distances
+/// per call. Used by tests (equivalence) and the perf ablation bench.
+GcdResult analyze_naive(std::span<const geo::GeoPoint> vp_locations,
+                        std::span<const Observation> observations,
+                        const GcdOptions& options = {});
+
+}  // namespace laces::gcd

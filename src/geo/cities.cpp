@@ -1,0 +1,403 @@
+#include "geo/cities.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace laces::geo {
+namespace {
+
+constexpr auto NA = Continent::kNorthAmerica;
+constexpr auto SA = Continent::kSouthAmerica;
+constexpr auto EU = Continent::kEurope;
+constexpr auto AF = Continent::kAfrica;
+constexpr auto AS = Continent::kAsia;
+constexpr auto OC = Continent::kOceania;
+
+// Coordinates and metro populations are approximate; the simulator needs
+// plausible geography, not survey-grade data.
+constexpr City kCities[] = {
+    // --- North America ---
+    {"New York", "US", NA, {40.71, -74.01}, 18800000},
+    {"Newark", "US", NA, {40.74, -74.17}, 2800000},
+    {"Los Angeles", "US", NA, {34.05, -118.24}, 13200000},
+    {"Chicago", "US", NA, {41.88, -87.63}, 9500000},
+    {"Houston", "US", NA, {29.76, -95.37}, 7100000},
+    {"Phoenix", "US", NA, {33.45, -112.07}, 4900000},
+    {"Philadelphia", "US", NA, {39.95, -75.17}, 6100000},
+    {"San Antonio", "US", NA, {29.42, -98.49}, 2600000},
+    {"San Diego", "US", NA, {32.72, -117.16}, 3300000},
+    {"Dallas", "US", NA, {32.78, -96.80}, 7600000},
+    {"San Jose", "US", NA, {37.34, -121.89}, 2000000},
+    {"San Francisco", "US", NA, {37.77, -122.42}, 4700000},
+    {"Austin", "US", NA, {30.27, -97.74}, 2300000},
+    {"Jacksonville", "US", NA, {30.33, -81.66}, 1600000},
+    {"Columbus", "US", NA, {39.96, -83.00}, 2100000},
+    {"Charlotte", "US", NA, {35.23, -80.84}, 2700000},
+    {"Indianapolis", "US", NA, {39.77, -86.16}, 2100000},
+    {"Seattle", "US", NA, {47.61, -122.33}, 4000000},
+    {"Denver", "US", NA, {39.74, -104.99}, 3000000},
+    {"Washington", "US", NA, {38.91, -77.04}, 6400000},
+    {"Boston", "US", NA, {42.36, -71.06}, 4900000},
+    {"Nashville", "US", NA, {36.16, -86.78}, 2000000},
+    {"Detroit", "US", NA, {42.33, -83.05}, 4300000},
+    {"Portland", "US", NA, {45.52, -122.68}, 2500000},
+    {"Las Vegas", "US", NA, {36.17, -115.14}, 2300000},
+    {"Memphis", "US", NA, {35.15, -90.05}, 1300000},
+    {"Baltimore", "US", NA, {39.29, -76.61}, 2800000},
+    {"Milwaukee", "US", NA, {43.04, -87.91}, 1600000},
+    {"Albuquerque", "US", NA, {35.08, -106.65}, 900000},
+    {"Sacramento", "US", NA, {38.58, -121.49}, 2400000},
+    {"Kansas City", "US", NA, {39.10, -94.58}, 2200000},
+    {"Atlanta", "US", NA, {33.75, -84.39}, 6100000},
+    {"Miami", "US", NA, {25.76, -80.19}, 6200000},
+    {"Omaha", "US", NA, {41.26, -95.93}, 1000000},
+    {"Minneapolis", "US", NA, {44.98, -93.27}, 3700000},
+    {"New Orleans", "US", NA, {29.95, -90.07}, 1300000},
+    {"Cleveland", "US", NA, {41.50, -81.69}, 2100000},
+    {"Tampa", "US", NA, {27.95, -82.46}, 3200000},
+    {"Pittsburgh", "US", NA, {40.44, -79.99}, 2300000},
+    {"St. Louis", "US", NA, {38.63, -90.20}, 2800000},
+    {"Cincinnati", "US", NA, {39.10, -84.51}, 2300000},
+    {"Salt Lake City", "US", NA, {40.76, -111.89}, 1300000},
+    {"Orlando", "US", NA, {28.54, -81.38}, 2700000},
+    {"Honolulu", "US", NA, {21.31, -157.86}, 1000000},
+    {"Anchorage", "US", NA, {61.22, -149.90}, 400000},
+    {"Toronto", "CA", NA, {43.65, -79.38}, 6300000},
+    {"Montreal", "CA", NA, {45.50, -73.57}, 4300000},
+    {"Vancouver", "CA", NA, {49.28, -123.12}, 2600000},
+    {"Calgary", "CA", NA, {51.05, -114.07}, 1500000},
+    {"Ottawa", "CA", NA, {45.42, -75.70}, 1400000},
+    {"Edmonton", "CA", NA, {53.55, -113.49}, 1400000},
+    {"Winnipeg", "CA", NA, {49.90, -97.14}, 800000},
+    {"Quebec City", "CA", NA, {46.81, -71.21}, 800000},
+    {"Halifax", "CA", NA, {44.65, -63.58}, 450000},
+    {"Mexico City", "MX", NA, {19.43, -99.13}, 21800000},
+    {"Guadalajara", "MX", NA, {20.67, -103.35}, 5300000},
+    {"Monterrey", "MX", NA, {25.69, -100.32}, 5300000},
+    {"Tijuana", "MX", NA, {32.51, -117.04}, 2200000},
+    {"Cancun", "MX", NA, {21.16, -86.85}, 900000},
+    {"Havana", "CU", NA, {23.11, -82.37}, 2100000},
+    {"Santo Domingo", "DO", NA, {18.49, -69.93}, 3300000},
+    {"San Juan", "PR", NA, {18.47, -66.11}, 2400000},
+    {"Panama City", "PA", NA, {8.98, -79.52}, 1900000},
+    {"San Jose CR", "CR", NA, {9.93, -84.08}, 1400000},
+    {"Guatemala City", "GT", NA, {14.63, -90.51}, 3000000},
+    {"Kingston", "JM", NA, {18.02, -76.80}, 1200000},
+
+    // --- South America ---
+    {"Sao Paulo", "BR", SA, {-23.55, -46.63}, 22400000},
+    {"Rio de Janeiro", "BR", SA, {-22.91, -43.17}, 13500000},
+    {"Brasilia", "BR", SA, {-15.79, -47.88}, 4700000},
+    {"Salvador", "BR", SA, {-12.97, -38.50}, 3900000},
+    {"Fortaleza", "BR", SA, {-3.72, -38.54}, 4100000},
+    {"Belo Horizonte", "BR", SA, {-19.92, -43.94}, 6000000},
+    {"Manaus", "BR", SA, {-3.12, -60.02}, 2600000},
+    {"Curitiba", "BR", SA, {-25.43, -49.27}, 3700000},
+    {"Recife", "BR", SA, {-8.05, -34.88}, 4100000},
+    {"Porto Alegre", "BR", SA, {-30.03, -51.23}, 4300000},
+    {"Buenos Aires", "AR", SA, {-34.60, -58.38}, 15400000},
+    {"Cordoba", "AR", SA, {-31.42, -64.19}, 1600000},
+    {"Rosario", "AR", SA, {-32.95, -60.64}, 1400000},
+    {"Santiago", "CL", SA, {-33.45, -70.67}, 6800000},
+    {"Valparaiso", "CL", SA, {-33.05, -71.62}, 1000000},
+    {"Lima", "PE", SA, {-12.05, -77.04}, 10700000},
+    {"Bogota", "CO", SA, {4.71, -74.07}, 10900000},
+    {"Medellin", "CO", SA, {6.25, -75.56}, 4000000},
+    {"Cali", "CO", SA, {3.45, -76.53}, 2800000},
+    {"Caracas", "VE", SA, {10.48, -66.90}, 2900000},
+    {"Quito", "EC", SA, {-0.18, -78.47}, 2000000},
+    {"Guayaquil", "EC", SA, {-2.19, -79.89}, 3000000},
+    {"La Paz", "BO", SA, {-16.49, -68.12}, 1800000},
+    {"Montevideo", "UY", SA, {-34.90, -56.16}, 1700000},
+    {"Asuncion", "PY", SA, {-25.26, -57.58}, 2300000},
+
+    // --- Europe ---
+    {"London", "GB", EU, {51.51, -0.13}, 14300000},
+    {"Manchester", "GB", EU, {53.48, -2.24}, 2800000},
+    {"Birmingham", "GB", EU, {52.49, -1.89}, 2900000},
+    {"Glasgow", "GB", EU, {55.86, -4.25}, 1700000},
+    {"Edinburgh", "GB", EU, {55.95, -3.19}, 900000},
+    {"Dublin", "IE", EU, {53.35, -6.26}, 2100000},
+    {"Paris", "FR", EU, {48.86, 2.35}, 13000000},
+    {"Lyon", "FR", EU, {45.76, 4.84}, 2300000},
+    {"Marseille", "FR", EU, {43.30, 5.37}, 1900000},
+    {"Toulouse", "FR", EU, {43.60, 1.44}, 1400000},
+    {"Madrid", "ES", EU, {40.42, -3.70}, 6700000},
+    {"Barcelona", "ES", EU, {41.39, 2.17}, 5600000},
+    {"Valencia", "ES", EU, {39.47, -0.38}, 1800000},
+    {"Seville", "ES", EU, {37.39, -5.98}, 1500000},
+    {"Lisbon", "PT", EU, {38.72, -9.14}, 2900000},
+    {"Porto", "PT", EU, {41.15, -8.61}, 1700000},
+    {"Amsterdam", "NL", EU, {52.37, 4.89}, 2500000},
+    {"Rotterdam", "NL", EU, {51.92, 4.48}, 1800000},
+    {"The Hague", "NL", EU, {52.08, 4.30}, 1100000},
+    {"Brussels", "BE", EU, {50.85, 4.35}, 2100000},
+    {"Antwerp", "BE", EU, {51.22, 4.40}, 1100000},
+    {"Luxembourg", "LU", EU, {49.61, 6.13}, 650000},
+    {"Frankfurt", "DE", EU, {50.11, 8.68}, 2700000},
+    {"Berlin", "DE", EU, {52.52, 13.40}, 4500000},
+    {"Munich", "DE", EU, {48.14, 11.58}, 2900000},
+    {"Hamburg", "DE", EU, {53.55, 9.99}, 3100000},
+    {"Cologne", "DE", EU, {50.94, 6.96}, 2100000},
+    {"Stuttgart", "DE", EU, {48.78, 9.18}, 2700000},
+    {"Dusseldorf", "DE", EU, {51.23, 6.78}, 1600000},
+    {"Leipzig", "DE", EU, {51.34, 12.37}, 1000000},
+    {"Zurich", "CH", EU, {47.37, 8.55}, 1500000},
+    {"Geneva", "CH", EU, {46.20, 6.14}, 1000000},
+    {"Vienna", "AT", EU, {48.21, 16.37}, 2900000},
+    {"Prague", "CZ", EU, {50.08, 14.42}, 2700000},
+    {"Brno", "CZ", EU, {49.20, 16.61}, 700000},
+    {"Bratislava", "SK", EU, {48.15, 17.11}, 700000},
+    {"Budapest", "HU", EU, {47.50, 19.04}, 3000000},
+    {"Warsaw", "PL", EU, {52.23, 21.01}, 3100000},
+    {"Krakow", "PL", EU, {50.06, 19.94}, 1500000},
+    {"Wroclaw", "PL", EU, {51.11, 17.03}, 1200000},
+    {"Gdansk", "PL", EU, {54.35, 18.65}, 1100000},
+    {"Copenhagen", "DK", EU, {55.68, 12.57}, 2100000},
+    {"Aarhus", "DK", EU, {56.16, 10.20}, 950000},
+    {"Stockholm", "SE", EU, {59.33, 18.07}, 2400000},
+    {"Gothenburg", "SE", EU, {57.71, 11.97}, 1100000},
+    {"Oslo", "NO", EU, {59.91, 10.75}, 1600000},
+    {"Helsinki", "FI", EU, {60.17, 24.94}, 1500000},
+    {"Reykjavik", "IS", EU, {64.15, -21.94}, 240000},
+    {"Rome", "IT", EU, {41.90, 12.50}, 4300000},
+    {"Milan", "IT", EU, {45.46, 9.19}, 4300000},
+    {"Naples", "IT", EU, {40.85, 14.27}, 3100000},
+    {"Turin", "IT", EU, {45.07, 7.69}, 1700000},
+    {"Athens", "GR", EU, {37.98, 23.73}, 3600000},
+    {"Thessaloniki", "GR", EU, {40.64, 22.94}, 1100000},
+    {"Bucharest", "RO", EU, {44.43, 26.10}, 2300000},
+    {"Sofia", "BG", EU, {42.70, 23.32}, 1700000},
+    {"Belgrade", "RS", EU, {44.79, 20.45}, 1700000},
+    {"Zagreb", "HR", EU, {45.81, 15.98}, 1100000},
+    {"Ljubljana", "SI", EU, {46.06, 14.51}, 540000},
+    {"Sarajevo", "BA", EU, {43.86, 18.41}, 550000},
+    {"Skopje", "MK", EU, {41.99, 21.43}, 600000},
+    {"Tirana", "AL", EU, {41.33, 19.82}, 900000},
+    {"Kyiv", "UA", EU, {50.45, 30.52}, 3500000},
+    {"Kharkiv", "UA", EU, {49.99, 36.23}, 1400000},
+    {"Odesa", "UA", EU, {46.48, 30.73}, 1000000},
+    {"Lviv", "UA", EU, {49.84, 24.03}, 750000},
+    {"Minsk", "BY", EU, {53.90, 27.56}, 2000000},
+    {"Moscow", "RU", EU, {55.76, 37.62}, 17100000},
+    {"Saint Petersburg", "RU", EU, {59.93, 30.34}, 5500000},
+    {"Novosibirsk", "RU", AS, {55.01, 82.94}, 1600000},
+    {"Yekaterinburg", "RU", AS, {56.84, 60.61}, 1500000},
+    {"Kazan", "RU", EU, {55.80, 49.11}, 1300000},
+    {"Riga", "LV", EU, {56.95, 24.11}, 1000000},
+    {"Vilnius", "LT", EU, {54.69, 25.28}, 700000},
+    {"Tallinn", "EE", EU, {59.44, 24.75}, 600000},
+    {"Chisinau", "MD", EU, {47.01, 28.86}, 700000},
+
+    // --- Middle East (grouped with Asia) ---
+    {"Istanbul", "TR", AS, {41.01, 28.98}, 15500000},
+    {"Ankara", "TR", AS, {39.93, 32.86}, 5700000},
+    {"Izmir", "TR", AS, {38.42, 27.14}, 3000000},
+    {"Tel Aviv", "IL", AS, {32.08, 34.78}, 4200000},
+    {"Jerusalem", "IL", AS, {31.77, 35.21}, 1300000},
+    {"Amman", "JO", AS, {31.95, 35.93}, 2200000},
+    {"Beirut", "LB", AS, {33.89, 35.50}, 2400000},
+    {"Damascus", "SY", AS, {33.51, 36.29}, 2500000},
+    {"Baghdad", "IQ", AS, {33.31, 44.37}, 7500000},
+    {"Riyadh", "SA", AS, {24.71, 46.68}, 7700000},
+    {"Jeddah", "SA", AS, {21.49, 39.19}, 4700000},
+    {"Dubai", "AE", AS, {25.20, 55.27}, 3500000},
+    {"Abu Dhabi", "AE", AS, {24.45, 54.38}, 1500000},
+    {"Doha", "QA", AS, {25.29, 51.53}, 2400000},
+    {"Kuwait City", "KW", AS, {29.38, 47.99}, 3100000},
+    {"Manama", "BH", AS, {26.23, 50.59}, 700000},
+    {"Muscat", "OM", AS, {23.59, 58.41}, 1600000},
+    {"Tehran", "IR", AS, {35.69, 51.39}, 9500000},
+
+    // --- Africa ---
+    {"Cairo", "EG", AF, {30.04, 31.24}, 21300000},
+    {"Alexandria", "EG", AF, {31.20, 29.92}, 5400000},
+    {"Lagos", "NG", AF, {6.52, 3.38}, 15400000},
+    {"Abuja", "NG", AF, {9.06, 7.50}, 3600000},
+    {"Kano", "NG", AF, {12.00, 8.52}, 4100000},
+    {"Accra", "GH", AF, {5.60, -0.19}, 2600000},
+    {"Abidjan", "CI", AF, {5.36, -4.01}, 5300000},
+    {"Dakar", "SN", AF, {14.72, -17.47}, 3100000},
+    {"Casablanca", "MA", AF, {33.57, -7.59}, 3800000},
+    {"Rabat", "MA", AF, {34.02, -6.84}, 1900000},
+    {"Algiers", "DZ", AF, {36.75, 3.06}, 2800000},
+    {"Tunis", "TN", AF, {36.81, 10.18}, 2400000},
+    {"Tripoli", "LY", AF, {32.89, 13.19}, 1200000},
+    {"Khartoum", "SD", AF, {15.50, 32.56}, 5800000},
+    {"Addis Ababa", "ET", AF, {9.01, 38.75}, 5000000},
+    {"Nairobi", "KE", AF, {-1.29, 36.82}, 4700000},
+    {"Mombasa", "KE", AF, {-4.04, 39.67}, 1300000},
+    {"Kampala", "UG", AF, {0.35, 32.58}, 3500000},
+    {"Dar es Salaam", "TZ", AF, {-6.79, 39.21}, 6700000},
+    {"Kinshasa", "CD", AF, {-4.44, 15.27}, 14300000},
+    {"Luanda", "AO", AF, {-8.84, 13.23}, 8300000},
+    {"Johannesburg", "ZA", AF, {-26.20, 28.05}, 9600000},
+    {"Cape Town", "ZA", AF, {-33.92, 18.42}, 4600000},
+    {"Durban", "ZA", AF, {-29.86, 31.02}, 3100000},
+    {"Pretoria", "ZA", AF, {-25.75, 28.19}, 2500000},
+    {"Harare", "ZW", AF, {-17.83, 31.05}, 1500000},
+    {"Lusaka", "ZM", AF, {-15.39, 28.32}, 2900000},
+    {"Maputo", "MZ", AF, {-25.97, 32.58}, 1100000},
+    {"Antananarivo", "MG", AF, {-18.88, 47.51}, 3600000},
+    {"Douala", "CM", AF, {4.05, 9.77}, 3800000},
+
+    // --- Asia ---
+    {"Tokyo", "JP", AS, {35.68, 139.69}, 37400000},
+    {"Osaka", "JP", AS, {34.69, 135.50}, 19200000},
+    {"Nagoya", "JP", AS, {35.18, 136.91}, 9500000},
+    {"Fukuoka", "JP", AS, {33.59, 130.40}, 2600000},
+    {"Sapporo", "JP", AS, {43.06, 141.35}, 2700000},
+    {"Seoul", "KR", AS, {37.57, 126.98}, 25500000},
+    {"Busan", "KR", AS, {35.18, 129.08}, 3400000},
+    {"Incheon", "KR", AS, {37.46, 126.71}, 3000000},
+    {"Beijing", "CN", AS, {39.90, 116.41}, 21500000},
+    {"Shanghai", "CN", AS, {31.23, 121.47}, 27100000},
+    {"Guangzhou", "CN", AS, {23.13, 113.26}, 18700000},
+    {"Shenzhen", "CN", AS, {22.54, 114.06}, 17600000},
+    {"Chengdu", "CN", AS, {30.57, 104.07}, 16600000},
+    {"Chongqing", "CN", AS, {29.56, 106.55}, 16400000},
+    {"Wuhan", "CN", AS, {30.59, 114.31}, 11100000},
+    {"Xian", "CN", AS, {34.34, 108.94}, 12900000},
+    {"Tianjin", "CN", AS, {39.34, 117.36}, 13600000},
+    {"Nanjing", "CN", AS, {32.06, 118.80}, 9300000},
+    {"Hangzhou", "CN", AS, {30.27, 120.16}, 10400000},
+    {"Hong Kong", "HK", AS, {22.32, 114.17}, 7500000},
+    {"Macau", "MO", AS, {22.20, 113.55}, 680000},
+    {"Taipei", "TW", AS, {25.03, 121.57}, 7000000},
+    {"Kaohsiung", "TW", AS, {22.62, 120.31}, 2800000},
+    {"Ulaanbaatar", "MN", AS, {47.89, 106.91}, 1600000},
+    {"Hanoi", "VN", AS, {21.03, 105.85}, 8100000},
+    {"Ho Chi Minh City", "VN", AS, {10.82, 106.63}, 9000000},
+    {"Da Nang", "VN", AS, {16.05, 108.22}, 1200000},
+    {"Phnom Penh", "KH", AS, {11.56, 104.92}, 2300000},
+    {"Vientiane", "LA", AS, {17.98, 102.63}, 1000000},
+    {"Bangkok", "TH", AS, {13.76, 100.50}, 10700000},
+    {"Chiang Mai", "TH", AS, {18.79, 98.98}, 1200000},
+    {"Yangon", "MM", AS, {16.87, 96.20}, 5400000},
+    {"Kuala Lumpur", "MY", AS, {3.14, 101.69}, 8300000},
+    {"Penang", "MY", AS, {5.42, 100.33}, 2800000},
+    {"Singapore", "SG", AS, {1.35, 103.82}, 5900000},
+    {"Jakarta", "ID", AS, {-6.21, 106.85}, 10600000},
+    {"Surabaya", "ID", AS, {-7.25, 112.75}, 3000000},
+    {"Bandung", "ID", AS, {-6.92, 107.61}, 2600000},
+    {"Medan", "ID", AS, {3.59, 98.67}, 2400000},
+    {"Manila", "PH", AS, {14.60, 120.98}, 13900000},
+    {"Cebu", "PH", AS, {10.32, 123.89}, 3000000},
+    {"Davao", "PH", AS, {7.19, 125.46}, 1800000},
+    {"Delhi", "IN", AS, {28.61, 77.21}, 31200000},
+    {"Mumbai", "IN", AS, {19.08, 72.88}, 20700000},
+    {"Bangalore", "IN", AS, {12.97, 77.59}, 12800000},
+    {"Chennai", "IN", AS, {13.08, 80.27}, 11200000},
+    {"Kolkata", "IN", AS, {22.57, 88.36}, 14900000},
+    {"Hyderabad", "IN", AS, {17.39, 78.49}, 10300000},
+    {"Pune", "IN", AS, {18.52, 73.86}, 6800000},
+    {"Ahmedabad", "IN", AS, {23.02, 72.57}, 8300000},
+    {"Jaipur", "IN", AS, {26.91, 75.79}, 4100000},
+    {"Lucknow", "IN", AS, {26.85, 80.95}, 3700000},
+    {"Surat", "IN", AS, {21.17, 72.83}, 7500000},
+    {"Kanpur", "IN", AS, {26.45, 80.33}, 3100000},
+    {"Colombo", "LK", AS, {6.93, 79.85}, 2300000},
+    {"Dhaka", "BD", AS, {23.81, 90.41}, 22500000},
+    {"Chittagong", "BD", AS, {22.36, 91.78}, 5300000},
+    {"Kathmandu", "NP", AS, {27.72, 85.32}, 1500000},
+    {"Karachi", "PK", AS, {24.86, 67.01}, 16800000},
+    {"Lahore", "PK", AS, {31.55, 74.34}, 13100000},
+    {"Islamabad", "PK", AS, {33.68, 73.05}, 1200000},
+    {"Kabul", "AF", AS, {34.56, 69.21}, 4600000},
+    {"Tashkent", "UZ", AS, {41.30, 69.24}, 2600000},
+    {"Almaty", "KZ", AS, {43.24, 76.89}, 2000000},
+    {"Astana", "KZ", AS, {51.17, 71.43}, 1200000},
+    {"Bishkek", "KG", AS, {42.87, 74.59}, 1100000},
+    {"Dushanbe", "TJ", AS, {38.54, 68.78}, 900000},
+    {"Baku", "AZ", AS, {40.41, 49.87}, 2400000},
+    {"Tbilisi", "GE", AS, {41.72, 44.78}, 1200000},
+    {"Yerevan", "AM", AS, {40.18, 44.51}, 1100000},
+
+    // --- Oceania ---
+    {"Sydney", "AU", OC, {-33.87, 151.21}, 5300000},
+    {"Melbourne", "AU", OC, {-37.81, 144.96}, 5100000},
+    {"Brisbane", "AU", OC, {-27.47, 153.03}, 2600000},
+    {"Perth", "AU", OC, {-31.95, 115.86}, 2100000},
+    {"Adelaide", "AU", OC, {-34.93, 138.60}, 1400000},
+    {"Canberra", "AU", OC, {-35.28, 149.13}, 460000},
+    {"Auckland", "NZ", OC, {-36.85, 174.76}, 1700000},
+    {"Wellington", "NZ", OC, {-41.29, 174.78}, 420000},
+    {"Christchurch", "NZ", OC, {-43.53, 172.64}, 400000},
+    {"Suva", "FJ", OC, {-18.14, 178.44}, 180000},
+    {"Port Moresby", "PG", OC, {-9.44, 147.18}, 400000},
+};
+
+}  // namespace
+
+std::string_view to_string(Continent c) {
+  switch (c) {
+    case Continent::kNorthAmerica:
+      return "NA";
+    case Continent::kSouthAmerica:
+      return "SA";
+    case Continent::kEurope:
+      return "EU";
+    case Continent::kAfrica:
+      return "AF";
+    case Continent::kAsia:
+      return "AS";
+    case Continent::kOceania:
+      return "OC";
+  }
+  return "??";
+}
+
+std::span<const City> world_cities() { return kCities; }
+
+std::optional<CityId> find_city(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kCities); ++i) {
+    if (kCities[i].name == name) return static_cast<CityId>(i);
+  }
+  return std::nullopt;
+}
+
+const City& city(CityId id) {
+  expects(id < std::size(kCities), "valid city id");
+  return kCities[id];
+}
+
+std::vector<CityId> cities_within(const Disc& disc) {
+  std::vector<CityId> out;
+  for (std::size_t i = 0; i < std::size(kCities); ++i) {
+    if (disc.contains(kCities[i].location)) {
+      out.push_back(static_cast<CityId>(i));
+    }
+  }
+  return out;
+}
+
+std::optional<CityId> most_populous_within(const Disc& disc) {
+  std::optional<CityId> best;
+  std::uint32_t best_pop = 0;
+  for (std::size_t i = 0; i < std::size(kCities); ++i) {
+    if (kCities[i].population > best_pop &&
+        disc.contains(kCities[i].location)) {
+      best = static_cast<CityId>(i);
+      best_pop = kCities[i].population;
+    }
+  }
+  return best;
+}
+
+CityId nearest_city(const GeoPoint& p) {
+  CityId best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < std::size(kCities); ++i) {
+    const double d = distance_km(kCities[i].location, p);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<CityId>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace laces::geo

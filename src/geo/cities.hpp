@@ -1,0 +1,64 @@
+// Embedded world-city database.
+//
+// ~300 major cities with coordinates and metro population. Two consumers:
+//   * the Internet simulator places PoPs and vantage points in real metros
+//     (e.g. the 32 Vultr sites of the MAnycastR production deployment);
+//   * iGreedy's geolocation step picks the most populous city inside each
+//     latency disc (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coord.hpp"
+#include "geo/disc.hpp"
+
+namespace laces::geo {
+
+enum class Continent : std::uint8_t {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAfrica,
+  kAsia,
+  kOceania,
+};
+
+/// Short human-readable continent label ("NA", "SA", "EU", ...).
+std::string_view to_string(Continent c);
+
+/// Index into world_cities(); stable across runs.
+using CityId = std::uint32_t;
+
+struct City {
+  std::string_view name;
+  std::string_view country;  // ISO 3166-1 alpha-2
+  Continent continent;
+  GeoPoint location;
+  std::uint32_t population;  // metro population estimate
+};
+
+/// The full embedded database, ordered by CityId.
+std::span<const City> world_cities();
+
+/// Case-sensitive exact-name lookup.
+std::optional<CityId> find_city(std::string_view name);
+
+/// The city record for an id. Precondition: id < world_cities().size().
+const City& city(CityId id);
+
+/// Ids of all cities inside `disc`.
+std::vector<CityId> cities_within(const Disc& disc);
+
+/// The most populous city inside `disc`, if any — iGreedy's geolocation
+/// heuristic for placing an anycast site.
+std::optional<CityId> most_populous_within(const Disc& disc);
+
+/// The city nearest to `p` (always exists; the database is non-empty).
+CityId nearest_city(const GeoPoint& p);
+
+}  // namespace laces::geo

@@ -1,0 +1,53 @@
+#include "geo/coord.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace laces::geo {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+
+}  // namespace
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double bearing_deg(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double deg = std::atan2(y, x) * kRadToDeg;
+  if (deg < 0) deg += 360.0;
+  return deg;
+}
+
+GeoPoint destination(const GeoPoint& origin, double bearing, double dist_km) {
+  const double ang = dist_km / kEarthRadiusKm;
+  const double lat1 = origin.lat_deg * kDegToRad;
+  const double lon1 = origin.lon_deg * kDegToRad;
+  const double brg = bearing * kDegToRad;
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  double lon_deg = lon2 * kRadToDeg;
+  while (lon_deg > 180.0) lon_deg -= 360.0;
+  while (lon_deg < -180.0) lon_deg += 360.0;
+  return GeoPoint{lat2 * kRadToDeg, lon_deg};
+}
+
+}  // namespace laces::geo

@@ -1,0 +1,28 @@
+// Geographic coordinates and great-circle distance (haversine).
+#pragma once
+
+#include <compare>
+
+namespace laces::geo {
+
+/// Mean Earth radius used throughout (km).
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// WGS84-style latitude/longitude in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance between two points in km (haversine formula).
+double distance_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Initial great-circle bearing from `a` to `b`, degrees in [0, 360).
+double bearing_deg(const GeoPoint& a, const GeoPoint& b);
+
+/// Destination point `dist_km` from `origin` along `bearing` degrees.
+GeoPoint destination(const GeoPoint& origin, double bearing, double dist_km);
+
+}  // namespace laces::geo

@@ -1,0 +1,29 @@
+// Great-circle discs: the geometric primitive of the GCD method.
+#pragma once
+
+#include "geo/coord.hpp"
+
+namespace laces::geo {
+
+/// A spherical cap: all points within `radius_km` (great-circle) of `center`.
+struct Disc {
+  GeoPoint center;
+  double radius_km = 0.0;
+
+  /// True if `p` lies inside or on the disc boundary.
+  bool contains(const GeoPoint& p) const {
+    return distance_km(center, p) <= radius_km;
+  }
+};
+
+/// True if the two discs share at least one point.
+inline bool overlaps(const Disc& a, const Disc& b) {
+  return distance_km(a.center, b.center) <= a.radius_km + b.radius_km;
+}
+
+/// True if the discs are disjoint: a speed-of-light violation when both are
+/// latency discs for the same address (the target cannot be in two disjoint
+/// regions at once unless it is anycast).
+inline bool disjoint(const Disc& a, const Disc& b) { return !overlaps(a, b); }
+
+}  // namespace laces::geo

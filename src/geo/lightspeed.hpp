@@ -1,0 +1,26 @@
+// Speed-of-light-in-fibre conversions between RTT and distance.
+//
+// iGreedy's core assumption (paper §2.1): packets travel at most at the
+// speed of light in fibre, ~200,000 km/s. An observed RTT therefore bounds
+// the great-circle distance between prober and target, and two probes whose
+// distance discs cannot both contain one point prove anycast
+// ("speed-of-light violation").
+#pragma once
+
+namespace laces::geo {
+
+/// Propagation speed assumed by the GCD method: light in fibre, km per ms.
+inline constexpr double kFibreKmPerMs = 200.0;
+
+/// Maximum one-way distance (km) a packet can have travelled given an RTT.
+/// This is the disc radius iGreedy draws around a vantage point.
+constexpr double max_one_way_km(double rtt_ms) {
+  return rtt_ms <= 0.0 ? 0.0 : rtt_ms / 2.0 * kFibreKmPerMs;
+}
+
+/// Minimum physically possible RTT (ms) for a one-way distance (km).
+constexpr double min_rtt_ms(double one_way_km) {
+  return one_way_km <= 0.0 ? 0.0 : 2.0 * one_way_km / kFibreKmPerMs;
+}
+
+}  // namespace laces::geo

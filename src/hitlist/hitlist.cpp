@@ -1,0 +1,84 @@
+#include "hitlist/hitlist.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace laces::hitlist {
+
+std::vector<net::IpAddress> Hitlist::addresses() const {
+  std::vector<net::IpAddress> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.address);
+  return out;
+}
+
+Hitlist Hitlist::shuffled(std::uint64_t seed) const {
+  auto copy = entries_;
+  Rng rng(seed);
+  shuffle(copy, rng);
+  return Hitlist(std::move(copy));
+}
+
+Hitlist Hitlist::head(std::size_t n) const {
+  auto copy = entries_;
+  if (copy.size() > n) copy.resize(n);
+  return Hitlist(std::move(copy));
+}
+
+Hitlist build_ping_hitlist(const topo::World& world, net::IpVersion version) {
+  std::vector<Entry> entries;
+  for (const auto& t : world.targets()) {
+    if (t.representative && t.address.version() == version) {
+      entries.push_back(Entry{t.address, t.responder.dns});
+    }
+  }
+  return Hitlist(std::move(entries));
+}
+
+Hitlist build_dns_hitlist(const topo::World& world, net::IpVersion version) {
+  // One entry per census prefix; a DNS-capable address beats the plain
+  // representative (the OpenINTEL-preference rule of §4.2.3).
+  struct Candidates {
+    std::optional<Entry> representative;
+    std::optional<Entry> nameserver;
+  };
+  std::unordered_map<net::Prefix, Candidates, net::PrefixHash> per_prefix;
+  for (const auto& t : world.targets()) {
+    if (t.address.version() != version) continue;
+    auto& cand = per_prefix[net::Prefix::of(t.address)];
+    if (t.responder.dns && !cand.nameserver) {
+      cand.nameserver = Entry{t.address, true};
+    }
+    if (t.representative) cand.representative = Entry{t.address, t.responder.dns};
+  }
+  std::vector<Entry> entries;
+  entries.reserve(per_prefix.size());
+  for (auto& [prefix, cand] : per_prefix) {
+    if (cand.nameserver) {
+      entries.push_back(*cand.nameserver);
+    } else if (cand.representative) {
+      entries.push_back(*cand.representative);
+    }
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.address < b.address; });
+  return Hitlist(std::move(entries));
+}
+
+Hitlist build_nameserver_hitlist(const topo::World& world,
+                                 net::IpVersion version) {
+  std::vector<Entry> entries;
+  for (const auto& t : world.targets()) {
+    if (t.address.version() == version && t.responder.dns) {
+      entries.push_back(Entry{t.address, true});
+    }
+  }
+  return Hitlist(std::move(entries));
+}
+
+}  // namespace laces::hitlist

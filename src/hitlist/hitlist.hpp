@@ -1,0 +1,58 @@
+// Hitlist construction (paper §4.2.3).
+//
+// The real pipeline uses ISI's ranked IPv4 hitlist (one representative,
+// ping-responsive address per /24), TU Munich's IPv6 hitlist, and
+// OpenINTEL-derived nameserver addresses, preferring nameserver IPs as the
+// /24 representative for DNS censuses. Here the same structures are built
+// from the simulated world's allocation registry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+#include "topo/world.hpp"
+
+namespace laces::hitlist {
+
+struct Entry {
+  net::IpAddress address;
+  bool is_nameserver = false;
+};
+
+/// An ordered list of probe targets, one representative per census prefix.
+class Hitlist {
+ public:
+  Hitlist() = default;
+  explicit Hitlist(std::vector<Entry> entries) : entries_(std::move(entries)) {}
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Plain address list (what gets streamed to workers).
+  std::vector<net::IpAddress> addresses() const;
+
+  /// Deterministically shuffled copy (probing politeness: consecutive
+  /// probes should not walk one network).
+  Hitlist shuffled(std::uint64_t seed) const;
+
+  /// First `n` entries (sampling / tests).
+  Hitlist head(std::size_t n) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// ISI/TUM-style hitlist: each census prefix's representative address.
+Hitlist build_ping_hitlist(const topo::World& world, net::IpVersion version);
+
+/// DNS-census hitlist: nameserver addresses preferred as representatives
+/// of their prefix (OpenINTEL merge).
+Hitlist build_dns_hitlist(const topo::World& world, net::IpVersion version);
+
+/// All nameserver addresses (the §5.3.1/Appendix C CHAOS study population).
+Hitlist build_nameserver_hitlist(const topo::World& world,
+                                 net::IpVersion version);
+
+}  // namespace laces::hitlist

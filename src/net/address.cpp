@@ -1,0 +1,280 @@
+#include "net/address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace laces::net {
+
+std::string_view to_string(IpVersion v) {
+  return v == IpVersion::kV4 ? "IPv4" : "IPv6";
+}
+
+// ---------------------------------------------------------------- Ipv4Address
+
+std::string Ipv4Address::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  std::uint32_t parts[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= s.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    const auto* begin = s.data() + pos;
+    const auto* end = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || v > 255 || ptr == begin) return std::nullopt;
+    parts[i] = v;
+    pos = static_cast<std::size_t>(ptr - s.data());
+    if (i < 3) {
+      if (pos >= s.size() || s[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != s.size()) return std::nullopt;
+  return Ipv4Address((parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) |
+                     parts[3]);
+}
+
+// ---------------------------------------------------------------- Ipv6Address
+
+std::array<std::uint8_t, 16> Ipv6Address::bytes() const {
+  std::array<std::uint8_t, 16> out;
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(hi_ >> (8 * (7 - i)));
+    out[8 + i] = static_cast<std::uint8_t>(lo_ >> (8 * (7 - i)));
+  }
+  return out;
+}
+
+Ipv6Address Ipv6Address::from_bytes(const std::array<std::uint8_t, 16>& b) {
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | b[i];
+    lo = (lo << 8) | b[8 + i];
+  }
+  return Ipv6Address(hi, lo);
+}
+
+std::string Ipv6Address::to_string() const {
+  char buf[48];
+  std::snprintf(
+      buf, sizeof buf, "%llx:%llx:%llx:%llx:%llx:%llx:%llx:%llx",
+      static_cast<unsigned long long>((hi_ >> 48) & 0xffff),
+      static_cast<unsigned long long>((hi_ >> 32) & 0xffff),
+      static_cast<unsigned long long>((hi_ >> 16) & 0xffff),
+      static_cast<unsigned long long>(hi_ & 0xffff),
+      static_cast<unsigned long long>((lo_ >> 48) & 0xffff),
+      static_cast<unsigned long long>((lo_ >> 32) & 0xffff),
+      static_cast<unsigned long long>((lo_ >> 16) & 0xffff),
+      static_cast<unsigned long long>(lo_ & 0xffff));
+  return buf;
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view s) {
+  // Supports the full 8-group colon-hex form plus a single "::" elision.
+  std::array<std::uint16_t, 8> groups{};
+  std::array<std::uint16_t, 8> head{}, tail{};
+  std::size_t n_head = 0, n_tail = 0;
+  bool seen_elision = false;
+
+  auto parse_group = [](std::string_view g) -> std::optional<std::uint16_t> {
+    if (g.empty() || g.size() > 4) return std::nullopt;
+    std::uint32_t v = 0;
+    auto [ptr, ec] = std::from_chars(g.data(), g.data() + g.size(), v, 16);
+    if (ec != std::errc{} || ptr != g.data() + g.size() || v > 0xffff) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint16_t>(v);
+  };
+
+  std::size_t pos = 0;
+  if (s.starts_with("::")) {
+    seen_elision = true;
+    pos = 2;
+  }
+  while (pos < s.size()) {
+    const std::size_t colon = s.find(':', pos);
+    const std::string_view g =
+        colon == std::string_view::npos ? s.substr(pos) : s.substr(pos, colon - pos);
+    if (g.empty()) {
+      // "::" in the middle or at the end.
+      if (seen_elision) return std::nullopt;
+      seen_elision = true;
+      pos = colon + 1;
+      continue;
+    }
+    const auto v = parse_group(g);
+    if (!v) return std::nullopt;
+    if (!seen_elision) {
+      if (n_head >= 8) return std::nullopt;
+      head[n_head++] = *v;
+    } else {
+      if (n_tail >= 8) return std::nullopt;
+      tail[n_tail++] = *v;
+    }
+    if (colon == std::string_view::npos) break;
+    pos = colon + 1;
+  }
+  if (!seen_elision) {
+    if (n_head != 8) return std::nullopt;
+    groups = head;
+  } else {
+    if (n_head + n_tail >= 8) return std::nullopt;
+    for (std::size_t i = 0; i < n_head; ++i) groups[i] = head[i];
+    for (std::size_t i = 0; i < n_tail; ++i) {
+      groups[8 - n_tail + i] = tail[i];
+    }
+  }
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[i];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[i];
+  return Ipv6Address(hi, lo);
+}
+
+// ------------------------------------------------------------------ IpAddress
+
+const Ipv4Address& IpAddress::v4() const {
+  expects(is_v4(), "IPv4 address");
+  return std::get<Ipv4Address>(v_);
+}
+
+const Ipv6Address& IpAddress::v6() const {
+  expects(!is_v4(), "IPv6 address");
+  return std::get<Ipv6Address>(v_);
+}
+
+std::string IpAddress::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+// ----------------------------------------------------------------- Ipv4Prefix
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address addr, std::uint8_t length) : len_(length) {
+  expects(length <= 32, "prefix length <= 32");
+  const std::uint32_t mask =
+      length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  addr_ = Ipv4Address(addr.value() & mask);
+}
+
+bool Ipv4Prefix::contains(Ipv4Address a) const {
+  const std::uint32_t mask = len_ == 0 ? 0 : ~std::uint32_t{0} << (32 - len_);
+  return (a.value() & mask) == addr_.value();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return other.len_ >= len_ && contains(other.addr_);
+}
+
+std::uint64_t Ipv4Prefix::count_slash24() const {
+  if (len_ >= 24) return 1;
+  return 1ULL << (24 - len_);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::uint32_t len = 0;
+  const auto* begin = s.data() + slash + 1;
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, len);
+  if (ec != std::errc{} || ptr != end || len > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+Ipv4Prefix Ipv4Prefix::slash24_of(Ipv4Address a) { return Ipv4Prefix(a, 24); }
+
+// ----------------------------------------------------------------- Ipv6Prefix
+
+Ipv6Prefix::Ipv6Prefix(Ipv6Address addr, std::uint8_t length) : len_(length) {
+  expects(length <= 128, "prefix length <= 128");
+  std::uint64_t hi = addr.hi(), lo = addr.lo();
+  if (length <= 64) {
+    lo = 0;
+    if (length < 64) {
+      const std::uint64_t mask =
+          length == 0 ? 0 : ~std::uint64_t{0} << (64 - length);
+      hi &= mask;
+    }
+  } else if (length < 128) {
+    const std::uint64_t mask = ~std::uint64_t{0} << (128 - length);
+    lo &= mask;
+  }
+  addr_ = Ipv6Address(hi, lo);
+}
+
+bool Ipv6Prefix::contains(Ipv6Address a) const {
+  return Ipv6Prefix(a, len_).address() == addr_;
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+Ipv6Prefix Ipv6Prefix::slash48_of(Ipv6Address a) { return Ipv6Prefix(a, 48); }
+
+// --------------------------------------------------------------------- Prefix
+
+const Ipv4Prefix& Prefix::v4() const {
+  expects(version() == IpVersion::kV4, "IPv4 prefix");
+  return std::get<Ipv4Prefix>(v_);
+}
+
+const Ipv6Prefix& Prefix::v6() const {
+  expects(version() == IpVersion::kV6, "IPv6 prefix");
+  return std::get<Ipv6Prefix>(v_);
+}
+
+bool Prefix::contains(const IpAddress& a) const {
+  if (version() != a.version()) return false;
+  return version() == IpVersion::kV4 ? v4().contains(a.v4())
+                                     : v6().contains(a.v6());
+}
+
+std::string Prefix::to_string() const {
+  return version() == IpVersion::kV4 ? v4().to_string() : v6().to_string();
+}
+
+Prefix Prefix::of(const IpAddress& a) {
+  if (a.is_v4()) return Ipv4Prefix::slash24_of(a.v4());
+  return Ipv6Prefix::slash48_of(a.v6());
+}
+
+// -------------------------------------------------------------------- hashing
+
+std::uint64_t hash_value(const IpAddress& a) {
+  StableHash h(a.is_v4() ? 4 : 6);
+  if (a.is_v4()) {
+    h.mix(a.v4().value());
+  } else {
+    h.mix(a.v6().hi()).mix(a.v6().lo());
+  }
+  return h.value();
+}
+
+std::uint64_t hash_value(const Prefix& p) {
+  StableHash h(p.version() == IpVersion::kV4 ? 0x40 : 0x60);
+  if (p.version() == IpVersion::kV4) {
+    h.mix(p.v4().address().value()).mix(std::uint64_t{p.v4().length()});
+  } else {
+    h.mix(p.v6().address().hi())
+        .mix(p.v6().address().lo())
+        .mix(std::uint64_t{p.v6().length()});
+  }
+  return h.value();
+}
+
+}  // namespace laces::net

@@ -1,0 +1,57 @@
+#include "net/checksum.hpp"
+
+namespace laces::net {
+namespace {
+
+std::uint32_t sum_words(std::span<const std::uint8_t> data,
+                        std::uint32_t acc = 0) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) acc += std::uint32_t{data[i]} << 8;  // odd trailing byte
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xffff);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return fold(sum_words(data));
+}
+
+std::uint16_t pseudo_checksum_v4(Ipv4Address src, Ipv4Address dst,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffff;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffff;
+  acc += protocol;
+  acc += static_cast<std::uint32_t>(segment.size());
+  return fold(sum_words(segment, acc));
+}
+
+std::uint16_t pseudo_checksum_v6(const Ipv6Address& src, const Ipv6Address& dst,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) {
+  std::uint32_t acc = 0;
+  const auto add_addr = [&acc](const Ipv6Address& a) {
+    const auto b = a.bytes();
+    for (int i = 0; i < 16; i += 2) {
+      acc += (std::uint32_t{b[i]} << 8) | b[i + 1];
+    }
+  };
+  add_addr(src);
+  add_addr(dst);
+  acc += static_cast<std::uint32_t>(segment.size());
+  acc += protocol;
+  return fold(sum_words(segment, acc));
+}
+
+}  // namespace laces::net

@@ -1,0 +1,25 @@
+// RFC 1071 Internet checksum, including TCP/UDP pseudo-headers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/address.hpp"
+
+namespace laces::net {
+
+/// One's-complement sum over `data`, folded to 16 bits and complemented.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Checksum of `segment` prepended with the IPv4 pseudo-header
+/// (src, dst, zero, protocol, length).
+std::uint16_t pseudo_checksum_v4(Ipv4Address src, Ipv4Address dst,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment);
+
+/// Checksum of `segment` prepended with the IPv6 pseudo-header.
+std::uint16_t pseudo_checksum_v6(const Ipv6Address& src, const Ipv6Address& dst,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment);
+
+}  // namespace laces::net

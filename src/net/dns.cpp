@@ -1,0 +1,150 @@
+#include "net/dns.hpp"
+
+#include "util/bytes.hpp"
+
+namespace laces::net {
+namespace {
+
+// QR bit and RCODE nibble in the flags word.
+constexpr std::uint16_t kQrResponse = 0x8000;
+
+bool write_name(ByteWriter& w, const std::string& dotted) {
+  std::size_t start = 0;
+  while (start <= dotted.size()) {
+    std::size_t dot = dotted.find('.', start);
+    if (dot == std::string::npos) dot = dotted.size();
+    const std::size_t len = dot - start;
+    if (len > 63) return false;
+    if (len == 0 && dot != dotted.size()) return false;  // empty label
+    if (len > 0) {
+      w.u8(static_cast<std::uint8_t>(len));
+      for (std::size_t i = start; i < dot; ++i) {
+        w.u8(static_cast<std::uint8_t>(dotted[i]));
+      }
+    }
+    if (dot == dotted.size()) break;
+    start = dot + 1;
+  }
+  w.u8(0);  // root label
+  return true;
+}
+
+std::optional<std::string> read_name(ByteReader& r) {
+  std::string out;
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if (len == 0) break;
+    if ((len & 0xc0) != 0) return std::nullopt;  // compression unsupported
+    if (!out.empty()) out += '.';
+    const auto label = r.bytes(len);
+    out.append(reinterpret_cast<const char*>(label.data()), label.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_dns_message(const DnsMessage& msg) {
+  ByteWriter w;
+  w.u16(msg.id);
+  std::uint16_t flags = 0;
+  if (msg.is_response) flags |= kQrResponse | 0x0400;  // QR + AA
+  flags |= msg.rcode & 0x0f;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  w.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  w.u16(0);  // NSCOUNT
+  w.u16(0);  // ARCOUNT
+  for (const auto& q : msg.questions) {
+    write_name(w, q.qname);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rec : msg.answers) {
+    write_name(w, rec.name);
+    w.u16(static_cast<std::uint16_t>(rec.type));
+    w.u16(static_cast<std::uint16_t>(rec.rclass));
+    w.u32(rec.ttl);
+    w.u16(static_cast<std::uint16_t>(rec.rdata.size()));
+    w.bytes(rec.rdata);
+  }
+  return w.take();
+}
+
+std::optional<DnsMessage> parse_dns_message(
+    std::span<const std::uint8_t> data) {
+  try {
+    ByteReader r(data);
+    DnsMessage msg;
+    msg.id = r.u16();
+    const std::uint16_t flags = r.u16();
+    msg.is_response = (flags & kQrResponse) != 0;
+    msg.rcode = static_cast<std::uint8_t>(flags & 0x0f);
+    const std::uint16_t qd = r.u16();
+    const std::uint16_t an = r.u16();
+    (void)r.u16();  // NSCOUNT
+    (void)r.u16();  // ARCOUNT
+    for (std::uint16_t i = 0; i < qd; ++i) {
+      DnsQuestion q;
+      const auto name = read_name(r);
+      if (!name) return std::nullopt;
+      q.qname = *name;
+      q.qtype = static_cast<DnsType>(r.u16());
+      q.qclass = static_cast<DnsClass>(r.u16());
+      msg.questions.push_back(std::move(q));
+    }
+    for (std::uint16_t i = 0; i < an; ++i) {
+      DnsRecord rec;
+      const auto name = read_name(r);
+      if (!name) return std::nullopt;
+      rec.name = *name;
+      rec.type = static_cast<DnsType>(r.u16());
+      rec.rclass = static_cast<DnsClass>(r.u16());
+      rec.ttl = r.u32();
+      const std::uint16_t rdlen = r.u16();
+      const auto rd = r.bytes(rdlen);
+      rec.rdata.assign(rd.begin(), rd.end());
+      msg.answers.push_back(std::move(rec));
+    }
+    return msg;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> txt_rdata(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(std::min<std::size_t>(text.size(), 255)));
+  for (std::size_t i = 0; i < text.size() && i < 255; ++i) {
+    out.push_back(static_cast<std::uint8_t>(text[i]));
+  }
+  return out;
+}
+
+std::optional<std::string> txt_text(std::span<const std::uint8_t> rdata) {
+  if (rdata.empty()) return std::nullopt;
+  const std::size_t len = rdata[0];
+  if (rdata.size() < 1 + len) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(rdata.data() + 1), len);
+}
+
+DnsMessage make_dns_response(const DnsMessage& query,
+                             std::vector<std::uint8_t> rdata) {
+  DnsMessage resp;
+  resp.id = query.id;
+  resp.is_response = true;
+  resp.questions = query.questions;
+  if (!query.questions.empty()) {
+    DnsRecord rec;
+    rec.name = query.questions.front().qname;
+    rec.type = query.questions.front().qtype;
+    rec.rclass = query.questions.front().qclass;
+    rec.ttl = 60;
+    rec.rdata = std::move(rdata);
+    resp.answers.push_back(std::move(rec));
+  }
+  return resp;
+}
+
+}  // namespace laces::net

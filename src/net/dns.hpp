@@ -1,0 +1,56 @@
+// DNS message encoding/decoding (uncompressed names).
+//
+// UDP probing is DNS-aware: A-record queries for the census, TXT queries in
+// the CHAOS class for RFC 4892 site identification (paper §5.3.1, App. C).
+// The probe's worker-id/time encoding travels in the query name, which the
+// responder echoes in the question section.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace laces::net {
+
+enum class DnsType : std::uint16_t { kA = 1, kTxt = 16, kAaaa = 28 };
+enum class DnsClass : std::uint16_t { kIn = 1, kChaos = 3 };
+
+struct DnsQuestion {
+  std::string qname;  // dotted, no trailing dot
+  DnsType qtype = DnsType::kA;
+  DnsClass qclass = DnsClass::kIn;
+};
+
+struct DnsRecord {
+  std::string name;
+  DnsType type = DnsType::kA;
+  DnsClass rclass = DnsClass::kIn;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;  // A: 4 bytes; TXT: length-prefixed string
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t rcode = 0;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+};
+
+/// Serializes a message (names written uncompressed).
+std::vector<std::uint8_t> build_dns_message(const DnsMessage& msg);
+
+/// Parses a message; rejects compressed names and truncated input.
+std::optional<DnsMessage> parse_dns_message(std::span<const std::uint8_t> data);
+
+/// TXT rdata helpers (single character-string).
+std::vector<std::uint8_t> txt_rdata(std::string_view text);
+std::optional<std::string> txt_text(std::span<const std::uint8_t> rdata);
+
+/// The response a server would give: question echoed, one answer record.
+DnsMessage make_dns_response(const DnsMessage& query,
+                             std::vector<std::uint8_t> rdata);
+
+}  // namespace laces::net

@@ -1,0 +1,94 @@
+#include "net/icmp.hpp"
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace laces::net {
+namespace {
+
+constexpr std::uint8_t kV4EchoRequest = 8;
+constexpr std::uint8_t kV4EchoReply = 0;
+constexpr std::uint8_t kV6EchoRequest = 128;
+constexpr std::uint8_t kV6EchoReply = 129;
+
+}  // namespace
+
+std::vector<std::uint8_t> build_icmp_echo(const IcmpEcho& echo) {
+  ByteWriter w;
+  if (echo.is_v6) {
+    w.u8(echo.is_reply ? kV6EchoReply : kV6EchoRequest);
+  } else {
+    w.u8(echo.is_reply ? kV4EchoReply : kV4EchoRequest);
+  }
+  w.u8(0);  // code
+  const std::size_t cksum_off = w.size();
+  w.u16(0);
+  w.u16(echo.id);
+  w.u16(echo.seq);
+  w.bytes(echo.payload);
+  auto bytes = w.take();
+  if (!echo.is_v6) {
+    const std::uint16_t sum = internet_checksum(bytes);
+    bytes[cksum_off] = static_cast<std::uint8_t>(sum >> 8);
+    bytes[cksum_off + 1] = static_cast<std::uint8_t>(sum);
+  }
+  return bytes;
+}
+
+void finalize_icmpv6_checksum(std::vector<std::uint8_t>& message,
+                              const Ipv6Address& src, const Ipv6Address& dst) {
+  message[2] = 0;
+  message[3] = 0;
+  const std::uint16_t sum = pseudo_checksum_v6(src, dst, 58, message);
+  message[2] = static_cast<std::uint8_t>(sum >> 8);
+  message[3] = static_cast<std::uint8_t>(sum);
+}
+
+bool verify_icmpv6_checksum(std::span<const std::uint8_t> message,
+                            const Ipv6Address& src, const Ipv6Address& dst) {
+  if (message.size() < 8) return false;
+  return pseudo_checksum_v6(src, dst, 58, message) == 0;
+}
+
+std::optional<IcmpEcho> parse_icmp_echo(std::span<const std::uint8_t> l4,
+                                        bool is_v6) {
+  if (l4.size() < 8) return std::nullopt;
+  if (!is_v6 && internet_checksum(l4) != 0) return std::nullopt;
+  try {
+    ByteReader r(l4);
+    const std::uint8_t type = r.u8();
+    const std::uint8_t code = r.u8();
+    if (code != 0) return std::nullopt;
+    (void)r.u16();  // checksum
+    IcmpEcho echo;
+    echo.is_v6 = is_v6;
+    if (is_v6) {
+      if (type == kV6EchoReply) {
+        echo.is_reply = true;
+      } else if (type != kV6EchoRequest) {
+        return std::nullopt;
+      }
+    } else {
+      if (type == kV4EchoReply) {
+        echo.is_reply = true;
+      } else if (type != kV4EchoRequest) {
+        return std::nullopt;
+      }
+    }
+    echo.id = r.u16();
+    echo.seq = r.u16();
+    const auto rest = r.bytes(r.remaining());
+    echo.payload.assign(rest.begin(), rest.end());
+    return echo;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+IcmpEcho make_echo_reply(const IcmpEcho& request) {
+  IcmpEcho reply = request;
+  reply.is_reply = true;
+  return reply;
+}
+
+}  // namespace laces::net

@@ -1,0 +1,43 @@
+// ICMP / ICMPv6 echo messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace laces::net {
+
+/// Parsed ICMP(v4/v6) echo request or reply.
+struct IcmpEcho {
+  bool is_v6 = false;
+  bool is_reply = false;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes an echo message. For ICMPv4 the checksum is final; for ICMPv6
+/// it still needs finalize_icmpv6_checksum() once src/dst are known.
+std::vector<std::uint8_t> build_icmp_echo(const IcmpEcho& echo);
+
+/// Computes and patches the ICMPv6 checksum (pseudo-header included).
+void finalize_icmpv6_checksum(std::vector<std::uint8_t>& message,
+                              const Ipv6Address& src, const Ipv6Address& dst);
+
+/// Parses an ICMP echo from L4 bytes; validates the ICMPv4 checksum (ICMPv6
+/// checksum validation needs addresses — see verify_icmpv6_checksum).
+std::optional<IcmpEcho> parse_icmp_echo(std::span<const std::uint8_t> l4,
+                                        bool is_v6);
+
+/// Validates an ICMPv6 message checksum against the pseudo-header.
+bool verify_icmpv6_checksum(std::span<const std::uint8_t> message,
+                            const Ipv6Address& src, const Ipv6Address& dst);
+
+/// Builds the echo reply a responsive target would send: same id/seq/payload,
+/// reply type.
+IcmpEcho make_echo_reply(const IcmpEcho& request);
+
+}  // namespace laces::net

@@ -1,0 +1,103 @@
+#include "net/ip.hpp"
+
+#include "net/checksum.hpp"
+#include "util/contracts.hpp"
+
+namespace laces::net {
+
+std::span<const std::uint8_t> Datagram::l4() const {
+  const std::size_t hdr =
+      version() == IpVersion::kV4 ? Ipv4Header::kSize : Ipv6Header::kSize;
+  expects(bytes.size() >= hdr, "datagram shorter than IP header");
+  return std::span(bytes).subspan(hdr);
+}
+
+Datagram make_datagram_v4(Ipv4Address src, Ipv4Address dst,
+                          std::uint8_t protocol,
+                          std::span<const std::uint8_t> l4_payload,
+                          std::uint8_t ttl, std::uint16_t identification) {
+  expects(l4_payload.size() + Ipv4Header::kSize <= 0xffff, "v4 size limit");
+  ByteWriter w;
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0);     // TOS
+  w.u16(static_cast<std::uint16_t>(Ipv4Header::kSize + l4_payload.size()));
+  w.u16(identification);
+  w.u16(0x4000);  // DF, no fragmentation
+  w.u8(ttl);
+  w.u8(protocol);
+  const std::size_t cksum_off = w.size();
+  w.u16(0);
+  w.u32(src.value());
+  w.u32(dst.value());
+  w.patch_u16(cksum_off, internet_checksum(w.view()));
+  w.bytes(l4_payload);
+  return Datagram{src, dst, protocol, w.take()};
+}
+
+Datagram make_datagram_v6(const Ipv6Address& src, const Ipv6Address& dst,
+                          std::uint8_t next_header,
+                          std::span<const std::uint8_t> l4_payload,
+                          std::uint8_t hop_limit) {
+  expects(l4_payload.size() <= 0xffff, "v6 payload size limit");
+  ByteWriter w;
+  w.u32(std::uint32_t{6} << 28);  // version 6, TC 0, flow label 0
+  w.u16(static_cast<std::uint16_t>(l4_payload.size()));
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.u64(src.hi());
+  w.u64(src.lo());
+  w.u64(dst.hi());
+  w.u64(dst.lo());
+  w.bytes(l4_payload);
+  return Datagram{src, dst, next_header, w.take()};
+}
+
+std::optional<Datagram> parse_datagram(std::span<const std::uint8_t> wire) {
+  if (wire.empty()) return std::nullopt;
+  const std::uint8_t version = wire[0] >> 4;
+  try {
+    ByteReader r(wire);
+    if (version == 4) {
+      if (wire.size() < Ipv4Header::kSize) return std::nullopt;
+      const std::uint8_t vihl = r.u8();
+      if ((vihl & 0x0f) != 5) return std::nullopt;  // options unsupported
+      (void)r.u8();                                 // TOS
+      const std::uint16_t total_length = r.u16();
+      if (total_length != wire.size()) return std::nullopt;
+      (void)r.u16();  // identification
+      (void)r.u16();  // flags/fragment
+      (void)r.u8();   // TTL
+      const std::uint8_t protocol = r.u8();
+      (void)r.u16();  // checksum (validated over the whole header below)
+      const Ipv4Address src(r.u32());
+      const Ipv4Address dst(r.u32());
+      if (internet_checksum(wire.subspan(0, Ipv4Header::kSize)) != 0) {
+        return std::nullopt;
+      }
+      return Datagram{src, dst, protocol,
+                      std::vector<std::uint8_t>(wire.begin(), wire.end())};
+    }
+    if (version == 6) {
+      if (wire.size() < Ipv6Header::kSize) return std::nullopt;
+      (void)r.u32();  // version/TC/flow label
+      const std::uint16_t payload_length = r.u16();
+      if (payload_length + Ipv6Header::kSize != wire.size()) {
+        return std::nullopt;
+      }
+      const std::uint8_t next_header = r.u8();
+      (void)r.u8();  // hop limit
+      const std::uint64_t src_hi = r.u64();
+      const std::uint64_t src_lo = r.u64();
+      const std::uint64_t dst_hi = r.u64();
+      const std::uint64_t dst_lo = r.u64();
+      return Datagram{Ipv6Address(src_hi, src_lo), Ipv6Address(dst_hi, dst_lo),
+                      next_header,
+                      std::vector<std::uint8_t>(wire.begin(), wire.end())};
+    }
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace laces::net

@@ -1,0 +1,74 @@
+// IPv4/IPv6 header serialization and datagram assembly.
+//
+// Probes and responses travel through the simulator as real wire bytes;
+// targets and workers parse them with the same code a capture loop would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/protocol.hpp"
+#include "util/bytes.hpp"
+
+namespace laces::net {
+
+/// IPv4 header (no options; IHL fixed at 5).
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // filled by serialize
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  static constexpr std::size_t kSize = 20;
+};
+
+/// IPv6 fixed header.
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint16_t payload_length = 0;  // filled by serialize
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  static constexpr std::size_t kSize = 40;
+};
+
+/// A fully serialized IP datagram plus its parsed header fields.
+struct Datagram {
+  IpAddress src;
+  IpAddress dst;
+  std::uint8_t ip_protocol = 0;
+  std::vector<std::uint8_t> bytes;  // full packet, IP header included
+
+  IpVersion version() const { return src.version(); }
+  /// The L4 payload (view into `bytes`).
+  std::span<const std::uint8_t> l4() const;
+};
+
+/// Builds a v4 datagram around `l4_payload`. The header checksum is computed;
+/// the L4 checksum must already be finalized by the caller.
+Datagram make_datagram_v4(Ipv4Address src, Ipv4Address dst,
+                          std::uint8_t protocol,
+                          std::span<const std::uint8_t> l4_payload,
+                          std::uint8_t ttl = 64,
+                          std::uint16_t identification = 0);
+
+/// Builds a v6 datagram around `l4_payload`.
+Datagram make_datagram_v6(const Ipv6Address& src, const Ipv6Address& dst,
+                          std::uint8_t next_header,
+                          std::span<const std::uint8_t> l4_payload,
+                          std::uint8_t hop_limit = 64);
+
+/// Parses raw wire bytes into a Datagram. Returns nullopt on malformed
+/// input, a bad v4 header checksum, or a length mismatch.
+std::optional<Datagram> parse_datagram(std::span<const std::uint8_t> wire);
+
+}  // namespace laces::net

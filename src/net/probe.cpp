@@ -1,0 +1,272 @@
+#include "net/probe.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "net/icmp.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "util/bytes.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace laces::net {
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'L', 'A', 'C', 'E', 'S', 'R', '0', '1'};
+constexpr std::uint8_t kFlagVarying = 0x01;
+
+std::uint32_t payload_check(MeasurementId meas, WorkerId worker,
+                            std::int64_t tx_ns, std::uint32_t salt) {
+  StableHash h(0x1ace5);
+  h.mix(std::uint64_t{meas})
+      .mix(std::uint64_t{worker})
+      .mix(static_cast<std::uint64_t>(tx_ns))
+      .mix(std::uint64_t{salt});
+  return static_cast<std::uint32_t>(h.value());
+}
+
+std::uint32_t static_check(MeasurementId meas) {
+  StableHash h(0x57a71c);
+  h.mix(std::uint64_t{meas});
+  return static_cast<std::uint32_t>(h.value());
+}
+
+std::vector<std::uint8_t> encode_icmp_payload(const ProbeEncoding& enc,
+                                              bool vary_payload) {
+  ByteWriter w;
+  w.bytes(kMagic);
+  w.u32(enc.measurement);
+  if (vary_payload && enc.worker && enc.tx_time_ns) {
+    w.u8(kFlagVarying);
+    w.u16(*enc.worker);
+    w.i64(*enc.tx_time_ns);
+    w.u32(enc.salt);
+    w.u32(payload_check(enc.measurement, *enc.worker, *enc.tx_time_ns,
+                        enc.salt));
+  } else {
+    w.u8(0);
+    w.u32(static_check(enc.measurement));
+  }
+  return w.take();
+}
+
+std::optional<ProbeEncoding> decode_icmp_payload(
+    std::span<const std::uint8_t> payload) {
+  try {
+    ByteReader r(payload);
+    const auto magic = r.bytes(8);
+    for (int i = 0; i < 8; ++i) {
+      if (magic[i] != kMagic[i]) return std::nullopt;
+    }
+    ProbeEncoding enc;
+    enc.measurement = r.u32();
+    const std::uint8_t flags = r.u8();
+    if (flags & kFlagVarying) {
+      enc.worker = r.u16();
+      enc.tx_time_ns = r.i64();
+      enc.salt = r.u32();
+      const std::uint32_t check = r.u32();
+      if (check != payload_check(enc.measurement, *enc.worker, *enc.tx_time_ns,
+                                 enc.salt)) {
+        return std::nullopt;
+      }
+    } else {
+      const std::uint32_t check = r.u32();
+      if (check != static_check(enc.measurement)) return std::nullopt;
+    }
+    return enc;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Datagram wrap_l4(const IpAddress& src, const IpAddress& dst, Protocol proto,
+                 std::vector<std::uint8_t> l4) {
+  const std::uint8_t num = ip_proto_number(proto, !src.is_v4());
+  if (src.is_v4()) {
+    return make_datagram_v4(src.v4(), dst.v4(), num, l4);
+  }
+  return make_datagram_v6(src.v6(), dst.v6(), num, l4);
+}
+
+std::string encode_qname(const ProbeEncoding& enc) {
+  char label[64];
+  std::snprintf(label, sizeof label, "p-%08x-%04x-%016" PRIx64 "-%08x",
+                enc.measurement, enc.worker.value_or(0),
+                static_cast<std::uint64_t>(enc.tx_time_ns.value_or(0)),
+                enc.salt);
+  return std::string(label) + "." + std::string(kProbeDomainSuffix);
+}
+
+std::optional<ProbeEncoding> decode_qname(const std::string& qname) {
+  const std::string suffix = "." + std::string(kProbeDomainSuffix);
+  if (qname.size() <= suffix.size() ||
+      qname.compare(qname.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    return std::nullopt;
+  }
+  const std::string label = qname.substr(0, qname.size() - suffix.size());
+  unsigned meas = 0, worker = 0, salt = 0;
+  std::uint64_t tx = 0;
+  if (std::sscanf(label.c_str(), "p-%08x-%04x-%016" PRIx64 "-%08x", &meas,
+                  &worker, &tx, &salt) != 4) {
+    return std::nullopt;
+  }
+  ProbeEncoding enc;
+  enc.measurement = meas;
+  enc.worker = static_cast<WorkerId>(worker);
+  enc.tx_time_ns = static_cast<std::int64_t>(tx);
+  enc.salt = salt;
+  return enc;
+}
+
+}  // namespace
+
+Datagram build_icmp_probe(const IpAddress& src, const IpAddress& dst,
+                          const ProbeEncoding& enc, bool vary_payload) {
+  expects(src.version() == dst.version(), "address family match");
+  IcmpEcho echo;
+  echo.is_v6 = !src.is_v4();
+  echo.id = kIcmpProbeId;
+  echo.seq = 1;
+  echo.payload = encode_icmp_payload(enc, vary_payload);
+  auto l4 = build_icmp_echo(echo);
+  if (echo.is_v6) finalize_icmpv6_checksum(l4, src.v6(), dst.v6());
+  return wrap_l4(src, dst, Protocol::kIcmp, std::move(l4));
+}
+
+Datagram build_tcp_probe(const IpAddress& src, const IpAddress& dst,
+                         const ProbeEncoding& enc) {
+  expects(src.version() == dst.version(), "address family match");
+  TcpSegment seg;
+  seg.src_port = kTcpProbeSrcPort;
+  seg.dst_port = kTcpProbeDstPort;
+  seg.seq = enc.salt;
+  seg.ack = pack_tcp_ack(enc);
+  seg.flags = kTcpSyn | kTcpAck;
+  seg.window = 1024;
+  auto l4 = build_tcp_segment(seg);
+  finalize_tcp_checksum(l4, src, dst);
+  return wrap_l4(src, dst, Protocol::kTcp, std::move(l4));
+}
+
+Datagram build_dns_probe(const IpAddress& src, const IpAddress& dst,
+                         const ProbeEncoding& enc) {
+  expects(src.version() == dst.version(), "address family match");
+  DnsMessage query;
+  query.id = static_cast<std::uint16_t>(enc.measurement);
+  query.questions.push_back(
+      DnsQuestion{encode_qname(enc),
+                  src.is_v4() ? DnsType::kA : DnsType::kAaaa, DnsClass::kIn});
+  UdpDatagram udp;
+  udp.src_port = kDnsProbeSrcPort;
+  udp.dst_port = kDnsPort;
+  udp.payload = build_dns_message(query);
+  auto l4 = build_udp(udp);
+  finalize_udp_checksum(l4, src, dst);
+  return wrap_l4(src, dst, Protocol::kUdpDns, std::move(l4));
+}
+
+Datagram build_chaos_probe(const IpAddress& src, const IpAddress& dst,
+                           const ProbeEncoding& enc) {
+  expects(src.version() == dst.version(), "address family match");
+  DnsMessage query;
+  query.id = static_cast<std::uint16_t>(enc.measurement);
+  query.questions.push_back(DnsQuestion{std::string(kChaosQueryName),
+                                        DnsType::kTxt, DnsClass::kChaos});
+  UdpDatagram udp;
+  udp.src_port = kDnsProbeSrcPort;
+  udp.dst_port = kDnsPort;
+  udp.payload = build_dns_message(query);
+  auto l4 = build_udp(udp);
+  finalize_udp_checksum(l4, src, dst);
+  return wrap_l4(src, dst, Protocol::kUdpDns, std::move(l4));
+}
+
+std::uint32_t pack_tcp_ack(const ProbeEncoding& enc) {
+  const std::uint32_t meas6 = enc.measurement & 0x3f;
+  const std::uint32_t worker10 = enc.worker.value_or(0) & 0x3ff;
+  const std::uint32_t ms16 = static_cast<std::uint32_t>(
+      (enc.tx_time_ns.value_or(0) / 1'000'000) & 0xffff);
+  return (meas6 << 26) | (worker10 << 16) | ms16;
+}
+
+ProbeEncoding unpack_tcp_ack(std::uint32_t ack) {
+  ProbeEncoding enc;
+  enc.measurement = (ack >> 26) & 0x3f;
+  enc.worker = static_cast<WorkerId>((ack >> 16) & 0x3ff);
+  enc.tx_time_ns = static_cast<std::int64_t>(ack & 0xffff) * 1'000'000;
+  return enc;
+}
+
+bool tcp_ack_matches(std::uint32_t ack, MeasurementId measurement) {
+  return ((ack >> 26) & 0x3f) == (measurement & 0x3f);
+}
+
+std::optional<ParsedResponse> parse_response(const Datagram& dgram,
+                                             MeasurementId measurement) {
+  const bool v6 = dgram.version() == IpVersion::kV6;
+  ParsedResponse out;
+  out.target = dgram.src;
+
+  if (dgram.ip_protocol == ip_proto_number(Protocol::kIcmp, v6)) {
+    const auto echo = parse_icmp_echo(dgram.l4(), v6);
+    if (!echo || !echo->is_reply || echo->id != kIcmpProbeId) {
+      return std::nullopt;
+    }
+    if (v6 && !verify_icmpv6_checksum(dgram.l4(), dgram.src.v6(),
+                                      dgram.dst.v6())) {
+      return std::nullopt;
+    }
+    const auto enc = decode_icmp_payload(echo->payload);
+    if (!enc || enc->measurement != measurement) return std::nullopt;
+    out.protocol = Protocol::kIcmp;
+    out.encoding = *enc;
+    return out;
+  }
+
+  if (dgram.ip_protocol == 6) {
+    const auto seg = parse_tcp_segment(dgram.l4(), dgram.src, dgram.dst);
+    if (!seg || !seg->has(kTcpRst)) return std::nullopt;
+    if (seg->src_port != kTcpProbeDstPort ||
+        seg->dst_port != kTcpProbeSrcPort) {
+      return std::nullopt;
+    }
+    if (!tcp_ack_matches(seg->seq, measurement)) return std::nullopt;
+    out.protocol = Protocol::kTcp;
+    out.encoding = unpack_tcp_ack(seg->seq);
+    out.encoding.measurement = measurement;  // full id known from context
+    return out;
+  }
+
+  if (dgram.ip_protocol == 17) {
+    const auto udp = parse_udp(dgram.l4(), dgram.src, dgram.dst);
+    if (!udp || udp->src_port != kDnsPort) return std::nullopt;
+    const auto msg = parse_dns_message(udp->payload);
+    if (!msg || !msg->is_response || msg->questions.empty()) {
+      return std::nullopt;
+    }
+    const auto& q = msg->questions.front();
+    if (q.qclass == DnsClass::kChaos && q.qname == kChaosQueryName) {
+      if (msg->id != static_cast<std::uint16_t>(measurement)) {
+        return std::nullopt;
+      }
+      out.protocol = Protocol::kUdpDns;
+      out.encoding.measurement = measurement;
+      if (!msg->answers.empty()) {
+        out.txt_answer = txt_text(msg->answers.front().rdata);
+      }
+      return out;
+    }
+    const auto enc = decode_qname(q.qname);
+    if (!enc || enc->measurement != measurement) return std::nullopt;
+    out.protocol = Protocol::kUdpDns;
+    out.encoding = *enc;
+    return out;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace laces::net

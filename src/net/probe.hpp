@@ -1,0 +1,96 @@
+// Probe construction and response matching.
+//
+// Paper §4.1.2: "We encode information regarding the sending Worker ID and
+// the transmit time in fields that are echoed in responses from targets.
+// For ICMP this is achieved using the ICMP payload, for DNS we encode
+// information in the domain name of the request, and for TCP we use the
+// acknowledgement number."
+//
+// Flow headers (addresses, ports, ICMP id/seq) are kept constant across
+// workers so per-flow load balancers do not split responses (§5.1.4); only
+// the echoed payload fields vary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/address.hpp"
+#include "net/dns.hpp"
+#include "net/ip.hpp"
+#include "net/protocol.hpp"
+
+namespace laces::net {
+
+/// Identifies the measurement a probe belongs to.
+using MeasurementId = std::uint32_t;
+/// Identifies a worker (vantage point) within a deployment.
+using WorkerId = std::uint16_t;
+
+/// Data carried inside a probe and recovered from its response.
+///
+/// `worker` and `tx_time_ns` are optional because the static-probe ablation
+/// (§5.1.4) sends byte-identical probes from every worker, and TCP's 32-bit
+/// ack field only carries a truncated timestamp.
+struct ProbeEncoding {
+  MeasurementId measurement = 0;
+  std::optional<WorkerId> worker;
+  std::optional<std::int64_t> tx_time_ns;
+  std::uint32_t salt = 0;
+};
+
+/// What a worker learns from a captured response after validation.
+struct ParsedResponse {
+  Protocol protocol = Protocol::kIcmp;
+  IpAddress target;  // the probed address (source of the response)
+  ProbeEncoding encoding;
+  /// For DNS: TXT answer text (CHAOS site identity), if present.
+  std::optional<std::string> txt_answer;
+};
+
+/// Fixed flow-header constants (never varied — see §5.1.4).
+inline constexpr std::uint16_t kIcmpProbeId = 0xACE5;
+inline constexpr std::uint16_t kTcpProbeSrcPort = 443;
+inline constexpr std::uint16_t kTcpProbeDstPort = 62111;  // high port
+inline constexpr std::uint16_t kDnsProbeSrcPort = 53053;
+
+/// Domain suffix under which census queries are issued; the zone exists and
+/// explains the measurement (paper §4.3 on ethics).
+inline constexpr std::string_view kProbeDomainSuffix = "census.laces-test.net";
+
+/// RFC 4892 CHAOS query name for site identification.
+inline constexpr std::string_view kChaosQueryName = "hostname.bind";
+
+/// Builds an ICMP echo-request probe. When `vary_payload` is false the
+/// worker/tx/salt fields are omitted so all workers emit identical bytes.
+Datagram build_icmp_probe(const IpAddress& src, const IpAddress& dst,
+                          const ProbeEncoding& enc, bool vary_payload = true);
+
+/// Builds a TCP SYN/ACK probe; the encoding travels in the ACK number.
+Datagram build_tcp_probe(const IpAddress& src, const IpAddress& dst,
+                         const ProbeEncoding& enc);
+
+/// Builds a UDP/DNS A-record probe; the encoding travels in the qname.
+Datagram build_dns_probe(const IpAddress& src, const IpAddress& dst,
+                         const ProbeEncoding& enc);
+
+/// Builds a UDP/DNS TXT CHAOS probe (fixed qname; only the DNS transaction
+/// id carries measurement identity).
+Datagram build_chaos_probe(const IpAddress& src, const IpAddress& dst,
+                           const ProbeEncoding& enc);
+
+/// Parses a captured datagram as a response to a probe of `measurement`.
+/// Returns nullopt if the packet is not ours (wrong magic, wrong measurement,
+/// malformed, or not a response type we solicit).
+std::optional<ParsedResponse> parse_response(const Datagram& dgram,
+                                             MeasurementId measurement);
+
+/// TCP ack-number packing (public for tests): 6 bits measurement,
+/// 10 bits worker, 16 bits of milliseconds.
+std::uint32_t pack_tcp_ack(const ProbeEncoding& enc);
+ProbeEncoding unpack_tcp_ack(std::uint32_t ack);
+
+/// True if `ack`'s measurement bits match `measurement`'s low 6 bits.
+bool tcp_ack_matches(std::uint32_t ack, MeasurementId measurement);
+
+}  // namespace laces::net

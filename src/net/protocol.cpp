@@ -1,0 +1,29 @@
+#include "net/protocol.hpp"
+
+namespace laces::net {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kIcmp:
+      return "ICMP";
+    case Protocol::kTcp:
+      return "TCP";
+    case Protocol::kUdpDns:
+      return "UDP";
+  }
+  return "?";
+}
+
+std::uint8_t ip_proto_number(Protocol p, bool v6) {
+  switch (p) {
+    case Protocol::kIcmp:
+      return v6 ? 58 : 1;  // ICMPv6 / ICMP
+    case Protocol::kTcp:
+      return 6;
+    case Protocol::kUdpDns:
+      return 17;
+  }
+  return 0;
+}
+
+}  // namespace laces::net

@@ -1,0 +1,26 @@
+// Probing protocols supported by MAnycastR (paper R4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace laces::net {
+
+/// Transport used for a probe. UDP probing is DNS-aware (A queries, plus
+/// TXT/CHAOS for RFC 4892 site identification).
+enum class Protocol : std::uint8_t {
+  kIcmp,    // echo request -> echo reply
+  kTcp,     // SYN/ACK to a high port -> RST (stateless at the target, R3)
+  kUdpDns,  // DNS query -> DNS response
+};
+
+inline constexpr std::array<Protocol, 3> kAllProtocols = {
+    Protocol::kIcmp, Protocol::kTcp, Protocol::kUdpDns};
+
+std::string_view to_string(Protocol p);
+
+/// IANA protocol numbers as they appear in the IP header.
+std::uint8_t ip_proto_number(Protocol p, bool v6);
+
+}  // namespace laces::net

@@ -1,0 +1,107 @@
+#include "net/responder.hpp"
+
+#include "net/icmp.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "net/dns.hpp"
+
+namespace laces::net {
+namespace {
+
+Datagram reply_l4(const Datagram& probe, Protocol proto,
+                  std::vector<std::uint8_t> l4) {
+  // Responses swap the probe's addresses: the probed address answers
+  // to the (possibly anycast) source of the probe.
+  const std::uint8_t num =
+      ip_proto_number(proto, probe.version() == IpVersion::kV6);
+  if (probe.version() == IpVersion::kV4) {
+    return make_datagram_v4(probe.dst.v4(), probe.src.v4(), num, l4);
+  }
+  return make_datagram_v6(probe.dst.v6(), probe.src.v6(), num, l4);
+}
+
+std::optional<Datagram> respond_icmp(const Datagram& probe,
+                                     const ResponderConfig& cfg) {
+  if (!cfg.icmp) return std::nullopt;
+  const bool v6 = probe.version() == IpVersion::kV6;
+  const auto echo = parse_icmp_echo(probe.l4(), v6);
+  if (!echo || echo->is_reply) return std::nullopt;
+  if (v6 &&
+      !verify_icmpv6_checksum(probe.l4(), probe.src.v6(), probe.dst.v6())) {
+    return std::nullopt;
+  }
+  auto l4 = build_icmp_echo(make_echo_reply(*echo));
+  if (v6) finalize_icmpv6_checksum(l4, probe.dst.v6(), probe.src.v6());
+  return reply_l4(probe, Protocol::kIcmp, std::move(l4));
+}
+
+std::optional<Datagram> respond_tcp(const Datagram& probe,
+                                    const ResponderConfig& cfg) {
+  if (!cfg.tcp) return std::nullopt;
+  const auto seg = parse_tcp_segment(probe.l4(), probe.src, probe.dst);
+  if (!seg) return std::nullopt;
+  // An unsolicited SYN/ACK to a closed (high) port elicits a RST.
+  if (!seg->has(kTcpSyn) || !seg->has(kTcpAck)) return std::nullopt;
+  auto l4 = build_tcp_segment(make_rst_for(*seg));
+  finalize_tcp_checksum(l4, probe.dst, probe.src);
+  return reply_l4(probe, Protocol::kTcp, std::move(l4));
+}
+
+std::optional<Datagram> respond_dns(const Datagram& probe,
+                                    const ResponderConfig& cfg) {
+  if (!cfg.dns) return std::nullopt;
+  const auto udp = parse_udp(probe.l4(), probe.src, probe.dst);
+  if (!udp || udp->dst_port != kDnsPort) return std::nullopt;
+  const auto query = parse_dns_message(udp->payload);
+  if (!query || query->is_response || query->questions.empty()) {
+    return std::nullopt;
+  }
+  const auto& q = query->questions.front();
+
+  std::vector<std::uint8_t> rdata;
+  if (q.qclass == DnsClass::kChaos && q.qtype == DnsType::kTxt) {
+    if (!cfg.chaos_value) return std::nullopt;  // CHAOS not supported
+    rdata = txt_rdata(*cfg.chaos_value);
+  } else if (q.qclass == DnsClass::kIn &&
+             (q.qtype == DnsType::kA || q.qtype == DnsType::kAaaa)) {
+    const IpAddress answer = cfg.dns_answer.value_or(probe.dst);
+    if (q.qtype == DnsType::kA && answer.is_v4()) {
+      const std::uint32_t v = answer.v4().value();
+      rdata = {static_cast<std::uint8_t>(v >> 24),
+               static_cast<std::uint8_t>(v >> 16),
+               static_cast<std::uint8_t>(v >> 8),
+               static_cast<std::uint8_t>(v)};
+    } else if (q.qtype == DnsType::kAaaa && !answer.is_v4()) {
+      const auto b = answer.v6().bytes();
+      rdata.assign(b.begin(), b.end());
+    } else {
+      rdata.clear();  // family mismatch: answer with empty rdata-less NOERROR
+    }
+  } else {
+    return std::nullopt;
+  }
+
+  DnsMessage resp = make_dns_response(*query, std::move(rdata));
+  UdpDatagram out;
+  out.src_port = kDnsPort;
+  out.dst_port = udp->src_port;
+  out.payload = build_dns_message(resp);
+  auto l4 = build_udp(out);
+  finalize_udp_checksum(l4, probe.dst, probe.src);
+  return reply_l4(probe, Protocol::kUdpDns, std::move(l4));
+}
+
+}  // namespace
+
+std::optional<Datagram> craft_response(const Datagram& probe,
+                                       const ResponderConfig& cfg) {
+  const bool v6 = probe.version() == IpVersion::kV6;
+  if (probe.ip_protocol == ip_proto_number(Protocol::kIcmp, v6)) {
+    return respond_icmp(probe, cfg);
+  }
+  if (probe.ip_protocol == 6) return respond_tcp(probe, cfg);
+  if (probe.ip_protocol == 17) return respond_dns(probe, cfg);
+  return std::nullopt;
+}
+
+}  // namespace laces::net

@@ -1,0 +1,34 @@
+// Target-side packet logic: what a live Internet host answers to our probes.
+//
+// The simulator calls craft_response() at the target's (anycast site's)
+// location; the returned datagram is then routed back — for anycast probing
+// that routing choice is exactly what the census measures.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/ip.hpp"
+#include "net/protocol.hpp"
+
+namespace laces::net {
+
+/// Per-protocol responsiveness and DNS identity of a target host.
+struct ResponderConfig {
+  bool icmp = true;
+  bool tcp = true;
+  bool dns = false;  // most hosts are not nameservers
+  /// RFC 4892 CHAOS TXT value disclosed by this site (e.g. "ams1.ns").
+  std::optional<std::string> chaos_value;
+  /// A/AAAA rdata returned for census queries (defaults to the probed
+  /// address itself).
+  std::optional<IpAddress> dns_answer;
+};
+
+/// Parses `probe` and produces the response a host configured as `cfg`
+/// would send, or nullopt if the host ignores this probe (wrong protocol,
+/// unresponsive service, malformed packet).
+std::optional<Datagram> craft_response(const Datagram& probe,
+                                       const ResponderConfig& cfg);
+
+}  // namespace laces::net

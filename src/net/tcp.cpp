@@ -1,0 +1,75 @@
+#include "net/tcp.hpp"
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace laces::net {
+namespace {
+
+std::uint16_t segment_checksum(std::span<const std::uint8_t> segment,
+                               const IpAddress& src, const IpAddress& dst) {
+  if (src.is_v4()) {
+    return pseudo_checksum_v4(src.v4(), dst.v4(), 6, segment);
+  }
+  return pseudo_checksum_v6(src.v6(), dst.v6(), 6, segment);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_tcp_segment(const TcpSegment& seg) {
+  ByteWriter w;
+  w.u16(seg.src_port);
+  w.u16(seg.dst_port);
+  w.u32(seg.seq);
+  w.u32(seg.ack);
+  w.u8(5 << 4);  // data offset 5 words, no options
+  w.u8(seg.flags);
+  w.u16(seg.window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  return w.take();
+}
+
+void finalize_tcp_checksum(std::vector<std::uint8_t>& segment,
+                           const IpAddress& src, const IpAddress& dst) {
+  segment[16] = 0;
+  segment[17] = 0;
+  const std::uint16_t sum = segment_checksum(segment, src, dst);
+  segment[16] = static_cast<std::uint8_t>(sum >> 8);
+  segment[17] = static_cast<std::uint8_t>(sum);
+}
+
+std::optional<TcpSegment> parse_tcp_segment(std::span<const std::uint8_t> l4,
+                                            const IpAddress& src,
+                                            const IpAddress& dst) {
+  if (l4.size() < 20) return std::nullopt;
+  if (segment_checksum(l4, src, dst) != 0) return std::nullopt;
+  try {
+    ByteReader r(l4);
+    TcpSegment seg;
+    seg.src_port = r.u16();
+    seg.dst_port = r.u16();
+    seg.seq = r.u32();
+    seg.ack = r.u32();
+    const std::uint8_t offset = r.u8() >> 4;
+    if (offset < 5) return std::nullopt;
+    seg.flags = r.u8();
+    seg.window = r.u16();
+    return seg;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+TcpSegment make_rst_for(const TcpSegment& syn_ack) {
+  TcpSegment rst;
+  rst.src_port = syn_ack.dst_port;
+  rst.dst_port = syn_ack.src_port;
+  rst.seq = syn_ack.ack;  // echoes the probe's encoded ACK number
+  rst.ack = 0;
+  rst.flags = kTcpRst;
+  rst.window = 0;
+  return rst;
+}
+
+}  // namespace laces::net

@@ -1,0 +1,54 @@
+// Minimal TCP segment handling for responsible SYN/ACK probing.
+//
+// MAnycastR sends SYN/ACK segments to high ports; a live host answers with
+// RST (seq = our ACK number), creating no state at the target (paper R3).
+// The probe's worker-id/time encoding travels in the acknowledgement number
+// and comes back in the RST's sequence number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace laces::net {
+
+/// TCP flag bits (subset we use).
+enum TcpFlags : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpAck = 0x10,
+};
+
+/// Parsed option-free TCP segment.
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+
+  bool has(TcpFlags f) const { return (flags & f) != 0; }
+};
+
+/// Serializes with a zeroed checksum; finalize_tcp_checksum() must follow.
+std::vector<std::uint8_t> build_tcp_segment(const TcpSegment& seg);
+
+/// Computes and patches the checksum once addresses are known.
+void finalize_tcp_checksum(std::vector<std::uint8_t>& segment,
+                           const IpAddress& src, const IpAddress& dst);
+
+/// Parses and checksum-validates a segment.
+std::optional<TcpSegment> parse_tcp_segment(std::span<const std::uint8_t> l4,
+                                            const IpAddress& src,
+                                            const IpAddress& dst);
+
+/// The RST a live target sends in answer to an unexpected SYN/ACK
+/// (RFC 9293 §3.10.7.1: seq = incoming ACK, no ACK flag).
+TcpSegment make_rst_for(const TcpSegment& syn_ack);
+
+}  // namespace laces::net

@@ -1,0 +1,60 @@
+#include "net/udp.hpp"
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace laces::net {
+namespace {
+
+std::uint16_t udp_checksum(std::span<const std::uint8_t> datagram,
+                           const IpAddress& src, const IpAddress& dst) {
+  if (src.is_v4()) {
+    return pseudo_checksum_v4(src.v4(), dst.v4(), 17, datagram);
+  }
+  return pseudo_checksum_v6(src.v6(), dst.v6(), 17, datagram);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_udp(const UdpDatagram& udp) {
+  ByteWriter w;
+  w.u16(udp.src_port);
+  w.u16(udp.dst_port);
+  w.u16(static_cast<std::uint16_t>(8 + udp.payload.size()));
+  w.u16(0);  // checksum placeholder
+  w.bytes(udp.payload);
+  return w.take();
+}
+
+void finalize_udp_checksum(std::vector<std::uint8_t>& datagram,
+                           const IpAddress& src, const IpAddress& dst) {
+  datagram[6] = 0;
+  datagram[7] = 0;
+  std::uint16_t sum = udp_checksum(datagram, src, dst);
+  if (sum == 0) sum = 0xffff;  // RFC 768: 0 means "no checksum"
+  datagram[6] = static_cast<std::uint8_t>(sum >> 8);
+  datagram[7] = static_cast<std::uint8_t>(sum);
+}
+
+std::optional<UdpDatagram> parse_udp(std::span<const std::uint8_t> l4,
+                                     const IpAddress& src,
+                                     const IpAddress& dst) {
+  if (l4.size() < 8) return std::nullopt;
+  if (udp_checksum(l4, src, dst) != 0) return std::nullopt;
+  try {
+    ByteReader r(l4);
+    UdpDatagram udp;
+    udp.src_port = r.u16();
+    udp.dst_port = r.u16();
+    const std::uint16_t length = r.u16();
+    if (length != l4.size()) return std::nullopt;
+    (void)r.u16();  // checksum
+    const auto payload = r.bytes(r.remaining());
+    udp.payload.assign(payload.begin(), payload.end());
+    return udp;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace laces::net

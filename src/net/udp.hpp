@@ -1,0 +1,34 @@
+// UDP datagram header handling; payload is a DNS message for our probes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace laces::net {
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes with a zeroed checksum; finalize_udp_checksum() must follow.
+std::vector<std::uint8_t> build_udp(const UdpDatagram& udp);
+
+/// Computes and patches the checksum once addresses are known.
+void finalize_udp_checksum(std::vector<std::uint8_t>& datagram,
+                           const IpAddress& src, const IpAddress& dst);
+
+/// Parses and checksum-validates a UDP datagram.
+std::optional<UdpDatagram> parse_udp(std::span<const std::uint8_t> l4,
+                                     const IpAddress& src,
+                                     const IpAddress& dst);
+
+/// The well-known DNS port.
+inline constexpr std::uint16_t kDnsPort = 53;
+
+}  // namespace laces::net

@@ -1,0 +1,51 @@
+// Latency measurements from unicast vantage points (the scamper-on-Ark and
+// RIPE Atlas role in the pipeline, §4.2).
+//
+// Every available VP sends one probe per target from its own unicast
+// address; responses return to that VP only, and the RTT feeds the GCD
+// analysis. Probes to one target are spaced across VPs so target-side rate
+// limiting is not triggered (responsible probing, R3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/probe.hpp"
+#include "net/protocol.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+
+namespace laces::platform {
+
+struct LatencyOptions {
+  net::Protocol protocol = net::Protocol::kIcmp;
+  /// Hitlist pacing (targets entering the measurement per second).
+  double targets_per_second = 2000.0;
+  /// Spacing between different VPs probing the same target.
+  SimDuration vp_offset = SimDuration::millis(200);
+  net::MeasurementId measurement_id = 0x6cd;
+  /// Seed for per-run VP availability draws (RIPE Atlas jitter).
+  std::uint64_t run_seed = 1;
+};
+
+struct RttSample {
+  net::IpAddress target;
+  std::uint32_t vp_index = 0;  // index into the platform's VP list
+  double rtt_ms = 0.0;
+};
+
+struct LatencyResults {
+  std::vector<RttSample> samples;
+  std::uint64_t probes_sent = 0;
+  double credits_used = 0.0;
+  /// VPs that actually participated in this run.
+  std::vector<std::uint32_t> active_vps;
+};
+
+/// Runs the measurement to completion on the simulated event loop.
+LatencyResults measure_latency(topo::SimNetwork& network,
+                               const UnicastPlatform& platform,
+                               const std::vector<net::IpAddress>& targets,
+                               const LatencyOptions& options = {});
+
+}  // namespace laces::platform

@@ -1,0 +1,237 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace laces::platform {
+namespace {
+
+// Measurement-infrastructure address space, disjoint from the simulated
+// world's allocations (which grow upward from 1.0.0.0 / 2001:db8::).
+constexpr std::uint32_t kAnycastV4 = 0xCB007101;       // 203.0.113.1
+constexpr std::uint32_t kCctldAnycastV4 = 0xCB007201;  // 203.0.114.1
+constexpr std::uint32_t kSiteUnicastV4Base = 0xC6336400;  // 198.51.100.0
+constexpr std::uint32_t kVpUnicastV4Base = 0x64400000;    // 100.64.0.0
+constexpr std::uint64_t kAnycastV6Hi = 0x3fff00000000ffffULL;
+constexpr std::uint64_t kCctldAnycastV6Hi = 0x3fff00000000fffeULL;
+constexpr std::uint64_t kSiteUnicastV6Hi = 0x3fff000000000001ULL;
+constexpr std::uint64_t kVpUnicastV6Hi = 0x3fff000000000002ULL;
+
+/// The 32 Vultr metros of the production deployment [Vultr 2024].
+constexpr std::array<const char*, 32> kVultrCities = {
+    "Amsterdam", "Atlanta",   "Bangalore", "Chicago",     "Dallas",
+    "Delhi",     "Frankfurt", "Honolulu",  "Johannesburg", "London",
+    "Los Angeles", "Madrid",  "Manchester", "Melbourne",  "Mexico City",
+    "Miami",     "Mumbai",    "Newark",    "Osaka",       "Paris",
+    "Sao Paulo", "Santiago",  "Seattle",   "Seoul",       "San Jose",
+    "Singapore", "Stockholm", "Sydney",    "Tel Aviv",    "Tokyo",
+    "Toronto",   "Warsaw"};
+
+/// The 12-site ccTLD registry deployment (regionally weighted toward
+/// Europe, as such operators typically are).
+constexpr std::array<const char*, 12> kCctldCities = {
+    "Amsterdam", "Frankfurt", "London", "Stockholm", "Vienna", "Lisbon",
+    "Newark",    "Los Angeles", "Sao Paulo", "Singapore", "Tokyo", "Sydney"};
+
+Site make_site(const topo::World& world, std::string_view city_name,
+               std::size_t index, std::uint32_t unicast_base,
+               std::uint64_t unicast_v6_hi) {
+  const auto id = geo::find_city(city_name);
+  expects(id.has_value(), "platform city exists in the database");
+  Site site;
+  site.name = std::string(city_name);
+  site.city = *id;
+  site.attach = topo::AttachPoint{*id, world.transit_near(*id)};
+  site.unicast_v4 = net::Ipv4Address(
+      unicast_base + static_cast<std::uint32_t>(index) + 1);
+  site.unicast_v6 =
+      net::Ipv6Address(unicast_v6_hi, static_cast<std::uint64_t>(index) + 1);
+  return site;
+}
+
+}  // namespace
+
+AnycastPlatform make_production_deployment(const topo::World& world) {
+  AnycastPlatform p;
+  p.name = "MAnycastR production";
+  p.anycast_v4 = net::Ipv4Address(kAnycastV4);
+  p.anycast_v6 = net::Ipv6Address(kAnycastV6Hi, 1);
+  for (std::size_t i = 0; i < kVultrCities.size(); ++i) {
+    p.sites.push_back(make_site(world, kVultrCities[i], i, kSiteUnicastV4Base,
+                                kSiteUnicastV6Hi));
+  }
+  return p;
+}
+
+AnycastPlatform make_cctld_deployment(const topo::World& world) {
+  AnycastPlatform p;
+  p.name = "ccTLD registry";
+  p.anycast_v4 = net::Ipv4Address(kCctldAnycastV4);
+  p.anycast_v6 = net::Ipv6Address(kCctldAnycastV6Hi, 1);
+  for (std::size_t i = 0; i < kCctldCities.size(); ++i) {
+    p.sites.push_back(make_site(world, kCctldCities[i], i + 64,
+                                kSiteUnicastV4Base, kSiteUnicastV6Hi));
+  }
+  return p;
+}
+
+AnycastPlatform select_eu_na(const AnycastPlatform& base) {
+  AnycastPlatform p = base;
+  p.name = "EU-NA";
+  p.sites.clear();
+  for (const auto& s : base.sites) {
+    if (s.name == "Amsterdam" || s.name == "Newark") p.sites.push_back(s);
+  }
+  expects(p.sites.size() == 2, "EU-NA pair present");
+  return p;
+}
+
+AnycastPlatform select_per_continent(const AnycastPlatform& base,
+                                     std::size_t per_continent) {
+  expects(per_continent >= 1 && per_continent <= 2, "1 or 2 per continent");
+  AnycastPlatform p = base;
+  p.name = per_continent == 1 ? "1-per-continent" : "2-per-continent";
+  p.sites.clear();
+
+  std::map<geo::Continent, std::vector<const Site*>> by_continent;
+  for (const auto& s : base.sites) {
+    by_continent[geo::city(s.city).continent].push_back(&s);
+  }
+  for (auto& [continent, sites] : by_continent) {
+    // First pick: the site receiving the most traffic is approximated by
+    // the most populous metro on the continent.
+    const Site* first = *std::max_element(
+        sites.begin(), sites.end(), [](const Site* a, const Site* b) {
+          return geo::city(a->city).population < geo::city(b->city).population;
+        });
+    p.sites.push_back(*first);
+    if (per_continent == 2 && sites.size() > 1) {
+      // Second pick: maximize geographic distance from the first.
+      const Site* second = *std::max_element(
+          sites.begin(), sites.end(), [&](const Site* a, const Site* b) {
+            return geo::distance_km(geo::city(a->city).location,
+                                    geo::city(first->city).location) <
+                   geo::distance_km(geo::city(b->city).location,
+                                    geo::city(first->city).location);
+          });
+      if (second != first) p.sites.push_back(*second);
+    }
+  }
+  return p;
+}
+
+UnicastPlatform make_ark(const topo::World& world, std::size_t count,
+                         std::uint64_t seed,
+                         std::size_t force_v6_filtering_vps) {
+  UnicastPlatform p;
+  p.name = "Ark-" + std::to_string(count);
+  Rng rng(seed ^ 0xa21c);
+  const auto cities = geo::world_cities();
+
+  // Sample distinct cities with mild population weighting; Ark nodes sit
+  // in academic/infrastructure hubs worldwide.
+  std::vector<geo::CityId> picked;
+  std::vector<bool> used(cities.size(), false);
+  double total = 0;
+  for (const auto& c : cities) total += std::sqrt(double(c.population));
+  while (picked.size() < std::min(count, cities.size())) {
+    double roll = rng.uniform(0.0, total);
+    for (std::size_t i = 0; i < cities.size(); ++i) {
+      roll -= std::sqrt(double(cities[i].population));
+      if (roll <= 0) {
+        if (!used[i]) {
+          used[i] = true;
+          picked.push_back(static_cast<geo::CityId>(i));
+        }
+        break;
+      }
+    }
+  }
+  // If more nodes than cities are requested, wrap around (two nodes in one
+  // metro is realistic for Ark).
+  for (std::size_t i = 0; picked.size() < count; ++i) {
+    picked.push_back(static_cast<geo::CityId>(i % cities.size()));
+  }
+
+  // Collect /48-filtering transit ASes for the forced-misclassification VPs.
+  std::vector<topo::AsId> filtering;
+  for (topo::AsId a = 0; a < world.as_graph().size(); ++a) {
+    if (world.filters_v6_specifics(a)) filtering.push_back(a);
+  }
+
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    VantagePoint vp;
+    vp.name = "ark-" + std::to_string(i);
+    vp.city = picked[i];
+    vp.attach = topo::AttachPoint{picked[i], world.transit_near(picked[i])};
+    if (i < force_v6_filtering_vps && !filtering.empty()) {
+      vp.attach.upstream = filtering[i % filtering.size()];
+    }
+    vp.address_v4 = net::Ipv4Address(kVpUnicastV4Base +
+                                     static_cast<std::uint32_t>(i) + 1);
+    vp.address_v6 =
+        net::Ipv6Address(kVpUnicastV6Hi, static_cast<std::uint64_t>(i) + 1);
+    vp.availability = 1.0;  // Ark is reliable (the reason the paper uses it)
+    p.vps.push_back(std::move(vp));
+  }
+  p.credits_per_probe = 0.0;
+  return p;
+}
+
+UnicastPlatform make_atlas(const topo::World& world, std::size_t count,
+                           double min_distance_km, std::uint64_t seed) {
+  // Start from a large Ark-style sample, thin to the distance bound, then
+  // cap and add availability jitter.
+  UnicastPlatform dense = make_ark(world, count * 2, seed ^ 0x47a5, 0);
+  dense.name = "RIPE-Atlas";
+  UnicastPlatform thinned = thin_by_distance(dense, min_distance_km);
+  if (thinned.vps.size() > count) thinned.vps.resize(count);
+  Rng rng(seed ^ 0x47a5f00d);
+  for (std::size_t i = 0; i < thinned.vps.size(); ++i) {
+    thinned.vps[i].name = "atlas-" + std::to_string(i);
+    thinned.vps[i].availability = 0.85 + rng.uniform(0.0, 0.13);
+  }
+  thinned.name = "RIPE-Atlas";
+  thinned.credits_per_probe = 160.0;  // ~RTT measurement cost in credits
+  return thinned;
+}
+
+UnicastPlatform unicast_view(const AnycastPlatform& platform) {
+  UnicastPlatform out;
+  out.name = platform.name + " (unicast view)";
+  for (const auto& site : platform.sites) {
+    VantagePoint vp;
+    vp.name = site.name;
+    vp.city = site.city;
+    vp.attach = site.attach;
+    vp.address_v4 = site.unicast_v4;
+    vp.address_v6 = site.unicast_v6;
+    vp.availability = 1.0;
+    out.vps.push_back(std::move(vp));
+  }
+  return out;
+}
+
+UnicastPlatform thin_by_distance(const UnicastPlatform& platform,
+                                 double min_distance_km) {
+  UnicastPlatform out;
+  out.name = platform.name;
+  out.credits_per_probe = platform.credits_per_probe;
+  for (const auto& vp : platform.vps) {
+    const bool far_enough = std::all_of(
+        out.vps.begin(), out.vps.end(), [&](const VantagePoint& kept) {
+          return geo::distance_km(geo::city(kept.city).location,
+                                  geo::city(vp.city).location) >=
+                 min_distance_km;
+        });
+    if (far_enough) out.vps.push_back(vp);
+  }
+  return out;
+}
+
+}  // namespace laces::platform

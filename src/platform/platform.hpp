@@ -1,0 +1,100 @@
+// Measurement platforms (paper §4.2.1, Table 1).
+//
+// * AnycastPlatform — a set of sites that all announce one anycast address
+//   per family plus per-site unicast addresses: the MAnycastR production
+//   deployment (32 Vultr metros), the ccTLD deployment (12 sites), and the
+//   reduced deployments of Table 5.
+// * UnicastPlatform — geographically distributed unicast vantage points:
+//   CAIDA Ark (163 production / 227 development / 118 IPv6 nodes) and
+//   RIPE-Atlas-style sets (481 nodes, 100 km minimum spacing, availability
+//   jitter, credit-cost accounting).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/cities.hpp"
+#include "net/address.hpp"
+#include "topo/world.hpp"
+
+namespace laces::platform {
+
+/// One anycast site (future Worker location).
+struct Site {
+  std::string name;           // e.g. "ams" for Amsterdam
+  geo::CityId city = 0;
+  topo::AttachPoint attach;
+  net::IpAddress unicast_v4;  // per-site source for GCD probing
+  net::IpAddress unicast_v6;
+};
+
+/// An anycast measurement deployment.
+struct AnycastPlatform {
+  std::string name;
+  std::vector<Site> sites;
+  net::IpAddress anycast_v4;
+  net::IpAddress anycast_v6;
+
+  net::IpAddress anycast_address(net::IpVersion version) const {
+    return version == net::IpVersion::kV4 ? anycast_v4 : anycast_v6;
+  }
+};
+
+/// One unicast vantage point of a latency-measurement platform.
+struct VantagePoint {
+  std::string name;
+  geo::CityId city = 0;
+  topo::AttachPoint attach;
+  net::IpAddress address_v4;
+  net::IpAddress address_v6;
+  /// Probability this VP participates in any given measurement (RIPE Atlas
+  /// nodes come and go; Ark nodes are reliable).
+  double availability = 1.0;
+};
+
+/// A set of unicast VPs (Ark / RIPE Atlas).
+struct UnicastPlatform {
+  std::string name;
+  std::vector<VantagePoint> vps;
+  /// Per-probe cost in platform credits (Atlas economics, Appendix A).
+  double credits_per_probe = 0.0;
+};
+
+/// The 32-site production deployment on the Vultr metros of §4.2.1.
+AnycastPlatform make_production_deployment(const topo::World& world);
+
+/// The 12-site ccTLD-registry deployment of §5.4.
+AnycastPlatform make_cctld_deployment(const topo::World& world);
+
+/// Table 5's reduced deployments, selected from `base`:
+/// two VPs (EU + NA), one per continent, and two per continent with
+/// maximized geographic spread.
+AnycastPlatform select_eu_na(const AnycastPlatform& base);
+AnycastPlatform select_per_continent(const AnycastPlatform& base,
+                                     std::size_t per_continent);
+
+/// Ark-style platform with `count` nodes; deterministic in `seed`.
+/// Spreads nodes worldwide with mild population weighting. If
+/// `force_v6_filtering_vps` > 0, that many nodes are attached to
+/// /48-filtering ASes (reproduces the Fastly misclassification of §5.8.2).
+UnicastPlatform make_ark(const topo::World& world, std::size_t count,
+                         std::uint64_t seed,
+                         std::size_t force_v6_filtering_vps = 0);
+
+/// RIPE-Atlas-style platform: up to `count` candidate nodes thinned to a
+/// minimum pairwise distance, with per-node availability < 1.
+UnicastPlatform make_atlas(const topo::World& world, std::size_t count,
+                           double min_distance_km, std::uint64_t seed);
+
+/// Keep only VPs at least `min_distance_km` apart (greedy, keeps earlier
+/// VPs first) — the Figure 8 thinning sweep.
+UnicastPlatform thin_by_distance(const UnicastPlatform& platform,
+                                 double min_distance_km);
+
+/// The anycast deployment's sites as unicast vantage points (MAnycastR's
+/// built-in GCD mode probes from the workers' unicast addresses, §4.1.3).
+UnicastPlatform unicast_view(const AnycastPlatform& platform);
+
+}  // namespace laces::platform

@@ -1,0 +1,45 @@
+#include "platform/traceroute.hpp"
+
+namespace laces::platform {
+
+TracerouteResult traceroute(const topo::World& world,
+                            const topo::AttachPoint& from,
+                            const net::IpAddress& target, std::uint32_t day) {
+  TracerouteResult result;
+  const topo::Target* t = world.find_target(target);
+  if (t == nullptr) return result;
+
+  const auto& dep = world.deployment(t->deployment);
+  // The same catchment decision a probe would get (flow headers are static
+  // for traceroute packets too; no per-packet variation).
+  const auto choice = world.routing().select_pop(
+      from, dep, day, SimTime::epoch(), /*flow_hash=*/0x7e0c, /*seq=*/0);
+  const auto& ingress = dep.pops[choice.pop_index];
+
+  // External leg: AS path from the VP's upstream to the ingress PoP's
+  // upstream AS.
+  for (const auto as_id :
+       world.as_graph().path(from.upstream, ingress.attach.upstream)) {
+    const auto& node = world.as_graph().node(as_id);
+    result.hops.push_back(TracerouteHop{as_id, node.asn, node.home, false});
+  }
+  result.ingress_city = ingress.attach.city;
+  result.serving_city = ingress.attach.city;
+
+  // Internal leg: global-BGP-unicast serves from its home PoP.
+  if (dep.kind == topo::DeploymentKind::kGlobalBgpUnicast &&
+      dep.home_pop != choice.pop_index) {
+    const auto& home = dep.pops[dep.home_pop];
+    result.hops.push_back(TracerouteHop{home.attach.upstream,
+                                        world.as_graph().node(home.attach.upstream).asn,
+                                        home.attach.city, true});
+    result.serving_city = home.attach.city;
+  }
+
+  // Does the serving host answer at all? Traceroute's last hop needs an
+  // ICMP TTL-exceeded or echo reply; fully silent targets never complete.
+  result.reached = t->responder.icmp && !world.target_down(*t, day);
+  return result;
+}
+
+}  // namespace laces::platform

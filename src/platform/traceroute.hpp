@@ -1,0 +1,43 @@
+// AS-level traceroute (the scamper capability used in §5.1.3 to confirm
+// that global-BGP-unicast probes ingress at distinct nearby PoPs, and the
+// §6 future-work path toward traceroute-based enumeration).
+//
+// The simulator models routing at AS granularity, so a traceroute reveals
+// the AS-level path from the vantage point's upstream to the PoP serving
+// the target — including, for global-BGP-unicast deployments, the internal
+// leg from the ingress PoP to the home server.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/cities.hpp"
+#include "net/address.hpp"
+#include "topo/world.hpp"
+
+namespace laces::platform {
+
+struct TracerouteHop {
+  topo::AsId as_id = 0;
+  topo::Asn asn = 0;
+  geo::CityId city = 0;       // the AS's home metro
+  bool internal = false;      // inside the target deployment's backbone
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  /// The PoP where the probe entered the target's network.
+  std::optional<geo::CityId> ingress_city;
+  /// The PoP that actually served the probe (== ingress except for
+  /// global-BGP-unicast, where it is the home server's site).
+  std::optional<geo::CityId> serving_city;
+  bool reached = false;
+};
+
+/// Trace from `from` toward `target` on `day`. Unresponsive or unallocated
+/// targets yield reached = false with the partial path.
+TracerouteResult traceroute(const topo::World& world,
+                            const topo::AttachPoint& from,
+                            const net::IpAddress& target, std::uint32_t day);
+
+}  // namespace laces::platform

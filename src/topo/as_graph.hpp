@@ -1,0 +1,70 @@
+// AS-level topology: tier-1 clique / transit / stub hierarchy.
+//
+// BGP route selection is approximated by hop counts on this graph (shortest
+// AS path, the dominant BGP tie-breaker), combined with geographic
+// hot-potato distance in RoutingModel. BFS results are cached per source.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/cities.hpp"
+#include "topo/types.hpp"
+#include "util/rng.hpp"
+
+namespace laces::topo {
+
+enum class AsTier : std::uint8_t { kTier1, kTransit, kStub };
+
+struct AsNode {
+  Asn asn = 0;
+  AsTier tier = AsTier::kStub;
+  geo::CityId home = 0;
+  std::vector<AsId> neighbors;
+};
+
+/// Parameters for synthetic AS-graph generation.
+struct AsGraphConfig {
+  std::size_t tier1_count = 15;
+  std::size_t transit_count = 250;
+  std::size_t stub_count = 2800;
+  /// Transit ASes connect to this many tier-1s (plus lateral peers).
+  std::size_t transit_uplinks = 3;
+  std::size_t transit_peers = 4;
+  /// Stubs connect to this many transit providers.
+  std::size_t stub_uplinks = 2;
+};
+
+/// Immutable AS graph with lazily cached per-source BFS hop counts.
+class AsGraph {
+ public:
+  /// Generates a deterministic hierarchy: tier-1 full mesh; transit ASes
+  /// multihomed to geographically close tier-1s; stubs homed to close
+  /// transit ASes.
+  static AsGraph generate(const AsGraphConfig& config, Rng& rng);
+
+  std::size_t size() const { return nodes_.size(); }
+  const AsNode& node(AsId id) const;
+
+  /// Hop count from `src` to every AS (unreachable = kUnreachable).
+  /// Cached per source; thread-compatible (not thread-safe).
+  const std::vector<std::uint16_t>& hops_from(AsId src) const;
+
+  /// Hop count between two ASes.
+  std::uint16_t hops(AsId a, AsId b) const { return hops_from(a)[b]; }
+
+  /// One shortest AS-level path from `from` to `to`, inclusive of both
+  /// endpoints. Empty if unreachable. Deterministic (lowest-id neighbor
+  /// wins ties) — the AS-level view a traceroute would reveal.
+  std::vector<AsId> path(AsId from, AsId to) const;
+
+  static constexpr std::uint16_t kUnreachable = 0xffff;
+
+ private:
+  std::vector<AsNode> nodes_;
+  mutable std::unordered_map<AsId, std::vector<std::uint16_t>> bfs_cache_;
+};
+
+}  // namespace laces::topo

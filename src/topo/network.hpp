@@ -1,0 +1,109 @@
+// SimNetwork: packet-level transport over the simulated Internet.
+//
+// Measurement components attach interfaces (address + physical attach
+// point + receive handler) — attaching the *same* address at multiple
+// sites is exactly what announcing an anycast prefix does, and the
+// catchment selection of RoutingModel decides which site receives any
+// given response. Probes to world targets are answered by the target's
+// ResponderConfig at whichever PoP the probe lands on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "topo/world.hpp"
+#include "util/event_queue.hpp"
+
+namespace laces::topo {
+
+struct NetworkConfig {
+  /// ICMP rate limiting at targets: responses to probes arriving closer
+  /// together than this are dropped with `rate_limit_drop` probability
+  /// (why probe offsets matter, paper R3/§5.1.5).
+  SimDuration rate_limit_window = SimDuration::millis(5);
+  double rate_limit_drop = 0.25;
+  /// Uniform packet loss probability (each direction).
+  double loss = 0.002;
+};
+
+/// One address announced at one physical location with a receive callback.
+struct Interface {
+  net::IpAddress address;
+  AttachPoint attach;
+};
+
+class SimNetwork {
+ public:
+  using RxHandler =
+      std::function<void(const net::Datagram& datagram, SimTime rx_time)>;
+
+  SimNetwork(const World& world, EventQueue& events, NetworkConfig config = {});
+
+  /// Announce `addr` at `attach`; responses routed to `addr` whose
+  /// catchment selects this site invoke `handler`. Returns an id usable
+  /// with detach() (worker-outage simulation, R5).
+  std::uint64_t attach(const net::IpAddress& addr, const AttachPoint& attach,
+                       RxHandler handler);
+
+  /// Withdraw one interface (BGP withdraw at one site): remaining sites
+  /// announcing the same address absorb its catchment.
+  void detach(std::uint64_t interface_id);
+
+  /// Inject a datagram into the network at `from`. Typically a probe; the
+  /// target's response (if any) is routed and delivered asynchronously.
+  void send(const net::Datagram& datagram, const AttachPoint& from);
+
+  /// The census day, gating temporary anycast and daily churn.
+  void set_day(std::uint32_t day) { day_ = day; }
+  std::uint32_t day() const { return day_; }
+
+  SimTime now() const { return events_.now(); }
+  EventQueue& events() { return events_; }
+  const World& world() const { return world_; }
+
+  // --- counters (probing-cost accounting, Table 5) ---
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t responses_generated() const { return responses_generated_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  struct Endpoint {
+    std::uint64_t id = 0;
+    AttachPoint attach;
+    RxHandler handler;
+  };
+  struct LocalAddress {
+    std::vector<Endpoint> endpoints;
+    DeploymentId pseudo_id = 0;  // perturbation identity for catchments
+  };
+
+  void deliver_local(const net::Datagram& datagram, const AttachPoint& from,
+                     std::uint64_t salt);
+  void deliver_to_target(const net::Datagram& datagram,
+                         const AttachPoint& from, std::uint64_t salt);
+  std::uint64_t next_flow_seq(std::uint64_t flow_hash);
+  bool drop_packet(std::uint64_t salt);
+
+  const World& world_;
+  EventQueue& events_;
+  NetworkConfig config_;
+  std::uint32_t day_ = 0;
+  std::uint64_t next_interface_id_ = 1;
+  std::uint64_t next_salt_ = 1;
+  std::unordered_map<net::IpAddress, LocalAddress, net::IpAddressHash> local_;
+  std::unordered_map<std::uint64_t, std::uint64_t> flow_seq_;
+  std::unordered_map<std::uint64_t, SimTime> last_arrival_;  // per target
+  std::unordered_map<std::uint64_t, std::uint64_t> chaos_rotation_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t responses_generated_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+/// Hash of the flow headers only (addresses, protocol, ports / ICMP id) —
+/// per-flow load balancers see nothing else (paper §5.1.4).
+std::uint64_t flow_hash_of(const net::Datagram& datagram);
+
+}  // namespace laces::topo

@@ -1,0 +1,163 @@
+#include "topo/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/lightspeed.hpp"
+#include "util/contracts.hpp"
+
+namespace laces::topo {
+namespace {
+
+/// Hash-derived uniform value in [0, 1), stable in its inputs.
+double stable_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                   std::uint64_t c = 0, std::uint64_t d = 0) {
+  StableHash h(seed);
+  h.mix(a).mix(b).mix(c).mix(d);
+  return h.unit();
+}
+
+std::uint64_t attach_key(const AttachPoint& p) {
+  return (std::uint64_t{p.city} << 32) | p.upstream;
+}
+
+}  // namespace
+
+RoutingModel::RoutingModel(const AsGraph& graph, RoutingConfig config)
+    : graph_(graph), config_(config) {
+  const auto cities = geo::world_cities();
+  city_count_ = cities.size();
+  city_dist_.resize(city_count_ * city_count_);
+  for (std::size_t i = 0; i < city_count_; ++i) {
+    for (std::size_t j = i; j < city_count_; ++j) {
+      const float d = static_cast<float>(
+          geo::distance_km(cities[i].location, cities[j].location));
+      city_dist_[i * city_count_ + j] = d;
+      city_dist_[j * city_count_ + i] = d;
+    }
+  }
+}
+
+double RoutingModel::city_distance_km(geo::CityId a, geo::CityId b) const {
+  expects(a < city_count_ && b < city_count_, "valid city ids");
+  return city_dist_[static_cast<std::size_t>(a) * city_count_ + b];
+}
+
+double RoutingModel::score(const AttachPoint& from, const Pop& pop,
+                           DeploymentId dep) const {
+  const std::uint16_t hops = graph_.hops(from.upstream, pop.attach.upstream);
+  const double hop_cost =
+      hops == AsGraph::kUnreachable
+          ? 1e9
+          : static_cast<double>(hops) * config_.hop_weight_km;
+  const double geo_cost = city_distance_km(from.city, pop.attach.city);
+  const double perturb =
+      stable_unit(config_.seed ^ 0x7e27, attach_key(from),
+                  attach_key(pop.attach), dep) *
+      config_.perturb_km;
+  return hop_cost + geo_cost + perturb;
+}
+
+bool RoutingModel::flip_active(const AttachPoint& from, DeploymentId dep,
+                               SimTime when) const {
+  const std::int64_t epoch =
+      when.ns() / (config_.flip_epoch_s * 1'000'000'000LL);
+  return stable_unit(config_.seed ^ 0xf11b, attach_key(from), dep,
+                     static_cast<std::uint64_t>(epoch)) <
+         config_.route_flip_probability;
+}
+
+PopChoice RoutingModel::select_pop(const AttachPoint& from,
+                                   const Deployment& dep, std::uint32_t day,
+                                   SimTime when, std::uint64_t flow_hash,
+                                   std::uint64_t packet_seq) const {
+  expects(!dep.pops.empty(), "deployment has PoPs");
+  PopChoice choice;
+
+  // Temporary anycast that is inactive today is served from its home PoP.
+  if (dep.kind == DeploymentKind::kTemporaryAnycast &&
+      !dep.anycast_active(day)) {
+    choice.pop_index = dep.home_pop;
+    return choice;
+  }
+  if (dep.pops.size() == 1) return choice;
+
+  // Single pass for the best and second-best PoP by catchment score.
+  std::size_t best = 0, second = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  double second_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dep.pops.size(); ++i) {
+    const double s = score(from, dep.pops[i], dep.id);
+    if (s < best_score) {
+      second = best;
+      second_score = best_score;
+      best = i;
+      best_score = s;
+    } else if (s < second_score) {
+      second = i;
+      second_score = s;
+    }
+  }
+
+  // Route flip: in affected windows the runner-up briefly wins.
+  if (flip_active(from, dep.id, when)) {
+    std::swap(best, second);
+    std::swap(best_score, second_score);
+    choice.was_flipped = true;
+  }
+
+  // Equal-cost tie: some router pairs balance per packet, the rest hash
+  // flow headers (so probes with static flow headers stay together).
+  if (second_score - best_score < config_.ecmp_epsilon_km) {
+    choice.was_tie = true;
+    const bool round_robin =
+        stable_unit(config_.seed ^ 0xec3f, attach_key(from), dep.id) <
+        config_.per_packet_ecmp_fraction;
+    const std::uint64_t selector =
+        round_robin ? packet_seq
+                    : (StableHash(config_.seed ^ 0xf10e)
+                           .mix(flow_hash)
+                           .mix(attach_key(from))
+                           .mix(std::uint64_t{dep.id})
+                           .value());
+    if (selector % 2 == 1) best = second;
+  }
+
+  choice.pop_index = best;
+  return choice;
+}
+
+std::size_t RoutingModel::egress_pop(const Deployment& dep,
+                                     std::size_t ingress_pop) const {
+  expects(dep.kind == DeploymentKind::kGlobalBgpUnicast, "GBU deployment");
+  const bool local_egress =
+      stable_unit(config_.seed ^ 0xe62e55, dep.id, ingress_pop) <
+      config_.gbu_local_egress_fraction;
+  return local_egress ? ingress_pop : dep.home_pop;
+}
+
+SimDuration RoutingModel::one_way_delay(const AttachPoint& a,
+                                        const AttachPoint& b,
+                                        std::uint64_t packet_salt) const {
+  const double dist = city_distance_km(a.city, b.city);
+  const double stretch =
+      config_.stretch_min +
+      (config_.stretch_max - config_.stretch_min) *
+          stable_unit(config_.seed ^ 0x57e7c4, attach_key(a), attach_key(b));
+  const std::uint16_t hops = graph_.hops(a.upstream, b.upstream);
+  const double hop_ms =
+      hops == AsGraph::kUnreachable
+          ? 0.0
+          : static_cast<double>(hops + 1) * config_.hop_latency_ms;
+  // Exponential-ish jitter from a stable hash of the packet salt. Jitter is
+  // strictly additive: delays never undercut light-in-fibre propagation.
+  const double u = std::max(
+      1e-12, stable_unit(config_.seed ^ 0x717be2, attach_key(a), attach_key(b),
+                         packet_salt));
+  const double jitter_ms = -config_.jitter_mean_ms * std::log(u);
+  const double ms = dist / geo::kFibreKmPerMs * stretch + hop_ms + jitter_ms;
+  return SimDuration::from_seconds(ms / 1e3);
+}
+
+}  // namespace laces::topo

@@ -1,0 +1,112 @@
+// BGP-outcome-level routing: catchments, ECMP, route flips, latency.
+//
+// Rather than simulating BGP message exchange, RoutingModel reproduces the
+// *outcomes* the paper's methodology observes (DESIGN.md decision 2):
+//   * catchment selection — which PoP of a deployment receives a packet —
+//     scored by AS-path length (dominant BGP tie-breaker), hot-potato
+//     geographic distance, and a stable per-pair topological perturbation;
+//   * equal-cost ties, broken by a flow-header hash (stable) or, on a small
+//     fraction of paths, per-packet round-robin — the two FP mechanisms
+//     discussed in §2.2/§5.1.4;
+//   * route flips — time-windowed swaps of the top-2 PoPs, the FP mechanism
+//     that grows with inter-probe interval (Figure 4);
+//   * one-way delay — great-circle propagation at light-in-fibre speed times
+//     a stable path stretch (>= 1, so unicast targets can never produce a
+//     speed-of-light violation), plus per-hop forwarding and per-packet
+//     jitter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/as_graph.hpp"
+#include "topo/types.hpp"
+#include "util/simtime.hpp"
+
+namespace laces::topo {
+
+struct RoutingConfig {
+  std::uint64_t seed = 0x9e0u;
+  /// km-equivalent cost of one AS hop in catchment scoring.
+  double hop_weight_km = 1200.0;
+  /// Scale of the stable per-(endpoint, PoP) perturbation, km.
+  double perturb_km = 500.0;
+  /// Two PoPs within this score margin are an equal-cost tie.
+  double ecmp_epsilon_km = 120.0;
+  /// Fraction of tied (endpoint, deployment) pairs whose routers balance
+  /// per packet (round-robin) instead of per flow. Calibrated so ~1-2% of
+  /// unicast targets respond to two VPs even with synchronized probing
+  /// (the irreducible FP floor of Figure 4 at a 0 s interval).
+  double per_packet_ecmp_fraction = 0.15;
+  /// Route flips are modelled as a persistent per-epoch route state: in
+  /// each epoch the top-2 PoPs are swapped with this probability. Two
+  /// probes observe different routes only when their epochs' states
+  /// differ, so the FP count scales with the probing span — calibrated to
+  /// Figure 4's 13,312 -> 14,506 -> 19,830 -> 198,079 progression for
+  /// 0 s / 1 s / 1 min / 13 min inter-probe offsets.
+  double route_flip_probability = 2.5e-3;
+  /// Flip-state epoch length (typical route-flap persistence).
+  std::int64_t flip_epoch_s = 600;
+  /// Path stretch over the great-circle distance, stable per city pair.
+  double stretch_min = 1.15;
+  double stretch_max = 1.7;
+  /// Forwarding/queueing delay per AS hop, ms.
+  double hop_latency_ms = 0.35;
+  /// Mean of the per-packet exponential jitter, ms.
+  double jitter_mean_ms = 0.4;
+  /// Probability that a global-BGP-unicast deployment egresses a response
+  /// at the ingress PoP rather than near its home server (§5.1.3).
+  /// Calibrated so most such prefixes answer to exactly 2 measuring VPs
+  /// (the Table 3 disagreement concentrates in the 2-VP bucket).
+  double gbu_local_egress_fraction = 0.12;
+};
+
+/// Result of a catchment decision.
+struct PopChoice {
+  std::size_t pop_index = 0;
+  bool was_tie = false;
+  bool was_flipped = false;
+};
+
+class RoutingModel {
+ public:
+  RoutingModel(const AsGraph& graph, RoutingConfig config);
+
+  const RoutingConfig& config() const { return config_; }
+
+  /// Which PoP of `dep` receives a packet from `from`?
+  /// `day` gates temporary anycast; `flow_hash` is a hash of the packet's
+  /// flow headers only (§5.1.4); `packet_seq` is the per-flow packet
+  /// counter used by round-robin ECMP; `when` drives route flips.
+  PopChoice select_pop(const AttachPoint& from, const Deployment& dep,
+                       std::uint32_t day, SimTime when, std::uint64_t flow_hash,
+                       std::uint64_t packet_seq) const;
+
+  /// For kGlobalBgpUnicast: the PoP where the response re-enters the
+  /// Internet, given the PoP the probe ingressed at.
+  std::size_t egress_pop(const Deployment& dep, std::size_t ingress_pop) const;
+
+  /// One-way packet delay between attach points. `packet_salt` varies the
+  /// jitter per packet; everything else is stable per pair.
+  SimDuration one_way_delay(const AttachPoint& a, const AttachPoint& b,
+                            std::uint64_t packet_salt) const;
+
+  /// Great-circle distance between two cities (precomputed matrix).
+  double city_distance_km(geo::CityId a, geo::CityId b) const;
+
+  /// Catchment score of one PoP for a packet from `from` (exposed for
+  /// tests and analysis).
+  double score(const AttachPoint& from, const Pop& pop,
+               DeploymentId dep) const;
+
+ private:
+  bool flip_active(const AttachPoint& from, DeploymentId dep,
+                   SimTime when) const;
+
+  const AsGraph& graph_;
+  RoutingConfig config_;
+  std::size_t city_count_;
+  std::vector<float> city_dist_;  // row-major city distance matrix
+};
+
+}  // namespace laces::topo

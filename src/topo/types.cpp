@@ -1,0 +1,35 @@
+#include "topo/types.hpp"
+
+namespace laces::topo {
+
+bool is_anycast_ground_truth(DeploymentKind kind, bool temporary_active) {
+  switch (kind) {
+    case DeploymentKind::kUnicast:
+    case DeploymentKind::kGlobalBgpUnicast:
+      return false;
+    case DeploymentKind::kAnycastGlobal:
+    case DeploymentKind::kAnycastRegional:
+      return true;
+    case DeploymentKind::kTemporaryAnycast:
+      return temporary_active;
+  }
+  return false;
+}
+
+bool Deployment::anycast_active(std::uint32_t day) const {
+  if (kind != DeploymentKind::kTemporaryAnycast) {
+    return kind == DeploymentKind::kAnycastGlobal ||
+           kind == DeploymentKind::kAnycastRegional;
+  }
+  return ((day + temp_phase) % temp_period_days) < temp_active_days;
+}
+
+std::size_t Deployment::active_pop_count(std::uint32_t day) const {
+  if (kind == DeploymentKind::kUnicast) return 1;
+  if (kind == DeploymentKind::kTemporaryAnycast && !anycast_active(day)) {
+    return 1;
+  }
+  return pops.size();
+}
+
+}  // namespace laces::topo

@@ -1,0 +1,792 @@
+#include "topo/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace laces::topo {
+namespace {
+
+/// Static description of the hypergiant operators of Table 6 (counts are
+/// ~1:10 of the paper's census).
+struct HypergiantSpec {
+  const char* name;
+  Asn asn;
+  std::size_t v4_prefixes;
+  std::size_t v6_prefixes;
+  std::size_t sites;
+  /// Fraction of v4 prefixes placed in large "mixed" BGP announcements that
+  /// also contain unicast and unresponsive space (Appendix D structure).
+  double mixed_fraction;
+};
+
+constexpr HypergiantSpec kHypergiants[] = {
+    {"Google Cloud", 396982, 363, 1, 103, 0.25},
+    {"Cloudflare", 13335, 313, 28, 150, 0.10},
+    {"Amazon", 16509, 129, 12, 90, 0.30},
+    {"Fastly", 54113, 44, 7, 80, 0.10},
+    {"Cloudflare Spectrum", 209242, 29, 334, 150, 0.00},
+    {"Incapsula", 19551, 1, 35, 50, 0.00},
+    {"Afilias", 12041, 22, 22, 20, 0.00},
+    {"GoDaddy", 44273, 3, 12, 25, 0.00},
+};
+
+}  // namespace
+
+/// Stateful generator; friend of World so it can fill the private registries.
+class WorldBuilder {
+ public:
+  WorldBuilder(World& world, const WorldConfig& config)
+      : w_(world), cfg_(config), rng_(config.seed) {}
+
+  void build() {
+    w_.config_ = cfg_;
+    w_.graph_ = std::make_unique<AsGraph>(AsGraph::generate(
+        cfg_.as_graph, rng_));
+    RoutingConfig routing = cfg_.routing;
+    routing.seed ^= cfg_.seed * 0x9e3779b97f4a7c15ULL;
+    w_.routing_ = std::make_unique<RoutingModel>(*w_.graph_, routing);
+
+    index_transits();
+    choose_v6_filtering_ases();
+
+    make_org("Various", 0);  // org 0: unaffiliated bulk space
+
+    make_hypergiants();
+    make_global_bgp_unicast();
+    make_dns_roots();
+    make_protocol_niche_anycast();
+    make_medium_orgs();
+    make_regional_anycast();
+    make_temporary_anycast();
+    make_partial_anycast();
+    make_backing_anycast_v6();
+    make_unicast_bulk();
+    make_unresponsive();
+  }
+
+ private:
+  // ----------------------------------------------------------- primitives
+
+  OrgId make_org(std::string name, Asn asn) {
+    const OrgId id = static_cast<OrgId>(w_.orgs_.size());
+    w_.orgs_.push_back(Org{id, std::move(name), asn});
+    return id;
+  }
+
+  void index_transits() {
+    for (AsId i = 0; i < w_.graph_->size(); ++i) {
+      if (w_.graph_->node(i).tier == AsTier::kTransit) {
+        transit_ids_.push_back(i);
+      }
+    }
+    expects(!transit_ids_.empty(), "graph has transit ASes");
+    // Nearest transit per city, precomputed once.
+    const auto cities = geo::world_cities();
+    nearest_transit_.resize(cities.size());
+    for (std::size_t c = 0; c < cities.size(); ++c) {
+      double best = 1e18;
+      AsId pick = transit_ids_.front();
+      for (AsId t : transit_ids_) {
+        const double d = geo::distance_km(
+            cities[c].location, geo::city(w_.graph_->node(t).home).location);
+        if (d < best) {
+          best = d;
+          pick = t;
+        }
+      }
+      nearest_transit_[c] = pick;
+    }
+    w_.nearest_transit_ = nearest_transit_;
+  }
+
+  void choose_v6_filtering_ases() {
+    for (AsId t : transit_ids_) {
+      if (rng_.chance(cfg_.v6_filtering_transit_fraction)) {
+        w_.v6_filtering_ases_.insert(t);
+      }
+    }
+  }
+
+  AttachPoint attach_at(geo::CityId city) const {
+    return AttachPoint{city, nearest_transit_[city]};
+  }
+
+  /// Distinct cities sampled with probability proportional to population.
+  std::vector<geo::CityId> sample_cities(std::size_t count) {
+    const auto cities = geo::world_cities();
+    std::vector<geo::CityId> out;
+    std::vector<bool> used(cities.size(), false);
+    count = std::min(count, cities.size());
+    // Weighted sampling by repeated roulette; population dominates.
+    double total = 0;
+    for (const auto& c : cities) total += c.population;
+    while (out.size() < count) {
+      double roll = rng_.uniform(0.0, total);
+      for (std::size_t i = 0; i < cities.size(); ++i) {
+        roll -= cities[i].population;
+        if (roll <= 0) {
+          if (!used[i]) {
+            used[i] = true;
+            out.push_back(static_cast<geo::CityId>(i));
+          }
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Distinct cities within `radius_km` of a seed city (regional anycast).
+  std::vector<geo::CityId> sample_regional_cities(std::size_t count,
+                                                  double radius_km,
+                                                  geo::CityId seed_city) {
+    const auto cities = geo::world_cities();
+    std::vector<geo::CityId> candidates;
+    for (std::size_t i = 0; i < cities.size(); ++i) {
+      if (geo::distance_km(cities[i].location,
+                           geo::city(seed_city).location) <= radius_km) {
+        candidates.push_back(static_cast<geo::CityId>(i));
+      }
+    }
+    shuffle(candidates, rng_);
+    if (candidates.size() > count) candidates.resize(count);
+    return candidates;
+  }
+
+  std::vector<Pop> pops_for(const std::vector<geo::CityId>& cities) {
+    std::vector<Pop> pops;
+    pops.reserve(cities.size());
+    for (auto c : cities) pops.push_back(Pop{attach_at(c), {}});
+    return pops;
+  }
+
+  DeploymentId add_deployment(OrgId org, DeploymentKind kind,
+                              std::vector<Pop> pops, std::size_t home = 0) {
+    const DeploymentId id = static_cast<DeploymentId>(w_.deployments_.size());
+    Deployment dep;
+    dep.id = id;
+    dep.org = org;
+    dep.kind = kind;
+    dep.pops = std::move(pops);
+    dep.home_pop = home;
+    w_.deployments_.push_back(std::move(dep));
+    return id;
+  }
+
+  void add_target(net::IpAddress addr, DeploymentId dep,
+                  net::ResponderConfig responder, bool representative,
+                  std::optional<DeploymentId> backing = std::nullopt) {
+    Target t;
+    t.address = addr;
+    t.deployment = dep;
+    t.responder = std::move(responder);
+    t.representative = representative;
+    t.backing_deployment = backing;
+    w_.target_index_.emplace(addr, w_.targets_.size());
+    w_.prefix_targets_[net::Prefix::of(addr)].push_back(w_.targets_.size());
+    w_.targets_.push_back(std::move(t));
+  }
+
+  /// Allocates `count` consecutive /24s aligned to the block size and
+  /// returns the first address of the first /24.
+  std::uint32_t alloc_v4_block(std::size_t count) {
+    std::size_t align = 1;
+    while (align < count) align <<= 1;
+    const std::uint32_t align_addrs = static_cast<std::uint32_t>(align) * 256;
+    next_v4_ = (next_v4_ + align_addrs - 1) / align_addrs * align_addrs;
+    const std::uint32_t base = next_v4_;
+    next_v4_ += static_cast<std::uint32_t>(count) * 256;
+    w_.v4_prefixes_ += count;
+    return base;
+  }
+
+  /// Allocates one /48, announced per /48.
+  net::Ipv6Address alloc_v6_prefix(OrgId org) {
+    current_org_ = org;
+    const auto base = v6_base(next_v6_++);
+    w_.v6_prefixes_ += 1;
+    announce_v6(base, 48);
+    return base;
+  }
+
+  /// Allocates `count` consecutive /48s under ONE covering aggregate
+  /// announcement (the v6 analogue of hypergiant supernets).
+  net::Ipv6Address alloc_v6_block(std::size_t count) {
+    std::size_t align = 1;
+    std::uint8_t len = 48;
+    while (align < count) {
+      align <<= 1;
+      --len;
+    }
+    next_v6_ = (next_v6_ + align - 1) / align * align;
+    const auto base = v6_base(next_v6_);
+    announce_v6(base, len);
+    next_v6_ += count;
+    w_.v6_prefixes_ += count;
+    return base;
+  }
+
+  static net::Ipv6Address v6_base(std::uint64_t n) {
+    // 2001:db8:<n>::/48 with <n> spilling into further /32s as needed.
+    return net::Ipv6Address((0x20010db8ULL << 32) | (n << 16), 0);
+  }
+
+  void announce_v6(const net::Ipv6Address& base, std::uint8_t len) {
+    w_.bgp_table_v6_.push_back(
+        BgpAnnouncementV6{net::Ipv6Prefix(base, len), current_org_});
+  }
+
+  void announce(std::uint32_t base, std::uint8_t len, OrgId org) {
+    w_.bgp_table_.push_back(
+        BgpAnnouncement{net::Ipv4Prefix(net::Ipv4Address(base), len), org});
+  }
+
+  static std::uint8_t block_prefix_len(std::size_t count) {
+    std::uint8_t len = 24;
+    std::size_t n = 1;
+    while (n < count) {
+      n <<= 1;
+      --len;
+    }
+    return len;
+  }
+
+  net::ResponderConfig responder_icmp_mix(double p_tcp, double p_dns) {
+    net::ResponderConfig r;
+    r.icmp = true;
+    r.tcp = rng_.chance(p_tcp);
+    r.dns = rng_.chance(p_dns);
+    return r;
+  }
+
+  // --------------------------------------------------------- org families
+
+  void make_hypergiants() {
+    for (const auto& spec : kHypergiants) {
+      const OrgId org = make_org(spec.name, spec.asn);
+      const auto site_cities = sample_cities(spec.sites);
+      const auto pops = pops_for(site_cities);
+
+      // v4: pure-anycast announcements plus a few mixed supernets.
+      const std::size_t mixed =
+          static_cast<std::size_t>(spec.v4_prefixes * spec.mixed_fraction);
+      std::size_t pure = spec.v4_prefixes - mixed;
+      while (pure > 0) {
+        const std::size_t chunk_options[] = {16, 16, 4, 1};
+        std::size_t chunk =
+            std::min(pure, chunk_options[rng_.index(std::size(chunk_options))]);
+        // Keep announcements aligned power-of-two blocks.
+        while ((chunk & (chunk - 1)) != 0) --chunk;
+        const std::uint32_t base = alloc_v4_block(chunk);
+        announce(base, block_prefix_len(chunk), org);
+        for (std::size_t i = 0; i < chunk; ++i) {
+          add_anycast_v4_target(base + static_cast<std::uint32_t>(i) * 256,
+                                org, pops);
+        }
+        pure -= chunk;
+      }
+      if (mixed > 0) make_mixed_announcement(org, pops, mixed);
+
+      // v6 prefixes: covering aggregate announcements in chunks of up to
+      // 16 /48s (hypergiants announce /44s, which BGPTools lifts whole).
+      current_org_ = org;
+      std::size_t remaining_v6 = spec.v6_prefixes;
+      while (remaining_v6 > 0) {
+        const std::size_t chunk = std::min<std::size_t>(remaining_v6, 16);
+        const auto block = alloc_v6_block(chunk);
+        for (std::size_t i = 0; i < chunk; ++i) {
+          const net::Ipv6Address base(
+              block.hi() + (static_cast<std::uint64_t>(i) << 16), 0);
+          const auto dep =
+              add_deployment(org, DeploymentKind::kAnycastGlobal, pops);
+          net::ResponderConfig r;
+          r.icmp = true;
+          r.tcp = rng_.chance(cfg_.v6_tcp_responsive);
+          r.dns = rng_.chance(cfg_.anycast_dns_responsive);
+          add_target(net::Ipv6Address(base.hi(), 1), dep, r, true);
+        }
+        remaining_v6 -= chunk;
+      }
+    }
+  }
+
+  /// A large announced block mixing anycast, plain unicast and unresponsive
+  /// /24s — the Appendix D structure that breaks BGPTools' whole-prefix
+  /// assumption.
+  void make_mixed_announcement(OrgId org, const std::vector<Pop>& pops,
+                               std::size_t anycast_count) {
+    // Roughly 1 anycast : 2 unicast : 2 unresponsive.
+    const std::size_t total_raw = anycast_count * 5;
+    std::size_t total = 1;
+    while (total < total_raw) total <<= 1;
+    const std::uint32_t base = alloc_v4_block(total);
+    announce(base, block_prefix_len(total), org);
+    std::vector<std::size_t> slots(total);
+    for (std::size_t i = 0; i < total; ++i) slots[i] = i;
+    shuffle(slots, rng_);
+    std::size_t idx = 0;
+    for (; idx < anycast_count; ++idx) {
+      add_anycast_v4_target(base + static_cast<std::uint32_t>(slots[idx]) * 256,
+                            org, pops);
+    }
+    const std::size_t unicast_count = anycast_count * 2;
+    for (std::size_t k = 0; k < unicast_count && idx < total; ++k, ++idx) {
+      add_unicast_v4_target(
+          base + static_cast<std::uint32_t>(slots[idx]) * 256, org);
+    }
+    // The remaining slots stay unallocated (unresponsive space).
+  }
+
+  void add_anycast_v4_target(std::uint32_t prefix_base, OrgId org,
+                             const std::vector<Pop>& pops) {
+    const auto dep = add_deployment(org, DeploymentKind::kAnycastGlobal, pops);
+    add_target(net::Ipv4Address(prefix_base + 1), dep,
+               responder_icmp_mix(cfg_.anycast_tcp_responsive,
+                                  cfg_.anycast_dns_responsive),
+               true);
+  }
+
+  void add_unicast_v4_target(std::uint32_t prefix_base, OrgId org) {
+    const auto city =
+        static_cast<geo::CityId>(rng_.index(geo::world_cities().size()));
+    const auto dep = add_deployment(org, DeploymentKind::kUnicast,
+                                    pops_for({city}));
+    add_target(net::Ipv4Address(prefix_base + 1), dep,
+               responder_icmp_mix(cfg_.unicast_tcp_responsive,
+                                  cfg_.unicast_dns_responsive),
+               true);
+  }
+
+  void make_global_bgp_unicast() {
+    const OrgId org = make_org("GlobalBackbone", 8075);
+    const auto ingress_cities = sample_cities(45);
+    const auto pops = pops_for(ingress_cities);
+    std::size_t remaining = cfg_.v4_global_bgp_unicast;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(remaining, 16);
+      std::size_t aligned = chunk;
+      while ((aligned & (aligned - 1)) != 0) --aligned;
+      const std::uint32_t base = alloc_v4_block(aligned);
+      announce(base, block_prefix_len(aligned), org);
+      for (std::size_t i = 0; i < aligned; ++i) {
+        const auto home = rng_.index(pops.size());
+        const auto dep = add_deployment(
+            org, DeploymentKind::kGlobalBgpUnicast, pops, home);
+        add_target(net::Ipv4Address(base + static_cast<std::uint32_t>(i) * 256 + 1),
+                   dep, responder_icmp_mix(0.25, 0.02), true);
+      }
+      remaining -= aligned;
+    }
+  }
+
+  void make_dns_roots() {
+    for (std::size_t i = 0; i < cfg_.dns_root_like; ++i) {
+      const char letter = static_cast<char>('A' + i);
+      const OrgId org =
+          make_org(std::string("Root-") + letter, 394000 + static_cast<Asn>(i));
+      const auto cities = sample_cities(30 + rng_.index(90));
+      auto pops = pops_for(cities);
+      for (std::size_t p = 0; p < pops.size(); ++p) {
+        pops[p].chaos_values = {std::string(1, static_cast<char>('a' + (i % 26))) +
+                                std::to_string(p) + "." +
+                                std::string(geo::city(pops[p].attach.city).name)};
+      }
+      net::ResponderConfig r;
+      // The G-root analogue answers DNS only (paper §5.8.1).
+      const bool udp_only = (i == 6);
+      r.icmp = !udp_only;
+      r.tcp = !udp_only;
+      r.dns = true;
+
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, org);
+      const auto dep4 = add_deployment(org, DeploymentKind::kAnycastGlobal, pops);
+      add_target(net::Ipv4Address(base + 1), dep4, r, true);
+
+      const auto base6 = alloc_v6_prefix(org);
+      const auto dep6 = add_deployment(org, DeploymentKind::kAnycastGlobal, pops);
+      add_target(net::Ipv6Address(base6.hi(), 1), dep6, r, true);
+    }
+  }
+
+  void make_protocol_niche_anycast() {
+    // Anycast detectable only over UDP/DNS (LACNIC/Oracle/eBay-style).
+    for (std::size_t i = 0; i < cfg_.udp_only_anycast; ++i) {
+      const OrgId org = make_org("UdpOnly-" + std::to_string(i),
+                                 64000 + static_cast<Asn>(i));
+      const auto pops = pops_for(sample_cities(4 + rng_.index(26)));
+      net::ResponderConfig r;
+      r.icmp = false;
+      r.tcp = false;
+      r.dns = true;
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, org);
+      add_target(net::Ipv4Address(base + 1),
+                 add_deployment(org, DeploymentKind::kAnycastGlobal, pops), r,
+                 true);
+    }
+    // Anycast answering TCP and DNS but filtering ICMP.
+    for (std::size_t i = 0; i < cfg_.tcp_udp_only_anycast; ++i) {
+      const OrgId org = make_org("TcpUdpOnly-" + std::to_string(i),
+                                 64800 + static_cast<Asn>(i));
+      const auto pops = pops_for(sample_cities(4 + rng_.index(26)));
+      net::ResponderConfig r;
+      r.icmp = false;
+      r.tcp = true;
+      r.dns = true;
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, org);
+      add_target(net::Ipv4Address(base + 1),
+                 add_deployment(org, DeploymentKind::kAnycastGlobal, pops), r,
+                 true);
+    }
+    // Anycast detectable only over TCP.
+    for (std::size_t i = 0; i < cfg_.tcp_only_anycast; ++i) {
+      const OrgId org = make_org("TcpOnly-" + std::to_string(i),
+                                 64500 + static_cast<Asn>(i));
+      const auto pops = pops_for(sample_cities(4 + rng_.index(26)));
+      net::ResponderConfig r;
+      r.icmp = false;
+      r.tcp = true;
+      r.dns = false;
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, org);
+      add_target(net::Ipv4Address(base + 1),
+                 add_deployment(org, DeploymentKind::kAnycastGlobal, pops), r,
+                 true);
+    }
+  }
+
+  void make_medium_orgs() {
+    for (std::size_t i = 0; i < cfg_.v4_medium_anycast_orgs; ++i) {
+      const OrgId org = make_org("Anycast-" + std::to_string(i),
+                                 65000 + static_cast<Asn>(i));
+      // Most anycast deployments are small; site counts skew low with a
+      // long tail (fills the 3-5-VP buckets of Table 3 with true anycast).
+      const std::size_t sites = 3 + std::min<std::size_t>(
+          45, static_cast<std::size_t>(rng_.exponential(8.0)));
+      const auto pops = pops_for(sample_cities(sites));
+      const std::size_t prefixes = 1 + rng_.index(6);
+      for (std::size_t p = 0; p < prefixes; ++p) {
+        const std::uint32_t base = alloc_v4_block(1);
+        announce(base, 24, org);
+        add_anycast_v4_target(base + 0, org, pops);
+      }
+    }
+    for (std::size_t i = 0; i < cfg_.v6_medium_anycast_orgs; ++i) {
+      const OrgId org = make_org("Anycast6-" + std::to_string(i),
+                                 66000 + static_cast<Asn>(i));
+      const auto pops = pops_for(sample_cities(4 + rng_.index(44)));
+      const std::size_t prefixes = 1 + rng_.index(4);
+      for (std::size_t p = 0; p < prefixes; ++p) {
+        const auto base = alloc_v6_prefix(org);
+        const auto dep =
+            add_deployment(org, DeploymentKind::kAnycastGlobal, pops);
+        net::ResponderConfig r;
+        r.icmp = true;
+        r.tcp = rng_.chance(cfg_.v6_tcp_responsive);
+        r.dns = rng_.chance(cfg_.anycast_dns_responsive);
+        add_target(net::Ipv6Address(base.hi(), 1), dep, r, true);
+      }
+    }
+  }
+
+  void make_regional_anycast() {
+    const auto cities = geo::world_cities();
+    for (std::size_t i = 0; i < cfg_.v4_regional_anycast; ++i) {
+      const OrgId org = make_org("Regional-" + std::to_string(i),
+                                 67000 + static_cast<Asn>(i));
+      const auto seed_city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      auto site_cities =
+          sample_regional_cities(3 + rng_.index(10), 1200.0, seed_city);
+      if (site_cities.empty()) site_cities.push_back(seed_city);
+      auto pops = pops_for(site_cities);
+      // Regional deployments are typically ccTLD nameservers.
+      for (std::size_t p = 0; p < pops.size(); ++p) {
+        pops[p].chaos_values = {"ns" + std::to_string(p) + ".region" +
+                                std::to_string(i)};
+      }
+      net::ResponderConfig r;
+      r.icmp = true;
+      r.tcp = rng_.chance(0.5);
+      r.dns = true;
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, org);
+      add_target(net::Ipv4Address(base + 1),
+                 add_deployment(org, DeploymentKind::kAnycastRegional, pops),
+                 r, true);
+    }
+    for (std::size_t i = 0; i < cfg_.v6_regional_anycast; ++i) {
+      const OrgId org = make_org("Regional6-" + std::to_string(i),
+                                 67500 + static_cast<Asn>(i));
+      const auto seed_city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      auto site_cities =
+          sample_regional_cities(3 + rng_.index(10), 1200.0, seed_city);
+      if (site_cities.empty()) site_cities.push_back(seed_city);
+      net::ResponderConfig r;
+      r.icmp = true;
+      r.tcp = rng_.chance(0.5);
+      r.dns = true;
+      const auto base = alloc_v6_prefix(org);
+      add_target(net::Ipv6Address(base.hi(), 1),
+                 add_deployment(org, DeploymentKind::kAnycastRegional,
+                                pops_for(site_cities)),
+                 r, true);
+    }
+  }
+
+  void make_temporary_anycast() {
+    // Imperva-style on-demand DDoS-mitigation anycast (org exists already).
+    OrgId org = 0;
+    for (const auto& o : w_.orgs_) {
+      if (o.asn == 19551) org = o.id;
+    }
+    const auto pops = pops_for(sample_cities(50));
+    for (std::size_t i = 0; i < cfg_.v4_temporary_anycast; ++i) {
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, org);
+      const auto dep_id =
+          add_deployment(org, DeploymentKind::kTemporaryAnycast, pops,
+                         rng_.index(pops.size()));
+      auto& dep = w_.deployments_[dep_id];
+      dep.temp_period_days = 5 + static_cast<std::uint32_t>(rng_.index(9));
+      dep.temp_active_days = 1 + static_cast<std::uint32_t>(rng_.index(3));
+      dep.temp_phase = static_cast<std::uint32_t>(rng_.index(dep.temp_period_days));
+      add_target(net::Ipv4Address(base + 1), dep_id,
+                 responder_icmp_mix(0.4, 0.05), true);
+    }
+  }
+
+  void make_partial_anycast() {
+    // NTT-style: the /24's representative is a plain unicast server, but a
+    // secondary address (.53, a public resolver) is replicated at all PoPs.
+    const OrgId org = make_org("TransitBackbone", 2914);
+    const auto pops = pops_for(sample_cities(30));
+    for (std::size_t i = 0; i < cfg_.v4_partial_anycast; ++i) {
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, org);
+      const auto home_city = pops[rng_.index(pops.size())].attach.city;
+      const auto uni =
+          add_deployment(org, DeploymentKind::kUnicast, pops_for({home_city}));
+      add_target(net::Ipv4Address(base + 1), uni,
+                 responder_icmp_mix(0.3, 0.0), true);
+
+      // ~20% of the secondary services are temporary anycast, so the /24
+      // reads entirely unicast on some days (§5.6's Imperva observation).
+      const bool temporary = rng_.chance(0.2);
+      const auto kind = temporary ? DeploymentKind::kTemporaryAnycast
+                                  : DeploymentKind::kAnycastGlobal;
+      const auto any_id = add_deployment(org, kind, pops, rng_.index(pops.size()));
+      if (temporary) {
+        auto& dep = w_.deployments_[any_id];
+        dep.temp_period_days = 4 + static_cast<std::uint32_t>(rng_.index(8));
+        dep.temp_active_days = 1 + static_cast<std::uint32_t>(rng_.index(2));
+        dep.temp_phase =
+            static_cast<std::uint32_t>(rng_.index(dep.temp_period_days));
+      }
+      net::ResponderConfig r;
+      r.icmp = true;
+      r.tcp = false;
+      r.dns = true;
+      add_target(net::IpAddress(net::Ipv4Address(base + 53)), any_id, r,
+                 /*representative=*/false);
+    }
+  }
+
+  void make_backing_anycast_v6() {
+    // Fastly-style TE: /48s unicast at one PoP, backed by a covering
+    // anycast announcement that /48-filtering ASes fall back to.
+    OrgId org = 0;
+    for (const auto& o : w_.orgs_) {
+      if (o.asn == 54113) org = o.id;
+    }
+    const auto backing_pops = pops_for(sample_cities(80));
+    const auto backing =
+        add_deployment(org, DeploymentKind::kAnycastGlobal, backing_pops);
+    for (std::size_t i = 0; i < cfg_.v6_backing_anycast; ++i) {
+      const auto base = alloc_v6_prefix(org);
+      const auto pop_city =
+          backing_pops[rng_.index(backing_pops.size())].attach.city;
+      const auto uni =
+          add_deployment(org, DeploymentKind::kUnicast, pops_for({pop_city}));
+      net::ResponderConfig r;
+      r.icmp = true;
+      r.tcp = rng_.chance(cfg_.v6_tcp_responsive);
+      r.dns = false;
+      add_target(net::Ipv6Address(base.hi(), 1), uni, r, true, backing);
+    }
+  }
+
+  void make_unicast_bulk() {
+    const auto cities = geo::world_cities();
+    for (std::size_t i = 0; i < cfg_.v4_unicast; ++i) {
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, /*org=*/0);
+      const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      const auto dep =
+          add_deployment(0, DeploymentKind::kUnicast, pops_for({city}));
+      auto r = responder_icmp_mix(cfg_.unicast_tcp_responsive,
+                                  cfg_.unicast_dns_responsive);
+      if (r.dns && rng_.chance(0.5)) {
+        // Colocated servers exposing several CHAOS identities at one site —
+        // the weak-indicator case of §5.3.1 / Appendix C.
+        w_.deployments_[dep].pops[0].chaos_values = {"auth1", "auth2"};
+      } else if (r.dns) {
+        w_.deployments_[dep].pops[0].chaos_values = {"ns1"};
+      }
+      add_target(net::Ipv4Address(base + 1), dep, r, true);
+    }
+    for (std::size_t i = 0; i < cfg_.v6_unicast; ++i) {
+      const auto base = alloc_v6_prefix(0);
+      const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      const auto dep =
+          add_deployment(0, DeploymentKind::kUnicast, pops_for({city}));
+      net::ResponderConfig r;
+      r.icmp = true;
+      r.tcp = rng_.chance(cfg_.v6_tcp_responsive);
+      r.dns = rng_.chance(cfg_.unicast_dns_responsive);
+      add_target(net::Ipv6Address(base.hi(), 1), dep, r, true);
+    }
+  }
+
+  void make_unresponsive() {
+    const auto cities = geo::world_cities();
+    net::ResponderConfig dead;
+    dead.icmp = false;
+    dead.tcp = false;
+    dead.dns = false;
+    for (std::size_t i = 0; i < cfg_.v4_unresponsive; ++i) {
+      const std::uint32_t base = alloc_v4_block(1);
+      announce(base, 24, /*org=*/0);
+      const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      add_target(net::Ipv4Address(base + 1),
+                 add_deployment(0, DeploymentKind::kUnicast, pops_for({city})),
+                 dead, true);
+    }
+    for (std::size_t i = 0; i < cfg_.v6_unresponsive; ++i) {
+      const auto base = alloc_v6_prefix(0);
+      const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      add_target(net::Ipv6Address(base.hi(), 1),
+                 add_deployment(0, DeploymentKind::kUnicast, pops_for({city})),
+                 dead, true);
+    }
+  }
+
+  World& w_;
+  WorldConfig cfg_;
+  Rng rng_;
+  OrgId current_org_ = 0;  // origin recorded on v6 announcements
+  std::vector<AsId> transit_ids_;
+  std::vector<AsId> nearest_transit_;
+  std::uint32_t next_v4_ = 0x01000000;  // 1.0.0.0
+  std::uint64_t next_v6_ = 1;
+};
+
+World World::generate(const WorldConfig& config) {
+  World w;
+  WorldBuilder builder(w, config);
+  builder.build();
+  return w;
+}
+
+const Org& World::org(OrgId id) const {
+  expects(id < orgs_.size(), "valid org id");
+  return orgs_[id];
+}
+
+const Deployment& World::deployment(DeploymentId id) const {
+  expects(id < deployments_.size(), "valid deployment id");
+  return deployments_[id];
+}
+
+const Target* World::find_target(const net::IpAddress& addr) const {
+  const auto it = target_index_.find(addr);
+  if (it == target_index_.end()) return nullptr;
+  return &targets_[it->second];
+}
+
+std::vector<net::IpAddress> World::representatives(
+    net::IpVersion version) const {
+  std::vector<net::IpAddress> out;
+  for (const auto& t : targets_) {
+    if (t.representative && t.address.version() == version) {
+      out.push_back(t.address);
+    }
+  }
+  return out;
+}
+
+std::vector<net::IpAddress> World::all_addresses(net::IpVersion version) const {
+  std::vector<net::IpAddress> out;
+  for (const auto& t : targets_) {
+    if (t.address.version() == version) out.push_back(t.address);
+  }
+  return out;
+}
+
+PrefixTruth World::truth(const net::Prefix& prefix, std::uint32_t day) const {
+  PrefixTruth truth;
+  const auto it = prefix_targets_.find(prefix);
+  if (it == prefix_targets_.end()) return truth;
+  bool any_anycast = false, any_unicast = false;
+  for (const std::size_t idx : it->second) {
+    const auto& t = targets_[idx];
+    truth.exists = true;
+    const auto& dep = deployments_[t.deployment];
+    const bool anycast = is_anycast_ground_truth(dep.kind, dep.anycast_active(day));
+    any_anycast |= anycast;
+    any_unicast |= !anycast;
+    if (t.representative) {
+      truth.anycast = anycast;
+      truth.representative_deployment = t.deployment;
+      truth.org = dep.org;
+      truth.global_bgp_unicast = dep.kind == DeploymentKind::kGlobalBgpUnicast;
+    }
+  }
+  truth.partial_anycast = any_anycast && any_unicast;
+  return truth;
+}
+
+bool World::target_down(const Target& target, std::uint32_t day) const {
+  const auto& dep = deployments_[target.deployment];
+  const bool infra = dep.kind == DeploymentKind::kAnycastGlobal ||
+                     dep.kind == DeploymentKind::kAnycastRegional ||
+                     dep.kind == DeploymentKind::kTemporaryAnycast;
+  const double rate =
+      infra ? config_.daily_churn_anycast : config_.daily_churn;
+  StableHash h(config_.seed ^ 0xc44747 /* churn */);
+  h.mix(net::hash_value(target.address)).mix(std::uint64_t{day});
+  return h.unit() < rate;
+}
+
+bool World::filters_v6_specifics(AsId as_id) const {
+  return v6_filtering_ases_.contains(as_id);
+}
+
+AsId World::transit_near(geo::CityId city) const {
+  expects(city < nearest_transit_.size(), "valid city");
+  return nearest_transit_[city];
+}
+
+std::size_t World::prefix_count(net::IpVersion version) const {
+  return version == net::IpVersion::kV4 ? v4_prefixes_ : v6_prefixes_;
+}
+
+std::vector<World::BgpUpdate> World::bgp_updates(std::uint32_t day) const {
+  std::vector<BgpUpdate> out;
+  if (day == 0) return out;
+  for (const auto& t : targets_) {
+    const auto& dep = deployments_[t.deployment];
+    if (dep.kind != DeploymentKind::kTemporaryAnycast) continue;
+    const bool today = dep.anycast_active(day);
+    const bool yesterday = dep.anycast_active(day - 1);
+    if (today != yesterday) {
+      out.push_back(BgpUpdate{net::Prefix::of(t.address), today});
+    }
+  }
+  return out;
+}
+
+}  // namespace laces::topo

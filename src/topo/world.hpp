@@ -1,0 +1,168 @@
+// The simulated Internet: orgs, deployments, targets, BGP announcements.
+//
+// World::generate() builds a deterministic population whose *composition*
+// mirrors the paper's evaluation at a configurable scale (default ~1:10 for
+// anycast deployment counts; see WorldConfig):
+//   * hypergiant CDNs with hundreds of prefixes and global PoP sets
+//     (Table 6),
+//   * medium global anycast operators and DNS root-style deployments,
+//   * regional anycast (ccTLD-style; the hard cases of §5.5/§5.8.1),
+//   * Microsoft-style global-BGP-unicast prefixes (the §5.1.3 FP family),
+//   * Imperva-style temporary anycast (§5.6/§5.7),
+//   * partial anycast inside a /24 (NTT-style, §5.6),
+//   * Fastly-style backing anycast /48s whose specifics some ASes filter
+//     (the IPv6 GCD FP mechanism of §5.8.2),
+//   * a bulk of ordinary unicast and unresponsive prefixes.
+//
+// Ground truth lives here and ONLY here; measurement code never reads it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topo/as_graph.hpp"
+#include "topo/routing.hpp"
+#include "topo/types.hpp"
+
+namespace laces::topo {
+
+/// Population sizes. Defaults approximate a 1:10-scaled paper evaluation
+/// for anycast structure with a reduced unicast bulk (the paper's 5.9 M /24
+/// hitlist would dominate runtime without changing any shape; FP *rates*
+/// are calibrated instead — see EXPERIMENTS.md).
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  AsGraphConfig as_graph;
+  RoutingConfig routing;
+
+  // --- IPv4 population (counts of /24 prefixes) ---
+  std::size_t v4_unicast = 24000;
+  std::size_t v4_unresponsive = 4000;
+  std::size_t v4_medium_anycast_orgs = 70;   // 1-6 prefixes, 4-48 sites each
+  std::size_t v4_regional_anycast = 55;      // small-radius deployments
+  std::size_t v4_global_bgp_unicast = 900;   // Microsoft-style
+  std::size_t v4_temporary_anycast = 40;     // Imperva-style (v4 side)
+  std::size_t v4_partial_anycast = 150;      // mixed /24s
+  std::size_t dns_root_like = 13;            // root-server-style deployments
+  std::size_t udp_only_anycast = 10;         // G-root-like (DNS-only)
+  std::size_t tcp_only_anycast = 57;         // detectable via TCP only
+  std::size_t tcp_udp_only_anycast = 27;     // TCP+UDP, ICMP-filtered
+
+  // --- IPv6 population (counts of /48 prefixes) ---
+  std::size_t v6_unicast = 9000;
+  std::size_t v6_unresponsive = 3000;
+  std::size_t v6_medium_anycast_orgs = 25;
+  std::size_t v6_regional_anycast = 15;
+  std::size_t v6_backing_anycast = 60;  // Fastly-style TE /48s
+
+  // --- behavioural probabilities ---
+  double unicast_tcp_responsive = 0.18;
+  double unicast_dns_responsive = 0.04;
+  double anycast_tcp_responsive = 0.30;
+  double anycast_dns_responsive = 0.30;
+  double v6_tcp_responsive = 0.65;  // v6 hitlists reflect active services
+  /// Per-day probability that a responsive target is down (hitlist churn).
+  /// Applies to ordinary unicast hosts; anycast deployments are production
+  /// infrastructure with far better availability.
+  double daily_churn = 0.02;
+  double daily_churn_anycast = 0.002;
+  /// Fraction of transit ASes that filter IPv6 /48 announcements.
+  double v6_filtering_transit_fraction = 0.02;
+};
+
+/// Ground-truth label for a census prefix on a given day.
+struct PrefixTruth {
+  bool exists = false;
+  bool anycast = false;          // representative address is anycast today
+  bool partial_anycast = false;  // /24 mixes unicast and anycast addresses
+  bool global_bgp_unicast = false;
+  DeploymentId representative_deployment = 0;
+  OrgId org = 0;
+};
+
+class World {
+ public:
+  static World generate(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  const AsGraph& as_graph() const { return *graph_; }
+  const RoutingModel& routing() const { return *routing_; }
+
+  const std::vector<Org>& orgs() const { return orgs_; }
+  const Org& org(OrgId id) const;
+  const std::vector<Deployment>& deployments() const { return deployments_; }
+  const Deployment& deployment(DeploymentId id) const;
+
+  const std::vector<Target>& targets() const { return targets_; }
+  /// Target serving `addr`, or nullptr if the address is unallocated.
+  const Target* find_target(const net::IpAddress& addr) const;
+
+  /// Hitlist-representative addresses of every allocated census prefix.
+  std::vector<net::IpAddress> representatives(net::IpVersion version) const;
+  /// All allocated probeable addresses (for the /32-granularity scan, §5.6).
+  std::vector<net::IpAddress> all_addresses(net::IpVersion version) const;
+
+  /// BGP-announced IPv4 prefixes (Table 7 / prefix2as analysis).
+  const std::vector<BgpAnnouncement>& bgp_table() const { return bgp_table_; }
+  /// BGP-announced IPv6 prefixes (§5.7 v6 comparison).
+  const std::vector<BgpAnnouncementV6>& bgp_table_v6() const {
+    return bgp_table_v6_;
+  }
+
+  /// A BGP-update event as a route collector would see it: a census prefix
+  /// whose announcement state changed between `day - 1` and `day`.
+  struct BgpUpdate {
+    net::Prefix prefix;
+    bool announced = true;  // false = withdrawn back to unicast
+  };
+  /// The day's update feed — temporary anycast deployments switching
+  /// on or off (what the paper's §6 trigger-based detection would consume
+  /// from route collectors).
+  std::vector<BgpUpdate> bgp_updates(std::uint32_t day) const;
+
+  /// Oracle: ground truth for a census prefix (analysis-only; plays the
+  /// role of operator ground truth in §5.8).
+  PrefixTruth truth(const net::Prefix& prefix, std::uint32_t day) const;
+
+  /// True if this target is down on `day` (hitlist churn).
+  bool target_down(const Target& target, std::uint32_t day) const;
+
+  /// True if `as_id` filters IPv6 more-specific (/48) announcements,
+  /// falling back to covering prefixes (§5.8.2).
+  bool filters_v6_specifics(AsId as_id) const;
+
+  /// The transit AS with the shortest distance to `city` (used to attach
+  /// measurement-platform sites realistically).
+  AsId transit_near(geo::CityId city) const;
+
+  /// Total number of census prefixes allocated per family.
+  std::size_t prefix_count(net::IpVersion version) const;
+
+ private:
+  World() = default;
+
+  WorldConfig config_;
+  std::unique_ptr<AsGraph> graph_;
+  std::unique_ptr<RoutingModel> routing_;
+  std::vector<Org> orgs_;
+  std::vector<Deployment> deployments_;
+  std::vector<Target> targets_;
+  std::unordered_map<net::IpAddress, std::size_t, net::IpAddressHash>
+      target_index_;
+  std::unordered_map<net::Prefix, std::vector<std::size_t>, net::PrefixHash>
+      prefix_targets_;
+  std::vector<BgpAnnouncement> bgp_table_;
+  std::vector<BgpAnnouncementV6> bgp_table_v6_;
+  std::unordered_set<AsId> v6_filtering_ases_;
+  std::vector<AsId> nearest_transit_;
+  std::size_t v4_prefixes_ = 0;
+  std::size_t v6_prefixes_ = 0;
+
+  friend class WorldBuilder;
+};
+
+}  // namespace laces::topo

@@ -1,0 +1,66 @@
+#include "util/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace laces {
+
+void ByteWriter::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) throw DecodeError("patch out of range");
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t hi = u16();
+  const std::uint32_t lo = u16();
+  return (hi << 16) | lo;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  need(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  auto raw = bytes(n);
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+}  // namespace laces

@@ -1,0 +1,88 @@
+// Big-endian (network byte order) byte buffer serialization.
+//
+// Used both for on-the-wire probe packets (src/net) and for the framed
+// Orchestrator<->Worker message channel (src/core).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace laces {
+
+/// Thrown by ByteReader when a read runs past the end of the buffer.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only big-endian encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::uint8_t> view() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  /// Overwrite 2 bytes at `offset` (for checksum backpatching).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked big-endian decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  /// Borrow `n` raw bytes.
+  std::span<const std::uint8_t> bytes(std::size_t n);
+  /// Length-prefixed (u32) string.
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("buffer underrun");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace laces

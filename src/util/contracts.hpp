@@ -1,0 +1,36 @@
+// Lightweight Expects()/Ensures()-style contracts (C++ Core Guidelines I.6/I.8).
+//
+// Violations throw ContractViolation carrying the failing expression and the
+// source location, so tests can assert on precondition enforcement.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace laces {
+
+/// Thrown when a precondition, postcondition or invariant does not hold.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr,
+                    const std::source_location& loc)
+      : std::logic_error(std::string(kind) + " failed: " + expr + " at " +
+                         loc.file_name() + ":" + std::to_string(loc.line())) {}
+};
+
+/// Precondition check: call at function entry.
+inline void expects(
+    bool cond, const char* expr = "precondition",
+    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) throw ContractViolation("Expects", expr, loc);
+}
+
+/// Postcondition check: call before returning.
+inline void ensures(
+    bool cond, const char* expr = "postcondition",
+    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) throw ContractViolation("Ensures", expr, loc);
+}
+
+}  // namespace laces

@@ -1,0 +1,38 @@
+#include "util/event_queue.hpp"
+
+#include <utility>
+
+namespace laces {
+
+void EventQueue::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  events_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+std::size_t EventQueue::run() {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    // The callback is moved out before pop() so it may schedule new events.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ev.cb();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t EventQueue::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ev.cb();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace laces

@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// The orchestrator, workers and the simulated network all schedule callbacks
+// on one EventQueue; run() drains events in timestamp order (FIFO within a
+// timestamp), advancing the simulated clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/simtime.hpp"
+
+namespace laces {
+
+/// Timestamp-ordered callback queue driving simulated time.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `at` (clamped to now()).
+  void schedule_at(SimTime at, Callback cb);
+
+  /// Schedule `cb` to run `delay` after now().
+  void schedule_after(SimDuration delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run until the queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  /// Run until the queue drains or simulated time would exceed `deadline`;
+  /// events after the deadline stay queued. Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break within a timestamp
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = SimTime::epoch();
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace laces

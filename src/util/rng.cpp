@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace laces {
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  expects(lo <= hi, "lo <= hi");
+  const std::uint64_t range = hi - lo;
+  if (range == ~0ULL) return (*this)();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = range + 1;
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % bound) - 1;
+  std::uint64_t r;
+  do {
+    r = (*this)();
+  } while (r > limit);
+  return lo + r % bound;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  expects(lo <= hi, "lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Marsaglia polar method; discard the second deviate for simplicity.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::exponential(double mean) {
+  expects(mean > 0.0, "mean > 0");
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  expects(n > 0, "n > 0");
+  return static_cast<std::size_t>(uniform_int(0, n - 1));
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  StableHash h(salt);
+  h.mix(state_[0]).mix(state_[1]).mix(state_[2]).mix(state_[3]);
+  return Rng(h.value());
+}
+
+}  // namespace laces

@@ -1,0 +1,138 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic element of the simulated Internet is driven by a seeded
+// Rng (xoshiro256**), so whole censuses are reproducible bit-for-bit.
+// StableHash provides seedable, order-independent hashing used for
+// per-(target, site) routing perturbations and ECMP flow hashing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace laces {
+
+/// splitmix64 step; used for seeding and as a cheap mixing function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1ace50001ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Pick a uniformly random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fork a statistically independent child generator; deterministic in
+  /// (parent state, salt). The parent state is not advanced.
+  Rng fork(std::uint64_t salt) const;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Seedable 64-bit hash (FNV-1a core with splitmix finalizer). Deterministic
+/// across runs and platforms; NOT cryptographic.
+class StableHash {
+ public:
+  explicit StableHash(std::uint64_t seed = 0) : h_(seed ^ kOffset) {}
+
+  StableHash& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+  StableHash& mix(std::uint32_t v) { return mix(std::uint64_t{v}); }
+  StableHash& mix(std::string_view s) {
+    for (unsigned char c : s) {
+      h_ ^= c;
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+  StableHash& mix(std::span<const std::uint8_t> bytes) {
+    for (auto b : bytes) {
+      h_ ^= b;
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Finalized hash value.
+  std::uint64_t value() const {
+    std::uint64_t s = h_;
+    return splitmix64(s);
+  }
+
+  /// Finalized hash mapped to [0, 1).
+  double unit() const {
+    return static_cast<double>(value() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h_;
+};
+
+/// Fisher-Yates shuffle with a deterministic Rng.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    using std::swap;
+    swap(v[i - 1], v[rng.index(i)]);
+  }
+}
+
+}  // namespace laces

@@ -1,0 +1,58 @@
+// Self-contained SHA-256 and HMAC-SHA256.
+//
+// Used to authenticate Orchestrator<->Worker channel frames (paper R8:
+// "secure inter-component communication"). No external crypto dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace laces {
+
+/// 32-byte SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span(reinterpret_cast<const std::uint8_t*>(s.data()),
+                     s.size()));
+  }
+  /// Finalizes and returns the digest; the object must be reset() before
+  /// further use.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(std::span<const std::uint8_t> data);
+  static Sha256Digest hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104) over `data` with `key`.
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data);
+Sha256Digest hmac_sha256(std::string_view key, std::string_view data);
+
+/// Constant-time digest comparison.
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b);
+
+/// Lowercase hex rendering of a digest.
+std::string to_hex(const Sha256Digest& d);
+
+}  // namespace laces

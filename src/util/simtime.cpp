@@ -1,0 +1,29 @@
+#include "util/simtime.hpp"
+
+#include <cstdio>
+
+namespace laces {
+
+std::string to_string(SimDuration d) {
+  char buf[64];
+  const std::int64_t ns = d.ns();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns >= 60'000'000'000LL) {
+    const std::int64_t total_s = ns / 1'000'000'000LL;
+    std::snprintf(buf, sizeof buf, "%lldm%llds",
+                  static_cast<long long>(total_s / 60),
+                  static_cast<long long>(total_s % 60 < 0 ? -(total_s % 60)
+                                                          : total_s % 60));
+  } else if (abs_ns >= 1'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (abs_ns >= 1'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (abs_ns >= 1'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace laces

@@ -1,0 +1,91 @@
+// Simulated time.
+//
+// All measurement components run against SimTime, never wall time, so a
+// 13-minute inter-probe interval (the MAnycast^2 baseline of Figure 4)
+// costs microseconds of wall time to simulate (DESIGN.md decision 1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace laces {
+
+/// Duration in simulated nanoseconds. Strong type to keep units explicit.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimDuration nanos(std::int64_t v) { return SimDuration(v); }
+  static constexpr SimDuration micros(std::int64_t v) {
+    return SimDuration(v * 1'000);
+  }
+  static constexpr SimDuration millis(std::int64_t v) {
+    return SimDuration(v * 1'000'000);
+  }
+  static constexpr SimDuration seconds(std::int64_t v) {
+    return SimDuration(v * 1'000'000'000);
+  }
+  static constexpr SimDuration minutes(std::int64_t v) {
+    return seconds(v * 60);
+  }
+  static constexpr SimDuration hours(std::int64_t v) { return minutes(v * 60); }
+  static constexpr SimDuration days(std::int64_t v) { return hours(v * 24); }
+  /// From floating-point seconds (e.g. RTTs derived from distance).
+  static constexpr SimDuration from_seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(ns_ + o.ns_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(ns_ - o.ns_);
+  }
+  constexpr SimDuration operator*(std::int64_t k) const {
+    return SimDuration(ns_ * k);
+  }
+  constexpr SimDuration operator/(std::int64_t k) const {
+    return SimDuration(ns_ / k);
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Point in simulated time (nanoseconds since simulation epoch).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime epoch() { return SimTime(0); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(ns_ + d.ns());
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime(ns_ - d.ns());
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration(ns_ - o.ns_);
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Human-readable rendering, e.g. "2.5s" or "13m20s".
+std::string to_string(SimDuration d);
+
+}  // namespace laces

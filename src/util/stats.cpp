@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace laces {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  expects(!xs.empty(), "non-empty sample");
+  expects(p >= 0.0 && p <= 100.0, "p in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::vector<CdfPoint> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    std::size_t j = i;
+    while (j < xs.size() && xs[j] == xs[i]) ++j;
+    out.push_back(CdfPoint{xs[i], static_cast<double>(j) / n});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace laces

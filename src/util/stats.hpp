@@ -1,0 +1,30 @@
+// Small statistics helpers shared by analysis code and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace laces {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Interpolated percentile, p in [0, 100]. Requires a non-empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Median (50th percentile). Requires a non-empty input.
+double median(std::vector<double> xs);
+
+/// Empirical CDF point list: sorted (value, cumulative fraction) pairs,
+/// one entry per distinct value.
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+}  // namespace laces

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace laces {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  expects(!header_.empty(), "non-empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  expects(row.size() == header_.size(), "row arity matches header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string with_commas(std::int64_t v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return neg ? "-" + out : out;
+}
+
+std::string pct(double numerator, double denominator, int decimals) {
+  if (denominator == 0.0) return "n/a";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals,
+                100.0 * numerator / denominator);
+  return buf;
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace laces

@@ -1,0 +1,40 @@
+// Plain-text table rendering for bench/experiment output.
+//
+// Every experiment harness prints paper-style tables; this keeps the
+// formatting in one place so outputs line up and are diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laces {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column padding and a rule under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Thousands-separated integer, e.g. 13692 -> "13,692".
+std::string with_commas(std::int64_t v);
+
+/// Fixed-point percentage, e.g. (524, 13692) -> "3.8%".
+std::string pct(double numerator, double denominator, int decimals = 1);
+
+/// Fixed-point double.
+std::string fixed(double v, int decimals);
+
+}  // namespace laces

@@ -1,0 +1,69 @@
+// Shared fixtures for the test suite: small deterministic worlds that keep
+// individual tests fast while exercising every deployment family.
+#pragma once
+
+#include "topo/world.hpp"
+
+namespace laces::testing {
+
+/// A small world (~1k v4 prefixes) with every deployment family present.
+inline topo::WorldConfig small_world_config(std::uint64_t seed = 7) {
+  topo::WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.as_graph.tier1_count = 8;
+  cfg.as_graph.transit_count = 60;
+  cfg.as_graph.stub_count = 300;
+  cfg.v4_unicast = 800;
+  cfg.v4_unresponsive = 100;
+  cfg.v4_medium_anycast_orgs = 10;
+  cfg.v4_regional_anycast = 5;
+  cfg.v4_global_bgp_unicast = 40;
+  cfg.v4_temporary_anycast = 5;
+  cfg.v4_partial_anycast = 10;
+  cfg.dns_root_like = 3;
+  cfg.udp_only_anycast = 2;
+  cfg.tcp_only_anycast = 3;
+  cfg.v6_unicast = 200;
+  cfg.v6_unresponsive = 50;
+  cfg.v6_medium_anycast_orgs = 5;
+  cfg.v6_regional_anycast = 2;
+  cfg.v6_backing_anycast = 5;
+  // Small graphs need a higher filtering fraction so the v6-filtering
+  // mechanism is reliably present.
+  cfg.v6_filtering_transit_fraction = 0.10;
+  return cfg;
+}
+
+/// A tiny world (~100 prefixes) for tests that only need a valid substrate.
+inline topo::WorldConfig tiny_world_config(std::uint64_t seed = 3) {
+  auto cfg = small_world_config(seed);
+  cfg.v4_unicast = 60;
+  cfg.v4_unresponsive = 10;
+  cfg.v4_medium_anycast_orgs = 3;
+  cfg.v4_regional_anycast = 2;
+  cfg.v4_global_bgp_unicast = 5;
+  cfg.v4_temporary_anycast = 2;
+  cfg.v4_partial_anycast = 3;
+  cfg.dns_root_like = 2;
+  cfg.udp_only_anycast = 1;
+  cfg.tcp_only_anycast = 1;
+  cfg.v6_unicast = 30;
+  cfg.v6_unresponsive = 5;
+  cfg.v6_medium_anycast_orgs = 2;
+  cfg.v6_regional_anycast = 1;
+  cfg.v6_backing_anycast = 2;
+  return cfg;
+}
+
+/// Shared per-suite world: generated once, reused by all tests in a binary.
+inline const topo::World& shared_small_world() {
+  static const topo::World world = topo::World::generate(small_world_config());
+  return world;
+}
+
+inline const topo::World& shared_tiny_world() {
+  static const topo::World world = topo::World::generate(tiny_world_config());
+  return world;
+}
+
+}  // namespace laces::testing

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "analysis/chaos.hpp"
+#include "analysis/compare.hpp"
+#include "analysis/disagreement.hpp"
+#include "analysis/external.hpp"
+#include "analysis/protocols.hpp"
+#include "analysis/truth.hpp"
+#include "support.hpp"
+
+namespace laces::analysis {
+namespace {
+
+net::Prefix p24(std::uint8_t b, std::uint8_t c) {
+  return net::Ipv4Prefix(net::Ipv4Address(10, b, c, 0), 24);
+}
+
+TEST(Compare, CanonicalSortsAndDedups) {
+  const auto set = canonical({p24(0, 2), p24(0, 1), p24(0, 2)});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_LT(set[0], set[1]);
+}
+
+TEST(Compare, SetAlgebra) {
+  const auto a = canonical({p24(0, 1), p24(0, 2), p24(0, 3)});
+  const auto b = canonical({p24(0, 2), p24(0, 3), p24(0, 4)});
+  EXPECT_EQ(set_intersection(a, b).size(), 2u);
+  EXPECT_EQ(set_difference(a, b), PrefixSet{p24(0, 1)});
+  EXPECT_EQ(set_union(a, b).size(), 4u);
+  EXPECT_TRUE(contains(a, p24(0, 1)));
+  EXPECT_FALSE(contains(a, p24(0, 4)));
+}
+
+TEST(Compare, ComparisonCounts) {
+  const auto cmp = compare(canonical({p24(0, 1), p24(0, 2)}),
+                           canonical({p24(0, 2), p24(0, 3), p24(0, 4)}));
+  EXPECT_EQ(cmp.a_total, 2u);
+  EXPECT_EQ(cmp.b_total, 3u);
+  EXPECT_EQ(cmp.both, 1u);
+  EXPECT_EQ(cmp.a_only, 1u);
+  EXPECT_EQ(cmp.b_only, 2u);
+}
+
+TEST(Truth, ConfusionMatrixAgainstOracle) {
+  const auto& world = laces::testing::shared_small_world();
+  PrefixSet anycast_truth, unicast_truth, gbu;
+  for (const auto& t : world.targets()) {
+    if (!t.representative || !t.address.is_v4()) continue;
+    const auto prefix = net::Prefix::of(t.address);
+    const auto truth = world.truth(prefix, 1);
+    if (truth.anycast) {
+      anycast_truth.push_back(prefix);
+    } else if (truth.global_bgp_unicast) {
+      gbu.push_back(prefix);
+    } else {
+      unicast_truth.push_back(prefix);
+    }
+  }
+  anycast_truth = canonical(std::move(anycast_truth));
+  unicast_truth = canonical(std::move(unicast_truth));
+  gbu = canonical(std::move(gbu));
+
+  // Perfect detector.
+  auto probed = set_union(set_union(anycast_truth, unicast_truth), gbu);
+  auto m = evaluate(world, anycast_truth, probed, 1);
+  EXPECT_EQ(m.false_positive, 0u);
+  EXPECT_EQ(m.false_negative, 0u);
+  EXPECT_EQ(m.true_positive, anycast_truth.size());
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+
+  // Detector that also flags all GBU prefixes: FPs, all attributed.
+  auto with_gbu = set_union(anycast_truth, gbu);
+  m = evaluate(world, with_gbu, probed, 1);
+  EXPECT_EQ(m.false_positive, gbu.size());
+  EXPECT_EQ(m.fp_global_bgp, gbu.size());
+  EXPECT_LT(m.precision(), 1.0);
+}
+
+TEST(Truth, OriginRankingFindsHypergiants) {
+  const auto& world = laces::testing::shared_small_world();
+  PrefixSet v4, v6;
+  for (const auto& t : world.targets()) {
+    if (!t.representative) continue;
+    const auto prefix = net::Prefix::of(t.address);
+    if (world.truth(prefix, 1).anycast) {
+      (t.address.is_v4() ? v4 : v6).push_back(prefix);
+    }
+  }
+  const auto ranking = origin_ranking(world, canonical(std::move(v4)),
+                                      canonical(std::move(v6)), 1);
+  ASSERT_GT(ranking.size(), 3u);
+  // Google-like org leads v4 in our world composition.
+  EXPECT_EQ(ranking[0].org_name, "Google Cloud");
+  EXPECT_EQ(ranking[0].asn, 396982u);
+  // Counts descend by the paper's presentation order (v4 first).
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].v4_prefixes, ranking[i].v4_prefixes);
+  }
+}
+
+census::DailyCensus synthetic_census() {
+  census::DailyCensus census;
+  auto add = [&](net::Prefix prefix, std::uint32_t vps, bool gcd_anycast,
+                 bool gcd_probed = true) {
+    auto& rec = census.records[prefix];
+    rec.prefix = prefix;
+    rec.anycast_based[net::Protocol::kIcmp] = census::ProtocolObservation{
+        vps >= 2 ? core::Verdict::kAnycast
+                 : (vps == 1 ? core::Verdict::kUnicast
+                             : core::Verdict::kUnresponsive),
+        vps};
+    if (gcd_probed) {
+      rec.gcd_verdict =
+          gcd_anycast ? gcd::GcdVerdict::kAnycast : gcd::GcdVerdict::kUnicast;
+    }
+  };
+  add(p24(1, 0), 2, false);
+  add(p24(1, 1), 2, false);
+  add(p24(1, 2), 2, true);
+  add(p24(2, 0), 3, true);
+  add(p24(3, 0), 7, true);
+  add(p24(4, 0), 30, true);
+  add(p24(5, 0), 1, false);  // unicast, not an AT
+  return census;
+}
+
+TEST(Disagreement, BucketsByVpCount) {
+  const auto buckets =
+      vp_count_disagreement(synthetic_census(), net::Protocol::kIcmp, 32);
+  ASSERT_EQ(buckets.size(), 9u);
+  EXPECT_EQ(buckets[0].label, "2");
+  EXPECT_EQ(buckets[0].candidates, 3u);
+  EXPECT_EQ(buckets[0].gcd_confirmed, 1u);
+  EXPECT_EQ(buckets[0].not_confirmed, 2u);
+  EXPECT_NEAR(buckets[0].overlap(), 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(buckets[1].candidates, 1u);   // "3"
+  EXPECT_EQ(buckets[4].candidates, 1u);   // "5-10" (7 VPs)
+  EXPECT_EQ(buckets[8].candidates, 1u);   // "25-32" (30 VPs)
+  // The unicast row appears in no bucket.
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.candidates;
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(Protocols, BreakdownRegions) {
+  const auto icmp = canonical({p24(1, 0), p24(1, 1), p24(1, 2), p24(1, 3)});
+  const auto tcp = canonical({p24(1, 1), p24(1, 4)});
+  const auto udp = canonical({p24(1, 2), p24(1, 1), p24(1, 5)});
+  const auto bd = protocol_breakdown(icmp, tcp, udp);
+  EXPECT_EQ(bd.icmp_total, 4u);
+  EXPECT_EQ(bd.tcp_total, 2u);
+  EXPECT_EQ(bd.udp_total, 3u);
+  EXPECT_EQ(bd.union_total, 6u);
+
+  std::size_t sum = 0;
+  for (const auto& r : bd.regions) {
+    sum += r.count;
+    if (r.icmp && r.tcp && r.udp) EXPECT_EQ(r.count, 1u);  // p24(1,1)
+    if (r.icmp && !r.tcp && !r.udp) EXPECT_EQ(r.count, 2u);
+    if (!r.icmp && r.tcp && !r.udp) EXPECT_EQ(r.count, 1u);  // p24(1,4)
+  }
+  EXPECT_EQ(sum, bd.union_total);  // regions partition the union
+  // Sorted descending.
+  for (std::size_t i = 1; i < bd.regions.size(); ++i) {
+    EXPECT_GE(bd.regions[i - 1].count, bd.regions[i].count);
+  }
+  EXPECT_EQ(bd.regions.size(), 7u);
+}
+
+TEST(Protocols, RegionLabels) {
+  ProtocolRegion r;
+  r.icmp = true;
+  r.udp = true;
+  EXPECT_EQ(r.label(), "ICMP+UDP");
+  EXPECT_EQ(r.arity(), 2);
+}
+
+TEST(External, BgpToolsLiftsDetectionsToAnnouncements) {
+  const auto& world = laces::testing::shared_small_world();
+  // One detected anycast /24 inside a larger announcement marks the whole
+  // announcement.
+  PrefixSet detected;
+  const net::Ipv4Prefix* supernet = nullptr;
+  for (const auto& a : world.bgp_table()) {
+    if (a.prefix.length() < 24) {
+      supernet = &a.prefix;
+      break;
+    }
+  }
+  ASSERT_NE(supernet, nullptr);
+  detected.push_back(net::Ipv4Prefix(supernet->address(), 24));
+  detected = canonical(std::move(detected));
+
+  const auto bgptools = simulate_bgptools(world, detected);
+  EXPECT_TRUE(std::find(bgptools.begin(), bgptools.end(), *supernet) !=
+              bgptools.end());
+}
+
+TEST(External, SizeTableCountsSlash24Classes) {
+  census::DailyCensus ours;
+  // /22 with one GCD-anycast /24, one unicast, two untouched.
+  const auto base = net::Ipv4Address(10, 8, 0, 0);
+  auto& rec1 = ours.records[net::Prefix(net::Ipv4Prefix(base, 24))];
+  rec1.gcd_verdict = gcd::GcdVerdict::kAnycast;
+  auto& rec2 =
+      ours.records[net::Prefix(net::Ipv4Prefix(net::Ipv4Address(10, 8, 1, 0), 24))];
+  rec2.gcd_verdict = gcd::GcdVerdict::kUnicast;
+
+  const std::vector<net::Ipv4Prefix> bgptools = {net::Ipv4Prefix(base, 22)};
+  const auto rows = bgptools_size_table(ours, bgptools);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].prefix_length, 22);
+  EXPECT_EQ(rows[0].occurrence, 1u);
+  EXPECT_EQ(rows[0].anycast_24s, 1u);
+  EXPECT_EQ(rows[0].unicast_24s, 1u);
+  EXPECT_EQ(rows[0].unresponsive_24s, 2u);
+}
+
+TEST(External, IpinfoWeeklySnapshotIncludesTemporaryAnycast) {
+  const auto& world = laces::testing::shared_small_world();
+  const auto snapshot = simulate_ipinfo(world, 10, net::IpVersion::kV4);
+  EXPECT_GT(snapshot.size(), 0u);
+  // Any temporary-anycast prefix active at some point in days 4..10 must
+  // appear even if inactive on day 10 itself.
+  for (const auto& t : world.targets()) {
+    if (!t.representative || !t.address.is_v4()) continue;
+    const auto& dep = world.deployment(t.deployment);
+    if (dep.kind != topo::DeploymentKind::kTemporaryAnycast) continue;
+    bool active_in_window = false;
+    for (std::uint32_t d = 4; d <= 10; ++d) {
+      active_in_window |= dep.anycast_active(d);
+    }
+    if (active_in_window) {
+      EXPECT_TRUE(contains(snapshot, net::Prefix::of(t.address)));
+    }
+  }
+}
+
+TEST(Chaos, CountsDistinctValues) {
+  core::MeasurementResults results;
+  core::ProbeRecord r;
+  r.target = net::Ipv4Address(10, 9, 0, 1);
+  r.txt = "site-a";
+  results.records.push_back(r);
+  results.records.push_back(r);  // duplicate value
+  r.txt = "site-b";
+  results.records.push_back(r);
+  r.target = net::Ipv4Address(10, 9, 1, 1);
+  r.txt = std::nullopt;  // no TXT answer -> ignored
+  results.records.push_back(r);
+
+  const auto counts = chaos_counts(results);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.begin()->second.size(), 2u);
+}
+
+TEST(Chaos, ComparisonJoinsThreeMethods) {
+  ChaosCounts chaos;
+  const auto prefix = p24(9, 0);
+  chaos[prefix] = {"a", "b", "c"};
+
+  core::AnycastClassification anycast;
+  anycast[prefix].rx_workers = {1, 2};
+  anycast[prefix].verdict = core::Verdict::kAnycast;
+
+  gcd::GcdClassification gcd_results;
+  gcd::GcdResult res;
+  res.verdict = gcd::GcdVerdict::kAnycast;
+  res.sites.resize(4);
+  gcd_results.emplace(prefix, res);
+
+  const auto rows = chaos_comparison(chaos, anycast, gcd_results);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].chaos_values, 3u);
+  EXPECT_EQ(rows[0].anycast_based_vps, 2u);
+  EXPECT_EQ(rows[0].gcd_sites, 4u);
+}
+
+}  // namespace
+}  // namespace laces::analysis

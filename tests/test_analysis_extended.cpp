@@ -1,0 +1,215 @@
+// Tests for the second-wave analysis modules: v6 BGPTools comparison,
+// intermittence attribution, catchment statistics.
+#include <gtest/gtest.h>
+
+#include "analysis/catchment.hpp"
+#include "analysis/external.hpp"
+#include "analysis/intermittence.hpp"
+#include "census/longitudinal.hpp"
+#include "core/session.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/platform.hpp"
+#include "support.hpp"
+#include "topo/network.hpp"
+
+namespace laces::analysis {
+namespace {
+
+const topo::World& world() { return laces::testing::shared_small_world(); }
+
+// ------------------------------------------------------- v6 BGP table
+
+TEST(BgpV6, TableCoversAllV6Targets) {
+  for (const auto& t : world().targets()) {
+    if (t.address.is_v4()) continue;
+    const bool covered = std::any_of(
+        world().bgp_table_v6().begin(), world().bgp_table_v6().end(),
+        [&](const topo::BgpAnnouncementV6& a) {
+          return a.prefix.contains(t.address.v6());
+        });
+    EXPECT_TRUE(covered) << t.address.to_string();
+  }
+}
+
+TEST(BgpV6, HypergiantsAnnounceAggregates) {
+  bool saw_aggregate = false;
+  for (const auto& a : world().bgp_table_v6()) {
+    EXPECT_LE(a.prefix.length(), 48);
+    if (a.prefix.length() < 48) saw_aggregate = true;
+  }
+  EXPECT_TRUE(saw_aggregate);
+}
+
+TEST(BgpV6, SimulateLiftsAtsToAnnouncements) {
+  // Find a v6 aggregate and one census /48 inside it.
+  const topo::BgpAnnouncementV6* aggregate = nullptr;
+  for (const auto& a : world().bgp_table_v6()) {
+    if (a.prefix.length() < 48) {
+      aggregate = &a;
+      break;
+    }
+  }
+  ASSERT_NE(aggregate, nullptr);
+  PrefixSet ats = {net::Ipv6Prefix(aggregate->prefix.address(), 48)};
+  const auto marked = simulate_bgptools_v6(world(), ats);
+  EXPECT_TRUE(std::find(marked.begin(), marked.end(), aggregate->prefix) !=
+              marked.end());
+}
+
+TEST(BgpV6, ComparisonCounts) {
+  const topo::BgpAnnouncementV6* aggregate = nullptr;
+  for (const auto& a : world().bgp_table_v6()) {
+    if (a.prefix.length() < 48) aggregate = &a;
+  }
+  ASSERT_NE(aggregate, nullptr);
+  const std::vector<net::Ipv6Prefix> bgptools = {aggregate->prefix};
+  // Our census: one /48 inside the aggregate, one /48 far outside it.
+  PrefixSet ours = canonical(
+      {net::Prefix(net::Ipv6Prefix(aggregate->prefix.address(), 48)),
+       net::Prefix(net::Ipv6Prefix(net::Ipv6Address(0x3fee, 0), 48))});
+  const auto cmp = compare_bgptools_v6(bgptools, ours);
+  EXPECT_EQ(cmp.bgptools_prefixes, 1u);
+  EXPECT_EQ(cmp.covered_by_ours, 1u);
+  EXPECT_EQ(cmp.our_gcd_total, 2u);
+  EXPECT_EQ(cmp.missed_by_bgptools, 1u);
+}
+
+// ------------------------------------------------- intermittence causes
+
+TEST(Intermittence, TemporaryAnycastClassified) {
+  for (const auto& t : world().targets()) {
+    if (!t.representative || !t.address.is_v4()) continue;
+    if (world().deployment(t.deployment).kind ==
+        topo::DeploymentKind::kTemporaryAnycast) {
+      EXPECT_EQ(classify_intermittence(world(), net::Prefix::of(t.address),
+                                       1, 14),
+                IntermittenceCause::kTemporaryAnycast);
+      return;
+    }
+  }
+  FAIL() << "no temporary anycast in world";
+}
+
+TEST(Intermittence, PlainUnicastIsFalsePositive) {
+  for (const auto& t : world().targets()) {
+    if (!t.representative || !t.address.is_v4()) continue;
+    const auto& dep = world().deployment(t.deployment);
+    if (dep.kind == topo::DeploymentKind::kUnicast) {
+      EXPECT_EQ(classify_intermittence(world(), net::Prefix::of(t.address),
+                                       1, 14),
+                IntermittenceCause::kFalsePositive);
+      return;
+    }
+  }
+  FAIL() << "no unicast in world";
+}
+
+TEST(Intermittence, BreakdownTotalsMatch) {
+  PrefixSet prefixes;
+  for (const auto& t : world().targets()) {
+    if (t.representative && t.address.is_v4()) {
+      prefixes.push_back(net::Prefix::of(t.address));
+      if (prefixes.size() == 200) break;
+    }
+  }
+  prefixes = canonical(std::move(prefixes));
+  const auto breakdown = attribute_intermittence(world(), prefixes, 1, 14);
+  EXPECT_EQ(breakdown.total(), prefixes.size());
+}
+
+TEST(Intermittence, CauseNames) {
+  EXPECT_EQ(to_string(IntermittenceCause::kChurn), "target churn");
+  EXPECT_EQ(to_string(IntermittenceCause::kFalsePositive), "false positive");
+}
+
+TEST(Intermittence, LongitudinalStoreExposesIntermittentSets) {
+  census::LongitudinalStore store;
+  census::DailyCensus day1, day2;
+  day1.day = 1;
+  day2.day = 2;
+  const auto stable = net::Prefix(net::Ipv4Prefix(net::Ipv4Address(9, 0, 0, 0), 24));
+  const auto flicker = net::Prefix(net::Ipv4Prefix(net::Ipv4Address(9, 0, 1, 0), 24));
+  auto add = [](census::DailyCensus& census, const net::Prefix& p) {
+    auto& rec = census.records[p];
+    rec.prefix = p;
+    rec.anycast_based[net::Protocol::kIcmp] =
+        census::ProtocolObservation{core::Verdict::kAnycast, 3};
+    rec.gcd_verdict = gcd::GcdVerdict::kAnycast;
+  };
+  add(day1, stable);
+  add(day1, flicker);
+  add(day2, stable);
+  store.add(day1);
+  store.add(day2);
+  EXPECT_EQ(store.intermittent_anycast_based(),
+            std::vector<net::Prefix>{flicker});
+  EXPECT_EQ(store.intermittent_gcd(), std::vector<net::Prefix>{flicker});
+}
+
+// ------------------------------------------------------ catchment stats
+
+core::MeasurementResults synthetic_catchment(
+    std::initializer_list<std::pair<int, int>> prefix_to_worker) {
+  core::MeasurementResults results;
+  for (const auto& [p, w] : prefix_to_worker) {
+    core::ProbeRecord rec;
+    rec.target = net::Ipv4Address(10, 0, static_cast<std::uint8_t>(p), 1);
+    rec.rx_worker = static_cast<net::WorkerId>(w);
+    results.records.push_back(rec);
+  }
+  return results;
+}
+
+TEST(Catchment, AssignsByFirstResponse) {
+  const auto stats = catchment_stats(synthetic_catchment(
+      {{1, 1}, {2, 1}, {3, 2}, {1, 2} /* duplicate, ignored */}));
+  EXPECT_EQ(stats.responsive_prefixes, 3u);
+  ASSERT_EQ(stats.sites.size(), 2u);
+  EXPECT_EQ(stats.sites[0].worker, 1);
+  EXPECT_EQ(stats.sites[0].prefixes, 2u);
+  EXPECT_NEAR(stats.sites[0].share, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Catchment, EntropyExtremes) {
+  // All prefixes at one site: entropy 0.
+  const auto skewed = catchment_stats(synthetic_catchment(
+      {{1, 1}, {2, 1}, {3, 1}, {4, 1}}));
+  EXPECT_DOUBLE_EQ(skewed.normalized_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(skewed.top_share(1), 1.0);
+
+  // Even split over 4 sites: normalized entropy 1.
+  const auto even = catchment_stats(synthetic_catchment(
+      {{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+  EXPECT_NEAR(even.normalized_entropy, 1.0, 1e-12);
+  EXPECT_NEAR(even.imbalance(), 1.0, 1e-12);
+}
+
+TEST(Catchment, EmptyResults) {
+  const auto stats = catchment_stats(core::MeasurementResults{});
+  EXPECT_EQ(stats.responsive_prefixes, 0u);
+  EXPECT_TRUE(stats.sites.empty());
+  EXPECT_DOUBLE_EQ(stats.top_share(3), 0.0);
+}
+
+TEST(Catchment, RealMeasurementIsUneven) {
+  EventQueue events;
+  topo::SimNetwork network(world(), events);
+  network.set_day(1);
+  core::Session session(network,
+                        platform::make_production_deployment(world()));
+  const auto hl = hitlist::build_ping_hitlist(world(), net::IpVersion::kV4);
+  core::MeasurementSpec spec;
+  spec.id = 77;
+  spec.targets_per_second = 50000;
+  const auto results = session.run(spec, hl.addresses());
+  const auto stats = catchment_stats(results);
+  EXPECT_GT(stats.responsive_prefixes, 800u);
+  EXPECT_GT(stats.sites.size(), 20u);
+  // Real catchments are uneven but not degenerate.
+  EXPECT_GT(stats.normalized_entropy, 0.5);
+  EXPECT_LT(stats.normalized_entropy, 1.0);
+  EXPECT_GT(stats.imbalance(), 1.2);
+}
+
+}  // namespace
+}  // namespace laces::analysis

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/channel.hpp"
+
+namespace laces::core {
+namespace {
+
+TEST(Channel, DeliversMessagesWithLatency) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "k", "k", SimDuration::millis(40));
+  std::vector<std::string> received;
+  SimTime rx_time;
+  b->set_message_handler([&](const Message& m) {
+    received.push_back(std::get<WorkerHello>(m).worker_name);
+    rx_time = events.now();
+  });
+  a->send(WorkerHello{"w1"});
+  events.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "w1");
+  EXPECT_EQ(rx_time.ns(), SimDuration::millis(40).ns());
+}
+
+TEST(Channel, PreservesOrder) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "k", "k");
+  std::vector<net::WorkerId> order;
+  b->set_message_handler([&](const Message& m) {
+    order.push_back(std::get<HelloAck>(m).worker_id);
+  });
+  for (net::WorkerId i = 0; i < 10; ++i) a->send(HelloAck{i});
+  events.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (net::WorkerId i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Channel, Bidirectional) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "k", "k");
+  bool a_got = false, b_got = false;
+  a->set_message_handler([&](const Message&) { a_got = true; });
+  b->set_message_handler([&](const Message&) { b_got = true; });
+  a->send(HelloAck{1});
+  b->send(HelloAck{2});
+  events.run();
+  EXPECT_TRUE(a_got);
+  EXPECT_TRUE(b_got);
+}
+
+TEST(Channel, MismatchedKeysRejectFrames) {
+  // An impostor without the deployment key cannot inject messages (R8).
+  EventQueue events;
+  auto [impostor, orchestrator] =
+      make_channel_pair(events, "wrong-key", "real-key");
+  std::size_t received = 0;
+  orchestrator->set_message_handler([&](const Message&) { ++received; });
+  impostor->send(SubmitMeasurement{{.id = 666}});
+  events.run();
+  EXPECT_EQ(received, 0u);
+  EXPECT_EQ(orchestrator->auth_failures(), 1u);
+}
+
+TEST(Channel, MatchingKeysHaveNoAuthFailures) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "key", "key");
+  std::size_t received = 0;
+  b->set_message_handler([&](const Message&) { ++received; });
+  for (int i = 0; i < 5; ++i) a->send(HelloAck{1});
+  events.run();
+  EXPECT_EQ(received, 5u);
+  EXPECT_EQ(b->auth_failures(), 0u);
+}
+
+TEST(Channel, CloseNotifiesPeer) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "k", "k");
+  bool closed = false;
+  b->set_close_handler([&]() { closed = true; });
+  EXPECT_TRUE(a->is_open());
+  a->close();
+  EXPECT_FALSE(a->is_open());
+  events.run();
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(b->is_open());
+}
+
+TEST(Channel, SendAfterCloseIsNoOp) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "k", "k");
+  std::size_t received = 0;
+  b->set_message_handler([&](const Message&) { ++received; });
+  a->close();
+  a->send(HelloAck{1});
+  events.run();
+  EXPECT_EQ(received, 0u);
+}
+
+TEST(Channel, InFlightMessagesBeforeCloseStillArrive) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "k", "k");
+  std::size_t received = 0;
+  b->set_message_handler([&](const Message&) { ++received; });
+  a->send(HelloAck{1});
+  a->close();  // close is also delayed by latency; message was sent first
+  events.run();
+  EXPECT_EQ(received, 1u);
+}
+
+TEST(Channel, CloseHandlerFiresOnce) {
+  EventQueue events;
+  auto [a, b] = make_channel_pair(events, "k", "k");
+  int closes = 0;
+  b->set_close_handler([&]() { ++closes; });
+  a->close();
+  a->close();
+  events.run();
+  EXPECT_EQ(closes, 1);
+}
+
+}  // namespace
+}  // namespace laces::core

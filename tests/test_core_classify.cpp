@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+
+namespace laces::core {
+namespace {
+
+net::IpAddress addr(std::uint8_t c) {
+  return net::Ipv4Address(10, 0, c, 1);
+}
+
+ProbeRecord record(std::uint8_t c, net::WorkerId rx) {
+  ProbeRecord r;
+  r.target = addr(c);
+  r.rx_worker = rx;
+  return r;
+}
+
+TEST(Classify, VerdictsByVpCount) {
+  MeasurementResults results;
+  // target 1: one VP -> unicast; target 2: three VPs -> anycast;
+  // target 3: never responds -> unresponsive.
+  results.records = {record(1, 4), record(1, 4), record(1, 4),
+                     record(2, 1), record(2, 2), record(2, 3)};
+  const std::vector<net::IpAddress> probed = {addr(1), addr(2), addr(3)};
+  const auto c = classify_anycast(results, probed);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(net::Prefix::of(addr(1))).verdict, Verdict::kUnicast);
+  EXPECT_EQ(c.at(net::Prefix::of(addr(2))).verdict, Verdict::kAnycast);
+  EXPECT_EQ(c.at(net::Prefix::of(addr(3))).verdict, Verdict::kUnresponsive);
+}
+
+TEST(Classify, VpCountsAndResponses) {
+  MeasurementResults results;
+  results.records = {record(2, 1), record(2, 2), record(2, 2), record(2, 9)};
+  const auto c = classify_anycast(results, {addr(2)});
+  const auto& obs = c.at(net::Prefix::of(addr(2)));
+  EXPECT_EQ(obs.vp_count(), 3u);
+  EXPECT_EQ(obs.responses, 4u);
+  EXPECT_EQ(obs.rx_workers, (std::vector<net::WorkerId>{1, 2, 9}));
+}
+
+TEST(Classify, AddressesGroupIntoPrefix) {
+  // Two addresses in the same /24 aggregate into one observation.
+  MeasurementResults results;
+  ProbeRecord a = record(7, 1);
+  ProbeRecord b = record(7, 2);
+  b.target = net::Ipv4Address(10, 0, 7, 53);
+  results.records = {a, b};
+  const auto c = classify_anycast(results, {addr(7)});
+  EXPECT_EQ(c.at(net::Prefix::of(addr(7))).verdict, Verdict::kAnycast);
+}
+
+TEST(Classify, AnycastTargetsSortedAndFiltered) {
+  MeasurementResults results;
+  results.records = {record(9, 1), record(9, 2),   // anycast
+                     record(3, 1), record(3, 2),   // anycast
+                     record(5, 1)};                // unicast
+  const auto c = classify_anycast(results, {addr(9), addr(3), addr(5)});
+  const auto ats = anycast_targets(c);
+  ASSERT_EQ(ats.size(), 2u);
+  EXPECT_LT(ats[0], ats[1]);
+}
+
+TEST(Classify, EmptyInputs) {
+  MeasurementResults results;
+  const auto c = classify_anycast(results, {});
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(anycast_targets(c).empty());
+}
+
+TEST(Classify, VerdictNames) {
+  EXPECT_EQ(to_string(Verdict::kUnresponsive), "unresponsive");
+  EXPECT_EQ(to_string(Verdict::kUnicast), "unicast");
+  EXPECT_EQ(to_string(Verdict::kAnycast), "anycast");
+}
+
+}  // namespace
+}  // namespace laces::core

@@ -1,0 +1,102 @@
+// Worker/orchestrator scheduling edge cases.
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "core/session.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/platform.hpp"
+#include "support.hpp"
+
+namespace laces::core {
+namespace {
+
+class WorkerEdgeTest : public ::testing::Test {
+ protected:
+  WorkerEdgeTest() {
+    topo::NetworkConfig cfg;
+    cfg.loss = 0.0;
+    network_ = std::make_unique<topo::SimNetwork>(
+        laces::testing::shared_tiny_world(), events_, cfg);
+    network_->set_day(1);
+    platform_ = platform::make_production_deployment(
+        laces::testing::shared_tiny_world());
+  }
+
+  std::vector<net::IpAddress> targets(std::size_t n) {
+    return hitlist::build_ping_hitlist(laces::testing::shared_tiny_world(),
+                                       net::IpVersion::kV4)
+        .head(n)
+        .addresses();
+  }
+
+  EventQueue events_;
+  std::unique_ptr<topo::SimNetwork> network_;
+  platform::AnycastPlatform platform_;
+};
+
+TEST_F(WorkerEdgeTest, ProbingRateControlsHitlistSpan) {
+  Session session(*network_, platform_);
+  MeasurementSpec spec;
+  spec.id = 1;
+  spec.worker_offset = SimDuration::seconds(0);
+  spec.targets_per_second = 10;  // 60 targets -> 6 seconds of probing
+  const auto results = session.run(spec, targets(60));
+  const auto span = results.finished - results.started;
+  EXPECT_GT(span, SimDuration::seconds(4));
+  EXPECT_LT(span, SimDuration::seconds(10));
+}
+
+TEST_F(WorkerEdgeTest, MaxParticipantsBeyondWorkerCountUsesAll) {
+  Session session(*network_, platform_);
+  MeasurementSpec spec;
+  spec.id = 2;
+  spec.targets_per_second = 50000;
+  spec.max_participants = 500;  // more than the 32 connected workers
+  const auto results = session.run(spec, targets(10));
+  EXPECT_EQ(results.probes_sent, 10u * 32u);
+}
+
+TEST_F(WorkerEdgeTest, SingleParticipantClassifiesEverythingUnicast) {
+  // With one receiving VP there can be no anycast evidence by definition.
+  Session session(*network_, platform_);
+  MeasurementSpec spec;
+  spec.id = 3;
+  spec.targets_per_second = 50000;
+  spec.max_participants = 1;
+  const auto t = targets(80);
+  const auto results = session.run(spec, t);
+  const auto classification = classify_anycast(results, t);
+  for (const auto& [prefix, obs] : classification) {
+    EXPECT_NE(obs.verdict, Verdict::kAnycast) << prefix.to_string();
+  }
+}
+
+TEST_F(WorkerEdgeTest, ZeroOffsetStillCompletes) {
+  Session session(*network_, platform_);
+  MeasurementSpec spec;
+  spec.id = 4;
+  spec.worker_offset = SimDuration::seconds(0);
+  spec.targets_per_second = 50000;
+  const auto results = session.run(spec, targets(40));
+  EXPECT_TRUE(session.cli().finished());
+  EXPECT_EQ(results.probes_sent, 40u * 32u);
+}
+
+TEST_F(WorkerEdgeTest, DuplicateTargetsAreEachProbed) {
+  // The orchestrator streams whatever the CLI submits; duplicates cost
+  // probes (responsibility is the operator's) but must not corrupt
+  // classification.
+  Session session(*network_, platform_);
+  auto t = targets(5);
+  t.push_back(t.front());
+  MeasurementSpec spec;
+  spec.id = 5;
+  spec.targets_per_second = 50000;
+  const auto results = session.run(spec, t);
+  EXPECT_EQ(results.probes_sent, 6u * 32u);
+  const auto classification = classify_anycast(results, t);
+  EXPECT_EQ(classification.size(), 5u);  // prefixes dedupe in the census
+}
+
+}  // namespace
+}  // namespace laces::core

@@ -1,0 +1,325 @@
+// Tests for the §6 future-work extensions: responsiveness pre-check,
+// canary outage monitoring, BGP-triggered temporary-anycast scans,
+// AS-level traceroute, and geolocation-accuracy evaluation.
+#include <gtest/gtest.h>
+
+#include "analysis/compare.hpp"
+#include "analysis/geolocation.hpp"
+#include "census/canary.hpp"
+#include "census/trigger.hpp"
+#include "core/precheck.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/latency.hpp"
+#include "platform/platform.hpp"
+#include "platform/traceroute.hpp"
+#include "support.hpp"
+
+namespace laces {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest() {
+    topo::NetworkConfig cfg;
+    cfg.loss = 0.0;
+    network_ = std::make_unique<topo::SimNetwork>(
+        laces::testing::shared_small_world(), events_, cfg);
+    network_->set_day(1);
+    platform_ = platform::make_production_deployment(world());
+    session_ = std::make_unique<core::Session>(*network_, platform_);
+  }
+
+  const topo::World& world() { return laces::testing::shared_small_world(); }
+
+  EventQueue events_;
+  std::unique_ptr<topo::SimNetwork> network_;
+  platform::AnycastPlatform platform_;
+  std::unique_ptr<core::Session> session_;
+};
+
+// ------------------------------------------------------------- pre-check
+
+TEST_F(ExtensionsTest, MaxParticipantsLimitsWorkers) {
+  const auto hl = hitlist::build_ping_hitlist(world(), net::IpVersion::kV4);
+  core::MeasurementSpec spec;
+  spec.id = 900;
+  spec.targets_per_second = 50000;
+  spec.max_participants = 3;
+  const auto results = session_->run(spec, hl.head(100).addresses());
+  EXPECT_EQ(results.probes_sent, 100u * 3u);
+  for (const auto& rec : results.records) {
+    ASSERT_TRUE(rec.tx_worker.has_value());
+    EXPECT_LE(*rec.tx_worker, 3);  // only the first three workers sent
+  }
+}
+
+TEST_F(ExtensionsTest, FullRunAfterLimitedRunUsesAllWorkers) {
+  const auto hl = hitlist::build_ping_hitlist(world(), net::IpVersion::kV4);
+  core::MeasurementSpec limited;
+  limited.id = 901;
+  limited.targets_per_second = 50000;
+  limited.max_participants = 2;
+  (void)session_->run(limited, hl.head(20).addresses());
+
+  core::MeasurementSpec full;
+  full.id = 902;
+  full.targets_per_second = 50000;
+  const auto results = session_->run(full, hl.head(20).addresses());
+  EXPECT_EQ(results.probes_sent, 20u * 32u);
+}
+
+TEST_F(ExtensionsTest, PrecheckSavesProbesWithoutChangingVerdicts) {
+  const auto hl = hitlist::build_ping_hitlist(world(), net::IpVersion::kV4);
+  const auto targets = hl.addresses();
+
+  core::MeasurementSpec spec;
+  spec.id = 910;
+  spec.targets_per_second = 50000;
+  const auto prechecked =
+      core::run_prechecked_census(*session_, spec, targets);
+
+  // Savings exist (the small world has ~10% unresponsive + churn).
+  EXPECT_GT(prechecked.stats.savings(), 0.03);
+  EXPECT_EQ(prechecked.stats.targets_total, targets.size());
+  EXPECT_LT(prechecked.stats.targets_responsive,
+            prechecked.stats.targets_total);
+
+  // Verdicts match a direct census closely (route-flip noise aside).
+  core::MeasurementSpec direct_spec;
+  direct_spec.id = 912;
+  direct_spec.targets_per_second = 50000;
+  const auto direct = session_->run(direct_spec, targets);
+  const auto direct_cls = core::classify_anycast(direct, targets);
+  std::size_t agree = 0, total = 0;
+  for (const auto& [prefix, obs] : direct_cls) {
+    const auto it = prechecked.classification.find(prefix);
+    ASSERT_NE(it, prechecked.classification.end());
+    ++total;
+    agree += it->second.verdict == obs.verdict ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.95);
+}
+
+// ---------------------------------------------------------------- canary
+
+TEST_F(ExtensionsTest, CanaryDetectsWorkerOutage) {
+  // Canary reference set: well-distributed unicast targets.
+  const auto hl = hitlist::build_ping_hitlist(world(), net::IpVersion::kV4);
+  const auto canary_targets = hl.head(300).addresses();
+
+  census::CanaryMonitor monitor(/*alarm_drop=*/0.8);
+  core::MeasurementSpec spec;
+  spec.targets_per_second = 50000;
+
+  // Three healthy days build the baseline; no alarms expected.
+  for (std::uint32_t day = 1; day <= 3; ++day) {
+    network_->set_day(day);
+    spec.id = 920 + day;
+    const auto alarms = monitor.observe(session_->run(spec, canary_targets));
+    EXPECT_TRUE(alarms.empty()) << "false alarm on day " << day;
+  }
+
+  // Kill a worker with a meaningful catchment, then observe again.
+  net::WorkerId victim_id = 0;
+  std::size_t victim_index = 0;
+  for (std::size_t i = 0; i < session_->worker_count(); ++i) {
+    if (monitor.baseline_share(session_->worker(i).id()) > 0.03) {
+      victim_id = session_->worker(i).id();
+      victim_index = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim_id, 0);
+  session_->worker(victim_index).disconnect();
+  events_.run();
+
+  network_->set_day(4);
+  spec.id = 930;
+  const auto alarms = monitor.observe(session_->run(spec, canary_targets));
+  ASSERT_FALSE(alarms.empty());
+  const bool victim_alarmed =
+      std::any_of(alarms.begin(), alarms.end(), [&](const census::CanaryAlarm& a) {
+        return a.worker == victim_id;
+      });
+  EXPECT_TRUE(victim_alarmed);
+  for (const auto& alarm : alarms) {
+    EXPECT_LT(alarm.today_share, alarm.baseline_share);
+  }
+}
+
+// --------------------------------------------------------------- trigger
+
+TEST_F(ExtensionsTest, BgpUpdateFeedTracksTemporaryAnycast) {
+  bool any_day_has_updates = false;
+  for (std::uint32_t day = 1; day <= 12; ++day) {
+    const auto updates = world().bgp_updates(day);
+    for (const auto& update : updates) {
+      any_day_has_updates = true;
+      // Temporary anycast may sit behind the prefix representative or a
+      // secondary address (partial anycast), so check both flags.
+      const auto truth_today = world().truth(update.prefix, day);
+      const auto truth_yesterday = world().truth(update.prefix, day - 1);
+      const bool today = truth_today.anycast || truth_today.partial_anycast;
+      const bool yesterday =
+          truth_yesterday.anycast || truth_yesterday.partial_anycast;
+      EXPECT_EQ(today, update.announced) << update.prefix.to_string();
+      EXPECT_NE(today, yesterday) << update.prefix.to_string();
+    }
+  }
+  EXPECT_TRUE(any_day_has_updates);
+}
+
+TEST_F(ExtensionsTest, TriggerScanCatchesActivatedAnycast) {
+  // Find a day with at least one activation.
+  std::uint32_t day = 0;
+  for (std::uint32_t d = 1; d <= 12 && day == 0; ++d) {
+    for (const auto& u : world().bgp_updates(d)) {
+      if (u.announced) day = d;
+    }
+  }
+  ASSERT_NE(day, 0u);
+  network_->set_day(day);
+
+  std::unordered_map<net::Prefix, net::IpAddress, net::PrefixHash> reps;
+  for (const auto& e :
+       hitlist::build_ping_hitlist(world(), net::IpVersion::kV4).entries()) {
+    reps.emplace(net::Prefix::of(e.address), e.address);
+  }
+  census::TriggerEngine engine(*session_,
+                               platform::make_ark(world(), 30, 0x7715), reps);
+  const auto result = engine.react(world().bgp_updates(day));
+
+  ASSERT_FALSE(result.measured.empty());
+  EXPECT_GT(result.probes_sent, 0u);
+  // Activated temporary anycast must be caught by the targeted scan
+  // (modulo per-day churn taking the target down entirely).
+  std::size_t caught = 0, candidates = 0;
+  for (const auto& prefix : result.measured) {
+    const auto truth = world().truth(prefix, day);
+    if (!truth.anycast) continue;
+    const auto* target = world().find_target(reps.at(prefix));
+    if (target == nullptr || world().target_down(*target, day)) continue;
+    ++candidates;
+    caught += analysis::contains(result.anycast_based, prefix) ? 1 : 0;
+  }
+  if (candidates > 0) {
+    EXPECT_GT(static_cast<double>(caught) / candidates, 0.5);
+  }
+  // Probing cost is tiny compared to a census.
+  EXPECT_LT(result.probes_sent,
+            hitlist::build_ping_hitlist(world(), net::IpVersion::kV4).size());
+}
+
+// ------------------------------------------------------------ traceroute
+
+TEST_F(ExtensionsTest, TracerouteReachesUnicastTargetDirectly) {
+  const topo::Target* target = nullptr;
+  for (const auto& t : world().targets()) {
+    if (t.representative && t.address.is_v4() && t.responder.icmp &&
+        world().deployment(t.deployment).kind ==
+            topo::DeploymentKind::kUnicast &&
+        !world().target_down(t, 1)) {
+      target = &t;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  const auto from = platform_.sites[0].attach;
+  const auto trace = platform::traceroute(world(), from, target->address, 1);
+  EXPECT_TRUE(trace.reached);
+  ASSERT_FALSE(trace.hops.empty());
+  EXPECT_EQ(trace.hops.front().as_id, from.upstream);
+  EXPECT_EQ(trace.ingress_city, trace.serving_city);
+  for (const auto& hop : trace.hops) {
+    EXPECT_FALSE(hop.internal);
+  }
+}
+
+TEST_F(ExtensionsTest, TracerouteRevealsGbuInternalLeg) {
+  // §5.1.3: probes to global-BGP-unicast prefixes ingress at distinct
+  // nearby PoPs but are served from one home location.
+  const topo::Target* gbu = nullptr;
+  for (const auto& t : world().targets()) {
+    if (t.representative && t.address.is_v4() && t.responder.icmp &&
+        world().deployment(t.deployment).kind ==
+            topo::DeploymentKind::kGlobalBgpUnicast) {
+      gbu = &t;
+      break;
+    }
+  }
+  ASSERT_NE(gbu, nullptr);
+  const auto& dep = world().deployment(gbu->deployment);
+  const auto home_city = dep.pops[dep.home_pop].attach.city;
+
+  std::set<geo::CityId> ingress_cities;
+  std::set<geo::CityId> serving_cities;
+  for (const auto& site : platform_.sites) {
+    const auto trace =
+        platform::traceroute(world(), site.attach, gbu->address, 1);
+    if (trace.ingress_city) ingress_cities.insert(*trace.ingress_city);
+    if (trace.serving_city) serving_cities.insert(*trace.serving_city);
+  }
+  // Distinct ingress PoPs, single serving location.
+  EXPECT_GT(ingress_cities.size(), 2u);
+  EXPECT_EQ(serving_cities.size(), 1u);
+  EXPECT_TRUE(serving_cities.contains(home_city));
+}
+
+TEST_F(ExtensionsTest, TracerouteToUnallocatedFails) {
+  const auto trace = platform::traceroute(
+      world(), platform_.sites[0].attach,
+      net::IpAddress(net::Ipv4Address(250, 9, 9, 9)), 1);
+  EXPECT_FALSE(trace.reached);
+  EXPECT_TRUE(trace.hops.empty());
+}
+
+TEST_F(ExtensionsTest, AsPathEndpointsAndContinuity) {
+  const auto& graph = world().as_graph();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<topo::AsId>(rng.index(graph.size()));
+    const auto b = static_cast<topo::AsId>(rng.index(graph.size()));
+    const auto path = graph.path(a, b);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    EXPECT_EQ(path.size(), static_cast<std::size_t>(graph.hops(a, b)) + 1);
+    for (std::size_t h = 1; h < path.size(); ++h) {
+      const auto& neighbors = graph.node(path[h - 1]).neighbors;
+      EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(), path[h]) !=
+                  neighbors.end());
+    }
+  }
+}
+
+// ----------------------------------------------------------- geolocation
+
+TEST_F(ExtensionsTest, GeolocationAccuracyAgainstGroundTruth) {
+  // GCD over the known anycast prefixes with a well-spread VP set.
+  std::vector<net::IpAddress> anycast_addrs;
+  for (const auto& t : world().targets()) {
+    if (!t.representative || !t.address.is_v4() || !t.responder.icmp) continue;
+    if (world().truth(net::Prefix::of(t.address), 1).anycast) {
+      anycast_addrs.push_back(t.address);
+    }
+  }
+  ASSERT_GT(anycast_addrs.size(), 20u);
+
+  const auto ark = platform::make_ark(world(), 80, 0x9e0);
+  const auto latency =
+      platform::measure_latency(*network_, ark, anycast_addrs);
+  const auto gcd_cls =
+      gcd::classify_gcd(gcd::make_analyzer(ark), latency, anycast_addrs);
+
+  const auto acc = analysis::evaluate_geolocation(world(), gcd_cls, 1);
+  EXPECT_GT(acc.prefixes_evaluated, 10u);
+  EXPECT_GT(acc.sites_evaluated, 50u);
+  // §5.8.1: reported locations closely match reality.
+  EXPECT_LT(acc.median_error_km, 400.0);
+  EXPECT_GT(acc.within_500km, 0.7);
+  // Enumeration is a lower bound, never an overcount on average.
+  EXPECT_LE(acc.enumeration_ratio, 1.05);
+}
+
+}  // namespace
+}  // namespace laces

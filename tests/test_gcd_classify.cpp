@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "gcd/classify.hpp"
+#include "support.hpp"
+
+namespace laces::gcd {
+namespace {
+
+platform::LatencyResults synthetic_latency() {
+  platform::LatencyResults latency;
+  const net::IpAddress anycast_addr = net::Ipv4Address(10, 1, 0, 1);
+  const net::IpAddress unicast_addr = net::Ipv4Address(10, 2, 0, 1);
+  // Anycast target: 1 ms at two distant VPs.
+  latency.samples.push_back({anycast_addr, 0, 1.0});
+  latency.samples.push_back({anycast_addr, 1, 1.0});
+  // Unicast target: plausible single location.
+  latency.samples.push_back({unicast_addr, 0, 5.0});
+  latency.samples.push_back({unicast_addr, 1, 120.0});
+  return latency;
+}
+
+GcdAnalyzer distant_analyzer() {
+  return GcdAnalyzer({geo::city(*geo::find_city("Amsterdam")).location,
+                      geo::city(*geo::find_city("Tokyo")).location});
+}
+
+TEST(GcdClassify, PerPrefixVerdicts) {
+  const auto analyzer = distant_analyzer();
+  const std::vector<net::IpAddress> probed = {
+      net::Ipv4Address(10, 1, 0, 1), net::Ipv4Address(10, 2, 0, 1),
+      net::Ipv4Address(10, 3, 0, 1)};  // third target never answered
+  const auto cls = classify_gcd(analyzer, synthetic_latency(), probed);
+  ASSERT_EQ(cls.size(), 3u);
+  EXPECT_EQ(cls.at(net::Prefix::of(probed[0])).verdict, GcdVerdict::kAnycast);
+  EXPECT_EQ(cls.at(net::Prefix::of(probed[1])).verdict, GcdVerdict::kUnicast);
+  EXPECT_EQ(cls.at(net::Prefix::of(probed[2])).verdict,
+            GcdVerdict::kUnresponsive);
+
+  const auto anycast = gcd_anycast_prefixes(cls);
+  ASSERT_EQ(anycast.size(), 1u);
+  EXPECT_EQ(anycast[0], net::Prefix::of(probed[0]));
+}
+
+TEST(GcdClassify, PerAddressKeepsMixedPrefixDistinct) {
+  const auto analyzer = distant_analyzer();
+  platform::LatencyResults latency;
+  // Two addresses in ONE /24: .1 unicast-looking, .53 anycast-looking —
+  // the §5.6 partial-anycast situation the /32 scan must resolve.
+  const net::IpAddress rep = net::Ipv4Address(10, 7, 0, 1);
+  const net::IpAddress resolver = net::Ipv4Address(10, 7, 0, 53);
+  latency.samples.push_back({rep, 0, 4.0});
+  latency.samples.push_back({rep, 1, 130.0});
+  latency.samples.push_back({resolver, 0, 1.0});
+  latency.samples.push_back({resolver, 1, 1.0});
+
+  const auto per_addr = classify_gcd_per_address(analyzer, latency);
+  ASSERT_EQ(per_addr.size(), 2u);
+  EXPECT_EQ(per_addr.at(rep).verdict, GcdVerdict::kUnicast);
+  EXPECT_EQ(per_addr.at(resolver).verdict, GcdVerdict::kAnycast);
+
+  // The prefix-level view would merge them (and see a violation).
+  const auto merged = classify_gcd(analyzer, latency, {rep});
+  EXPECT_EQ(merged.at(net::Prefix::of(rep)).verdict, GcdVerdict::kAnycast);
+}
+
+TEST(GcdClassify, MakeAnalyzerUsesVpGeometry) {
+  const auto& world = laces::testing::shared_small_world();
+  const auto ark = platform::make_ark(world, 25, 1);
+  const auto analyzer = make_analyzer(ark);
+  EXPECT_EQ(analyzer.vp_count(), 25u);
+}
+
+TEST(GcdClassify, EndToEndOnSimulatedWorld) {
+  const auto& world = laces::testing::shared_small_world();
+  EventQueue events;
+  topo::NetworkConfig cfg;
+  cfg.loss = 0;
+  topo::SimNetwork network(world, events, cfg);
+  network.set_day(1);
+  const auto ark = platform::make_ark(world, 40, 0xcc);
+
+  // Probe one known global anycast target and one unicast target.
+  net::IpAddress anycast_target, unicast_target;
+  for (const auto& t : world.targets()) {
+    if (!t.representative || !t.address.is_v4() || !t.responder.icmp) continue;
+    const auto& dep = world.deployment(t.deployment);
+    if (dep.kind == topo::DeploymentKind::kAnycastGlobal &&
+        dep.pops.size() > 40) {
+      anycast_target = t.address;
+    }
+    if (dep.kind == topo::DeploymentKind::kUnicast &&
+        !world.target_down(t, 1)) {
+      unicast_target = t.address;
+    }
+  }
+  const std::vector<net::IpAddress> targets = {anycast_target, unicast_target};
+  const auto latency = platform::measure_latency(network, ark, targets);
+  const auto cls = classify_gcd(make_analyzer(ark), latency, targets);
+  EXPECT_EQ(cls.at(net::Prefix::of(anycast_target)).verdict,
+            GcdVerdict::kAnycast);
+  EXPECT_EQ(cls.at(net::Prefix::of(unicast_target)).verdict,
+            GcdVerdict::kUnicast);
+  // Site enumeration for the hypergiant is > 1 and bounded by VP count.
+  const auto sites = cls.at(net::Prefix::of(anycast_target)).site_count();
+  EXPECT_GT(sites, 3u);
+  EXPECT_LE(sites, 40u);
+}
+
+}  // namespace
+}  // namespace laces::gcd

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "gcd/igreedy.hpp"
+#include "geo/lightspeed.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace laces::gcd {
+namespace {
+
+geo::GeoPoint city(const char* name) {
+  return geo::city(*geo::find_city(name)).location;
+}
+
+/// Analyzer over a canonical VP set used by most tests.
+class IgreedyTest : public ::testing::Test {
+ protected:
+  IgreedyTest()
+      : vps_{city("Amsterdam"), city("New York"), city("Tokyo"),
+             city("Sydney"), city("Sao Paulo"), city("Johannesburg")},
+        analyzer_(vps_) {}
+
+  /// RTT (ms) that places the target `km` from VP `vp` (plus slack).
+  static double rtt_for_km(double km) { return geo::min_rtt_ms(km); }
+
+  std::vector<geo::GeoPoint> vps_;
+  GcdAnalyzer analyzer_;
+};
+
+TEST_F(IgreedyTest, NoObservationsIsUnresponsive) {
+  const auto r = analyzer_.analyze({});
+  EXPECT_EQ(r.verdict, GcdVerdict::kUnresponsive);
+  EXPECT_EQ(r.site_count(), 0u);
+}
+
+TEST_F(IgreedyTest, SingleSiteIsUnicast) {
+  // Target physically in Amsterdam: every VP's RTT is consistent with the
+  // VP-Amsterdam distance (all discs contain Amsterdam).
+  std::vector<Observation> obs;
+  for (std::uint32_t v = 0; v < vps_.size(); ++v) {
+    const double d = geo::distance_km(vps_[v], city("Amsterdam"));
+    obs.push_back({v, rtt_for_km(d) + 5.0});
+  }
+  const auto r = analyzer_.analyze(obs);
+  EXPECT_EQ(r.verdict, GcdVerdict::kUnicast);
+  EXPECT_EQ(r.site_count(), 1u);
+}
+
+TEST_F(IgreedyTest, SpeedOfLightViolationIsAnycast) {
+  // 1 ms RTT at both Amsterdam and Tokyo: impossible for one host.
+  const std::vector<Observation> obs = {{0, 1.0}, {2, 1.0}};
+  const auto r = analyzer_.analyze(obs);
+  EXPECT_EQ(r.verdict, GcdVerdict::kAnycast);
+  EXPECT_EQ(r.site_count(), 2u);
+}
+
+TEST_F(IgreedyTest, EnumeratesDistinctRegions) {
+  // Low RTT at every VP: one site per VP region.
+  std::vector<Observation> obs;
+  for (std::uint32_t v = 0; v < vps_.size(); ++v) obs.push_back({v, 2.0});
+  const auto r = analyzer_.analyze(obs);
+  EXPECT_EQ(r.verdict, GcdVerdict::kAnycast);
+  EXPECT_EQ(r.site_count(), vps_.size());
+}
+
+TEST_F(IgreedyTest, OverlappingDiscsCollapseToOneSite) {
+  // Large RTTs everywhere: giant discs all overlap -> enumeration 1,
+  // verdict unicast (iGreedy's conservative lower bound).
+  std::vector<Observation> obs;
+  for (std::uint32_t v = 0; v < vps_.size(); ++v) obs.push_back({v, 250.0});
+  const auto r = analyzer_.analyze(obs);
+  EXPECT_EQ(r.verdict, GcdVerdict::kUnicast);
+  EXPECT_EQ(r.site_count(), 1u);
+}
+
+TEST_F(IgreedyTest, RegionalAnycastBelowResolutionIsMissed) {
+  // Sites in Amsterdam and Frankfurt (~360 km apart) probed from afar:
+  // discs exceed the separation, no violation -> the GCD FN of §2.1.
+  std::vector<Observation> obs;
+  for (std::uint32_t v = 0; v < vps_.size(); ++v) {
+    const double d_ams = geo::distance_km(vps_[v], city("Amsterdam"));
+    const double d_fra = geo::distance_km(vps_[v], city("Frankfurt"));
+    obs.push_back({v, rtt_for_km(std::min(d_ams, d_fra)) + 8.0});
+  }
+  const auto r = analyzer_.analyze(obs);
+  EXPECT_EQ(r.verdict, GcdVerdict::kUnicast);
+}
+
+TEST_F(IgreedyTest, GeolocationPicksPopulousCityInDisc) {
+  // A 2 ms RTT at the Amsterdam VP bounds the site within 200 km;
+  // the most populous city in that disc is Amsterdam itself (or London
+  // is out of range), so geolocation must land in the Netherlands area.
+  const std::vector<Observation> obs = {{0, 2.0}, {2, 2.0}};
+  const auto r = analyzer_.analyze(obs);
+  ASSERT_EQ(r.site_count(), 2u);
+  for (const auto& site : r.sites) {
+    ASSERT_TRUE(site.city.has_value());
+    const auto& c = geo::city(*site.city);
+    const double d = geo::distance_km(c.location, vps_[site.vp]);
+    EXPECT_LE(d, site.radius_km + 1.0);
+  }
+}
+
+TEST_F(IgreedyTest, GeolocationOptional) {
+  GcdOptions opts;
+  opts.geolocate = false;
+  GcdAnalyzer analyzer(vps_, opts);
+  const std::vector<Observation> obs = {{0, 2.0}, {2, 2.0}};
+  const auto r = analyzer.analyze(obs);
+  ASSERT_EQ(r.site_count(), 2u);
+  EXPECT_FALSE(r.sites[0].city.has_value());
+}
+
+TEST_F(IgreedyTest, HighRttObservationsDiscarded) {
+  GcdOptions opts;
+  opts.max_rtt_ms = 100.0;
+  GcdAnalyzer analyzer(vps_, opts);
+  // Two tight discs + one garbage RTT.
+  const std::vector<Observation> obs = {{0, 2.0}, {2, 2.0}, {4, 5000.0}};
+  const auto r = analyzer.analyze(obs);
+  EXPECT_EQ(r.site_count(), 2u);
+  // All observations garbage -> unresponsive.
+  const std::vector<Observation> garbage = {{0, 2000.0}, {1, 3000.0}};
+  const auto r2 = analyzer.analyze(garbage);
+  EXPECT_EQ(r2.verdict, GcdVerdict::kUnresponsive);
+}
+
+TEST_F(IgreedyTest, SmallestDiscsChosenFirst) {
+  // Amsterdam VP has both a tight (2 ms) and a loose (80 ms) observation
+  // via two VPs near each other; iGreedy keeps the tight one.
+  const std::vector<Observation> obs = {{0, 80.0}, {2, 2.0}, {0, 2.0}};
+  const auto r = analyzer_.analyze(obs);
+  ASSERT_GE(r.site_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.sites[0].radius_km, geo::max_one_way_km(2.0));
+}
+
+TEST(IgreedyEquivalence, FastMatchesNaiveOnRandomInputs) {
+  Rng rng(77);
+  // Random VP geometries and observation sets: the precomputed analyzer
+  // must agree with the reference implementation exactly.
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n_vps = 5 + rng.index(60);
+    std::vector<geo::GeoPoint> vps;
+    const auto cities = geo::world_cities();
+    for (std::size_t v = 0; v < n_vps; ++v) {
+      vps.push_back(cities[rng.index(cities.size())].location);
+    }
+    GcdAnalyzer fast(vps);
+    std::vector<Observation> obs;
+    for (std::uint32_t v = 0; v < n_vps; ++v) {
+      if (rng.chance(0.8)) {
+        obs.push_back({v, rng.uniform(0.5, 400.0)});
+      }
+    }
+    const auto a = fast.analyze(obs);
+    const auto b = analyze_naive(vps, obs);
+    ASSERT_EQ(a.verdict, b.verdict) << "trial " << trial;
+    ASSERT_EQ(a.site_count(), b.site_count()) << "trial " << trial;
+    for (std::size_t i = 0; i < a.sites.size(); ++i) {
+      EXPECT_EQ(a.sites[i].vp, b.sites[i].vp);
+      EXPECT_DOUBLE_EQ(a.sites[i].radius_km, b.sites[i].radius_km);
+      EXPECT_EQ(a.sites[i].city, b.sites[i].city) << "trial " << trial;
+    }
+  }
+}
+
+TEST(IgreedyProperties, SiteCountNeverExceedsObservations) {
+  Rng rng(78);
+  const auto cities = geo::world_cities();
+  std::vector<geo::GeoPoint> vps;
+  for (int v = 0; v < 40; ++v) {
+    vps.push_back(cities[rng.index(cities.size())].location);
+  }
+  GcdAnalyzer analyzer(vps);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Observation> obs;
+    const std::size_t n = rng.index(40);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      obs.push_back({v, rng.uniform(0.5, 300.0)});
+    }
+    const auto r = analyzer.analyze(obs);
+    EXPECT_LE(r.site_count(), obs.size());
+    if (!obs.empty()) {
+      EXPECT_GE(r.site_count(), 1u);
+    }
+    // Selected discs are pairwise disjoint (the independent-set invariant).
+    for (std::size_t i = 0; i < r.sites.size(); ++i) {
+      for (std::size_t j = i + 1; j < r.sites.size(); ++j) {
+        const double d =
+            geo::distance_km(vps[r.sites[i].vp], vps[r.sites[j].vp]);
+        EXPECT_GT(d, r.sites[i].radius_km + r.sites[j].radius_km);
+      }
+    }
+  }
+}
+
+TEST(IgreedyValidation, OutOfRangeVpRejected) {
+  GcdAnalyzer analyzer({geo::GeoPoint{0, 0}});
+  const std::vector<Observation> obs = {Observation{5, 10.0}};
+  EXPECT_THROW(analyzer.analyze(obs), ContractViolation);
+}
+
+TEST(IgreedyVerdict, Names) {
+  EXPECT_EQ(to_string(GcdVerdict::kUnresponsive), "unresponsive");
+  EXPECT_EQ(to_string(GcdVerdict::kUnicast), "unicast");
+  EXPECT_EQ(to_string(GcdVerdict::kAnycast), "anycast");
+}
+
+}  // namespace
+}  // namespace laces::gcd

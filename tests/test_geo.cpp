@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/cities.hpp"
+#include "geo/coord.hpp"
+#include "geo/disc.hpp"
+#include "geo/lightspeed.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace laces::geo {
+namespace {
+
+TEST(Coord, ZeroDistanceToSelf) {
+  const GeoPoint p{52.37, 4.89};
+  EXPECT_DOUBLE_EQ(distance_km(p, p), 0.0);
+}
+
+TEST(Coord, KnownDistances) {
+  // New York <-> London: ~5,570 km great-circle.
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  EXPECT_NEAR(distance_km(nyc, london), 5570.0, 60.0);
+  // Sydney <-> Tokyo: ~7,820 km.
+  const GeoPoint sydney{-33.87, 151.21};
+  const GeoPoint tokyo{35.68, 139.69};
+  EXPECT_NEAR(distance_km(sydney, tokyo), 7820.0, 100.0);
+}
+
+TEST(Coord, Symmetry) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint a{rng.uniform(-89.0, 89.0), rng.uniform(-180.0, 180.0)};
+    const GeoPoint b{rng.uniform(-89.0, 89.0), rng.uniform(-180.0, 180.0)};
+    EXPECT_NEAR(distance_km(a, b), distance_km(b, a), 1e-9);
+  }
+}
+
+TEST(Coord, TriangleInequality) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint a{rng.uniform(-89.0, 89.0), rng.uniform(-180.0, 180.0)};
+    const GeoPoint b{rng.uniform(-89.0, 89.0), rng.uniform(-180.0, 180.0)};
+    const GeoPoint c{rng.uniform(-89.0, 89.0), rng.uniform(-180.0, 180.0)};
+    EXPECT_LE(distance_km(a, c), distance_km(a, b) + distance_km(b, c) + 1e-6);
+  }
+}
+
+TEST(Coord, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0, 0};
+  const GeoPoint b{0, 180};
+  EXPECT_NEAR(distance_km(a, b), std::numbers::pi * kEarthRadiusKm, 1.0);
+}
+
+TEST(Coord, DestinationRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const GeoPoint origin{rng.uniform(-60.0, 60.0), rng.uniform(-170.0, 170.0)};
+    const double bearing = rng.uniform(0.0, 360.0);
+    const double dist = rng.uniform(10.0, 5000.0);
+    const GeoPoint dest = destination(origin, bearing, dist);
+    EXPECT_NEAR(distance_km(origin, dest), dist, dist * 0.001 + 0.1);
+  }
+}
+
+TEST(Coord, BearingCardinalDirections) {
+  const GeoPoint origin{0, 0};
+  EXPECT_NEAR(bearing_deg(origin, GeoPoint{10, 0}), 0.0, 0.5);    // north
+  EXPECT_NEAR(bearing_deg(origin, GeoPoint{0, 10}), 90.0, 0.5);   // east
+  EXPECT_NEAR(bearing_deg(origin, GeoPoint{-10, 0}), 180.0, 0.5); // south
+  EXPECT_NEAR(bearing_deg(origin, GeoPoint{0, -10}), 270.0, 0.5); // west
+}
+
+TEST(Lightspeed, Conversions) {
+  EXPECT_DOUBLE_EQ(max_one_way_km(10.0), 1000.0);  // 10ms RTT -> 1000 km
+  EXPECT_DOUBLE_EQ(min_rtt_ms(1000.0), 10.0);
+  EXPECT_DOUBLE_EQ(max_one_way_km(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(max_one_way_km(-5.0), 0.0);
+}
+
+TEST(Lightspeed, InverseRelationship) {
+  for (double rtt : {1.0, 5.0, 50.0, 300.0}) {
+    EXPECT_NEAR(min_rtt_ms(max_one_way_km(rtt)), rtt, 1e-9);
+  }
+}
+
+TEST(Disc, ContainsAndOverlap) {
+  const Disc amsterdam{{52.37, 4.89}, 500.0};
+  EXPECT_TRUE(amsterdam.contains({50.85, 4.35}));   // Brussels, ~170 km
+  EXPECT_FALSE(amsterdam.contains({40.42, -3.70})); // Madrid, ~1,480 km
+
+  const Disc london{{51.51, -0.13}, 500.0};
+  EXPECT_TRUE(overlaps(amsterdam, london));  // ~360 km apart, radii sum 1000
+  const Disc tokyo{{35.68, 139.69}, 500.0};
+  EXPECT_TRUE(disjoint(amsterdam, tokyo));
+}
+
+TEST(Disc, TouchingDiscsOverlap) {
+  const GeoPoint a{0, 0};
+  const GeoPoint b{0, 10};
+  const double d = distance_km(a, b);
+  EXPECT_TRUE(overlaps(Disc{a, d / 2}, Disc{b, d / 2}));
+  EXPECT_TRUE(disjoint(Disc{a, d / 2 - 1}, Disc{b, d / 2 - 1}));
+}
+
+TEST(Cities, DatabasePopulated) {
+  const auto cities = world_cities();
+  EXPECT_GE(cities.size(), 280u);
+  for (const auto& c : cities) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_EQ(c.country.size(), 2u);
+    EXPECT_GE(c.location.lat_deg, -90.0);
+    EXPECT_LE(c.location.lat_deg, 90.0);
+    EXPECT_GE(c.location.lon_deg, -180.0);
+    EXPECT_LE(c.location.lon_deg, 180.0);
+    EXPECT_GT(c.population, 0u);
+  }
+}
+
+TEST(Cities, AllContinentsPresent) {
+  bool seen[6] = {};
+  for (const auto& c : world_cities()) {
+    seen[static_cast<int>(c.continent)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Cities, FindAndLookup) {
+  const auto id = find_city("Amsterdam");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(city(*id).name, "Amsterdam");
+  EXPECT_EQ(city(*id).country, "NL");
+  EXPECT_FALSE(find_city("Atlantis").has_value());
+}
+
+TEST(Cities, VultrMetrosExist) {
+  for (const char* name :
+       {"Amsterdam", "Tokyo", "Sao Paulo", "Johannesburg", "Sydney",
+        "Honolulu", "Santiago", "Seoul", "Tel Aviv", "Warsaw"}) {
+    EXPECT_TRUE(find_city(name).has_value()) << name;
+  }
+}
+
+TEST(Cities, InvalidIdThrows) {
+  EXPECT_THROW(city(static_cast<CityId>(world_cities().size())),
+               ContractViolation);
+}
+
+TEST(Cities, MostPopulousWithinDisc) {
+  // A disc over western Europe should pick London (largest metro there).
+  const Disc disc{{50.0, 2.0}, 600.0};
+  const auto best = most_populous_within(disc);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(city(*best).name, "London");
+}
+
+TEST(Cities, MostPopulousWithinEmptyDisc) {
+  const Disc mid_pacific{{-40.0, -130.0}, 200.0};
+  EXPECT_FALSE(most_populous_within(mid_pacific).has_value());
+}
+
+TEST(Cities, CitiesWithinMatchesContains) {
+  const Disc disc{{48.86, 2.35}, 800.0};
+  for (const auto id : cities_within(disc)) {
+    EXPECT_TRUE(disc.contains(city(id).location));
+  }
+}
+
+TEST(Cities, NamesAreUnique) {
+  // find_city returns the first match; ambiguity would silently misplace
+  // platform sites.
+  std::set<std::string_view> names;
+  for (const auto& c : world_cities()) {
+    EXPECT_TRUE(names.insert(c.name).second) << c.name;
+  }
+}
+
+TEST(Cities, PopulationsPlausible) {
+  for (const auto& c : world_cities()) {
+    EXPECT_GE(c.population, 100'000u) << c.name;   // metros, not villages
+    EXPECT_LE(c.population, 45'000'000u) << c.name;
+  }
+}
+
+TEST(Cities, NearestCity) {
+  // A point slightly off Amsterdam should resolve to Amsterdam.
+  const auto id = nearest_city({52.4, 4.9});
+  EXPECT_EQ(city(id).name, "Amsterdam");
+}
+
+}  // namespace
+}  // namespace laces::geo

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hitlist/hitlist.hpp"
+#include "support.hpp"
+
+namespace laces::hitlist {
+namespace {
+
+class HitlistTest : public ::testing::Test {
+ protected:
+  const topo::World& world() { return laces::testing::shared_small_world(); }
+};
+
+TEST_F(HitlistTest, PingHitlistOnePerPrefix) {
+  const auto hl = build_ping_hitlist(world(), net::IpVersion::kV4);
+  EXPECT_GT(hl.size(), 900u);
+  std::set<net::Prefix> prefixes;
+  for (const auto& e : hl.entries()) {
+    EXPECT_EQ(e.address.version(), net::IpVersion::kV4);
+    EXPECT_TRUE(prefixes.insert(net::Prefix::of(e.address)).second);
+  }
+}
+
+TEST_F(HitlistTest, V6HitlistSeparate) {
+  const auto v6 = build_ping_hitlist(world(), net::IpVersion::kV6);
+  EXPECT_GT(v6.size(), 200u);
+  for (const auto& e : v6.entries()) {
+    EXPECT_EQ(e.address.version(), net::IpVersion::kV6);
+  }
+}
+
+TEST_F(HitlistTest, DnsHitlistPrefersNameservers) {
+  const auto dns = build_dns_hitlist(world(), net::IpVersion::kV4);
+  // Partial-anycast /24s have a non-representative nameserver (.53) that
+  // must win over the .1 representative.
+  std::size_t ns_selected = 0;
+  for (const auto& e : dns.entries()) {
+    const auto* target = world().find_target(e.address);
+    ASSERT_NE(target, nullptr);
+    if (e.is_nameserver) {
+      EXPECT_TRUE(target->responder.dns);
+      if (!target->representative) ++ns_selected;
+    }
+  }
+  EXPECT_GT(ns_selected, 0u);  // the OpenINTEL preference kicked in
+}
+
+TEST_F(HitlistTest, DnsHitlistStillOnePerPrefix) {
+  const auto dns = build_dns_hitlist(world(), net::IpVersion::kV4);
+  std::set<net::Prefix> prefixes;
+  for (const auto& e : dns.entries()) {
+    EXPECT_TRUE(prefixes.insert(net::Prefix::of(e.address)).second);
+  }
+  // Same prefix coverage as the ping hitlist.
+  EXPECT_EQ(dns.size(), build_ping_hitlist(world(), net::IpVersion::kV4).size());
+}
+
+TEST_F(HitlistTest, NameserverHitlistOnlyDnsCapable) {
+  const auto ns = build_nameserver_hitlist(world(), net::IpVersion::kV4);
+  EXPECT_GT(ns.size(), 0u);
+  for (const auto& e : ns.entries()) {
+    EXPECT_TRUE(e.is_nameserver);
+    const auto* target = world().find_target(e.address);
+    ASSERT_NE(target, nullptr);
+    EXPECT_TRUE(target->responder.dns);
+  }
+}
+
+TEST_F(HitlistTest, ShuffleIsDeterministicPermutation) {
+  const auto hl = build_ping_hitlist(world(), net::IpVersion::kV4);
+  const auto a = hl.shuffled(5);
+  const auto b = hl.shuffled(5);
+  const auto c = hl.shuffled(6);
+  ASSERT_EQ(a.size(), hl.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].address, b.entries()[i].address);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a.entries()[i].address != c.entries()[i].address;
+  }
+  EXPECT_TRUE(differs);
+  // Permutation: same multiset of addresses.
+  auto sa = a.addresses();
+  auto so = hl.addresses();
+  std::sort(sa.begin(), sa.end());
+  std::sort(so.begin(), so.end());
+  EXPECT_EQ(sa, so);
+}
+
+TEST_F(HitlistTest, HeadTruncates) {
+  const auto hl = build_ping_hitlist(world(), net::IpVersion::kV4);
+  EXPECT_EQ(hl.head(10).size(), 10u);
+  EXPECT_EQ(hl.head(hl.size() + 100).size(), hl.size());
+  EXPECT_TRUE(Hitlist().empty());
+}
+
+}  // namespace
+}  // namespace laces::hitlist

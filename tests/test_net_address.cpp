@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/address.hpp"
+#include "util/contracts.hpp"
+
+namespace laces::net {
+namespace {
+
+TEST(Ipv4Address, ToStringAndParseRoundTrip) {
+  const Ipv4Address a(192, 168, 1, 42);
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+  const auto parsed = Ipv4Address::parse("192.168.1.42");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+TEST(Ipv4Address, ParseEdges) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+struct BadV4 : ::testing::TestWithParam<const char*> {};
+TEST_P(BadV4, Rejected) {
+  EXPECT_FALSE(Ipv4Address::parse(GetParam()).has_value()) << GetParam();
+}
+INSTANTIATE_TEST_SUITE_P(Malformed, BadV4,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1",
+                                           "1.2.3.x", "1..2.3", " 1.2.3.4",
+                                           "1.2.3.4 ", "-1.2.3.4"));
+
+TEST(Ipv6Address, BytesRoundTrip) {
+  const Ipv6Address a(0x20010db800000001ULL, 0x00000000000000ffULL);
+  EXPECT_EQ(Ipv6Address::from_bytes(a.bytes()), a);
+}
+
+TEST(Ipv6Address, ToString) {
+  const Ipv6Address a(0x20010db800010002ULL, 0x0003000400050006ULL);
+  EXPECT_EQ(a.to_string(), "2001:db8:1:2:3:4:5:6");
+}
+
+TEST(Ipv6Address, ParseFullForm) {
+  const auto a = Ipv6Address::parse("2001:db8:1:2:3:4:5:6");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->hi(), 0x20010db800010002ULL);
+  EXPECT_EQ(a->lo(), 0x0003000400050006ULL);
+}
+
+TEST(Ipv6Address, ParseElision) {
+  const auto a = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->lo(), 1ULL);
+
+  const auto loopback = Ipv6Address::parse("::1");
+  ASSERT_TRUE(loopback.has_value());
+  EXPECT_EQ(loopback->hi(), 0ULL);
+  EXPECT_EQ(loopback->lo(), 1ULL);
+
+  const auto prefix_only = Ipv6Address::parse("fe80::");
+  ASSERT_TRUE(prefix_only.has_value());
+  EXPECT_EQ(prefix_only->hi(), 0xfe80000000000000ULL);
+}
+
+struct BadV6 : ::testing::TestWithParam<const char*> {};
+TEST_P(BadV6, Rejected) {
+  EXPECT_FALSE(Ipv6Address::parse(GetParam()).has_value()) << GetParam();
+}
+INSTANTIATE_TEST_SUITE_P(Malformed, BadV6,
+                         ::testing::Values("", ":::", "1:2:3:4:5:6:7",
+                                           "1:2:3:4:5:6:7:8:9", "12345::",
+                                           "g::1", "1::2::3"));
+
+TEST(IpAddress, VariantAccessors) {
+  const IpAddress v4 = Ipv4Address(1, 2, 3, 4);
+  EXPECT_TRUE(v4.is_v4());
+  EXPECT_EQ(v4.version(), IpVersion::kV4);
+  EXPECT_EQ(v4.v4().to_string(), "1.2.3.4");
+  EXPECT_THROW(v4.v6(), ContractViolation);
+
+  const IpAddress v6 = Ipv6Address(1, 2);
+  EXPECT_FALSE(v6.is_v4());
+  EXPECT_THROW(v6.v4(), ContractViolation);
+}
+
+TEST(IpAddress, OrderingAcrossFamilies) {
+  const IpAddress a = Ipv4Address(1, 0, 0, 1);
+  const IpAddress b = Ipv4Address(1, 0, 0, 2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, IpAddress(Ipv4Address(1, 0, 0, 1)));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Address(10, 1, 2, 200), 24);
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+  EXPECT_TRUE(p.contains(Ipv4Address(10, 1, 2, 7)));
+  EXPECT_FALSE(p.contains(Ipv4Address(10, 1, 3, 7)));
+}
+
+TEST(Ipv4Prefix, ZeroLengthContainsEverything) {
+  const Ipv4Prefix p(Ipv4Address(1, 2, 3, 4), 0);
+  EXPECT_TRUE(p.contains(Ipv4Address(255, 0, 255, 0)));
+  EXPECT_EQ(p.size(), 1ULL << 32);
+}
+
+TEST(Ipv4Prefix, Slash32IsSingleAddress) {
+  const Ipv4Prefix p(Ipv4Address(9, 9, 9, 9), 32);
+  EXPECT_TRUE(p.contains(Ipv4Address(9, 9, 9, 9)));
+  EXPECT_FALSE(p.contains(Ipv4Address(9, 9, 9, 8)));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Ipv4Prefix, PrefixContainment) {
+  const Ipv4Prefix slash16(Ipv4Address(10, 1, 0, 0), 16);
+  const Ipv4Prefix slash24(Ipv4Address(10, 1, 2, 0), 24);
+  EXPECT_TRUE(slash16.contains(slash24));
+  EXPECT_FALSE(slash24.contains(slash16));
+  EXPECT_TRUE(slash16.contains(slash16));
+}
+
+TEST(Ipv4Prefix, CountSlash24) {
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 16).count_slash24(), 256u);
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 20).count_slash24(), 16u);
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 24).count_slash24(), 1u);
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 32).count_slash24(), 1u);
+}
+
+TEST(Ipv4Prefix, ParseAndInvalid) {
+  const auto p = Ipv4Prefix::parse("192.0.2.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("bad/24").has_value());
+}
+
+TEST(Ipv4Prefix, InvalidLengthThrows) {
+  EXPECT_THROW(Ipv4Prefix(Ipv4Address(1, 2, 3, 4), 40), ContractViolation);
+}
+
+TEST(Ipv6Prefix, CanonicalizesAtVariousLengths) {
+  const Ipv6Address addr(0x20010db8abcd1234ULL, 0xffffffffffffffffULL);
+  EXPECT_EQ(Ipv6Prefix(addr, 48).address(),
+            Ipv6Address(0x20010db8abcd0000ULL, 0));
+  EXPECT_EQ(Ipv6Prefix(addr, 64).address(),
+            Ipv6Address(0x20010db8abcd1234ULL, 0));
+  EXPECT_EQ(Ipv6Prefix(addr, 72).address(),
+            Ipv6Address(0x20010db8abcd1234ULL, 0xff00000000000000ULL));
+  EXPECT_EQ(Ipv6Prefix(addr, 128).address(), addr);
+  EXPECT_EQ(Ipv6Prefix(addr, 0).address(), Ipv6Address(0, 0));
+}
+
+TEST(Ipv6Prefix, Containment) {
+  const Ipv6Prefix p(Ipv6Address(0x20010db800010000ULL, 0), 48);
+  EXPECT_TRUE(p.contains(Ipv6Address(0x20010db80001ffffULL, 42)));
+  EXPECT_FALSE(p.contains(Ipv6Address(0x20010db800020000ULL, 42)));
+}
+
+TEST(Prefix, CensusGranularity) {
+  const IpAddress v4 = Ipv4Address(10, 1, 2, 53);
+  const auto p4 = Prefix::of(v4);
+  EXPECT_EQ(p4.to_string(), "10.1.2.0/24");
+  EXPECT_TRUE(p4.contains(v4));
+
+  const IpAddress v6 = Ipv6Address(0x20010db800995555ULL, 7);
+  const auto p6 = Prefix::of(v6);
+  EXPECT_EQ(p6.v6().length(), 48);
+  EXPECT_TRUE(p6.contains(v6));
+  EXPECT_FALSE(p6.contains(v4));  // family mismatch
+}
+
+TEST(Prefix, Ordering) {
+  const Prefix a = Ipv4Prefix(Ipv4Address(1, 0, 0, 0), 24);
+  const Prefix b = Ipv4Prefix(Ipv4Address(1, 0, 1, 0), 24);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Prefix(Ipv4Prefix(Ipv4Address(1, 0, 0, 0), 24)));
+}
+
+TEST(Hashing, DistinctAddressesRarelyCollide) {
+  std::unordered_set<std::uint64_t> hashes;
+  for (std::uint32_t i = 0; i < 50000; ++i) {
+    hashes.insert(hash_value(IpAddress(Ipv4Address(i * 256 + 1))));
+  }
+  EXPECT_EQ(hashes.size(), 50000u);
+}
+
+TEST(Hashing, V4AndV6DoNotCollideTrivially) {
+  EXPECT_NE(hash_value(IpAddress(Ipv4Address(1))),
+            hash_value(IpAddress(Ipv6Address(0, 1))));
+}
+
+TEST(Hashing, UsableInUnorderedMap) {
+  std::unordered_set<Prefix, PrefixHash> set;
+  set.insert(Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 24));
+  set.insert(Ipv4Prefix(Ipv4Address(10, 0, 0, 99), 24));  // same /24
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace laces::net

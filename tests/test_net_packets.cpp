@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/dns.hpp"
+#include "net/icmp.hpp"
+#include "net/ip.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+
+namespace laces::net {
+namespace {
+
+const IpAddress kSrc4 = Ipv4Address(192, 0, 2, 1);
+const IpAddress kDst4 = Ipv4Address(198, 51, 100, 7);
+const Ipv6Address kSrc6(0x20010db800000001ULL, 1);
+const Ipv6Address kDst6(0x20010db800000002ULL, 2);
+
+// ------------------------------------------------------------------ checksum
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // Pads with a zero byte: words 0x0102, 0x0300.
+  const std::uint32_t sum = 0x0102 + 0x0300;
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~sum));
+}
+
+TEST(Checksum, ValidatesToZero) {
+  std::uint8_t data[] = {0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd,
+                         0x00, 0x00, 0x40, 0x01, 0x00, 0x00};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+// ------------------------------------------------------------------------ IP
+
+TEST(Ip, V4RoundTrip) {
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  const auto dgram = make_datagram_v4(kSrc4.v4(), kDst4.v4(), 17, payload);
+  EXPECT_EQ(dgram.bytes.size(), Ipv4Header::kSize + 5);
+
+  const auto parsed = parse_datagram(dgram.bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, kSrc4);
+  EXPECT_EQ(parsed->dst, kDst4);
+  EXPECT_EQ(parsed->ip_protocol, 17);
+  ASSERT_EQ(parsed->l4().size(), 5u);
+  EXPECT_EQ(parsed->l4()[0], 1);
+}
+
+TEST(Ip, V4HeaderChecksumValidated) {
+  const std::uint8_t payload[] = {9};
+  auto dgram = make_datagram_v4(kSrc4.v4(), kDst4.v4(), 1, payload);
+  dgram.bytes[8] ^= 0xff;  // corrupt TTL
+  EXPECT_FALSE(parse_datagram(dgram.bytes).has_value());
+}
+
+TEST(Ip, V4LengthMismatchRejected) {
+  const std::uint8_t payload[] = {9, 9};
+  auto dgram = make_datagram_v4(kSrc4.v4(), kDst4.v4(), 1, payload);
+  dgram.bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(parse_datagram(dgram.bytes).has_value());
+}
+
+TEST(Ip, V6RoundTrip) {
+  const std::uint8_t payload[] = {7, 8};
+  const auto dgram = make_datagram_v6(kSrc6, kDst6, 58, payload);
+  EXPECT_EQ(dgram.bytes.size(), Ipv6Header::kSize + 2);
+  const auto parsed = parse_datagram(dgram.bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src.v6(), kSrc6);
+  EXPECT_EQ(parsed->dst.v6(), kDst6);
+  EXPECT_EQ(parsed->ip_protocol, 58);
+}
+
+TEST(Ip, GarbageRejected) {
+  EXPECT_FALSE(parse_datagram({}).has_value());
+  const std::uint8_t junk[] = {0x99, 1, 2, 3};
+  EXPECT_FALSE(parse_datagram(junk).has_value());
+}
+
+// ---------------------------------------------------------------------- ICMP
+
+TEST(Icmp, V4EchoRoundTrip) {
+  IcmpEcho echo;
+  echo.id = 0xACE5;
+  echo.seq = 3;
+  echo.payload = {1, 2, 3, 4};
+  const auto bytes = build_icmp_echo(echo);
+  const auto parsed = parse_icmp_echo(bytes, false);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->is_reply);
+  EXPECT_EQ(parsed->id, 0xACE5);
+  EXPECT_EQ(parsed->seq, 3);
+  EXPECT_EQ(parsed->payload, echo.payload);
+}
+
+TEST(Icmp, V4ChecksumValidated) {
+  IcmpEcho echo;
+  echo.payload = {42};
+  auto bytes = build_icmp_echo(echo);
+  bytes.back() ^= 0x01;
+  EXPECT_FALSE(parse_icmp_echo(bytes, false).has_value());
+}
+
+TEST(Icmp, ReplyPreservesPayload) {
+  IcmpEcho echo;
+  echo.id = 7;
+  echo.seq = 9;
+  echo.payload = {5, 5, 5};
+  const auto reply = make_echo_reply(echo);
+  EXPECT_TRUE(reply.is_reply);
+  EXPECT_EQ(reply.id, echo.id);
+  EXPECT_EQ(reply.payload, echo.payload);
+
+  const auto bytes = build_icmp_echo(reply);
+  const auto parsed = parse_icmp_echo(bytes, false);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_reply);
+}
+
+TEST(Icmp, V6ChecksumLifecycle) {
+  IcmpEcho echo;
+  echo.is_v6 = true;
+  echo.id = 1;
+  echo.payload = {9, 9};
+  auto bytes = build_icmp_echo(echo);
+  finalize_icmpv6_checksum(bytes, kSrc6, kDst6);
+  EXPECT_TRUE(verify_icmpv6_checksum(bytes, kSrc6, kDst6));
+  // Swapping src/dst keeps the sum (pseudo-header addition commutes)...
+  EXPECT_TRUE(verify_icmpv6_checksum(bytes, kDst6, kSrc6));
+  // ...but a different address must fail.
+  EXPECT_FALSE(verify_icmpv6_checksum(bytes, kSrc6,
+                                      Ipv6Address(0x20010db8000000ffULL, 9)));
+  const auto parsed = parse_icmp_echo(bytes, true);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, echo.payload);
+}
+
+TEST(Icmp, NonEchoTypesRejected) {
+  std::uint8_t dest_unreachable[] = {3, 0, 0, 0, 0, 0, 0, 0};
+  const std::uint16_t sum = internet_checksum(dest_unreachable);
+  dest_unreachable[2] = static_cast<std::uint8_t>(sum >> 8);
+  dest_unreachable[3] = static_cast<std::uint8_t>(sum);
+  EXPECT_FALSE(parse_icmp_echo(dest_unreachable, false).has_value());
+}
+
+// ----------------------------------------------------------------------- TCP
+
+TEST(Tcp, SegmentRoundTrip) {
+  TcpSegment seg;
+  seg.src_port = 443;
+  seg.dst_port = 62111;
+  seg.seq = 0xdeadbeef;
+  seg.ack = 0x12345678;
+  seg.flags = kTcpSyn | kTcpAck;
+  seg.window = 1024;
+  auto bytes = build_tcp_segment(seg);
+  finalize_tcp_checksum(bytes, kSrc4, kDst4);
+
+  const auto parsed = parse_tcp_segment(bytes, kSrc4, kDst4);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 443);
+  EXPECT_EQ(parsed->dst_port, 62111);
+  EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed->ack, 0x12345678u);
+  EXPECT_TRUE(parsed->has(kTcpSyn));
+  EXPECT_TRUE(parsed->has(kTcpAck));
+  EXPECT_FALSE(parsed->has(kTcpRst));
+}
+
+TEST(Tcp, ChecksumCoversAddresses) {
+  TcpSegment seg;
+  seg.src_port = 1;
+  seg.dst_port = 2;
+  auto bytes = build_tcp_segment(seg);
+  finalize_tcp_checksum(bytes, kSrc4, kDst4);
+  // Same bytes with different pseudo-header addresses must fail.
+  EXPECT_FALSE(
+      parse_tcp_segment(bytes, IpAddress(Ipv4Address(9, 9, 9, 9)), kDst4)
+          .has_value());
+}
+
+TEST(Tcp, V6Checksum) {
+  TcpSegment seg;
+  seg.src_port = 443;
+  seg.dst_port = 62111;
+  auto bytes = build_tcp_segment(seg);
+  finalize_tcp_checksum(bytes, IpAddress(kSrc6), IpAddress(kDst6));
+  EXPECT_TRUE(parse_tcp_segment(bytes, IpAddress(kSrc6), IpAddress(kDst6))
+                  .has_value());
+}
+
+TEST(Tcp, RstEchoesAckAsSeq) {
+  TcpSegment syn_ack;
+  syn_ack.src_port = 443;
+  syn_ack.dst_port = 62111;
+  syn_ack.ack = 0xc0ffee42;
+  syn_ack.flags = kTcpSyn | kTcpAck;
+  const auto rst = make_rst_for(syn_ack);
+  EXPECT_EQ(rst.seq, 0xc0ffee42u);   // the probe's encoding comes back
+  EXPECT_EQ(rst.src_port, 62111);    // ports swapped
+  EXPECT_EQ(rst.dst_port, 443);
+  EXPECT_TRUE(rst.has(kTcpRst));
+  EXPECT_FALSE(rst.has(kTcpAck));
+}
+
+TEST(Tcp, ShortSegmentRejected) {
+  const std::uint8_t tiny[] = {1, 2, 3};
+  EXPECT_FALSE(parse_tcp_segment(tiny, kSrc4, kDst4).has_value());
+}
+
+// ----------------------------------------------------------------------- UDP
+
+TEST(Udp, RoundTrip) {
+  UdpDatagram udp;
+  udp.src_port = 53053;
+  udp.dst_port = 53;
+  udp.payload = {0xde, 0xad};
+  auto bytes = build_udp(udp);
+  finalize_udp_checksum(bytes, kSrc4, kDst4);
+  const auto parsed = parse_udp(bytes, kSrc4, kDst4);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 53053);
+  EXPECT_EQ(parsed->dst_port, 53);
+  EXPECT_EQ(parsed->payload, udp.payload);
+}
+
+TEST(Udp, CorruptedPayloadRejected) {
+  UdpDatagram udp;
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  udp.payload = {1, 2, 3, 4};
+  auto bytes = build_udp(udp);
+  finalize_udp_checksum(bytes, kSrc4, kDst4);
+  bytes.back() ^= 0xff;
+  EXPECT_FALSE(parse_udp(bytes, kSrc4, kDst4).has_value());
+}
+
+TEST(Udp, LengthFieldValidated) {
+  UdpDatagram udp;
+  udp.payload = {1};
+  auto bytes = build_udp(udp);
+  finalize_udp_checksum(bytes, kSrc4, kDst4);
+  bytes.push_back(0);
+  EXPECT_FALSE(parse_udp(bytes, kSrc4, kDst4).has_value());
+}
+
+// ----------------------------------------------------------------------- DNS
+
+TEST(Dns, QueryRoundTrip) {
+  DnsMessage query;
+  query.id = 0x1234;
+  query.questions.push_back(
+      DnsQuestion{"p-0001.census.laces-test.net", DnsType::kA, DnsClass::kIn});
+  const auto bytes = build_dns_message(query);
+  const auto parsed = parse_dns_message(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, 0x1234);
+  EXPECT_FALSE(parsed->is_response);
+  ASSERT_EQ(parsed->questions.size(), 1u);
+  EXPECT_EQ(parsed->questions[0].qname, "p-0001.census.laces-test.net");
+  EXPECT_EQ(parsed->questions[0].qtype, DnsType::kA);
+}
+
+TEST(Dns, ResponseWithAnswer) {
+  DnsMessage query;
+  query.id = 77;
+  query.questions.push_back(
+      DnsQuestion{"example.test", DnsType::kA, DnsClass::kIn});
+  const auto response = make_dns_response(query, {192, 0, 2, 1});
+  EXPECT_TRUE(response.is_response);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].rdata, (std::vector<std::uint8_t>{192, 0, 2, 1}));
+
+  const auto bytes = build_dns_message(response);
+  const auto parsed = parse_dns_message(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_response);
+  EXPECT_EQ(parsed->answers[0].name, "example.test");
+}
+
+TEST(Dns, ChaosTxtRoundTrip) {
+  DnsMessage query;
+  query.id = 1;
+  query.questions.push_back(
+      DnsQuestion{"hostname.bind", DnsType::kTxt, DnsClass::kChaos});
+  const auto response = make_dns_response(query, txt_rdata("ams1.example"));
+  const auto bytes = build_dns_message(response);
+  const auto parsed = parse_dns_message(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->questions[0].qclass, DnsClass::kChaos);
+  const auto text = txt_text(parsed->answers[0].rdata);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, "ams1.example");
+}
+
+TEST(Dns, TxtHelpers) {
+  EXPECT_FALSE(txt_text({}).has_value());
+  const std::uint8_t truncated[] = {10, 'a'};
+  EXPECT_FALSE(txt_text(truncated).has_value());
+  const auto rd = txt_rdata(std::string(300, 'x'));  // clamped to 255
+  EXPECT_EQ(rd.size(), 256u);
+  EXPECT_EQ(rd[0], 255);
+}
+
+TEST(Dns, RootNameEncodes) {
+  DnsMessage query;
+  query.questions.push_back(DnsQuestion{"", DnsType::kA, DnsClass::kIn});
+  const auto parsed = parse_dns_message(build_dns_message(query));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->questions[0].qname, "");
+}
+
+TEST(Dns, CompressedNamesRejected) {
+  // Pointer label (0xc0) — our parser deliberately rejects compression.
+  const std::uint8_t msg[] = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                              0xc0, 0x0c, 0, 1, 0, 1};
+  EXPECT_FALSE(parse_dns_message(msg).has_value());
+}
+
+TEST(Dns, TruncatedMessageRejected) {
+  DnsMessage query;
+  query.questions.push_back(
+      DnsQuestion{"abc.example", DnsType::kA, DnsClass::kIn});
+  auto bytes = build_dns_message(query);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(parse_dns_message(bytes).has_value());
+}
+
+TEST(Dns, MaxLengthLabel) {
+  const std::string label(63, 'a');
+  DnsMessage query;
+  query.questions.push_back(
+      DnsQuestion{label + ".example", DnsType::kA, DnsClass::kIn});
+  const auto parsed = parse_dns_message(build_dns_message(query));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->questions[0].qname, label + ".example");
+}
+
+}  // namespace
+}  // namespace laces::net

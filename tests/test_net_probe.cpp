@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "net/probe.hpp"
+#include "net/responder.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "net/dns.hpp"
+#include "util/rng.hpp"
+
+namespace laces::net {
+namespace {
+
+const IpAddress kAnycast = Ipv4Address(203, 0, 113, 1);
+const IpAddress kTarget = Ipv4Address(1, 2, 3, 1);
+const IpAddress kAnycast6 = Ipv6Address(0x3fff00000000ffffULL, 1);
+const IpAddress kTarget6 = Ipv6Address(0x20010db800010000ULL, 1);
+
+ProbeEncoding sample_encoding() {
+  ProbeEncoding enc;
+  enc.measurement = 0xabcd1234;
+  enc.worker = 17;
+  enc.tx_time_ns = 987654321012345;
+  enc.salt = 0x5eed;
+  return enc;
+}
+
+struct ProtoCase {
+  Protocol protocol;
+  bool v6;
+};
+
+class ProbeRoundTrip : public ::testing::TestWithParam<ProtoCase> {};
+
+TEST_P(ProbeRoundTrip, EncodingSurvivesTargetResponse) {
+  const auto [protocol, v6] = GetParam();
+  const auto src = v6 ? kAnycast6 : kAnycast;
+  const auto dst = v6 ? kTarget6 : kTarget;
+  const auto enc = sample_encoding();
+
+  Datagram probe;
+  switch (protocol) {
+    case Protocol::kIcmp:
+      probe = build_icmp_probe(src, dst, enc);
+      break;
+    case Protocol::kTcp:
+      probe = build_tcp_probe(src, dst, enc);
+      break;
+    case Protocol::kUdpDns:
+      probe = build_dns_probe(src, dst, enc);
+      break;
+  }
+
+  ResponderConfig cfg;
+  cfg.dns = true;
+  const auto response = craft_response(probe, cfg);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->src, dst);  // the target answers from the probed addr
+  EXPECT_EQ(response->dst, src);
+
+  const auto parsed = parse_response(*response, enc.measurement);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->protocol, protocol);
+  EXPECT_EQ(parsed->target, dst);
+  ASSERT_TRUE(parsed->encoding.worker.has_value());
+  EXPECT_EQ(*parsed->encoding.worker, 17);
+  if (protocol != Protocol::kTcp) {
+    // Full nanosecond transmit time survives in ICMP payload / DNS qname.
+    EXPECT_EQ(parsed->encoding.tx_time_ns, enc.tx_time_ns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProbeRoundTrip,
+    ::testing::Values(ProtoCase{Protocol::kIcmp, false},
+                      ProtoCase{Protocol::kTcp, false},
+                      ProtoCase{Protocol::kUdpDns, false},
+                      ProtoCase{Protocol::kIcmp, true},
+                      ProtoCase{Protocol::kTcp, true},
+                      ProtoCase{Protocol::kUdpDns, true}));
+
+TEST(Probe, WrongMeasurementIdRejected) {
+  const auto enc = sample_encoding();
+  const auto probe = build_icmp_probe(kAnycast, kTarget, enc);
+  const auto response = craft_response(probe, ResponderConfig{});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(parse_response(*response, enc.measurement + 1).has_value());
+}
+
+TEST(Probe, TamperedPayloadRejected) {
+  const auto enc = sample_encoding();
+  const auto probe = build_icmp_probe(kAnycast, kTarget, enc);
+  auto response = *craft_response(probe, ResponderConfig{});
+  // Flip a bit inside the echoed worker-id field and fix up no checksums:
+  // the ICMP checksum check or the payload check must reject it.
+  response.bytes[Ipv4Header::kSize + 8 + 13] ^= 0x01;
+  EXPECT_FALSE(parse_response(response, enc.measurement).has_value());
+}
+
+TEST(Probe, StaticProbesCarryNoWorkerIdentity) {
+  auto enc = sample_encoding();
+  const auto probe = build_icmp_probe(kAnycast, kTarget, enc,
+                                      /*vary_payload=*/false);
+  const auto response = craft_response(probe, ResponderConfig{});
+  const auto parsed = parse_response(*response, enc.measurement);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->encoding.worker.has_value());
+  EXPECT_FALSE(parsed->encoding.tx_time_ns.has_value());
+}
+
+TEST(Probe, StaticProbesAreByteIdentical) {
+  auto enc_a = sample_encoding();
+  auto enc_b = sample_encoding();
+  enc_b.worker = 3;            // different worker...
+  enc_b.tx_time_ns = 111;      // ...different time...
+  enc_b.salt = 42;             // ...different salt
+  const auto a = build_icmp_probe(kAnycast, kTarget, enc_a, false);
+  const auto b = build_icmp_probe(kAnycast, kTarget, enc_b, false);
+  EXPECT_EQ(a.bytes, b.bytes);  // §5.1.4: identical on the wire
+}
+
+TEST(Probe, VaryingProbesDiffer) {
+  auto enc_a = sample_encoding();
+  auto enc_b = sample_encoding();
+  enc_b.worker = 3;
+  const auto a = build_icmp_probe(kAnycast, kTarget, enc_a, true);
+  const auto b = build_icmp_probe(kAnycast, kTarget, enc_b, true);
+  EXPECT_NE(a.bytes, b.bytes);
+}
+
+TEST(Probe, TcpAckPackingRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    ProbeEncoding enc;
+    enc.measurement = static_cast<MeasurementId>(rng()) & 0x3f;
+    enc.worker = static_cast<WorkerId>(rng.uniform_int(0, 1023));
+    enc.tx_time_ns =
+        static_cast<std::int64_t>(rng.uniform_int(0, 0xffff)) * 1'000'000;
+    const auto ack = pack_tcp_ack(enc);
+    const auto back = unpack_tcp_ack(ack);
+    EXPECT_EQ(back.measurement, enc.measurement);
+    EXPECT_EQ(*back.worker, *enc.worker);
+    EXPECT_EQ(*back.tx_time_ns, enc.tx_time_ns);
+    EXPECT_TRUE(tcp_ack_matches(ack, enc.measurement));
+    EXPECT_FALSE(tcp_ack_matches(ack, enc.measurement + 1));
+  }
+}
+
+TEST(Probe, ChaosProbeAndResponse) {
+  const auto enc = sample_encoding();
+  const auto probe = build_chaos_probe(kAnycast, kTarget, enc);
+  ResponderConfig cfg;
+  cfg.dns = true;
+  cfg.chaos_value = "site-ams1";
+  const auto response = craft_response(probe, cfg);
+  ASSERT_TRUE(response.has_value());
+  const auto parsed =
+      parse_response(*response, static_cast<std::uint16_t>(enc.measurement));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->txt_answer.has_value());
+  EXPECT_EQ(*parsed->txt_answer, "site-ams1");
+}
+
+TEST(Probe, ChaosUnsupportedByTarget) {
+  const auto enc = sample_encoding();
+  const auto probe = build_chaos_probe(kAnycast, kTarget, enc);
+  ResponderConfig cfg;
+  cfg.dns = true;  // DNS server, but no CHAOS identity configured
+  EXPECT_FALSE(craft_response(probe, cfg).has_value());
+}
+
+TEST(Responder, ProtocolGating) {
+  const auto enc = sample_encoding();
+  ResponderConfig silent;
+  silent.icmp = false;
+  silent.tcp = false;
+  silent.dns = false;
+  EXPECT_FALSE(
+      craft_response(build_icmp_probe(kAnycast, kTarget, enc), silent));
+  EXPECT_FALSE(
+      craft_response(build_tcp_probe(kAnycast, kTarget, enc), silent));
+  EXPECT_FALSE(
+      craft_response(build_dns_probe(kAnycast, kTarget, enc), silent));
+
+  ResponderConfig tcp_only;
+  tcp_only.icmp = false;
+  tcp_only.tcp = true;
+  tcp_only.dns = false;
+  EXPECT_FALSE(
+      craft_response(build_icmp_probe(kAnycast, kTarget, enc), tcp_only));
+  EXPECT_TRUE(
+      craft_response(build_tcp_probe(kAnycast, kTarget, enc), tcp_only));
+}
+
+TEST(Responder, DnsAnswerContainsProbedAddress) {
+  const auto enc = sample_encoding();
+  const auto probe = build_dns_probe(kAnycast, kTarget, enc);
+  ResponderConfig cfg;
+  cfg.dns = true;
+  const auto response = craft_response(probe, cfg);
+  ASSERT_TRUE(response.has_value());
+  // Decode the DNS answer rdata: must be the target's own v4 address.
+  const auto udp = parse_udp(response->l4(), response->src, response->dst);
+  ASSERT_TRUE(udp.has_value());
+  const auto msg = parse_dns_message(udp->payload);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->answers.size(), 1u);
+  ASSERT_EQ(msg->answers[0].rdata.size(), 4u);
+  EXPECT_EQ(msg->answers[0].rdata[0], 1);
+  EXPECT_EQ(msg->answers[0].rdata[3], 1);
+}
+
+TEST(Responder, PlainSynIgnored) {
+  // Only SYN/ACK probes are answered (a bare SYN would create state).
+  TcpSegment syn;
+  syn.src_port = 1234;
+  syn.dst_port = 80;
+  syn.flags = kTcpSyn;
+  auto l4 = build_tcp_segment(syn);
+  finalize_tcp_checksum(l4, kAnycast, kTarget);
+  const auto dgram = make_datagram_v4(kAnycast.v4(), kTarget.v4(), 6, l4);
+  EXPECT_FALSE(craft_response(dgram, ResponderConfig{}).has_value());
+}
+
+TEST(Responder, NonProbeTrafficIgnored) {
+  const std::uint8_t junk[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto dgram = make_datagram_v4(kAnycast.v4(), kTarget.v4(), 47, junk);
+  EXPECT_FALSE(craft_response(dgram, ResponderConfig{}).has_value());
+}
+
+}  // namespace
+}  // namespace laces::net

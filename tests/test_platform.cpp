@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/platform.hpp"
+#include "support.hpp"
+
+namespace laces::platform {
+namespace {
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  const topo::World& world() { return laces::testing::shared_small_world(); }
+};
+
+TEST_F(PlatformTest, ProductionDeploymentHas32VultrSites) {
+  const auto p = make_production_deployment(world());
+  EXPECT_EQ(p.sites.size(), 32u);
+  std::set<std::string> names;
+  std::set<geo::Continent> continents;
+  for (const auto& site : p.sites) {
+    names.insert(site.name);
+    continents.insert(geo::city(site.city).continent);
+    // Attach points reference real transit ASes.
+    EXPECT_EQ(world().as_graph().node(site.attach.upstream).tier,
+              topo::AsTier::kTransit);
+  }
+  EXPECT_EQ(names.size(), 32u);       // all distinct metros
+  EXPECT_EQ(continents.size(), 6u);   // paper: 6 continents
+  EXPECT_TRUE(names.contains("Amsterdam"));
+  EXPECT_TRUE(names.contains("Johannesburg"));
+}
+
+TEST_F(PlatformTest, SiteAddressesAreDistinct) {
+  const auto p = make_production_deployment(world());
+  std::set<net::IpAddress> addrs;
+  for (const auto& site : p.sites) {
+    addrs.insert(site.unicast_v4);
+    addrs.insert(site.unicast_v6);
+  }
+  EXPECT_EQ(addrs.size(), 64u);
+  EXPECT_FALSE(addrs.contains(p.anycast_v4));
+}
+
+TEST_F(PlatformTest, CctldDeploymentHas12Sites) {
+  const auto p = make_cctld_deployment(world());
+  EXPECT_EQ(p.sites.size(), 12u);
+  // Distinct anycast address from the production deployment.
+  EXPECT_NE(p.anycast_v4, make_production_deployment(world()).anycast_v4);
+}
+
+TEST_F(PlatformTest, EuNaSelection) {
+  const auto base = make_production_deployment(world());
+  const auto p = select_eu_na(base);
+  ASSERT_EQ(p.sites.size(), 2u);
+  std::set<geo::Continent> continents;
+  for (const auto& s : p.sites) {
+    continents.insert(geo::city(s.city).continent);
+  }
+  EXPECT_TRUE(continents.contains(geo::Continent::kEurope));
+  EXPECT_TRUE(continents.contains(geo::Continent::kNorthAmerica));
+  EXPECT_EQ(p.anycast_v4, base.anycast_v4);  // same announced prefix
+}
+
+TEST_F(PlatformTest, PerContinentSelections) {
+  const auto base = make_production_deployment(world());
+  const auto one = select_per_continent(base, 1);
+  EXPECT_EQ(one.sites.size(), 6u);  // one per continent
+  std::set<geo::Continent> continents;
+  for (const auto& s : one.sites) {
+    continents.insert(geo::city(s.city).continent);
+  }
+  EXPECT_EQ(continents.size(), 6u);
+
+  const auto two = select_per_continent(base, 2);
+  // Two per continent except Africa (one Vultr site): 11 VPs, as in Table 5.
+  EXPECT_EQ(two.sites.size(), 11u);
+}
+
+TEST_F(PlatformTest, ArkPlatformsHaveRequestedCounts) {
+  for (std::size_t count : {9u, 118u, 163u, 227u}) {
+    const auto ark = make_ark(world(), count, 0x5eed);
+    EXPECT_EQ(ark.vps.size(), count);
+    std::set<net::IpAddress> addrs;
+    for (const auto& vp : ark.vps) addrs.insert(vp.address_v4);
+    EXPECT_EQ(addrs.size(), count);  // unique source addresses
+  }
+}
+
+TEST_F(PlatformTest, ArkDeterministicPerSeed) {
+  const auto a = make_ark(world(), 50, 1);
+  const auto b = make_ark(world(), 50, 1);
+  const auto c = make_ark(world(), 50, 2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.vps[i].city, b.vps[i].city);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (a.vps[i].city != c.vps[i].city) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(PlatformTest, ArkCanForceV6FilteringVps) {
+  const auto ark = make_ark(world(), 30, 7, 2);
+  std::size_t filtering = 0;
+  for (const auto& vp : ark.vps) {
+    if (world().filters_v6_specifics(vp.attach.upstream)) ++filtering;
+  }
+  EXPECT_GE(filtering, 2u);
+}
+
+TEST_F(PlatformTest, AtlasRespectsMinimumDistance) {
+  const auto atlas = make_atlas(world(), 200, 100.0, 0x47);
+  EXPECT_GT(atlas.vps.size(), 50u);
+  EXPECT_GT(atlas.credits_per_probe, 0.0);
+  for (std::size_t i = 0; i < atlas.vps.size(); ++i) {
+    EXPECT_LT(atlas.vps[i].availability, 1.0);  // Atlas nodes flap
+    for (std::size_t j = i + 1; j < atlas.vps.size(); ++j) {
+      const double d =
+          geo::distance_km(geo::city(atlas.vps[i].city).location,
+                           geo::city(atlas.vps[j].city).location);
+      EXPECT_GE(d, 100.0) << atlas.vps[i].name << " vs " << atlas.vps[j].name;
+    }
+  }
+}
+
+TEST_F(PlatformTest, ThinByDistanceMonotone) {
+  const auto dense = make_ark(world(), 150, 3);
+  std::size_t previous = dense.vps.size();
+  for (double km : {100.0, 300.0, 600.0, 1000.0}) {
+    const auto thinned = thin_by_distance(dense, km);
+    EXPECT_LE(thinned.vps.size(), previous);
+    previous = thinned.vps.size();
+  }
+  // At 1000 km the set must be much smaller than the full platform.
+  EXPECT_LT(thin_by_distance(dense, 1000.0).vps.size(), dense.vps.size() / 2);
+}
+
+TEST_F(PlatformTest, UnicastViewMirrorsSites) {
+  const auto p = make_production_deployment(world());
+  const auto view = unicast_view(p);
+  ASSERT_EQ(view.vps.size(), p.sites.size());
+  for (std::size_t i = 0; i < view.vps.size(); ++i) {
+    EXPECT_EQ(view.vps[i].city, p.sites[i].city);
+    EXPECT_EQ(view.vps[i].address_v4, p.sites[i].unicast_v4);
+    EXPECT_DOUBLE_EQ(view.vps[i].availability, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace laces::platform

@@ -1,0 +1,118 @@
+// End-to-end smoke: a small world, one anycast census, one GCD pass.
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "core/session.hpp"
+#include "gcd/classify.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/latency.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+#include "topo/world.hpp"
+
+namespace laces {
+namespace {
+
+topo::WorldConfig small_world_config() {
+  topo::WorldConfig cfg;
+  cfg.seed = 7;
+  cfg.as_graph.tier1_count = 8;
+  cfg.as_graph.transit_count = 60;
+  cfg.as_graph.stub_count = 300;
+  cfg.v4_unicast = 800;
+  cfg.v4_unresponsive = 100;
+  cfg.v4_medium_anycast_orgs = 10;
+  cfg.v4_regional_anycast = 5;
+  cfg.v4_global_bgp_unicast = 40;
+  cfg.v4_temporary_anycast = 5;
+  cfg.v4_partial_anycast = 10;
+  cfg.dns_root_like = 3;
+  cfg.udp_only_anycast = 2;
+  cfg.tcp_only_anycast = 3;
+  cfg.v6_unicast = 200;
+  cfg.v6_unresponsive = 50;
+  cfg.v6_medium_anycast_orgs = 5;
+  cfg.v6_regional_anycast = 2;
+  cfg.v6_backing_anycast = 5;
+  return cfg;
+}
+
+TEST(SmokePipeline, AnycastCensusAndGcdAgreeWithGroundTruth) {
+  const auto world = topo::World::generate(small_world_config());
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  network.set_day(1);
+
+  const auto deployment = platform::make_production_deployment(world);
+  core::Session session(network, deployment);
+
+  const auto hitlist = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+  ASSERT_GT(hitlist.size(), 900u);
+
+  core::MeasurementSpec spec;
+  spec.id = 11;
+  spec.protocol = net::Protocol::kIcmp;
+  spec.targets_per_second = 20000;
+  const auto results = session.run(spec, hitlist.addresses());
+  ASSERT_GT(results.records.size(), 0u);
+  EXPECT_EQ(results.workers.size(), 32u);
+
+  const auto classification =
+      core::classify_anycast(results, hitlist.addresses());
+  const auto ats = core::anycast_targets(classification);
+  ASSERT_GT(ats.size(), 0u);
+
+  // Every known hypergiant anycast prefix should be detected.
+  std::size_t truth_anycast = 0, detected = 0;
+  std::size_t truth_unicast = 0, fp = 0;
+  for (const auto& [prefix, obs] : classification) {
+    const auto truth = world.truth(prefix, 1);
+    if (!truth.exists) continue;
+    if (truth.anycast) {
+      ++truth_anycast;
+      if (obs.verdict == core::Verdict::kAnycast) ++detected;
+    } else if (obs.verdict == core::Verdict::kAnycast &&
+               !truth.global_bgp_unicast) {
+      ++fp;
+    }
+    if (!truth.anycast) ++truth_unicast;
+  }
+  ASSERT_GT(truth_anycast, 50u);
+  // Recall of the anycast-based stage should be high.
+  EXPECT_GT(static_cast<double>(detected) / truth_anycast, 0.85);
+  // FPs exist (route flips/ECMP) but must be a small minority of unicast.
+  EXPECT_GT(fp, 0u);
+  EXPECT_LT(static_cast<double>(fp) / truth_unicast, 0.06);
+
+  // GCD stage over the ATs.
+  const auto ark = platform::make_ark(world, 60, 99);
+  std::vector<net::IpAddress> at_addrs;
+  for (const auto& e : hitlist.entries()) {
+    if (std::find(ats.begin(), ats.end(), net::Prefix::of(e.address)) !=
+        ats.end()) {
+      at_addrs.push_back(e.address);
+    }
+  }
+  const auto latency = platform::measure_latency(network, ark, at_addrs);
+  ASSERT_GT(latency.samples.size(), 0u);
+  const auto analyzer = gcd::make_analyzer(ark);
+  const auto gcd_result = gcd::classify_gcd(analyzer, latency, at_addrs);
+
+  std::size_t gcd_tp = 0, gcd_truth_anycast = 0, gcd_fp = 0;
+  for (const auto& [prefix, res] : gcd_result) {
+    const auto truth = world.truth(prefix, 1);
+    if (truth.anycast) {
+      ++gcd_truth_anycast;
+      if (res.verdict == gcd::GcdVerdict::kAnycast) ++gcd_tp;
+    } else if (res.verdict == gcd::GcdVerdict::kAnycast) {
+      ++gcd_fp;
+    }
+  }
+  ASSERT_GT(gcd_truth_anycast, 20u);
+  EXPECT_GT(static_cast<double>(gcd_tp) / gcd_truth_anycast, 0.7);
+  // GCD has (near) zero FPs for v4: delays never violate light speed.
+  EXPECT_EQ(gcd_fp, 0u);
+}
+
+}  // namespace
+}  // namespace laces

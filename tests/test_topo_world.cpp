@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support.hpp"
+#include "topo/world.hpp"
+
+namespace laces::topo {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  const World& world() { return laces::testing::shared_small_world(); }
+};
+
+TEST_F(WorldTest, PopulationCountsReflectConfig) {
+  const auto& cfg = world().config();
+  std::map<DeploymentKind, std::size_t> kinds;
+  for (const auto& t : world().targets()) {
+    if (!t.representative || !t.address.is_v4()) continue;
+    kinds[world().deployment(t.deployment).kind]++;
+  }
+  EXPECT_EQ(kinds[DeploymentKind::kGlobalBgpUnicast],
+            cfg.v4_global_bgp_unicast);
+  EXPECT_EQ(kinds[DeploymentKind::kTemporaryAnycast],
+            cfg.v4_temporary_anycast);
+  EXPECT_EQ(kinds[DeploymentKind::kAnycastRegional], cfg.v4_regional_anycast);
+  // Unicast representatives: bulk + unresponsive + partial reps + mixed.
+  EXPECT_GE(kinds[DeploymentKind::kUnicast],
+            cfg.v4_unicast + cfg.v4_unresponsive + cfg.v4_partial_anycast);
+}
+
+TEST_F(WorldTest, AddressesAreUniqueAndIndexed) {
+  for (const auto& t : world().targets()) {
+    const auto* found = world().find_target(t.address);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->address, t.address);
+  }
+  EXPECT_EQ(world().find_target(net::IpAddress(net::Ipv4Address(250, 0, 0, 1))),
+            nullptr);
+}
+
+TEST_F(WorldTest, HypergiantsPresentWithPaperAsns) {
+  std::map<Asn, std::string> asns;
+  for (const auto& org : world().orgs()) asns[org.asn] = org.name;
+  EXPECT_EQ(asns[396982], "Google Cloud");
+  EXPECT_EQ(asns[13335], "Cloudflare");
+  EXPECT_EQ(asns[16509], "Amazon");
+  EXPECT_EQ(asns[54113], "Fastly");
+  EXPECT_EQ(asns[209242], "Cloudflare Spectrum");
+  EXPECT_EQ(asns[8075], "GlobalBackbone");
+}
+
+TEST_F(WorldTest, TruthOracleLabelsFamiliesCorrectly) {
+  std::size_t anycast = 0, gbu = 0, partial = 0;
+  for (const auto& t : world().targets()) {
+    if (!t.representative) continue;
+    const auto truth = world().truth(net::Prefix::of(t.address), 1);
+    ASSERT_TRUE(truth.exists);
+    const auto& dep = world().deployment(t.deployment);
+    switch (dep.kind) {
+      case DeploymentKind::kAnycastGlobal:
+      case DeploymentKind::kAnycastRegional:
+        EXPECT_TRUE(truth.anycast);
+        ++anycast;
+        break;
+      case DeploymentKind::kGlobalBgpUnicast:
+        EXPECT_FALSE(truth.anycast);
+        EXPECT_TRUE(truth.global_bgp_unicast);
+        ++gbu;
+        break;
+      default:
+        break;
+    }
+    if (truth.partial_anycast) ++partial;
+  }
+  EXPECT_GT(anycast, 0u);
+  EXPECT_GT(gbu, 0u);
+  EXPECT_GT(partial, 0u);
+}
+
+TEST_F(WorldTest, PartialAnycastPrefixesMixKinds) {
+  std::size_t partial_found = 0;
+  for (const auto& t : world().targets()) {
+    if (t.representative || !t.address.is_v4()) continue;
+    // Non-representative v4 targets are the partial-anycast secondaries.
+    const auto truth = world().truth(net::Prefix::of(t.address), 1);
+    EXPECT_TRUE(truth.exists);
+    ++partial_found;
+  }
+  EXPECT_EQ(partial_found, world().config().v4_partial_anycast);
+}
+
+TEST_F(WorldTest, TemporaryAnycastCyclesWithDays) {
+  for (const auto& dep : world().deployments()) {
+    if (dep.kind != DeploymentKind::kTemporaryAnycast) continue;
+    std::size_t active_days = 0;
+    for (std::uint32_t day = 0; day < dep.temp_period_days; ++day) {
+      if (dep.anycast_active(day)) ++active_days;
+    }
+    EXPECT_EQ(active_days, dep.temp_active_days);
+  }
+}
+
+TEST_F(WorldTest, RepresentativesCoverEveryPrefix) {
+  const auto reps = world().representatives(net::IpVersion::kV4);
+  std::unordered_set<net::Prefix, net::PrefixHash> prefixes;
+  for (const auto& addr : reps) {
+    EXPECT_TRUE(prefixes.insert(net::Prefix::of(addr)).second)
+        << "duplicate representative for " << addr.to_string();
+  }
+  const auto all = world().all_addresses(net::IpVersion::kV4);
+  EXPECT_GT(all.size(), reps.size());  // secondaries exist
+}
+
+TEST_F(WorldTest, BgpTableCoversAllV4Targets) {
+  for (const auto& t : world().targets()) {
+    if (!t.address.is_v4()) continue;
+    const bool covered = std::any_of(
+        world().bgp_table().begin(), world().bgp_table().end(),
+        [&](const BgpAnnouncement& a) { return a.prefix.contains(t.address.v4()); });
+    EXPECT_TRUE(covered) << t.address.to_string();
+  }
+}
+
+TEST_F(WorldTest, BgpTableHasAggregates) {
+  bool saw_supernet = false;
+  for (const auto& a : world().bgp_table()) {
+    if (a.prefix.length() < 24) saw_supernet = true;
+  }
+  EXPECT_TRUE(saw_supernet);
+}
+
+TEST_F(WorldTest, ChurnIsDeterministicAndNearConfiguredRate) {
+  std::size_t down = 0, total = 0;
+  for (const auto& t : world().targets()) {
+    EXPECT_EQ(world().target_down(t, 5), world().target_down(t, 5));
+    ++total;
+    if (world().target_down(t, 5)) ++down;
+  }
+  const double rate = static_cast<double>(down) / static_cast<double>(total);
+  EXPECT_NEAR(rate, world().config().daily_churn, 0.01);
+}
+
+TEST_F(WorldTest, GenerationIsDeterministic) {
+  const auto a = World::generate(laces::testing::tiny_world_config(99));
+  const auto b = World::generate(laces::testing::tiny_world_config(99));
+  ASSERT_EQ(a.targets().size(), b.targets().size());
+  for (std::size_t i = 0; i < a.targets().size(); ++i) {
+    EXPECT_EQ(a.targets()[i].address, b.targets()[i].address);
+    EXPECT_EQ(a.targets()[i].deployment, b.targets()[i].deployment);
+  }
+  ASSERT_EQ(a.bgp_table().size(), b.bgp_table().size());
+}
+
+TEST_F(WorldTest, DifferentSeedsDiffer) {
+  const auto a = World::generate(laces::testing::tiny_world_config(1));
+  const auto b = World::generate(laces::testing::tiny_world_config(2));
+  // Same counts but different placements.
+  bool differs = false;
+  const auto n = std::min(a.deployments().size(), b.deployments().size());
+  for (std::size_t i = 0; i < n && !differs; ++i) {
+    if (!a.deployments()[i].pops.empty() && !b.deployments()[i].pops.empty() &&
+        !(a.deployments()[i].pops[0].attach ==
+          b.deployments()[i].pops[0].attach)) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(WorldTest, BackingAnycastTargetsAreV6WithBacking) {
+  std::size_t backing = 0;
+  for (const auto& t : world().targets()) {
+    if (!t.backing_deployment) continue;
+    ++backing;
+    EXPECT_EQ(t.address.version(), net::IpVersion::kV6);
+    const auto& dep = world().deployment(t.deployment);
+    EXPECT_EQ(dep.kind, DeploymentKind::kUnicast);
+    const auto& backing_dep = world().deployment(*t.backing_deployment);
+    EXPECT_EQ(backing_dep.kind, DeploymentKind::kAnycastGlobal);
+    EXPECT_GT(backing_dep.pops.size(), 10u);
+  }
+  EXPECT_EQ(backing, world().config().v6_backing_anycast);
+}
+
+TEST_F(WorldTest, SomeTransitAsesFilterV6) {
+  std::size_t filtering = 0;
+  for (AsId a = 0; a < world().as_graph().size(); ++a) {
+    if (world().filters_v6_specifics(a)) ++filtering;
+  }
+  EXPECT_GT(filtering, 0u);
+}
+
+TEST_F(WorldTest, TransitNearReturnsTransit) {
+  for (geo::CityId c = 0; c < geo::world_cities().size(); c += 13) {
+    const auto as_id = world().transit_near(c);
+    EXPECT_EQ(world().as_graph().node(as_id).tier, AsTier::kTransit);
+  }
+}
+
+TEST_F(WorldTest, UnknownPrefixTruthDoesNotExist) {
+  const auto truth = world().truth(
+      net::Ipv4Prefix(net::Ipv4Address(250, 250, 250, 0), 24), 1);
+  EXPECT_FALSE(truth.exists);
+}
+
+}  // namespace
+}  // namespace laces::topo

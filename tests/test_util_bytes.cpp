@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace laces {
+namespace {
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0102030405060708ULL);
+  w.i64(-42);
+  w.f64(3.14159);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  w.u32(0x03040506);
+  const auto v = w.view();
+  EXPECT_EQ(v[0], 0x01);
+  EXPECT_EQ(v[1], 0x02);
+  EXPECT_EQ(v[2], 0x03);
+  EXPECT_EQ(v[5], 0x06);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string(1000, 'x'));
+  ByteReader r(w.view());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+}
+
+TEST(Bytes, RawBytesRoundTrip) {
+  const std::uint8_t raw[] = {1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.bytes(raw);
+  ByteReader r(w.view());
+  const auto out = r.bytes(5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], raw[i]);
+}
+
+TEST(Bytes, UnderrunThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.view());
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(Bytes, EmptyReaderThrowsOnAnyRead) {
+  ByteReader r({});
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8('x');
+  ByteReader r(w.view());
+  EXPECT_THROW(r.str(), DecodeError);
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u16(0xbeef);
+  w.patch_u16(0, 0xdead);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16(), 0xdead);
+  EXPECT_EQ(r.u16(), 0xbeef);
+}
+
+TEST(Bytes, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 5), DecodeError);
+}
+
+TEST(Bytes, RemainingAndPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(r.position(), 4u);
+}
+
+TEST(Bytes, NegativeAndSpecialDoubles) {
+  ByteWriter w;
+  w.f64(-0.0);
+  w.f64(1e308);
+  w.f64(-1e-308);
+  ByteReader r(w.view());
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64(), 1e308);
+  EXPECT_DOUBLE_EQ(r.f64(), -1e-308);
+}
+
+}  // namespace
+}  // namespace laces

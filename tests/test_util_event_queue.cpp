@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/event_queue.hpp"
+
+namespace laces {
+namespace {
+
+TEST(EventQueue, RunsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime(300), [&] { order.push_back(3); });
+  q.schedule_at(SimTime(100), [&] { order.push_back(1); });
+  q.schedule_at(SimTime(200), [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(SimTime(50), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  SimTime observed;
+  q.schedule_at(SimTime(500), [&] { observed = q.now(); });
+  q.run();
+  EXPECT_EQ(observed.ns(), 500);
+  EXPECT_EQ(q.now().ns(), 500);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime inner;
+  q.schedule_at(SimTime(100), [&] {
+    q.schedule_after(SimDuration(50), [&] { inner = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(inner.ns(), 150);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime when;
+  q.schedule_at(SimTime(100), [&] {
+    q.schedule_at(SimTime(10), [&] { when = q.now(); });  // in the past
+  });
+  q.run();
+  EXPECT_EQ(when.ns(), 100);
+}
+
+TEST(EventQueue, EventsCanCascade) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) q.schedule_after(SimDuration(1), recurse);
+  };
+  q.schedule_at(SimTime(0), recurse);
+  EXPECT_EQ(q.run(), 100u);
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(q.now().ns(), 99);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime(10), [&] { order.push_back(1); });
+  q.schedule_at(SimTime(20), [&] { order.push_back(2); });
+  q.schedule_at(SimTime(30), [&] { order.push_back(3); });
+  EXPECT_EQ(q.run_until(SimTime(20)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now().ns(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(SimTime(1000));
+  EXPECT_EQ(q.now().ns(), 1000);
+}
+
+TEST(EventQueue, EmptyAndPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule_at(SimTime(1), [] {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace laces

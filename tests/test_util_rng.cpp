@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace laces {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversFullInclusiveRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.contains(0));
+  EXPECT_TRUE(seen.contains(3));
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(7, 3), ContractViolation);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(3.0);
+    ASSERT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, IndexBoundsAndPreconditions) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+  EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(41);
+  Rng child1 = parent.fork(1);
+  Rng child1_again = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_EQ(child1(), child1_again());
+  EXPECT_NE(child1(), child2());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  shuffle(v, rng);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(StableHash, StableAcrossInstances) {
+  StableHash a(5), b(5);
+  a.mix(std::uint64_t{42}).mix("hello");
+  b.mix(std::uint64_t{42}).mix("hello");
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(StableHash, SeedChangesValue) {
+  StableHash a(1), b(2);
+  a.mix(std::uint64_t{42});
+  b.mix(std::uint64_t{42});
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(StableHash, OrderSensitive) {
+  StableHash a(0), b(0);
+  a.mix(std::uint64_t{1}).mix(std::uint64_t{2});
+  b.mix(std::uint64_t{2}).mix(std::uint64_t{1});
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(StableHash, UnitInRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    StableHash h(i);
+    h.mix(i * 7);
+    const double u = h.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StableHash, UnitRoughlyUniform) {
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    StableHash h(99);
+    h.mix(std::uint64_t(i));
+    sum += h.unit();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+// Known-answer check for splitmix64 (reference value from the published
+// algorithm with state 0 -> first output).
+TEST(SplitMix64, ReferenceVector) {
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace laces

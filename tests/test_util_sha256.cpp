@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/sha256.hpp"
+
+namespace laces {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    // One-shot and byte-at-a-time must agree at padding boundaries.
+    Sha256 b;
+    for (char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(a.finish(), b.finish()) << "len " << len;
+  }
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string data(50, '\xdd');
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Test Using Larger Than Block-Size Key - "
+                                    "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDisagree) {
+  EXPECT_NE(hmac_sha256("key-a", "payload"), hmac_sha256("key-b", "payload"));
+}
+
+TEST(DigestEqual, EqualAndUnequal) {
+  const auto a = Sha256::hash("x");
+  auto b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+  b[31] ^= 1;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(ToHex, Formatting) {
+  Sha256Digest d{};
+  d[0] = 0x01;
+  d[1] = 0xab;
+  d[31] = 0xff;
+  const auto hex = to_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 4), "01ab");
+  EXPECT_EQ(hex.substr(62, 2), "ff");
+}
+
+}  // namespace
+}  // namespace laces

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "util/simtime.hpp"
+
+namespace laces {
+namespace {
+
+TEST(SimDuration, UnitConstructors) {
+  EXPECT_EQ(SimDuration::nanos(5).ns(), 5);
+  EXPECT_EQ(SimDuration::micros(2).ns(), 2'000);
+  EXPECT_EQ(SimDuration::millis(3).ns(), 3'000'000);
+  EXPECT_EQ(SimDuration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(SimDuration::minutes(2).ns(), 120'000'000'000LL);
+  EXPECT_EQ(SimDuration::hours(1).ns(), 3'600'000'000'000LL);
+  EXPECT_EQ(SimDuration::days(1).ns(), 86'400'000'000'000LL);
+}
+
+TEST(SimDuration, FromSecondsFractional) {
+  EXPECT_EQ(SimDuration::from_seconds(0.001).ns(), 1'000'000);
+  EXPECT_NEAR(SimDuration::from_seconds(1.5).to_seconds(), 1.5, 1e-12);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto a = SimDuration::seconds(3);
+  const auto b = SimDuration::seconds(1);
+  EXPECT_EQ((a + b).ns(), SimDuration::seconds(4).ns());
+  EXPECT_EQ((a - b).ns(), SimDuration::seconds(2).ns());
+  EXPECT_EQ((b * 5).ns(), SimDuration::seconds(5).ns());
+  EXPECT_EQ((a / 3).ns(), SimDuration::seconds(1).ns());
+}
+
+TEST(SimDuration, Comparison) {
+  EXPECT_LT(SimDuration::millis(1), SimDuration::seconds(1));
+  EXPECT_EQ(SimDuration::seconds(1), SimDuration::millis(1000));
+}
+
+TEST(SimDuration, Conversions) {
+  EXPECT_DOUBLE_EQ(SimDuration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimDuration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(SimTime, EpochAndArithmetic) {
+  const SimTime t0 = SimTime::epoch();
+  EXPECT_EQ(t0.ns(), 0);
+  const SimTime t1 = t0 + SimDuration::seconds(10);
+  EXPECT_EQ((t1 - t0).ns(), SimDuration::seconds(10).ns());
+  EXPECT_EQ((t1 - SimDuration::seconds(4)).ns(),
+            SimDuration::seconds(6).ns());
+  EXPECT_GT(t1, t0);
+}
+
+TEST(SimTimeToString, Formats) {
+  EXPECT_EQ(to_string(SimDuration::nanos(12)), "12ns");
+  EXPECT_EQ(to_string(SimDuration::micros(3)), "3.000us");
+  EXPECT_EQ(to_string(SimDuration::millis(42)), "42.000ms");
+  EXPECT_EQ(to_string(SimDuration::seconds(2)), "2.000s");
+  EXPECT_EQ(to_string(SimDuration::minutes(13)), "13m0s");
+  EXPECT_EQ(to_string(SimDuration::seconds(95)), "1m35s");
+}
+
+}  // namespace
+}  // namespace laces

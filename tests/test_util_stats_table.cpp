@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace laces {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const double xs[] = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Stddev) {
+  const double xs[] = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  const double one[] = {5};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+  EXPECT_DOUBLE_EQ(median(xs), 25);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+}
+
+TEST(Stats, PercentilePreconditions) {
+  EXPECT_THROW(percentile({}, 50), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 101), ContractViolation);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const auto cdf = empirical_cdf({3, 1, 3, 2});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfEmpty) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y", "22"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("a   long-header"), std::string::npos);
+  EXPECT_NE(out.find("xx  1"), std::string::npos);
+  EXPECT_NE(out.find("y   22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-98765), "-98,765");
+}
+
+TEST(Format, Pct) {
+  EXPECT_EQ(pct(1, 4), "25.0%");
+  EXPECT_EQ(pct(524, 13692), "3.8%");
+  EXPECT_EQ(pct(1, 3, 2), "33.33%");
+  EXPECT_EQ(pct(1, 0), "n/a");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace laces

@@ -1,0 +1,280 @@
+// laces — command-line front end for the simulated anycast census system.
+//
+//   laces world    [--seed N] [--scale K]        inspect the simulated world
+//   laces census   [--days N] [--out DIR] ...    run the daily pipeline
+//   laces probe    --prefix A.B.C.0/24 ...       full workup of one prefix
+//   laces catchment [...]                        catchment distribution
+//
+// Every subcommand builds its own deterministic world; --seed reproduces a
+// run exactly.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "census/output.hpp"
+#include "census/pipeline.hpp"
+#include "core/classify.hpp"
+#include "core/session.hpp"
+#include "gcd/classify.hpp"
+#include "hitlist/hitlist.hpp"
+#include "platform/latency.hpp"
+#include "platform/platform.hpp"
+#include "platform/traceroute.hpp"
+#include "topo/network.hpp"
+#include "topo/world.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace laces;
+
+struct Args {
+  std::map<std::string, std::string> options;
+  bool has(const std::string& key) const { return options.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stol(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    std::string value = "true";
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args.options[key] = value;
+  }
+  return args;
+}
+
+topo::WorldConfig world_config(const Args& args) {
+  topo::WorldConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const long scale = args.get_int("scale", 8);
+  if (scale > 1) {
+    const auto s = static_cast<std::size_t>(scale);
+    cfg.v4_unicast /= s;
+    cfg.v4_unresponsive /= s;
+    cfg.v4_medium_anycast_orgs /= s;
+    cfg.v4_regional_anycast /= s;
+    cfg.v4_global_bgp_unicast /= s;
+    cfg.v4_temporary_anycast /= s;
+    cfg.v4_partial_anycast /= s;
+    cfg.v6_unicast /= s;
+    cfg.v6_unresponsive /= s;
+    cfg.v6_medium_anycast_orgs /= s;
+    cfg.v6_regional_anycast /= s;
+    cfg.v6_backing_anycast /= s;
+    cfg.as_graph.stub_count /= s;
+  }
+  return cfg;
+}
+
+int cmd_world(const Args& args) {
+  const auto world = topo::World::generate(world_config(args));
+  std::printf("seed %llu\n",
+              static_cast<unsigned long long>(world.config().seed));
+  std::printf("ASes: %zu  orgs: %zu  deployments: %zu  targets: %zu\n",
+              world.as_graph().size(), world.orgs().size(),
+              world.deployments().size(), world.targets().size());
+  std::printf("census prefixes: %zu IPv4 /24s, %zu IPv6 /48s\n",
+              world.prefix_count(net::IpVersion::kV4),
+              world.prefix_count(net::IpVersion::kV6));
+
+  std::map<topo::DeploymentKind, std::size_t> kinds;
+  for (const auto& t : world.targets()) {
+    if (t.representative) ++kinds[world.deployment(t.deployment).kind];
+  }
+  TextTable table({"Deployment kind", "Prefixes"});
+  const char* names[] = {"unicast", "anycast (global)", "anycast (regional)",
+                         "global-BGP unicast", "temporary anycast"};
+  for (const auto& [kind, count] : kinds) {
+    table.add_row({names[static_cast<int>(kind)],
+                   with_commas(static_cast<long long>(count))});
+  }
+  std::printf("\n%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_census(const Args& args) {
+  const auto world = topo::World::generate(world_config(args));
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  core::Session session(network, platform::make_production_deployment(world));
+
+  census::PipelineConfig config;
+  config.ipv6 = args.has("v6");
+  config.tcp = !args.has("no-tcp");
+  config.dns = !args.has("no-dns");
+  config.targets_per_second =
+      static_cast<double>(args.get_int("rate", 30000));
+  census::Pipeline pipeline(network, session,
+                            platform::make_ark(world, 80, 0x163),
+                            platform::make_ark(world, 40, 0x118), config);
+
+  const auto out_dir = std::filesystem::path(args.get("out", "census-out"));
+  std::filesystem::create_directories(out_dir);
+
+  const long days = args.get_int("days", 1);
+  for (long day = 1; day <= days; ++day) {
+    const auto daily = pipeline.run_day(static_cast<std::uint32_t>(day));
+    const auto path =
+        out_dir / ("census-day-" + std::to_string(day) + ".csv");
+    std::ofstream file(path);
+    census::write_census(file, daily);
+    std::printf("day %ld: %zu ATs, %zu GCD-confirmed, published %zu -> %s "
+                "(probes: %llu anycast + %llu GCD)\n",
+                day, daily.anycast_targets.size(),
+                daily.gcd_confirmed_prefixes().size(),
+                daily.published_prefixes().size(), path.string().c_str(),
+                static_cast<unsigned long long>(daily.anycast_probes_sent),
+                static_cast<unsigned long long>(daily.gcd_probes_sent));
+  }
+  return 0;
+}
+
+int cmd_probe(const Args& args) {
+  const auto prefix_arg = args.get("prefix", "");
+  const auto parsed = net::Ipv4Prefix::parse(prefix_arg);
+  if (!parsed) {
+    std::fprintf(stderr, "laces probe: --prefix A.B.C.0/24 required\n");
+    return 2;
+  }
+  const auto world = topo::World::generate(world_config(args));
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  network.set_day(static_cast<std::uint32_t>(args.get_int("day", 1)));
+  const auto deployment = platform::make_production_deployment(world);
+  core::Session session(network, deployment);
+
+  // Locate the representative address inside the prefix.
+  net::IpAddress target;
+  bool found = false;
+  for (const auto& t : world.targets()) {
+    if (t.representative && t.address.is_v4() &&
+        parsed->contains(t.address.v4())) {
+      target = t.address;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::printf("%s: no allocated address in the simulated world\n",
+                prefix_arg.c_str());
+    return 1;
+  }
+
+  // Anycast-based measurement of the single target.
+  core::MeasurementSpec spec;
+  spec.id = 0x9b0;
+  spec.targets_per_second = 100;
+  const auto results = session.run(spec, {target});
+  const auto classification = core::classify_anycast(results, {target});
+  const auto& obs = classification.at(net::Prefix::of(target));
+  std::printf("anycast-based: %s (%zu receiving VPs, %u responses)\n",
+              std::string(core::to_string(obs.verdict)).c_str(),
+              obs.vp_count(), obs.responses);
+
+  // GCD with enumeration and geolocation.
+  const auto ark = platform::make_ark(world, 120, 0x163);
+  const auto latency = platform::measure_latency(network, ark, {target});
+  const auto gcd_cls =
+      gcd::classify_gcd(gcd::make_analyzer(ark), latency, {target});
+  const auto& gcd_res = gcd_cls.at(net::Prefix::of(target));
+  std::printf("GCD:           %s (%zu sites)\n",
+              std::string(gcd::to_string(gcd_res.verdict)).c_str(),
+              gcd_res.site_count());
+  for (const auto& site : gcd_res.sites) {
+    if (site.city) {
+      const auto& c = geo::city(*site.city);
+      std::printf("  site near %s/%s (disc %.0f km)\n",
+                  std::string(c.name).c_str(), std::string(c.country).c_str(),
+                  site.radius_km);
+    }
+  }
+
+  // Traceroute from three vantage sites.
+  for (const auto site_index : {0u, 10u, 20u}) {
+    const auto& site = deployment.sites[site_index];
+    const auto trace = platform::traceroute(world, site.attach, target,
+                                            network.day());
+    std::printf("traceroute from %-12s: %zu AS hops", site.name.c_str(),
+                trace.hops.size());
+    if (trace.serving_city) {
+      std::printf(", served at %s",
+                  std::string(geo::city(*trace.serving_city).name).c_str());
+    }
+    std::printf("%s\n", trace.reached ? "" : " (no reply)");
+  }
+  return 0;
+}
+
+int cmd_catchment(const Args& args) {
+  const auto world = topo::World::generate(world_config(args));
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  network.set_day(1);
+  const auto deployment = platform::make_production_deployment(world);
+  core::Session session(network, deployment);
+
+  const auto hitlist = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+  core::MeasurementSpec spec;
+  spec.id = 0xca7;
+  spec.targets_per_second = 30000;
+  spec.worker_offset = SimDuration::seconds(0);
+  const auto results = session.run(spec, hitlist.addresses());
+
+  std::map<net::WorkerId, std::size_t> sizes;
+  std::unordered_map<net::Prefix, bool, net::PrefixHash> seen;
+  for (const auto& rec : results.records) {
+    if (seen.emplace(net::Prefix::of(rec.target), true).second) {
+      ++sizes[rec.rx_worker];
+    }
+  }
+  TextTable table({"Site", "/24s", "Share"});
+  for (const auto& [worker, count] : sizes) {
+    table.add_row({deployment.sites[worker - 1].name,
+                   with_commas(static_cast<long long>(count)),
+                   pct(double(count), double(seen.size()))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: laces <world|census|probe|catchment> [options]\n"
+               "  world      --seed N --scale K\n"
+               "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
+               "  probe      --prefix A.B.C.0/24 --day D\n"
+               "  catchment  --seed N --scale K\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  if (command == "world") return cmd_world(args);
+  if (command == "census") return cmd_census(args);
+  if (command == "probe") return cmd_probe(args);
+  if (command == "catchment") return cmd_catchment(args);
+  usage();
+  return 2;
+}
