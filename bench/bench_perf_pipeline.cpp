@@ -7,6 +7,8 @@
 #include "core/channel.hpp"
 #include "net/probe.hpp"
 #include "net/responder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -111,6 +113,49 @@ void BM_SmallCensusEndToEnd(benchmark::State& state) {
   state.SetLabel("items = probes");
 }
 BENCHMARK(BM_SmallCensusEndToEnd)->Unit(benchmark::kMillisecond);
+
+// Same census with telemetry on (Arg(1)) vs runtime-disabled (Arg(0)).
+// The delta between the two rows is the per-probe cost of the laces_obs
+// instrumentation on the hot path (counter increments + RTT histogram).
+void BM_SmallCensusObsOverhead(benchmark::State& state) {
+  topo::WorldConfig cfg;
+  cfg.v4_unicast = 1000;
+  cfg.v4_unresponsive = 100;
+  cfg.v4_global_bgp_unicast = 50;
+  cfg.v4_medium_anycast_orgs = 8;
+  cfg.v6_unicast = 0;
+  cfg.v6_unresponsive = 0;
+  cfg.v6_medium_anycast_orgs = 0;
+  cfg.v6_regional_anycast = 0;
+  cfg.v6_backing_anycast = 0;
+  const auto world = topo::World::generate(cfg);
+  const auto hitlist = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+  const bool enabled = state.range(0) != 0;
+  obs::set_enabled(enabled);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  net::MeasurementId id = 1;
+  for (auto _ : state) {
+    EventQueue events;
+    topo::SimNetwork network(world, events);
+    network.set_day(1);
+    core::Session session(network,
+                          platform::make_production_deployment(world));
+    core::MeasurementSpec spec;
+    spec.id = id++;
+    spec.targets_per_second = 100000;
+    benchmark::DoNotOptimize(session.run(spec, hitlist.addresses()));
+  }
+  obs::set_enabled(true);
+  obs::Tracer::global().set_clock(nullptr);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(hitlist.size()) * 32);
+  state.SetLabel(enabled ? "obs on" : "obs off");
+}
+BENCHMARK(BM_SmallCensusObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,10 +1,49 @@
 #include "census/pipeline.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace laces::census {
+namespace {
+
+/// Close `span` and record its simulated duration under the Figure-3 stage
+/// histogram, so per-stage latency is scrapeable, not just traceable.
+void finish_stage(obs::Span& span, const char* stage) {
+  span.end();
+  obs::Registry::global()
+      .histogram("laces_census_stage_duration_seconds",
+                 obs::stage_seconds_buckets(), {{"stage", stage}})
+      .observe(span.duration().to_seconds());
+}
+
+/// Effective pacing actually achieved by a stage, vs. the configured
+/// responsible-rate budget (§4.2).
+void record_rate(const char* stage, double configured, double targets,
+                 SimDuration elapsed) {
+  auto& registry = obs::Registry::global();
+  registry
+      .gauge("laces_census_rate_configured_targets_per_second",
+             {{"stage", stage}})
+      .set(configured);
+  const double seconds = elapsed.to_seconds();
+  registry
+      .gauge("laces_census_rate_effective_targets_per_second",
+             {{"stage", stage}})
+      .set(seconds > 0.0 ? targets / seconds : 0.0);
+}
+
+void count_classification(const char* method, std::string_view verdict) {
+  obs::Registry::global()
+      .counter("laces_census_classified_total",
+               {{"method", method}, {"verdict", std::string(verdict)}})
+      .add();
+}
+
+}  // namespace
 
 Pipeline::Pipeline(topo::SimNetwork& network, core::Session& session,
                    platform::UnicastPlatform ark_v4,
@@ -52,16 +91,40 @@ void Pipeline::flag_partial_anycast(const std::vector<net::Prefix>& prefixes) {
 }
 
 DailyCensus Pipeline::run_day(std::uint32_t day) {
+  obs::Tracer::global().set_clock(&network_.events());
+  obs::Span day_span("census.day");
+  day_span.set_attr("day", std::to_string(day));
+
   network_.set_day(day);
   DailyCensus census;
   census.day = day;
   if (config_.ipv4) run_family(census, net::IpVersion::kV4, day);
   if (config_.ipv6) run_family(census, net::IpVersion::kV6, day);
-  // Feed GCD-confirmed prefixes back into the persistent AT list.
-  extend_at_list(census.gcd_confirmed_prefixes());
-  for (auto& [prefix, rec] : census.records) {
-    rec.partial_anycast = partial_.contains(prefix);
+
+  {
+    obs::Span merge_span("census.merge");
+    // Feed GCD-confirmed prefixes back into the persistent AT list.
+    extend_at_list(census.gcd_confirmed_prefixes());
+    for (auto& [prefix, rec] : census.records) {
+      rec.partial_anycast = partial_.contains(prefix);
+    }
+    for (const auto& [prefix, rec] : census.records) {
+      for (const auto& [proto, obs_rec] : rec.anycast_based) {
+        (void)proto;
+        count_classification("anycast", core::to_string(obs_rec.verdict));
+      }
+      if (rec.gcd_verdict) {
+        count_classification("gcd", gcd::to_string(*rec.gcd_verdict));
+      }
+    }
+    finish_stage(merge_span, "merge");
   }
+
+  auto& registry = obs::Registry::global();
+  registry.counter("laces_census_days_total").add();
+  registry.gauge("laces_census_at_list_size")
+      .set(static_cast<double>(at_list_.size()));
+  finish_stage(day_span, "day");
   return census;
 }
 
@@ -78,7 +141,15 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
       {net::Protocol::kUdpDns, &dns_hitlist(version), config_.dns},
   };
 
+  const char* family =
+      version == net::IpVersion::kV4 ? "v4" : "v6";
+  auto& registry = obs::Registry::global();
+
   // --- Stage 1: anycast-based censuses per protocol ---
+  obs::Span census_span("census.anycast_census");
+  census_span.set_attr("family", family);
+  std::uint64_t family_targets = 0;
+  std::uint64_t family_probes = 0;
   std::unordered_set<net::Prefix, net::PrefixHash> day_ats;
   for (const auto& stage : stages) {
     if (!stage.enabled || stage.hitlist->empty()) continue;
@@ -91,8 +162,15 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
     spec.targets_per_second = config_.targets_per_second;
 
     const auto addrs = stage.hitlist->addresses();
+    registry
+        .counter("laces_census_targets_probed_total",
+                 {{"protocol", std::string(net::metric_label(stage.protocol))}})
+        .add(addrs.size());
+    family_targets += addrs.size();
+
     const auto results = session_.run(spec, addrs);
     census.anycast_probes_sent += results.probes_sent;
+    family_probes += results.probes_sent;
     const auto classification = core::classify_anycast(results, addrs);
     for (const auto& [prefix, obs] : classification) {
       auto& rec = census.records[prefix];
@@ -102,8 +180,15 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
       if (obs.verdict == core::Verdict::kAnycast) day_ats.insert(prefix);
     }
   }
+  registry.counter("laces_census_probes_sent_total", {{"stage", "anycast"}})
+      .add(family_probes);
+  record_rate("anycast", config_.targets_per_second,
+              static_cast<double>(family_targets), census_span.duration());
+  finish_stage(census_span, "anycast_census");
 
   // --- Stage 2: assemble the AT list (today's + persistent feedback) ---
+  obs::Span at_span("census.at_selection");
+  at_span.set_attr("family", family);
   std::vector<net::Prefix> ats(day_ats.begin(), day_ats.end());
   for (const auto& p : at_list_) {
     if (p.version() == version && !day_ats.contains(p)) ats.push_back(p);
@@ -112,9 +197,15 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
   for (const auto& p : ats) {
     if (p.version() == version) census.anycast_targets.push_back(p);
   }
+  registry
+      .gauge("laces_census_anycast_targets", {{"family", family}})
+      .set(static_cast<double>(ats.size()));
+  finish_stage(at_span, "at_selection");
 
   // --- Stage 3: GCD from Ark toward the ATs only (two orders of magnitude
   // cheaper than a full-hitlist GCD run, §4.2.2) ---
+  obs::Span gcd_span("census.gcd");
+  gcd_span.set_attr("family", family);
   std::vector<net::IpAddress> gcd_targets;
   gcd_targets.reserve(ats.size());
   for (const auto& p : ats) {
@@ -130,6 +221,8 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
     const auto latency =
         platform::measure_latency(network_, ark, gcd_targets, opts);
     census.gcd_probes_sent += latency.probes_sent;
+    registry.counter("laces_census_probes_sent_total", {{"stage", "gcd"}})
+        .add(latency.probes_sent);
     const auto analyzer = gcd::make_analyzer(ark);
     const auto gcd_cls = gcd::classify_gcd(analyzer, latency, gcd_targets);
     for (const auto& [prefix, res] : gcd_cls) {
@@ -143,6 +236,9 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
       }
     }
   }
+  record_rate("gcd", config_.gcd_targets_per_second,
+              static_cast<double>(gcd_targets.size()), gcd_span.duration());
+  finish_stage(gcd_span, "gcd");
 }
 
 }  // namespace laces::census

@@ -11,7 +11,24 @@ constexpr SimDuration kStreamLead = SimDuration::millis(500);
 
 }  // namespace
 
-Orchestrator::Orchestrator(EventQueue& events) : events_(events) {}
+Orchestrator::Orchestrator(EventQueue& events)
+    : events_(events),
+      metrics_{
+          obs::Registry::global().counter(
+              "laces_orchestrator_workers_registered_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_workers_dropped_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_chunks_streamed_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_result_batches_forwarded_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_measurements_started_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_measurements_completed_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_measurements_aborted_total"),
+      } {}
 
 std::size_t Orchestrator::connected_workers() const {
   std::size_t n = 0;
@@ -47,8 +64,10 @@ void Orchestrator::on_worker_message(WorkerConn& worker,
           worker.name = m.worker_name;
           worker.id = next_worker_id_++;
           worker.channel->send(HelloAck{worker.id});
+          metrics_.workers_registered.add();
         } else if constexpr (std::is_same_v<T, ResultBatch>) {
           // Aggregation: results stream through to the CLI immediately.
+          metrics_.result_batches_forwarded.add();
           if (cli_ && cli_->is_open()) cli_->send(m);
         } else if constexpr (std::is_same_v<T, WorkerDone>) {
           if (run_ && m.measurement == run_->spec.id) {
@@ -62,6 +81,7 @@ void Orchestrator::on_worker_message(WorkerConn& worker,
 
 void Orchestrator::on_worker_closed(WorkerConn& worker) {
   worker.alive = false;
+  if (worker.registered) metrics_.workers_dropped.add();
   // A lost worker must not stall the measurement (R5): the run completes
   // with the remaining workers.
   if (run_ && worker.participating && !worker.done) {
@@ -132,6 +152,7 @@ void Orchestrator::begin_run() {
   }
   run.participants = count;
   run.start_time = start_time;
+  metrics_.measurements_started.add();
   ++stream_generation_;
   stream_step();
 }
@@ -162,6 +183,7 @@ void Orchestrator::stream_step() {
   for (auto& w : workers_) {
     if (w->alive && w->participating) w->channel->send(chunk);
   }
+  metrics_.chunks_streamed.add();
   run.next_index += n;
 
   // Pace the stream so chunk k arrives kStreamLead before its first probe.
@@ -182,6 +204,7 @@ void Orchestrator::check_completion() {
     if (w->participating && w->alive && !w->done) return;
   }
   run_->completed = true;
+  metrics_.measurements_completed.add();
   if (cli_ && cli_->is_open()) {
     cli_->send(MeasurementComplete{run_->spec.id, run_->participants,
                                    run_->lost});
@@ -191,6 +214,7 @@ void Orchestrator::check_completion() {
 
 void Orchestrator::abort_run() {
   if (!run_) return;
+  metrics_.measurements_aborted.add();
   ++stream_generation_;  // cancel pending stream steps
   for (auto& w : workers_) {
     if (w->alive && w->participating) {

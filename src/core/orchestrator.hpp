@@ -13,6 +13,7 @@
 
 #include "core/channel.hpp"
 #include "core/measurement.hpp"
+#include "obs/metrics.hpp"
 #include "util/event_queue.hpp"
 
 namespace laces::core {
@@ -80,6 +81,19 @@ class Orchestrator {
   std::unique_ptr<Run> run_;
   net::WorkerId next_worker_id_ = 1;
   std::uint64_t stream_generation_ = 0;
+
+  // Control-plane telemetry (references into the global registry, fetched
+  // once so hot paths touch only atomics).
+  struct Metrics {
+    obs::Counter& workers_registered;
+    obs::Counter& workers_dropped;
+    obs::Counter& chunks_streamed;
+    obs::Counter& result_batches_forwarded;
+    obs::Counter& measurements_started;
+    obs::Counter& measurements_completed;
+    obs::Counter& measurements_aborted;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace laces::core

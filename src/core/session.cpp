@@ -1,5 +1,9 @@
 #include "core/session.hpp"
 
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace laces::core {
 
 Session::Session(topo::SimNetwork& network,
@@ -7,6 +11,8 @@ Session::Session(topo::SimNetwork& network,
                  SessionOptions options)
     : network_(network), platform_(platform) {
   auto& events = network_.events();
+  // Spans opened anywhere in this session stamp simulated, not wall, time.
+  obs::Tracer::global().set_clock(&events);
   orchestrator_ = std::make_unique<Orchestrator>(events);
   orchestrator_->set_anycast_addresses(platform_.anycast_v4,
                                        platform_.anycast_v6);
@@ -38,6 +44,13 @@ void Session::submit(const MeasurementSpec& spec,
 
 MeasurementResults Session::run(const MeasurementSpec& spec,
                                 const std::vector<net::IpAddress>& targets) {
+  const std::string protocol(net::metric_label(spec.protocol));
+  obs::Span span("session.measurement");
+  span.set_attr("protocol", protocol);
+  span.set_attr("mode", spec.mode == ProbeMode::kAnycast ? "anycast" : "unicast");
+  obs::Registry::global()
+      .counter("laces_session_measurements_total", {{"protocol", protocol}})
+      .add();
   submit(spec, targets);
   network_.events().run();
   return cli_->take_results();

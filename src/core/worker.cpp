@@ -71,6 +71,16 @@ void Worker::handle_start(const StartMeasurement& start) {
   active_ = std::make_unique<Active>();
   active_->start = start;
 
+  auto& registry = obs::Registry::global();
+  const obs::Labels labels = {
+      {"protocol", std::string(net::metric_label(start.spec.protocol))}};
+  active_->probes_counter =
+      &registry.counter("laces_worker_probes_sent_total", labels);
+  active_->responses_counter =
+      &registry.counter("laces_worker_responses_total", labels);
+  active_->rtt_histogram = &registry.histogram(
+      "laces_worker_rtt_ms", obs::rtt_ms_buckets(), labels);
+
   const bool v4 = start.spec.version == net::IpVersion::kV4;
   if (start.spec.mode == ProbeMode::kAnycast) {
     active_->source = start.anycast_source;
@@ -142,6 +152,7 @@ void Worker::send_probe(const net::IpAddress& target) {
   network_.send(probe, site_.attach);
   ++a.probes_sent_delta;
   ++probes_sent_total_;
+  a.probes_counter->add();
 }
 
 void Worker::on_datagram(const net::Datagram& datagram, SimTime rx_time) {
@@ -163,9 +174,11 @@ void Worker::on_datagram(const net::Datagram& datagram, SimTime rx_time) {
     const auto it = a.pending_tx.find(pending_key(parsed->target));
     if (it != a.pending_tx.end()) {
       rec.rtt = rx_time - it->second;
+      a.rtt_histogram->observe(rec.rtt->to_millis());
       a.pending_tx.erase(it);
     }
   }
+  a.responses_counter->add();
 
   a.buffer.push_back(std::move(rec));
   if (a.buffer.size() >= kResultBatchSize) flush_results(false);

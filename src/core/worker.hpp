@@ -15,6 +15,7 @@
 
 #include "core/channel.hpp"
 #include "core/measurement.hpp"
+#include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "topo/network.hpp"
 #include "util/rng.hpp"
@@ -56,6 +57,11 @@ class Worker {
     bool end_received = false;
     bool done_sent = false;
     SimTime last_probe_time;
+    // Telemetry for this measurement's protocol, resolved once at start so
+    // the per-probe path is a relaxed atomic increment.
+    obs::Counter* probes_counter = nullptr;
+    obs::Counter* responses_counter = nullptr;
+    obs::Histogram* rtt_histogram = nullptr;
   };
 
   void on_message(const Message& message);

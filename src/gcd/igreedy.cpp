@@ -41,7 +41,14 @@ std::string_view to_string(GcdVerdict v) {
 
 GcdAnalyzer::GcdAnalyzer(std::vector<geo::GeoPoint> vp_locations,
                          GcdOptions options)
-    : vps_(std::move(vp_locations)), options_(options) {
+    : vps_(std::move(vp_locations)),
+      options_(options),
+      metrics_{
+          obs::Registry::global().counter("laces_gcd_targets_total"),
+          obs::Registry::global().counter("laces_gcd_observations_total"),
+          obs::Registry::global().counter("laces_gcd_discs_kept_total"),
+          obs::Registry::global().counter("laces_gcd_discs_pruned_total"),
+      } {
   const std::size_t n = vps_.size();
   vp_dist_.resize(n * n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -80,8 +87,10 @@ std::optional<geo::CityId> GcdAnalyzer::geolocate(std::uint32_t vp,
 
 GcdResult GcdAnalyzer::analyze(std::span<const Observation> obs) const {
   GcdResult result;
+  metrics_.targets.add();
   const auto usable = usable_sorted(obs, options_.max_rtt_ms);
   if (usable.empty()) return result;  // unresponsive
+  metrics_.observations.add(usable.size());
 
   // Greedy maximum independent set over discs, smallest radius first.
   // Overlap tests are O(1): pairwise VP distances are precomputed.
@@ -97,6 +106,8 @@ GcdResult GcdAnalyzer::analyze(std::span<const Observation> obs) const {
         });
     if (independent) selected.emplace_back(o.vp, radius);
   }
+  metrics_.discs_kept.add(selected.size());
+  metrics_.discs_pruned.add(usable.size() - selected.size());
 
   result.verdict =
       selected.size() >= 2 ? GcdVerdict::kAnycast : GcdVerdict::kUnicast;

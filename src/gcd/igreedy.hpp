@@ -23,6 +23,7 @@
 #include "geo/cities.hpp"
 #include "geo/coord.hpp"
 #include "net/address.hpp"
+#include "obs/metrics.hpp"
 
 namespace laces::gcd {
 
@@ -82,6 +83,16 @@ class GcdAnalyzer {
   GcdOptions options_;
   std::vector<float> vp_dist_;    // pairwise VP distances, row-major
   std::vector<float> city_dist_;  // [vp][city] distances, row-major
+
+  // Per-target analysis telemetry (iteration + disc selection volume),
+  // resolved once per analyzer.
+  struct Metrics {
+    obs::Counter& targets;
+    obs::Counter& observations;
+    obs::Counter& discs_kept;
+    obs::Counter& discs_pruned;
+  };
+  Metrics metrics_;
 };
 
 /// Reference implementation: identical semantics, recomputes all distances

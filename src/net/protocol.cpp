@@ -14,6 +14,18 @@ std::string_view to_string(Protocol p) {
   return "?";
 }
 
+std::string_view metric_label(Protocol p) {
+  switch (p) {
+    case Protocol::kIcmp:
+      return "icmp";
+    case Protocol::kTcp:
+      return "tcp";
+    case Protocol::kUdpDns:
+      return "udp_dns";
+  }
+  return "?";
+}
+
 std::uint8_t ip_proto_number(Protocol p, bool v6) {
   switch (p) {
     case Protocol::kIcmp:

@@ -20,6 +20,11 @@ inline constexpr std::array<Protocol, 3> kAllProtocols = {
 
 std::string_view to_string(Protocol p);
 
+/// Canonical lower-case name for metric labels and trace attributes
+/// ("icmp", "tcp", "udp_dns"). Stable across releases — exported telemetry
+/// keys on these values.
+std::string_view metric_label(Protocol p);
+
 /// IANA protocol numbers as they appear in the IP header.
 std::uint8_t ip_proto_number(Protocol p, bool v6);
 

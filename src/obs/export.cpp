@@ -1,0 +1,157 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace laces::obs {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first + "=\"" + escape(labels[i].second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+/// Label block with one extra pair appended (histogram `le`).
+std::string label_block_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return label_block(extended);
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += "\"" + escape(labels[i].first) + "\":\"" + escape(labels[i].second) +
+           "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_typed;
+  for (const auto& s : snapshot.samples) {
+    if (s.name != last_typed) {
+      out += "# TYPE " + s.name + " " + std::string(to_string(s.kind)) + "\n";
+      last_typed = s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += s.name + label_block(s.labels) + " " + format_number(s.value) +
+               "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          cumulative += s.bucket_counts[i];
+          out += s.name + "_bucket" +
+                 label_block_with(s.labels, "le", format_number(s.bounds[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += s.name + "_bucket" + label_block_with(s.labels, "le", "+Inf") +
+               " " + std::to_string(s.count) + "\n";
+        out += s.name + "_sum" + label_block(s.labels) + " " +
+               format_number(s.sum) + "\n";
+        out += s.name + "_count" + label_block(s.labels) + " " +
+               std::to_string(s.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << to_prometheus(snapshot);
+}
+
+std::string metrics_to_jsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& s : snapshot.samples) {
+    out += "{\"name\":\"" + escape(s.name) + "\",\"kind\":\"" +
+           std::string(to_string(s.kind)) + "\",\"labels\":" +
+           json_labels(s.labels);
+    if (s.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(s.count) +
+             ",\"sum\":" + format_number(s.sum) + ",\"bounds\":[";
+      for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+        if (i) out += ',';
+        out += format_number(s.bounds[i]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(s.bucket_counts[i]);
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + format_number(s.value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string trace_to_jsonl(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const auto& span : spans) {
+    out += "{\"id\":" + std::to_string(span.id) +
+           ",\"parent\":" + std::to_string(span.parent) + ",\"name\":\"" +
+           escape(span.name) + "\",\"start_ns\":" +
+           std::to_string(span.start_ns) +
+           ",\"end_ns\":" + std::to_string(span.end_ns) +
+           ",\"attrs\":" + json_labels(span.attrs) + "}\n";
+  }
+  return out;
+}
+
+void write_trace_jsonl(std::ostream& out, const std::vector<SpanRecord>& spans) {
+  out << trace_to_jsonl(spans);
+}
+
+}  // namespace laces::obs

@@ -1,0 +1,37 @@
+// Exporters for metrics snapshots and trace buffers.
+//
+// Two machine formats plus helpers for writing them to disk:
+//   - Prometheus text exposition (`to_prometheus`), the format the
+//     acceptance telemetry is scraped in;
+//   - JSON Lines (`metrics_to_jsonl`, `trace_to_jsonl`), one object per
+//     sample/span, the machine-readable run artifact.
+// All output is deterministic: snapshots are pre-sorted and numbers are
+// formatted with a fixed shortest-round-trip style.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace laces::obs {
+
+/// Prometheus text exposition format, with # TYPE lines; histograms expand
+/// into cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// One JSON object per metric sample.
+std::string metrics_to_jsonl(const MetricsSnapshot& snapshot);
+
+/// One JSON object per finished span, in end order.
+std::string trace_to_jsonl(const std::vector<SpanRecord>& spans);
+void write_trace_jsonl(std::ostream& out, const std::vector<SpanRecord>& spans);
+
+/// Number formatting shared by the exporters: integers render without a
+/// decimal point, everything else with shortest round-trip precision.
+std::string format_number(double v);
+
+}  // namespace laces::obs

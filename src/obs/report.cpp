@@ -1,0 +1,117 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace laces::obs {
+namespace {
+
+/// Stage rows: per span name, count + total/median/p90 simulated duration.
+std::string stage_section(const std::vector<SpanRecord>& spans) {
+  std::map<std::string, std::vector<double>> durations_s;
+  for (const auto& span : spans) {
+    durations_s[span.name].push_back(span.duration().to_seconds());
+  }
+  if (durations_s.empty()) return "";
+
+  TextTable table({"Span", "Count", "Total sim", "Median", "p90"});
+  for (const auto& [name, xs] : durations_s) {
+    double total = 0.0;
+    for (const double x : xs) total += x;
+    table.add_row({name, with_commas(static_cast<std::int64_t>(xs.size())),
+                   fixed(total, 2) + "s", fixed(median(xs), 2) + "s",
+                   fixed(percentile(xs, 90.0), 2) + "s"});
+  }
+  return "Pipeline stages (simulated time)\n" + table.render();
+}
+
+std::string probe_section(const MetricsSnapshot& metrics) {
+  static constexpr const char* kProtocols[] = {"icmp", "tcp", "udp_dns"};
+  TextTable table({"Protocol", "Anycast probes", "Responses", "Response rate",
+                   "GCD probes"});
+  bool any = false;
+  for (const char* proto : kProtocols) {
+    const Labels labels = {{"protocol", proto}};
+    const double sent = metrics.value("laces_worker_probes_sent_total", labels);
+    const double responses =
+        metrics.value("laces_worker_responses_total", labels);
+    const double gcd =
+        metrics.value("laces_platform_probes_sent_total", labels);
+    if (sent == 0.0 && gcd == 0.0) continue;
+    any = true;
+    table.add_row({proto, with_commas(static_cast<std::int64_t>(sent)),
+                   with_commas(static_cast<std::int64_t>(responses)),
+                   pct(responses, sent),
+                   with_commas(static_cast<std::int64_t>(gcd))});
+  }
+  if (!any) return "";
+  return "Probe cost per protocol\n" + table.render();
+}
+
+std::string rate_section(const MetricsSnapshot& metrics) {
+  TextTable table({"Stage", "Configured tps", "Effective tps", "Headroom"});
+  bool any = false;
+  for (const char* stage : {"anycast", "gcd"}) {
+    const Labels labels = {{"stage", stage}};
+    const double configured = metrics.value(
+        "laces_census_rate_configured_targets_per_second", labels);
+    const double effective = metrics.value(
+        "laces_census_rate_effective_targets_per_second", labels);
+    if (configured == 0.0) continue;
+    any = true;
+    table.add_row({stage, fixed(configured, 0), fixed(effective, 0),
+                   pct(configured - effective, configured)});
+  }
+  if (!any) return "";
+  return "Responsible-rate budget (targets/s)\n" + table.render();
+}
+
+std::string classification_section(const MetricsSnapshot& metrics) {
+  TextTable table({"Method", "Anycast", "Unicast", "Unresponsive"});
+  bool any = false;
+  for (const char* method : {"anycast", "gcd"}) {
+    double counts[3] = {0, 0, 0};
+    static constexpr const char* kVerdicts[] = {"anycast", "unicast",
+                                                "unresponsive"};
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      counts[i] = metrics.value(
+          "laces_census_classified_total",
+          {{"method", method}, {"verdict", kVerdicts[i]}});
+      total += counts[i];
+    }
+    if (total == 0.0) continue;
+    any = true;
+    table.add_row({method, with_commas(static_cast<std::int64_t>(counts[0])),
+                   with_commas(static_cast<std::int64_t>(counts[1])),
+                   with_commas(static_cast<std::int64_t>(counts[2]))});
+  }
+  if (!any) return "";
+  return "Classifications\n" + table.render();
+}
+
+}  // namespace
+
+std::string render_run_report(const MetricsSnapshot& metrics,
+                              const std::vector<SpanRecord>& spans) {
+  std::string out = "=== LACeS run report ===\n";
+  const double days = metrics.value("laces_census_days_total");
+  if (days > 0) {
+    out += "census days: " + with_commas(static_cast<std::int64_t>(days)) +
+           ", AT list size: " +
+           with_commas(static_cast<std::int64_t>(
+               metrics.value("laces_census_at_list_size"))) +
+           "\n";
+  }
+  for (const auto& section :
+       {stage_section(spans), probe_section(metrics), rate_section(metrics),
+        classification_section(metrics)}) {
+    if (!section.empty()) out += "\n" + section;
+  }
+  return out;
+}
+
+}  // namespace laces::obs

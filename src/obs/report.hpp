@@ -1,0 +1,20 @@
+// Human-readable per-run report built from the metrics snapshot and trace
+// buffer — the operator's end-of-day view: Figure-3 stage timings, probe
+// cost per protocol, responsible-rate budget vs. what the run achieved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace laces::obs {
+
+/// Render the full report (stage table, probe table, rate table). Sections
+/// with no data are omitted, so the report degrades gracefully on partial
+/// runs.
+std::string render_run_report(const MetricsSnapshot& metrics,
+                              const std::vector<SpanRecord>& spans);
+
+}  // namespace laces::obs

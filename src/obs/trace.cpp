@@ -1,0 +1,71 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+namespace laces::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::reset() {
+  records_.clear();
+  stack_.clear();
+  next_id_ = 1;
+  dropped_ = 0;
+}
+
+std::uint64_t Tracer::begin_span() {
+  const std::uint64_t id = next_id_++;
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::end_span(SpanRecord&& record) {
+  if (!stack_.empty() && stack_.back() == record.id) stack_.pop_back();
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+Span::Span(std::string_view name, Tracer& tracer)
+    : tracer_(tracer), name_(name) {
+  if (!enabled()) {
+    ended_ = true;
+    return;
+  }
+  parent_ = tracer_.stack_.empty() ? 0 : tracer_.stack_.back();
+  id_ = tracer_.begin_span();
+  start_ns_ = tracer_.now().ns();
+}
+
+Span::~Span() { end(); }
+
+void Span::set_attr(std::string key, std::string value) {
+  if (id_ == 0) return;
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::end() {
+  if (ended_) return;
+  ended_ = true;
+  end_ns_ = tracer_.now().ns();
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.end_ns = end_ns_;
+  record.attrs = std::move(attrs_);
+  tracer_.end_span(std::move(record));
+}
+
+SimDuration Span::duration() const {
+  const std::int64_t end = ended_ ? end_ns_ : tracer_.now().ns();
+  return SimDuration(end - start_ns_);
+}
+
+}  // namespace laces::obs

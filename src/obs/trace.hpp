@@ -1,0 +1,107 @@
+// Sim-clock tracing spans.
+//
+// Spans are stamped from the simulation's EventQueue clock — never wall
+// time — so traces are deterministic: two runs with the same seed produce
+// byte-identical span trees, and a trace can be replayed or diffed. Span is
+// an RAII guard; construction stamps the start, destruction (or end())
+// stamps the end and commits a SpanRecord into the tracer's bounded
+// in-memory buffer. Nesting is tracked with an explicit span stack, which
+// is well-formed because measurement phases run the event loop to
+// completion inside their span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/event_queue.hpp"
+#include "util/simtime.hpp"
+
+namespace laces::obs {
+
+/// One finished span, in end-time order.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::int64_t start_ns = 0;  // simulated time
+  std::int64_t end_ns = 0;
+  Labels attrs;
+
+  SimDuration duration() const { return SimDuration(end_ns - start_ns); }
+};
+
+class Span;
+
+class Tracer {
+ public:
+  /// The process-wide tracer all spans use by default.
+  static Tracer& global();
+
+  /// Point the tracer at a simulation clock. The queue must outlive every
+  /// span stamped from it; pass nullptr to detach (spans then stamp 0).
+  void set_clock(const EventQueue* events) { clock_ = events; }
+  const EventQueue* clock() const { return clock_; }
+  SimTime now() const { return clock_ ? clock_->now() : SimTime::epoch(); }
+
+  /// Buffer bound: once `capacity` spans are recorded, further spans still
+  /// nest correctly but their records are dropped (and counted).
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Finished spans recorded so far, in end order.
+  std::vector<SpanRecord> snapshot() const { return records_; }
+  std::size_t recorded() const { return records_.size(); }
+
+  /// Clear records, the span stack and the id sequence (clock and capacity
+  /// are kept) so a fresh run starts from span id 1.
+  void reset();
+
+ private:
+  friend class Span;
+
+  std::uint64_t begin_span();  // returns id (0 when disabled)
+  void end_span(SpanRecord&& record);
+
+  const EventQueue* clock_ = nullptr;
+  std::vector<SpanRecord> records_;
+  std::vector<std::uint64_t> stack_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::size_t capacity_ = 8192;
+};
+
+/// RAII tracing span. Move-free and scope-bound by design.
+class Span {
+ public:
+  explicit Span(std::string_view name, Tracer& tracer = Tracer::global());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_attr(std::string key, std::string value);
+
+  /// End early (idempotent; the destructor is then a no-op).
+  void end();
+
+  /// Simulated duration: so-far while open, final after end().
+  SimDuration duration() const;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer& tracer_;
+  std::string name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::int64_t start_ns_ = 0;
+  std::int64_t end_ns_ = 0;
+  Labels attrs_;
+  bool ended_ = false;
+};
+
+}  // namespace laces::obs

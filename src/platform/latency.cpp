@@ -1,8 +1,11 @@
 #include "platform/latency.hpp"
 
+#include <string>
 #include <unordered_map>
 
 #include "net/probe.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace laces::platform {
@@ -29,6 +32,17 @@ LatencyResults measure_latency(topo::SimNetwork& network,
   const net::IpVersion version = targets.front().version();
   auto& events = network.events();
 
+  obs::Tracer::global().set_clock(&events);
+  obs::Span span("platform.latency");
+  const std::string protocol(net::metric_label(options.protocol));
+  span.set_attr("protocol", protocol);
+  span.set_attr("targets", std::to_string(targets.size()));
+  auto& registry = obs::Registry::global();
+  obs::Counter& samples_counter =
+      registry.counter("laces_platform_rtt_samples_total");
+  obs::Histogram& rtt_histogram =
+      registry.histogram("laces_platform_rtt_ms", obs::rtt_ms_buckets());
+
   // Availability draw: which VPs take part in this run.
   std::vector<VpState> active;
   for (std::uint32_t i = 0; i < platform.vps.size(); ++i) {
@@ -44,6 +58,8 @@ LatencyResults measure_latency(topo::SimNetwork& network,
     active.push_back(std::move(state));
   }
   for (const auto& s : active) results.active_vps.push_back(s.index);
+  registry.gauge("laces_platform_active_vps")
+      .set(static_cast<double>(active.size()));
   if (active.empty()) return results;
 
   // Capture handlers: each VP sees only responses to its own address.
@@ -53,15 +69,18 @@ LatencyResults measure_latency(topo::SimNetwork& network,
     VpState* sp = &state;
     state.interface_id = network.attach(
         state.source, state.vp->attach,
-        [sp, results_ptr, &network, &options](const net::Datagram& dgram,
-                                              SimTime rx) {
+        [sp, results_ptr, &network, &options, &samples_counter,
+         &rtt_histogram](const net::Datagram& dgram, SimTime rx) {
           const auto parsed =
               net::parse_response(dgram, options.measurement_id);
           if (!parsed) return;
           const auto it = sp->pending.find(net::hash_value(parsed->target));
           if (it == sp->pending.end()) return;
-          results_ptr->samples.push_back(RttSample{
-              parsed->target, sp->index, (rx - it->second).to_millis()});
+          const double rtt_ms = (rx - it->second).to_millis();
+          results_ptr->samples.push_back(
+              RttSample{parsed->target, sp->index, rtt_ms});
+          samples_counter.add();
+          rtt_histogram.observe(rtt_ms);
           sp->pending.erase(it);
           (void)network;
         });
@@ -123,6 +142,9 @@ LatencyResults measure_latency(topo::SimNetwork& network,
       static_cast<std::uint64_t>(states->size()) * targets.size();
   results.credits_used =
       static_cast<double>(results.probes_sent) * platform.credits_per_probe;
+  registry
+      .counter("laces_platform_probes_sent_total", {{"protocol", protocol}})
+      .add(results.probes_sent);
   return results;
 }
 

@@ -22,19 +22,25 @@ double stddev(std::span<const double> xs) {
   return std::sqrt(acc / static_cast<double>(xs.size()));
 }
 
-double percentile(std::vector<double> xs, double p) {
+double percentile(std::span<const double> xs, double p) {
   expects(!xs.empty(), "non-empty sample");
   expects(p >= 0.0 && p <= 100.0, "p in [0,100]");
-  std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs.front();
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  std::vector<double> buf(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(buf.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= xs.size()) return xs.back();
-  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+  // Only the lo-th (and for interpolation the next) order statistic matters:
+  // partition instead of sorting the whole sample.
+  const auto lo_it = buf.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(buf.begin(), lo_it, buf.end());
+  const double a = *lo_it;
+  if (frac == 0.0 || lo + 1 >= buf.size()) return a;
+  const double b = *std::min_element(lo_it + 1, buf.end());
+  return a + frac * (b - a);
 }
 
-double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
 
 std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
   std::vector<CdfPoint> out;

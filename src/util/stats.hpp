@@ -14,10 +14,18 @@ double mean(std::span<const double> xs);
 double stddev(std::span<const double> xs);
 
 /// Interpolated percentile, p in [0, 100]. Requires a non-empty input.
-double percentile(std::vector<double> xs, double p);
+/// Takes a view and selects the two needed order statistics with
+/// std::nth_element on an internal copy — no caller-side copy or full sort.
+double percentile(std::span<const double> xs, double p);
+inline double percentile(std::initializer_list<double> xs, double p) {
+  return percentile(std::span<const double>(xs.begin(), xs.size()), p);
+}
 
 /// Median (50th percentile). Requires a non-empty input.
-double median(std::vector<double> xs);
+double median(std::span<const double> xs);
+inline double median(std::initializer_list<double> xs) {
+  return median(std::span<const double>(xs.begin(), xs.size()));
+}
 
 /// Empirical CDF point list: sorted (value, cumulative fraction) pairs,
 /// one entry per distinct value.

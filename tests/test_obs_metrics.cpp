@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace laces::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_enabled(true);
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  auto& c = Registry::global().counter("t_counter_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Re-requesting the same name returns the same instrument.
+  EXPECT_EQ(&Registry::global().counter("t_counter_total"), &c);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  auto& g = Registry::global().gauge("t_gauge");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST_F(MetricsTest, HistogramBucketsInclusiveUpperBound) {
+  auto& h = Registry::global().histogram("t_hist", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // == bound -> same bucket (inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST_F(MetricsTest, LabelsDistinguishSeriesAndOrderIsCanonical) {
+  auto& icmp = Registry::global().counter("t_labeled", {{"protocol", "icmp"}});
+  auto& tcp = Registry::global().counter("t_labeled", {{"protocol", "tcp"}});
+  EXPECT_NE(&icmp, &tcp);
+  icmp.add(3);
+
+  // Label order does not create a new series.
+  auto& ab = Registry::global().counter("t_multi", {{"a", "1"}, {"b", "2"}});
+  auto& ba = Registry::global().counter("t_multi", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+
+  const auto snap = Registry::global().snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("t_labeled", {{"protocol", "icmp"}}), 3.0);
+  EXPECT_DOUBLE_EQ(snap.value("t_labeled", {{"protocol", "tcp"}}), 0.0);
+  EXPECT_EQ(snap.find("t_labeled", {{"protocol", "udp"}}), nullptr);
+}
+
+TEST_F(MetricsTest, KindMismatchIsContractViolation) {
+  Registry::global().counter("t_kind");
+  EXPECT_THROW(Registry::global().gauge("t_kind"), ContractViolation);
+  EXPECT_THROW(Registry::global().histogram("t_kind", {1.0}),
+               ContractViolation);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndResetZeroesValues) {
+  Registry::global().counter("t_z_total").add(7);
+  Registry::global().counter("t_a_total").add(1);
+  auto& h = Registry::global().histogram("t_m_hist", {1.0});
+  h.observe(0.5);
+
+  auto snap = Registry::global().snapshot();
+  // Deterministic order: sorted by name.
+  std::vector<std::string> names;
+  for (const auto& s : snap.samples) names.push_back(s.name);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  Registry::global().reset();
+  snap = Registry::global().snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("t_z_total"), 0.0);
+  const auto* hist = snap.find("t_m_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 0u);
+  EXPECT_DOUBLE_EQ(hist->sum, 0.0);
+  // Instrument references handed out earlier stay usable after reset.
+  h.observe(2.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentationIsIgnored) {
+  auto& c = Registry::global().counter("t_disabled_total");
+  set_enabled(false);
+  c.add(5);
+  Registry::global().gauge("t_disabled_gauge").set(1.0);
+  set_enabled(true);
+#ifndef LACES_OBS_NOOP
+  EXPECT_EQ(c.value(), 0u);
+#endif
+  c.add(1);
+#ifndef LACES_OBS_NOOP
+  EXPECT_EQ(c.value(), 1u);
+#endif
+}
+
+TEST_F(MetricsTest, LogBucketsAreAscendingAndCoverTheRange) {
+  const auto bounds = log_buckets(0.5, 1000.0, 4);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.5);
+  EXPECT_GE(bounds.back(), 1000.0);
+  // 4 boundaries per decade: successive ratio is 10^(1/4).
+  EXPECT_NEAR(bounds[1] / bounds[0], std::pow(10.0, 0.25), 1e-12);
+  EXPECT_THROW(log_buckets(0.0, 1.0, 4), ContractViolation);
+}
+
+TEST_F(MetricsTest, PrometheusExportFormat) {
+  Registry::global()
+      .counter("t_probes_total", {{"protocol", "icmp"}})
+      .add(13692);
+  Registry::global().gauge("t_rate").set(2.5);
+  auto& h = Registry::global().histogram("t_rtt_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(0.75);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const auto text = to_prometheus(Registry::global().snapshot());
+  EXPECT_NE(text.find("# TYPE t_probes_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("t_probes_total{protocol=\"icmp\"} 13692\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_rate gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("t_rate 2.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("t_rtt_ms_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("t_rtt_ms_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_rtt_ms_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("t_rtt_ms_sum 106.25\n"), std::string::npos);
+  EXPECT_NE(text.find("t_rtt_ms_count 4\n"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonlExportOneObjectPerSample) {
+  Registry::global().counter("t_j_total").add(2);
+  Registry::global().histogram("t_j_hist", {1.0}).observe(0.25);
+  const auto text = metrics_to_jsonl(Registry::global().snapshot());
+  EXPECT_NE(
+      text.find(
+          "{\"name\":\"t_j_hist\",\"kind\":\"histogram\",\"labels\":{},"
+          "\"count\":1,\"sum\":0.25,\"bounds\":[1],\"buckets\":[1,0]}"),
+      std::string::npos);
+  EXPECT_NE(text.find("{\"name\":\"t_j_total\",\"kind\":\"counter\","
+                      "\"labels\":{},\"value\":2}"),
+            std::string::npos);
+  // One line per snapshot sample.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            Registry::global().snapshot().samples.size());
+}
+
+}  // namespace
+}  // namespace laces::obs

@@ -1,0 +1,178 @@
+// Integration: one Pipeline::run_day on a small simulated world must emit
+// metrics consistent with the returned DailyCensus, a span per Figure-3
+// stage, and byte-identical telemetry across identical runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "census/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "platform/platform.hpp"
+#include "support.hpp"
+
+namespace laces::census {
+namespace {
+
+struct RunOutput {
+  DailyCensus census;
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::SpanRecord> spans;
+};
+
+/// Fresh world state + fresh telemetry, one simulated census day.
+RunOutput run_day_instrumented() {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+
+  const auto& world = laces::testing::shared_small_world();
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  network.set_day(1);
+  core::Session session(network, platform::make_production_deployment(world));
+  PipelineConfig config;
+  config.targets_per_second = 50000;
+  Pipeline pipeline(network, session, platform::make_ark(world, 40, 0xa),
+                    platform::make_ark(world, 25, 0xb), config);
+
+  RunOutput out;
+  out.census = pipeline.run_day(1);
+  out.metrics = obs::Registry::global().snapshot();
+  out.spans = obs::Tracer::global().snapshot();
+  return out;
+}
+
+std::size_t index_of(const std::vector<obs::SpanRecord>& spans,
+                     const std::string& name) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == name) return i;
+  }
+  ADD_FAILURE() << "span not found: " << name;
+  return spans.size();
+}
+
+TEST(ObsPipeline, MetricsMatchTheReturnedCensus) {
+  const auto out = run_day_instrumented();
+  const auto& m = out.metrics;
+
+  // Probe accounting agrees with the census' own cost accounting.
+  EXPECT_GT(out.census.anycast_probes_sent, 0u);
+  EXPECT_DOUBLE_EQ(
+      m.value("laces_census_probes_sent_total", {{"stage", "anycast"}}),
+      static_cast<double>(out.census.anycast_probes_sent));
+  EXPECT_DOUBLE_EQ(m.value("laces_census_probes_sent_total", {{"stage", "gcd"}}),
+                   static_cast<double>(out.census.gcd_probes_sent));
+
+  // The anycast stage is worker probing; per-protocol worker counters must
+  // add up to the same total (GCD probes never pass through workers).
+  double worker_probes = 0.0;
+  for (const char* proto : {"icmp", "tcp", "udp_dns"}) {
+    worker_probes +=
+        m.value("laces_worker_probes_sent_total", {{"protocol", proto}});
+  }
+  EXPECT_DOUBLE_EQ(worker_probes,
+                   static_cast<double>(out.census.anycast_probes_sent));
+
+  // Classification counters match what the census records say.
+  std::map<std::string, double> anycast_verdicts;
+  double gcd_records = 0.0;
+  for (const auto& [prefix, rec] : out.census.records) {
+    for (const auto& [proto, obs_rec] : rec.anycast_based) {
+      anycast_verdicts[std::string(core::to_string(obs_rec.verdict))] += 1.0;
+    }
+    if (rec.gcd_verdict) gcd_records += 1.0;
+  }
+  double gcd_classified = 0.0;
+  for (const char* verdict : {"anycast", "unicast", "unresponsive"}) {
+    EXPECT_DOUBLE_EQ(
+        m.value("laces_census_classified_total",
+                {{"method", "anycast"}, {"verdict", verdict}}),
+        anycast_verdicts[verdict])
+        << verdict;
+    gcd_classified += m.value("laces_census_classified_total",
+                              {{"method", "gcd"}, {"verdict", verdict}});
+  }
+  EXPECT_DOUBLE_EQ(gcd_classified, gcd_records);
+
+  // Responsible-rate budget: configured gauge mirrors the config; the
+  // effective pacing never exceeds it.
+  const double configured = m.value(
+      "laces_census_rate_configured_targets_per_second", {{"stage", "anycast"}});
+  const double effective = m.value(
+      "laces_census_rate_effective_targets_per_second", {{"stage", "anycast"}});
+  EXPECT_DOUBLE_EQ(configured, 50000.0);
+  EXPECT_GT(effective, 0.0);
+  EXPECT_LE(effective, configured);
+
+  // GCD internals were counted.
+  EXPECT_GT(m.value("laces_gcd_targets_total"), 0.0);
+  EXPECT_GE(m.value("laces_gcd_discs_kept_total"), 0.0);
+  EXPECT_DOUBLE_EQ(m.value("laces_gcd_observations_total"),
+                   m.value("laces_gcd_discs_kept_total") +
+                       m.value("laces_gcd_discs_pruned_total"));
+}
+
+TEST(ObsPipeline, EveryFigure3StageProducesExactlyOneSpan) {
+  const auto out = run_day_instrumented();
+
+  std::map<std::string, std::size_t> counts;
+  for (const auto& span : out.spans) ++counts[span.name];
+  EXPECT_EQ(counts["census.day"], 1u);
+  EXPECT_EQ(counts["census.anycast_census"], 1u);
+  EXPECT_EQ(counts["census.at_selection"], 1u);
+  EXPECT_EQ(counts["census.gcd"], 1u);
+  EXPECT_EQ(counts["census.merge"], 1u);
+  // Three protocols probed -> three measurement spans under the census.
+  EXPECT_EQ(counts["session.measurement"], 3u);
+
+  // Stage spans are children of the day span, in Figure-3 order.
+  const auto day = index_of(out.spans, "census.day");
+  const auto census_stage = index_of(out.spans, "census.anycast_census");
+  const auto at_stage = index_of(out.spans, "census.at_selection");
+  const auto gcd_stage = index_of(out.spans, "census.gcd");
+  const auto merge_stage = index_of(out.spans, "census.merge");
+  ASSERT_LT(day, out.spans.size());
+  for (const auto idx : {census_stage, at_stage, gcd_stage, merge_stage}) {
+    ASSERT_LT(idx, out.spans.size());
+    EXPECT_EQ(out.spans[idx].parent, out.spans[day].id);
+  }
+  EXPECT_LT(census_stage, at_stage);
+  EXPECT_LT(at_stage, gcd_stage);
+  EXPECT_LT(gcd_stage, merge_stage);
+  EXPECT_LT(merge_stage, day);
+
+  // Stage duration histograms were fed from the same spans.
+  const auto* hist = out.metrics.find("laces_census_stage_duration_seconds",
+                                      {{"stage", "anycast_census"}});
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_DOUBLE_EQ(hist->sum,
+                   out.spans[census_stage].duration().to_seconds());
+}
+
+TEST(ObsPipeline, TelemetryIsByteIdenticalAcrossIdenticalRuns) {
+  const auto first = run_day_instrumented();
+  const auto second = run_day_instrumented();
+  EXPECT_EQ(obs::to_prometheus(first.metrics),
+            obs::to_prometheus(second.metrics));
+  EXPECT_EQ(obs::trace_to_jsonl(first.spans),
+            obs::trace_to_jsonl(second.spans));
+}
+
+TEST(ObsPipeline, RunReportRendersAllSections) {
+  const auto out = run_day_instrumented();
+  const auto report = obs::render_run_report(out.metrics, out.spans);
+  EXPECT_NE(report.find("LACeS run report"), std::string::npos);
+  EXPECT_NE(report.find("Pipeline stages"), std::string::npos);
+  EXPECT_NE(report.find("Probe cost per protocol"), std::string::npos);
+  EXPECT_NE(report.find("Responsible-rate budget"), std::string::npos);
+  EXPECT_NE(report.find("Classifications"), std::string::npos);
+  EXPECT_NE(report.find("icmp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laces::census

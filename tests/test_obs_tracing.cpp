@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "util/event_queue.hpp"
+
+namespace laces::obs {
+namespace {
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Tracer::global().set_capacity(8192);
+    Tracer::global().set_clock(nullptr);
+    Tracer::global().reset();
+  }
+};
+
+TEST_F(TracingTest, SpansStampSimulatedTime) {
+  EventQueue events;
+  Tracer::global().set_clock(&events);
+  {
+    Span span("outer");
+    events.schedule_after(SimDuration::seconds(3), [] {});
+    events.run();
+  }
+  const auto records = Tracer::global().snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "outer");
+  EXPECT_EQ(records[0].start_ns, 0);
+  EXPECT_EQ(records[0].end_ns, SimDuration::seconds(3).ns());
+  EXPECT_EQ(records[0].parent, 0u);
+  EXPECT_EQ(records[0].duration(), SimDuration::seconds(3));
+}
+
+TEST_F(TracingTest, NestingLinksParents) {
+  EventQueue events;
+  Tracer::global().set_clock(&events);
+  {
+    Span outer("outer");
+    {
+      Span inner_a("inner-a");
+      events.schedule_after(SimDuration::seconds(1), [] {});
+      events.run();
+    }
+    { Span inner_b("inner-b"); }
+  }
+  const auto records = Tracer::global().snapshot();
+  // Records are committed in end order: inner-a, inner-b, outer.
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "inner-a");
+  EXPECT_EQ(records[1].name, "inner-b");
+  EXPECT_EQ(records[2].name, "outer");
+  EXPECT_EQ(records[0].parent, records[2].id);
+  EXPECT_EQ(records[1].parent, records[2].id);
+  EXPECT_EQ(records[2].parent, 0u);
+  // inner-b opened after the loop ran: start stamped at 1s.
+  EXPECT_EQ(records[1].start_ns, SimDuration::seconds(1).ns());
+}
+
+TEST_F(TracingTest, AttrsAreRecorded) {
+  {
+    Span span("with-attrs");
+    span.set_attr("protocol", "icmp");
+    span.set_attr("day", "3");
+  }
+  const auto records = Tracer::global().snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const Labels expected = {{"protocol", "icmp"}, {"day", "3"}};
+  EXPECT_EQ(records[0].attrs, expected);
+}
+
+TEST_F(TracingTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    Tracer::global().reset();
+    EventQueue events;
+    Tracer::global().set_clock(&events);
+    {
+      Span day("day");
+      day.set_attr("day", "1");
+      for (int stage = 0; stage < 3; ++stage) {
+        Span s("stage-" + std::to_string(stage));
+        events.schedule_after(SimDuration::millis(250 * (stage + 1)), [] {});
+        events.run();
+      }
+    }
+    return trace_to_jsonl(Tracer::global().snapshot());
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_FALSE(first.empty());
+  // Same seed, same schedule: byte-identical trace (ids, stamps, order).
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(TracingTest, BufferIsBounded) {
+  Tracer::global().set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    Span span("span-" + std::to_string(i));
+  }
+  EXPECT_EQ(Tracer::global().recorded(), 2u);
+  EXPECT_EQ(Tracer::global().dropped(), 3u);
+  const auto records = Tracer::global().snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "span-0");
+  EXPECT_EQ(records[1].name, "span-1");
+  // Dropped spans still kept the nesting stack consistent.
+  {
+    Span outer("outer");
+    Span inner("inner");
+    EXPECT_EQ(inner.id(), outer.id() + 1);
+  }
+  Tracer::global().reset();
+  EXPECT_EQ(Tracer::global().recorded(), 0u);
+  EXPECT_EQ(Tracer::global().dropped(), 0u);
+}
+
+TEST_F(TracingTest, EarlyEndIsIdempotent) {
+  EventQueue events;
+  Tracer::global().set_clock(&events);
+  Span span("early");
+  events.schedule_after(SimDuration::seconds(2), [] {});
+  events.run();
+  span.end();
+  const auto duration = span.duration();
+  events.schedule_after(SimDuration::seconds(5), [] {});
+  events.run();
+  span.end();  // no-op
+  EXPECT_EQ(span.duration(), duration);
+  EXPECT_EQ(Tracer::global().recorded(), 1u);
+}
+
+TEST_F(TracingTest, TraceJsonlFormat) {
+  EventQueue events;
+  Tracer::global().set_clock(&events);
+  {
+    Span span("fmt");
+    span.set_attr("k", "v");
+  }
+  const auto text = trace_to_jsonl(Tracer::global().snapshot());
+  EXPECT_EQ(text,
+            "{\"id\":1,\"parent\":0,\"name\":\"fmt\",\"start_ns\":0,"
+            "\"end_ns\":0,\"attrs\":{\"k\":\"v\"}}\n");
+}
+
+TEST_F(TracingTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  { Span span("ghost"); }
+  set_enabled(true);
+  EXPECT_EQ(Tracer::global().recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace laces::obs

@@ -16,6 +16,10 @@
 
 #include "census/output.hpp"
 #include "census/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "core/classify.hpp"
 #include "core/session.hpp"
 #include "gcd/classify.hpp"
@@ -51,7 +55,11 @@ Args parse_args(int argc, char** argv, int first) {
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
     std::string value = "true";
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      // --key=value form.
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       value = argv[++i];
     }
     args.options[key] = value;
@@ -142,7 +150,34 @@ int cmd_census(const Args& args) {
                 static_cast<unsigned long long>(daily.anycast_probes_sent),
                 static_cast<unsigned long long>(daily.gcd_probes_sent));
   }
-  return 0;
+
+  // Run telemetry: optional machine-readable exports plus the operator
+  // report on stdout.
+  const auto metrics = obs::Registry::global().snapshot();
+  const auto spans = obs::Tracer::global().snapshot();
+  int status = 0;
+  const auto export_to = [&status](const std::string& path, auto writer) {
+    std::ofstream out(path);
+    if (out) writer(out);
+    if (!out) {
+      std::fprintf(stderr, "laces census: cannot write %s\n", path.c_str());
+      status = 1;
+    }
+  };
+  if (args.has("metrics-out")) {
+    export_to(args.get("metrics-out", "metrics.prom"),
+              [&metrics](std::ofstream& out) {
+                obs::write_prometheus(out, metrics);
+              });
+  }
+  if (args.has("trace-out")) {
+    export_to(args.get("trace-out", "trace.jsonl"),
+              [&spans](std::ofstream& out) {
+                obs::write_trace_jsonl(out, spans);
+              });
+  }
+  std::printf("\n%s", obs::render_run_report(metrics, spans).c_str());
+  return status;
 }
 
 int cmd_probe(const Args& args) {
@@ -258,6 +293,7 @@ void usage() {
                "usage: laces <world|census|probe|catchment> [options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
+               "             --metrics-out FILE --trace-out FILE\n"
                "  probe      --prefix A.B.C.0/24 --day D\n"
                "  catchment  --seed N --scale K\n");
 }
