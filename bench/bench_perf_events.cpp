@@ -1,0 +1,161 @@
+// Performance: the simulator fast path in isolation — event scheduling
+// throughput across capture sizes (inline vs heap-fallback callbacks),
+// steady-state zero-allocation dispatch, and raw packet delivery through
+// SimNetwork (catchment + delay caches hot).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdint>
+
+#include "net/probe.hpp"
+#include "platform/platform.hpp"
+#include "topo/network.hpp"
+#include "topo/world.hpp"
+#include "util/callback.hpp"
+#include "util/event_queue.hpp"
+
+namespace {
+
+using namespace laces;
+
+// Schedule-then-drain with a trivial callback: the floor cost of one event
+// (heap push + pop + inline dispatch).
+void BM_EventScheduleDrain(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  EventQueue q;
+  q.reserve(batch);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.schedule_at(SimTime(static_cast<std::int64_t>(i % 97)),
+                    [&sink] { ++sink; });
+    }
+    q.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+  state.SetLabel("items = events");
+}
+BENCHMARK(BM_EventScheduleDrain)->Arg(1024)->Arg(65536);
+
+// Same drain with growing capture sizes. Up to kInlineCallbackSize the
+// callback stays in the inline buffer; the last row spills to the heap and
+// shows the allocation penalty the SBO avoids.
+template <std::size_t N>
+void BM_EventCaptureSize(benchmark::State& state) {
+  std::array<unsigned char, N> payload{};
+  payload[0] = 1;
+  // One-time shape check so the bench rows honestly label what they measure.
+  const bool inline_expected = N + 8 <= kInlineCallbackSize;
+  {
+    EventQueue::Callback probe{[payload, &state] {
+      benchmark::DoNotOptimize(payload[0]);
+      benchmark::DoNotOptimize(&state);
+    }};
+    if (probe.is_inline() != inline_expected) {
+      state.SkipWithError("capture-size/inline-threshold mismatch");
+      return;
+    }
+  }
+  EventQueue q;
+  q.reserve(4096);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 4096; ++i) {
+      q.schedule_at(SimTime(static_cast<std::int64_t>(i % 97)),
+                    [payload, &sink] { sink += payload[0]; });
+    }
+    q.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 4096);
+  state.SetLabel(inline_expected ? "inline capture" : "heap capture");
+}
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 16);
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 64);
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 104);  // largest inline (+ref = 112)
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 256);  // heap fallback
+
+// Self-rescheduling chain: the queue never empties, storage never grows —
+// the pure steady-state per-event cost with zero allocator traffic.
+void BM_EventSteadyStateChain(benchmark::State& state) {
+  EventQueue q;
+  q.reserve(64);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    struct Chain {
+      EventQueue& q;
+      std::uint64_t& fired;
+      std::uint64_t left;
+      void operator()() {
+        ++fired;
+        if (--left > 0) q.schedule_after(SimDuration(1), Chain{*this});
+      }
+    };
+    q.schedule_at(q.now(), Chain{q, fired, 10000});
+    q.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * 10000);
+  state.SetLabel("items = events");
+}
+BENCHMARK(BM_EventSteadyStateChain);
+
+// Packet delivery through the simulated network: probes to a unicast
+// target, responses routed back to an anycast-announced local address.
+// After the first packet the routing caches are hot, so this measures the
+// steady per-packet cost of send -> catchment -> delay -> deliver.
+void BM_NetworkPacketDelivery(benchmark::State& state) {
+  topo::WorldConfig cfg;
+  cfg.v4_unicast = 64;
+  cfg.v4_unresponsive = 0;
+  cfg.v4_global_bgp_unicast = 0;
+  cfg.v4_medium_anycast_orgs = 2;
+  cfg.v6_unicast = 0;
+  cfg.v6_unresponsive = 0;
+  cfg.v6_medium_anycast_orgs = 0;
+  cfg.v6_regional_anycast = 0;
+  cfg.v6_backing_anycast = 0;
+  const auto world = topo::World::generate(cfg);
+  const auto platform = platform::make_production_deployment(world);
+
+  EventQueue events;
+  topo::NetworkConfig net_cfg;
+  net_cfg.loss = 0.0;
+  net_cfg.rate_limit_drop = 0.0;
+  topo::SimNetwork network(world, events, net_cfg);
+  network.set_day(1);
+
+  // Announce the measurement prefix at every platform site (anycast) and
+  // pick one unicast target to bounce probes off.
+  const net::IpAddress vp_addr{net::Ipv4Address(0xC6336401)};
+  std::uint64_t received = 0;
+  for (const auto& site : platform.sites) {
+    network.attach(vp_addr, site.attach,
+                   [&received](const net::Datagram&, SimTime) { ++received; });
+  }
+  const net::IpAddress target = world.targets().front().address;
+  const topo::AttachPoint from = platform.sites.front().attach;
+
+  net::ProbeEncoding enc;
+  enc.measurement = 1;
+  enc.worker = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      enc.salt++;
+      enc.tx_time_ns = static_cast<std::uint64_t>(events.now().ns());
+      network.send(net::build_icmp_probe(vp_addr, target, enc), from);
+    }
+    events.run();
+  }
+  benchmark::DoNotOptimize(received);
+  // Each probe is one forward packet plus one response packet.
+  state.SetItemsProcessed(state.iterations() * 512);
+  state.SetLabel("items = packets");
+}
+BENCHMARK(BM_NetworkPacketDelivery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,18 @@
 // Performance: the measurement data path (R6/R10) — probe construction,
 // response parsing, channel framing (HMAC), network delivery, and a small
 // end-to-end census per second of wall time.
+//
+// Besides the google-benchmark rows, main() emits BENCH_pipeline.json
+// (events/sec, packets/sec, census-day wall ms) for the CI regression
+// gate (scripts/check_bench.py). LACES_BENCH_SHORT=1 shrinks the JSON
+// measurement for CI; LACES_BENCH_JSON overrides the output path.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "common/scenario.hpp"
 #include "core/channel.hpp"
@@ -13,6 +24,20 @@
 namespace {
 
 using namespace laces;
+
+topo::WorldConfig small_census_world_config() {
+  topo::WorldConfig cfg;
+  cfg.v4_unicast = 1000;
+  cfg.v4_unresponsive = 100;
+  cfg.v4_global_bgp_unicast = 50;
+  cfg.v4_medium_anycast_orgs = 8;
+  cfg.v6_unicast = 0;
+  cfg.v6_unresponsive = 0;
+  cfg.v6_medium_anycast_orgs = 0;
+  cfg.v6_regional_anycast = 0;
+  cfg.v6_backing_anycast = 0;
+  return cfg;
+}
 
 void BM_BuildIcmpProbe(benchmark::State& state) {
   const net::IpAddress src{net::Ipv4Address(0xCB007101)};
@@ -83,24 +108,18 @@ void BM_ChannelFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelFrame);
 
+// Longitudinal shape: one simulated Internet, one census per iteration on
+// consecutive days — how LACeS actually runs, and what makes the routing
+// caches earn their keep (day 1 is cold, every later day is warm).
 void BM_SmallCensusEndToEnd(benchmark::State& state) {
-  topo::WorldConfig cfg;
-  cfg.v4_unicast = 1000;
-  cfg.v4_unresponsive = 100;
-  cfg.v4_global_bgp_unicast = 50;
-  cfg.v4_medium_anycast_orgs = 8;
-  cfg.v6_unicast = 0;
-  cfg.v6_unresponsive = 0;
-  cfg.v6_medium_anycast_orgs = 0;
-  cfg.v6_regional_anycast = 0;
-  cfg.v6_backing_anycast = 0;
-  const auto world = topo::World::generate(cfg);
+  const auto world = topo::World::generate(small_census_world_config());
   const auto hitlist = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+  EventQueue events;
+  topo::SimNetwork network(world, events);
   net::MeasurementId id = 1;
+  std::uint32_t day = 1;
   for (auto _ : state) {
-    EventQueue events;
-    topo::SimNetwork network(world, events);
-    network.set_day(1);
+    network.set_day(day++);
     core::Session session(network,
                           platform::make_production_deployment(world));
     core::MeasurementSpec spec;
@@ -157,6 +176,100 @@ BENCHMARK(BM_SmallCensusObsOverhead)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// --- BENCH_pipeline.json: hand-timed numbers for the CI regression gate ---
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double measure_events_per_sec(bool short_mode) {
+  EventQueue events;
+  std::uint64_t sink = 0;
+  const int per_batch = 1 << 14;
+  const int batches = short_mode ? 30 : 150;
+  const auto fill = [&] {
+    for (int i = 0; i < per_batch; ++i) {
+      events.schedule_after(SimDuration::nanos(i & 1023), [&sink] { ++sink; });
+    }
+  };
+  // Warm-up: let the queue's storage reach steady state before timing.
+  fill();
+  events.run();
+  std::uint64_t executed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int b = 0; b < batches; ++b) {
+    fill();
+    executed += events.run();
+  }
+  const double secs = seconds_since(t0);
+  if (sink == 0 || secs <= 0.0) return 0.0;
+  return static_cast<double>(executed) / secs;
+}
+
+struct CensusNumbers {
+  double packets_per_sec = 0.0;
+  double census_day_wall_ms = 0.0;
+};
+
+CensusNumbers measure_census(bool short_mode) {
+  const auto world = topo::World::generate(small_census_world_config());
+  const auto hitlist = hitlist::build_ping_hitlist(world, net::IpVersion::kV4);
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  net::MeasurementId id = 1;
+  std::uint32_t day = 1;
+  const auto census_day = [&] {
+    network.set_day(day++);
+    core::Session session(network,
+                          platform::make_production_deployment(world));
+    core::MeasurementSpec spec;
+    spec.id = id++;
+    spec.targets_per_second = 100000;
+    benchmark::DoNotOptimize(session.run(spec, hitlist.addresses()));
+  };
+  census_day();  // day 1 warm-up (cold caches, first-touch allocations)
+  const std::uint64_t packets_before = network.packets_sent();
+  const int days = short_mode ? 3 : 10;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int d = 0; d < days; ++d) census_day();
+  const double secs = seconds_since(t0);
+  CensusNumbers out;
+  if (secs <= 0.0) return out;
+  out.census_day_wall_ms = secs * 1000.0 / days;
+  out.packets_per_sec =
+      static_cast<double>(network.packets_sent() - packets_before) / secs;
+  return out;
+}
+
+void write_bench_json(const char* path, double events_per_sec,
+                      const CensusNumbers& census) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"events_per_sec\": " << events_per_sec << ",\n"
+      << "  \"packets_per_sec\": " << census.packets_per_sec << ",\n"
+      << "  \"census_day_wall_ms\": " << census.census_day_wall_ms << "\n"
+      << "}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const bool short_mode = std::getenv("LACES_BENCH_SHORT") != nullptr;
+  const char* json_path = std::getenv("LACES_BENCH_JSON");
+  if (json_path == nullptr) json_path = "BENCH_pipeline.json";
+  const double events_per_sec = measure_events_per_sec(short_mode);
+  const CensusNumbers census = measure_census(short_mode);
+  write_bench_json(json_path, events_per_sec, census);
+  std::printf(
+      "BENCH_pipeline.json: events_per_sec=%.3g packets_per_sec=%.3g "
+      "census_day_wall_ms=%.3g -> %s\n",
+      events_per_sec, census.packets_per_sec, census.census_day_wall_ms,
+      json_path);
+  return 0;
+}

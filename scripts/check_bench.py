@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate CI on simulator fast-path performance.
+
+Compares a BENCH_pipeline.json produced by bench_perf_pipeline against the
+checked-in baseline (scripts/bench_baseline.json) and exits non-zero if any
+metric regressed by more than the allowed factor (default 2x). The factor
+is deliberately loose: shared CI runners are noisy, and the gate exists to
+catch algorithmic regressions (an accidental O(n^2), a capture outgrowing
+the inline-callback buffer), not scheduler jitter.
+
+Usage:
+    scripts/check_bench.py BENCH_pipeline.json [--baseline scripts/bench_baseline.json]
+                           [--max-regression 2.0]
+
+After an intentional performance change, refresh the baseline on a quiet
+machine (`./bench/bench_perf_pipeline` in a Release build) and commit the
+new scripts/bench_baseline.json together with the change.
+"""
+
+import argparse
+import json
+import sys
+
+# metric name -> direction ("higher" = throughput, "lower" = latency/time)
+METRICS = {
+    "events_per_sec": "higher",
+    "packets_per_sec": "higher",
+    "census_day_wall_ms": "lower",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="BENCH_pipeline.json from bench_perf_pipeline")
+    parser.add_argument("--baseline", default="scripts/bench_baseline.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail if a metric is worse than baseline by more than this factor",
+    )
+    args = parser.parse_args()
+
+    with open(args.results) as f:
+        results = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    print(f"{'metric':<24} {'baseline':>14} {'current':>14} {'ratio':>8}")
+    for name, direction in METRICS.items():
+        if name not in baseline:
+            print(f"{name:<24} {'(no baseline)':>14} {results.get(name, '-'):>14}")
+            continue
+        if name not in results:
+            failures.append(f"{name}: missing from results file")
+            continue
+        base, cur = float(baseline[name]), float(results[name])
+        if base <= 0 or cur <= 0:
+            failures.append(f"{name}: non-positive value (baseline={base}, current={cur})")
+            continue
+        # ratio > 1 means "worse than baseline" in both directions.
+        ratio = base / cur if direction == "higher" else cur / base
+        flag = " REGRESSION" if ratio > args.max_regression else ""
+        print(f"{name:<24} {base:>14.1f} {cur:>14.1f} {ratio:>7.2f}x{flag}")
+        if ratio > args.max_regression:
+            failures.append(
+                f"{name}: {ratio:.2f}x worse than baseline "
+                f"(limit {args.max_regression:.2f}x)"
+            )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: all metrics within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,42 +8,72 @@
 #include "util/contracts.hpp"
 
 namespace laces::census {
-namespace {
 
-/// Close `span` and record its simulated duration under the Figure-3 stage
-/// histogram, so per-stage latency is scrapeable, not just traceable.
-void finish_stage(obs::Span& span, const char* stage) {
+void Pipeline::finish_stage(obs::Span& span, obs::Histogram* duration) {
   span.end();
-  obs::Registry::global()
-      .histogram("laces_census_stage_duration_seconds",
-                 obs::stage_seconds_buckets(), {{"stage", stage}})
-      .observe(span.duration().to_seconds());
+  duration->observe(span.duration().to_seconds());
 }
 
-/// Effective pacing actually achieved by a stage, vs. the configured
-/// responsible-rate budget (§4.2).
-void record_rate(const char* stage, double configured, double targets,
-                 SimDuration elapsed) {
-  auto& registry = obs::Registry::global();
-  registry
-      .gauge("laces_census_rate_configured_targets_per_second",
-             {{"stage", stage}})
-      .set(configured);
+void Pipeline::record_rate(obs::Gauge* configured_gauge,
+                           obs::Gauge* effective_gauge, double configured,
+                           double targets, SimDuration elapsed) {
+  configured_gauge->set(configured);
   const double seconds = elapsed.to_seconds();
-  registry
-      .gauge("laces_census_rate_effective_targets_per_second",
-             {{"stage", stage}})
-      .set(seconds > 0.0 ? targets / seconds : 0.0);
+  effective_gauge->set(seconds > 0.0 ? targets / seconds : 0.0);
 }
 
-void count_classification(const char* method, std::string_view verdict) {
-  obs::Registry::global()
-      .counter("laces_census_classified_total",
-               {{"method", method}, {"verdict", std::string(verdict)}})
-      .add();
+void Pipeline::register_metrics() {
+  auto& registry = obs::Registry::global();
+  const auto stage_hist = [&registry](const char* stage) {
+    return &registry.histogram("laces_census_stage_duration_seconds",
+                               obs::stage_seconds_buckets(),
+                               {{"stage", stage}});
+  };
+  stage_census_ = stage_hist("anycast_census");
+  stage_at_ = stage_hist("at_selection");
+  stage_gcd_ = stage_hist("gcd");
+  stage_merge_ = stage_hist("merge");
+  stage_day_ = stage_hist("day");
+  rate_configured_anycast_ = &registry.gauge(
+      "laces_census_rate_configured_targets_per_second", {{"stage", "anycast"}});
+  rate_effective_anycast_ = &registry.gauge(
+      "laces_census_rate_effective_targets_per_second", {{"stage", "anycast"}});
+  rate_configured_gcd_ = &registry.gauge(
+      "laces_census_rate_configured_targets_per_second", {{"stage", "gcd"}});
+  rate_effective_gcd_ = &registry.gauge(
+      "laces_census_rate_effective_targets_per_second", {{"stage", "gcd"}});
+  for (std::size_t v = 0; v < classified_anycast_.size(); ++v) {
+    classified_anycast_[v] = &registry.counter(
+        "laces_census_classified_total",
+        {{"method", "anycast"},
+         {"verdict",
+          std::string(core::to_string(static_cast<core::Verdict>(v)))}});
+    classified_gcd_[v] = &registry.counter(
+        "laces_census_classified_total",
+        {{"method", "gcd"},
+         {"verdict",
+          std::string(gcd::to_string(static_cast<gcd::GcdVerdict>(v)))}});
+  }
+  days_total_ = &registry.counter("laces_census_days_total");
+  at_list_size_ = &registry.gauge("laces_census_at_list_size");
+  for (const auto protocol : net::kAllProtocols) {
+    targets_probed_[static_cast<std::size_t>(protocol)] = &registry.counter(
+        "laces_census_targets_probed_total",
+        {{"protocol", std::string(net::metric_label(protocol))}});
+  }
+  probes_sent_anycast_ =
+      &registry.counter("laces_census_probes_sent_total", {{"stage", "anycast"}});
+  probes_sent_gcd_ =
+      &registry.counter("laces_census_probes_sent_total", {{"stage", "gcd"}});
+  if (config_.ipv4) {
+    anycast_targets_v4_ =
+        &registry.gauge("laces_census_anycast_targets", {{"family", "v4"}});
+  }
+  if (config_.ipv6) {
+    anycast_targets_v6_ =
+        &registry.gauge("laces_census_anycast_targets", {{"family", "v6"}});
+  }
 }
-
-}  // namespace
 
 Pipeline::Pipeline(topo::SimNetwork& network, core::Session& session,
                    platform::UnicastPlatform ark_v4,
@@ -63,6 +93,7 @@ Pipeline::Pipeline(topo::SimNetwork& network, core::Session& session,
       rep_.emplace(net::Prefix::of(e.address), e.address);
     }
   }
+  register_metrics();
 }
 
 const hitlist::Hitlist& Pipeline::ping_hitlist(net::IpVersion version) const {
@@ -111,20 +142,18 @@ DailyCensus Pipeline::run_day(std::uint32_t day) {
     for (const auto& [prefix, rec] : census.records) {
       for (const auto& [proto, obs_rec] : rec.anycast_based) {
         (void)proto;
-        count_classification("anycast", core::to_string(obs_rec.verdict));
+        classified_anycast_[static_cast<std::size_t>(obs_rec.verdict)]->add();
       }
       if (rec.gcd_verdict) {
-        count_classification("gcd", gcd::to_string(*rec.gcd_verdict));
+        classified_gcd_[static_cast<std::size_t>(*rec.gcd_verdict)]->add();
       }
     }
-    finish_stage(merge_span, "merge");
+    finish_stage(merge_span, stage_merge_);
   }
 
-  auto& registry = obs::Registry::global();
-  registry.counter("laces_census_days_total").add();
-  registry.gauge("laces_census_at_list_size")
-      .set(static_cast<double>(at_list_.size()));
-  finish_stage(day_span, "day");
+  days_total_->add();
+  at_list_size_->set(static_cast<double>(at_list_.size()));
+  finish_stage(day_span, stage_day_);
   return census;
 }
 
@@ -143,7 +172,6 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
 
   const char* family =
       version == net::IpVersion::kV4 ? "v4" : "v6";
-  auto& registry = obs::Registry::global();
 
   // --- Stage 1: anycast-based censuses per protocol ---
   obs::Span census_span("census.anycast_census");
@@ -162,10 +190,8 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
     spec.targets_per_second = config_.targets_per_second;
 
     const auto addrs = stage.hitlist->addresses();
-    registry
-        .counter("laces_census_targets_probed_total",
-                 {{"protocol", std::string(net::metric_label(stage.protocol))}})
-        .add(addrs.size());
+    targets_probed_[static_cast<std::size_t>(stage.protocol)]->add(
+        addrs.size());
     family_targets += addrs.size();
 
     const auto results = session_.run(spec, addrs);
@@ -180,11 +206,11 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
       if (obs.verdict == core::Verdict::kAnycast) day_ats.insert(prefix);
     }
   }
-  registry.counter("laces_census_probes_sent_total", {{"stage", "anycast"}})
-      .add(family_probes);
-  record_rate("anycast", config_.targets_per_second,
-              static_cast<double>(family_targets), census_span.duration());
-  finish_stage(census_span, "anycast_census");
+  probes_sent_anycast_->add(family_probes);
+  record_rate(rate_configured_anycast_, rate_effective_anycast_,
+              config_.targets_per_second, static_cast<double>(family_targets),
+              census_span.duration());
+  finish_stage(census_span, stage_census_);
 
   // --- Stage 2: assemble the AT list (today's + persistent feedback) ---
   obs::Span at_span("census.at_selection");
@@ -197,10 +223,9 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
   for (const auto& p : ats) {
     if (p.version() == version) census.anycast_targets.push_back(p);
   }
-  registry
-      .gauge("laces_census_anycast_targets", {{"family", family}})
-      .set(static_cast<double>(ats.size()));
-  finish_stage(at_span, "at_selection");
+  (version == net::IpVersion::kV4 ? anycast_targets_v4_ : anycast_targets_v6_)
+      ->set(static_cast<double>(ats.size()));
+  finish_stage(at_span, stage_at_);
 
   // --- Stage 3: GCD from Ark toward the ATs only (two orders of magnitude
   // cheaper than a full-hitlist GCD run, §4.2.2) ---
@@ -221,8 +246,7 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
     const auto latency =
         platform::measure_latency(network_, ark, gcd_targets, opts);
     census.gcd_probes_sent += latency.probes_sent;
-    registry.counter("laces_census_probes_sent_total", {{"stage", "gcd"}})
-        .add(latency.probes_sent);
+    probes_sent_gcd_->add(latency.probes_sent);
     const auto analyzer = gcd::make_analyzer(ark);
     const auto gcd_cls = gcd::classify_gcd(analyzer, latency, gcd_targets);
     for (const auto& [prefix, res] : gcd_cls) {
@@ -236,9 +260,10 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
       }
     }
   }
-  record_rate("gcd", config_.gcd_targets_per_second,
+  record_rate(rate_configured_gcd_, rate_effective_gcd_,
+              config_.gcd_targets_per_second,
               static_cast<double>(gcd_targets.size()), gcd_span.duration());
-  finish_stage(gcd_span, "gcd");
+  finish_stage(gcd_span, stage_gcd_);
 }
 
 }  // namespace laces::census

@@ -9,6 +9,7 @@
 // ground truth — stay on the list so anycast-based FNs remain covered.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -17,6 +18,8 @@
 #include "core/session.hpp"
 #include "gcd/classify.hpp"
 #include "hitlist/hitlist.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/latency.hpp"
 #include "platform/platform.hpp"
 #include "topo/network.hpp"
@@ -69,6 +72,17 @@ class Pipeline {
   /// Representative probe address for a census prefix.
   std::optional<net::IpAddress> representative(const net::Prefix& p) const;
 
+  void register_metrics();
+  /// Close `span` and record its simulated duration under the Figure-3
+  /// stage histogram, so per-stage latency is scrapeable, not just
+  /// traceable.
+  static void finish_stage(obs::Span& span, obs::Histogram* duration);
+  /// Effective pacing actually achieved by a stage, vs. the configured
+  /// responsible-rate budget (§4.2).
+  static void record_rate(obs::Gauge* configured_gauge,
+                          obs::Gauge* effective_gauge, double configured,
+                          double targets, SimDuration elapsed);
+
   topo::SimNetwork& network_;
   core::Session& session_;
   platform::UnicastPlatform ark_v4_;
@@ -81,6 +95,29 @@ class Pipeline {
   std::unordered_set<net::Prefix, net::PrefixHash> partial_;
   net::MeasurementId next_measurement_ = 100;
   std::uint64_t gcd_run_counter_ = 0;
+
+  // Metric handles, registered once at construction so the per-record /
+  // per-stage hot paths never take the registry mutex or rebuild label
+  // sets (registry references stay valid across Registry::reset()).
+  obs::Histogram* stage_census_ = nullptr;
+  obs::Histogram* stage_at_ = nullptr;
+  obs::Histogram* stage_gcd_ = nullptr;
+  obs::Histogram* stage_merge_ = nullptr;
+  obs::Histogram* stage_day_ = nullptr;
+  obs::Gauge* rate_configured_anycast_ = nullptr;
+  obs::Gauge* rate_effective_anycast_ = nullptr;
+  obs::Gauge* rate_configured_gcd_ = nullptr;
+  obs::Gauge* rate_effective_gcd_ = nullptr;
+  /// Indexed by core::Verdict / gcd::GcdVerdict enum value.
+  std::array<obs::Counter*, 3> classified_anycast_{};
+  std::array<obs::Counter*, 3> classified_gcd_{};
+  obs::Counter* days_total_ = nullptr;
+  obs::Gauge* at_list_size_ = nullptr;
+  std::array<obs::Counter*, net::kAllProtocols.size()> targets_probed_{};
+  obs::Counter* probes_sent_anycast_ = nullptr;
+  obs::Counter* probes_sent_gcd_ = nullptr;
+  obs::Gauge* anycast_targets_v4_ = nullptr;
+  obs::Gauge* anycast_targets_v6_ = nullptr;
 };
 
 }  // namespace laces::census

@@ -33,6 +33,13 @@ Session::Session(topo::SimNetwork& network,
   orchestrator_->attach_cli(orch_cli_end);
   cli_->connect(cli_end);
 
+  for (const auto protocol : net::kAllProtocols) {
+    measurements_total_[static_cast<std::size_t>(protocol)] =
+        &obs::Registry::global().counter(
+            "laces_session_measurements_total",
+            {{"protocol", std::string(net::metric_label(protocol))}});
+  }
+
   // Let registrations settle before the first measurement.
   events.run();
 }
@@ -48,9 +55,7 @@ MeasurementResults Session::run(const MeasurementSpec& spec,
   obs::Span span("session.measurement");
   span.set_attr("protocol", protocol);
   span.set_attr("mode", spec.mode == ProbeMode::kAnycast ? "anycast" : "unicast");
-  obs::Registry::global()
-      .counter("laces_session_measurements_total", {{"protocol", protocol}})
-      .add();
+  measurements_total_[static_cast<std::size_t>(spec.protocol)]->add();
   submit(spec, targets);
   network_.events().run();
   return cli_->take_results();

@@ -5,6 +5,7 @@
 // and drives measurements to completion on the simulated event loop.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "core/measurement.hpp"
 #include "core/orchestrator.hpp"
 #include "core/worker.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "topo/network.hpp"
 
@@ -52,6 +55,10 @@ class Session {
   std::unique_ptr<Orchestrator> orchestrator_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Cli> cli_;
+  // Per-protocol measurement counters, registered once at construction so
+  // run() never takes the registry mutex (registry references stay valid
+  // across Registry::reset()).
+  std::array<obs::Counter*, net::kAllProtocols.size()> measurements_total_{};
 };
 
 }  // namespace laces::core

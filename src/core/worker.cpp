@@ -171,11 +171,11 @@ void Worker::on_datagram(const net::Datagram& datagram, SimTime rx_time) {
 
   // Precise RTT only for our own probes (we hold the transmit state).
   if (parsed->encoding.worker && *parsed->encoding.worker == id_) {
-    const auto it = a.pending_tx.find(pending_key(parsed->target));
-    if (it != a.pending_tx.end()) {
-      rec.rtt = rx_time - it->second;
+    const std::uint64_t key = pending_key(parsed->target);
+    if (const SimTime* tx = a.pending_tx.find(key)) {
+      rec.rtt = rx_time - *tx;
       a.rtt_histogram->observe(rec.rtt->to_millis());
-      a.pending_tx.erase(it);
+      a.pending_tx.erase(key);
     }
   }
   a.responses_counter->add();

@@ -10,7 +10,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/channel.hpp"
@@ -18,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "topo/network.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace laces::core {
@@ -50,7 +50,7 @@ class Worker {
     StartMeasurement start;
     net::IpAddress source;
     std::vector<std::uint64_t> interfaces;
-    std::unordered_map<std::uint64_t, SimTime> pending_tx;  // RTT state
+    FlatMap64<SimTime> pending_tx;  // RTT state, touched once per probe
     std::vector<ProbeRecord> buffer;
     std::uint64_t probes_sent_delta = 0;
     std::uint64_t scheduled_unsent = 0;

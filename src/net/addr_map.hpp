@@ -1,0 +1,64 @@
+// Address-keyed hash map with an exact integer fast path for IPv4.
+//
+// The per-packet hot path looks up every datagram's destination in a
+// SimNetwork/World address table. Almost all simulated traffic is IPv4,
+// whose 32-bit value packs losslessly into a FlatMap64 key — no variant
+// hashing, no node allocation, no pointer chase. IPv6 addresses (128
+// bits, can't be packed exactly) fall back to the std::unordered_map
+// path. The split is exact in both directions, so lookups behave
+// identically to a single unordered_map over IpAddress.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "util/flat_map.hpp"
+
+namespace laces::net {
+
+template <typename Value>
+class AddrMap {
+ public:
+  std::size_t size() const { return v4_.size() + v6_.size(); }
+  bool empty() const { return v4_.empty() && v6_.empty(); }
+
+  Value* find(const IpAddress& addr) {
+    if (addr.is_v4()) return v4_.find(v4_key(addr));
+    const auto it = v6_.find(addr);
+    return it == v6_.end() ? nullptr : &it->second;
+  }
+  const Value* find(const IpAddress& addr) const {
+    if (addr.is_v4()) return v4_.find(v4_key(addr));
+    const auto it = v6_.find(addr);
+    return it == v6_.end() ? nullptr : &it->second;
+  }
+
+  /// Default-construct on first access, like std::unordered_map.
+  Value& operator[](const IpAddress& addr) {
+    if (addr.is_v4()) return v4_[v4_key(addr)];
+    return v6_[addr];
+  }
+
+  bool erase(const IpAddress& addr) {
+    if (addr.is_v4()) return v4_.erase(v4_key(addr));
+    return v6_.erase(addr) > 0;
+  }
+
+  void clear() {
+    v4_.clear();
+    v6_.clear();
+  }
+
+ private:
+  /// Bit 32 keeps the packed key family-tagged; FlatMap64 accepts any
+  /// 64-bit key (including 0), this just documents the key space.
+  static std::uint64_t v4_key(const IpAddress& addr) {
+    return (1ULL << 32) | addr.v4().value();
+  }
+
+  FlatMap64<Value> v4_;
+  std::unordered_map<IpAddress, Value, IpAddressHash> v6_;
+};
+
+}  // namespace laces::net

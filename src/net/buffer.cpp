@@ -1,0 +1,29 @@
+#include "net/buffer.hpp"
+
+#include <algorithm>
+
+namespace laces::net {
+
+SharedBytes::SharedBytes(std::span<const std::uint8_t> data)
+    : size_(data.size()) {
+  if (size_ == 0) return;
+  data_ = std::make_shared_for_overwrite<std::uint8_t[]>(size_);
+  std::copy(data.begin(), data.end(), data_.get());
+}
+
+void SharedBytes::ensure_unique(std::size_t new_size) {
+  if (data_ != nullptr && data_.use_count() == 1 && new_size == size_) return;
+  auto fresh = std::make_shared_for_overwrite<std::uint8_t[]>(
+      new_size > 0 ? new_size : 1);
+  std::copy(data_.get(), data_.get() + std::min(size_, new_size), fresh.get());
+  data_ = std::move(fresh);
+  size_ = new_size;
+}
+
+void SharedBytes::push_back(std::uint8_t b) {
+  const std::size_t old = size_;
+  ensure_unique(size_ + 1);
+  data_.get()[old] = b;
+}
+
+}  // namespace laces::net

@@ -1,0 +1,65 @@
+// Refcounted packet byte buffer.
+//
+// A Datagram is captured by value in 2-3 nested simulator events on its way
+// from sender to receiver (propagation, internal forwarding, delivery); with
+// a plain std::vector payload each capture deep-copied the whole packet.
+// SharedBytes makes that copy a refcount bump: the wire bytes live in one
+// shared allocation and every in-flight copy of the Datagram aliases it.
+//
+// The buffer is logically immutable after construction. The few mutating
+// accessors (tests corrupting a checksum byte, appending trailing garbage)
+// are copy-on-write, so aliased packets are never affected.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace laces::net {
+
+/// Cheaply copyable, copy-on-write byte buffer (wire bytes of one packet).
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  /// Copies `data` into one exact-sized shared allocation.
+  explicit SharedBytes(std::span<const std::uint8_t> data);
+  /// Implicit from a built packet (e.g. ByteWriter::take()).
+  SharedBytes(const std::vector<std::uint8_t>& v)  // NOLINT: implicit
+      : SharedBytes(std::span<const std::uint8_t>(v)) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* data() const { return data_.get(); }
+
+  std::span<const std::uint8_t> view() const { return {data_.get(), size_}; }
+  operator std::span<const std::uint8_t>() const { return view(); }  // NOLINT
+
+  std::uint8_t operator[](std::size_t i) const { return data_.get()[i]; }
+  /// Mutable access; clones the buffer first if it is aliased (CoW).
+  std::uint8_t& operator[](std::size_t i) {
+    ensure_unique(size_);
+    return data_.get()[i];
+  }
+  /// Appends one byte (CoW; test/diagnostic use, not a hot path).
+  void push_back(std::uint8_t b);
+
+  /// Number of Datagram copies aliasing this allocation (test support).
+  long use_count() const { return data_.use_count(); }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.data(), a.data() + a.size_, b.data());
+  }
+
+ private:
+  /// Re-allocate privately owned storage of `new_size` bytes, copying the
+  /// current contents, unless already unshared and large enough.
+  void ensure_unique(std::size_t new_size);
+
+  std::shared_ptr<std::uint8_t[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace laces::net

@@ -4,12 +4,32 @@
 #include "util/contracts.hpp"
 
 namespace laces::net {
+namespace {
+
+/// One scratch vector recycled across every packet build: headers and
+/// payload are assembled here, then copied once into the Datagram's shared
+/// allocation. After warm-up a packet build performs exactly one
+/// (exact-sized) allocation — the SharedBytes block itself.
+std::vector<std::uint8_t>& packet_scratch() {
+  thread_local std::vector<std::uint8_t> scratch;
+  return scratch;
+}
+
+/// Seal the assembled packet: copy into a SharedBytes and hand the scratch
+/// capacity back for the next build.
+SharedBytes seal(ByteWriter&& w) {
+  SharedBytes bytes(w.view());
+  packet_scratch() = w.take();
+  return bytes;
+}
+
+}  // namespace
 
 std::span<const std::uint8_t> Datagram::l4() const {
   const std::size_t hdr =
       version() == IpVersion::kV4 ? Ipv4Header::kSize : Ipv6Header::kSize;
   expects(bytes.size() >= hdr, "datagram shorter than IP header");
-  return std::span(bytes).subspan(hdr);
+  return bytes.view().subspan(hdr);
 }
 
 Datagram make_datagram_v4(Ipv4Address src, Ipv4Address dst,
@@ -17,7 +37,7 @@ Datagram make_datagram_v4(Ipv4Address src, Ipv4Address dst,
                           std::span<const std::uint8_t> l4_payload,
                           std::uint8_t ttl, std::uint16_t identification) {
   expects(l4_payload.size() + Ipv4Header::kSize <= 0xffff, "v4 size limit");
-  ByteWriter w;
+  ByteWriter w(std::move(packet_scratch()));
   w.u8(0x45);  // version 4, IHL 5
   w.u8(0);     // TOS
   w.u16(static_cast<std::uint16_t>(Ipv4Header::kSize + l4_payload.size()));
@@ -31,7 +51,7 @@ Datagram make_datagram_v4(Ipv4Address src, Ipv4Address dst,
   w.u32(dst.value());
   w.patch_u16(cksum_off, internet_checksum(w.view()));
   w.bytes(l4_payload);
-  return Datagram{src, dst, protocol, w.take()};
+  return Datagram{src, dst, protocol, seal(std::move(w))};
 }
 
 Datagram make_datagram_v6(const Ipv6Address& src, const Ipv6Address& dst,
@@ -39,7 +59,7 @@ Datagram make_datagram_v6(const Ipv6Address& src, const Ipv6Address& dst,
                           std::span<const std::uint8_t> l4_payload,
                           std::uint8_t hop_limit) {
   expects(l4_payload.size() <= 0xffff, "v6 payload size limit");
-  ByteWriter w;
+  ByteWriter w(std::move(packet_scratch()));
   w.u32(std::uint32_t{6} << 28);  // version 6, TC 0, flow label 0
   w.u16(static_cast<std::uint16_t>(l4_payload.size()));
   w.u8(next_header);
@@ -49,7 +69,7 @@ Datagram make_datagram_v6(const Ipv6Address& src, const Ipv6Address& dst,
   w.u64(dst.hi());
   w.u64(dst.lo());
   w.bytes(l4_payload);
-  return Datagram{src, dst, next_header, w.take()};
+  return Datagram{src, dst, next_header, seal(std::move(w))};
 }
 
 std::optional<Datagram> parse_datagram(std::span<const std::uint8_t> wire) {
@@ -74,8 +94,7 @@ std::optional<Datagram> parse_datagram(std::span<const std::uint8_t> wire) {
       if (internet_checksum(wire.subspan(0, Ipv4Header::kSize)) != 0) {
         return std::nullopt;
       }
-      return Datagram{src, dst, protocol,
-                      std::vector<std::uint8_t>(wire.begin(), wire.end())};
+      return Datagram{src, dst, protocol, SharedBytes(wire)};
     }
     if (version == 6) {
       if (wire.size() < Ipv6Header::kSize) return std::nullopt;
@@ -91,8 +110,7 @@ std::optional<Datagram> parse_datagram(std::span<const std::uint8_t> wire) {
       const std::uint64_t dst_hi = r.u64();
       const std::uint64_t dst_lo = r.u64();
       return Datagram{Ipv6Address(src_hi, src_lo), Ipv6Address(dst_hi, dst_lo),
-                      next_header,
-                      std::vector<std::uint8_t>(wire.begin(), wire.end())};
+                      next_header, SharedBytes(wire)};
     }
   } catch (const DecodeError&) {
     return std::nullopt;

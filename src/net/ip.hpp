@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "net/buffer.hpp"
 #include "net/protocol.hpp"
 #include "util/bytes.hpp"
 
@@ -42,11 +43,15 @@ struct Ipv6Header {
 };
 
 /// A fully serialized IP datagram plus its parsed header fields.
+///
+/// Copying a Datagram is cheap: the wire bytes are refcounted
+/// (net::SharedBytes), so the 2-3 per-packet simulator events that capture
+/// one by value alias a single allocation instead of deep-copying it.
 struct Datagram {
   IpAddress src;
   IpAddress dst;
   std::uint8_t ip_protocol = 0;
-  std::vector<std::uint8_t> bytes;  // full packet, IP header included
+  SharedBytes bytes;  // full packet, IP header included
 
   IpVersion version() const { return src.version(); }
   /// The L4 payload (view into `bytes`).

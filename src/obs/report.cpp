@@ -93,6 +93,33 @@ std::string classification_section(const MetricsSnapshot& metrics) {
   return "Classifications\n" + table.render();
 }
 
+std::string routing_cache_section(const MetricsSnapshot& metrics) {
+  struct CacheRow {
+    const char* label;
+    const char* hits_metric;
+    const char* misses_metric;
+  };
+  static constexpr CacheRow kCaches[] = {
+      {"delay base", "laces_routing_delay_cache_hits_total",
+       "laces_routing_delay_cache_misses_total"},
+      {"catchment ranking", "laces_routing_catchment_cache_hits_total",
+       "laces_routing_catchment_cache_misses_total"},
+  };
+  TextTable table({"Cache", "Hits", "Misses", "Hit rate"});
+  bool any = false;
+  for (const auto& cache : kCaches) {
+    const double hits = metrics.value(cache.hits_metric);
+    const double misses = metrics.value(cache.misses_metric);
+    if (hits == 0.0 && misses == 0.0) continue;
+    any = true;
+    table.add_row({cache.label, with_commas(static_cast<std::int64_t>(hits)),
+                   with_commas(static_cast<std::int64_t>(misses)),
+                   pct(hits, hits + misses)});
+  }
+  if (!any) return "";
+  return "Routing cache effectiveness\n" + table.render();
+}
+
 }  // namespace
 
 std::string render_run_report(const MetricsSnapshot& metrics,
@@ -108,7 +135,7 @@ std::string render_run_report(const MetricsSnapshot& metrics,
   }
   for (const auto& section :
        {stage_section(spans), probe_section(metrics), rate_section(metrics),
-        classification_section(metrics)}) {
+        classification_section(metrics), routing_cache_section(metrics)}) {
     if (!section.empty()) out += "\n" + section;
   }
   return out;

@@ -140,24 +140,26 @@ std::vector<AsId> AsGraph::path(AsId from, AsId to) const {
 
 const std::vector<std::uint16_t>& AsGraph::hops_from(AsId src) const {
   expects(src < nodes_.size(), "valid AS id");
-  auto it = bfs_cache_.find(src);
-  if (it != bfs_cache_.end()) return it->second;
+  if (bfs_cache_.empty()) bfs_cache_.resize(nodes_.size());
+  if (const auto& cached = bfs_cache_[src]) return *cached;
 
-  std::vector<std::uint16_t> dist(nodes_.size(), kUnreachable);
+  auto dist = std::make_unique<std::vector<std::uint16_t>>(nodes_.size(),
+                                                           kUnreachable);
   std::deque<AsId> queue;
-  dist[src] = 0;
+  (*dist)[src] = 0;
   queue.push_back(src);
   while (!queue.empty()) {
     const AsId cur = queue.front();
     queue.pop_front();
     for (AsId next : nodes_[cur].neighbors) {
-      if (dist[next] == kUnreachable) {
-        dist[next] = static_cast<std::uint16_t>(dist[cur] + 1);
+      if ((*dist)[next] == kUnreachable) {
+        (*dist)[next] = static_cast<std::uint16_t>((*dist)[cur] + 1);
         queue.push_back(next);
       }
     }
   }
-  return bfs_cache_.emplace(src, std::move(dist)).first->second;
+  bfs_cache_[src] = std::move(dist);
+  return *bfs_cache_[src];
 }
 
 }  // namespace laces::topo

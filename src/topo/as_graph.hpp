@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "geo/cities.hpp"
@@ -64,7 +63,10 @@ class AsGraph {
 
  private:
   std::vector<AsNode> nodes_;
-  mutable std::unordered_map<AsId, std::vector<std::uint16_t>> bfs_cache_;
+  /// Indexed by source AS id (sized on first use). hops() sits under every
+  /// catchment score, so the cached-row lookup must be one array index,
+  /// not a hash probe.
+  mutable std::vector<std::unique_ptr<std::vector<std::uint16_t>>> bfs_cache_;
 };
 
 }  // namespace laces::topo

@@ -38,6 +38,17 @@ SimNetwork::SimNetwork(const World& world, EventQueue& events,
                        NetworkConfig config)
     : world_(world), events_(events), config_(config) {}
 
+void SimNetwork::rebuild_view(LocalAddress& local) {
+  local.view.id = local.pseudo_id;
+  local.view.kind = DeploymentKind::kAnycastGlobal;
+  local.view.pops.clear();
+  local.view.pops.reserve(local.endpoints.size());
+  for (const auto& ep : local.endpoints) {
+    local.view.pops.push_back(Pop{ep.attach, {}});
+  }
+  local.catchment.clear();
+}
+
 std::uint64_t SimNetwork::attach(const net::IpAddress& addr,
                                  const AttachPoint& attach, RxHandler handler) {
   auto& local = local_[addr];
@@ -46,23 +57,33 @@ std::uint64_t SimNetwork::attach(const net::IpAddress& addr,
   // reproduces the same catchments, as real BGP does.
   if (local.endpoints.empty()) {
     local.pseudo_id = static_cast<DeploymentId>(
-        0x40000000u | (net::hash_value(addr) & 0x3fffffffu));
+        kPseudoDeploymentIdBase | (net::hash_value(addr) & 0x3fffffffu));
   }
   const std::uint64_t id = next_interface_id_++;
   local.endpoints.push_back(Endpoint{id, attach, std::move(handler)});
+  rebuild_view(local);
+  iface_addr_.insert_or_assign(id, addr);
   return id;
 }
 
 void SimNetwork::detach(std::uint64_t interface_id) {
-  for (auto it = local_.begin(); it != local_.end(); ++it) {
-    auto& eps = it->second.endpoints;
-    for (std::size_t i = 0; i < eps.size(); ++i) {
-      if (eps[i].id == interface_id) {
-        eps.erase(eps.begin() + static_cast<std::ptrdiff_t>(i));
-        if (eps.empty()) local_.erase(it);
-        return;
-      }
+  const net::IpAddress* found = iface_addr_.find(interface_id);
+  if (found == nullptr) return;
+  const net::IpAddress addr = *found;
+  iface_addr_.erase(interface_id);
+  LocalAddress* local = local_.find(addr);
+  if (local == nullptr) return;
+  auto& eps = local->endpoints;
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    if (eps[i].id == interface_id) {
+      eps.erase(eps.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
     }
+  }
+  if (eps.empty()) {
+    local_.erase(addr);
+  } else {
+    rebuild_view(*local);
   }
 }
 
@@ -81,8 +102,9 @@ void SimNetwork::send(const net::Datagram& datagram, const AttachPoint& from) {
   ++packets_sent_;
   const std::uint64_t salt = next_salt_++;
   if (drop_packet(salt)) return;
-  if (local_.contains(datagram.dst)) {
-    deliver_local(datagram, from, salt);
+  // One hash lookup decides local-vs-target and hands the entry onward.
+  if (const LocalAddress* local = local_.find(datagram.dst)) {
+    deliver_local(*local, datagram, from, salt);
   } else {
     deliver_to_target(datagram, from, salt);
   }
@@ -90,38 +112,37 @@ void SimNetwork::send(const net::Datagram& datagram, const AttachPoint& from) {
 
 void SimNetwork::deliver_local(const net::Datagram& datagram,
                                const AttachPoint& from, std::uint64_t salt) {
-  const auto it = local_.find(datagram.dst);
-  if (it == local_.end() || it->second.endpoints.empty()) return;
-  auto& local = it->second;
+  const LocalAddress* local = local_.find(datagram.dst);
+  if (local == nullptr) return;
+  deliver_local(*local, datagram, from, salt);
+}
+
+void SimNetwork::deliver_local(const LocalAddress& local,
+                               const net::Datagram& datagram,
+                               const AttachPoint& from, std::uint64_t salt) {
+  if (local.endpoints.empty()) return;
 
   std::size_t choice = 0;
   if (local.endpoints.size() > 1) {
-    // Catchment selection over the sites announcing this address — built as
-    // a transient deployment view for the routing model.
-    Deployment view;
-    view.id = local.pseudo_id;
-    view.kind = DeploymentKind::kAnycastGlobal;
-    view.pops.reserve(local.endpoints.size());
-    for (const auto& ep : local.endpoints) {
-      view.pops.push_back(Pop{ep.attach, {}});
-    }
+    // Catchment selection over the sites announcing this address, using the
+    // deployment view maintained on attach/detach.
     const std::uint64_t fh = flow_hash_of(datagram);
     choice = world_.routing()
-                 .select_pop(from, view, day_, events_.now(), fh,
-                             next_flow_seq(fh ^ local.pseudo_id))
+                 .select_pop(from, local.view, day_, events_.now(), fh,
+                             next_flow_seq(fh ^ local.pseudo_id),
+                             local.catchment)
                  .pop_index;
   }
 
   const Endpoint& ep = local.endpoints[choice];
   const std::uint64_t ep_id = ep.id;
   const SimDuration delay =
-      world_.routing().one_way_delay(from, ep.attach, salt);
-  const net::IpAddress addr = datagram.dst;
-  events_.schedule_after(delay, [this, datagram, addr, ep_id]() {
+      world_.routing().one_way_delay(from, ep.attach, salt, route_caches_);
+  events_.schedule_after(delay, [this, datagram, ep_id]() {
     // Re-resolve: the interface may have detached while in flight (R5).
-    const auto addr_it = local_.find(addr);
-    if (addr_it == local_.end()) return;
-    for (const auto& candidate : addr_it->second.endpoints) {
+    const LocalAddress* addr = local_.find(datagram.dst);
+    if (addr == nullptr) return;
+    for (const auto& candidate : addr->endpoints) {
       if (candidate.id == ep_id) {
         ++deliveries_;
         candidate.handler(datagram, events_.now());
@@ -148,11 +169,11 @@ void SimNetwork::deliver_to_target(const net::Datagram& datagram,
   }
 
   const std::uint64_t fh = flow_hash_of(datagram);
-  const auto ingress = world_.routing().select_pop(
-      from, *dep, day_, events_.now(), fh, next_flow_seq(fh ^ dep->id));
-  const SimDuration d1 =
-      world_.routing().one_way_delay(from, dep->pops[ingress.pop_index].attach,
-                                     salt);
+  const auto ingress =
+      world_.routing().select_pop(from, *dep, day_, events_.now(), fh,
+                                  next_flow_seq(fh ^ dep->id), route_caches_);
+  const SimDuration d1 = world_.routing().one_way_delay(
+      from, dep->pops[ingress.pop_index].attach, salt, route_caches_);
 
   const DeploymentId dep_id = dep->id;
   const std::size_t ingress_pop = ingress.pop_index;
@@ -170,12 +191,14 @@ void SimNetwork::deliver_to_target(const net::Datagram& datagram,
     if (d.kind == DeploymentKind::kGlobalBgpUnicast) {
       serve_pop = d.home_pop;
       egress = world_.routing().egress_pop(d, ingress_pop);
-      internal = world_.routing().one_way_delay(
-          d.pops[ingress_pop].attach, d.pops[d.home_pop].attach, salt ^ 0x1);
+      internal = world_.routing().one_way_delay(d.pops[ingress_pop].attach,
+                                                d.pops[d.home_pop].attach,
+                                                salt ^ 0x1, route_caches_);
       if (egress != d.home_pop) {
         internal = internal + world_.routing().one_way_delay(
                                   d.pops[d.home_pop].attach,
-                                  d.pops[egress].attach, salt ^ 0x2);
+                                  d.pops[egress].attach, salt ^ 0x2,
+                                  route_caches_);
       }
     }
 
@@ -183,11 +206,15 @@ void SimNetwork::deliver_to_target(const net::Datagram& datagram,
     const bool is_icmp = datagram.ip_protocol == 1 || datagram.ip_protocol == 58;
     if (is_icmp && config_.rate_limit_drop > 0.0) {
       const std::uint64_t key = target_pop_key(tgt->address, serve_pop);
-      const auto last = last_arrival_.find(key);
+      SimTime* last = last_arrival_.find(key);
       const SimTime now = events_.now();
-      const bool too_fast = last != last_arrival_.end() &&
-                            now - last->second < config_.rate_limit_window;
-      last_arrival_[key] = now;
+      const bool too_fast =
+          last != nullptr && now - *last < config_.rate_limit_window;
+      if (last != nullptr) {
+        *last = now;
+      } else {
+        last_arrival_.insert_or_assign(key, now);
+      }
       if (too_fast) {
         StableHash h(0x2a7e);
         h.mix(salt).mix(key);

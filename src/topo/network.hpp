@@ -10,12 +10,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "net/addr_map.hpp"
 #include "net/ip.hpp"
 #include "topo/world.hpp"
 #include "util/event_queue.hpp"
+#include "util/flat_map.hpp"
 
 namespace laces::topo {
 
@@ -56,7 +57,10 @@ class SimNetwork {
   /// target's response (if any) is routed and delivered asynchronously.
   void send(const net::Datagram& datagram, const AttachPoint& from);
 
-  /// The census day, gating temporary anycast and daily churn.
+  /// The census day, gating temporary anycast and daily churn. Routing
+  /// caches deliberately persist across days: cached values are pure
+  /// functions of the immutable world, so later census days of a
+  /// longitudinal run reuse the catchments and delays of earlier ones.
   void set_day(std::uint32_t day) { day_ = day; }
   std::uint32_t day() const { return day_; }
 
@@ -78,10 +82,20 @@ class SimNetwork {
   struct LocalAddress {
     std::vector<Endpoint> endpoints;
     DeploymentId pseudo_id = 0;  // perturbation identity for catchments
+    /// Catchment view over `endpoints`, rebuilt on attach/detach so the
+    /// per-packet hot path never allocates a transient Deployment.
+    Deployment view;
+    /// Per-sender ranking memo for `view`, invalidated whenever the
+    /// endpoint set changes (owned here, not in RoutingModel, so two
+    /// addresses can never alias each other's rankings).
+    mutable FlatMap64<RoutingModel::Ranking> catchment;
   };
 
+  static void rebuild_view(LocalAddress& local);
   void deliver_local(const net::Datagram& datagram, const AttachPoint& from,
                      std::uint64_t salt);
+  void deliver_local(const LocalAddress& local, const net::Datagram& datagram,
+                     const AttachPoint& from, std::uint64_t salt);
   void deliver_to_target(const net::Datagram& datagram,
                          const AttachPoint& from, std::uint64_t salt);
   std::uint64_t next_flow_seq(std::uint64_t flow_hash);
@@ -90,13 +104,17 @@ class SimNetwork {
   const World& world_;
   EventQueue& events_;
   NetworkConfig config_;
+  /// Per-run routing memoization (see RoutingModel::Caches): cold at
+  /// construction, warm across census days of this network's lifetime.
+  mutable RoutingModel::Caches route_caches_;
   std::uint32_t day_ = 0;
   std::uint64_t next_interface_id_ = 1;
   std::uint64_t next_salt_ = 1;
-  std::unordered_map<net::IpAddress, LocalAddress, net::IpAddressHash> local_;
-  std::unordered_map<std::uint64_t, std::uint64_t> flow_seq_;
-  std::unordered_map<std::uint64_t, SimTime> last_arrival_;  // per target
-  std::unordered_map<std::uint64_t, std::uint64_t> chaos_rotation_;
+  net::AddrMap<LocalAddress> local_;
+  FlatMap64<net::IpAddress> iface_addr_;  // interface id -> announced addr
+  FlatMap64<std::uint64_t> flow_seq_;
+  FlatMap64<SimTime> last_arrival_;  // per target
+  FlatMap64<std::uint64_t> chaos_rotation_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t responses_generated_ = 0;
   std::uint64_t deliveries_ = 0;

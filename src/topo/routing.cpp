@@ -22,12 +22,29 @@ std::uint64_t attach_key(const AttachPoint& p) {
   return (std::uint64_t{p.city} << 32) | p.upstream;
 }
 
+/// Exact (collision-free) cache key for an ordered attach-point pair.
+/// City and AS ids each fit 16 bits (asserted at model construction), so
+/// the pair packs into one 64-bit key and a cache hit can never alias a
+/// different pair — a prerequisite for byte-identical same-seed output.
+std::uint64_t pair_key(const AttachPoint& a, const AttachPoint& b) {
+  return (std::uint64_t{a.city} << 48) | (std::uint64_t{a.upstream} << 32) |
+         (std::uint64_t{b.city} << 16) | std::uint64_t{b.upstream};
+}
+
+/// Exact cache key for (attach point, deployment).
+std::uint64_t catchment_key(const AttachPoint& from, DeploymentId dep) {
+  return (std::uint64_t{from.city} << 48) |
+         (std::uint64_t{from.upstream} << 32) | std::uint64_t{dep};
+}
+
 }  // namespace
 
 RoutingModel::RoutingModel(const AsGraph& graph, RoutingConfig config)
     : graph_(graph), config_(config) {
   const auto cities = geo::world_cities();
   city_count_ = cities.size();
+  expects(city_count_ < 0x10000 && graph_.size() < 0x10000,
+          "city/AS ids must fit 16 bits for exact routing-cache keys");
   city_dist_.resize(city_count_ * city_count_);
   for (std::size_t i = 0; i < city_count_; ++i) {
     for (std::size_t j = i; j < city_count_; ++j) {
@@ -37,6 +54,14 @@ RoutingModel::RoutingModel(const AsGraph& graph, RoutingConfig config)
       city_dist_[j * city_count_ + i] = d;
     }
   }
+  auto& registry = obs::Registry::global();
+  delay_cache_hits_ = &registry.counter("laces_routing_delay_cache_hits_total");
+  delay_cache_misses_ =
+      &registry.counter("laces_routing_delay_cache_misses_total");
+  catchment_cache_hits_ =
+      &registry.counter("laces_routing_catchment_cache_hits_total");
+  catchment_cache_misses_ =
+      &registry.counter("laces_routing_catchment_cache_misses_total");
 }
 
 double RoutingModel::city_distance_km(geo::CityId a, geo::CityId b) const {
@@ -68,37 +93,15 @@ bool RoutingModel::flip_active(const AttachPoint& from, DeploymentId dep,
          config_.route_flip_probability;
 }
 
-PopChoice RoutingModel::select_pop(const AttachPoint& from,
-                                   const Deployment& dep, std::uint32_t day,
-                                   SimTime when, std::uint64_t flow_hash,
-                                   std::uint64_t packet_seq) const {
-  expects(!dep.pops.empty(), "deployment has PoPs");
+PopChoice RoutingModel::finish_choice(const AttachPoint& from,
+                                      const Deployment& dep, SimTime when,
+                                      std::uint64_t flow_hash,
+                                      std::uint64_t packet_seq,
+                                      Ranking ranking) const {
   PopChoice choice;
-
-  // Temporary anycast that is inactive today is served from its home PoP.
-  if (dep.kind == DeploymentKind::kTemporaryAnycast &&
-      !dep.anycast_active(day)) {
-    choice.pop_index = dep.home_pop;
-    return choice;
-  }
-  if (dep.pops.size() == 1) return choice;
-
-  // Single pass for the best and second-best PoP by catchment score.
-  std::size_t best = 0, second = 0;
-  double best_score = std::numeric_limits<double>::infinity();
-  double second_score = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < dep.pops.size(); ++i) {
-    const double s = score(from, dep.pops[i], dep.id);
-    if (s < best_score) {
-      second = best;
-      second_score = best_score;
-      best = i;
-      best_score = s;
-    } else if (s < second_score) {
-      second = i;
-      second_score = s;
-    }
-  }
+  std::size_t best = ranking.best, second = ranking.second;
+  double best_score = ranking.best_score;
+  double second_score = ranking.second_score;
 
   // Route flip: in affected windows the runner-up briefly wins.
   if (flip_active(from, dep.id, when)) {
@@ -128,6 +131,132 @@ PopChoice RoutingModel::select_pop(const AttachPoint& from,
   return choice;
 }
 
+PopChoice RoutingModel::select_pop(const AttachPoint& from,
+                                   const Deployment& dep, std::uint32_t day,
+                                   SimTime when, std::uint64_t flow_hash,
+                                   std::uint64_t packet_seq) const {
+  expects(!dep.pops.empty(), "deployment has PoPs");
+
+  // Temporary anycast that is inactive today is served from its home PoP.
+  if (dep.kind == DeploymentKind::kTemporaryAnycast &&
+      !dep.anycast_active(day)) {
+    PopChoice choice;
+    choice.pop_index = dep.home_pop;
+    return choice;
+  }
+  if (dep.pops.size() == 1) return PopChoice{};
+
+  return finish_choice(from, dep, when, flow_hash, packet_seq,
+                       scan_pops(from, dep));
+}
+
+PopChoice RoutingModel::select_pop(const AttachPoint& from,
+                                   const Deployment& dep, std::uint32_t day,
+                                   SimTime when, std::uint64_t flow_hash,
+                                   std::uint64_t packet_seq,
+                                   Caches& caches) const {
+  expects(!dep.pops.empty(), "deployment has PoPs");
+  if (dep.kind == DeploymentKind::kTemporaryAnycast &&
+      !dep.anycast_active(day)) {
+    PopChoice choice;
+    choice.pop_index = dep.home_pop;
+    return choice;
+  }
+  if (dep.pops.size() == 1) return PopChoice{};
+
+  return finish_choice(from, dep, when, flow_hash, packet_seq,
+                       rank_pops(from, dep, caches));
+}
+
+PopChoice RoutingModel::select_pop(const AttachPoint& from,
+                                   const Deployment& dep, std::uint32_t day,
+                                   SimTime when, std::uint64_t flow_hash,
+                                   std::uint64_t packet_seq,
+                                   FlatMap64<Ranking>& cache) const {
+  expects(!dep.pops.empty(), "deployment has PoPs");
+  if (dep.kind == DeploymentKind::kTemporaryAnycast &&
+      !dep.anycast_active(day)) {
+    PopChoice choice;
+    choice.pop_index = dep.home_pop;
+    return choice;
+  }
+  if (dep.pops.size() == 1) return PopChoice{};
+
+  Ranking ranking;
+  if (const Ranking* hit = cache.find(attach_key(from))) {
+    catchment_cache_hits_->add();
+    ranking = *hit;
+  } else {
+    catchment_cache_misses_->add();
+    ranking = scan_pops(from, dep);
+    cache.insert_or_assign(attach_key(from), ranking);
+  }
+  return finish_choice(from, dep, when, flow_hash, packet_seq, ranking);
+}
+
+RoutingModel::Ranking RoutingModel::rank_pops(const AttachPoint& from,
+                                              const Deployment& dep,
+                                              Caches& caches) const {
+  // Transient pseudo-deployments (locally announced addresses) change
+  // their PoP set on attach/detach; only immutable World deployments are
+  // safe to memoize per (from, dep.id). Transient callers use the
+  // select_pop overload with a caller-owned per-address cache instead.
+  if (dep.id >= kPseudoDeploymentIdBase) return scan_pops(from, dep);
+  const std::uint64_t key = catchment_key(from, dep.id);
+  if (const Ranking* hit = caches.catchment.find(key)) {
+    catchment_cache_hits_->add();
+    return *hit;
+  }
+  catchment_cache_misses_->add();
+  const Ranking r = scan_pops(from, dep);
+  caches.catchment.insert_or_assign(key, r);
+  return r;
+}
+
+RoutingModel::Ranking RoutingModel::scan_pops(const AttachPoint& from,
+                                              const Deployment& dep) const {
+  // Single pass for the best and second-best PoP by catchment score.
+  // Everything that depends only on `from` is hoisted out of the loop: the
+  // BFS hop row, the city-distance row, and the hash state of the perturb
+  // after mixing the sender key. The per-PoP arithmetic below reproduces
+  // score() bit for bit (same operations, same association order), which
+  // the PerPopArithmeticMatchesScore test pins down.
+  const auto& hop_row = graph_.hops_from(from.upstream);
+  const float* dist_row =
+      &city_dist_[static_cast<std::size_t>(from.city) * city_count_];
+  StableHash perturb_prefix(config_.seed ^ 0x7e27);
+  perturb_prefix.mix(attach_key(from));
+  const std::uint64_t dep_id = dep.id;
+
+  Ranking r;
+  double best_score = std::numeric_limits<double>::infinity();
+  double second_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dep.pops.size(); ++i) {
+    const Pop& pop = dep.pops[i];
+    const std::uint16_t hops = hop_row[pop.attach.upstream];
+    const double hop_cost =
+        hops == AsGraph::kUnreachable
+            ? 1e9
+            : static_cast<double>(hops) * config_.hop_weight_km;
+    const double geo_cost = dist_row[pop.attach.city];
+    StableHash h = perturb_prefix;  // state after seed + sender key
+    h.mix(attach_key(pop.attach)).mix(dep_id).mix(std::uint64_t{0});
+    const double s = hop_cost + geo_cost + h.unit() * config_.perturb_km;
+    if (s < best_score) {
+      r.second = r.best;
+      second_score = best_score;
+      r.best = static_cast<std::uint32_t>(i);
+      best_score = s;
+    } else if (s < second_score) {
+      r.second = static_cast<std::uint32_t>(i);
+      second_score = s;
+    }
+  }
+  r.best_score = best_score;
+  r.second_score = second_score;
+  return r;
+}
+
 std::size_t RoutingModel::egress_pop(const Deployment& dep,
                                      std::size_t ingress_pop) const {
   expects(dep.kind == DeploymentKind::kGlobalBgpUnicast, "GBU deployment");
@@ -137,9 +266,8 @@ std::size_t RoutingModel::egress_pop(const Deployment& dep,
   return local_egress ? ingress_pop : dep.home_pop;
 }
 
-SimDuration RoutingModel::one_way_delay(const AttachPoint& a,
-                                        const AttachPoint& b,
-                                        std::uint64_t packet_salt) const {
+double RoutingModel::delay_base_ms(const AttachPoint& a,
+                                   const AttachPoint& b) const {
   const double dist = city_distance_km(a.city, b.city);
   const double stretch =
       config_.stretch_min +
@@ -150,13 +278,43 @@ SimDuration RoutingModel::one_way_delay(const AttachPoint& a,
       hops == AsGraph::kUnreachable
           ? 0.0
           : static_cast<double>(hops + 1) * config_.hop_latency_ms;
+  // Same association order as the historical single-expression formula
+  // ((dist/v*stretch + hop_ms) + jitter), so memoization is bit-exact.
+  return dist / geo::kFibreKmPerMs * stretch + hop_ms;
+}
+
+SimDuration RoutingModel::one_way_delay(const AttachPoint& a,
+                                        const AttachPoint& b,
+                                        std::uint64_t packet_salt) const {
   // Exponential-ish jitter from a stable hash of the packet salt. Jitter is
   // strictly additive: delays never undercut light-in-fibre propagation.
   const double u = std::max(
       1e-12, stable_unit(config_.seed ^ 0x717be2, attach_key(a), attach_key(b),
                          packet_salt));
   const double jitter_ms = -config_.jitter_mean_ms * std::log(u);
-  const double ms = dist / geo::kFibreKmPerMs * stretch + hop_ms + jitter_ms;
+  const double ms = delay_base_ms(a, b) + jitter_ms;
+  return SimDuration::from_seconds(ms / 1e3);
+}
+
+SimDuration RoutingModel::one_way_delay(const AttachPoint& a,
+                                        const AttachPoint& b,
+                                        std::uint64_t packet_salt,
+                                        Caches& caches) const {
+  const std::uint64_t key = pair_key(a, b);
+  double base_ms;
+  if (const double* hit = caches.delay.find(key)) {
+    delay_cache_hits_->add();
+    base_ms = *hit;
+  } else {
+    delay_cache_misses_->add();
+    base_ms = delay_base_ms(a, b);
+    caches.delay.insert_or_assign(key, base_ms);
+  }
+  const double u = std::max(
+      1e-12, stable_unit(config_.seed ^ 0x717be2, attach_key(a), attach_key(b),
+                         packet_salt));
+  const double jitter_ms = -config_.jitter_mean_ms * std::log(u);
+  const double ms = base_ms + jitter_ms;
   return SimDuration::from_seconds(ms / 1e3);
 }
 

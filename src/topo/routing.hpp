@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "topo/as_graph.hpp"
 #include "topo/types.hpp"
+#include "util/flat_map.hpp"
 #include "util/simtime.hpp"
 
 namespace laces::topo {
@@ -74,6 +76,26 @@ class RoutingModel {
 
   const RoutingConfig& config() const { return config_; }
 
+  /// Best and runner-up PoP of a deployment for packets from one attach
+  /// point — the result of the full catchment scan over dep.pops.
+  struct Ranking {
+    std::uint32_t best = 0;
+    std::uint32_t second = 0;
+    double best_score = 0.0;
+    double second_score = 0.0;
+  };
+
+  /// Memoized routing state, owned by the caller (SimNetwork keeps one per
+  /// run). Every cached value is a pure function of the immutable world,
+  /// so any cache lifetime yields identical routed outcomes; per-run
+  /// ownership additionally makes the hit/miss telemetry deterministic (a
+  /// run always starts cold) while successive census days within one run
+  /// keep each other warm — the longitudinal fast path.
+  struct Caches {
+    FlatMap64<double> delay;       // attach-pair key -> base delay ms
+    FlatMap64<Ranking> catchment;  // (from, deployment) -> ranking
+  };
+
   /// Which PoP of `dep` receives a packet from `from`?
   /// `day` gates temporary anycast; `flow_hash` is a hash of the packet's
   /// flow headers only (§5.1.4); `packet_seq` is the per-flow packet
@@ -81,6 +103,21 @@ class RoutingModel {
   PopChoice select_pop(const AttachPoint& from, const Deployment& dep,
                        std::uint32_t day, SimTime when, std::uint64_t flow_hash,
                        std::uint64_t packet_seq) const;
+
+  /// select_pop with the full PoP scan memoized in `caches` (immutable
+  /// World deployments only; pseudo-deployment ids bypass the cache).
+  PopChoice select_pop(const AttachPoint& from, const Deployment& dep,
+                       std::uint32_t day, SimTime when, std::uint64_t flow_hash,
+                       std::uint64_t packet_seq, Caches& caches) const;
+
+  /// select_pop for a transient deployment (SimNetwork's view of a locally
+  /// announced address), whose rankings cannot go into the per-DeploymentId
+  /// cache: the caller owns `cache`, keyed by the sending attach point, and
+  /// must clear it whenever the PoP set changes.
+  PopChoice select_pop(const AttachPoint& from, const Deployment& dep,
+                       std::uint32_t day, SimTime when, std::uint64_t flow_hash,
+                       std::uint64_t packet_seq,
+                       FlatMap64<Ranking>& cache) const;
 
   /// For kGlobalBgpUnicast: the PoP where the response re-enters the
   /// Internet, given the PoP the probe ingressed at.
@@ -90,6 +127,10 @@ class RoutingModel {
   /// jitter per packet; everything else is stable per pair.
   SimDuration one_way_delay(const AttachPoint& a, const AttachPoint& b,
                             std::uint64_t packet_salt) const;
+
+  /// one_way_delay with the stable per-pair base memoized in `caches`.
+  SimDuration one_way_delay(const AttachPoint& a, const AttachPoint& b,
+                            std::uint64_t packet_salt, Caches& caches) const;
 
   /// Great-circle distance between two cities (precomputed matrix).
   double city_distance_km(geo::CityId a, geo::CityId b) const;
@@ -103,10 +144,34 @@ class RoutingModel {
   bool flip_active(const AttachPoint& from, DeploymentId dep,
                    SimTime when) const;
 
+  /// The stable (salt-independent) part of one_way_delay for a pair of
+  /// attach points: propagation * stretch + per-hop forwarding, in ms.
+  double delay_base_ms(const AttachPoint& a, const AttachPoint& b) const;
+
+  /// The full catchment scan over dep.pops, uncached. Produces bit-exactly
+  /// the ranking implied by score() for every PoP.
+  Ranking scan_pops(const AttachPoint& from, const Deployment& dep) const;
+  /// scan_pops through the (from, dep)-keyed cache when `dep` is an
+  /// immutable World deployment; straight scan otherwise.
+  Ranking rank_pops(const AttachPoint& from, const Deployment& dep,
+                    Caches& caches) const;
+  /// Flip + ECMP tie-breaking applied to a ranking (the shared tail of
+  /// all select_pop flavours).
+  PopChoice finish_choice(const AttachPoint& from, const Deployment& dep,
+                          SimTime when, std::uint64_t flow_hash,
+                          std::uint64_t packet_seq, Ranking ranking) const;
+
   const AsGraph& graph_;
   RoutingConfig config_;
   std::size_t city_count_;
   std::vector<float> city_dist_;  // row-major city distance matrix
+
+  // Cache telemetry (process-wide; the caches themselves live with the
+  // caller, see Caches).
+  obs::Counter* delay_cache_hits_ = nullptr;
+  obs::Counter* delay_cache_misses_ = nullptr;
+  obs::Counter* catchment_cache_hits_ = nullptr;
+  obs::Counter* catchment_cache_misses_ = nullptr;
 };
 
 }  // namespace laces::topo

@@ -28,6 +28,12 @@ using DeploymentId = std::uint32_t;
 
 inline constexpr AsId kNoAs = ~AsId{0};
 
+/// DeploymentIds at or above this value are transient pseudo-deployments
+/// (SimNetwork's view of a locally announced address, derived from the
+/// address hash). Their PoP sets change on attach/detach, so per-deployment
+/// routing caches must skip them; real World deployments always sit below.
+inline constexpr DeploymentId kPseudoDeploymentIdBase = 0x40000000u;
+
 /// Where a host or PoP physically and topologically sits.
 struct AttachPoint {
   geo::CityId city = 0;

@@ -184,7 +184,10 @@ class WorldBuilder {
     t.responder = std::move(responder);
     t.representative = representative;
     t.backing_deployment = backing;
-    w_.target_index_.emplace(addr, w_.targets_.size());
+    // First writer wins, matching unordered_map::emplace semantics.
+    if (w_.target_index_.find(addr) == nullptr) {
+      w_.target_index_[addr] = w_.targets_.size();
+    }
     w_.prefix_targets_[net::Prefix::of(addr)].push_back(w_.targets_.size());
     w_.targets_.push_back(std::move(t));
   }
@@ -702,9 +705,9 @@ const Deployment& World::deployment(DeploymentId id) const {
 }
 
 const Target* World::find_target(const net::IpAddress& addr) const {
-  const auto it = target_index_.find(addr);
-  if (it == target_index_.end()) return nullptr;
-  return &targets_[it->second];
+  const std::size_t* index = target_index_.find(addr);
+  if (index == nullptr) return nullptr;
+  return &targets_[*index];
 }
 
 std::vector<net::IpAddress> World::representatives(

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/addr_map.hpp"
 #include "topo/as_graph.hpp"
 #include "topo/routing.hpp"
 #include "topo/types.hpp"
@@ -151,8 +152,7 @@ class World {
   std::vector<Org> orgs_;
   std::vector<Deployment> deployments_;
   std::vector<Target> targets_;
-  std::unordered_map<net::IpAddress, std::size_t, net::IpAddressHash>
-      target_index_;
+  net::AddrMap<std::size_t> target_index_;
   std::unordered_map<net::Prefix, std::vector<std::size_t>, net::PrefixHash>
       prefix_targets_;
   std::vector<BgpAnnouncement> bgp_table_;

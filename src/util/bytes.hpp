@@ -22,6 +22,15 @@ class DecodeError : public std::runtime_error {
 /// Append-only big-endian encoder.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Reuse the capacity of `storage` (cleared first). Pairs with take() to
+  /// recycle one scratch vector across many packet builds without
+  /// reallocating per packet.
+  explicit ByteWriter(std::vector<std::uint8_t>&& storage)
+      : buf_(std::move(storage)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
     buf_.push_back(static_cast<std::uint8_t>(v >> 8));

@@ -1,0 +1,126 @@
+// Move-only callable with inline (small-buffer) storage.
+//
+// std::function heap-allocates any capture larger than 2-3 pointers, which
+// made every scheduled packet event in the simulator an allocation. The
+// event hot path captures [this + Datagram + a few ids] — on the order of
+// 100 bytes — so InlineCallback reserves enough inline storage for every
+// capture the simulator schedules (see kInlineCallbackSize) and only falls
+// back to the heap for larger or throwing-move callables.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace laces {
+
+/// Inline capacity of InlineCallback. Sized for the largest hot-path
+/// capture (SimNetwork::deliver_to_target: this + shared-buffer Datagram +
+/// deployment/pop/salt ids); growing a capture past this silently degrades
+/// to one heap allocation per event, which bench_perf_events would surface.
+inline constexpr std::size_t kInlineCallbackSize = 120;
+
+/// Move-only `void()` callable with small-buffer optimisation.
+class InlineCallback {
+ public:
+  InlineCallback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  InlineCallback(F&& f) {  // NOLINT: implicit by design (lambda -> callback)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True if the wrapped callable lives in the inline buffer (no heap
+  /// allocation). Exposed so tests can assert the hot-path captures fit.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into `dst` from `src` and destroy `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCallbackSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(static_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* p) noexcept { std::launder(static_cast<Fn*>(p))->~Fn(); },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**std::launder(static_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(static_cast<Fn**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(static_cast<Fn**>(p)); },
+      false,
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCallbackSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace laces

@@ -2,21 +2,81 @@
 
 #include <utility>
 
+#include "util/contracts.hpp"
+
 namespace laces {
 
 void EventQueue::schedule_at(SimTime at, Callback cb) {
   if (at < now_) at = now_;
-  events_.push(Event{at, next_seq_++, std::move(cb)});
+
+  // Park the callback in the slot pool; only the 16-byte key enters the
+  // heap, so the sift below never touches the callback.
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    expects(slot <= kSlotMask, "event slot pool fits 24-bit indices");
+    slots_.push_back(std::move(cb));
+  }
+
+  const Entry ev{at, (next_seq_++ << 24) | slot};
+  // Hole-based sift-up: shift ancestors down into the hole, then place the
+  // new entry once (one move per level instead of a three-move swap).
+  heap_.emplace_back();
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!ev.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = ev;
+}
+
+EventQueue::Callback EventQueue::pop_min(SimTime& at_out) {
+  const Entry min = heap_.front();
+  at_out = min.at;
+  const std::uint32_t slot = min.slot();
+  Callback cb = std::move(slots_[slot]);
+  free_.push_back(slot);
+
+  if (heap_.size() > 1) {
+    // Hole-based sift-down of the last entry from the root.
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t smallest = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap_[c].before(heap_[smallest])) smallest = c;
+      }
+      if (!heap_[smallest].before(last)) break;
+      heap_[i] = heap_[smallest];
+      i = smallest;
+    }
+    heap_[i] = last;
+  } else {
+    heap_.pop_back();
+  }
+  return cb;
 }
 
 std::size_t EventQueue::run() {
   std::size_t executed = 0;
-  while (!events_.empty()) {
-    // The callback is moved out before pop() so it may schedule new events.
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.at;
-    ev.cb();
+  while (!heap_.empty()) {
+    // The callback is moved fully off the pool before it runs, so it may
+    // schedule new events.
+    SimTime at;
+    Callback cb = pop_min(at);
+    now_ = at;
+    cb();
     ++executed;
   }
   return executed;
@@ -24,11 +84,11 @@ std::size_t EventQueue::run() {
 
 std::size_t EventQueue::run_until(SimTime deadline) {
   std::size_t executed = 0;
-  while (!events_.empty() && events_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.at;
-    ev.cb();
+  while (!heap_.empty() && heap_.front().at <= deadline) {
+    SimTime at;
+    Callback cb = pop_min(at);
+    now_ = at;
+    cb();
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;

@@ -1,0 +1,158 @@
+// Open-addressing flat hash map with 64-bit keys.
+//
+// The simulator keeps several per-packet side tables (per-flow ECMP
+// sequence numbers, per-target rate-limit arrival times, CHAOS rotation
+// counters, interface indices) that are looked up once or twice for every
+// simulated packet. std::unordered_map pays a pointer chase and a heap
+// allocation per node; FlatMap64 stores slots contiguously (linear probing,
+// power-of-two capacity) so a hit is one or two adjacent cache lines and
+// inserts amortise to zero allocations once the table has grown.
+//
+// Determinism: lookups depend only on key equality, never on slot order,
+// and the map intentionally exposes no iteration order — callers that need
+// ordered traversal must collect and sort keys themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace laces {
+
+/// Open-addressing hash map from std::uint64_t to `Value`.
+template <typename Value>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-size for `n` entries without rehashing on the way there.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 / 4 < n) cap *= 2;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  Value* find(std::uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = probe_start(key);; i = next(i)) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+  const Value* find(std::uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  /// Get-or-default-insert (the per-packet counter idiom `m[k]++`).
+  Value& operator[](std::uint64_t key) {
+    maybe_grow();
+    for (std::size_t i = probe_start(key);; i = next(i)) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        s.value = Value{};
+        ++size_;
+        return s.value;
+      }
+      if (s.key == key) return s.value;
+    }
+  }
+
+  /// Insert or overwrite.
+  void insert_or_assign(std::uint64_t key, Value value) {
+    (*this)[key] = std::move(value);
+  }
+
+  /// Removes `key` if present (backward-shift deletion: no tombstones, so
+  /// probe sequences stay short no matter how many erases happen).
+  bool erase(std::uint64_t key) {
+    if (slots_.empty()) return false;
+    std::size_t i = probe_start(key);
+    for (;; i = next(i)) {
+      if (!slots_[i].used) return false;
+      if (slots_[i].key == key) break;
+    }
+    std::size_t hole = i;
+    for (std::size_t j = next(hole);; j = next(j)) {
+      if (!slots_[j].used) break;
+      // An entry may shift back only if its home slot is not inside
+      // (hole, j] — the standard backward-shift condition on a ring.
+      const std::size_t home = probe_start(slots_[j].key);
+      const bool movable = (j > hole) ? (home <= hole || home > j)
+                                      : (home <= hole && home > j);
+      if (movable) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  struct Slot {
+    std::uint64_t key = 0;
+    Value value{};
+    bool used = false;
+  };
+
+  /// Finalizing mixer (splitmix64 tail): keys are often already hashes,
+  /// but cheap insurance for sequential ids used as keys.
+  static std::size_t mix(std::uint64_t key) {
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(key ^ (key >> 31));
+  }
+
+  std::size_t probe_start(std::uint64_t key) const {
+    return mix(key) & (slots_.size() - 1);
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & (slots_.size() - 1); }
+
+  void maybe_grow() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+    } else if (size_ + 1 > slots_.size() * 3 / 4) {
+      rehash(slots_.size() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    expects((new_capacity & (new_capacity - 1)) == 0, "power-of-two capacity");
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      for (std::size_t i = probe_start(s.key);; i = next(i)) {
+        if (!slots_[i].used) {
+          slots_[i] = std::move(s);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace laces

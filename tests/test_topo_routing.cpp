@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "geo/lightspeed.hpp"
 #include "support.hpp"
 #include "topo/routing.hpp"
@@ -162,6 +164,68 @@ TEST_F(RoutingTest, EcmpTieBrokenByFlowHashIsStable) {
   // unless this (from, dep) pair is round-robin.
   const auto first = routing().select_pop(from, dep, 1, SimTime(0), 42, 0);
   EXPECT_TRUE(first.was_tie);
+}
+
+TEST_F(RoutingTest, PerPopArithmeticMatchesScore) {
+  // scan_pops hoists the hop row, the distance row and the perturb-hash
+  // prefix out of its loop; this pins that the hoisted arithmetic picks
+  // bit-exactly the PoPs score() implies. select_pop (no tie, no flip)
+  // must return the argmin of score() over the deployment's PoPs.
+  const auto dep = deployment_at(
+      {"Tokyo", "Amsterdam", "New York", "Sydney", "Sao Paulo", "Lagos",
+       "Mumbai", "Moscow", "Vancouver", "Johannesburg"});
+  const auto& cities = geo::world_cities();
+  for (geo::CityId c = 0; c < cities.size(); c += 7) {
+    const AttachPoint from{c, world().transit_near(c)};
+    std::size_t best = 0;
+    double best_score = routing().score(from, dep.pops[0], dep.id);
+    double second_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 1; i < dep.pops.size(); ++i) {
+      const double s = routing().score(from, dep.pops[i], dep.id);
+      if (s < best_score) {
+        second_score = best_score;
+        best = i;
+        best_score = s;
+      } else if (s < second_score) {
+        second_score = s;
+      }
+    }
+    const auto choice =
+        routing().select_pop(from, dep, 1, SimTime(0), 5, 0);
+    if (!choice.was_tie && !choice.was_flipped) {
+      EXPECT_EQ(choice.pop_index, best) << "from " << cities[c].name;
+    }
+  }
+}
+
+TEST_F(RoutingTest, CachedOverloadsMatchUncachedBitForBit) {
+  // The Caches-taking select_pop / one_way_delay must return exactly what
+  // the uncached overloads return — on the cold pass (miss + insert) and
+  // on the warm pass (hit).
+  RoutingModel::Caches caches;
+  const auto dep = deployment_at(
+      {"Tokyo", "Amsterdam", "New York", "Sydney", "Sao Paulo"});
+  const auto& cities = geo::world_cities();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (geo::CityId c = 0; c < cities.size(); c += 11) {
+      const AttachPoint from{c, world().transit_near(c)};
+      const auto plain = routing().select_pop(from, dep, 1, SimTime(99), 7, 2);
+      const auto cached =
+          routing().select_pop(from, dep, 1, SimTime(99), 7, 2, caches);
+      EXPECT_EQ(plain.pop_index, cached.pop_index)
+          << "pass " << pass << " from " << cities[c].name;
+      EXPECT_EQ(plain.was_tie, cached.was_tie);
+      EXPECT_EQ(plain.was_flipped, cached.was_flipped);
+
+      const AttachPoint to = attach("Frankfurt");
+      const auto d_plain = routing().one_way_delay(from, to, 1234);
+      const auto d_cached = routing().one_way_delay(from, to, 1234, caches);
+      EXPECT_EQ(d_plain.ns(), d_cached.ns())
+          << "pass " << pass << " from " << cities[c].name;
+    }
+  }
+  EXPECT_GT(caches.catchment.size(), 0u);
+  EXPECT_GT(caches.delay.size(), 0u);
 }
 
 TEST_F(RoutingTest, GlobalBgpUnicastEgressPolicy) {

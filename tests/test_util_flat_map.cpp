@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace laces {
+namespace {
+
+TEST(FlatMap64, EmptyMapFindsNothing) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(0), nullptr);
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_FALSE(m.contains(42));
+  EXPECT_FALSE(m.erase(42));
+}
+
+TEST(FlatMap64, InsertFindRoundTrip) {
+  FlatMap64<int> m;
+  m.insert_or_assign(1, 10);
+  m.insert_or_assign(2, 20);
+  m.insert_or_assign(3, 30);
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(*m.find(2), 20);
+  EXPECT_EQ(m.find(4), nullptr);
+}
+
+TEST(FlatMap64, InsertOrAssignOverwrites) {
+  FlatMap64<int> m;
+  m.insert_or_assign(7, 1);
+  m.insert_or_assign(7, 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(7), 2);
+}
+
+TEST(FlatMap64, SubscriptDefaultInsertsAndCounts) {
+  FlatMap64<std::uint64_t> m;
+  EXPECT_EQ(m[5], 0u);  // default-constructed on first touch
+  m[5]++;
+  m[5]++;
+  EXPECT_EQ(m[5], 2u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap64, ZeroKeyIsAValidKey) {
+  // Slot emptiness is tracked by a flag, not by a sentinel key value.
+  FlatMap64<int> m;
+  m.insert_or_assign(0, 99);
+  ASSERT_NE(m.find(0), nullptr);
+  EXPECT_EQ(*m.find(0), 99);
+  EXPECT_TRUE(m.erase(0));
+  EXPECT_EQ(m.find(0), nullptr);
+}
+
+TEST(FlatMap64, EraseRemovesOnlyTheKey) {
+  FlatMap64<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.insert_or_assign(k, int(k));
+  EXPECT_TRUE(m.erase(50));
+  EXPECT_FALSE(m.erase(50));
+  EXPECT_EQ(m.size(), 99u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    if (k == 50) {
+      EXPECT_EQ(m.find(k), nullptr);
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << "key " << k;
+      EXPECT_EQ(*m.find(k), int(k));
+    }
+  }
+}
+
+TEST(FlatMap64, BackwardShiftKeepsCollidingKeysReachable) {
+  // Dense sequential keys force probe chains through shared slots; erasing
+  // from the middle of a chain must backward-shift, not tombstone, so every
+  // remaining key stays reachable from its home slot.
+  FlatMap64<int> m;
+  constexpr std::uint64_t kN = 1000;
+  for (std::uint64_t k = 0; k < kN; ++k) m.insert_or_assign(k, int(k));
+  for (std::uint64_t k = 0; k < kN; k += 3) EXPECT_TRUE(m.erase(k));
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_EQ(m.find(k), nullptr) << "key " << k;
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << "key " << k;
+      EXPECT_EQ(*m.find(k), int(k));
+    }
+  }
+}
+
+TEST(FlatMap64, GrowthPreservesEntries) {
+  FlatMap64<std::uint64_t> m;
+  constexpr std::uint64_t kN = 100000;  // forces many doublings from 16
+  for (std::uint64_t k = 0; k < kN; ++k) m.insert_or_assign(k * 977 + 1, k);
+  EXPECT_EQ(m.size(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_NE(m.find(k * 977 + 1), nullptr);
+    EXPECT_EQ(*m.find(k * 977 + 1), k);
+  }
+}
+
+TEST(FlatMap64, ReserveAvoidsLaterRehash) {
+  FlatMap64<int> m;
+  m.reserve(10000);
+  for (std::uint64_t k = 0; k < 10000; ++k) m.insert_or_assign(k, 1);
+  EXPECT_EQ(m.size(), 10000u);
+  ASSERT_NE(m.find(9999), nullptr);
+}
+
+TEST(FlatMap64, ClearEmptiesTheMap) {
+  FlatMap64<int> m;
+  for (std::uint64_t k = 0; k < 64; ++k) m.insert_or_assign(k, 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  m.insert_or_assign(1, 2);  // usable after clear
+  EXPECT_EQ(*m.find(1), 2);
+}
+
+TEST(FlatMap64, MatchesUnorderedMapUnderRandomWorkload) {
+  // Differential check against std::unordered_map over a mixed
+  // insert/overwrite/erase/find workload with a small key space (lots of
+  // re-insert-after-erase, the regime where probe-chain bugs hide).
+  FlatMap64<std::uint32_t> m;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  for (std::uint32_t step = 0; step < 20000; ++step) {
+    const std::uint64_t roll = StableHash(0xf1a7).mix(step).value();
+    const std::uint64_t key = (roll >> 8) % 257;
+    switch (roll % 4) {
+      case 0:
+      case 1:
+        m.insert_or_assign(key, step);
+        ref[key] = step;
+        break;
+      case 2:
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0) << "step " << step;
+        break;
+      case 3: {
+        const auto* got = m.find(key);
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, nullptr) << "step " << step;
+        } else {
+          ASSERT_NE(got, nullptr) << "step " << step;
+          EXPECT_EQ(*got, it->second) << "step " << step;
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(m.size(), ref.size()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace laces
