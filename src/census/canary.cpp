@@ -1,5 +1,9 @@
 #include "census/canary.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
+
 namespace laces::census {
 
 std::map<net::WorkerId, double> CanaryMonitor::share_of(
@@ -36,6 +40,28 @@ std::vector<CanaryAlarm> CanaryMonitor::observe(
       if (now < baseline * (1.0 - alarm_drop_)) {
         alarms.push_back(CanaryAlarm{worker, baseline, now});
       }
+    }
+  }
+
+  // Surface every alarm in the metrics registry so run reports can render
+  // a per-day alarm table without re-plumbing the pipeline.
+  auto& registry = obs::Registry::global();
+  if (!alarms.empty()) {
+    registry.counter("laces_canary_alarms_total").add(alarms.size());
+    const std::string day_label = std::to_string(days_ + 1);
+    for (const auto& alarm : alarms) {
+      registry
+          .gauge("laces_canary_alarm_share",
+                 {{"day", day_label},
+                  {"share", "baseline"},
+                  {"worker", std::to_string(alarm.worker)}})
+          .set(alarm.baseline_share);
+      registry
+          .gauge("laces_canary_alarm_share",
+                 {{"day", day_label},
+                  {"share", "today"},
+                  {"worker", std::to_string(alarm.worker)}})
+          .set(alarm.today_share);
     }
   }
 

@@ -51,6 +51,14 @@ struct DailyCensus {
   std::vector<net::Prefix> anycast_targets;
   std::uint64_t anycast_probes_sent = 0;
   std::uint64_t gcd_probes_sent = 0;
+  /// Robustness bookkeeping: a day is degraded when any anycast-stage
+  /// measurement lost workers, blew its deadline, or tripped the canary.
+  /// Degraded days are published but excluded from longitudinal stability.
+  bool degraded = false;
+  /// Max workers lost across the day's anycast-stage measurements.
+  std::uint16_t lost_sites = 0;
+  /// Canary alarms raised on this day (when canary monitoring is enabled).
+  std::uint32_t canary_alarms = 0;
 
   const PrefixRecord* find(const net::Prefix& prefix) const;
   /// Prefixes anycast by either method — what gets published.

@@ -3,6 +3,12 @@
 namespace laces::census {
 
 void LongitudinalStore::add(const DailyCensus& census) {
+  if (census.degraded) {
+    // A degraded day under-observes the deployment (lost sites deflate VP
+    // counts); folding it in would punish genuinely stable prefixes.
+    ++degraded_days_;
+    return;
+  }
   ++days_;
   for (const auto& [prefix, rec] : census.records) {
     if (rec.anycast_based_detected()) {
@@ -22,6 +28,7 @@ StabilityStats LongitudinalStore::stability(
     std::size_t total) const {
   StabilityStats stats;
   stats.days = days_;
+  stats.degraded_days = degraded_days_;
   stats.union_size = counts.size();
   for (const auto& [prefix, n] : counts) {
     if (n == days_) ++stats.every_day;

@@ -9,9 +9,14 @@
 
 namespace laces::census {
 
-/// Stability statistics over a sequence of daily censuses.
+/// Stability statistics over a sequence of daily censuses. `days` counts
+/// only healthy days: degraded censuses are stored but never charged
+/// against a prefix's every-day streak (a vanished site must not turn a
+/// stable anycast prefix "intermittent").
 struct StabilityStats {
   std::size_t days = 0;
+  /// Degraded days excluded from the stability denominators.
+  std::size_t degraded_days = 0;
   /// Union of prefixes ever detected by the method.
   std::size_t union_size = 0;
   /// Prefixes detected on every single day.
@@ -27,7 +32,10 @@ class LongitudinalStore {
  public:
   void add(const DailyCensus& census);
 
+  /// Healthy (non-degraded) days accumulated.
   std::size_t days() const { return days_; }
+  /// Degraded days seen (tracked, excluded from stability).
+  std::size_t degraded_days() const { return degraded_days_; }
 
   /// Stability of the anycast-based detections.
   StabilityStats anycast_based_stability() const;
@@ -48,6 +56,7 @@ class LongitudinalStore {
       std::size_t total) const;
 
   std::size_t days_ = 0;
+  std::size_t degraded_days_ = 0;
   std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>
       anycast_days_;
   std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash> gcd_days_;

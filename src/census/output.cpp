@@ -48,7 +48,14 @@ std::string to_csv(const PrefixRecord& rec) {
 }
 
 void write_census(std::ostream& out, const DailyCensus& census) {
-  out << "# LACeS census day " << census.day << "\n" << csv_header() << "\n";
+  out << "# LACeS census day " << census.day << "\n";
+  if (census.degraded) {
+    // Degraded days publish their (partial) records but carry the marker so
+    // downstream longitudinal analysis can exclude them.
+    out << "# degraded: lost_sites=" << census.lost_sites
+        << " canary_alarms=" << census.canary_alarms << "\n";
+  }
+  out << csv_header() << "\n";
   for (const auto& prefix : census.published_prefixes()) {
     out << to_csv(*census.find(prefix)) << "\n";
   }
@@ -101,7 +108,27 @@ DailyCensus parse_census(std::istream& in) {
     throw std::runtime_error("census file: missing day header");
   }
   census.day = static_cast<std::uint32_t>(std::stoul(line.substr(19)));
-  if (!std::getline(in, line) || line != csv_header()) {
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("census file: bad column header");
+  }
+  // Optional degraded-day marker: "# degraded: lost_sites=N canary_alarms=M".
+  if (line.rfind("# degraded: ", 0) == 0) {
+    census.degraded = true;
+    const auto lost_pos = line.find("lost_sites=");
+    if (lost_pos != std::string::npos) {
+      census.lost_sites =
+          static_cast<std::uint16_t>(std::stoul(line.substr(lost_pos + 11)));
+    }
+    const auto alarm_pos = line.find("canary_alarms=");
+    if (alarm_pos != std::string::npos) {
+      census.canary_alarms =
+          static_cast<std::uint32_t>(std::stoul(line.substr(alarm_pos + 14)));
+    }
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("census file: bad column header");
+    }
+  }
+  if (line != csv_header()) {
     throw std::runtime_error("census file: bad column header");
   }
   while (std::getline(in, line)) {

@@ -65,6 +65,8 @@ void Pipeline::register_metrics() {
       &registry.counter("laces_census_probes_sent_total", {{"stage", "anycast"}});
   probes_sent_gcd_ =
       &registry.counter("laces_census_probes_sent_total", {{"stage", "gcd"}});
+  degraded_days_ = &registry.counter("laces_census_degraded_days_total");
+  lost_sites_total_ = &registry.counter("laces_census_lost_sites_total");
   if (config_.ipv4) {
     anycast_targets_v4_ =
         &registry.gauge("laces_census_anycast_targets", {{"family", "v4"}});
@@ -129,6 +131,7 @@ DailyCensus Pipeline::run_day(std::uint32_t day) {
   network_.set_day(day);
   DailyCensus census;
   census.day = day;
+  if (config_.canary) run_canary(census);
   if (config_.ipv4) run_family(census, net::IpVersion::kV4, day);
   if (config_.ipv6) run_family(census, net::IpVersion::kV6, day);
 
@@ -153,8 +156,53 @@ DailyCensus Pipeline::run_day(std::uint32_t day) {
 
   days_total_->add();
   at_list_size_->set(static_cast<double>(at_list_.size()));
+  if (census.degraded) {
+    degraded_days_->add();
+    day_span.set_attr("degraded", "true");
+  }
+  lost_sites_total_->add(census.lost_sites);
   finish_stage(day_span, stage_day_);
   return census;
+}
+
+SimDuration Pipeline::deadline_for(double rate, std::size_t targets) const {
+  const double stream_s =
+      rate > 0.0 ? static_cast<double>(targets) / rate : 0.0;
+  const std::size_t workers = session_.worker_count();
+  const double fanout_s =
+      config_.worker_offset.to_seconds() *
+      static_cast<double>(workers > 0 ? workers - 1 : 0);
+  // Streaming + staggered starts + response drain; doubled, plus margin.
+  return SimDuration::from_seconds(2.0 * (stream_s + fanout_s + 4.0) + 30.0);
+}
+
+void Pipeline::run_canary(DailyCensus& census) {
+  const auto& hl = config_.ipv4 ? ping_v4_ : ping_v6_;
+  auto addrs = hl.addresses();
+  if (addrs.size() > config_.canary_targets) {
+    addrs.resize(config_.canary_targets);
+  }
+  if (addrs.empty()) return;
+
+  obs::Span canary_span("census.canary");
+  core::MeasurementSpec spec;
+  spec.id = next_measurement_++;
+  spec.protocol = net::Protocol::kIcmp;
+  spec.version = config_.ipv4 ? net::IpVersion::kV4 : net::IpVersion::kV6;
+  spec.mode = core::ProbeMode::kAnycast;
+  spec.worker_offset = config_.worker_offset;
+  spec.targets_per_second = config_.targets_per_second;
+  spec.deadline = deadline_for(config_.targets_per_second, addrs.size());
+
+  const auto results = session_.run(spec, addrs);
+  census.anycast_probes_sent += results.probes_sent;
+  census.degraded |= results.status != core::RunStatus::kCompleted;
+  census.lost_sites = std::max(census.lost_sites, results.workers_lost);
+
+  const auto alarms = canary_.observe(results);
+  census.canary_alarms += static_cast<std::uint32_t>(alarms.size());
+  census.degraded |= !alarms.empty();
+  canary_span.end();
 }
 
 void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
@@ -190,6 +238,7 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
     spec.targets_per_second = config_.targets_per_second;
 
     const auto addrs = stage.hitlist->addresses();
+    spec.deadline = deadline_for(config_.targets_per_second, addrs.size());
     targets_probed_[static_cast<std::size_t>(stage.protocol)]->add(
         addrs.size());
     family_targets += addrs.size();
@@ -197,6 +246,8 @@ void Pipeline::run_family(DailyCensus& census, net::IpVersion version,
     const auto results = session_.run(spec, addrs);
     census.anycast_probes_sent += results.probes_sent;
     family_probes += results.probes_sent;
+    census.degraded |= results.status != core::RunStatus::kCompleted;
+    census.lost_sites = std::max(census.lost_sites, results.workers_lost);
     const auto classification = core::classify_anycast(results, addrs);
     for (const auto& [prefix, obs] : classification) {
       auto& rec = census.records[prefix];

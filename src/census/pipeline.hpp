@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "census/canary.hpp"
 #include "census/census.hpp"
 #include "core/session.hpp"
 #include "gcd/classify.hpp"
@@ -38,6 +39,12 @@ struct PipelineConfig {
   /// GCD-stage probing.
   net::Protocol gcd_protocol = net::Protocol::kIcmp;
   double gcd_targets_per_second = 4000.0;
+  /// Probe a small canary target set each day and alarm on catchment-share
+  /// collapses (§6 future work). Off by default: the canary adds a
+  /// measurement per day, which shifts probe/trace output.
+  bool canary = false;
+  /// Canary stage probes the first `canary_targets` ping-hitlist entries.
+  std::size_t canary_targets = 64;
 };
 
 class Pipeline {
@@ -62,6 +69,9 @@ class Pipeline {
     return at_list_;
   }
 
+  /// Canary state (baselines across days); only fed when config.canary.
+  const CanaryMonitor& canary() const { return canary_; }
+
   /// The hitlists the pipeline probes (rebuilt per construction).
   const hitlist::Hitlist& ping_hitlist(net::IpVersion version) const;
   const hitlist::Hitlist& dns_hitlist(net::IpVersion version) const;
@@ -69,6 +79,12 @@ class Pipeline {
  private:
   void run_family(DailyCensus& census, net::IpVersion version,
                   std::uint32_t day);
+  /// Probe the canary target set and raise catchment-share alarms.
+  void run_canary(DailyCensus& census);
+  /// Watchdog deadline for an anycast-stage measurement: twice the expected
+  /// streaming + fan-out + drain time, plus a fixed margin. A measurement
+  /// that overruns it is force-completed with partial results.
+  SimDuration deadline_for(double rate, std::size_t targets) const;
   /// Representative probe address for a census prefix.
   std::optional<net::IpAddress> representative(const net::Prefix& p) const;
 
@@ -95,6 +111,7 @@ class Pipeline {
   std::unordered_set<net::Prefix, net::PrefixHash> partial_;
   net::MeasurementId next_measurement_ = 100;
   std::uint64_t gcd_run_counter_ = 0;
+  CanaryMonitor canary_;
 
   // Metric handles, registered once at construction so the per-record /
   // per-stage hot paths never take the registry mutex or rebuild label
@@ -116,6 +133,8 @@ class Pipeline {
   std::array<obs::Counter*, net::kAllProtocols.size()> targets_probed_{};
   obs::Counter* probes_sent_anycast_ = nullptr;
   obs::Counter* probes_sent_gcd_ = nullptr;
+  obs::Counter* degraded_days_ = nullptr;
+  obs::Counter* lost_sites_total_ = nullptr;
   obs::Gauge* anycast_targets_v4_ = nullptr;
   obs::Gauge* anycast_targets_v6_ = nullptr;
 };

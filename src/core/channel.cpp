@@ -1,5 +1,7 @@
 #include "core/channel.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace laces::core {
 namespace {
 
@@ -10,18 +12,42 @@ Sha256Digest frame_mac(const std::string& key,
       payload);
 }
 
+obs::Counter& auth_failure_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("laces_channel_auth_failures_total");
+  return c;
+}
+
+obs::Counter& send_after_close_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("laces_channel_send_after_close_total");
+  return c;
+}
+
 }  // namespace
 
 void Channel::send(const Message& message) {
-  if (!open_) return;
+  if (!open_) {
+    ++sends_after_close_;
+    send_after_close_counter().add();
+    return;
+  }
   auto peer = peer_.lock();
   if (!peer) return;
+
+  FaultDecision fate;
+  if (fault_filter_) fate = fault_filter_(message);
+  if (fate.drop) return;
+
   auto payload = encode_message(message);
   auto mac = frame_mac(key_, payload);
-  events_->schedule_after(
-      latency_, [peer, payload = std::move(payload), mac]() mutable {
-        peer->deliver_frame(std::move(payload), mac);
-      });
+  if (fate.corrupt && !payload.empty()) payload[0] ^= 0x5a;
+  const SimDuration delay = latency_ + fate.extra_delay;
+  for (int copy = 0; copy < (fate.copies > 0 ? fate.copies : 1); ++copy) {
+    events_->schedule_after(delay, [peer, payload, mac]() mutable {
+      peer->deliver_frame(std::move(payload), mac);
+    });
+  }
 }
 
 void Channel::deliver_frame(std::vector<std::uint8_t> payload,
@@ -29,6 +55,7 @@ void Channel::deliver_frame(std::vector<std::uint8_t> payload,
   if (!open_) return;
   if (!digest_equal(mac, frame_mac(key_, payload))) {
     ++auth_failures_;
+    auth_failure_counter().add();
     return;
   }
   Message msg;
@@ -36,6 +63,7 @@ void Channel::deliver_frame(std::vector<std::uint8_t> payload,
     msg = decode_message(payload);
   } catch (const DecodeError&) {
     ++auth_failures_;
+    auth_failure_counter().add();
     return;
   }
   if (on_message_) on_message_(msg);

@@ -18,13 +18,32 @@
 
 namespace laces::core {
 
+/// What a fault filter does to one outbound control frame. Defaults pass
+/// the frame through untouched.
+struct FaultDecision {
+  bool drop = false;     // frame vanishes on the wire
+  bool corrupt = false;  // payload bit-flipped after signing (fails the MAC)
+  int copies = 1;        // >1 duplicates the frame (each delivered separately)
+  SimDuration extra_delay{};  // added to the link latency (latency spike)
+};
+
 class Channel : public std::enable_shared_from_this<Channel> {
  public:
   using MessageHandler = std::function<void(const Message&)>;
   using CloseHandler = std::function<void()>;
+  /// Inspects an outbound message and decides its fate. Installed by the
+  /// fault injector on a per-endpoint basis; close() is not a message and
+  /// always bypasses the filter, so teardown cannot be faulted away.
+  using FaultFilter = std::function<FaultDecision(const Message&)>;
 
   /// Encode, sign and schedule delivery at the peer. No-op if closed.
   void send(const Message& message);
+
+  /// Install (or clear, with nullptr) the outbound fault filter.
+  void set_fault_filter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+
+  /// The event queue this channel schedules deliveries on.
+  EventQueue& events() const { return *events_; }
 
   void set_message_handler(MessageHandler handler) {
     on_message_ = std::move(handler);
@@ -39,6 +58,8 @@ class Channel : public std::enable_shared_from_this<Channel> {
   bool is_open() const { return open_; }
   /// Frames dropped because their MAC did not verify.
   std::uint64_t auth_failures() const { return auth_failures_; }
+  /// Messages discarded because send() was called after close.
+  std::uint64_t sends_after_close() const { return sends_after_close_; }
 
  private:
   friend std::pair<std::shared_ptr<Channel>, std::shared_ptr<Channel>>
@@ -54,8 +75,10 @@ class Channel : public std::enable_shared_from_this<Channel> {
   std::weak_ptr<Channel> peer_;
   MessageHandler on_message_;
   CloseHandler on_close_;
+  FaultFilter fault_filter_;
   bool open_ = true;
   std::uint64_t auth_failures_ = 0;
+  std::uint64_t sends_after_close_ = 0;
 };
 
 /// Creates a connected channel pair. Endpoints authenticate each other only

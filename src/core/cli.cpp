@@ -3,12 +3,40 @@
 #include <algorithm>
 
 #include "core/orchestrator.hpp"
+#include "util/rng.hpp"
 
 namespace laces::core {
+namespace {
+
+/// Upload retransmission: first retry after this delay, then doubling.
+constexpr SimDuration kRetryDelay = SimDuration::seconds(1);
+constexpr std::uint32_t kMaxUploadRetries = 8;
+/// Completion watchdog slack beyond the measurement's own deadline (covers
+/// the upload, the start lead and the final control-frame latencies).
+constexpr SimDuration kWatchdogMargin = SimDuration::seconds(30);
+
+/// Identity of one probe response: fault-free, at most one record exists
+/// per (target, tx worker, rx worker, protocol), so a second occurrence is
+/// a replay (duplicated frame or a re-probed chunk after resume).
+std::uint64_t record_key(const ProbeRecord& rec) {
+  return StableHash(0xded0bULL)
+      .mix(net::hash_value(rec.target))
+      .mix(static_cast<std::uint64_t>(rec.rx_worker))
+      .mix(static_cast<std::uint64_t>(*rec.tx_worker))
+      .mix(static_cast<std::uint64_t>(rec.protocol))
+      .value();
+}
+
+std::uint64_t batch_key(net::WorkerId worker, std::uint64_t batch_seq) {
+  return (static_cast<std::uint64_t>(worker) << 48) | batch_seq;
+}
+
+}  // namespace
 
 void Cli::connect(std::shared_ptr<Channel> channel) {
   channel_ = std::move(channel);
   channel_->set_message_handler([this](const Message& m) { on_message(m); });
+  channel_->set_close_handler([this]() { on_closed(); });
 }
 
 void Cli::submit(const MeasurementSpec& spec,
@@ -17,23 +45,81 @@ void Cli::submit(const MeasurementSpec& spec,
   results_.measurement = spec.id;
   current_ = spec.id;
   finished_ = false;
+  aborted_ = false;
   workers_lost_ = 0;
+  seen_batches_.clear();
+  seen_records_.clear();
+  cancel_timers();
 
   channel_->send(SubmitMeasurement{spec});
   // Upload the hitlist; the Orchestrator buffers it (workers never do).
+  // Chunks stay around until acked so a lossy link can be retried.
+  upload_chunks_.clear();
   std::size_t index = 0;
+  std::uint64_t seq = 0;
   while (index < targets.size()) {
     const std::size_t n =
         std::min(Orchestrator::kChunkSize, targets.size() - index);
     TargetChunk chunk;
     chunk.measurement = spec.id;
     chunk.base_index = index;
+    chunk.seq = seq++;
     chunk.targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(index),
                          targets.begin() + static_cast<std::ptrdiff_t>(index + n));
     channel_->send(chunk);
+    upload_chunks_.push_back(std::move(chunk));
     index += n;
   }
-  channel_->send(EndOfTargets{spec.id});
+  channel_->send(EndOfTargets{spec.id, seq});
+  upload_total_ = seq + 1;
+  upload_acked_ = 0;
+  retry_count_ = 0;
+  retry_delay_ = kRetryDelay;
+  arm_retry();
+
+  if (spec.deadline.ns() > 0) {
+    // Give up if MeasurementComplete never arrives (dead CLI link): the
+    // Orchestrator enforces `deadline` from the measurement start, so well
+    // past that the run is unreachable, not just slow.
+    watchdog_event_ = events().schedule_after(
+        spec.deadline + kWatchdogMargin, [this]() {
+          watchdog_event_ = kInvalidEventId;
+          if (!terminated()) aborted_ = true;
+        });
+  }
+}
+
+void Cli::send_upload_item(std::uint64_t seq) {
+  if (seq < upload_chunks_.size()) {
+    channel_->send(upload_chunks_[seq]);
+  } else {
+    channel_->send(EndOfTargets{current_, seq});
+  }
+}
+
+void Cli::arm_retry() {
+  retry_event_ = events().schedule_after(retry_delay_, [this]() {
+    retry_event_ = kInvalidEventId;
+    if (terminated() || upload_acked_ >= upload_total_) return;
+    if (++retry_count_ > kMaxUploadRetries) {
+      aborted_ = true;  // the upload is undeliverable
+      return;
+    }
+    for (std::uint64_t s = upload_acked_; s < upload_total_; ++s) {
+      send_upload_item(s);
+    }
+    retry_delay_ = retry_delay_ * 2;
+    arm_retry();
+  });
+}
+
+void Cli::cancel_timers() {
+  if (channel_) {
+    events().cancel(retry_event_);
+    events().cancel(watchdog_event_);
+  }
+  retry_event_ = kInvalidEventId;
+  watchdog_event_ = kInvalidEventId;
 }
 
 void Cli::abort() {
@@ -44,31 +130,69 @@ void Cli::disconnect() {
   if (channel_) channel_->close();
 }
 
+void Cli::on_closed() {
+  // The Orchestrator hung up (or the link died): the measurement cannot
+  // terminate normally any more.
+  if (!finished_) aborted_ = true;
+  cancel_timers();
+}
+
 MeasurementResults Cli::take_results() { return std::move(results_); }
 
 void Cli::on_message(const Message& message) {
   std::visit(
       [this](const auto& m) {
         using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, ResultBatch>) {
+        if constexpr (std::is_same_v<T, ChunkAck>) {
           if (m.measurement != current_) return;
-          if (results_.records.empty() && !m.records.empty()) {
-            results_.started = m.records.front().rx_time;
+          upload_acked_ = std::max(upload_acked_, m.next_seq);
+          if (upload_acked_ >= upload_total_) {
+            events().cancel(retry_event_);
+            retry_event_ = kInvalidEventId;
+            upload_chunks_.clear();
+            upload_chunks_.shrink_to_fit();
           }
-          results_.records.insert(results_.records.end(), m.records.begin(),
-                                  m.records.end());
+        } else if constexpr (std::is_same_v<T, ResultBatch>) {
+          if (m.measurement != current_ || terminated()) return;
+          if (!seen_batches_.insert(batch_key(m.worker, m.batch_seq)).second) {
+            return;  // duplicated control frame
+          }
           results_.probes_sent += m.probes_sent;
           if (std::find(results_.workers.begin(), results_.workers.end(),
                         m.worker) == results_.workers.end()) {
             results_.workers.push_back(m.worker);
           }
-          if (!m.records.empty()) {
-            results_.finished = m.records.back().rx_time;
+          for (const auto& rec : m.records) {
+            // Static probes carry no tx identity, so no replay detection.
+            if (rec.tx_worker &&
+                !seen_records_.insert(record_key(rec)).second) {
+              continue;  // replayed record (resume re-probe)
+            }
+            if (results_.records.empty()) {
+              results_.started = rec.rx_time;
+              results_.finished = rec.rx_time;
+            } else {
+              if (rec.rx_time < results_.started) results_.started = rec.rx_time;
+              if (rec.rx_time > results_.finished) results_.finished = rec.rx_time;
+            }
+            results_.records.push_back(rec);
           }
         } else if constexpr (std::is_same_v<T, MeasurementComplete>) {
-          if (m.measurement != current_) return;
+          if (m.measurement != current_ || terminated()) return;
           workers_lost_ = m.workers_lost;
-          finished_ = true;
+          results_.workers_lost = m.workers_lost;
+          results_.workers_participated = m.workers_participated;
+          const RunStatus status =
+              m.status <= static_cast<std::uint8_t>(RunStatus::kDegraded)
+                  ? static_cast<RunStatus>(m.status)
+                  : RunStatus::kAborted;
+          results_.status = status;
+          if (status == RunStatus::kAborted) {
+            aborted_ = true;  // finished() stays false: nothing completed
+          } else {
+            finished_ = true;
+          }
+          cancel_timers();
         }
       },
       message);

@@ -1,8 +1,17 @@
 // CLI: submits a measurement to the Orchestrator and aggregates the result
 // stream into a single MeasurementResults (the "single file" of §4.1.2).
+//
+// The upload and the result stream are hardened against a faulty control
+// plane: hitlist chunks are sequence-numbered and retransmitted with
+// exponential backoff until the Orchestrator acks them, duplicated
+// ResultBatch frames are discarded by batch seq, re-probed targets (after a
+// worker reconnect-and-resume) are discarded by record identity, and a
+// completion watchdog gives up on a measurement whose MeasurementComplete
+// never arrives.
 #pragma once
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/channel.hpp"
@@ -28,18 +37,43 @@ class Cli {
   void disconnect();
 
   bool finished() const { return finished_; }
+  /// The measurement ended without completing: an abort (ours or the
+  /// Orchestrator's), a dead link, or the completion watchdog giving up.
+  bool aborted() const { return aborted_; }
+  /// The measurement reached a terminal state, successful or not.
+  bool terminated() const { return finished_ || aborted_; }
   const MeasurementResults& results() const { return results_; }
   MeasurementResults take_results();
   std::uint16_t workers_lost() const { return workers_lost_; }
 
  private:
   void on_message(const Message& message);
+  void on_closed();
+  void send_upload_item(std::uint64_t seq);
+  void arm_retry();
+  void cancel_timers();
+  EventQueue& events() { return channel_->events(); }
 
   std::shared_ptr<Channel> channel_;
   MeasurementResults results_;
   net::MeasurementId current_ = 0;
   bool finished_ = false;
+  bool aborted_ = false;
   std::uint16_t workers_lost_ = 0;
+
+  // Sequenced upload state (chunks kept until acked, for retransmission).
+  std::vector<TargetChunk> upload_chunks_;
+  std::uint64_t upload_total_ = 0;  // chunks + the end marker
+  std::uint64_t upload_acked_ = 0;
+  std::uint32_t retry_count_ = 0;
+  SimDuration retry_delay_{};
+  EventId retry_event_ = kInvalidEventId;
+  EventId watchdog_event_ = kInvalidEventId;
+
+  // Duplicate suppression: per-worker batch seqs and record identities
+  // already folded into results_.
+  std::unordered_set<std::uint64_t> seen_batches_;
+  std::unordered_set<std::uint64_t> seen_records_;
 };
 
 }  // namespace laces::core

@@ -44,6 +44,10 @@ struct MeasurementSpec {
   /// the first N workers — the responsiveness pre-check of §6 probes with
   /// one worker before spending the whole deployment's probing budget.
   std::uint16_t max_participants = 0;
+  /// Watchdog deadline measured from measurement start; 0 = no deadline.
+  /// When it fires, the Orchestrator aborts stragglers and completes the
+  /// measurement with whatever results arrived (status kDegraded).
+  SimDuration deadline = SimDuration::seconds(0);
 };
 
 }  // namespace laces::core

@@ -16,6 +16,8 @@ enum class Tag : std::uint8_t {
   kWorkerDone,
   kMeasurementComplete,
   kAbort,
+  kHeartbeat,
+  kChunkAck,
 };
 
 void put_address(ByteWriter& w, const net::IpAddress& a) {
@@ -50,6 +52,7 @@ void put_spec(ByteWriter& w, const MeasurementSpec& s) {
   w.u8(s.vary_payload ? 1 : 0);
   w.u8(s.chaos ? 1 : 0);
   w.u16(s.max_participants);
+  w.i64(s.deadline.ns());
 }
 
 MeasurementSpec get_spec(ByteReader& r) {
@@ -63,6 +66,7 @@ MeasurementSpec get_spec(ByteReader& r) {
   s.vary_payload = r.u8() != 0;
   s.chaos = r.u8() != 0;
   s.max_participants = r.u16();
+  s.deadline = SimDuration(r.i64());
   return s;
 }
 
@@ -111,6 +115,7 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           w.u16(m.participant_count);
           put_address(w, m.anycast_source);
           w.i64(m.start_time.ns());
+          w.u64(m.resume_from);
         } else if constexpr (std::is_same_v<T, SubmitMeasurement>) {
           w.u8(static_cast<std::uint8_t>(Tag::kSubmitMeasurement));
           put_spec(w, m.spec);
@@ -120,9 +125,11 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           w.u64(m.base_index);
           w.u32(static_cast<std::uint32_t>(m.targets.size()));
           for (const auto& t : m.targets) put_address(w, t);
+          w.u64(m.seq);
         } else if constexpr (std::is_same_v<T, EndOfTargets>) {
           w.u8(static_cast<std::uint8_t>(Tag::kEndOfTargets));
           w.u32(m.measurement);
+          w.u64(m.seq);
         } else if constexpr (std::is_same_v<T, ResultBatch>) {
           w.u8(static_cast<std::uint8_t>(Tag::kResultBatch));
           w.u32(m.measurement);
@@ -130,6 +137,7 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           w.u32(static_cast<std::uint32_t>(m.records.size()));
           for (const auto& rec : m.records) put_record(w, rec);
           w.u64(m.probes_sent);
+          w.u64(m.batch_seq);
         } else if constexpr (std::is_same_v<T, WorkerDone>) {
           w.u8(static_cast<std::uint8_t>(Tag::kWorkerDone));
           w.u32(m.measurement);
@@ -139,9 +147,19 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           w.u32(m.measurement);
           w.u16(m.workers_participated);
           w.u16(m.workers_lost);
+          w.u8(m.status);
         } else if constexpr (std::is_same_v<T, Abort>) {
           w.u8(static_cast<std::uint8_t>(Tag::kAbort));
           w.u32(m.measurement);
+        } else if constexpr (std::is_same_v<T, Heartbeat>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+          w.u32(m.measurement);
+          w.u16(m.worker);
+        } else if constexpr (std::is_same_v<T, ChunkAck>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kChunkAck));
+          w.u32(m.measurement);
+          w.u16(m.worker);
+          w.u64(m.next_seq);
         }
       },
       msg);
@@ -169,6 +187,7 @@ Message decode_message(std::span<const std::uint8_t> bytes) {
       m.participant_count = r.u16();
       m.anycast_source = get_address(r);
       m.start_time = SimTime(r.i64());
+      m.resume_from = r.u64();
       return m;
     }
     case Tag::kSubmitMeasurement: {
@@ -186,11 +205,13 @@ Message decode_message(std::span<const std::uint8_t> bytes) {
       if (n > r.remaining() / 5) throw DecodeError("target count too large");
       m.targets.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) m.targets.push_back(get_address(r));
+      m.seq = r.u64();
       return m;
     }
     case Tag::kEndOfTargets: {
       EndOfTargets m;
       m.measurement = r.u32();
+      m.seq = r.u64();
       return m;
     }
     case Tag::kResultBatch: {
@@ -203,6 +224,7 @@ Message decode_message(std::span<const std::uint8_t> bytes) {
       m.records.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) m.records.push_back(get_record(r));
       m.probes_sent = r.u64();
+      m.batch_seq = r.u64();
       return m;
     }
     case Tag::kWorkerDone: {
@@ -216,11 +238,25 @@ Message decode_message(std::span<const std::uint8_t> bytes) {
       m.measurement = r.u32();
       m.workers_participated = r.u16();
       m.workers_lost = r.u16();
+      m.status = r.u8();
       return m;
     }
     case Tag::kAbort: {
       Abort m;
       m.measurement = r.u32();
+      return m;
+    }
+    case Tag::kHeartbeat: {
+      Heartbeat m;
+      m.measurement = r.u32();
+      m.worker = r.u16();
+      return m;
+    }
+    case Tag::kChunkAck: {
+      ChunkAck m;
+      m.measurement = r.u32();
+      m.worker = r.u16();
+      m.next_seq = r.u64();
       return m;
     }
   }

@@ -35,6 +35,10 @@ struct StartMeasurement {
   std::uint16_t participant_count = 0;
   net::IpAddress anycast_source;
   SimTime start_time;
+  /// First chunk sequence the worker should expect. 0 on a fresh start; a
+  /// reconnecting worker resumes from its last acked chunk instead of
+  /// re-receiving the whole hitlist.
+  std::uint64_t resume_from = 0;
 };
 
 /// CLI -> Orchestrator: submit a measurement (hitlist follows in chunks).
@@ -48,11 +52,18 @@ struct TargetChunk {
   net::MeasurementId measurement = 0;
   std::uint64_t base_index = 0;
   std::vector<net::IpAddress> targets;
+  /// Chunk sequence number within the stream (0-based, contiguous). The
+  /// receiver acks `next expected seq`, enabling retransmission and
+  /// reconnect-and-resume without duplicate probing.
+  std::uint64_t seq = 0;
 };
 
 /// End of the hitlist stream.
 struct EndOfTargets {
   net::MeasurementId measurement = 0;
+  /// Sequence slot of the end marker: equals the total number of chunks,
+  /// so a receiver buffering out-of-order chunks knows when it is done.
+  std::uint64_t seq = 0;
 };
 
 /// Worker -> Orchestrator -> CLI: captured results, streamed immediately
@@ -62,6 +73,9 @@ struct ResultBatch {
   net::WorkerId worker = 0;
   std::vector<ProbeRecord> records;
   std::uint64_t probes_sent = 0;  // delta since the last batch
+  /// Monotonic per-worker batch number (survives reconnects), letting the
+  /// CLI drop duplicated control frames without discarding real records.
+  std::uint64_t batch_seq = 0;
 };
 
 /// Worker -> Orchestrator: probing and capture drained.
@@ -75,6 +89,8 @@ struct MeasurementComplete {
   net::MeasurementId measurement = 0;
   std::uint16_t workers_participated = 0;
   std::uint16_t workers_lost = 0;
+  /// RunStatus as a wire byte (kCompleted / kDegraded / kAborted).
+  std::uint8_t status = static_cast<std::uint8_t>(RunStatus::kCompleted);
 };
 
 /// CLI -> Orchestrator: abort a misconfigured measurement (R3).
@@ -82,10 +98,26 @@ struct Abort {
   net::MeasurementId measurement = 0;
 };
 
+/// Liveness beacon (both directions on the worker link; strictly one-way —
+/// a heartbeat never generates a reply, so it cannot extend the timeline).
+struct Heartbeat {
+  net::MeasurementId measurement = 0;
+  net::WorkerId worker = 0;
+};
+
+/// Cumulative ack for the sequenced hitlist stream: "I have consumed every
+/// chunk with seq < next_seq". Sent Worker -> Orchestrator and
+/// Orchestrator -> CLI.
+struct ChunkAck {
+  net::MeasurementId measurement = 0;
+  net::WorkerId worker = 0;
+  std::uint64_t next_seq = 0;
+};
+
 using Message =
     std::variant<WorkerHello, HelloAck, StartMeasurement, SubmitMeasurement,
                  TargetChunk, EndOfTargets, ResultBatch, WorkerDone,
-                 MeasurementComplete, Abort>;
+                 MeasurementComplete, Abort, Heartbeat, ChunkAck>;
 
 /// Serializes a message (type tag + payload).
 std::vector<std::uint8_t> encode_message(const Message& msg);

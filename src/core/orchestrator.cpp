@@ -9,6 +9,20 @@ namespace {
 /// probe in the chunk is due.
 constexpr SimDuration kStreamLead = SimDuration::millis(500);
 
+/// Liveness sweep cadence: heartbeat + stall + timeout checks per run.
+constexpr SimDuration kSweepInterval = SimDuration::millis(500);
+/// A participating worker silent for this long is declared dead (5 missed
+/// heartbeat intervals) and takes the existing lost-worker path (R5).
+constexpr SimDuration kWorkerLiveness = SimDuration::millis(2500);
+/// A stalled worker is retransmitted at most this many sweeps in a row
+/// before being declared dead.
+constexpr std::uint32_t kMaxStreamRetries = 10;
+/// Stream items resent per stalled worker per sweep.
+constexpr std::uint64_t kRetransmitWindow = 64;
+/// A submitted measurement whose hitlist upload never finishes is aborted
+/// after this long (a dead CLI must not pin the orchestrator forever).
+constexpr SimDuration kUploadWatchdog = SimDuration::seconds(30);
+
 }  // namespace
 
 Orchestrator::Orchestrator(EventQueue& events)
@@ -28,6 +42,18 @@ Orchestrator::Orchestrator(EventQueue& events)
               "laces_orchestrator_measurements_completed_total"),
           obs::Registry::global().counter(
               "laces_orchestrator_measurements_aborted_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_workers_timed_out_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_workers_resumed_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_chunks_retransmitted_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_watchdog_fires_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_measurements_degraded_total"),
+          obs::Registry::global().counter(
+              "laces_orchestrator_heartbeats_sent_total"),
       } {}
 
 std::size_t Orchestrator::connected_workers() const {
@@ -56,15 +82,17 @@ void Orchestrator::attach_cli(std::shared_ptr<Channel> channel) {
 
 void Orchestrator::on_worker_message(WorkerConn& worker,
                                      const Message& message) {
+  // Any authenticated frame — heartbeat, ack, results — proves liveness.
+  worker.last_heard = events_.now();
   std::visit(
       [this, &worker](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, WorkerHello>) {
-          worker.registered = true;
-          worker.name = m.worker_name;
-          worker.id = next_worker_id_++;
-          worker.channel->send(HelloAck{worker.id});
-          metrics_.workers_registered.add();
+          handle_worker_hello(worker, m);
+        } else if constexpr (std::is_same_v<T, ChunkAck>) {
+          if (run_ && m.measurement == run_->spec.id) {
+            worker.acked = std::max(worker.acked, m.next_seq);
+          }
         } else if constexpr (std::is_same_v<T, ResultBatch>) {
           // Aggregation: results stream through to the CLI immediately.
           metrics_.result_batches_forwarded.add();
@@ -77,6 +105,66 @@ void Orchestrator::on_worker_message(WorkerConn& worker,
         }
       },
       message);
+}
+
+void Orchestrator::handle_worker_hello(WorkerConn& worker,
+                                       const WorkerHello& hello) {
+  // Reconnect-and-resume: a worker we already know by name whose old link
+  // is dead takes over its previous identity and — if a measurement is in
+  // flight it was part of — resumes the stream from its last acked item.
+  WorkerConn* old = nullptr;
+  for (auto& o : workers_) {
+    if (o.get() != &worker && o->registered && !o->alive &&
+        o->name == hello.worker_name) {
+      old = o.get();
+      break;
+    }
+  }
+
+  worker.registered = true;
+  worker.name = hello.worker_name;
+  metrics_.workers_registered.add();
+
+  if (!old) {
+    worker.id = next_worker_id_++;
+    worker.channel->send(HelloAck{worker.id});
+    return;
+  }
+
+  worker.id = old->id;
+  old->registered = false;  // retire the dead conn: it must never match again
+  const bool resumable =
+      run_ && !run_->completed && old->participating && !old->done;
+  old->participating = false;
+  worker.channel->send(HelloAck{worker.id});
+  metrics_.workers_resumed.add();
+  if (!resumable) return;
+
+  // The worker was counted lost when its link died; it is back.
+  if (run_->lost > 0) --run_->lost;
+  worker.participating = true;
+  worker.done = false;
+  worker.participant_index = old->participant_index;
+  worker.acked = old->acked;
+  worker.acked_prev = old->acked;
+  worker.streamed_prev = run_->items_streamed;
+  worker.retries = 0;
+
+  StartMeasurement start;
+  start.spec = run_->spec;
+  start.participant_index = worker.participant_index;
+  start.participant_count = run_->participants;
+  start.anycast_source = run_->spec.version == net::IpVersion::kV4
+                             ? anycast_v4_
+                             : anycast_v6_;
+  start.start_time = run_->start_time;
+  start.resume_from = worker.acked;
+  worker.channel->send(start);
+  // Replay everything between its last ack and the stream head; pacing
+  // covers the rest.
+  for (std::uint64_t s = worker.acked; s < run_->items_streamed; ++s) {
+    send_stream_item(worker, s);
+  }
 }
 
 void Orchestrator::on_worker_closed(WorkerConn& worker) {
@@ -95,26 +183,97 @@ void Orchestrator::on_cli_message(const Message& message) {
       [this](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, SubmitMeasurement>) {
+          // A duplicated submit frame must not restart the run.
+          if (run_ && run_->spec.id == m.spec.id) return;
           // Orphan any paced stream events of a replaced run.
           ++stream_generation_;
+          cancel_run_timers();
           run_ = std::make_unique<Run>();
           run_->spec = m.spec;
+          const net::MeasurementId id = m.spec.id;
+          upload_watchdog_event_ =
+              events_.schedule_after(kUploadWatchdog, [this, id]() {
+                upload_watchdog_event_ = kInvalidEventId;
+                if (run_ && run_->spec.id == id && !run_->hitlist_complete) {
+                  metrics_.watchdog_fires.add();
+                  abort_run();
+                }
+              });
         } else if constexpr (std::is_same_v<T, TargetChunk>) {
-          if (run_ && m.measurement == run_->spec.id) {
-            run_->hitlist.insert(run_->hitlist.end(), m.targets.begin(),
-                                 m.targets.end());
-          }
+          handle_upload_chunk(m);
         } else if constexpr (std::is_same_v<T, EndOfTargets>) {
-          if (run_ && m.measurement == run_->spec.id &&
-              !run_->hitlist_complete) {
-            run_->hitlist_complete = true;
-            begin_run();
-          }
+          handle_upload_end(m);
         } else if constexpr (std::is_same_v<T, Abort>) {
           if (run_ && m.measurement == run_->spec.id) abort_run();
         }
       },
       message);
+}
+
+void Orchestrator::handle_upload_chunk(const TargetChunk& chunk) {
+  if (!run_ || chunk.measurement != run_->spec.id || run_->hitlist_complete) {
+    return;
+  }
+  auto& run = *run_;
+  if (chunk.seq < run.upload_next) {
+    send_upload_ack();  // duplicate: re-ack so the CLI stops resending
+    return;
+  }
+  if (chunk.seq > run.upload_next) {
+    run.upload_ooo.emplace(chunk.seq, chunk);
+    send_upload_ack();
+    return;
+  }
+  run.hitlist.insert(run.hitlist.end(), chunk.targets.begin(),
+                     chunk.targets.end());
+  ++run.upload_next;
+  for (auto it = run.upload_ooo.begin();
+       it != run.upload_ooo.end() && it->first == run.upload_next;
+       it = run.upload_ooo.erase(it)) {
+    run.hitlist.insert(run.hitlist.end(), it->second.targets.begin(),
+                       it->second.targets.end());
+    ++run.upload_next;
+  }
+  if (run.upload_end_seen && run.upload_end_seq == run.upload_next) {
+    ++run.upload_next;
+    send_upload_ack();
+    finish_upload();
+    return;
+  }
+  send_upload_ack();
+}
+
+void Orchestrator::handle_upload_end(const EndOfTargets& end) {
+  if (!run_ || end.measurement != run_->spec.id || run_->hitlist_complete) {
+    return;
+  }
+  auto& run = *run_;
+  if (end.seq < run.upload_next) {
+    send_upload_ack();
+    return;
+  }
+  if (end.seq > run.upload_next) {
+    run.upload_end_seen = true;  // chunks still missing below the marker
+    run.upload_end_seq = end.seq;
+    send_upload_ack();
+    return;
+  }
+  ++run.upload_next;
+  send_upload_ack();
+  finish_upload();
+}
+
+void Orchestrator::send_upload_ack() {
+  if (cli_ && cli_->is_open()) {
+    cli_->send(ChunkAck{run_->spec.id, 0, run_->upload_next});
+  }
+}
+
+void Orchestrator::finish_upload() {
+  run_->hitlist_complete = true;
+  events_.cancel(upload_watchdog_event_);
+  upload_watchdog_event_ = kInvalidEventId;
+  begin_run();
 }
 
 void Orchestrator::on_cli_closed() {
@@ -140,6 +299,12 @@ void Orchestrator::begin_run() {
     if (!w->alive || !w->registered || index >= count) continue;
     w->participating = true;
     w->done = false;
+    w->participant_index = index;
+    w->acked = 0;
+    w->acked_prev = 0;
+    w->streamed_prev = 0;
+    w->retries = 0;
+    w->last_heard = events_.now();
     StartMeasurement start;
     start.spec = run.spec;
     start.participant_index = index++;
@@ -154,6 +319,14 @@ void Orchestrator::begin_run() {
   run.start_time = start_time;
   metrics_.measurements_started.add();
   ++stream_generation_;
+  if (run.spec.deadline.ns() > 0) {
+    deadline_event_ =
+        events_.schedule_at(start_time + run.spec.deadline, [this]() {
+          deadline_event_ = kInvalidEventId;
+          force_complete();
+        });
+  }
+  arm_sweep();
   stream_step();
 }
 
@@ -163,11 +336,13 @@ void Orchestrator::stream_step() {
 
   if (run.next_index >= run.hitlist.size()) {
     run.streaming_done = true;
+    EndOfTargets end;
+    end.measurement = run.spec.id;
+    end.seq = run.items_streamed;
     for (auto& w : workers_) {
-      if (w->alive && w->participating) {
-        w->channel->send(EndOfTargets{run.spec.id});
-      }
+      if (w->alive && w->participating) w->channel->send(end);
     }
+    ++run.items_streamed;
     check_completion();
     return;
   }
@@ -177,6 +352,7 @@ void Orchestrator::stream_step() {
   TargetChunk chunk;
   chunk.measurement = run.spec.id;
   chunk.base_index = run.next_index;
+  chunk.seq = run.items_streamed;
   chunk.targets.assign(run.hitlist.begin() + static_cast<std::ptrdiff_t>(run.next_index),
                        run.hitlist.begin() +
                            static_cast<std::ptrdiff_t>(run.next_index + n));
@@ -184,6 +360,7 @@ void Orchestrator::stream_step() {
     if (w->alive && w->participating) w->channel->send(chunk);
   }
   metrics_.chunks_streamed.add();
+  ++run.items_streamed;
   run.next_index += n;
 
   // Pace the stream so chunk k arrives kStreamLead before its first probe.
@@ -198,6 +375,106 @@ void Orchestrator::stream_step() {
   });
 }
 
+void Orchestrator::send_stream_item(WorkerConn& worker, std::uint64_t seq) {
+  auto& run = *run_;
+  const std::uint64_t base = seq * kChunkSize;
+  if (base < run.hitlist.size()) {
+    const std::size_t n =
+        std::min(kChunkSize, run.hitlist.size() - base);
+    TargetChunk chunk;
+    chunk.measurement = run.spec.id;
+    chunk.base_index = base;
+    chunk.seq = seq;
+    chunk.targets.assign(
+        run.hitlist.begin() + static_cast<std::ptrdiff_t>(base),
+        run.hitlist.begin() + static_cast<std::ptrdiff_t>(base + n));
+    worker.channel->send(chunk);
+  } else if (run.streaming_done) {
+    EndOfTargets end;
+    end.measurement = run.spec.id;
+    end.seq = seq;
+    worker.channel->send(end);
+  }
+}
+
+void Orchestrator::arm_sweep() {
+  sweep_event_ = events_.schedule_after(kSweepInterval, [this]() {
+    sweep_event_ = kInvalidEventId;
+    if (!run_) return;
+    sweep();
+    if (run_) arm_sweep();
+  });
+}
+
+void Orchestrator::sweep() {
+  for (auto& w : workers_) {
+    if (!run_) return;  // a timed-out holdout may have completed the run
+    if (!w->participating || !w->alive || w->done) continue;
+
+    // Liveness: a hung peer (partitioned, crashed without FIN) is declared
+    // dead after kWorkerLiveness of silence and takes the same lost-worker
+    // path as an explicit disconnect.
+    if (events_.now() - w->last_heard > kWorkerLiveness) {
+      metrics_.workers_timed_out.add();
+      w->channel->close();       // notifies the peer; not our own handler
+      on_worker_closed(*w);
+      continue;
+    }
+
+    w->channel->send(Heartbeat{run_->spec.id, w->id});
+    metrics_.heartbeats_sent.add();
+
+    // Stall detection: no ack progress across a whole sweep on items that
+    // were already streamed by the previous sweep means frames were lost
+    // (acks normally lag one RTT, far less than a sweep interval).
+    if (w->acked == w->acked_prev && w->acked < w->streamed_prev) {
+      if (++w->retries > kMaxStreamRetries) {
+        metrics_.workers_timed_out.add();
+        w->channel->close();
+        on_worker_closed(*w);
+        continue;
+      }
+      const std::uint64_t hi =
+          std::min(w->acked + kRetransmitWindow, run_->items_streamed);
+      for (std::uint64_t s = w->acked; s < hi; ++s) {
+        send_stream_item(*w, s);
+      }
+      metrics_.chunks_retransmitted.add(hi - w->acked);
+    } else if (w->acked != w->acked_prev) {
+      w->retries = 0;
+    }
+    w->acked_prev = w->acked;
+    w->streamed_prev = run_->items_streamed;
+  }
+}
+
+void Orchestrator::force_complete() {
+  if (!run_ || run_->completed) return;
+  metrics_.watchdog_fires.add();
+  auto& run = *run_;
+  ++stream_generation_;  // stop the paced stream
+  for (auto& w : workers_) {
+    if (w->alive && w->participating && !w->done) {
+      w->channel->send(Abort{run.spec.id});
+      w->participating = false;
+      ++run.lost;
+    }
+  }
+  run.completed = true;
+  metrics_.measurements_completed.add();
+  metrics_.measurements_degraded.add();
+  cancel_run_timers();
+  if (cli_ && cli_->is_open()) {
+    MeasurementComplete done;
+    done.measurement = run.spec.id;
+    done.workers_participated = run.participants;
+    done.workers_lost = run.lost;
+    done.status = static_cast<std::uint8_t>(RunStatus::kDegraded);
+    cli_->send(done);
+  }
+  run_.reset();
+}
+
 void Orchestrator::check_completion() {
   if (!run_ || !run_->streaming_done || run_->completed) return;
   for (const auto& w : workers_) {
@@ -205,9 +482,17 @@ void Orchestrator::check_completion() {
   }
   run_->completed = true;
   metrics_.measurements_completed.add();
+  const RunStatus status =
+      run_->lost > 0 ? RunStatus::kDegraded : RunStatus::kCompleted;
+  if (status == RunStatus::kDegraded) metrics_.measurements_degraded.add();
+  cancel_run_timers();
   if (cli_ && cli_->is_open()) {
-    cli_->send(MeasurementComplete{run_->spec.id, run_->participants,
-                                   run_->lost});
+    MeasurementComplete done;
+    done.measurement = run_->spec.id;
+    done.workers_participated = run_->participants;
+    done.workers_lost = run_->lost;
+    done.status = static_cast<std::uint8_t>(status);
+    cli_->send(done);
   }
   run_.reset();
 }
@@ -216,13 +501,31 @@ void Orchestrator::abort_run() {
   if (!run_) return;
   metrics_.measurements_aborted.add();
   ++stream_generation_;  // cancel pending stream steps
+  cancel_run_timers();
   for (auto& w : workers_) {
     if (w->alive && w->participating) {
       w->channel->send(Abort{run_->spec.id});
       w->participating = false;
     }
   }
+  if (cli_ && cli_->is_open()) {
+    MeasurementComplete done;
+    done.measurement = run_->spec.id;
+    done.workers_participated = run_->participants;
+    done.workers_lost = run_->lost;
+    done.status = static_cast<std::uint8_t>(RunStatus::kAborted);
+    cli_->send(done);
+  }
   run_.reset();
+}
+
+void Orchestrator::cancel_run_timers() {
+  events_.cancel(sweep_event_);
+  events_.cancel(deadline_event_);
+  events_.cancel(upload_watchdog_event_);
+  sweep_event_ = kInvalidEventId;
+  deadline_event_ = kInvalidEventId;
+  upload_watchdog_event_ = kInvalidEventId;
 }
 
 }  // namespace laces::core

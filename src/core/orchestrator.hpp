@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,17 @@ class Orchestrator {
     bool participating = false;
     bool done = false;
     bool alive = true;
+    /// Probe-offset slot, preserved across reconnect-and-resume so a
+    /// restarted worker keeps its probe schedule.
+    std::uint16_t participant_index = 0;
+    /// Sequenced-stream bookkeeping: cumulative ack from the worker, plus
+    /// the snapshot from the previous liveness sweep (stall detection never
+    /// retransmits chunks whose acks are merely in flight).
+    std::uint64_t acked = 0;
+    std::uint64_t acked_prev = 0;
+    std::uint64_t streamed_prev = 0;
+    std::uint32_t retries = 0;
+    SimTime last_heard;
   };
 
   struct Run {
@@ -62,16 +74,35 @@ class Orchestrator {
     std::uint16_t lost = 0;
     bool completed = false;
     SimTime start_time;
+    /// Stream items (chunks, then the end marker) broadcast so far; also
+    /// the seq the next item will carry.
+    std::uint64_t items_streamed = 0;
+    /// Sequenced hitlist upload from the CLI (mirrors the worker-side
+    /// stream logic: in-order consumption with out-of-order buffering).
+    std::uint64_t upload_next = 0;
+    std::map<std::uint64_t, TargetChunk> upload_ooo;
+    bool upload_end_seen = false;
+    std::uint64_t upload_end_seq = 0;
   };
 
   void on_worker_message(WorkerConn& worker, const Message& message);
   void on_worker_closed(WorkerConn& worker);
   void on_cli_message(const Message& message);
   void on_cli_closed();
+  void handle_worker_hello(WorkerConn& worker, const WorkerHello& hello);
+  void handle_upload_chunk(const TargetChunk& chunk);
+  void handle_upload_end(const EndOfTargets& end);
+  void finish_upload();
+  void send_upload_ack();
   void begin_run();
   void stream_step();
+  void send_stream_item(WorkerConn& worker, std::uint64_t seq);
+  void arm_sweep();
+  void sweep();
+  void force_complete();
   void check_completion();
   void abort_run();
+  void cancel_run_timers();
 
   EventQueue& events_;
   std::vector<std::unique_ptr<WorkerConn>> workers_;
@@ -81,6 +112,9 @@ class Orchestrator {
   std::unique_ptr<Run> run_;
   net::WorkerId next_worker_id_ = 1;
   std::uint64_t stream_generation_ = 0;
+  EventId sweep_event_ = kInvalidEventId;
+  EventId deadline_event_ = kInvalidEventId;
+  EventId upload_watchdog_event_ = kInvalidEventId;
 
   // Control-plane telemetry (references into the global registry, fetched
   // once so hot paths touch only atomics).
@@ -92,6 +126,12 @@ class Orchestrator {
     obs::Counter& measurements_started;
     obs::Counter& measurements_completed;
     obs::Counter& measurements_aborted;
+    obs::Counter& workers_timed_out;
+    obs::Counter& workers_resumed;
+    obs::Counter& chunks_retransmitted;
+    obs::Counter& watchdog_fires;
+    obs::Counter& measurements_degraded;
+    obs::Counter& heartbeats_sent;
   };
   Metrics metrics_;
 };

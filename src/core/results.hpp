@@ -1,8 +1,10 @@
 // Probe results: what workers stream back and the CLI aggregates.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/address.hpp"
@@ -28,6 +30,26 @@ struct ProbeRecord {
   std::optional<std::string> txt;
 };
 
+/// How a measurement ended (paper R5: failure is an outcome, not a hang).
+enum class RunStatus : std::uint8_t {
+  /// Never completed: CLI abort, watchdog give-up or a dead control plane.
+  kAborted = 0,
+  /// Every enlisted worker finished.
+  kCompleted = 1,
+  /// Completed, but with lost workers or truncated by the run deadline —
+  /// results are valid yet partial.
+  kDegraded = 2,
+};
+
+inline std::string_view to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted: return "completed";
+    case RunStatus::kDegraded: return "degraded";
+    case RunStatus::kAborted: break;
+  }
+  return "aborted";
+}
+
 /// Aggregated output of one measurement (the single file of §4.1.2).
 struct MeasurementResults {
   net::MeasurementId measurement = 0;
@@ -38,6 +60,13 @@ struct MeasurementResults {
   std::uint64_t probes_sent = 0;
   SimTime started;
   SimTime finished;
+  /// Completion status as reported by the Orchestrator (kAborted until a
+  /// MeasurementComplete arrives).
+  RunStatus status = RunStatus::kAborted;
+  /// Sites enlisted at start vs. sites lost mid-run (previously tracked by
+  /// the Orchestrator but invisible to callers).
+  std::uint16_t workers_participated = 0;
+  std::uint16_t workers_lost = 0;
 };
 
 }  // namespace laces::core

@@ -9,7 +9,7 @@ namespace laces::core {
 Session::Session(topo::SimNetwork& network,
                  const platform::AnycastPlatform& platform,
                  SessionOptions options)
-    : network_(network), platform_(platform) {
+    : network_(network), platform_(platform), options_(std::move(options)) {
   auto& events = network_.events();
   // Spans opened anywhere in this session stamp simulated, not wall, time.
   obs::Tracer::global().set_clock(&events);
@@ -20,18 +20,20 @@ Session::Session(topo::SimNetwork& network,
   for (const auto& site : platform_.sites) {
     auto worker = std::make_unique<Worker>(site.name, site, network_);
     auto [worker_end, orch_end] =
-        make_channel_pair(events, options.key, options.key,
-                          options.control_latency);
+        make_channel_pair(events, options_.key, options_.key,
+                          options_.control_latency);
     orchestrator_->accept_worker(orch_end);
     worker->connect(worker_end);
+    worker_links_.push_back({worker_end, orch_end});
     workers_.push_back(std::move(worker));
   }
 
   cli_ = std::make_unique<Cli>();
   auto [cli_end, orch_cli_end] = make_channel_pair(
-      events, options.key, options.key, options.control_latency);
+      events, options_.key, options_.key, options_.control_latency);
   orchestrator_->attach_cli(orch_cli_end);
   cli_->connect(cli_end);
+  cli_link_ = {cli_end, orch_cli_end};
 
   for (const auto protocol : net::kAllProtocols) {
     measurements_total_[static_cast<std::size_t>(protocol)] =
@@ -42,6 +44,15 @@ Session::Session(topo::SimNetwork& network,
 
   // Let registrations settle before the first measurement.
   events.run();
+}
+
+void Session::reconnect_worker(std::size_t index) {
+  auto [worker_end, orch_end] =
+      make_channel_pair(network_.events(), options_.key, options_.key,
+                        options_.control_latency);
+  worker_links_[index] = {worker_end, orch_end};
+  orchestrator_->accept_worker(orch_end);
+  workers_[index]->connect(worker_end);
 }
 
 void Session::submit(const MeasurementSpec& spec,

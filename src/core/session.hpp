@@ -49,12 +49,32 @@ class Session {
   topo::SimNetwork& network() { return network_; }
   const platform::AnycastPlatform& platform() const { return platform_; }
 
+  /// Channel endpoints of worker `index`'s control link: [0] is the worker
+  /// end, [1] the orchestrator end. Fault injection hooks both.
+  const std::array<std::shared_ptr<Channel>, 2>& worker_link(
+      std::size_t index) const {
+    return worker_links_[index];
+  }
+  /// CLI link endpoints: [0] is the CLI end, [1] the orchestrator end.
+  const std::array<std::shared_ptr<Channel>, 2>& cli_link() const {
+    return cli_link_;
+  }
+
+  /// Restart worker `index`'s control link (crash-restart faults): builds a
+  /// fresh channel pair with the session's key and latency, registers the
+  /// orchestrator end and reconnects the worker, which resumes mid-run from
+  /// its last acked chunk.
+  void reconnect_worker(std::size_t index);
+
  private:
   topo::SimNetwork& network_;
   platform::AnycastPlatform platform_;
+  SessionOptions options_;
   std::unique_ptr<Orchestrator> orchestrator_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Cli> cli_;
+  std::vector<std::array<std::shared_ptr<Channel>, 2>> worker_links_;
+  std::array<std::shared_ptr<Channel>, 2> cli_link_;
   // Per-protocol measurement counters, registered once at construction so
   // run() never takes the registry mutex (registry references stay valid
   // across Registry::reset()).

@@ -9,6 +9,12 @@ namespace {
 
 constexpr std::size_t kResultBatchSize = 256;
 
+// Liveness: the worker beacons every interval while a measurement is active
+// and presumes the Orchestrator dead after this much silence (any frame —
+// chunk, heartbeat, abort — counts as life).
+constexpr SimDuration kHeartbeatInterval = SimDuration::millis(500);
+constexpr SimDuration kOrchestratorSilence = SimDuration::seconds(3);
+
 std::uint64_t pending_key(const net::IpAddress& target) {
   return net::hash_value(target);
 }
@@ -26,6 +32,13 @@ Worker::Worker(std::string name, platform::Site site,
 Worker::~Worker() { teardown_active(); }
 
 void Worker::connect(std::shared_ptr<Channel> channel) {
+  if (channel_ && channel_->is_open()) {
+    // Reconnect replaces a live link (e.g. a restart after a crash fault):
+    // detach the old channel's callbacks before closing it.
+    channel_->set_message_handler(nullptr);
+    channel_->set_close_handler(nullptr);
+    channel_->close();
+  }
   channel_ = std::move(channel);
   channel_->set_message_handler(
       [this](const Message& m) { on_message(m); });
@@ -40,6 +53,9 @@ void Worker::disconnect() {
 
 void Worker::teardown_active() {
   if (!active_) return;
+  if (active_->heartbeat_event != kInvalidEventId) {
+    network_.events().cancel(active_->heartbeat_event);
+  }
   for (const std::uint64_t iface : active_->interfaces) {
     network_.detach(iface);
   }
@@ -48,6 +64,8 @@ void Worker::teardown_active() {
 }
 
 void Worker::on_message(const Message& message) {
+  // Any authenticated orchestrator frame proves liveness.
+  if (active_) active_->last_heard = network_.events().now();
   std::visit(
       [this](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -67,9 +85,14 @@ void Worker::on_message(const Message& message) {
 }
 
 void Worker::handle_start(const StartMeasurement& start) {
+  // A duplicated StartMeasurement frame must not restart probing.
+  if (active_ && active_->start.spec.id == start.spec.id) return;
   teardown_active();
   active_ = std::make_unique<Active>();
   active_->start = start;
+  active_->next_expected = start.resume_from;
+  active_->last_heard = network_.events().now();
+  arm_heartbeat();
 
   auto& registry = obs::Registry::global();
   const obs::Labels labels = {
@@ -97,6 +120,23 @@ void Worker::handle_start(const StartMeasurement& start) {
 
 void Worker::handle_chunk(const TargetChunk& chunk) {
   if (!active_ || chunk.measurement != active_->start.spec.id) return;
+  auto& a = *active_;
+  if (chunk.seq < a.next_expected) {
+    send_ack();  // duplicate or retransmit of a consumed chunk: re-ack only
+    return;
+  }
+  if (chunk.seq > a.next_expected) {
+    a.ooo.emplace(chunk.seq, chunk);  // hole in the stream: park it
+    send_ack();
+    return;
+  }
+  process_chunk(chunk);
+  ++a.next_expected;
+  drain_stream();
+  send_ack();
+}
+
+void Worker::process_chunk(const TargetChunk& chunk) {
   const auto& start = active_->start;
   const double rate = std::max(1.0, start.spec.targets_per_second);
 
@@ -195,12 +235,70 @@ void Worker::flush_results(bool force) {
   a.buffer.clear();
   batch.probes_sent = a.probes_sent_delta;
   a.probes_sent_delta = 0;
+  batch.batch_seq = batch_seq_++;
   channel_->send(batch);
+}
+
+void Worker::drain_stream() {
+  auto& a = *active_;
+  for (auto it = a.ooo.begin();
+       it != a.ooo.end() && it->first == a.next_expected;
+       it = a.ooo.erase(it)) {
+    process_chunk(it->second);
+    ++a.next_expected;
+  }
+  if (a.end_pending && a.end_seq == a.next_expected) {
+    a.end_pending = false;
+    ++a.next_expected;
+    a.end_received = true;
+    maybe_finish();
+  }
+}
+
+void Worker::send_ack() {
+  if (channel_ && channel_->is_open()) {
+    channel_->send(ChunkAck{active_->start.spec.id, id_,
+                            active_->next_expected});
+  }
+}
+
+void Worker::arm_heartbeat() {
+  const std::uint64_t generation = generation_;
+  active_->heartbeat_event = network_.events().schedule_after(
+      kHeartbeatInterval, [this, generation]() {
+        if (generation != generation_ || !active_) return;
+        active_->heartbeat_event = kInvalidEventId;
+        if (network_.events().now() - active_->last_heard >
+            kOrchestratorSilence) {
+          // Orchestrator presumed dead: stop probing, withdraw the
+          // announcement (R5) and drop the link.
+          if (channel_) channel_->close();
+          teardown_active();
+          return;
+        }
+        if (channel_ && channel_->is_open()) {
+          channel_->send(Heartbeat{active_->start.spec.id, id_});
+        }
+        arm_heartbeat();
+      });
 }
 
 void Worker::handle_end(const EndOfTargets& end) {
   if (!active_ || end.measurement != active_->start.spec.id) return;
-  active_->end_received = true;
+  auto& a = *active_;
+  if (a.end_received || end.seq < a.next_expected) {
+    send_ack();  // duplicate end marker
+    return;
+  }
+  if (end.seq > a.next_expected) {
+    a.end_pending = true;  // chunks still missing below the marker
+    a.end_seq = end.seq;
+    send_ack();
+    return;
+  }
+  ++a.next_expected;
+  a.end_received = true;
+  send_ack();
   maybe_finish();
 }
 

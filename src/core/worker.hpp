@@ -8,6 +8,7 @@
 // hitlist nor results (R10).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,9 @@ class Worker {
   Worker& operator=(const Worker&) = delete;
 
   /// Register with the Orchestrator over `channel` (sends WorkerHello).
+  /// Reconnecting mid-run is supported: the Orchestrator recognizes the
+  /// worker by name and resumes the hitlist stream from the last acked
+  /// chunk (StartMeasurement.resume_from).
   void connect(std::shared_ptr<Channel> channel);
 
   /// Simulate a site outage: closes the channel and withdraws all announced
@@ -57,6 +61,17 @@ class Worker {
     bool end_received = false;
     bool done_sent = false;
     SimTime last_probe_time;
+    /// Sequenced-stream state: next stream seq to consume, plus a buffer
+    /// for chunks that arrived out of order (latency-spike faults).
+    std::uint64_t next_expected = 0;
+    std::map<std::uint64_t, TargetChunk> ooo;
+    bool end_pending = false;  // end marker seen but earlier chunks missing
+    std::uint64_t end_seq = 0;
+    /// Liveness: last time any orchestrator frame arrived, and the pending
+    /// heartbeat tick (canceled on teardown so a dead timer can never
+    /// stretch the simulated timeline).
+    SimTime last_heard;
+    EventId heartbeat_event = kInvalidEventId;
     // Telemetry for this measurement's protocol, resolved once at start so
     // the per-probe path is a relaxed atomic increment.
     obs::Counter* probes_counter = nullptr;
@@ -69,6 +84,10 @@ class Worker {
   void handle_chunk(const TargetChunk& chunk);
   void handle_end(const EndOfTargets& end);
   void handle_abort(net::MeasurementId measurement);
+  void process_chunk(const TargetChunk& chunk);
+  void drain_stream();
+  void send_ack();
+  void arm_heartbeat();
   void send_probe(const net::IpAddress& target);
   void on_datagram(const net::Datagram& datagram, SimTime rx_time);
   void flush_results(bool force);
@@ -85,6 +104,9 @@ class Worker {
   Rng rng_;
   std::uint64_t probes_sent_total_ = 0;
   std::uint64_t generation_ = 0;  // invalidates scheduled probes on teardown
+  /// Monotonic across measurements AND reconnects, so the CLI can discard
+  /// duplicated ResultBatch frames without dropping real records.
+  std::uint64_t batch_seq_ = 0;
 };
 
 }  // namespace laces::core

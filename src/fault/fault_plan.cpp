@@ -1,0 +1,286 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace laces::fault {
+namespace {
+
+constexpr FaultKind kFrameKinds[] = {
+    FaultKind::kDropFrames, FaultKind::kDuplicateFrames,
+    FaultKind::kCorruptFrames, FaultKind::kDelayFrames,
+    FaultKind::kPartition};
+
+bool is_worker_lifecycle(FaultKind kind) {
+  return kind == FaultKind::kCrashWorker ||
+         kind == FaultKind::kRestartWorker ||
+         kind == FaultKind::kCrashRestartWorker;
+}
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("fault spec: " + what);
+}
+
+/// Parses `2.5s`, `300ms`, `1500000ns`.
+SimDuration parse_dur(std::string_view s) {
+  double scale = 0.0;
+  std::string_view digits;
+  if (s.ends_with("ns")) {
+    scale = 1.0;
+    digits = s.substr(0, s.size() - 2);
+  } else if (s.ends_with("ms")) {
+    scale = 1e6;
+    digits = s.substr(0, s.size() - 2);
+  } else if (s.ends_with("s")) {
+    scale = 1e9;
+    digits = s.substr(0, s.size() - 1);
+  } else {
+    bad_spec("duration needs a ns/ms/s suffix: '" + std::string(s) + "'");
+  }
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(digits), &used);
+    if (used != digits.size() || v < 0) throw std::invalid_argument("");
+    return SimDuration(static_cast<std::int64_t>(std::llround(v * scale)));
+  } catch (const std::exception&) {
+    bad_spec("bad duration '" + std::string(s) + "'");
+  }
+}
+
+std::string format_ns(std::int64_t ns) { return std::to_string(ns) + "ns"; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropFrames: return "drop";
+    case FaultKind::kDuplicateFrames: return "dup";
+    case FaultKind::kCorruptFrames: return "corrupt";
+    case FaultKind::kDelayFrames: return "delay";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kCrashWorker: return "crash";
+    case FaultKind::kRestartWorker: return "restart";
+    case FaultKind::kCrashRestartWorker: return "crash-restart";
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> kind_from_string(std::string_view name) {
+  for (const FaultKind kind :
+       {FaultKind::kDropFrames, FaultKind::kDuplicateFrames,
+        FaultKind::kCorruptFrames, FaultKind::kDelayFrames,
+        FaultKind::kPartition, FaultKind::kCrashWorker,
+        FaultKind::kRestartWorker, FaultKind::kCrashRestartWorker}) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed,
+                              const GenerateOptions& opts) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(StableHash(0xfa0171).mix(seed).value());
+
+  const int n = static_cast<int>(rng.uniform_int(
+      static_cast<std::uint64_t>(std::max(0, opts.min_events)),
+      static_cast<std::uint64_t>(std::max(opts.min_events, opts.max_events))));
+  const double horizon_s = opts.horizon.to_seconds();
+
+  for (int i = 0; i < n; ++i) {
+    std::vector<FaultKind> kinds(std::begin(kFrameKinds),
+                                 std::end(kFrameKinds));
+    if (opts.allow_crash && opts.sites > 0) {
+      kinds.push_back(FaultKind::kCrashWorker);
+      kinds.push_back(FaultKind::kCrashRestartWorker);
+      kinds.push_back(FaultKind::kCrashRestartWorker);  // favor resume paths
+    }
+
+    FaultEvent ev;
+    ev.kind = kinds[rng.index(kinds.size())];
+    ev.at = SimTime::epoch() +
+            SimDuration::from_seconds(rng.uniform(0.0, horizon_s * 0.8));
+    if (is_worker_lifecycle(ev.kind)) {
+      ev.site = static_cast<int>(rng.index(
+          static_cast<std::size_t>(std::max(1, opts.sites))));
+      ev.duration = SimDuration::from_seconds(rng.uniform(0.5, 3.0));
+      ev.probability = 1.0;
+    } else {
+      // Frame faults target one worker link, all of them, or the CLI link.
+      const std::size_t choices = static_cast<std::size_t>(
+          std::max(1, opts.sites) + 1 + (opts.allow_cli_faults ? 1 : 0));
+      const std::size_t pick = rng.index(choices);
+      if (pick < static_cast<std::size_t>(std::max(1, opts.sites))) {
+        ev.site = static_cast<int>(pick);
+      } else if (pick == static_cast<std::size_t>(std::max(1, opts.sites))) {
+        ev.site = kAllSites;
+      } else {
+        ev.site = kCliLink;
+      }
+      ev.duration = SimDuration::from_seconds(
+          rng.uniform(0.2, std::max(0.4, horizon_s * 0.25)));
+      ev.probability = ev.kind == FaultKind::kPartition
+                           ? 1.0
+                           : rng.uniform(0.1, 0.9);
+      if (ev.kind == FaultKind::kDelayFrames) {
+        ev.magnitude = SimDuration::from_seconds(rng.uniform(0.05, 1.2));
+      }
+    }
+    plan.events.push_back(ev);
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.site < b.site;
+            });
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    std::string_view part = trim(spec.substr(0, semi));
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (part.empty()) continue;
+
+    const std::size_t at_pos = part.find('@');
+    if (at_pos == std::string_view::npos) bad_spec("missing '@' in event");
+    const auto kind = kind_from_string(trim(part.substr(0, at_pos)));
+    if (!kind) {
+      bad_spec("unknown kind '" + std::string(part.substr(0, at_pos)) + "'");
+    }
+
+    FaultEvent ev;
+    ev.kind = *kind;
+    std::string_view rest = part.substr(at_pos + 1);
+    std::string_view times = rest;
+    std::string_view params;
+    if (const std::size_t colon = rest.find(':');
+        colon != std::string_view::npos) {
+      times = rest.substr(0, colon);
+      params = rest.substr(colon + 1);
+    }
+    std::string_view start = times;
+    if (const std::size_t plus = times.find('+');
+        plus != std::string_view::npos) {
+      start = times.substr(0, plus);
+      ev.duration = parse_dur(trim(times.substr(plus + 1)));
+    }
+    ev.at = SimTime::epoch() + parse_dur(trim(start));
+
+    while (!params.empty()) {
+      const std::size_t comma = params.find(',');
+      std::string_view kv = trim(params.substr(0, comma));
+      params = comma == std::string_view::npos ? std::string_view{}
+                                               : params.substr(comma + 1);
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) bad_spec("parameter needs '='");
+      const std::string_view key = trim(kv.substr(0, eq));
+      const std::string_view value = trim(kv.substr(eq + 1));
+      if (key == "site") {
+        if (value == "all") {
+          ev.site = kAllSites;
+        } else if (value == "cli") {
+          ev.site = kCliLink;
+        } else {
+          try {
+            ev.site = std::stoi(std::string(value));
+          } catch (const std::exception&) {
+            bad_spec("bad site '" + std::string(value) + "'");
+          }
+          if (ev.site < 0) bad_spec("site index must be >= 0");
+        }
+      } else if (key == "p") {
+        try {
+          ev.probability = std::stod(std::string(value));
+        } catch (const std::exception&) {
+          bad_spec("bad probability '" + std::string(value) + "'");
+        }
+        if (ev.probability < 0.0 || ev.probability > 1.0) {
+          bad_spec("probability out of [0,1]");
+        }
+      } else if (key == "mag") {
+        ev.magnitude = parse_dur(value);
+      } else {
+        bad_spec("unknown parameter '" + std::string(key) + "'");
+      }
+    }
+
+    if (is_worker_lifecycle(ev.kind) && ev.site < 0) {
+      bad_spec("crash/restart faults need site=<worker index>");
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const auto& ev : events) {
+    if (!out.empty()) out += ';';
+    out += to_string(ev.kind);
+    out += '@';
+    out += format_ns((ev.at - SimTime::epoch()).ns());
+    if (ev.duration.ns() > 0) {
+      out += '+';
+      out += format_ns(ev.duration.ns());
+    }
+    std::string params;
+    if (ev.site == kCliLink) {
+      params += "site=cli";
+    } else if (ev.site != kAllSites) {
+      params += "site=" + std::to_string(ev.site);
+    }
+    if (ev.probability != 1.0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "p=%.17g", ev.probability);
+      if (!params.empty()) params += ',';
+      params += buf;
+    }
+    if (ev.magnitude.ns() > 0) {
+      if (!params.empty()) params += ',';
+      params += "mag=" + format_ns(ev.magnitude.ns());
+    }
+    if (!params.empty()) {
+      out += ':';
+      out += params;
+    }
+  }
+  return out;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char buf[160];
+  for (const auto& ev : events) {
+    std::string site = ev.site == kAllSites  ? "all"
+                       : ev.site == kCliLink ? "cli"
+                                             : std::to_string(ev.site);
+    std::snprintf(buf, sizeof(buf),
+                  "t=%.3fs %-13s site=%-3s dur=%.3fs p=%.2f mag=%.0fms\n",
+                  ev.at.to_seconds(), std::string(to_string(ev.kind)).c_str(),
+                  site.c_str(), ev.duration.to_seconds(), ev.probability,
+                  ev.magnitude.to_millis());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace laces::fault

@@ -1,0 +1,105 @@
+// Deterministic fault plans (the laces_fault tentpole).
+//
+// A FaultPlan is a seeded, serializable schedule of control-plane faults —
+// frame drop/duplication/corruption, latency spikes, link partitions,
+// worker crashes and restarts — layered onto a simulation by the
+// FaultInjector. Plans are a pure function of (seed, options): the same
+// seed always yields the same faults, so every chaos failure reproduces
+// bit-for-bit (paper R5: resilience must be testable, not aspirational).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/simtime.hpp"
+
+namespace laces::fault {
+
+enum class FaultKind : std::uint8_t {
+  /// Drop control frames with `probability` during the window.
+  kDropFrames = 0,
+  /// Deliver frames twice with `probability` during the window.
+  kDuplicateFrames,
+  /// Flip a payload byte after signing (fails the MAC) with `probability`.
+  kCorruptFrames,
+  /// Add `magnitude` to the link latency with `probability` (reorders
+  /// frames relative to later, unspiked ones).
+  kDelayFrames,
+  /// Drop ALL frames in both directions during the window: the link looks
+  /// up but is dead (a hung peer, detectable only by heartbeat timeout).
+  kPartition,
+  /// Worker::disconnect() at `at` (site outage with FIN).
+  kCrashWorker,
+  /// Session::reconnect_worker() at `at` (a previously crashed worker
+  /// re-registers and resumes).
+  kRestartWorker,
+  /// Crash at `at`, restart `duration` later: the reconnect-and-resume
+  /// path end to end.
+  kCrashRestartWorker,
+};
+
+std::string_view to_string(FaultKind kind);
+std::optional<FaultKind> kind_from_string(std::string_view name);
+
+/// `site` values with special meaning.
+inline constexpr int kAllSites = -1;  // every worker link
+inline constexpr int kCliLink = -2;   // the CLI <-> Orchestrator link
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropFrames;
+  SimTime at;
+  /// Window length for frame faults and partitions; restart delay for
+  /// kCrashRestartWorker; ignored for kCrashWorker/kRestartWorker.
+  SimDuration duration{};
+  /// Worker index, kAllSites, or kCliLink. Crash/restart faults require a
+  /// concrete worker index.
+  int site = kAllSites;
+  /// Per-frame fault probability for frame faults.
+  double probability = 1.0;
+  /// Extra latency for kDelayFrames.
+  SimDuration magnitude{};
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct GenerateOptions {
+  /// Faults are scheduled in [0, horizon).
+  SimDuration horizon = SimDuration::seconds(30);
+  /// Worker links available for targeting (site indices [0, sites)).
+  int sites = 4;
+  int min_events = 1;
+  int max_events = 6;
+  bool allow_crash = true;
+  bool allow_cli_faults = true;
+};
+
+/// A deterministic, seeded schedule of faults.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  /// Pure function of (seed, opts): the seeded chaos-suite generator.
+  static FaultPlan generate(std::uint64_t seed,
+                            const GenerateOptions& opts = {});
+
+  /// Parses the `--faults` CLI grammar: semicolon-separated events, each
+  ///   kind@start[+duration][:key=value,...]
+  /// where times are `2.5s` / `300ms`, and keys are `site` (index, `all`
+  /// or `cli`), `p` (probability) and `mag` (extra delay for `delay`).
+  /// Example: "drop@2s+5s:site=1,p=0.5;crash-restart@3s+2s:site=2".
+  /// Throws std::invalid_argument on malformed input.
+  static FaultPlan parse(std::string_view spec, std::uint64_t seed = 0);
+
+  /// Round-trips through parse(): parse(to_spec(), seed) == *this.
+  std::string to_spec() const;
+
+  /// Human-readable, one line per event.
+  std::string describe() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace laces::fault

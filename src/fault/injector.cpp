@@ -1,0 +1,143 @@
+#include "fault/injector.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace laces::fault {
+namespace {
+
+bool site_matches(int fault_site, int link_site) {
+  if (fault_site == link_site) return true;
+  // kAllSites covers every worker link but not the CLI link.
+  return fault_site == kAllSites && link_site >= 0;
+}
+
+bool in_window(const FaultEvent& ev, SimTime now) {
+  return now >= ev.at && now < ev.at + ev.duration;
+}
+
+}  // namespace
+
+void FaultInjector::install(core::Session& session) {
+  session_ = &session;
+  for (std::size_t i = 0; i < session.worker_count(); ++i) {
+    hook_worker_link(i);
+  }
+  hook_cli_link();
+
+  auto& events = session.network().events();
+  for (const auto& ev : plan_.events) {
+    const int site = ev.site;
+    if (ev.kind == FaultKind::kCrashWorker ||
+        ev.kind == FaultKind::kCrashRestartWorker) {
+      if (site < 0 || site >= static_cast<int>(session.worker_count())) {
+        continue;
+      }
+      events.schedule_at(ev.at, [this, site]() {
+        session_->worker(static_cast<std::size_t>(site)).disconnect();
+        bump(FaultKind::kCrashWorker);
+        log("crash", site);
+      });
+    }
+    if (ev.kind == FaultKind::kRestartWorker ||
+        ev.kind == FaultKind::kCrashRestartWorker) {
+      if (site < 0 || site >= static_cast<int>(session.worker_count())) {
+        continue;
+      }
+      const SimTime when = ev.kind == FaultKind::kRestartWorker
+                               ? ev.at
+                               : ev.at + ev.duration;
+      events.schedule_at(when, [this, site]() {
+        session_->reconnect_worker(static_cast<std::size_t>(site));
+        hook_worker_link(static_cast<std::size_t>(site));  // fresh channels
+        bump(FaultKind::kRestartWorker);
+        log("restart", site);
+      });
+    }
+  }
+}
+
+void FaultInjector::hook_worker_link(std::size_t index) {
+  const int site = static_cast<int>(index);
+  for (const auto& channel : session_->worker_link(index)) {
+    channel->set_fault_filter(
+        [this, site](const core::Message&) { return on_frame(site); });
+  }
+}
+
+void FaultInjector::hook_cli_link() {
+  for (const auto& channel : session_->cli_link()) {
+    channel->set_fault_filter(
+        [this](const core::Message&) { return on_frame(kCliLink); });
+  }
+}
+
+core::FaultDecision FaultInjector::on_frame(int site) {
+  core::FaultDecision decision;
+  const SimTime now = session_->network().events().now();
+  const std::uint64_t frame = frame_counter_++;
+  for (const auto& ev : plan_.events) {
+    if (!site_matches(ev.site, site) || !in_window(ev, now)) continue;
+    // Per-frame coin flip: deterministic in (seed, frame index, link, kind).
+    const double roll = StableHash(plan_.seed)
+                            .mix(frame)
+                            .mix(static_cast<std::uint64_t>(site + 16))
+                            .mix(static_cast<std::uint64_t>(ev.kind))
+                            .unit();
+    switch (ev.kind) {
+      case FaultKind::kPartition:
+        decision.drop = true;
+        bump(FaultKind::kPartition);
+        break;
+      case FaultKind::kDropFrames:
+        if (roll < ev.probability) {
+          decision.drop = true;
+          bump(FaultKind::kDropFrames);
+        }
+        break;
+      case FaultKind::kDuplicateFrames:
+        if (roll < ev.probability) {
+          decision.copies = 2;
+          bump(FaultKind::kDuplicateFrames);
+        }
+        break;
+      case FaultKind::kCorruptFrames:
+        if (roll < ev.probability) {
+          decision.corrupt = true;
+          bump(FaultKind::kCorruptFrames);
+        }
+        break;
+      case FaultKind::kDelayFrames:
+        if (roll < ev.probability) {
+          decision.extra_delay = decision.extra_delay + ev.magnitude;
+          bump(FaultKind::kDelayFrames);
+        }
+        break;
+      case FaultKind::kCrashWorker:
+      case FaultKind::kRestartWorker:
+      case FaultKind::kCrashRestartWorker:
+        break;  // lifecycle faults are scheduled, not per-frame
+    }
+    if (decision.drop) break;  // dropped is dropped; stop evaluating
+  }
+  return decision;
+}
+
+void FaultInjector::bump(FaultKind kind) {
+  ++injected_[static_cast<std::size_t>(kind)];
+  obs::Registry::global()
+      .counter("laces_fault_injected_total",
+               {{"kind", std::string(to_string(kind))}})
+      .add();
+}
+
+void FaultInjector::log(const char* what, int site) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs %s worker %d",
+                session_->network().events().now().to_seconds(), what, site);
+  applied_.emplace_back(buf);
+}
+
+}  // namespace laces::fault

@@ -1,0 +1,56 @@
+// FaultInjector: layers a FaultPlan onto a live Session.
+//
+// Frame faults install Channel fault filters on both endpoints of every
+// control link; lifecycle faults (crash/restart) are scheduled on the
+// session's event queue. Everything the injector does is a pure function
+// of (plan seed, frame arrival order), so a faulted run replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace laces::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Hook the session's control links and schedule lifecycle faults. Call
+  /// once, before driving measurements; the injector must outlive the
+  /// session's event processing.
+  void install(core::Session& session);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Human-readable log of faults that actually applied (lifecycle faults
+  /// and the first application of each frame-fault window).
+  const std::vector<std::string>& applied() const { return applied_; }
+
+  /// Total frame faults applied, by kind (mirrors the
+  /// laces_fault_injected_total metric, scoped to this injector).
+  std::uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+
+ private:
+  core::FaultDecision on_frame(int site);
+  void hook_worker_link(std::size_t index);
+  void hook_cli_link();
+  void bump(FaultKind kind);
+  void log(const char* what, int site);
+
+  FaultPlan plan_;
+  core::Session* session_ = nullptr;
+  std::vector<std::string> applied_;
+  std::uint64_t frame_counter_ = 0;
+  std::uint64_t injected_[8] = {};
+};
+
+}  // namespace laces::fault

@@ -93,6 +93,86 @@ std::string classification_section(const MetricsSnapshot& metrics) {
   return "Classifications\n" + table.render();
 }
 
+std::string label_of(const MetricSample& sample, std::string_view key) {
+  for (const auto& [k, v] : sample.labels) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+/// Control-plane hardening counters: liveness, retransmissions, watchdogs,
+/// channel integrity. All-zero rows are dropped; a fault-free run shows
+/// only heartbeat traffic.
+std::string control_plane_section(const MetricsSnapshot& metrics) {
+  struct Row {
+    const char* label;
+    const char* metric;
+  };
+  static constexpr Row kRows[] = {
+      {"heartbeats sent", "laces_orchestrator_heartbeats_sent_total"},
+      {"chunks retransmitted", "laces_orchestrator_chunks_retransmitted_total"},
+      {"workers timed out", "laces_orchestrator_workers_timed_out_total"},
+      {"workers resumed", "laces_orchestrator_workers_resumed_total"},
+      {"watchdog fires", "laces_orchestrator_watchdog_fires_total"},
+      {"measurements degraded",
+       "laces_orchestrator_measurements_degraded_total"},
+      {"channel auth failures", "laces_channel_auth_failures_total"},
+      {"sends after close", "laces_channel_send_after_close_total"},
+  };
+  TextTable table({"Event", "Count"});
+  bool any = false;
+  for (const auto& row : kRows) {
+    const double count = metrics.value(row.metric);
+    if (count == 0.0) continue;
+    any = true;
+    table.add_row({row.label, with_commas(static_cast<std::int64_t>(count))});
+  }
+  if (!any) return "";
+  return "Control-plane hardening\n" + table.render();
+}
+
+/// Injected faults by kind (only present when a fault plan was installed).
+std::string fault_section(const MetricsSnapshot& metrics) {
+  TextTable table({"Fault kind", "Injected"});
+  bool any = false;
+  for (const auto& sample : metrics.samples) {
+    if (sample.name != "laces_fault_injected_total" || sample.value == 0.0) {
+      continue;
+    }
+    any = true;
+    table.add_row({label_of(sample, "kind"),
+                   with_commas(static_cast<std::int64_t>(sample.value))});
+  }
+  if (!any) return "";
+  return "Injected faults\n" + table.render();
+}
+
+/// Canary alarms: per (day, worker), baseline vs. observed catchment share.
+std::string canary_section(const MetricsSnapshot& metrics) {
+  std::map<std::pair<std::string, std::string>, std::pair<double, double>>
+      alarms;  // (day, worker) -> (baseline, today)
+  for (const auto& sample : metrics.samples) {
+    if (sample.name != "laces_canary_alarm_share") continue;
+    auto& entry = alarms[{label_of(sample, "day"), label_of(sample, "worker")}];
+    if (label_of(sample, "share") == "baseline") {
+      entry.first = sample.value;
+    } else {
+      entry.second = sample.value;
+    }
+  }
+  if (alarms.empty()) return "";
+
+  TextTable table({"Day", "Worker", "Baseline share", "Today share"});
+  for (const auto& [key, shares] : alarms) {
+    table.add_row({key.first, key.second, pct(shares.first, 1.0),
+                   pct(shares.second, 1.0)});
+  }
+  const double total = metrics.value("laces_canary_alarms_total");
+  return "Canary alarms (" +
+         with_commas(static_cast<std::int64_t>(total)) + " total)\n" +
+         table.render();
+}
+
 std::string routing_cache_section(const MetricsSnapshot& metrics) {
   struct CacheRow {
     const char* label;
@@ -135,7 +215,9 @@ std::string render_run_report(const MetricsSnapshot& metrics,
   }
   for (const auto& section :
        {stage_section(spans), probe_section(metrics), rate_section(metrics),
-        classification_section(metrics), routing_cache_section(metrics)}) {
+        classification_section(metrics), control_plane_section(metrics),
+        fault_section(metrics), canary_section(metrics),
+        routing_cache_section(metrics)}) {
     if (!section.empty()) out += "\n" + section;
   }
   return out;

@@ -6,7 +6,7 @@
 
 namespace laces {
 
-void EventQueue::schedule_at(SimTime at, Callback cb) {
+EventId EventQueue::schedule_at(SimTime at, Callback cb) {
   if (at < now_) at = now_;
 
   // Park the callback in the slot pool; only the 16-byte key enters the
@@ -34,6 +34,20 @@ void EventQueue::schedule_at(SimTime at, Callback cb) {
     i = parent;
   }
   heap_[i] = ev;
+  return ev.seq_slot + 1;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id != kInvalidEventId) canceled_.insert(id);
+}
+
+bool EventQueue::discard_if_canceled() {
+  if (canceled_.empty() || canceled_.erase(heap_.front().seq_slot + 1) == 0) {
+    return false;
+  }
+  SimTime at;
+  (void)pop_min(at);  // drop the callback; now_ stays where it was
+  return true;
 }
 
 EventQueue::Callback EventQueue::pop_min(SimTime& at_out) {
@@ -71,6 +85,7 @@ EventQueue::Callback EventQueue::pop_min(SimTime& at_out) {
 std::size_t EventQueue::run() {
   std::size_t executed = 0;
   while (!heap_.empty()) {
+    if (discard_if_canceled()) continue;
     // The callback is moved fully off the pool before it runs, so it may
     // schedule new events.
     SimTime at;
@@ -85,6 +100,7 @@ std::size_t EventQueue::run() {
 std::size_t EventQueue::run_until(SimTime deadline) {
   std::size_t executed = 0;
   while (!heap_.empty() && heap_.front().at <= deadline) {
+    if (discard_if_canceled()) continue;
     SimTime at;
     Callback cb = pop_min(at);
     now_ = at;

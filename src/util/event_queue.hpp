@@ -19,12 +19,18 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "util/callback.hpp"
 #include "util/simtime.hpp"
 
 namespace laces {
+
+/// Handle to a scheduled event, usable with EventQueue::cancel().
+/// kInvalidEventId never names a live event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
 
 /// Timestamp-ordered callback queue driving simulated time.
 class EventQueue {
@@ -35,12 +41,20 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// Schedule `cb` to run at absolute time `at` (clamped to now()).
-  void schedule_at(SimTime at, Callback cb);
+  /// The returned id stays valid until the event runs or is canceled.
+  EventId schedule_at(SimTime at, Callback cb);
 
   /// Schedule `cb` to run `delay` after now().
-  void schedule_after(SimDuration delay, Callback cb) {
-    schedule_at(now_ + delay, std::move(cb));
+  EventId schedule_after(SimDuration delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
   }
+
+  /// Cancel a pending event. A canceled event is discarded without running
+  /// and — crucially for determinism — without advancing now(), so a
+  /// canceled watchdog can never stretch the simulated timeline. Callers
+  /// must not cancel ids of events that already ran (the id would linger
+  /// in the canceled set); kInvalidEventId is ignored.
+  void cancel(EventId id);
 
   /// Run until the queue drains. Returns the number of events executed.
   std::size_t run();
@@ -51,6 +65,8 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
+  /// Pending events not yet canceled (drain checks ignore canceled stubs).
+  std::size_t pending_live() const { return heap_.size() - canceled_.size(); }
 
   /// Pre-size the heap and slot-pool storage (lets tests assert the steady
   /// state does zero allocations per event).
@@ -85,9 +101,17 @@ class EventQueue {
   /// `at_out` to the event's timestamp.
   Callback pop_min(SimTime& at_out);
 
+  /// If the minimum entry was canceled, drop it (without touching now_)
+  /// and return true.
+  bool discard_if_canceled();
+
   std::vector<Entry> heap_;     // binary min-heap ordered by (at, seq)
   std::vector<Callback> slots_; // callback pool, indexed by Entry::slot
   std::vector<std::uint32_t> free_;  // recycled slot indices (LIFO)
+  /// EventIds (seq_slot + 1) canceled but still parked in the heap. The run
+  /// loops pay one empty() check per event while this is empty, so the
+  /// fault-free hot path is unchanged.
+  std::unordered_set<EventId> canceled_;
   SimTime now_ = SimTime::epoch();
   std::uint64_t next_seq_ = 0;
 };

@@ -118,6 +118,48 @@ TEST(Messages, RemainingControlMessages) {
   EXPECT_EQ(round_trip(Abort{4}).measurement, 4u);
 }
 
+TEST(Messages, HardenedControlPlaneFields) {
+  // Sequence numbers, resume offsets, deadlines, and completion status all
+  // survive the wire format (appended fields, old order preserved).
+  StartMeasurement start;
+  start.spec.id = 11;
+  start.spec.deadline = SimDuration::seconds(90);
+  start.resume_from = 17;
+  const auto start_out = round_trip(start);
+  EXPECT_EQ(start_out.spec.deadline, SimDuration::seconds(90));
+  EXPECT_EQ(start_out.resume_from, 17u);
+
+  TargetChunk chunk;
+  chunk.measurement = 2;
+  chunk.seq = 0xabcdef01;
+  EXPECT_EQ(round_trip(chunk).seq, 0xabcdef01u);
+
+  EndOfTargets end;
+  end.measurement = 3;
+  end.seq = 41;
+  EXPECT_EQ(round_trip(end).seq, 41u);
+
+  ResultBatch batch;
+  batch.measurement = 4;
+  batch.batch_seq = 0x1234567890ULL;
+  EXPECT_EQ(round_trip(batch).batch_seq, 0x1234567890ULL);
+
+  MeasurementComplete complete{6, 32, 2};
+  complete.status = static_cast<std::uint8_t>(RunStatus::kDegraded);
+  EXPECT_EQ(round_trip(complete).status,
+            static_cast<std::uint8_t>(RunStatus::kDegraded));
+}
+
+TEST(Messages, HeartbeatAndChunkAck) {
+  const auto hb = round_trip(Heartbeat{9, 21});
+  EXPECT_EQ(hb.measurement, 9u);
+  EXPECT_EQ(hb.worker, 21);
+  const auto ack = round_trip(ChunkAck{7, 3, 0xfeedULL});
+  EXPECT_EQ(ack.measurement, 7u);
+  EXPECT_EQ(ack.worker, 3);
+  EXPECT_EQ(ack.next_seq, 0xfeedULL);
+}
+
 TEST(Messages, MalformedInputThrows) {
   EXPECT_THROW(decode_message({}), DecodeError);
   const std::uint8_t bad_tag[] = {0xff, 0, 0};

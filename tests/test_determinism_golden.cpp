@@ -35,9 +35,10 @@ namespace {
 constexpr const char* kCensusDigest =
     "a89c62253e648cb244d31e132f0bfe1520e19cad5c4e95a1442cedcc6094c35e";
 /// Prometheus metrics digest (updates when the metric surface changes —
-/// last: the fast path added routing cache hit/miss counters).
+/// last: the hardened control plane added heartbeat/retransmit/watchdog
+/// counters and the census degraded-day/lost-site counters).
 constexpr const char* kMetricsDigest =
-    "579c392544aa7bac29f5f7efddd743e07739ebcc9044fc373672d0389afce324";
+    "94f91cd23a6ab66a9df9cd893e1800279f7424dbae8d7be2263b223acd2a9437";
 /// Trace JSONL digest, captured at the pre-fast-path seed state.
 constexpr const char* kTraceDigest =
     "e18f4376fb20f6033058b1270f9313029d969b0aef655fc57bd84e5eb83d29b1";

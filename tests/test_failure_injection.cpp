@@ -2,17 +2,58 @@
 // (paper R5 "robustness" beyond the happy path).
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <tuple>
 
 #include "census/output.hpp"
 #include "core/classify.hpp"
 #include "core/session.hpp"
 #include "hitlist/hitlist.hpp"
+#include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "support.hpp"
 
 namespace laces::core {
 namespace {
+
+/// Drop every frame in both directions: the link looks up but is dead —
+/// the hung-peer case only heartbeat liveness can detect.
+void partition_link(const std::array<std::shared_ptr<Channel>, 2>& link) {
+  for (const auto& channel : link) {
+    channel->set_fault_filter([](const Message&) {
+      FaultDecision fate;
+      fate.drop = true;
+      return fate;
+    });
+  }
+}
+
+/// Duplicate every frame in both directions.
+void duplicate_link(const std::array<std::shared_ptr<Channel>, 2>& link) {
+  for (const auto& channel : link) {
+    channel->set_fault_filter([](const Message&) {
+      FaultDecision fate;
+      fate.copies = 2;
+      return fate;
+    });
+  }
+}
+
+/// Result records that collide on (target, rx, tx, protocol) — the record
+/// identity the CLI dedups on. Must be zero after any run.
+std::size_t duplicate_records(const MeasurementResults& results) {
+  std::set<std::tuple<std::uint64_t, std::uint16_t, std::uint16_t, int>> seen;
+  std::size_t dups = 0;
+  for (const auto& rec : results.records) {
+    if (!rec.tx_worker) continue;
+    const auto key =
+        std::make_tuple(net::hash_value(rec.target), rec.rx_worker,
+                        *rec.tx_worker, static_cast<int>(rec.protocol));
+    if (!seen.insert(key).second) ++dups;
+  }
+  return dups;
+}
 
 class FailureTest : public ::testing::Test {
  protected:
@@ -179,6 +220,148 @@ TEST_F(FailureTest, PacketLossDegradesGracefully) {
   EXPECT_LT(results.records.size(), t.size() * 32);
   const auto classification = classify_anycast(results, t);
   EXPECT_FALSE(anycast_targets(classification).empty());
+}
+
+TEST_F(FailureTest, HungWorkerHeartbeatTimeoutDegradesRun) {
+  // Unlike a closed channel, a partitioned one gives no close notification:
+  // only heartbeat liveness can evict the silent worker.
+  Session session(*network_, platform_);
+  MeasurementSpec spec;
+  spec.id = 20;
+  spec.targets_per_second = 500;
+  spec.deadline = SimDuration::seconds(120);
+  session.submit(spec, targets(300));
+  events_.schedule_at(SimTime(0) + SimDuration::seconds(2),
+                      [&] { partition_link(session.worker_link(0)); });
+  events_.run();  // returning at all proves the loop drained
+  EXPECT_TRUE(session.cli().finished());
+  EXPECT_EQ(session.cli().workers_lost(), 1);
+  EXPECT_EQ(session.cli().results().status, RunStatus::kDegraded);
+  EXPECT_EQ(session.cli().results().workers_lost, 1);
+  EXPECT_EQ(session.cli().results().workers_participated, 32);
+  EXPECT_FALSE(session.orchestrator().measurement_active());
+  EXPECT_EQ(events_.pending_live(), 0u);
+}
+
+TEST_F(FailureTest, KilledWorkerResumesFromLastAckedChunk) {
+  // Kill a worker mid-stream, bring it back two seconds later: the
+  // orchestrator must replay from the last acked chunk and the worker must
+  // contribute post-reconnect records — with no duplicates from the replay.
+  //
+  // Timing: chunks hold 512 targets, so 1200 targets at 200/s stream as
+  // chunk 0 (acked immediately), chunk 1 at ~t=3s and chunk 2 at ~t=5.6s.
+  // The crash at t=2s and reconnect at t=4s land chunk 1 in the window
+  // where worker 0 is dark — exactly the item resume must replay.
+  Session session(*network_, platform_);
+  const auto resumed_before =
+      obs::Registry::global()
+          .counter("laces_orchestrator_workers_resumed_total")
+          .value();
+  MeasurementSpec spec;
+  spec.id = 21;
+  spec.targets_per_second = 200;  // slow stream: crash lands mid-stream
+  const auto t = targets(1200);
+  session.submit(spec, t);
+  const auto down = SimTime(0) + SimDuration::seconds(2);
+  const auto up = SimTime(0) + SimDuration::seconds(4);
+  events_.schedule_at(down, [&] { session.worker(0).disconnect(); });
+  events_.schedule_at(up, [&] { session.reconnect_worker(0); });
+  events_.run();
+
+  ASSERT_TRUE(session.cli().finished());
+  const auto& results = session.cli().results();
+  EXPECT_EQ(results.status, RunStatus::kCompleted);
+  EXPECT_EQ(session.cli().workers_lost(), 0);
+  EXPECT_EQ(results.workers_lost, 0);
+  EXPECT_EQ(obs::Registry::global()
+                .counter("laces_orchestrator_workers_resumed_total")
+                .value(),
+            resumed_before + 1);
+
+  // The resumed worker probed targets after it came back.
+  const auto id = session.worker(0).id();
+  bool post_reconnect = false;
+  for (const auto& rec : results.records) {
+    if (rec.tx_worker == id && rec.rx_time > up) post_reconnect = true;
+  }
+  EXPECT_TRUE(post_reconnect);
+  EXPECT_EQ(duplicate_records(results), 0u);
+}
+
+TEST_F(FailureTest, CliStallWatchdogGivesUpOnSilentOrchestrator) {
+  // CLI-side watchdog: the orchestrator finishes but its completion (and
+  // every result batch) is lost; the CLI must not hang forever.
+  Session session(*network_, platform_);
+  MeasurementSpec spec;
+  spec.id = 22;
+  spec.targets_per_second = 50000;
+  spec.worker_offset = SimDuration::seconds(0);
+  spec.deadline = SimDuration::seconds(10);
+  session.submit(spec, targets(200));
+  events_.schedule_at(SimTime(0) + SimDuration::millis(500),
+                      [&] { partition_link(session.cli_link()); });
+  events_.run();
+  EXPECT_FALSE(session.cli().finished());
+  EXPECT_TRUE(session.cli().aborted());
+  EXPECT_TRUE(session.cli().terminated());
+  EXPECT_FALSE(session.orchestrator().measurement_active());
+  EXPECT_EQ(events_.pending_live(), 0u);
+}
+
+TEST_F(FailureTest, DeadlineForceCompletesWithPartialResults) {
+  // A measurement that overruns its deadline ends degraded with whatever
+  // was collected, instead of running arbitrarily long.
+  Session session(*network_, platform_);
+  MeasurementSpec spec;
+  spec.id = 23;
+  spec.targets_per_second = 500;
+  spec.deadline = SimDuration::seconds(5);  // full run needs ~35s
+  session.submit(spec, targets(300));
+  events_.run();
+  ASSERT_TRUE(session.cli().finished());
+  const auto& results = session.cli().results();
+  EXPECT_EQ(results.status, RunStatus::kDegraded);
+  EXPECT_GT(results.workers_lost, 0);
+  EXPECT_GT(results.records.size(), 0u);
+  EXPECT_LT(results.records.size(), 300u * 32u);
+  EXPECT_FALSE(session.orchestrator().measurement_active());
+  EXPECT_EQ(events_.pending_live(), 0u);
+}
+
+TEST_F(FailureTest, DuplicatedFramesDoNotDuplicateRecords) {
+  // Duplicate every control frame on one worker link and on the CLI link:
+  // sequence numbers and batch/record dedup must absorb all of it.
+  Session session(*network_, platform_);
+  duplicate_link(session.worker_link(0));
+  duplicate_link(session.cli_link());
+  MeasurementSpec spec;
+  spec.id = 24;
+  spec.targets_per_second = 50000;
+  spec.worker_offset = SimDuration::seconds(0);
+  const auto t = targets(200);
+  session.submit(spec, t);
+  events_.run();
+  ASSERT_TRUE(session.cli().finished());
+  const auto& results = session.cli().results();
+  EXPECT_EQ(results.status, RunStatus::kCompleted);
+  EXPECT_EQ(results.probes_sent, 200u * 32u);  // batch dedup held
+  EXPECT_EQ(duplicate_records(results), 0u);
+}
+
+TEST_F(FailureTest, SendAfterCloseIsCountedNotDelivered) {
+  auto& counter = obs::Registry::global().counter(
+      "laces_channel_send_after_close_total");
+  const auto before = counter.value();
+  auto [a, b] = make_channel_pair(events_, "k", "k");
+  std::size_t delivered = 0;
+  b->set_message_handler([&](const Message&) { ++delivered; });
+  a->close();
+  events_.run();
+  a->send(Abort{1});
+  events_.run();
+  EXPECT_EQ(a->sends_after_close(), 1u);
+  EXPECT_EQ(counter.value(), before + 1);
+  EXPECT_EQ(delivered, 0u);
 }
 
 TEST_F(FailureTest, CensusRoundTripThroughPublicationFormat) {

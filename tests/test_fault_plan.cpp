@@ -1,0 +1,163 @@
+// Deterministic fault plans: generation, the textual spec grammar, and the
+// generate -> to_spec -> parse round trip. Everything here must be a pure
+// function of (seed, options) — the chaos suite depends on replayability.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/fault_plan.hpp"
+
+namespace laces::fault {
+namespace {
+
+bool is_lifecycle(FaultKind kind) {
+  return kind == FaultKind::kCrashWorker ||
+         kind == FaultKind::kRestartWorker ||
+         kind == FaultKind::kCrashRestartWorker;
+}
+
+TEST(FaultPlan, GenerateIsDeterministic) {
+  GenerateOptions opts;
+  opts.sites = 8;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto a = FaultPlan::generate(seed, opts);
+    const auto b = FaultPlan::generate(seed, opts);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_GE(a.events.size(), static_cast<std::size_t>(opts.min_events));
+    EXPECT_LE(a.events.size(), static_cast<std::size_t>(opts.max_events));
+  }
+  // Different seeds produce different plans (at least somewhere in 1..20).
+  bool any_difference = false;
+  for (std::uint64_t seed = 2; seed <= 20; ++seed) {
+    if (!(FaultPlan::generate(1, opts) == FaultPlan::generate(seed, opts))) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, GenerateRespectsOptions) {
+  GenerateOptions opts;
+  opts.sites = 4;
+  opts.horizon = SimDuration::seconds(10);
+  opts.min_events = 3;
+  opts.max_events = 6;
+  opts.allow_crash = false;
+  opts.allow_cli_faults = false;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto plan = FaultPlan::generate(seed, opts);
+    ASSERT_GE(plan.events.size(), 3u);
+    ASSERT_LE(plan.events.size(), 6u);
+    for (const auto& ev : plan.events) {
+      EXPECT_FALSE(is_lifecycle(ev.kind));
+      EXPECT_NE(ev.site, kCliLink);
+      EXPECT_LT(ev.site, opts.sites);
+      EXPECT_GE((ev.at - SimTime::epoch()).ns(), 0);
+      EXPECT_LE(ev.at.to_seconds(), 8.0);  // within 0.8 x horizon
+      EXPECT_GE(ev.probability, 0.0);
+      EXPECT_LE(ev.probability, 1.0);
+    }
+  }
+}
+
+TEST(FaultPlan, GeneratedEventsAreTimeOrdered) {
+  GenerateOptions opts;
+  opts.sites = 6;
+  opts.max_events = 8;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto plan = FaultPlan::generate(seed, opts);
+    for (std::size_t i = 1; i < plan.events.size(); ++i) {
+      EXPECT_LE(plan.events[i - 1].at, plan.events[i].at);
+    }
+  }
+}
+
+TEST(FaultPlan, ParseFullGrammar) {
+  const auto plan = FaultPlan::parse(
+      "drop@1s+2s:site=all,p=0.25; delay@500ms+1s:site=2,mag=150ms;"
+      "partition@3s+400ms:site=cli; crash-restart@2.5s+1s:site=0",
+      7);
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.events.size(), 4u);
+
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kDropFrames);
+  EXPECT_EQ(plan.events[0].at, SimTime::epoch() + SimDuration::seconds(1));
+  EXPECT_EQ(plan.events[0].duration, SimDuration::seconds(2));
+  EXPECT_EQ(plan.events[0].site, kAllSites);
+  EXPECT_DOUBLE_EQ(plan.events[0].probability, 0.25);
+
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kDelayFrames);
+  EXPECT_EQ(plan.events[1].at, SimTime::epoch() + SimDuration::millis(500));
+  EXPECT_EQ(plan.events[1].site, 2);
+  EXPECT_EQ(plan.events[1].magnitude, SimDuration::millis(150));
+
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kPartition);
+  EXPECT_EQ(plan.events[2].site, kCliLink);
+
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kCrashRestartWorker);
+  EXPECT_EQ(plan.events[3].at, SimTime::epoch() + SimDuration::millis(2500));
+  EXPECT_EQ(plan.events[3].site, 0);
+}
+
+TEST(FaultPlan, ParseDefaults) {
+  const auto plan = FaultPlan::parse("corrupt@0s", 1);
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kCorruptFrames);
+  EXPECT_EQ(plan.events[0].site, kAllSites);
+  EXPECT_EQ(plan.events[0].duration.ns(), 0);
+  EXPECT_DOUBLE_EQ(plan.events[0].probability, 1.0);
+}
+
+TEST(FaultPlan, BadSpecsThrow) {
+  EXPECT_THROW(FaultPlan::parse("drop", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("explode@1s", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop@1parsec", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop@1s:p=1.5", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop@1s:p=nope", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop@1s:site=-3", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop@1s:frobs=2", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@1s", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@1s:site=all", 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop@-1s", 1), std::invalid_argument);
+}
+
+TEST(FaultPlan, SpecRoundTripIsExact) {
+  GenerateOptions opts;
+  opts.sites = 5;
+  opts.max_events = 8;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto plan = FaultPlan::generate(seed, opts);
+    const auto back = FaultPlan::parse(plan.to_spec(), plan.seed);
+    EXPECT_EQ(plan, back) << "seed " << seed << " spec " << plan.to_spec();
+  }
+}
+
+TEST(FaultPlan, KindNamesRoundTrip) {
+  for (const FaultKind kind :
+       {FaultKind::kDropFrames, FaultKind::kDuplicateFrames,
+        FaultKind::kCorruptFrames, FaultKind::kDelayFrames,
+        FaultKind::kPartition, FaultKind::kCrashWorker,
+        FaultKind::kRestartWorker, FaultKind::kCrashRestartWorker}) {
+    const auto name = to_string(kind);
+    const auto back = kind_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(kind_from_string("meteor").has_value());
+}
+
+TEST(FaultPlan, DescribeListsEveryEvent) {
+  GenerateOptions opts;
+  opts.sites = 3;
+  opts.min_events = 4;
+  opts.max_events = 4;
+  const auto plan = FaultPlan::generate(11, opts);
+  const auto text = plan.describe();
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, plan.events.size());
+}
+
+}  // namespace
+}  // namespace laces::fault

@@ -217,5 +217,67 @@ TEST(EventQueue, EmptyAndPending) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, CanceledEventNeverFires) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(SimTime(5), [&] { ++fired; });
+  q.schedule_at(SimTime(1), [&] { ++fired; });
+  q.cancel(id);
+  q.cancel(kInvalidEventId);  // ignored
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CanceledEventDoesNotAdvanceClock) {
+  // Crucial for trace determinism: a canceled timer scheduled past the last
+  // real event must not stretch now_ when the queue drains.
+  EventQueue q;
+  q.schedule_at(SimTime(10), [] {});
+  const EventId late = q.schedule_at(SimTime(1000), [] {});
+  q.cancel(late);
+  q.run();
+  EXPECT_EQ(q.now(), SimTime(10));
+}
+
+TEST(EventQueue, PendingLiveExcludesCanceled) {
+  EventQueue q;
+  const EventId a = q.schedule_at(SimTime(1), [] {});
+  q.schedule_at(SimTime(2), [] {});
+  EXPECT_EQ(q.pending_live(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 2u);       // still heap-resident
+  EXPECT_EQ(q.pending_live(), 1u);  // but only one will run
+  q.run();
+  EXPECT_EQ(q.pending_live(), 0u);
+}
+
+TEST(EventQueue, CancelFromInsideAnEarlierEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId doomed = q.schedule_at(SimTime(7), [&] { fired += 100; });
+  q.schedule_at(SimTime(3), [&] {
+    ++fired;
+    q.cancel(doomed);
+  });
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), SimTime(3));
+}
+
+TEST(EventQueue, SlotReuseAfterCancelDoesNotResurrect) {
+  // After a canceled event is discarded its pool slot is recycled; the next
+  // event to land in that slot carries a fresh FIFO sequence, so the old
+  // cancellation cannot leak onto it.
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule_at(SimTime(1), [&] { ++fired; });
+  q.cancel(a);
+  q.run();  // discards the canceled event, frees the slot
+  q.schedule_at(q.now() + SimDuration::nanos(1), [&] { fired += 10; });
+  q.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(q.pending_live(), 0u);
+}
+
 }  // namespace
 }  // namespace laces

@@ -12,10 +12,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "census/output.hpp"
 #include "census/pipeline.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -126,11 +130,40 @@ int cmd_census(const Args& args) {
   config.ipv6 = args.has("v6");
   config.tcp = !args.has("no-tcp");
   config.dns = !args.has("no-dns");
+  config.canary = args.has("canary");
   config.targets_per_second =
       static_cast<double>(args.get_int("rate", 30000));
   census::Pipeline pipeline(network, session,
                             platform::make_ark(world, 80, 0x163),
                             platform::make_ark(world, 40, 0x118), config);
+
+  // Optional deterministic fault injection: --faults '<spec>' layers
+  // scheduled faults onto the control plane; --faults random generates a
+  // plan from --fault-seed. The run stays a pure function of (seed, plan).
+  std::optional<fault::FaultInjector> injector;
+  if (args.has("faults")) {
+    const auto seed =
+        static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+    const auto spec = args.get("faults", "");
+    fault::FaultPlan plan;
+    try {
+      if (spec == "random" || spec == "true") {
+        fault::GenerateOptions opts;
+        opts.sites = static_cast<int>(session.worker_count());
+        plan = fault::FaultPlan::generate(seed, opts);
+      } else {
+        plan = fault::FaultPlan::parse(spec, seed);
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "laces census: %s\n", e.what());
+      return 2;
+    }
+    injector.emplace(std::move(plan));
+    injector->install(session);
+    std::printf("fault plan (seed %llu):\n%s",
+                static_cast<unsigned long long>(seed),
+                injector->plan().describe().c_str());
+  }
 
   const auto out_dir = std::filesystem::path(args.get("out", "census-out"));
   std::filesystem::create_directories(out_dir);
@@ -142,13 +175,25 @@ int cmd_census(const Args& args) {
         out_dir / ("census-day-" + std::to_string(day) + ".csv");
     std::ofstream file(path);
     census::write_census(file, daily);
-    std::printf("day %ld: %zu ATs, %zu GCD-confirmed, published %zu -> %s "
-                "(probes: %llu anycast + %llu GCD)\n",
-                day, daily.anycast_targets.size(),
+    std::string health = "ok";
+    if (daily.degraded) {
+      health = "DEGRADED (lost_sites=" + std::to_string(daily.lost_sites) +
+               ", canary_alarms=" + std::to_string(daily.canary_alarms) + ")";
+    }
+    std::printf("day %ld [%s]: %zu ATs, %zu GCD-confirmed, published %zu -> "
+                "%s (probes: %llu anycast + %llu GCD)\n",
+                day, health.c_str(), daily.anycast_targets.size(),
                 daily.gcd_confirmed_prefixes().size(),
                 daily.published_prefixes().size(), path.string().c_str(),
                 static_cast<unsigned long long>(daily.anycast_probes_sent),
                 static_cast<unsigned long long>(daily.gcd_probes_sent));
+  }
+
+  if (injector && !injector->applied().empty()) {
+    std::printf("faults applied:\n");
+    for (const auto& line : injector->applied()) {
+      std::printf("  %s\n", line.c_str());
+    }
   }
 
   // Run telemetry: optional machine-readable exports plus the operator
@@ -293,7 +338,10 @@ void usage() {
                "usage: laces <world|census|probe|catchment> [options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
-               "             --metrics-out FILE --trace-out FILE\n"
+               "             --metrics-out FILE --trace-out FILE --canary\n"
+               "             --faults 'SPEC|random' --fault-seed N\n"
+               "             (SPEC: 'kind@start[+dur][:site=N|all|cli,p=X,"
+               "mag=D]; ...')\n"
                "  probe      --prefix A.B.C.0/24 --day D\n"
                "  catchment  --seed N --scale K\n");
 }
