@@ -8,13 +8,19 @@ is deliberately loose: shared CI runners are noisy, and the gate exists to
 catch algorithmic regressions (an accidental O(n^2), a capture outgrowing
 the inline-callback buffer), not scheduler jitter.
 
+Also gates the laces_store archive bench (bench_archive): pass its
+BENCH_archive.json with --baseline scripts/bench_baseline_archive.json.
+Metrics absent from the chosen baseline are reported but not gated, so the
+one METRICS table serves both result files.
+
 Usage:
     scripts/check_bench.py BENCH_pipeline.json [--baseline scripts/bench_baseline.json]
                            [--max-regression 2.0]
+    scripts/check_bench.py BENCH_archive.json --baseline scripts/bench_baseline_archive.json
 
 After an intentional performance change, refresh the baseline on a quiet
-machine (`./bench/bench_perf_pipeline` in a Release build) and commit the
-new scripts/bench_baseline.json together with the change.
+machine (`./bench/bench_perf_pipeline` / `./bench/bench_archive` in a
+Release build) and commit the new baseline file together with the change.
 """
 
 import argparse
@@ -26,6 +32,10 @@ METRICS = {
     "events_per_sec": "higher",
     "packets_per_sec": "higher",
     "census_day_wall_ms": "lower",
+    # bench_archive (laces_store): throughput up, compression ratio down.
+    "archive_write_mb_s": "higher",
+    "archive_read_mb_s": "higher",
+    "compression_ratio": "lower",
 }
 
 

@@ -41,6 +41,17 @@ class CanaryMonitor {
   /// Baseline response share of a worker (mean over observed days).
   double baseline_share(net::WorkerId worker) const;
 
+  /// Accumulated per-worker share sums (for checkpointing the baseline).
+  const std::map<net::WorkerId, double>& share_sums() const {
+    return share_sums_;
+  }
+  /// Restores a checkpointed baseline (inverse of days_observed() +
+  /// share_sums()); alarm thresholds are construction-time config.
+  void restore(std::size_t days, std::map<net::WorkerId, double> share_sums) {
+    days_ = days;
+    share_sums_ = std::move(share_sums);
+  }
+
  private:
   std::map<net::WorkerId, double> share_of(
       const core::MeasurementResults& results) const;

@@ -23,6 +23,8 @@ namespace laces::census {
 struct ProtocolObservation {
   core::Verdict verdict = core::Verdict::kUnresponsive;
   std::uint32_t vp_count = 0;  // receiving VPs = anycast-based site estimate
+
+  bool operator==(const ProtocolObservation&) const = default;
 };
 
 /// Everything the census publishes about one prefix on one day.
@@ -41,6 +43,8 @@ struct PrefixRecord {
     return gcd_verdict && *gcd_verdict == gcd::GcdVerdict::kAnycast;
   }
   std::uint32_t max_vp_count() const;
+
+  bool operator==(const PrefixRecord&) const = default;
 };
 
 /// One day's census output plus cost accounting.
@@ -61,6 +65,7 @@ struct DailyCensus {
   std::uint32_t canary_alarms = 0;
 
   const PrefixRecord* find(const net::Prefix& prefix) const;
+  bool operator==(const DailyCensus&) const = default;
   /// Prefixes anycast by either method — what gets published.
   std::vector<net::Prefix> published_prefixes() const;
   std::vector<net::Prefix> gcd_confirmed_prefixes() const;

@@ -1,5 +1,7 @@
 #include "census/longitudinal.hpp"
 
+#include <algorithm>
+
 namespace laces::census {
 
 void LongitudinalStore::add(const DailyCensus& census) {
@@ -9,46 +11,78 @@ void LongitudinalStore::add(const DailyCensus& census) {
     ++degraded_days_;
     return;
   }
-  ++days_;
+  // Incremental every-day maintenance: after this day, a prefix holds a
+  // full streak iff it is detected today AND held a full streak over the
+  // previous days_ days (count == days_ before the increment; new prefixes
+  // on day one enter with count 0 == days_ 0).
+  std::size_t anycast_streak = 0;
+  std::size_t gcd_streak = 0;
   for (const auto& [prefix, rec] : census.records) {
     if (rec.anycast_based_detected()) {
-      ++anycast_days_[prefix];
+      auto& count = anycast_days_[prefix];
+      if (count == days_) ++anycast_streak;
+      ++count;
       ++anycast_total_;
     }
     if (rec.gcd_confirmed()) {
-      ++gcd_days_[prefix];
+      auto& count = gcd_days_[prefix];
+      if (count == days_) ++gcd_streak;
+      ++count;
       ++gcd_total_;
     }
   }
+  ++days_;
+  anycast_every_day_ = anycast_streak;
+  gcd_every_day_ = gcd_streak;
 }
 
-StabilityStats LongitudinalStore::stability(
-    const std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>&
-        counts,
-    std::size_t total) const {
+StabilityStats LongitudinalStore::stability(const CountMap& counts,
+                                            std::uint64_t total,
+                                            std::size_t every_day) const {
   StabilityStats stats;
   stats.days = days_;
   stats.degraded_days = degraded_days_;
   stats.union_size = counts.size();
-  for (const auto& [prefix, n] : counts) {
-    if (n == days_) ++stats.every_day;
-  }
+  stats.every_day = every_day;
   stats.daily_mean =
       days_ == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(days_);
   return stats;
 }
 
+StabilityStats LongitudinalStore::recompute(const CountMap& counts,
+                                            std::uint64_t total) const {
+  std::size_t every_day = 0;
+  for (const auto& [prefix, n] : counts) {
+    if (n == days_) ++every_day;
+  }
+  return stability(counts, total, every_day);
+}
+
 StabilityStats LongitudinalStore::anycast_based_stability() const {
-  return stability(anycast_days_, anycast_total_);
+  return stability(anycast_days_, anycast_total_, anycast_every_day_);
 }
 
 StabilityStats LongitudinalStore::gcd_stability() const {
-  return stability(gcd_days_, gcd_total_);
+  return stability(gcd_days_, gcd_total_, gcd_every_day_);
+}
+
+StabilityStats LongitudinalStore::recompute_anycast_based_stability() const {
+  return recompute(anycast_days_, anycast_total_);
+}
+
+StabilityStats LongitudinalStore::recompute_gcd_stability() const {
+  return recompute(gcd_days_, gcd_total_);
 }
 
 std::size_t LongitudinalStore::gcd_days(const net::Prefix& prefix) const {
   const auto it = gcd_days_.find(prefix);
   return it == gcd_days_.end() ? 0 : it->second;
+}
+
+std::size_t LongitudinalStore::anycast_based_days(
+    const net::Prefix& prefix) const {
+  const auto it = anycast_days_.find(prefix);
+  return it == anycast_days_.end() ? 0 : it->second;
 }
 
 namespace {
@@ -65,6 +99,15 @@ std::vector<net::Prefix> intermittent_of(
   return out;
 }
 
+std::vector<std::pair<net::Prefix, std::uint32_t>> sorted_counts(
+    const std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>&
+        counts) {
+  std::vector<std::pair<net::Prefix, std::uint32_t>> out(counts.begin(),
+                                                         counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace
 
 std::vector<net::Prefix> LongitudinalStore::intermittent_anycast_based()
@@ -74,6 +117,39 @@ std::vector<net::Prefix> LongitudinalStore::intermittent_anycast_based()
 
 std::vector<net::Prefix> LongitudinalStore::intermittent_gcd() const {
   return intermittent_of(gcd_days_, days_);
+}
+
+LongitudinalSnapshot LongitudinalStore::snapshot() const {
+  LongitudinalSnapshot snap;
+  snap.days = days_;
+  snap.degraded_days = degraded_days_;
+  snap.anycast_total = anycast_total_;
+  snap.gcd_total = gcd_total_;
+  snap.anycast_every_day = anycast_every_day_;
+  snap.gcd_every_day = gcd_every_day_;
+  snap.anycast_counts = sorted_counts(anycast_days_);
+  snap.gcd_counts = sorted_counts(gcd_days_);
+  return snap;
+}
+
+LongitudinalStore LongitudinalStore::from_snapshot(
+    const LongitudinalSnapshot& snap) {
+  LongitudinalStore store;
+  store.days_ = snap.days;
+  store.degraded_days_ = snap.degraded_days;
+  store.anycast_total_ = snap.anycast_total;
+  store.gcd_total_ = snap.gcd_total;
+  store.anycast_every_day_ = snap.anycast_every_day;
+  store.gcd_every_day_ = snap.gcd_every_day;
+  store.anycast_days_.reserve(snap.anycast_counts.size());
+  for (const auto& [prefix, n] : snap.anycast_counts) {
+    store.anycast_days_.emplace(prefix, n);
+  }
+  store.gcd_days_.reserve(snap.gcd_counts.size());
+  for (const auto& [prefix, n] : snap.gcd_counts) {
+    store.gcd_days_.emplace(prefix, n);
+  }
+  return store;
 }
 
 }  // namespace laces::census

@@ -25,9 +25,33 @@ struct StabilityStats {
   std::size_t intermittent() const { return union_size - every_day; }
   /// Mean prefixes detected per day.
   double daily_mean = 0.0;
+
+  bool operator==(const StabilityStats&) const = default;
+};
+
+/// Serializable state of a LongitudinalStore — what laces_store checkpoints
+/// so a killed census series resumes without replaying archived days.
+/// Entries are (prefix, detection-day count), sorted by prefix so the
+/// encoding is deterministic.
+struct LongitudinalSnapshot {
+  std::size_t days = 0;
+  std::size_t degraded_days = 0;
+  std::uint64_t anycast_total = 0;
+  std::uint64_t gcd_total = 0;
+  std::size_t anycast_every_day = 0;
+  std::size_t gcd_every_day = 0;
+  std::vector<std::pair<net::Prefix, std::uint32_t>> anycast_counts;
+  std::vector<std::pair<net::Prefix, std::uint32_t>> gcd_counts;
+
+  bool operator==(const LongitudinalSnapshot&) const = default;
 };
 
 /// Accumulates daily censuses and answers longitudinal queries.
+///
+/// Stability statistics are maintained *incrementally*: add() updates the
+/// every-day streak count and per-method totals in one pass over the day's
+/// detections, so stability() is O(1) instead of rescanning the union per
+/// query (56-day series ask for stability after every day).
 class LongitudinalStore {
  public:
   void add(const DailyCensus& census);
@@ -37,31 +61,48 @@ class LongitudinalStore {
   /// Degraded days seen (tracked, excluded from stability).
   std::size_t degraded_days() const { return degraded_days_; }
 
-  /// Stability of the anycast-based detections.
+  /// Stability of the anycast-based detections (O(1), incremental).
   StabilityStats anycast_based_stability() const;
-  /// Stability of the GCD-confirmed detections.
+  /// Stability of the GCD-confirmed detections (O(1), incremental).
   StabilityStats gcd_stability() const;
+
+  /// Reference implementations that rescan the per-prefix count maps.
+  /// Kept as the ground truth the incremental counters are tested against
+  /// (and used by archive verification).
+  StabilityStats recompute_anycast_based_stability() const;
+  StabilityStats recompute_gcd_stability() const;
 
   /// Days on which `prefix` was GCD-confirmed.
   std::size_t gcd_days(const net::Prefix& prefix) const;
+  /// Days on which `prefix` was anycast-based detected.
+  std::size_t anycast_based_days(const net::Prefix& prefix) const;
 
   /// Prefixes detected on some but not all days, per method (sorted).
   std::vector<net::Prefix> intermittent_anycast_based() const;
   std::vector<net::Prefix> intermittent_gcd() const;
 
+  /// Deterministic (sorted) dump of the full state, for checkpointing.
+  LongitudinalSnapshot snapshot() const;
+  /// Reconstructs a store from a snapshot; inverse of snapshot().
+  static LongitudinalStore from_snapshot(const LongitudinalSnapshot& snap);
+
  private:
-  StabilityStats stability(
-      const std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>&
-          counts,
-      std::size_t total) const;
+  using CountMap =
+      std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>;
+
+  StabilityStats stability(const CountMap& counts, std::uint64_t total,
+                           std::size_t every_day) const;
+  StabilityStats recompute(const CountMap& counts, std::uint64_t total) const;
 
   std::size_t days_ = 0;
   std::size_t degraded_days_ = 0;
-  std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash>
-      anycast_days_;
-  std::unordered_map<net::Prefix, std::uint32_t, net::PrefixHash> gcd_days_;
-  std::size_t anycast_total_ = 0;
-  std::size_t gcd_total_ = 0;
+  CountMap anycast_days_;
+  CountMap gcd_days_;
+  std::uint64_t anycast_total_ = 0;
+  std::uint64_t gcd_total_ = 0;
+  /// Prefixes whose count equals days_ (detected on every healthy day).
+  std::size_t anycast_every_day_ = 0;
+  std::size_t gcd_every_day_ = 0;
 };
 
 }  // namespace laces::census

@@ -83,19 +83,46 @@ std::vector<std::string> split(const std::string& line, char sep) {
   }
 }
 
-core::Verdict parse_verdict(const std::string& s) {
+}  // namespace
+
+namespace {
+
+/// Errors name the 1-based line so a malformed multi-thousand-line
+/// publication file points straight at the offending record.
+[[noreturn]] void fail_at(std::size_t line_number, const std::string& what) {
+  throw std::runtime_error("census file line " +
+                           std::to_string(line_number) + ": " + what);
+}
+
+std::uint64_t parse_number(const std::string& s, std::size_t line_number,
+                           const char* what) {
+  std::uint64_t value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stoull(s, &consumed);
+  } catch (const std::exception&) {
+    fail_at(line_number, std::string("bad ") + what + ": '" + s + "'");
+  }
+  if (consumed == 0 || (consumed < s.size() && s[consumed] != ' ')) {
+    fail_at(line_number, std::string("bad ") + what + ": '" + s + "'");
+  }
+  return value;
+}
+
+core::Verdict parse_verdict(const std::string& s, std::size_t line_number) {
   if (s == "unicast") return core::Verdict::kUnicast;
   if (s == "anycast") return core::Verdict::kAnycast;
-  return core::Verdict::kUnresponsive;
+  if (s == "unresponsive") return core::Verdict::kUnresponsive;
+  fail_at(line_number, "bad anycast-based verdict: '" + s + "'");
 }
 
 void parse_protocol_fields(PrefixRecord& rec, net::Protocol protocol,
-                           const std::string& verdict,
-                           const std::string& vps) {
+                           const std::string& verdict, const std::string& vps,
+                           std::size_t line_number) {
   if (verdict == "n/a") return;
   rec.anycast_based[protocol] = ProtocolObservation{
-      parse_verdict(verdict),
-      static_cast<std::uint32_t>(std::stoul(vps))};
+      parse_verdict(verdict, line_number),
+      static_cast<std::uint32_t>(parse_number(vps, line_number, "VP count"))};
 }
 
 }  // namespace
@@ -103,39 +130,40 @@ void parse_protocol_fields(PrefixRecord& rec, net::Protocol protocol,
 DailyCensus parse_census(std::istream& in) {
   DailyCensus census;
   std::string line;
+  std::size_t line_number = 0;
+  const auto next_line = [&]() {
+    ++line_number;
+    return static_cast<bool>(std::getline(in, line));
+  };
   // Comment line: "# LACeS census day N".
-  if (!std::getline(in, line) || line.rfind("# LACeS census day ", 0) != 0) {
-    throw std::runtime_error("census file: missing day header");
+  if (!next_line() || line.rfind("# LACeS census day ", 0) != 0) {
+    fail_at(line_number, "missing day header");
   }
-  census.day = static_cast<std::uint32_t>(std::stoul(line.substr(19)));
-  if (!std::getline(in, line)) {
-    throw std::runtime_error("census file: bad column header");
-  }
+  census.day = static_cast<std::uint32_t>(
+      parse_number(line.substr(19), line_number, "day number"));
+  if (!next_line()) fail_at(line_number, "missing column header");
   // Optional degraded-day marker: "# degraded: lost_sites=N canary_alarms=M".
   if (line.rfind("# degraded: ", 0) == 0) {
     census.degraded = true;
     const auto lost_pos = line.find("lost_sites=");
     if (lost_pos != std::string::npos) {
-      census.lost_sites =
-          static_cast<std::uint16_t>(std::stoul(line.substr(lost_pos + 11)));
+      census.lost_sites = static_cast<std::uint16_t>(parse_number(
+          line.substr(lost_pos + 11), line_number, "lost_sites"));
     }
     const auto alarm_pos = line.find("canary_alarms=");
     if (alarm_pos != std::string::npos) {
-      census.canary_alarms =
-          static_cast<std::uint32_t>(std::stoul(line.substr(alarm_pos + 14)));
+      census.canary_alarms = static_cast<std::uint32_t>(parse_number(
+          line.substr(alarm_pos + 14), line_number, "canary_alarms"));
     }
-    if (!std::getline(in, line)) {
-      throw std::runtime_error("census file: bad column header");
-    }
+    if (!next_line()) fail_at(line_number, "missing column header");
   }
-  if (line != csv_header()) {
-    throw std::runtime_error("census file: bad column header");
-  }
-  while (std::getline(in, line)) {
+  if (line != csv_header()) fail_at(line_number, "bad column header");
+  while (next_line()) {
     if (line.empty()) continue;
     const auto fields = split(line, ',');
     if (fields.size() != 11) {
-      throw std::runtime_error("census file: bad field count: " + line);
+      fail_at(line_number, "bad field count (want 11, got " +
+                               std::to_string(fields.size()) + "): " + line);
     }
     PrefixRecord rec;
     if (const auto p4 = net::Ipv4Prefix::parse(fields[0])) {
@@ -145,25 +173,35 @@ DailyCensus parse_census(std::istream& in) {
       const auto slash = fields[0].find('/');
       const auto addr = net::Ipv6Address::parse(fields[0].substr(0, slash));
       if (!addr || slash == std::string::npos) {
-        throw std::runtime_error("census file: bad prefix: " + fields[0]);
+        fail_at(line_number, "bad prefix: '" + fields[0] + "'");
       }
       rec.prefix = net::Ipv6Prefix(
-          *addr, static_cast<std::uint8_t>(
-                     std::stoul(fields[0].substr(slash + 1))));
+          *addr, static_cast<std::uint8_t>(parse_number(
+                     fields[0].substr(slash + 1), line_number,
+                     "prefix length")));
     }
-    parse_protocol_fields(rec, net::Protocol::kIcmp, fields[1], fields[2]);
-    parse_protocol_fields(rec, net::Protocol::kTcp, fields[3], fields[4]);
-    parse_protocol_fields(rec, net::Protocol::kUdpDns, fields[5], fields[6]);
+    parse_protocol_fields(rec, net::Protocol::kIcmp, fields[1], fields[2],
+                          line_number);
+    parse_protocol_fields(rec, net::Protocol::kTcp, fields[3], fields[4],
+                          line_number);
+    parse_protocol_fields(rec, net::Protocol::kUdpDns, fields[5], fields[6],
+                          line_number);
     if (fields[7] != "n/a") {
       if (fields[7] == "anycast") {
         rec.gcd_verdict = gcd::GcdVerdict::kAnycast;
       } else if (fields[7] == "unicast") {
         rec.gcd_verdict = gcd::GcdVerdict::kUnicast;
-      } else {
+      } else if (fields[7] == "unresponsive") {
         rec.gcd_verdict = gcd::GcdVerdict::kUnresponsive;
+      } else {
+        fail_at(line_number, "bad GCD verdict: '" + fields[7] + "'");
       }
     }
-    rec.gcd_site_count = static_cast<std::uint32_t>(std::stoul(fields[8]));
+    rec.gcd_site_count = static_cast<std::uint32_t>(
+        parse_number(fields[8], line_number, "gcd_sites"));
+    if (fields[9] != "partial" && fields[9] != "full") {
+      fail_at(line_number, "bad partial flag: '" + fields[9] + "'");
+    }
     rec.partial_anycast = fields[9] == "partial";
     if (!fields[10].empty()) {
       for (const auto& loc : split(fields[10], '|')) {
@@ -172,7 +210,9 @@ DailyCensus parse_census(std::istream& in) {
         if (city) rec.gcd_locations.push_back(*city);
       }
     }
-    census.records.emplace(rec.prefix, std::move(rec));
+    if (!census.records.emplace(rec.prefix, std::move(rec)).second) {
+      fail_at(line_number, "duplicate prefix: " + fields[0]);
+    }
   }
   return census;
 }

@@ -123,6 +123,33 @@ void Pipeline::flag_partial_anycast(const std::vector<net::Prefix>& prefixes) {
   partial_.insert(prefixes.begin(), prefixes.end());
 }
 
+PipelineState Pipeline::state() const {
+  PipelineState state;
+  state.at_list = at_list_;
+  state.partial.assign(partial_.begin(), partial_.end());
+  std::sort(state.partial.begin(), state.partial.end());
+  state.next_measurement = next_measurement_;
+  state.gcd_run_counter = gcd_run_counter_;
+  state.canary_days = canary_.days_observed();
+  state.canary_share_sums.assign(canary_.share_sums().begin(),
+                                 canary_.share_sums().end());
+  return state;
+}
+
+void Pipeline::restore_state(const PipelineState& state) {
+  at_list_.clear();
+  at_set_.clear();
+  extend_at_list(state.at_list);
+  partial_.clear();
+  partial_.insert(state.partial.begin(), state.partial.end());
+  next_measurement_ = state.next_measurement;
+  gcd_run_counter_ = state.gcd_run_counter;
+  std::map<net::WorkerId, double> shares(state.canary_share_sums.begin(),
+                                         state.canary_share_sums.end());
+  canary_.restore(state.canary_days, std::move(shares));
+  at_list_size_->set(static_cast<double>(at_list_.size()));
+}
+
 DailyCensus Pipeline::run_day(std::uint32_t day) {
   obs::Tracer::global().set_clock(&network_.events());
   obs::Span day_span("census.day");

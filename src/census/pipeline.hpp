@@ -27,6 +27,24 @@
 
 namespace laces::census {
 
+/// Serializable cross-day pipeline state: everything run_day() carries
+/// from one day to the next. laces_store checkpoints this (plus the sim
+/// clock and longitudinal counters) so a killed census series resumes
+/// bit-identically — see docs/storage.md.
+struct PipelineState {
+  /// Persistent AT list in insertion order (the purple feedback arrow).
+  std::vector<net::Prefix> at_list;
+  /// Partial-anycast flags, sorted for deterministic encoding.
+  std::vector<net::Prefix> partial;
+  net::MeasurementId next_measurement = 100;
+  std::uint64_t gcd_run_counter = 0;
+  /// Canary baseline (empty unless config.canary).
+  std::size_t canary_days = 0;
+  std::vector<std::pair<net::WorkerId, double>> canary_share_sums;
+
+  bool operator==(const PipelineState&) const = default;
+};
+
 struct PipelineConfig {
   bool icmp = true;
   bool tcp = true;
@@ -68,6 +86,13 @@ class Pipeline {
   const std::vector<net::Prefix>& persistent_at_list() const {
     return at_list_;
   }
+
+  /// Snapshot of the cross-day state (for archive checkpoints).
+  PipelineState state() const;
+  /// Restores a checkpointed state; the inverse of state(). The caller is
+  /// responsible for also restoring the simulated clock (the event queue)
+  /// before the next run_day() so probe timestamps continue seamlessly.
+  void restore_state(const PipelineState& state);
 
   /// Canary state (baselines across days); only fed when config.canary.
   const CanaryMonitor& canary() const { return canary_; }

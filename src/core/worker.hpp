@@ -8,6 +8,7 @@
 // hitlist nor results (R10).
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,6 +49,14 @@ class Worker {
   net::WorkerId id() const { return id_; }
   bool connected() const { return channel_ && channel_->is_open(); }
   std::uint64_t probes_sent() const { return probes_sent_total_; }
+
+  /// Probe-salt RNG state. The salt sequence advances once per probe and
+  /// feeds ECMP flow hashing, so a resumed census (laces_store) must
+  /// restore it to reproduce the uninterrupted run's catchments.
+  std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+  void restore_rng_state(const std::array<std::uint64_t, 4>& s) {
+    rng_.set_state(s);
+  }
 
  private:
   struct Active {

@@ -173,6 +173,46 @@ std::string canary_section(const MetricsSnapshot& metrics) {
          table.render();
 }
 
+/// laces_store activity: segments written/loaded, archive vs. CSV bytes
+/// (compression), checkpointing and segment-cache effectiveness. Empty
+/// unless the run touched an archive.
+std::string archive_section(const MetricsSnapshot& metrics) {
+  const double written = metrics.value("laces_store_segments_written_total");
+  const double loaded = metrics.value("laces_store_segments_loaded_total");
+  if (written == 0.0 && loaded == 0.0) return "";
+
+  TextTable table({"Archive activity", "Value"});
+  if (written > 0) {
+    const double seg_bytes = metrics.value("laces_store_segment_bytes_total");
+    const double csv_bytes = metrics.value("laces_store_csv_bytes_total");
+    table.add_row({"segments written",
+                   with_commas(static_cast<std::int64_t>(written))});
+    table.add_row({"segment bytes",
+                   with_commas(static_cast<std::int64_t>(seg_bytes))});
+    table.add_row({"equivalent CSV bytes",
+                   with_commas(static_cast<std::int64_t>(csv_bytes))});
+    if (csv_bytes > 0) {
+      table.add_row({"compression ratio", pct(seg_bytes, csv_bytes)});
+    }
+    table.add_row({"checkpoints written",
+                   with_commas(static_cast<std::int64_t>(metrics.value(
+                       "laces_store_checkpoints_written_total")))});
+  }
+  if (loaded > 0) {
+    const double hits = metrics.value("laces_store_cache_hits_total");
+    const double misses = metrics.value("laces_store_cache_misses_total");
+    table.add_row({"segments loaded",
+                   with_commas(static_cast<std::int64_t>(loaded))});
+    table.add_row({"segment cache hit rate", pct(hits, hits + misses)});
+  }
+  const double corrupt = metrics.value("laces_store_corrupt_segments_total");
+  if (corrupt > 0) {
+    table.add_row({"CORRUPT segments detected",
+                   with_commas(static_cast<std::int64_t>(corrupt))});
+  }
+  return "Longitudinal archive (laces_store)\n" + table.render();
+}
+
 std::string routing_cache_section(const MetricsSnapshot& metrics) {
   struct CacheRow {
     const char* label;
@@ -217,7 +257,7 @@ std::string render_run_report(const MetricsSnapshot& metrics,
        {stage_section(spans), probe_section(metrics), rate_section(metrics),
         classification_section(metrics), control_plane_section(metrics),
         fault_section(metrics), canary_section(metrics),
-        routing_cache_section(metrics)}) {
+        archive_section(metrics), routing_cache_section(metrics)}) {
     if (!section.empty()) out += "\n" + section;
   }
   return out;

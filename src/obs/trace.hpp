@@ -60,6 +60,12 @@ class Tracer {
   /// are kept) so a fresh run starts from span id 1.
   void reset();
 
+  /// Resume support (laces_store): continue the span id sequence of a
+  /// prior checkpointed run, so the spans a resumed census emits carry the
+  /// exact ids they would have had in an uninterrupted run.
+  void set_next_id(std::uint64_t id) { next_id_ = id; }
+  std::uint64_t next_id() const { return next_id_; }
+
  private:
   friend class Span;
 

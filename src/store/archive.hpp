@@ -1,0 +1,112 @@
+// ArchiveWriter / ArchiveReader: the durable longitudinal census archive.
+//
+// The writer appends one columnar segment per census day, keeps the
+// MANIFEST index consistent (atomic rewrite per append) and persists the
+// resume checkpoint. The reader lazily loads days through a small LRU
+// segment cache, verifies every segment's SHA-256 footer against both the
+// embedded footer and the manifest digest, and bridges to the §4.2.4 CSV
+// publication format in both directions. Everything is instrumented with
+// laces_obs (bytes, compression ratio inputs, cache hits/misses, spans).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "census/longitudinal.hpp"
+#include "obs/metrics.hpp"
+#include "store/checkpoint.hpp"
+#include "store/manifest.hpp"
+#include "store/segment.hpp"
+
+namespace laces::store {
+
+class ArchiveWriter {
+ public:
+  /// Opens (or creates) the archive at `dir`. An existing manifest is
+  /// loaded so a reopened archive appends after its last day.
+  explicit ArchiveWriter(std::filesystem::path dir);
+
+  /// Archives one census day: encodes the segment, writes it atomically,
+  /// appends the manifest entry and rewrites the manifest. Throws
+  /// ArchiveError if `census.day` is already archived or not after the
+  /// last archived day.
+  const ManifestEntry& append(const census::DailyCensus& census);
+
+  /// Persists the resume checkpoint (atomic overwrite).
+  void write_checkpoint(const Checkpoint& checkpoint);
+
+  const Manifest& manifest() const { return manifest_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  Manifest manifest_;
+  obs::Counter* segments_written_ = nullptr;
+  obs::Counter* segment_bytes_ = nullptr;
+  obs::Counter* csv_bytes_ = nullptr;
+  obs::Counter* checkpoints_written_ = nullptr;
+};
+
+class ArchiveReader {
+ public:
+  /// Opens the archive at `dir` (the manifest must exist).
+  /// `cache_capacity` bounds the LRU segment cache (decoded days).
+  explicit ArchiveReader(std::filesystem::path dir,
+                         std::size_t cache_capacity = 8);
+
+  const Manifest& manifest() const { return manifest_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Loads one day through the LRU cache. The segment footer AND the
+  /// manifest digest are both checked; a corrupted segment throws
+  /// ArchiveError and is never returned. Throws on unknown days.
+  std::shared_ptr<const census::DailyCensus> load_day(std::uint32_t day);
+
+  bool has_checkpoint() const;
+  Checkpoint load_checkpoint() const;
+
+  /// Reconstructs longitudinal state by replaying every archived day (the
+  /// slow reference path; resume uses the checkpoint's counters instead).
+  census::LongitudinalStore replay_longitudinal();
+
+  /// Writes one archived day in the §4.2.4 CSV publication format.
+  void export_csv(std::uint32_t day, std::ostream& out);
+
+  /// Re-reads every segment and checks digests; returns one human-readable
+  /// problem per bad day (empty = archive verifies clean).
+  std::vector<std::string> verify();
+
+  std::uint64_t cache_hits() const { return hits_; }
+  std::uint64_t cache_misses() const { return misses_; }
+
+ private:
+  std::vector<std::uint8_t> read_segment_bytes(const ManifestEntry& entry,
+                                               bool check_manifest_digest);
+
+  std::filesystem::path dir_;
+  Manifest manifest_;
+  std::size_t cache_capacity_;
+  /// LRU: most-recent at front; evict from the back.
+  std::list<std::pair<std::uint32_t, std::shared_ptr<const census::DailyCensus>>>
+      lru_;
+  std::unordered_map<std::uint32_t, decltype(lru_)::iterator> by_day_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* segments_loaded_ = nullptr;
+  obs::Counter* corrupt_segments_ = nullptr;
+};
+
+/// CSV import bridge: parses a §4.2.4 publication file (e.g. a prior run's
+/// census-day-N.csv) and appends it to the archive. Returns the manifest
+/// entry. Note the CSV format does not carry the AT list or probe-cost
+/// counters; imported days archive without them.
+const ManifestEntry& import_csv(ArchiveWriter& writer, std::istream& in);
+
+}  // namespace laces::store

@@ -1,0 +1,100 @@
+#include "store/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/sha256.hpp"
+
+namespace laces::store {
+
+std::string segment_file_name(std::uint32_t day) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "day-%05u.seg", day);
+  return buf;
+}
+
+namespace {
+
+std::uint64_t pack_v4(const net::Ipv4Prefix& p) {
+  return (static_cast<std::uint64_t>(p.address().value()) << 8) | p.length();
+}
+
+net::Ipv4Prefix unpack_v4(std::uint64_t key) {
+  return net::Ipv4Prefix(
+      net::Ipv4Address(static_cast<std::uint32_t>(key >> 8)),
+      static_cast<std::uint8_t>(key & 0xFF));
+}
+
+}  // namespace
+
+void put_prefix_list(ByteWriter& w, std::span<const net::Prefix> prefixes) {
+  w.varint(prefixes.size());
+  std::uint64_t prev_v4 = 0;
+  std::uint64_t prev_hi = 0;
+  for (const auto& p : prefixes) {
+    if (p.version() == net::IpVersion::kV4) {
+      w.u8(4);
+      const std::uint64_t key = pack_v4(p.v4());
+      w.svarint(static_cast<std::int64_t>(key - prev_v4));
+      prev_v4 = key;
+    } else {
+      w.u8(6);
+      const auto& p6 = p.v6();
+      const std::uint64_t hi = p6.address().hi();
+      w.svarint(static_cast<std::int64_t>(hi - prev_hi));
+      prev_hi = hi;
+      w.varint(p6.address().lo());
+      w.varint(p6.length());
+    }
+  }
+}
+
+std::vector<net::Prefix> get_prefix_list(ByteReader& r) {
+  const std::uint64_t count = r.varint();
+  std::vector<net::Prefix> out;
+  out.reserve(count);
+  std::uint64_t prev_v4 = 0;
+  std::uint64_t prev_hi = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t tag = r.u8();
+    if (tag == 4) {
+      prev_v4 += static_cast<std::uint64_t>(r.svarint());
+      out.push_back(unpack_v4(prev_v4));
+    } else if (tag == 6) {
+      prev_hi += static_cast<std::uint64_t>(r.svarint());
+      const std::uint64_t lo = r.varint();
+      const auto len = static_cast<std::uint8_t>(r.varint());
+      out.push_back(net::Ipv6Prefix(net::Ipv6Address(prev_hi, lo), len));
+    } else {
+      throw ArchiveError("prefix list: bad family tag " +
+                         std::to_string(tag));
+    }
+  }
+  return out;
+}
+
+void put_sha256_footer(ByteWriter& w) {
+  const Sha256Digest digest = Sha256::hash(w.view());
+  w.bytes(digest);
+}
+
+std::span<const std::uint8_t> checked_payload(
+    std::span<const std::uint8_t> bytes, const char* what) {
+  if (bytes.size() < sizeof(Sha256Digest)) {
+    throw ArchiveError(std::string(what) + ": truncated (" +
+                       std::to_string(bytes.size()) + " bytes)");
+  }
+  const auto payload = bytes.subspan(0, bytes.size() - sizeof(Sha256Digest));
+  const auto footer = bytes.subspan(payload.size());
+  Sha256Digest stored;
+  std::copy(footer.begin(), footer.end(), stored.begin());
+  const Sha256Digest actual = Sha256::hash(payload);
+  if (!digest_equal(stored, actual)) {
+    throw ArchiveError(std::string(what) +
+                       ": SHA-256 footer mismatch (stored " +
+                       to_hex(stored) + ", computed " + to_hex(actual) + ")");
+  }
+  return payload;
+}
+
+}  // namespace laces::store

@@ -1,0 +1,61 @@
+// Archive manifest: the per-day index of the longitudinal census archive.
+//
+// A small, diffable text file — one line per archived day recording the
+// day number, degraded flag, record/detection counts, segment and CSV byte
+// sizes and the segment's SHA-256 digest. Day-level longitudinal queries
+// (healthy days, daily means, archive size, compression ratio) read only
+// the manifest; per-prefix queries go through the segments. The manifest
+// is rewritten atomically (tmp file + rename) on every append so a crash
+// between days leaves the previous consistent index in place.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace laces::store {
+
+struct ManifestEntry {
+  std::uint32_t day = 0;
+  bool degraded = false;
+  /// Published records in the segment.
+  std::uint32_t record_count = 0;
+  /// Prefixes anycast-based detected / GCD-confirmed on this day (the
+  /// manifest-only inputs to daily-mean stability stats).
+  std::uint32_t anycast_detected = 0;
+  std::uint32_t gcd_confirmed = 0;
+  /// Segment file size (including footer).
+  std::uint64_t segment_bytes = 0;
+  /// Size of the equivalent §4.2.4 publication CSV (compression ratio
+  /// accounting; the archive must stay well under this).
+  std::uint64_t csv_bytes = 0;
+  /// Lowercase hex SHA-256 of the segment payload (= its footer digest).
+  std::string digest_hex;
+  /// Segment file name within the archive directory.
+  std::string file;
+
+  bool operator==(const ManifestEntry&) const = default;
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+
+  const ManifestEntry* find(std::uint32_t day) const;
+  /// Day of the last archived entry (0 when empty).
+  std::uint32_t last_day() const;
+  std::uint64_t total_segment_bytes() const;
+  std::uint64_t total_csv_bytes() const;
+
+  /// Deterministic text rendering (what save() writes).
+  std::string render() const;
+  /// Atomic write: render to `<path>.tmp`, fsync-free rename over `path`.
+  void save(const std::filesystem::path& path) const;
+  /// Parses a manifest; throws ArchiveError naming the offending line.
+  static Manifest load(const std::filesystem::path& path);
+  static Manifest parse(const std::string& text);
+};
+
+}  // namespace laces::store

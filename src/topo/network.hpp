@@ -61,7 +61,18 @@ class SimNetwork {
   /// caches deliberately persist across days: cached values are pure
   /// functions of the immutable world, so later census days of a
   /// longitudinal run reuse the catchments and delays of earlier ones.
-  void set_day(std::uint32_t day) { day_ = day; }
+  /// Ephemeral per-packet state (per-flow ECMP counters, the loss salt)
+  /// does NOT persist: it restarts at each day change, making a census day
+  /// a pure function of (world, day, carried measurement state) — the
+  /// property laces_store checkpoint/resume relies on, since a resumed
+  /// process has no packet history.
+  void set_day(std::uint32_t day) {
+    if (day != day_) {
+      flow_seq_.clear();
+      next_salt_ = 1;
+    }
+    day_ = day;
+  }
   std::uint32_t day() const { return day_; }
 
   SimTime now() const { return events_.now(); }

@@ -63,4 +63,67 @@ std::string ByteReader::str() {
   return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
 }
 
+void ByteWriter::svarint(std::int64_t v) { varint(zigzag_encode(v)); }
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    need(1);
+    const std::uint8_t b = data_[pos_++];
+    const std::uint64_t group = b & 0x7F;
+    // The 10th byte carries bits 63..69; anything beyond bit 63 set means
+    // the encoding does not fit u64.
+    if (shift == 63 && group > 1) throw DecodeError("varint overflows u64");
+    out |= group << shift;
+    if ((b & 0x80) == 0) return out;
+  }
+  throw DecodeError("varint longer than 10 bytes");
+}
+
+std::int64_t ByteReader::svarint() { return zigzag_decode(varint()); }
+
+std::vector<std::uint64_t> delta_encode(std::span<const std::uint64_t> xs) {
+  std::vector<std::uint64_t> out;
+  out.reserve(xs.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t x : xs) {
+    out.push_back(x - prev);  // wrapping
+    prev = x;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> delta_decode(std::span<const std::uint64_t> ds) {
+  std::vector<std::uint64_t> out;
+  out.reserve(ds.size());
+  std::uint64_t acc = 0;
+  for (const std::uint64_t d : ds) {
+    acc += d;  // wrapping
+    out.push_back(acc);
+  }
+  return out;
+}
+
+void put_delta_column(ByteWriter& w, std::span<const std::uint64_t> xs) {
+  std::uint64_t prev = 0;
+  for (const std::uint64_t x : xs) {
+    // Signed delta via zigzag: a descending step costs no more than the
+    // equivalent ascending one (wrap-around u64 deltas would need 10
+    // bytes for any negative step).
+    w.svarint(static_cast<std::int64_t>(x - prev));
+    prev = x;
+  }
+}
+
+std::vector<std::uint64_t> get_delta_column(ByteReader& r, std::size_t count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += static_cast<std::uint64_t>(r.svarint());
+    out.push_back(acc);
+  }
+  return out;
+}
+
 }  // namespace laces

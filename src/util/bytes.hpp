@@ -1,7 +1,9 @@
 // Big-endian (network byte order) byte buffer serialization.
 //
-// Used both for on-the-wire probe packets (src/net) and for the framed
-// Orchestrator<->Worker message channel (src/core).
+// Used both for on-the-wire probe packets (src/net), for the framed
+// Orchestrator<->Worker message channel (src/core), and — via the
+// varint/zigzag/delta codecs — for the columnar census archive
+// (src/store).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +48,17 @@ class ByteWriter {
   }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void f64(double v);
+  /// LEB128 varint: 7 value bits per byte, little-group-first, high bit =
+  /// continuation. 1 byte for values < 128, at most 10 bytes for 2^64-1.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  /// Zigzag-mapped signed varint (small magnitudes stay short).
+  void svarint(std::int64_t v);
   void bytes(std::span<const std::uint8_t> data) {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
@@ -77,6 +90,11 @@ class ByteReader {
   std::uint64_t u64();
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64();
+  /// LEB128 varint (see ByteWriter::varint). Rejects encodings longer than
+  /// 10 bytes and 10-byte encodings whose final group overflows 64 bits.
+  std::uint64_t varint();
+  /// Zigzag-mapped signed varint.
+  std::int64_t svarint();
   /// Borrow `n` raw bytes.
   std::span<const std::uint8_t> bytes(std::size_t n);
   /// Length-prefixed (u32) string.
@@ -93,5 +111,29 @@ class ByteReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+/// Zigzag mapping: interleaves signed values onto unsigned so small
+/// magnitudes of either sign get short varints (0,-1,1,-2 -> 0,1,2,3).
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Delta codec over u64 sequences (wrap-around arithmetic, so any input —
+/// sorted or not — round-trips exactly; sorted inputs yield small deltas).
+/// delta_encode({a0,a1,a2}) == {a0, a1-a0, a2-a1}.
+std::vector<std::uint64_t> delta_encode(std::span<const std::uint64_t> xs);
+/// Inverse of delta_encode (prefix sum, wrapping).
+std::vector<std::uint64_t> delta_decode(std::span<const std::uint64_t> ds);
+
+/// Columnar helpers for sorted (or near-sorted) u64 columns: first value
+/// and every wrap-around delta as a zigzag varint. Any sequence
+/// round-trips; nondecreasing sequences encode to ~1 byte per element.
+void put_delta_column(ByteWriter& w, std::span<const std::uint64_t> xs);
+/// Reads `count` values written by put_delta_column.
+std::vector<std::uint64_t> get_delta_column(ByteReader& r, std::size_t count);
 
 }  // namespace laces

@@ -6,6 +6,7 @@
 // per-(target, site) routing perturbations and ECMP flow hashing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -72,6 +73,15 @@ class Rng {
   /// Fork a statistically independent child generator; deterministic in
   /// (parent state, salt). The parent state is not advanced.
   Rng fork(std::uint64_t salt) const;
+
+  /// Raw generator state, for checkpointing (laces_store resume): a
+  /// restored generator continues the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -31,17 +31,20 @@
 namespace laces::census {
 namespace {
 
-/// Census CSV digest, captured at the pre-fast-path seed state.
+/// Census CSV digest (updates when measurement behaviour changes — last:
+/// SimNetwork day-scopes its per-flow ECMP counters and loss salt, so each
+/// census day is a pure function of (world, day, carried state), the
+/// invariant laces_store checkpoint/resume depends on).
 constexpr const char* kCensusDigest =
-    "a89c62253e648cb244d31e132f0bfe1520e19cad5c4e95a1442cedcc6094c35e";
+    "d1888d806a5e5daa2bc1eeaa5bdcf85615a1cafc7981dab60b6a1c3a571486ec";
 /// Prometheus metrics digest (updates when the metric surface changes —
-/// last: the hardened control plane added heartbeat/retransmit/watchdog
-/// counters and the census degraded-day/lost-site counters).
+/// last: day-scoped network flow state shifted the RTT-derived buckets).
 constexpr const char* kMetricsDigest =
-    "94f91cd23a6ab66a9df9cd893e1800279f7424dbae8d7be2263b223acd2a9437";
-/// Trace JSONL digest, captured at the pre-fast-path seed state.
+    "4731e488ab4d4ab96374028247d58bdc278b412499277e14ebefb393414f1176";
+/// Trace JSONL digest (updates with measurement behaviour; see
+/// kCensusDigest).
 constexpr const char* kTraceDigest =
-    "e18f4376fb20f6033058b1270f9313029d969b0aef655fc57bd84e5eb83d29b1";
+    "3a4289878abfd29e41b9a18efd095428355042f39e5fe9d71f651aa794c50f3a";
 
 struct GoldenRun {
   std::string census_csv;   // render_census for both days, concatenated

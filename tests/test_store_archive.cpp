@@ -1,0 +1,328 @@
+// laces_store archive end-to-end: append/load via the manifest, the LRU
+// segment cache, CSV bridging in both directions, write-twice determinism,
+// checkpoint round-trips and corruption reporting.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "census/output.hpp"
+#include "store/archive.hpp"
+#include "store/query.hpp"
+
+namespace laces::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test scratch directory (removed and recreated each call).
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("laces_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+net::Prefix v4(std::uint8_t a, std::uint8_t b, std::uint8_t c) {
+  return net::Ipv4Prefix(net::Ipv4Address(a, b, c, 0), 24);
+}
+
+/// One synthetic census day; every record is published so the archived
+/// segment preserves it verbatim. `spread` varies content across days.
+census::DailyCensus make_day(std::uint32_t day, std::uint32_t spread = 4) {
+  census::DailyCensus census;
+  census.day = day;
+  census.anycast_probes_sent = 1000 + day;
+  census.gcd_probes_sent = 100 + day;
+  for (std::uint32_t i = 0; i < spread; ++i) {
+    census::PrefixRecord rec;
+    rec.prefix = v4(10, static_cast<std::uint8_t>(day),
+                    static_cast<std::uint8_t>(i));
+    rec.anycast_based[net::Protocol::kIcmp] = {core::Verdict::kAnycast,
+                                               3 + i};
+    if (i % 2 == 0) {
+      rec.gcd_verdict = gcd::GcdVerdict::kAnycast;
+      rec.gcd_site_count = 2 + i;
+      rec.gcd_locations = {i, i + 1};
+    }
+    census.anycast_targets.push_back(rec.prefix);
+    census.records.emplace(rec.prefix, rec);
+  }
+  return census;
+}
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+TEST(StoreArchive, AppendLoadRoundTrip) {
+  const auto dir = fresh_dir("archive_roundtrip");
+  ArchiveWriter writer(dir);
+  for (std::uint32_t day = 1; day <= 3; ++day) {
+    const auto& entry = writer.append(make_day(day));
+    EXPECT_EQ(entry.day, day);
+    EXPECT_EQ(entry.record_count, 4u);
+    EXPECT_EQ(entry.anycast_detected, 4u);
+    EXPECT_EQ(entry.gcd_confirmed, 2u);
+    EXPECT_GT(entry.segment_bytes, 0u);
+    EXPECT_GT(entry.csv_bytes, entry.segment_bytes);  // compresses
+    EXPECT_EQ(entry.digest_hex.size(), 64u);
+  }
+  EXPECT_EQ(writer.manifest().last_day(), 3u);
+
+  ArchiveReader reader(dir);
+  ASSERT_EQ(reader.manifest().entries.size(), 3u);
+  for (std::uint32_t day = 1; day <= 3; ++day) {
+    const auto loaded = reader.load_day(day);
+    EXPECT_EQ(*loaded, published_projection(make_day(day)));
+  }
+
+  // Reopening the writer continues after the archived tail.
+  ArchiveWriter reopened(dir);
+  EXPECT_EQ(reopened.manifest().last_day(), 3u);
+  reopened.append(make_day(4));
+  EXPECT_EQ(ArchiveReader(dir).manifest().last_day(), 4u);
+}
+
+TEST(StoreArchive, AppendRejectsNonMonotonicDays) {
+  ArchiveWriter writer(fresh_dir("archive_monotonic"));
+  writer.append(make_day(5));
+  EXPECT_THROW(writer.append(make_day(5)), ArchiveError);  // duplicate
+  EXPECT_THROW(writer.append(make_day(3)), ArchiveError);  // backwards
+  writer.append(make_day(6));
+  EXPECT_EQ(writer.manifest().last_day(), 6u);
+}
+
+TEST(StoreArchive, WriteTwiceIsByteIdentical) {
+  const auto dir_a = fresh_dir("archive_det_a");
+  const auto dir_b = fresh_dir("archive_det_b");
+  {
+    ArchiveWriter a(dir_a), b(dir_b);
+    for (std::uint32_t day = 1; day <= 3; ++day) {
+      a.append(make_day(day));
+      b.append(make_day(day));
+    }
+  }
+  EXPECT_EQ(slurp(dir_a / kManifestFile), slurp(dir_b / kManifestFile));
+  for (std::uint32_t day = 1; day <= 3; ++day) {
+    const auto name = segment_file_name(day);
+    EXPECT_EQ(slurp(dir_a / name), slurp(dir_b / name)) << name;
+  }
+}
+
+TEST(StoreArchive, LruCacheEvictsLeastRecentlyUsed) {
+  const auto dir = fresh_dir("archive_lru");
+  {
+    ArchiveWriter writer(dir);
+    for (std::uint32_t day = 1; day <= 3; ++day) writer.append(make_day(day));
+  }
+  ArchiveReader reader(dir, /*cache_capacity=*/2);
+  const auto day1_first = reader.load_day(1);  // miss
+  reader.load_day(1);                          // hit
+  reader.load_day(2);                          // miss
+  reader.load_day(3);                          // miss, evicts day 1
+  EXPECT_EQ(reader.cache_hits(), 1u);
+  EXPECT_EQ(reader.cache_misses(), 3u);
+  const auto day1_again = reader.load_day(1);  // miss: was evicted
+  EXPECT_EQ(reader.cache_misses(), 4u);
+  EXPECT_NE(day1_first.get(), day1_again.get());  // freshly decoded
+  EXPECT_EQ(*day1_first, *day1_again);
+  reader.load_day(1);  // hit again
+  EXPECT_EQ(reader.cache_hits(), 2u);
+}
+
+TEST(StoreArchive, ExportCsvMatchesPublicationRender) {
+  const auto dir = fresh_dir("archive_export");
+  const auto census = make_day(7);
+  ArchiveWriter(dir).append(census);
+  ArchiveReader reader(dir);
+  std::ostringstream out;
+  reader.export_csv(7, out);
+  EXPECT_EQ(out.str(), census::render_census(census));
+}
+
+TEST(StoreArchive, ImportCsvBridgesPublicationFiles) {
+  const auto census = make_day(9);
+  const auto csv = census::render_census(census);
+  const auto dir = fresh_dir("archive_import");
+  ArchiveWriter writer(dir);
+  std::istringstream in(csv);
+  const auto& entry = import_csv(writer, in);
+  EXPECT_EQ(entry.day, 9u);
+  EXPECT_EQ(entry.record_count, 4u);
+
+  // The CSV format loses the AT list and probe-cost counters; everything
+  // the publication carries must survive the bridge.
+  const auto loaded = ArchiveReader(dir).load_day(9);
+  auto expected = published_projection(census);
+  expected.anycast_targets.clear();
+  expected.anycast_probes_sent = 0;
+  expected.gcd_probes_sent = 0;
+  EXPECT_EQ(*loaded, expected);
+}
+
+TEST(StoreArchive, CorruptSegmentIsReportedNotLoaded) {
+  const auto dir = fresh_dir("archive_corrupt");
+  {
+    ArchiveWriter writer(dir);
+    writer.append(make_day(1));
+    writer.append(make_day(2));
+  }
+  // Flip one byte in the middle of day 2's segment.
+  const auto victim = dir / segment_file_name(2);
+  auto bytes = slurp(victim);
+  ASSERT_GT(bytes.size(), 50u);
+  bytes[40] ^= 0x01;
+  std::ofstream(victim, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+
+  ArchiveReader reader(dir);
+  EXPECT_NO_THROW(reader.load_day(1));
+  try {
+    reader.load_day(2);
+    FAIL() << "corrupt segment decoded silently";
+  } catch (const ArchiveError& e) {
+    EXPECT_NE(std::string(e.what()).find(segment_file_name(2)),
+              std::string::npos)
+        << "error does not name the corrupt file: " << e.what();
+  }
+  const auto problems = reader.verify();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find(segment_file_name(2)), std::string::npos);
+}
+
+TEST(StoreArchive, VerifyDetectsSizeMismatch) {
+  const auto dir = fresh_dir("archive_size");
+  {
+    ArchiveWriter writer(dir);
+    writer.append(make_day(1));
+  }
+  // Truncate the segment: verify must flag it (footer check fires first).
+  const auto victim = dir / segment_file_name(1);
+  auto bytes = slurp(victim);
+  bytes.resize(bytes.size() - 8);
+  std::ofstream(victim, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  EXPECT_EQ(ArchiveReader(dir).verify().size(), 1u);
+}
+
+TEST(StoreArchive, ManifestRoundTripsAndNamesBadLines) {
+  Manifest manifest;
+  for (std::uint32_t day = 1; day <= 3; ++day) {
+    ManifestEntry entry;
+    entry.day = day;
+    entry.degraded = day == 2;
+    entry.record_count = 10 * day;
+    entry.anycast_detected = 5 * day;
+    entry.gcd_confirmed = 2 * day;
+    entry.segment_bytes = 1000 + day;
+    entry.csv_bytes = 9000 + day;
+    entry.digest_hex = std::string(64, 'a');
+    entry.file = segment_file_name(day);
+    manifest.entries.push_back(entry);
+  }
+  const auto text = manifest.render();
+  const auto parsed = Manifest::parse(text);
+  ASSERT_EQ(parsed.entries.size(), 3u);
+  EXPECT_EQ(parsed.entries, manifest.entries);
+  EXPECT_EQ(parsed.render(), text);  // render is a fixed point
+
+  // A mangled line is rejected with its line number in the message.
+  auto broken = text;
+  broken += "not a manifest line\n";
+  try {
+    Manifest::parse(broken);
+    FAIL() << "malformed manifest line parsed silently";
+  } catch (const ArchiveError& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StoreArchive, CheckpointRoundTrips) {
+  Checkpoint cp;
+  cp.last_day = 17;
+  cp.sim_time_ns = 123456789012345;
+  cp.next_span_id = 991;
+  cp.pipeline.next_measurement = 42;
+  cp.pipeline.gcd_run_counter = 7;
+  cp.pipeline.at_list = {v4(10, 0, 1), v4(10, 0, 2)};
+  cp.pipeline.partial = {v4(10, 0, 2)};
+  cp.pipeline.canary_days = 3;
+  cp.pipeline.canary_share_sums = {{0, 0.25}, {3, 0.5}};
+  cp.longitudinal.days = 17;
+  cp.longitudinal.degraded_days = 1;
+  cp.longitudinal.anycast_total = 170;
+  cp.longitudinal.gcd_total = 68;
+  cp.longitudinal.anycast_every_day = 9;
+  cp.longitudinal.gcd_every_day = 4;
+  cp.longitudinal.anycast_counts = {{v4(10, 0, 1), 17}, {v4(10, 0, 2), 3}};
+  cp.longitudinal.gcd_counts = {{v4(10, 0, 1), 17}};
+  cp.worker_rng = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+
+  const auto bytes = encode_checkpoint(cp);
+  EXPECT_EQ(decode_checkpoint(bytes), cp);
+  EXPECT_EQ(encode_checkpoint(cp), bytes);  // deterministic
+
+  auto corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x10;
+  EXPECT_THROW(decode_checkpoint(corrupt), ArchiveError);
+}
+
+TEST(StoreArchive, CheckpointPersistsThroughWriterAndReader) {
+  const auto dir = fresh_dir("archive_checkpoint");
+  ArchiveWriter writer(dir);
+  writer.append(make_day(1));
+  EXPECT_FALSE(ArchiveReader(dir).has_checkpoint());
+  Checkpoint cp;
+  cp.last_day = 1;
+  cp.sim_time_ns = 5000;
+  cp.worker_rng = {{9, 8, 7, 6}};
+  writer.write_checkpoint(cp);
+  ArchiveReader reader(dir);
+  ASSERT_TRUE(reader.has_checkpoint());
+  EXPECT_EQ(reader.load_checkpoint(), cp);
+}
+
+TEST(StoreArchive, QuerySummaryAndHistory) {
+  const auto dir = fresh_dir("archive_query");
+  {
+    ArchiveWriter writer(dir);
+    for (std::uint32_t day = 1; day <= 3; ++day) writer.append(make_day(day));
+  }
+  ArchiveReader reader(dir);
+  QueryEngine query(reader);
+
+  const auto summary = query.summary();
+  EXPECT_EQ(summary.days, 3u);
+  EXPECT_EQ(summary.degraded_days, 0u);
+  EXPECT_EQ(summary.first_day, 1u);
+  EXPECT_EQ(summary.last_day, 3u);
+  EXPECT_EQ(summary.records_total, 12u);
+  EXPECT_LT(summary.compression_ratio, 0.5);  // the headline acceptance bar
+
+  // History covers every archived day; 10.1.0/24 is published on day 1
+  // only.
+  const auto history = query.history(v4(10, 1, 0));
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].day, 1u);
+  EXPECT_TRUE(history[0].published);
+  EXPECT_TRUE(history[0].anycast_based);
+  EXPECT_FALSE(history[1].published);
+  EXPECT_FALSE(history[2].published);
+
+  const auto stability = query.stability();
+  EXPECT_FALSE(stability.from_checkpoint);
+  EXPECT_EQ(stability.anycast_based.days, 3u);
+  // Day-specific prefixes: union 12, none present every day.
+  EXPECT_EQ(stability.anycast_based.union_size, 12u);
+  EXPECT_EQ(stability.anycast_based.every_day, 0u);
+}
+
+}  // namespace
+}  // namespace laces::store

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 namespace laces {
 namespace {
@@ -112,6 +117,176 @@ TEST(Bytes, NegativeAndSpecialDoubles) {
   EXPECT_DOUBLE_EQ(r.f64(), -0.0);
   EXPECT_DOUBLE_EQ(r.f64(), 1e308);
   EXPECT_DOUBLE_EQ(r.f64(), -1e-308);
+}
+
+// --- varint / zigzag / delta codecs (the src/store substrate) ---
+
+/// Every power-of-two boundary where the varint length changes, plus its
+/// neighbours: 0, 2^7±1, 2^14±1, ..., 2^63±1, 2^64-1.
+std::vector<std::uint64_t> varint_boundary_values() {
+  std::vector<std::uint64_t> vs = {0, 1, 2};
+  for (int shift = 7; shift < 64; shift += 7) {
+    const std::uint64_t edge = 1ULL << shift;
+    vs.push_back(edge - 1);
+    vs.push_back(edge);
+    vs.push_back(edge + 1);
+  }
+  vs.push_back((1ULL << 63) - 1);
+  vs.push_back(1ULL << 63);
+  vs.push_back((1ULL << 63) + 1);
+  vs.push_back(~0ULL - 1);
+  vs.push_back(~0ULL);
+  return vs;
+}
+
+TEST(Varint, BoundaryRoundTrip) {
+  for (const std::uint64_t v : varint_boundary_values()) {
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(w.view());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Varint, EncodedLengths) {
+  const auto length_of = [](std::uint64_t v) {
+    ByteWriter w;
+    w.varint(v);
+    return w.size();
+  };
+  EXPECT_EQ(length_of(0), 1u);
+  EXPECT_EQ(length_of(127), 1u);
+  EXPECT_EQ(length_of(128), 2u);
+  EXPECT_EQ(length_of((1ULL << 14) - 1), 2u);
+  EXPECT_EQ(length_of(1ULL << 14), 3u);
+  EXPECT_EQ(length_of(~0ULL), 10u);
+}
+
+TEST(Varint, TruncatedThrows) {
+  ByteWriter w;
+  w.varint(1ULL << 40);
+  const auto full = w.view();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader r(full.subspan(0, cut));
+    EXPECT_THROW(r.varint(), DecodeError) << cut;
+  }
+}
+
+TEST(Varint, OverlongAndOverflowingEncodingsThrow) {
+  {
+    // 11 continuation bytes never terminate within the 10-byte limit.
+    std::vector<std::uint8_t> overlong(11, 0x80);
+    ByteReader r(overlong);
+    EXPECT_THROW(r.varint(), DecodeError);
+  }
+  {
+    // 10 bytes whose final group sets bits above bit 63.
+    std::vector<std::uint8_t> overflow(10, 0x80);
+    overflow[9] = 0x02;  // bit 64
+    ByteReader r(overflow);
+    EXPECT_THROW(r.varint(), DecodeError);
+  }
+  {
+    // 2^64-1 itself is fine: final group is 0x01.
+    std::vector<std::uint8_t> max(10, 0xFF);
+    max[9] = 0x01;
+    ByteReader r(max);
+    EXPECT_EQ(r.varint(), ~0ULL);
+  }
+}
+
+TEST(Zigzag, MappingAndRoundTrip) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+  const std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                               std::int64_t{1}, kMin, kMax, kMin + 1,
+                               kMax - 1, std::int64_t{-123456789}}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+    ByteWriter w;
+    w.svarint(v);
+    ByteReader r(w.view());
+    EXPECT_EQ(r.svarint(), v) << v;
+  }
+}
+
+TEST(Delta, EncodeDecodeSorted) {
+  const std::vector<std::uint64_t> xs = {3, 3, 7, 100, 1ULL << 40};
+  const auto ds = delta_encode(xs);
+  ASSERT_EQ(ds.size(), xs.size());
+  EXPECT_EQ(ds[0], 3u);
+  EXPECT_EQ(ds[1], 0u);
+  EXPECT_EQ(ds[2], 4u);
+  EXPECT_EQ(delta_decode(ds), xs);
+}
+
+TEST(Delta, WrapAroundRoundTrip) {
+  // Unsorted and extreme values: wrapping arithmetic must round-trip.
+  const std::vector<std::uint64_t> xs = {~0ULL, 0, 5, 2, ~0ULL - 3, 1};
+  EXPECT_EQ(delta_decode(delta_encode(xs)), xs);
+}
+
+TEST(Delta, EmptyAndSingle) {
+  EXPECT_TRUE(delta_decode(delta_encode(std::vector<std::uint64_t>{})).empty());
+  const std::vector<std::uint64_t> one = {42};
+  EXPECT_EQ(delta_decode(delta_encode(one)), one);
+}
+
+TEST(DeltaColumn, SortedColumnIsCompact) {
+  // 1000 consecutive values: ~1 byte each after the first.
+  std::vector<std::uint64_t> xs(1000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = (1ULL << 33) + i * 3;
+  ByteWriter w;
+  put_delta_column(w, xs);
+  EXPECT_LE(w.size(), 6 + xs.size());
+  ByteReader r(w.view());
+  EXPECT_EQ(get_delta_column(r, xs.size()), xs);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DeltaColumn, BoundaryValuesRoundTrip) {
+  const auto xs = varint_boundary_values();
+  ByteWriter w;
+  put_delta_column(w, xs);
+  ByteReader r(w.view());
+  EXPECT_EQ(get_delta_column(r, xs.size()), xs);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodecProperty, SeededRandomSequencesRoundTrip) {
+  // Seeded property test: random u64 sequences (uniform full-range, small,
+  // and sorted) encode -> decode identically through every codec.
+  Rng rng(0x5eedc0dec5ULL);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = rng() % 200;
+    std::vector<std::uint64_t> xs(n);
+    for (auto& x : xs) {
+      switch (rng() % 3) {
+        case 0: x = rng(); break;             // full range
+        case 1: x = rng() % 1000; break;      // small magnitudes
+        default: x = rng() % (1ULL << 56); break;
+      }
+    }
+    if (round % 2 == 0) std::sort(xs.begin(), xs.end());
+
+    ByteWriter w;
+    for (const auto x : xs) w.varint(x);
+    put_delta_column(w, xs);
+    for (const auto x : xs) w.svarint(static_cast<std::int64_t>(x));
+    ByteReader r(w.view());
+    for (const auto x : xs) EXPECT_EQ(r.varint(), x);
+    EXPECT_EQ(get_delta_column(r, n), xs);
+    for (const auto x : xs) {
+      EXPECT_EQ(r.svarint(), static_cast<std::int64_t>(x));
+    }
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(delta_decode(delta_encode(xs)), xs);
+  }
 }
 
 }  // namespace

@@ -4,18 +4,23 @@
 //   laces census   [--days N] [--out DIR] ...    run the daily pipeline
 //   laces probe    --prefix A.B.C.0/24 ...       full workup of one prefix
 //   laces catchment [...]                        catchment distribution
+//   laces query    --archive DIR ...             query an archived series
 //
 // Every subcommand builds its own deterministic world; --seed reproduces a
-// run exactly.
+// run exactly. `census --archive DIR` persists each day into a laces_store
+// archive (plus a resume checkpoint); `census --archive DIR --resume`
+// continues a killed series byte-identically.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "census/longitudinal.hpp"
 #include "census/output.hpp"
 #include "census/pipeline.hpp"
 #include "fault/fault_plan.hpp"
@@ -31,6 +36,8 @@
 #include "platform/latency.hpp"
 #include "platform/platform.hpp"
 #include "platform/traceroute.hpp"
+#include "store/archive.hpp"
+#include "store/query.hpp"
 #include "topo/network.hpp"
 #include "topo/world.hpp"
 #include "util/table.hpp"
@@ -168,8 +175,59 @@ int cmd_census(const Args& args) {
   const auto out_dir = std::filesystem::path(args.get("out", "census-out"));
   std::filesystem::create_directories(out_dir);
 
+  // Optional persistent archive (laces_store): every completed day becomes
+  // a columnar segment plus a resume checkpoint. --resume restores the
+  // checkpointed clock/pipeline/longitudinal state and continues the series
+  // at the next day; --days is the total series length in both modes.
+  std::optional<store::ArchiveWriter> archive;
+  census::LongitudinalStore longitudinal;
+  long start_day = 1;
+  if (args.has("archive")) {
+    try {
+      archive.emplace(std::filesystem::path(args.get("archive", "archive")));
+      if (args.has("resume")) {
+        store::ArchiveReader reader(archive->dir());
+        if (!reader.has_checkpoint()) {
+          std::fprintf(stderr,
+                       "laces census: --resume but %s has no checkpoint\n",
+                       archive->dir().string().c_str());
+          return 2;
+        }
+        const store::Checkpoint cp = reader.load_checkpoint();
+        // Restore the simulated clock first: schedule_at clamps to now(),
+        // so draining one no-op parked at the checkpointed time advances
+        // the queue exactly there.
+        events.schedule_at(SimTime(cp.sim_time_ns), [] {});
+        events.run();
+        pipeline.restore_state(cp.pipeline);
+        for (std::size_t i = 0;
+             i < cp.worker_rng.size() && i < session.worker_count(); ++i) {
+          session.worker(i).restore_rng_state(cp.worker_rng[i]);
+        }
+        obs::Tracer::global().set_next_id(cp.next_span_id);
+        longitudinal =
+            census::LongitudinalStore::from_snapshot(cp.longitudinal);
+        start_day = static_cast<long>(cp.last_day) + 1;
+        std::printf("resuming after day %u (sim clock %.1fs, %zu healthy "
+                    "days archived)\n",
+                    cp.last_day, SimTime(cp.sim_time_ns).to_seconds(),
+                    longitudinal.days());
+      } else if (!archive->manifest().entries.empty()) {
+        std::fprintf(stderr,
+                     "laces census: archive %s already holds days up to %u; "
+                     "pass --resume to continue it\n",
+                     archive->dir().string().c_str(),
+                     archive->manifest().last_day());
+        return 2;
+      }
+    } catch (const store::ArchiveError& e) {
+      std::fprintf(stderr, "laces census: %s\n", e.what());
+      return 1;
+    }
+  }
+
   const long days = args.get_int("days", 1);
-  for (long day = 1; day <= days; ++day) {
+  for (long day = start_day; day <= days; ++day) {
     const auto daily = pipeline.run_day(static_cast<std::uint32_t>(day));
     const auto path =
         out_dir / ("census-day-" + std::to_string(day) + ".csv");
@@ -187,6 +245,41 @@ int cmd_census(const Args& args) {
                 daily.published_prefixes().size(), path.string().c_str(),
                 static_cast<unsigned long long>(daily.anycast_probes_sent),
                 static_cast<unsigned long long>(daily.gcd_probes_sent));
+    if (archive) {
+      try {
+        longitudinal.add(daily);
+        const auto& entry = archive->append(daily);
+        store::Checkpoint cp;
+        cp.last_day = daily.day;
+        cp.sim_time_ns = events.now().ns();
+        cp.next_span_id = obs::Tracer::global().next_id();
+        cp.pipeline = pipeline.state();
+        cp.longitudinal = longitudinal.snapshot();
+        cp.worker_rng.reserve(session.worker_count());
+        for (std::size_t i = 0; i < session.worker_count(); ++i) {
+          cp.worker_rng.push_back(session.worker(i).rng_state());
+        }
+        archive->write_checkpoint(cp);
+        std::printf("  archived %s (%llu bytes, csv %llu, sha256 %.12s...)\n",
+                    entry.file.c_str(),
+                    static_cast<unsigned long long>(entry.segment_bytes),
+                    static_cast<unsigned long long>(entry.csv_bytes),
+                    entry.digest_hex.c_str());
+      } catch (const store::ArchiveError& e) {
+        std::fprintf(stderr, "laces census: %s\n", e.what());
+        return 1;
+      }
+    }
+  }
+
+  if (archive && longitudinal.days() + longitudinal.degraded_days() > 0) {
+    const auto anycast = longitudinal.anycast_based_stability();
+    const auto gcd = longitudinal.gcd_stability();
+    std::printf("longitudinal (%zu healthy days, %zu degraded): "
+                "anycast-based union=%zu every_day=%zu; "
+                "gcd union=%zu every_day=%zu\n",
+                anycast.days, anycast.degraded_days, anycast.union_size,
+                anycast.every_day, gcd.union_size, gcd.every_day);
   }
 
   if (injector && !injector->applied().empty()) {
@@ -333,17 +426,92 @@ int cmd_catchment(const Args& args) {
   return 0;
 }
 
+int cmd_query(const Args& args) {
+  if (!args.has("archive")) {
+    std::fprintf(stderr, "laces query: --archive DIR required\n");
+    return 2;
+  }
+  try {
+    store::ArchiveReader reader(
+        std::filesystem::path(args.get("archive", "archive")));
+    store::QueryEngine query(reader);
+    bool did_something = false;
+
+    if (args.has("verify")) {
+      did_something = true;
+      const auto problems = reader.verify();
+      if (problems.empty()) {
+        std::printf("archive verifies clean (%zu days)\n",
+                    reader.manifest().entries.size());
+      } else {
+        for (const auto& p : problems) {
+          std::fprintf(stderr, "laces query: %s\n", p.c_str());
+        }
+        return 1;
+      }
+    }
+    if (args.has("summary")) {
+      did_something = true;
+      std::printf("%s", store::render_summary(query.summary()).c_str());
+    }
+    if (args.has("stability")) {
+      did_something = true;
+      std::printf("%s", store::render_stability(query.stability()).c_str());
+    }
+    if (args.has("prefix")) {
+      did_something = true;
+      const auto parsed = net::Ipv4Prefix::parse(args.get("prefix", ""));
+      if (!parsed) {
+        std::fprintf(stderr, "laces query: --prefix A.B.C.0/24 malformed\n");
+        return 2;
+      }
+      const net::Prefix prefix(*parsed);
+      std::printf("%s",
+                  store::render_history(prefix, query.history(prefix)).c_str());
+    }
+    if (args.has("intermittent")) {
+      did_something = true;
+      const auto anycast = query.intermittent_anycast_based();
+      const auto gcd = query.intermittent_gcd();
+      std::printf("intermittent anycast-based (%zu):\n", anycast.size());
+      for (const auto& p : anycast) std::printf("  %s\n", p.to_string().c_str());
+      std::printf("intermittent gcd (%zu):\n", gcd.size());
+      for (const auto& p : gcd) std::printf("  %s\n", p.to_string().c_str());
+    }
+    if (args.has("export-day")) {
+      did_something = true;
+      const auto day = static_cast<std::uint32_t>(args.get_int("export-day", 0));
+      std::ostringstream out;
+      reader.export_csv(day, out);
+      std::fputs(out.str().c_str(), stdout);
+    }
+
+    if (!did_something) {
+      // Default to the manifest-only summary.
+      std::printf("%s", store::render_summary(query.summary()).c_str());
+    }
+    return 0;
+  } catch (const store::ArchiveError& e) {
+    std::fprintf(stderr, "laces query: %s\n", e.what());
+    return 1;
+  }
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: laces <world|census|probe|catchment> [options]\n"
+               "usage: laces <world|census|probe|catchment|query> [options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
                "             --metrics-out FILE --trace-out FILE --canary\n"
                "             --faults 'SPEC|random' --fault-seed N\n"
                "             (SPEC: 'kind@start[+dur][:site=N|all|cli,p=X,"
                "mag=D]; ...')\n"
+               "             --archive DIR [--resume]\n"
                "  probe      --prefix A.B.C.0/24 --day D\n"
-               "  catchment  --seed N --scale K\n");
+               "  catchment  --seed N --scale K\n"
+               "  query      --archive DIR [--summary] [--stability]\n"
+               "             [--prefix A.B.C.0/24] [--intermittent]\n"
+               "             [--export-day N] [--verify]\n");
 }
 
 }  // namespace
@@ -359,6 +527,7 @@ int main(int argc, char** argv) {
   if (command == "census") return cmd_census(args);
   if (command == "probe") return cmd_probe(args);
   if (command == "catchment") return cmd_catchment(args);
+  if (command == "query") return cmd_query(args);
   usage();
   return 2;
 }
