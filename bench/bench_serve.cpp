@@ -1,0 +1,166 @@
+// laces_serve throughput and tail latency.
+//
+// Archives pipeline-generated census days, then drives the in-process
+// query server with the shared load generator (serve/loadgen.hpp): N
+// client threads, closed-loop, over the interactive request mix (summary /
+// stability / history / intermittent). The steady-state round is measured
+// after a warm-up round has populated the response cache — the paper's
+// serving story is read-mostly, and the cache is the subsystem under
+// test. Throughput has a hard acceptance bar: at or above 10k req/s, or
+// the bench exits non-zero.
+//
+// Full-day export is deliberately not part of the QPS bar: each export
+// response carries the whole §4.2.4 CSV for a day and both sides MAC the
+// complete body, so one export costs what thousands of interactive
+// queries cost and its natural unit is transfer rate, not request rate.
+// It gets its own pass below, reported in MB/s (printed, not gated).
+//
+// Emits BENCH_serve.json for the CI regression gate:
+//   python3 scripts/check_bench.py BENCH_serve.json
+//       --baseline scripts/bench_baseline_serve.json
+// LACES_BENCH_SHORT=1 shrinks the workload for CI runners.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <variant>
+#include <vector>
+
+#include "census/pipeline.hpp"
+#include "common/scenario.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "store/archive.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace laces;
+
+constexpr double kThroughputBar = 10000.0;  // req/s, hard acceptance bar
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool short_mode = std::getenv("LACES_BENCH_SHORT") != nullptr;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+
+  // Real census days so responses carry field-shaped payloads.
+  benchkit::Scenario scenario(/*seed=*/42, /*scale=*/short_mode ? 32 : 16);
+  census::PipelineConfig config;
+  config.tcp = false;
+  config.dns = false;
+  config.targets_per_second = 50000;
+  census::Pipeline pipeline(scenario.network(), scenario.production(),
+                            scenario.ark163(), scenario.ark118_v6(), config);
+  const fs::path dir = fs::temp_directory_path() / "laces_bench_serve";
+  fs::remove_all(dir);
+  const std::uint32_t days = short_mode ? 2 : 3;
+  {
+    store::ArchiveWriter writer(dir);
+    for (std::uint32_t day = 1; day <= days; ++day) {
+      writer.append(pipeline.run_day(day));
+    }
+  }
+
+  store::ArchiveReader reader(dir, /*cache_capacity=*/days);
+  serve::ServerConfig server_config;
+  server_config.threads = 4;
+  server_config.queue_capacity = 1024;
+  server_config.max_inflight_per_connection = 256;
+  serve::Server server(reader, server_config);
+
+  const auto prefixes = reader.load_day(1)->published_prefixes();
+  std::vector<std::uint32_t> day_list;
+  for (std::uint32_t day = 1; day <= days; ++day) day_list.push_back(day);
+
+  serve::LoadGenConfig load;
+  load.clients = 4;
+  load.requests_per_client = short_mode ? 5000 : 20000;
+  load.seed = 7;
+  load.weight_export_day = 0;  // bulk path, measured separately below
+
+  // Warm-up: one short round fills the response cache and faults every
+  // segment through the reader, so the measured round is steady-state.
+  serve::LoadGenConfig warm = load;
+  warm.requests_per_client = 500;
+  serve::run_load(server, prefixes, day_list, warm);
+
+  const auto report = serve::run_load(server, prefixes, day_list, load);
+
+  // Bulk export pass: whole-day CSV bodies through the full framed
+  // protocol (server MACs each response, client authenticates it).
+  double export_bytes = 0.0;
+  std::uint64_t export_days = 0;
+  const auto export_start = std::chrono::steady_clock::now();
+  {
+    const auto connection = server.connect();
+    std::uint64_t request_id = 1u << 20;
+    const int rounds = short_mode ? 4 : 8;
+    for (int round = 0; round < rounds; ++round) {
+      for (std::uint32_t day = 1; day <= days; ++day) {
+        const serve::Request request = serve::ExportDayRequest{day};
+        const auto frame = connection->call(serve::encode_frame(
+            server_config.key, serve::FrameKind::kRequest, ++request_id,
+            serve::encode_request(request)));
+        const auto decoded = serve::decode_frame(server_config.key, frame);
+        const auto response = serve::decode_response(decoded.payload);
+        if (!std::holds_alternative<serve::ExportDayResponse>(response)) {
+          std::fprintf(stderr, "bench_serve: FAIL export of day %u errored\n",
+                       day);
+          return 1;
+        }
+        export_bytes += static_cast<double>(frame.size());
+        ++export_days;
+      }
+    }
+  }
+  const double export_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    export_start)
+          .count();
+  server.drain();
+
+  std::ofstream(json_path) << report.to_json();
+  std::printf("=== laces_serve throughput ===\n");
+  std::printf("archive: %u days, %zu prefixes; server: %zu workers, "
+              "cache %zux%zu\n",
+              days, prefixes.size(), server_config.threads,
+              server_config.cache_shards,
+              server_config.cache_entries_per_shard);
+  std::printf("%s", report.describe().c_str());
+  std::printf("cache: %llu hits, %llu misses, %llu evictions; "
+              "executed %llu, shed %llu\n",
+              static_cast<unsigned long long>(server.cache().hits()),
+              static_cast<unsigned long long>(server.cache().misses()),
+              static_cast<unsigned long long>(server.cache().evictions()),
+              static_cast<unsigned long long>(server.requests_executed()),
+              static_cast<unsigned long long>(server.requests_shed()));
+  std::printf("bulk export: %llu day exports, %.1f MB framed in %.2f s "
+              "-> %.1f MB/s (not gated)\n",
+              static_cast<unsigned long long>(export_days),
+              export_bytes / 1e6, export_s,
+              export_s > 0 ? export_bytes / 1e6 / export_s : 0.0);
+  std::printf("BENCH_serve.json: serve_requests_per_sec=%.3g "
+              "serve_p99_ms=%.3g -> %s\n",
+              report.requests_per_sec, report.p99_ms, json_path);
+
+  fs::remove_all(dir);
+  if (report.errors > 0) {
+    std::fprintf(stderr, "bench_serve: FAIL %llu error responses\n",
+                 static_cast<unsigned long long>(report.errors));
+    return 1;
+  }
+  if (report.requests_per_sec < kThroughputBar) {
+    std::fprintf(stderr,
+                 "bench_serve: FAIL %.0f req/s is under the %.0f req/s "
+                 "acceptance bar\n",
+                 report.requests_per_sec, kThroughputBar);
+    return 1;
+  }
+  std::printf("throughput %.0f req/s >= %.0f acceptance bar: OK\n",
+              report.requests_per_sec, kThroughputBar);
+  return 0;
+}

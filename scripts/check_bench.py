@@ -8,15 +8,18 @@ is deliberately loose: shared CI runners are noisy, and the gate exists to
 catch algorithmic regressions (an accidental O(n^2), a capture outgrowing
 the inline-callback buffer), not scheduler jitter.
 
-Also gates the laces_store archive bench (bench_archive): pass its
-BENCH_archive.json with --baseline scripts/bench_baseline_archive.json.
-Metrics absent from the chosen baseline are reported but not gated, so the
-one METRICS table serves both result files.
+Also gates the laces_store archive bench (bench_archive) and the
+laces_serve query-server bench (bench_serve): pass their result files with
+the matching baseline (scripts/bench_baseline_archive.json /
+scripts/bench_baseline_serve.json). Metrics absent from the chosen
+baseline are reported but not gated, so the one METRICS table serves every
+result file.
 
 Usage:
     scripts/check_bench.py BENCH_pipeline.json [--baseline scripts/bench_baseline.json]
                            [--max-regression 2.0]
     scripts/check_bench.py BENCH_archive.json --baseline scripts/bench_baseline_archive.json
+    scripts/check_bench.py BENCH_serve.json --baseline scripts/bench_baseline_serve.json
 
 After an intentional performance change, refresh the baseline on a quiet
 machine (`./bench/bench_perf_pipeline` / `./bench/bench_archive` in a
@@ -36,6 +39,10 @@ METRICS = {
     "archive_write_mb_s": "higher",
     "archive_read_mb_s": "higher",
     "compression_ratio": "lower",
+    # bench_serve (laces_serve): throughput up, tail latency down.
+    "serve_requests_per_sec": "higher",
+    "serve_p50_ms": "lower",
+    "serve_p99_ms": "lower",
 }
 
 

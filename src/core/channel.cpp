@@ -3,7 +3,6 @@
 #include "obs/metrics.hpp"
 
 namespace laces::core {
-namespace {
 
 Sha256Digest frame_mac(const std::string& key,
                        std::span<const std::uint8_t> payload) {
@@ -11,6 +10,8 @@ Sha256Digest frame_mac(const std::string& key,
       std::span(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
       payload);
 }
+
+namespace {
 
 obs::Counter& auth_failure_counter() {
   static obs::Counter& c =

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/messages.hpp"
@@ -17,6 +18,12 @@
 #include "util/sha256.hpp"
 
 namespace laces::core {
+
+/// The frame authentication tag: HMAC-SHA256 over the encoded payload with
+/// the endpoint's key. Shared by the simulated control-plane Channel and
+/// the laces_serve query protocol so both speak the same auth scheme.
+Sha256Digest frame_mac(const std::string& key,
+                       std::span<const std::uint8_t> payload);
 
 /// What a fault filter does to one outbound control frame. Defaults pass
 /// the frame through untouched.

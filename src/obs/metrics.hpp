@@ -7,6 +7,19 @@
 // probe) never lock. snapshot() and reset() give tests and exporters a
 // consistent, deterministically ordered view.
 //
+// Concurrency contract (relied on by laces_serve, whose worker pool and
+// client threads update instruments concurrently — and checked under
+// ThreadSanitizer by tests/test_obs_concurrency.cpp): every instrument
+// update (Counter::add, Gauge::set/add, Histogram::observe) and read is
+// safe from any thread with no external locking, and concurrent add()s
+// never lose increments (fetch_add / CAS retry loops). A Histogram's
+// count/sum/bucket fields are each atomic but not updated as one unit, so
+// a snapshot taken mid-observe may see count without sum — totals are
+// exact once writers quiesce. Counters are cache-line aligned so two hot
+// counters never false-share a line between serve workers. The
+// single-threaded census path is unchanged: same relaxed atomics as
+// before, no new locks anywhere on the update path.
+//
 // Instrumentation can be switched off at runtime (set_enabled(false), used
 // by the overhead bench) or compiled out entirely with -DLACES_OBS_NOOP.
 #pragma once
@@ -45,8 +58,10 @@ inline void set_enabled(bool on) {
 }
 #endif
 
-/// Monotonically increasing event count.
-class Counter {
+/// Monotonically increasing event count. Aligned to its own cache line:
+/// counters are allocated individually and updated from many threads, and
+/// 64-byte alignment keeps two hot counters from false-sharing a line.
+class alignas(64) Counter {
  public:
   void add(std::uint64_t delta = 1) {
     if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);

@@ -10,20 +10,33 @@ Tracer& Tracer::global() {
 }
 
 void Tracer::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
-  stack_.clear();
+  stacks_.clear();
   next_id_ = 1;
   dropped_ = 0;
 }
 
-std::uint64_t Tracer::begin_span() {
+std::uint64_t Tracer::begin_span(std::uint64_t* parent) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& stack = stacks_[std::this_thread::get_id()];
+  *parent = stack.empty() ? 0 : stack.back();
   const std::uint64_t id = next_id_++;
-  stack_.push_back(id);
+  stack.push_back(id);
   return id;
 }
 
 void Tracer::end_span(SpanRecord&& record) {
-  if (!stack_.empty() && stack_.back() == record.id) stack_.pop_back();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stacks_.find(std::this_thread::get_id());
+  if (it != stacks_.end()) {
+    if (!it->second.empty() && it->second.back() == record.id) {
+      it->second.pop_back();
+    }
+    // Drop the per-thread entry once its stack unwinds so short-lived
+    // threads (the serve pool, test clients) don't accumulate.
+    if (it->second.empty()) stacks_.erase(it);
+  }
   if (records_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -37,8 +50,7 @@ Span::Span(std::string_view name, Tracer& tracer)
     ended_ = true;
     return;
   }
-  parent_ = tracer_.stack_.empty() ? 0 : tracer_.stack_.back();
-  id_ = tracer_.begin_span();
+  id_ = tracer_.begin_span(&parent_);
   start_ns_ = tracer_.now().ns();
 }
 

@@ -5,14 +5,24 @@
 // byte-identical span trees, and a trace can be replayed or diffed. Span is
 // an RAII guard; construction stamps the start, destruction (or end())
 // stamps the end and commits a SpanRecord into the tracer's bounded
-// in-memory buffer. Nesting is tracked with an explicit span stack, which
+// in-memory buffer. Nesting is tracked with a per-thread span stack, which
 // is well-formed because measurement phases run the event loop to
 // completion inside their span.
+//
+// Thread safety: spans may open and close concurrently (the serve worker
+// pool traces archive loads); ids, per-thread parenting and the record
+// buffer are guarded by one mutex. In a single-threaded run the lock
+// order is the program order, so ids and record order — and therefore the
+// exported trace bytes — are exactly what the unsynchronized tracer
+// produced.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -50,11 +60,20 @@ class Tracer {
   /// nest correctly but their records are dropped (and counted).
   void set_capacity(std::size_t capacity) { capacity_ = capacity; }
   std::size_t capacity() const { return capacity_; }
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
 
   /// Finished spans recorded so far, in end order.
-  std::vector<SpanRecord> snapshot() const { return records_; }
-  std::size_t recorded() const { return records_.size(); }
+  std::vector<SpanRecord> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+  }
+  std::size_t recorded() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+  }
 
   /// Clear records, the span stack and the id sequence (clock and capacity
   /// are kept) so a fresh run starts from span id 1.
@@ -63,18 +82,27 @@ class Tracer {
   /// Resume support (laces_store): continue the span id sequence of a
   /// prior checkpointed run, so the spans a resumed census emits carry the
   /// exact ids they would have had in an uninterrupted run.
-  void set_next_id(std::uint64_t id) { next_id_ = id; }
-  std::uint64_t next_id() const { return next_id_; }
+  void set_next_id(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    next_id_ = id;
+  }
+  std::uint64_t next_id() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return next_id_;
+  }
 
  private:
   friend class Span;
 
-  std::uint64_t begin_span();  // returns id (0 when disabled)
+  /// Allocates an id and pushes it on the calling thread's stack; writes
+  /// the enclosing span's id (0 = root) through `parent`.
+  std::uint64_t begin_span(std::uint64_t* parent);
   void end_span(SpanRecord&& record);
 
   const EventQueue* clock_ = nullptr;
+  mutable std::mutex mutex_;
   std::vector<SpanRecord> records_;
-  std::vector<std::uint64_t> stack_;
+  std::unordered_map<std::thread::id, std::vector<std::uint64_t>> stacks_;
   std::uint64_t next_id_ = 1;
   std::uint64_t dropped_ = 0;
   std::size_t capacity_ = 8192;

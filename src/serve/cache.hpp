@@ -1,0 +1,73 @@
+// Sharded, thread-safe response LRU cache.
+//
+// Keys are the canonical request bytes (serve/protocol.hpp), values the
+// encoded response bodies, so a cache hit is a pure byte copy — no query
+// re-execution, no re-encoding. The key's FNV-1a hash picks a shard; each
+// shard is an independently locked exact LRU, so concurrent lookups of
+// different requests contend only 1/shards of the time. Hit, miss, insert
+// and eviction counts are exported through laces_obs
+// (laces_serve_response_cache_*_total).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace laces::serve {
+
+class ResponseCache {
+ public:
+  /// `shards` independent LRUs of `entries_per_shard` each. A zero for
+  /// either is bumped to one.
+  ResponseCache(std::size_t shards, std::size_t entries_per_shard);
+
+  /// The cached response body, or nullptr on a miss.
+  std::shared_ptr<const std::vector<std::uint8_t>> lookup(
+      std::span<const std::uint8_t> key);
+
+  /// Inserts (or refreshes) the response body for `key`, evicting the
+  /// shard's least-recently-used entry when the shard is full.
+  void insert(std::span<const std::uint8_t> key,
+              std::shared_ptr<const std::vector<std::uint8_t>> value);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  using Key = std::string;  // canonical request bytes
+  struct Shard {
+    std::mutex mutex;
+    /// Most-recent at front; evict from the back.
+    std::list<std::pair<Key, std::shared_ptr<const std::vector<std::uint8_t>>>>
+        lru;
+    std::unordered_map<std::string_view, decltype(lru)::iterator> by_key;
+  };
+
+  Shard& shard_for(std::span<const std::uint8_t> key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t entries_per_shard_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* inserts_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+};
+
+}  // namespace laces::serve

@@ -1,0 +1,147 @@
+#include "serve/json.hpp"
+
+#include <cstdio>
+
+namespace laces::serve {
+namespace {
+
+/// Deterministic double rendering: shortest round-trip-ish form via %.12g.
+/// Both the offline and served paths format through here, so equality of
+/// the underlying doubles implies equality of the JSON bytes.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string prefix_array(const std::vector<net::Prefix>& prefixes) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    if (i) out += ',';
+    out += '"' + prefixes[i].to_string() + '"';
+  }
+  out += ']';
+  return out;
+}
+
+std::string stats_object(const census::StabilityStats& s) {
+  std::string out = "{";
+  out += "\"days\":" + std::to_string(s.days);
+  out += ",\"degraded_days\":" + std::to_string(s.degraded_days);
+  out += ",\"union\":" + std::to_string(s.union_size);
+  out += ",\"every_day\":" + std::to_string(s.every_day);
+  out += ",\"intermittent\":" + std::to_string(s.intermittent());
+  out += ",\"daily_mean\":" + num(s.daily_mean);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string json_summary(const store::ArchiveSummary& s) {
+  std::string out = "{\"summary\":{";
+  out += "\"days\":" + std::to_string(s.days);
+  out += ",\"degraded_days\":" + std::to_string(s.degraded_days);
+  out += ",\"first_day\":" + std::to_string(s.first_day);
+  out += ",\"last_day\":" + std::to_string(s.last_day);
+  out += ",\"records_total\":" + std::to_string(s.records_total);
+  out += ",\"segment_bytes\":" + std::to_string(s.segment_bytes);
+  out += ",\"csv_bytes\":" + std::to_string(s.csv_bytes);
+  out += ",\"compression_ratio\":" + num(s.compression_ratio);
+  out += ",\"anycast_daily_mean\":" + num(s.anycast_daily_mean);
+  out += ",\"gcd_daily_mean\":" + num(s.gcd_daily_mean);
+  out += "}}\n";
+  return out;
+}
+
+std::string json_stability(const store::StabilityReport& report) {
+  std::string out = "{\"stability\":{";
+  out += "\"from_checkpoint\":";
+  out += report.from_checkpoint ? "true" : "false";
+  out += ",\"anycast_based\":" + stats_object(report.anycast_based);
+  out += ",\"gcd\":" + stats_object(report.gcd);
+  out += "}}\n";
+  return out;
+}
+
+std::string json_history(const net::Prefix& prefix,
+                         const std::vector<store::HistoryDay>& days) {
+  std::string out = "{\"history\":{\"prefix\":\"" + prefix.to_string() +
+                    "\",\"days\":[";
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    const auto& h = days[i];
+    if (i) out += ',';
+    out += "{\"day\":" + std::to_string(h.day);
+    out += ",\"degraded\":";
+    out += h.degraded ? "true" : "false";
+    out += ",\"published\":";
+    out += h.published ? "true" : "false";
+    out += ",\"anycast_based\":";
+    out += h.anycast_based ? "true" : "false";
+    out += ",\"gcd_confirmed\":";
+    out += h.gcd_confirmed ? "true" : "false";
+    out += ",\"max_vp_count\":" + std::to_string(h.max_vp_count);
+    out += ",\"gcd_sites\":" + std::to_string(h.gcd_sites);
+    out += '}';
+  }
+  out += "]}}\n";
+  return out;
+}
+
+std::string json_intermittent(const std::vector<net::Prefix>& anycast_based,
+                              const std::vector<net::Prefix>& gcd) {
+  std::string out = "{\"intermittent\":{";
+  out += "\"anycast_based\":" + prefix_array(anycast_based);
+  out += ",\"gcd\":" + prefix_array(gcd);
+  out += "}}\n";
+  return out;
+}
+
+std::string json_error(const ErrorResponse& error) {
+  std::string out = "{\"error\":{\"code\":\"";
+  out += to_string(error.code);
+  out += "\",\"message\":\"" + escape(error.message) + "\"";
+  out += ",\"retry_after_ms\":" + std::to_string(error.retry_after_ms);
+  out += "}}\n";
+  return out;
+}
+
+std::string json_response(const Response& response) {
+  return std::visit(
+      [](const auto& resp) -> std::string {
+        using T = std::decay_t<decltype(resp)>;
+        if constexpr (std::is_same_v<T, ErrorResponse>) {
+          return json_error(resp);
+        } else if constexpr (std::is_same_v<T, SummaryResponse>) {
+          return json_summary(resp.summary);
+        } else if constexpr (std::is_same_v<T, StabilityResponse>) {
+          return json_stability(resp.report);
+        } else if constexpr (std::is_same_v<T, HistoryResponse>) {
+          return json_history(resp.prefix, resp.days);
+        } else if constexpr (std::is_same_v<T, IntermittentResponse>) {
+          return json_intermittent(resp.anycast_based, resp.gcd);
+        } else if constexpr (std::is_same_v<T, ExportDayResponse>) {
+          // CSV is already a text format; wrap it so the output is one
+          // JSON document per response like every other renderer.
+          return "{\"export_day\":{\"day\":" + std::to_string(resp.day) +
+                 ",\"csv\":\"" + escape(resp.csv) + "\"}}\n";
+        }
+      },
+      response);
+}
+
+}  // namespace laces::serve

@@ -1,0 +1,29 @@
+// Machine-readable JSON rendering of query results.
+//
+// One implementation serves both consumers: `laces query --json` renders
+// QueryEngine results offline, and the serve client/CLI renders decoded
+// Response bodies. Because both paths call these exact functions, an
+// offline query and a served query over the same archive produce
+// byte-identical JSON — the integration tests assert exactly that.
+// Output is single-line, key-ordered, newline-terminated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace laces::serve {
+
+std::string json_summary(const store::ArchiveSummary& summary);
+std::string json_stability(const store::StabilityReport& report);
+std::string json_history(const net::Prefix& prefix,
+                         const std::vector<store::HistoryDay>& days);
+std::string json_intermittent(const std::vector<net::Prefix>& anycast_based,
+                              const std::vector<net::Prefix>& gcd);
+std::string json_error(const ErrorResponse& error);
+
+/// Dispatches a decoded response body to the renderer above.
+std::string json_response(const Response& response);
+
+}  // namespace laces::serve

@@ -1,0 +1,175 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "serve/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace laces::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClientResult {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+/// Deterministic weighted pick of the next request for one client.
+Request next_request(Rng& rng, const LoadGenConfig& config,
+                     const std::vector<net::Prefix>& prefixes,
+                     const std::vector<std::uint32_t>& days) {
+  const unsigned w_history = prefixes.empty() ? 0 : config.weight_history;
+  const unsigned w_export = days.empty() ? 0 : config.weight_export_day;
+  const unsigned total = config.weight_summary + config.weight_stability +
+                         w_history + config.weight_intermittent + w_export;
+  std::uint64_t pick = total == 0 ? 0 : rng.uniform_int(1, total);
+  if (pick <= config.weight_summary) return SummaryRequest{};
+  pick -= config.weight_summary;
+  if (pick <= config.weight_stability) return StabilityRequest{};
+  pick -= config.weight_stability;
+  if (pick <= w_history) {
+    HistoryRequest req;
+    req.prefix = prefixes[rng.uniform_int(0, prefixes.size() - 1)];
+    return req;
+  }
+  pick -= w_history;
+  if (pick <= config.weight_intermittent) return IntermittentRequest{};
+  ExportDayRequest req;
+  req.day = days.empty() ? 0 : days[rng.uniform_int(0, days.size() - 1)];
+  return req;
+}
+
+void run_client(Server& server, const LoadGenConfig& config,
+                const std::vector<net::Prefix>& prefixes,
+                const std::vector<std::uint32_t>& days, std::size_t index,
+                ClientResult& result) {
+  auto connection = server.connect();
+  Rng rng(config.seed * 0x9e37u + index);
+  result.latencies_ms.reserve(config.requests_per_client);
+  const double client_qps =
+      config.target_qps > 0
+          ? config.target_qps / static_cast<double>(config.clients)
+          : 0.0;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+    if (client_qps > 0) {
+      // Open-loop pacing: request i is due at start + i/qps, independent of
+      // how long earlier requests took.
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(i / client_qps));
+      std::this_thread::sleep_until(due);
+    }
+    const Request request = next_request(rng, config, prefixes, days);
+    const auto frame =
+        encode_frame(server.config().key, FrameKind::kRequest,
+                     /*request_id=*/index << 32 | i, encode_request(request));
+    const auto t0 = Clock::now();
+    const auto reply = connection->call(frame);
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    ++result.requests;
+    const Frame decoded = decode_frame(server.config().key, reply);
+    const Response response = decode_response(decoded.payload);
+    if (const auto* error = std::get_if<ErrorResponse>(&response)) {
+      if (error->code == ErrorCode::kOverloaded ||
+          error->code == ErrorCode::kShuttingDown) {
+        ++result.shed;
+      } else {
+        ++result.errors;
+      }
+    } else {
+      ++result.ok;
+    }
+  }
+}
+
+}  // namespace
+
+std::string LoadGenReport::to_json() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"serve_requests_per_sec\": %.3f,\n"
+                "  \"serve_p50_ms\": %.6f,\n"
+                "  \"serve_p99_ms\": %.6f,\n"
+                "  \"serve_shed_rate\": %.6f,\n"
+                "  \"serve_requests\": %llu,\n"
+                "  \"serve_ok\": %llu,\n"
+                "  \"serve_shed\": %llu,\n"
+                "  \"serve_errors\": %llu,\n"
+                "  \"serve_elapsed_s\": %.3f\n"
+                "}\n",
+                requests_per_sec, p50_ms, p99_ms, shed_rate,
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(errors), elapsed_s);
+  return buf;
+}
+
+std::string LoadGenReport::describe() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "requests: %llu (%llu ok, %llu shed, %llu errors)\n"
+                "throughput: %.0f req/s over %.2f s\n"
+                "latency: p50 %.3f ms, p99 %.3f ms\n"
+                "shed rate: %.2f%%\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(errors), requests_per_sec,
+                elapsed_s, p50_ms, p99_ms, 100.0 * shed_rate);
+  return buf;
+}
+
+LoadGenReport run_load(Server& server,
+                       const std::vector<net::Prefix>& prefixes,
+                       const std::vector<std::uint32_t>& days,
+                       const LoadGenConfig& config) {
+  std::vector<ClientResult> results(config.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    clients.emplace_back([&server, &config, &prefixes, &days, i, &results] {
+      run_client(server, config, prefixes, days, i, results[i]);
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadGenReport report;
+  std::vector<double> latencies;
+  for (const auto& r : results) {
+    report.requests += r.requests;
+    report.ok += r.ok;
+    report.shed += r.shed;
+    report.errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  report.elapsed_s = elapsed;
+  if (elapsed > 0) {
+    report.requests_per_sec = static_cast<double>(report.requests) / elapsed;
+  }
+  if (!latencies.empty()) {
+    report.p50_ms = percentile(latencies, 50.0);
+    report.p99_ms = percentile(latencies, 99.0);
+  }
+  if (report.requests > 0) {
+    report.shed_rate =
+        static_cast<double>(report.shed) / static_cast<double>(report.requests);
+  }
+  return report;
+}
+
+}  // namespace laces::serve

@@ -1,0 +1,58 @@
+// In-repo load generator for the query server.
+//
+// Drives N client threads through the framed protocol at a configurable
+// request mix and (optional) per-client pacing toward a target aggregate
+// QPS, measuring client-observed latency. Shared by `laces bench-serve`
+// and bench/bench_serve.cpp so the CLI and the CI gate run the same
+// workload. The request *sequence* is deterministic per (seed, client);
+// only the timing varies with the machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace laces::serve {
+
+struct LoadGenConfig {
+  std::size_t clients = 4;
+  std::size_t requests_per_client = 2000;
+  /// Aggregate target rate; 0 means closed-loop (each client back-to-back).
+  double target_qps = 0.0;
+  std::uint64_t seed = 1;
+  /// Relative request-mix weights.
+  unsigned weight_summary = 4;
+  unsigned weight_stability = 2;
+  unsigned weight_history = 8;
+  unsigned weight_intermittent = 1;
+  unsigned weight_export_day = 1;
+};
+
+struct LoadGenReport {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;  // non-shed error responses
+  double elapsed_s = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;
+
+  /// BENCH_serve.json body (scripts/check_bench.py schema).
+  std::string to_json() const;
+  /// Human-readable one-screen summary.
+  std::string describe() const;
+};
+
+/// Runs the workload against `server`. `prefixes` seeds history requests
+/// (typically a day's published prefixes); `days` seeds export requests.
+/// Both may be empty, in which case those mix weights are dropped.
+LoadGenReport run_load(Server& server,
+                       const std::vector<net::Prefix>& prefixes,
+                       const std::vector<std::uint32_t>& days,
+                       const LoadGenConfig& config);
+
+}  // namespace laces::serve

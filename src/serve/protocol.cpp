@@ -1,0 +1,392 @@
+#include "serve/protocol.hpp"
+
+#include "core/channel.hpp"
+#include "util/bytes.hpp"
+#include "util/sha256.hpp"
+
+namespace laces::serve {
+namespace {
+
+enum class RequestTag : std::uint8_t {
+  kSummary = 1,
+  kStability = 2,
+  kHistory = 3,
+  kIntermittent = 4,
+  kExportDay = 5,
+};
+
+enum class ResponseTag : std::uint8_t {
+  kError = 1,
+  kSummary = 2,
+  kStability = 3,
+  kHistory = 4,
+  kIntermittent = 5,
+  kExportDay = 6,
+};
+
+void put_prefix(ByteWriter& w, const net::Prefix& prefix) {
+  if (prefix.version() == net::IpVersion::kV4) {
+    w.u8(4);
+    w.u32(prefix.v4().address().value());
+    w.u8(prefix.v4().length());
+  } else {
+    w.u8(6);
+    w.u64(prefix.v6().address().hi());
+    w.u64(prefix.v6().address().lo());
+    w.u8(prefix.v6().length());
+  }
+}
+
+net::Prefix get_prefix(ByteReader& r) {
+  const std::uint8_t version = r.u8();
+  if (version == 4) {
+    const auto addr = net::Ipv4Address(r.u32());
+    return net::Ipv4Prefix(addr, r.u8());
+  }
+  if (version == 6) {
+    const auto hi = r.u64();
+    const auto lo = r.u64();
+    return net::Ipv6Prefix(net::Ipv6Address(hi, lo), r.u8());
+  }
+  throw ProtocolError("prefix: bad IP version byte " + std::to_string(version));
+}
+
+void put_prefix_list(ByteWriter& w, const std::vector<net::Prefix>& prefixes) {
+  w.varint(prefixes.size());
+  for (const auto& p : prefixes) put_prefix(w, p);
+}
+
+std::vector<net::Prefix> get_prefix_list(ByteReader& r) {
+  const std::uint64_t n = r.varint();
+  std::vector<net::Prefix> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(get_prefix(r));
+  return out;
+}
+
+void put_stats(ByteWriter& w, const census::StabilityStats& s) {
+  w.varint(s.days);
+  w.varint(s.degraded_days);
+  w.varint(s.union_size);
+  w.varint(s.every_day);
+  w.f64(s.daily_mean);
+}
+
+census::StabilityStats get_stats(ByteReader& r) {
+  census::StabilityStats s;
+  s.days = static_cast<std::size_t>(r.varint());
+  s.degraded_days = static_cast<std::size_t>(r.varint());
+  s.union_size = static_cast<std::size_t>(r.varint());
+  s.every_day = static_cast<std::size_t>(r.varint());
+  s.daily_mean = r.f64();
+  return s;
+}
+
+void put_history_day(ByteWriter& w, const store::HistoryDay& h) {
+  w.u32(h.day);
+  std::uint8_t flags = 0;
+  if (h.degraded) flags |= 1;
+  if (h.published) flags |= 2;
+  if (h.anycast_based) flags |= 4;
+  if (h.gcd_confirmed) flags |= 8;
+  w.u8(flags);
+  w.varint(h.max_vp_count);
+  w.varint(h.gcd_sites);
+}
+
+store::HistoryDay get_history_day(ByteReader& r) {
+  store::HistoryDay h;
+  h.day = r.u32();
+  const std::uint8_t flags = r.u8();
+  if (flags > 15) {
+    throw ProtocolError("history day: unknown flag bits " +
+                        std::to_string(flags));
+  }
+  h.degraded = flags & 1;
+  h.published = flags & 2;
+  h.anycast_based = flags & 4;
+  h.gcd_confirmed = flags & 8;
+  h.max_vp_count = static_cast<std::uint32_t>(r.varint());
+  h.gcd_sites = static_cast<std::uint32_t>(r.varint());
+  return h;
+}
+
+/// Rethrows byte-level underruns as protocol errors so callers see one
+/// exception type for "this payload is not a valid body".
+template <typename Fn>
+auto guarded(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const DecodeError& e) {
+    throw ProtocolError(std::string(what) + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad-request";
+    case ErrorCode::kUnknownDay:
+      return "unknown-day";
+    case ErrorCode::kCorruptArchive:
+      return "corrupt-archive";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting-down";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, SummaryRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kSummary));
+        } else if constexpr (std::is_same_v<T, StabilityRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kStability));
+        } else if constexpr (std::is_same_v<T, HistoryRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kHistory));
+          put_prefix(w, req.prefix);
+        } else if constexpr (std::is_same_v<T, IntermittentRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kIntermittent));
+        } else if constexpr (std::is_same_v<T, ExportDayRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kExportDay));
+          w.u32(req.day);
+        }
+      },
+      request);
+  return w.take();
+}
+
+Request decode_request(std::span<const std::uint8_t> bytes) {
+  return guarded("request", [&]() -> Request {
+    ByteReader r(bytes);
+    const auto tag = static_cast<RequestTag>(r.u8());
+    Request request;
+    switch (tag) {
+      case RequestTag::kSummary:
+        request = SummaryRequest{};
+        break;
+      case RequestTag::kStability:
+        request = StabilityRequest{};
+        break;
+      case RequestTag::kHistory: {
+        HistoryRequest req;
+        req.prefix = get_prefix(r);
+        request = req;
+        break;
+      }
+      case RequestTag::kIntermittent:
+        request = IntermittentRequest{};
+        break;
+      case RequestTag::kExportDay: {
+        ExportDayRequest req;
+        req.day = r.u32();
+        request = req;
+        break;
+      }
+      default:
+        throw ProtocolError("request: unknown tag " +
+                            std::to_string(static_cast<int>(tag)));
+    }
+    if (!r.done()) throw ProtocolError("request: trailing bytes");
+    return request;
+  });
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& resp) {
+        using T = std::decay_t<decltype(resp)>;
+        if constexpr (std::is_same_v<T, ErrorResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kError));
+          w.u8(static_cast<std::uint8_t>(resp.code));
+          w.str(resp.message);
+          w.u32(resp.retry_after_ms);
+        } else if constexpr (std::is_same_v<T, SummaryResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kSummary));
+          const auto& s = resp.summary;
+          w.varint(s.days);
+          w.varint(s.degraded_days);
+          w.u32(s.first_day);
+          w.u32(s.last_day);
+          w.varint(s.records_total);
+          w.varint(s.segment_bytes);
+          w.varint(s.csv_bytes);
+          w.f64(s.compression_ratio);
+          w.f64(s.anycast_daily_mean);
+          w.f64(s.gcd_daily_mean);
+        } else if constexpr (std::is_same_v<T, StabilityResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kStability));
+          put_stats(w, resp.report.anycast_based);
+          put_stats(w, resp.report.gcd);
+          w.u8(resp.report.from_checkpoint ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, HistoryResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kHistory));
+          put_prefix(w, resp.prefix);
+          w.varint(resp.days.size());
+          for (const auto& h : resp.days) put_history_day(w, h);
+        } else if constexpr (std::is_same_v<T, IntermittentResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kIntermittent));
+          put_prefix_list(w, resp.anycast_based);
+          put_prefix_list(w, resp.gcd);
+        } else if constexpr (std::is_same_v<T, ExportDayResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kExportDay));
+          w.u32(resp.day);
+          w.str(resp.csv);
+        }
+      },
+      response);
+  return w.take();
+}
+
+Response decode_response(std::span<const std::uint8_t> bytes) {
+  return guarded("response", [&]() -> Response {
+    ByteReader r(bytes);
+    const auto tag = static_cast<ResponseTag>(r.u8());
+    Response response;
+    switch (tag) {
+      case ResponseTag::kError: {
+        ErrorResponse resp;
+        const std::uint8_t code = r.u8();
+        if (code < 1 || code > 5) {
+          throw ProtocolError("error response: unknown code " +
+                              std::to_string(code));
+        }
+        resp.code = static_cast<ErrorCode>(code);
+        resp.message = r.str();
+        resp.retry_after_ms = r.u32();
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kSummary: {
+        SummaryResponse resp;
+        auto& s = resp.summary;
+        s.days = static_cast<std::size_t>(r.varint());
+        s.degraded_days = static_cast<std::size_t>(r.varint());
+        s.first_day = r.u32();
+        s.last_day = r.u32();
+        s.records_total = r.varint();
+        s.segment_bytes = r.varint();
+        s.csv_bytes = r.varint();
+        s.compression_ratio = r.f64();
+        s.anycast_daily_mean = r.f64();
+        s.gcd_daily_mean = r.f64();
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kStability: {
+        StabilityResponse resp;
+        resp.report.anycast_based = get_stats(r);
+        resp.report.gcd = get_stats(r);
+        resp.report.from_checkpoint = r.u8() != 0;
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kHistory: {
+        HistoryResponse resp;
+        resp.prefix = get_prefix(r);
+        const std::uint64_t n = r.varint();
+        resp.days.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+          resp.days.push_back(get_history_day(r));
+        }
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kIntermittent: {
+        IntermittentResponse resp;
+        resp.anycast_based = get_prefix_list(r);
+        resp.gcd = get_prefix_list(r);
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kExportDay: {
+        ExportDayResponse resp;
+        resp.day = r.u32();
+        resp.csv = r.str();
+        response = std::move(resp);
+        break;
+      }
+      default:
+        throw ProtocolError("response: unknown tag " +
+                            std::to_string(static_cast<int>(tag)));
+    }
+    if (!r.done()) throw ProtocolError("response: trailing bytes");
+    return response;
+  });
+}
+
+std::vector<std::uint8_t> encode_frame(const std::string& key, FrameKind kind,
+                                       std::uint64_t request_id,
+                                       std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u16(kFrameMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  // The MAC covers the whole frame prefix — header *and* payload — so a
+  // tampered request_id or kind fails authentication, not just a tampered
+  // body.
+  const Sha256Digest mac = core::frame_mac(key, w.view());
+  w.bytes(mac);
+  return w.take();
+}
+
+Frame decode_frame(const std::string& key,
+                   std::span<const std::uint8_t> bytes) {
+  return guarded("frame", [&]() -> Frame {
+    ByteReader r(bytes);
+    if (r.u16() != kFrameMagic) throw ProtocolError("frame: bad magic");
+    const std::uint8_t version = r.u8();
+    if (version != kProtocolVersion) {
+      throw ProtocolError("frame: unsupported protocol version " +
+                          std::to_string(version));
+    }
+    const std::uint8_t kind = r.u8();
+    if (kind != static_cast<std::uint8_t>(FrameKind::kRequest) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kResponse)) {
+      throw ProtocolError("frame: unknown kind " + std::to_string(kind));
+    }
+    Frame frame;
+    frame.kind = static_cast<FrameKind>(kind);
+    frame.request_id = r.u64();
+    const std::uint32_t len = r.u32();
+    const auto payload = r.bytes(len);
+    const auto mac_bytes = r.bytes(32);
+    if (!r.done()) throw ProtocolError("frame: trailing bytes");
+    Sha256Digest mac;
+    std::copy(mac_bytes.begin(), mac_bytes.end(), mac.begin());
+    const auto signed_prefix = bytes.first(bytes.size() - 32);
+    if (!digest_equal(mac, core::frame_mac(key, signed_prefix))) {
+      throw ProtocolError("frame: MAC verification failed");
+    }
+    frame.payload.assign(payload.begin(), payload.end());
+    return frame;
+  });
+}
+
+std::string_view request_label(const Request& request) {
+  return std::visit(
+      [](const auto& req) -> std::string_view {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, SummaryRequest>) return "summary";
+        if constexpr (std::is_same_v<T, StabilityRequest>) return "stability";
+        if constexpr (std::is_same_v<T, HistoryRequest>) return "history";
+        if constexpr (std::is_same_v<T, IntermittentRequest>) {
+          return "intermittent";
+        }
+        if constexpr (std::is_same_v<T, ExportDayRequest>) return "export-day";
+      },
+      request);
+}
+
+}  // namespace laces::serve

@@ -1,0 +1,160 @@
+// laces_serve wire protocol: versioned, length-framed, HMAC-authenticated
+// binary request/response pairs over an immutable census archive.
+//
+// A frame is
+//
+//   magic u16 ('L''S') | version u8 | kind u8 | request_id u64 |
+//   payload_len u32 | payload bytes | HMAC-SHA256(key, payload) [32 bytes]
+//
+// The MAC is core::frame_mac — exactly the scheme the simulated
+// control-plane Channel authenticates with (paper R8), so the query server
+// inherits the census system's auth model instead of inventing one. The
+// payload is the *canonical* encoding of a request or response body: the
+// request's canonical bytes double as the server's response-cache key, and
+// a response body is byte-identical whether it was computed or served from
+// cache. request_id lives in the frame header, not the payload, so two
+// clients asking the same question hash to the same cache entry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/address.hpp"
+#include "store/query.hpp"
+
+namespace laces::serve {
+
+/// Thrown when a frame or payload fails structural or cryptographic
+/// validation (bad magic, unsupported version, length mismatch, bad MAC,
+/// malformed body).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+constexpr std::uint16_t kFrameMagic = 0x4c53;  // "LS"
+constexpr std::uint8_t kProtocolVersion = 1;
+
+enum class FrameKind : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+// --- requests ---
+
+/// Manifest-only archive summary.
+struct SummaryRequest {
+  bool operator==(const SummaryRequest&) const = default;
+};
+
+/// Longitudinal stability statistics (both methods).
+struct StabilityRequest {
+  bool operator==(const StabilityRequest&) const = default;
+};
+
+/// Per-day detection history of one prefix.
+struct HistoryRequest {
+  net::Prefix prefix;
+  bool operator==(const HistoryRequest&) const = default;
+};
+
+/// Intermittent prefix sets (detected on some but not all healthy days).
+struct IntermittentRequest {
+  bool operator==(const IntermittentRequest&) const = default;
+};
+
+/// One archived day in the §4.2.4 CSV publication format.
+struct ExportDayRequest {
+  std::uint32_t day = 0;
+  bool operator==(const ExportDayRequest&) const = default;
+};
+
+using Request = std::variant<SummaryRequest, StabilityRequest, HistoryRequest,
+                             IntermittentRequest, ExportDayRequest>;
+
+// --- responses ---
+
+/// Typed failure. kOverloaded and kShuttingDown are *admission* errors —
+/// the request never reached a worker; retry_after_ms tells a well-behaved
+/// client how long to back off.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest = 1,    // malformed or unauthenticated request frame
+  kUnknownDay = 2,    // day not present in the manifest
+  kCorruptArchive = 3,  // a segment failed its SHA-256 / digest check
+  kOverloaded = 4,    // queue full or per-connection in-flight cap hit
+  kShuttingDown = 5,  // server is draining
+};
+
+std::string_view to_string(ErrorCode code);
+
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+  std::uint32_t retry_after_ms = 0;
+  bool operator==(const ErrorResponse&) const = default;
+};
+
+struct SummaryResponse {
+  store::ArchiveSummary summary;
+  bool operator==(const SummaryResponse&) const = default;
+};
+
+struct StabilityResponse {
+  store::StabilityReport report;
+  bool operator==(const StabilityResponse&) const = default;
+};
+
+struct HistoryResponse {
+  net::Prefix prefix;
+  std::vector<store::HistoryDay> days;
+  bool operator==(const HistoryResponse&) const = default;
+};
+
+struct IntermittentResponse {
+  std::vector<net::Prefix> anycast_based;
+  std::vector<net::Prefix> gcd;
+  bool operator==(const IntermittentResponse&) const = default;
+};
+
+struct ExportDayResponse {
+  std::uint32_t day = 0;
+  std::string csv;
+  bool operator==(const ExportDayResponse&) const = default;
+};
+
+using Response =
+    std::variant<ErrorResponse, SummaryResponse, StabilityResponse,
+                 HistoryResponse, IntermittentResponse, ExportDayResponse>;
+
+// --- body codecs (canonical bytes) ---
+
+/// Canonical request encoding; identical requests encode to identical
+/// bytes (this is the response-cache key).
+std::vector<std::uint8_t> encode_request(const Request& request);
+Request decode_request(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_response(const Response& response);
+Response decode_response(std::span<const std::uint8_t> bytes);
+
+// --- framing ---
+
+/// A parsed, authenticated frame.
+struct Frame {
+  FrameKind kind = FrameKind::kRequest;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Wraps a body in a signed frame.
+std::vector<std::uint8_t> encode_frame(const std::string& key, FrameKind kind,
+                                       std::uint64_t request_id,
+                                       std::span<const std::uint8_t> payload);
+
+/// Verifies structure and MAC; throws ProtocolError on any mismatch.
+Frame decode_frame(const std::string& key, std::span<const std::uint8_t> bytes);
+
+/// Human-readable request label ("summary", "history", ...) for metrics.
+std::string_view request_label(const Request& request);
+
+}  // namespace laces::serve

@@ -1,0 +1,277 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace laces::serve {
+namespace {
+
+double micros_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::future<std::vector<std::uint8_t>> Connection::submit(
+    std::vector<std::uint8_t> frame) {
+  // The server keeps a shared_ptr so the connection (and its in-flight
+  // counter) stays alive while the job sits in the queue.
+  return server_->submit(shared_from_this(), std::move(frame));
+}
+
+Server::Server(store::ArchiveReader& reader, ServerConfig config)
+    : reader_(reader),
+      config_(std::move(config)),
+      cache_(config_.cache_shards, config_.cache_entries_per_shard),
+      engine_(reader) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.max_inflight_per_connection == 0) {
+    config_.max_inflight_per_connection = 1;
+  }
+  auto& reg = obs::Registry::global();
+  executed_counter_ = &reg.counter("laces_serve_requests_executed_total");
+  shed_counter_ = &reg.counter("laces_serve_requests_shed_total");
+  auth_failure_counter_ = &reg.counter("laces_serve_auth_failures_total");
+  error_counter_ = &reg.counter("laces_serve_error_responses_total");
+  latency_us_ = &reg.histogram("laces_serve_request_micros",
+                               obs::log_buckets(10.0, 1e6, 4));
+  if (config_.start_workers) start();
+}
+
+Server::~Server() { drain(); }
+
+std::shared_ptr<Connection> Server::connect() {
+  const std::uint64_t id =
+      next_connection_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<Connection>(new Connection(this, id));
+}
+
+void Server::start() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(config_.threads);
+  for (std::size_t i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::drain() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (draining_ && workers_.empty()) return;
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  if (!started_) {
+    // Pool never ran: fail queued jobs rather than leaving futures hanging.
+    std::deque<Job> orphaned;
+    {
+      std::lock_guard lock(queue_mutex_);
+      orphaned.swap(queue_);
+    }
+    for (auto& job : orphaned) {
+      job.connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
+      job.promise.set_value(error_frame(job.request_id,
+                                        ErrorCode::kShuttingDown,
+                                        "server drained before start"));
+    }
+  }
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard lock(queue_mutex_);
+  return queue_.size();
+}
+
+std::vector<std::uint8_t> Server::respond(
+    std::uint64_t request_id, std::span<const std::uint8_t> body) const {
+  return encode_frame(config_.key, FrameKind::kResponse, request_id, body);
+}
+
+std::vector<std::uint8_t> Server::error_frame(
+    std::uint64_t request_id, ErrorCode code, std::string message,
+    std::uint32_t retry_after_ms) const {
+  ErrorResponse error;
+  error.code = code;
+  error.message = std::move(message);
+  error.retry_after_ms = retry_after_ms;
+  error_counter_->add(1);
+  return respond(request_id, encode_response(Response(std::move(error))));
+}
+
+std::future<std::vector<std::uint8_t>> Server::submit(
+    std::shared_ptr<Connection> connection, std::vector<std::uint8_t> frame) {
+  std::promise<std::vector<std::uint8_t>> promise;
+  auto future = promise.get_future();
+
+  // Authenticate and parse on the client thread: a forged or garbled frame
+  // must never consume a queue slot or a worker.
+  Frame parsed;
+  try {
+    parsed = decode_frame(config_.key, frame);
+    if (parsed.kind != FrameKind::kRequest) {
+      throw ProtocolError("frame: expected a request frame");
+    }
+  } catch (const ProtocolError& e) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    auth_failure_counter_->add(1);
+    promise.set_value(error_frame(0, ErrorCode::kBadRequest, e.what()));
+    return future;
+  }
+
+  Request request;
+  try {
+    request = decode_request(parsed.payload);
+  } catch (const ProtocolError& e) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    auth_failure_counter_->add(1);
+    promise.set_value(
+        error_frame(parsed.request_id, ErrorCode::kBadRequest, e.what()));
+    return future;
+  }
+
+  // Canonicalize: the cache key is our encoding of the request, not the
+  // client's bytes, so equivalent requests share one entry.
+  std::vector<std::uint8_t> canonical = encode_request(request);
+
+  // Cache hits are answered right here on the client thread.
+  if (auto body = cache_.lookup(canonical)) {
+    promise.set_value(respond(parsed.request_id, *body));
+    return future;
+  }
+
+  // Admission control. Per-connection cap first (cheap, no lock), then the
+  // bounded queue. Both failures shed with a retry-after hint.
+  const std::size_t inflight =
+      connection->inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (inflight > config_.max_inflight_per_connection) {
+    connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
+    requests_shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_counter_->add(1);
+    promise.set_value(error_frame(
+        parsed.request_id, ErrorCode::kOverloaded,
+        "connection in-flight cap reached", config_.retry_after_ms));
+    return future;
+  }
+
+  Job job;
+  job.connection = std::move(connection);
+  job.request_id = parsed.request_id;
+  job.canonical = std::move(canonical);
+  job.request = std::move(request);
+  job.promise = std::move(promise);
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (draining_) {
+      job.connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
+      job.promise.set_value(error_frame(job.request_id,
+                                        ErrorCode::kShuttingDown,
+                                        "server is draining"));
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      job.connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
+      requests_shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_counter_->add(1);
+      job.promise.set_value(error_frame(job.request_id, ErrorCode::kOverloaded,
+                                        "request queue full",
+                                        config_.retry_after_ms));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Response response = execute(job.request);
+    std::vector<std::uint8_t> body = encode_response(response);
+
+    // Only successful responses are cached; errors stay uncached so a
+    // healed archive (or a drained overload) is retried at full fidelity.
+    if (!std::holds_alternative<ErrorResponse>(response)) {
+      cache_.insert(job.canonical,
+                    std::make_shared<const std::vector<std::uint8_t>>(body));
+    }
+    requests_executed_.fetch_add(1, std::memory_order_relaxed);
+    executed_counter_->add(1);
+    latency_us_->observe(micros_since(t0));
+
+    job.connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
+    job.promise.set_value(respond(job.request_id, body));
+  }
+}
+
+Response Server::execute(const Request& request) {
+  try {
+    return std::visit(
+        [this](const auto& req) -> Response {
+          using T = std::decay_t<decltype(req)>;
+          if constexpr (std::is_same_v<T, SummaryRequest>) {
+            // Manifest-only: no segment reads, no engine state.
+            return SummaryResponse{store::QueryEngine(reader_).summary()};
+          } else if constexpr (std::is_same_v<T, StabilityRequest>) {
+            std::lock_guard lock(engine_mutex_);
+            return StabilityResponse{engine_.stability()};
+          } else if constexpr (std::is_same_v<T, HistoryRequest>) {
+            // History walks the (thread-safe) segment cache; the engine
+            // wrapper itself is stateless for this query.
+            HistoryResponse resp;
+            resp.prefix = req.prefix;
+            resp.days = store::QueryEngine(reader_).history(req.prefix);
+            return resp;
+          } else if constexpr (std::is_same_v<T, IntermittentRequest>) {
+            std::lock_guard lock(engine_mutex_);
+            IntermittentResponse resp;
+            resp.anycast_based = engine_.intermittent_anycast_based();
+            resp.gcd = engine_.intermittent_gcd();
+            return resp;
+          } else if constexpr (std::is_same_v<T, ExportDayRequest>) {
+            if (reader_.manifest().find(req.day) == nullptr) {
+              ErrorResponse error;
+              error.code = ErrorCode::kUnknownDay;
+              error.message =
+                  "day " + std::to_string(req.day) + " is not in the archive";
+              return error;
+            }
+            ExportDayResponse resp;
+            resp.day = req.day;
+            std::ostringstream csv;
+            reader_.export_csv(req.day, csv);
+            resp.csv = csv.str();
+            return resp;
+          }
+        },
+        request);
+  } catch (const store::ArchiveError& e) {
+    // The same condition `laces query` reports as a line-anchored error
+    // (e.g. a segment failing its SHA-256 footer check) becomes a typed
+    // response here — corruption is surfaced, never silently served.
+    ErrorResponse error;
+    error.code = ErrorCode::kCorruptArchive;
+    error.message = e.what();
+    return error;
+  }
+}
+
+}  // namespace laces::serve

@@ -1,0 +1,182 @@
+// Concurrent census query server over an immutable archive.
+//
+// The first genuinely multi-threaded subsystem in the repo: a fixed pool
+// of std::thread workers drains a bounded MPMC request queue fed by any
+// number of client threads. Admission control happens on the *client's*
+// thread before a job is queued — a full queue or a connection over its
+// in-flight cap gets an immediate, signed kOverloaded response carrying a
+// retry-after hint instead of unbounded queueing (load shedding, never a
+// hang). Cache hits are also answered on the client thread: the sharded
+// response LRU (serve/cache.hpp) is keyed by canonical request bytes and
+// holds encoded response bodies, layered above the (shared-lock) decoded
+// segment cache inside store::ArchiveReader. Shutdown is a graceful
+// drain: accepted jobs finish, new submissions are refused with
+// kShuttingDown.
+//
+// Everything is in-process: a Connection is the transport. Frames in and
+// out are the real wire bytes (serve/protocol.hpp) — authenticated,
+// length-framed, versioned — so moving a connection onto a socket is a
+// transport swap, not a protocol change.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "store/archive.hpp"
+#include "store/query.hpp"
+
+namespace laces::serve {
+
+struct ServerConfig {
+  /// Worker pool size.
+  std::size_t threads = 4;
+  /// Bounded request queue: submissions beyond this are shed.
+  std::size_t queue_capacity = 256;
+  /// Per-connection in-flight cap (queued + executing jobs).
+  std::size_t max_inflight_per_connection = 64;
+  /// Response cache geometry.
+  std::size_t cache_shards = 8;
+  std::size_t cache_entries_per_shard = 256;
+  /// Shared HMAC key; clients must present the same key (core::frame_mac).
+  std::string key = "laces-serve";
+  /// Backoff hint attached to kOverloaded shed responses.
+  std::uint32_t retry_after_ms = 50;
+  /// When false the pool does not start until start() — tests use this to
+  /// fill the queue deterministically and prove shedding without races.
+  bool start_workers = true;
+};
+
+class Server;
+
+/// One client's handle onto the server. Thread-compatible: a connection
+/// may be driven from several threads, each counted against the same
+/// in-flight cap. Connections must not outlive their Server.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// Submits one request frame. Always yields a response frame — possibly
+  /// a typed error (shed, bad request) — never blocks on a full queue.
+  std::future<std::vector<std::uint8_t>> submit(
+      std::vector<std::uint8_t> frame);
+
+  /// Synchronous convenience: submit and wait.
+  std::vector<std::uint8_t> call(std::vector<std::uint8_t> frame) {
+    return submit(std::move(frame)).get();
+  }
+
+  std::uint64_t id() const { return id_; }
+  std::size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Server;
+  Connection(Server* server, std::uint64_t id) : server_(server), id_(id) {}
+
+  Server* server_;
+  std::uint64_t id_;
+  std::atomic<std::size_t> inflight_{0};
+};
+
+class Server {
+ public:
+  Server(store::ArchiveReader& reader, ServerConfig config);
+  /// Drains outstanding work and joins the pool.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens a new in-process connection.
+  std::shared_ptr<Connection> connect();
+
+  /// Starts the worker pool (no-op if already running).
+  void start();
+
+  /// Graceful shutdown: refuse new submissions, finish every queued job,
+  /// join the workers. Idempotent.
+  void drain();
+
+  const ServerConfig& config() const { return config_; }
+  const ResponseCache& cache() const { return cache_; }
+
+  /// Requests answered by a worker (cache misses that executed).
+  std::uint64_t requests_executed() const {
+    return requests_executed_.load(std::memory_order_relaxed);
+  }
+  /// Requests answered from the response cache on the client thread.
+  std::uint64_t cache_hits() const { return cache_.hits(); }
+  /// Submissions refused by admission control (queue full or cap hit).
+  std::uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
+  /// Frames that failed MAC or structural validation.
+  std::uint64_t auth_failures() const {
+    return auth_failures_.load(std::memory_order_relaxed);
+  }
+  std::size_t queue_depth() const;
+
+ private:
+  struct Job {
+    std::shared_ptr<Connection> connection;
+    std::uint64_t request_id = 0;
+    std::vector<std::uint8_t> canonical;  // cache key
+    Request request;
+    std::promise<std::vector<std::uint8_t>> promise;
+  };
+
+  friend class Connection;
+  std::future<std::vector<std::uint8_t>> submit(
+      std::shared_ptr<Connection> connection, std::vector<std::uint8_t> frame);
+
+  std::vector<std::uint8_t> respond(std::uint64_t request_id,
+                                    std::span<const std::uint8_t> body) const;
+  std::vector<std::uint8_t> error_frame(std::uint64_t request_id,
+                                        ErrorCode code, std::string message,
+                                        std::uint32_t retry_after_ms = 0) const;
+
+  void worker_loop();
+  /// Executes one decoded request against the archive (worker thread).
+  Response execute(const Request& request);
+
+  store::ArchiveReader& reader_;
+  ServerConfig config_;
+  ResponseCache cache_;
+
+  /// Stability/intermittent queries share one QueryEngine so the expensive
+  /// longitudinal replay happens once; the engine's lazy replay state is
+  /// the only mutable part, hence the mutex.
+  store::QueryEngine engine_;
+  std::mutex engine_mutex_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool draining_ = false;
+
+  std::vector<std::thread> workers_;
+  std::mutex lifecycle_mutex_;  // start()/drain() serialization
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> next_connection_id_{1};
+  std::atomic<std::uint64_t> requests_executed_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> auth_failures_{0};
+
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* auth_failure_counter_ = nullptr;
+  obs::Counter* error_counter_ = nullptr;
+  obs::Histogram* latency_us_ = nullptr;
+};
+
+}  // namespace laces::serve

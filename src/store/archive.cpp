@@ -159,13 +159,18 @@ std::vector<std::uint8_t> ArchiveReader::read_segment_bytes(
 
 std::shared_ptr<const census::DailyCensus> ArchiveReader::load_day(
     std::uint32_t day) {
-  if (auto it = by_day_.find(day); it != by_day_.end()) {
-    ++hits_;
-    cache_hits_->add(1);
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    return it->second->second;
+  {
+    std::shared_lock lock(cache_mutex_);
+    if (const auto it = cache_.find(day); it != cache_.end()) {
+      it->second->last_use.store(
+          use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_->add(1);
+      return it->second->census;
+    }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   cache_misses_->add(1);
 
   const ManifestEntry* entry = manifest_.find(day);
@@ -176,6 +181,8 @@ std::shared_ptr<const census::DailyCensus> ArchiveReader::load_day(
   obs::Span span("store.load_day");
   span.set_attr("day", std::to_string(day));
 
+  // Read + digest-check + decode happen outside any lock: a slow decode
+  // must not block concurrent cache hits on other days.
   const auto bytes = read_segment_bytes(*entry, /*check_manifest_digest=*/true);
   census::DailyCensus census;
   try {
@@ -194,11 +201,30 @@ std::shared_ptr<const census::DailyCensus> ArchiveReader::load_day(
 
   auto shared =
       std::make_shared<const census::DailyCensus>(std::move(census));
-  lru_.emplace_front(day, shared);
-  by_day_[day] = lru_.begin();
-  if (lru_.size() > cache_capacity_) {
-    by_day_.erase(lru_.back().first);
-    lru_.pop_back();
+  std::unique_lock lock(cache_mutex_);
+  if (const auto it = cache_.find(day); it != cache_.end()) {
+    // Another thread decoded the same day while we did: keep its entry
+    // (contents are identical — segments are deterministic).
+    it->second->last_use.store(
+        use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    return it->second->census;
+  }
+  auto cached = std::make_unique<CachedDay>();
+  cached->census = shared;
+  cached->last_use.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  cache_.emplace(day, std::move(cached));
+  if (cache_.size() > cache_capacity_) {
+    // Evict the smallest recency tick (the least recently used entry).
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second->last_use.load(std::memory_order_relaxed) <
+          victim->second->last_use.load(std::memory_order_relaxed)) {
+        victim = it;
+      }
+    }
+    cache_.erase(victim);
   }
   return shared;
 }

@@ -9,11 +9,12 @@
 // laces_obs (bytes, compression ratio inputs, cache hits/misses, spans).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <iosfwd>
-#include <list>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,14 @@ class ArchiveWriter {
   obs::Counter* checkpoints_written_ = nullptr;
 };
 
+/// Thread-safety: after construction an ArchiveReader is safe for
+/// concurrent load_day / export_csv / manifest() calls from any number of
+/// threads (laces_serve workers hammer one reader). The decoded-segment
+/// cache takes a shared lock on the hit path — a relaxed recency tick is
+/// the only write — and an exclusive lock only to insert after a miss;
+/// segment decode always happens outside any lock, so a slow decode never
+/// blocks concurrent hits. replay_longitudinal() and verify() are safe but
+/// sequential; checkpoint accessors touch only the filesystem.
 class ArchiveReader {
  public:
   /// Opens the archive at `dir` (the manifest must exist).
@@ -81,22 +90,35 @@ class ArchiveReader {
   /// problem per bad day (empty = archive verifies clean).
   std::vector<std::string> verify();
 
-  std::uint64_t cache_hits() const { return hits_; }
-  std::uint64_t cache_misses() const { return misses_; }
+  std::uint64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One cached decoded day. `last_use` is a recency tick from use_clock_:
+  /// bumped with a relaxed store under the shared lock on every hit, read
+  /// under the exclusive lock when picking the eviction victim — exact LRU
+  /// for any serial history, approximate only under racing hits (where
+  /// "least recent" is ambiguous anyway).
+  struct CachedDay {
+    std::shared_ptr<const census::DailyCensus> census;
+    std::atomic<std::uint64_t> last_use{0};
+  };
+
   std::vector<std::uint8_t> read_segment_bytes(const ManifestEntry& entry,
                                                bool check_manifest_digest);
 
   std::filesystem::path dir_;
   Manifest manifest_;
   std::size_t cache_capacity_;
-  /// LRU: most-recent at front; evict from the back.
-  std::list<std::pair<std::uint32_t, std::shared_ptr<const census::DailyCensus>>>
-      lru_;
-  std::unordered_map<std::uint32_t, decltype(lru_)::iterator> by_day_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable std::shared_mutex cache_mutex_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<CachedDay>> cache_;
+  std::atomic<std::uint64_t> use_clock_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* segments_loaded_ = nullptr;

@@ -45,6 +45,8 @@ struct ArchiveSummary {
   /// Mean anycast-based detections per healthy day.
   double anycast_daily_mean = 0.0;
   double gcd_daily_mean = 0.0;
+
+  bool operator==(const ArchiveSummary&) const = default;
 };
 
 /// Both methods' stability, plus where the numbers came from.
@@ -53,6 +55,8 @@ struct StabilityReport {
   census::StabilityStats gcd;
   /// True when served from checkpoint counters, false when replayed.
   bool from_checkpoint = false;
+
+  bool operator==(const StabilityReport&) const = default;
 };
 
 class QueryEngine {

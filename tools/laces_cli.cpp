@@ -5,20 +5,27 @@
 //   laces probe    --prefix A.B.C.0/24 ...       full workup of one prefix
 //   laces catchment [...]                        catchment distribution
 //   laces query    --archive DIR ...             query an archived series
+//   laces serve    --archive DIR ...             concurrent query server
+//   laces bench-serve --archive DIR ...          query-server load test
 //
 // Every subcommand builds its own deterministic world; --seed reproduces a
 // run exactly. `census --archive DIR` persists each day into a laces_store
 // archive (plus a resume checkpoint); `census --archive DIR --resume`
-// continues a killed series byte-identically.
+// continues a killed series byte-identically. `serve` runs the laces_serve
+// thread-pool server in-process and drives scripted request lines through
+// the framed protocol; `bench-serve` runs the load generator against it.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "census/longitudinal.hpp"
 #include "census/output.hpp"
@@ -36,6 +43,9 @@
 #include "platform/latency.hpp"
 #include "platform/platform.hpp"
 #include "platform/traceroute.hpp"
+#include "serve/json.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "store/archive.hpp"
 #include "store/query.hpp"
 #include "topo/network.hpp"
@@ -431,6 +441,12 @@ int cmd_query(const Args& args) {
     std::fprintf(stderr, "laces query: --archive DIR required\n");
     return 2;
   }
+  const bool json = args.has("json");
+  // Every section buffers here and reaches stdout only after the whole
+  // query succeeded. A day segment failing its SHA-256 footer check
+  // mid-query therefore yields exactly one line-anchored stderr error and
+  // a nonzero exit — never partial output with an error tangled into it.
+  std::ostringstream out;
   try {
     store::ArchiveReader reader(
         std::filesystem::path(args.get("archive", "archive")));
@@ -440,23 +456,26 @@ int cmd_query(const Args& args) {
     if (args.has("verify")) {
       did_something = true;
       const auto problems = reader.verify();
-      if (problems.empty()) {
-        std::printf("archive verifies clean (%zu days)\n",
-                    reader.manifest().entries.size());
-      } else {
+      if (!problems.empty()) {
         for (const auto& p : problems) {
           std::fprintf(stderr, "laces query: %s\n", p.c_str());
         }
         return 1;
       }
+      if (!json) {
+        out << "archive verifies clean ("
+            << reader.manifest().entries.size() << " days)\n";
+      }
     }
     if (args.has("summary")) {
       did_something = true;
-      std::printf("%s", store::render_summary(query.summary()).c_str());
+      out << (json ? serve::json_summary(query.summary())
+                   : store::render_summary(query.summary()));
     }
     if (args.has("stability")) {
       did_something = true;
-      std::printf("%s", store::render_stability(query.stability()).c_str());
+      out << (json ? serve::json_stability(query.stability())
+                   : store::render_stability(query.stability()));
     }
     if (args.has("prefix")) {
       did_something = true;
@@ -466,30 +485,43 @@ int cmd_query(const Args& args) {
         return 2;
       }
       const net::Prefix prefix(*parsed);
-      std::printf("%s",
-                  store::render_history(prefix, query.history(prefix)).c_str());
+      const auto history = query.history(prefix);
+      out << (json ? serve::json_history(prefix, history)
+                   : store::render_history(prefix, history));
     }
     if (args.has("intermittent")) {
       did_something = true;
       const auto anycast = query.intermittent_anycast_based();
       const auto gcd = query.intermittent_gcd();
-      std::printf("intermittent anycast-based (%zu):\n", anycast.size());
-      for (const auto& p : anycast) std::printf("  %s\n", p.to_string().c_str());
-      std::printf("intermittent gcd (%zu):\n", gcd.size());
-      for (const auto& p : gcd) std::printf("  %s\n", p.to_string().c_str());
+      if (json) {
+        out << serve::json_intermittent(anycast, gcd);
+      } else {
+        out << "intermittent anycast-based (" << anycast.size() << "):\n";
+        for (const auto& p : anycast) out << "  " << p.to_string() << "\n";
+        out << "intermittent gcd (" << gcd.size() << "):\n";
+        for (const auto& p : gcd) out << "  " << p.to_string() << "\n";
+      }
     }
     if (args.has("export-day")) {
       did_something = true;
       const auto day = static_cast<std::uint32_t>(args.get_int("export-day", 0));
-      std::ostringstream out;
-      reader.export_csv(day, out);
-      std::fputs(out.str().c_str(), stdout);
+      std::ostringstream csv;
+      reader.export_csv(day, csv);
+      if (json) {
+        const serve::Response response =
+            serve::ExportDayResponse{day, csv.str()};
+        out << serve::json_response(response);
+      } else {
+        out << csv.str();
+      }
     }
 
     if (!did_something) {
       // Default to the manifest-only summary.
-      std::printf("%s", store::render_summary(query.summary()).c_str());
+      out << (json ? serve::json_summary(query.summary())
+                   : store::render_summary(query.summary()));
     }
+    std::fputs(out.str().c_str(), stdout);
     return 0;
   } catch (const store::ArchiveError& e) {
     std::fprintf(stderr, "laces query: %s\n", e.what());
@@ -497,9 +529,210 @@ int cmd_query(const Args& args) {
   }
 }
 
+/// Request-line grammar shared by `laces serve --script`:
+///   summary | stability | intermittent | history A.B.C.0/24 | export-day N
+std::optional<serve::Request> parse_request_line(const std::string& line,
+                                                std::string* error) {
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+  if (verb == "summary") return serve::Request{serve::SummaryRequest{}};
+  if (verb == "stability") return serve::Request{serve::StabilityRequest{}};
+  if (verb == "intermittent") {
+    return serve::Request{serve::IntermittentRequest{}};
+  }
+  if (verb == "history" || verb == "prefix") {
+    std::string text;
+    in >> text;
+    const auto parsed = net::Ipv4Prefix::parse(text);
+    if (!parsed) {
+      *error = verb + ": malformed prefix '" + text + "'";
+      return std::nullopt;
+    }
+    return serve::Request{serve::HistoryRequest{net::Prefix(*parsed)}};
+  }
+  if (verb == "export-day") {
+    long day = -1;
+    in >> day;
+    if (day < 0) {
+      *error = "export-day: day number required";
+      return std::nullopt;
+    }
+    return serve::Request{
+        serve::ExportDayRequest{static_cast<std::uint32_t>(day)}};
+  }
+  *error = "unknown request '" + verb + "'";
+  return std::nullopt;
+}
+
+serve::ServerConfig server_config(const Args& args) {
+  serve::ServerConfig config;
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 4));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 256));
+  config.max_inflight_per_connection =
+      static_cast<std::size_t>(args.get_int("inflight", 64));
+  config.cache_shards =
+      static_cast<std::size_t>(args.get_int("cache-shards", 8));
+  config.cache_entries_per_shard =
+      static_cast<std::size_t>(args.get_int("cache-entries", 256));
+  config.key = args.get("key", config.key);
+  config.retry_after_ms =
+      static_cast<std::uint32_t>(args.get_int("retry-after-ms", 50));
+  return config;
+}
+
+int cmd_serve(const Args& args) {
+  if (!args.has("archive")) {
+    std::fprintf(stderr, "laces serve: --archive DIR required\n");
+    return 2;
+  }
+
+  // Collect the request script: one request per line, '#' and blank lines
+  // skipped. Without --script, a default tour of the cheap queries runs.
+  std::vector<std::string> lines;
+  if (args.has("script")) {
+    const auto path = args.get("script", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "laces serve: cannot open script %s\n",
+                   path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  } else {
+    lines = {"summary", "stability", "intermittent"};
+  }
+  std::vector<serve::Request> script;
+  for (const auto& line : lines) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string error;
+    const auto request = parse_request_line(line.substr(first), &error);
+    if (!request) {
+      std::fprintf(stderr, "laces serve: %s\n", error.c_str());
+      return 2;
+    }
+    script.push_back(*request);
+  }
+  if (script.empty()) {
+    std::fprintf(stderr, "laces serve: script has no requests\n");
+    return 2;
+  }
+
+  try {
+    store::ArchiveReader reader(
+        std::filesystem::path(args.get("archive", "archive")),
+        static_cast<std::size_t>(args.get_int("reader-cache", 8)));
+    const auto config = server_config(args);
+    serve::Server server(reader, config);
+
+    // --repeat replays the script; repeated rounds are answered from the
+    // response cache (visible in the stats line below).
+    const long repeat = args.get_int("repeat", 1);
+    const auto clients = static_cast<std::size_t>(args.get_int("clients", 2));
+    std::vector<std::shared_ptr<serve::Connection>> connections;
+    for (std::size_t i = 0; i < std::max<std::size_t>(clients, 1); ++i) {
+      connections.push_back(server.connect());
+    }
+
+    int status = 0;
+    std::uint64_t request_id = 0;
+    for (long round = 0; round < std::max(repeat, 1L); ++round) {
+      // Submit the whole round concurrently, then print responses in
+      // script order so output is deterministic.
+      std::vector<std::future<std::vector<std::uint8_t>>> pending;
+      pending.reserve(script.size());
+      for (const auto& request : script) {
+        auto& connection = connections[request_id % connections.size()];
+        pending.push_back(connection->submit(
+            serve::encode_frame(config.key, serve::FrameKind::kRequest,
+                                ++request_id, serve::encode_request(request))));
+      }
+      for (auto& future : pending) {
+        const auto frame = serve::decode_frame(config.key, future.get());
+        const auto response = serve::decode_response(frame.payload);
+        if (std::holds_alternative<serve::ErrorResponse>(response)) {
+          status = 1;
+        }
+        std::fputs(serve::json_response(response).c_str(), stdout);
+      }
+    }
+    server.drain();
+    std::fprintf(stderr,
+                 "laces serve: executed=%llu cache_hits=%llu shed=%llu "
+                 "auth_failures=%llu\n",
+                 static_cast<unsigned long long>(server.requests_executed()),
+                 static_cast<unsigned long long>(server.cache_hits()),
+                 static_cast<unsigned long long>(server.requests_shed()),
+                 static_cast<unsigned long long>(server.auth_failures()));
+    return status;
+  } catch (const store::ArchiveError& e) {
+    std::fprintf(stderr, "laces serve: %s\n", e.what());
+    return 1;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "laces serve: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_bench_serve(const Args& args) {
+  if (!args.has("archive")) {
+    std::fprintf(stderr, "laces bench-serve: --archive DIR required\n");
+    return 2;
+  }
+  try {
+    store::ArchiveReader reader(
+        std::filesystem::path(args.get("archive", "archive")),
+        static_cast<std::size_t>(args.get_int("reader-cache", 8)));
+    if (reader.manifest().entries.empty()) {
+      std::fprintf(stderr, "laces bench-serve: archive is empty\n");
+      return 2;
+    }
+    serve::Server server(reader, server_config(args));
+
+    // History requests draw from the first day's published prefixes;
+    // export requests draw from every archived day.
+    const auto first_day = reader.manifest().entries.front().day;
+    const auto prefixes = reader.load_day(first_day)->published_prefixes();
+    std::vector<std::uint32_t> days;
+    for (const auto& entry : reader.manifest().entries) {
+      days.push_back(entry.day);
+    }
+
+    serve::LoadGenConfig load;
+    load.clients = static_cast<std::size_t>(args.get_int("clients", 4));
+    load.requests_per_client =
+        static_cast<std::size_t>(args.get_int("requests", 2000));
+    load.target_qps = std::stod(args.get("qps", "0"));
+    load.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    const auto report = serve::run_load(server, prefixes, days, load);
+    server.drain();
+    std::fputs(report.describe().c_str(), stdout);
+    if (args.has("out")) {
+      const auto path = args.get("out", "BENCH_serve.json");
+      std::ofstream out(path);
+      out << report.to_json();
+      if (!out) {
+        std::fprintf(stderr, "laces bench-serve: cannot write %s\n",
+                     path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  } catch (const store::ArchiveError& e) {
+    std::fprintf(stderr, "laces bench-serve: %s\n", e.what());
+    return 1;
+  }
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: laces <world|census|probe|catchment|query> [options]\n"
+               "usage: laces <world|census|probe|catchment|query|serve|"
+               "bench-serve> [options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
                "             --metrics-out FILE --trace-out FILE --canary\n"
@@ -511,7 +744,14 @@ void usage() {
                "  catchment  --seed N --scale K\n"
                "  query      --archive DIR [--summary] [--stability]\n"
                "             [--prefix A.B.C.0/24] [--intermittent]\n"
-               "             [--export-day N] [--verify]\n");
+               "             [--export-day N] [--verify] [--json]\n"
+               "  serve      --archive DIR [--script FILE] [--repeat K]\n"
+               "             [--clients M] [--threads N] [--queue N]\n"
+               "             [--inflight N] [--cache-shards N]\n"
+               "             [--cache-entries N] [--key K]\n"
+               "  bench-serve --archive DIR [--clients M] [--requests N]\n"
+               "             [--qps Q] [--seed N] [--out FILE]\n"
+               "             [--threads N] [--queue N] [--inflight N]\n");
 }
 
 }  // namespace
@@ -528,6 +768,8 @@ int main(int argc, char** argv) {
   if (command == "probe") return cmd_probe(args);
   if (command == "catchment") return cmd_catchment(args);
   if (command == "query") return cmd_query(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "bench-serve") return cmd_bench_serve(args);
   usage();
   return 2;
 }
