@@ -43,6 +43,7 @@ METRICS = {
     "serve_requests_per_sec": "higher",
     "serve_p50_ms": "lower",
     "serve_p99_ms": "lower",
+    "serve_p999_ms": "lower",
 }
 
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -186,6 +187,13 @@ DailyCensus Pipeline::run_day(std::uint32_t day) {
   if (census.degraded) {
     degraded_days_->add();
     day_span.set_attr("degraded", "true");
+    obs::FlightRecorder::global().record(
+        obs::FrEvent::kDayDegraded, 0, day,
+        static_cast<std::uint32_t>(census.lost_sites));
+  } else {
+    obs::FlightRecorder::global().record(
+        obs::FrEvent::kDayComplete, 0, day,
+        static_cast<std::uint32_t>(census.records.size()));
   }
   lost_sites_total_->add(census.lost_sites);
   finish_stage(day_span, stage_day_);

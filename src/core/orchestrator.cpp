@@ -2,8 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/flightrec.hpp"
+
 namespace laces::core {
 namespace {
+
+/// Control-plane flight-recorder shorthand (obs::FlightRecorder::global()
+/// no-ops when recording is disabled).
+void frec(obs::FrEvent kind, std::uint16_t code = 0, std::uint64_t a = 0,
+          std::uint32_t b = 0) {
+  obs::FlightRecorder::global().record(kind, code, a, b);
+}
 
 /// Streaming lead: chunks arrive at workers this long before the first
 /// probe in the chunk is due.
@@ -96,6 +105,8 @@ void Orchestrator::on_worker_message(WorkerConn& worker,
         } else if constexpr (std::is_same_v<T, ResultBatch>) {
           // Aggregation: results stream through to the CLI immediately.
           metrics_.result_batches_forwarded.add();
+          frec(obs::FrEvent::kResultBatch,
+               static_cast<std::uint16_t>(worker.id), m.measurement);
           if (cli_ && cli_->is_open()) cli_->send(m);
         } else if constexpr (std::is_same_v<T, WorkerDone>) {
           if (run_ && m.measurement == run_->spec.id) {
@@ -138,6 +149,7 @@ void Orchestrator::handle_worker_hello(WorkerConn& worker,
   old->participating = false;
   worker.channel->send(HelloAck{worker.id});
   metrics_.workers_resumed.add();
+  frec(obs::FrEvent::kWorkerResumed, static_cast<std::uint16_t>(worker.id));
   if (!resumable) return;
 
   // The worker was counted lost when its link died; it is back.
@@ -169,7 +181,10 @@ void Orchestrator::handle_worker_hello(WorkerConn& worker,
 
 void Orchestrator::on_worker_closed(WorkerConn& worker) {
   worker.alive = false;
-  if (worker.registered) metrics_.workers_dropped.add();
+  if (worker.registered) {
+    metrics_.workers_dropped.add();
+    frec(obs::FrEvent::kWorkerLost, static_cast<std::uint16_t>(worker.id));
+  }
   // A lost worker must not stall the measurement (R5): the run completes
   // with the remaining workers.
   if (run_ && worker.participating && !worker.done) {
@@ -196,6 +211,7 @@ void Orchestrator::on_cli_message(const Message& message) {
                 upload_watchdog_event_ = kInvalidEventId;
                 if (run_ && run_->spec.id == id && !run_->hitlist_complete) {
                   metrics_.watchdog_fires.add();
+                  frec(obs::FrEvent::kWatchdogFire, 0, id);
                   abort_run();
                 }
               });
@@ -360,6 +376,7 @@ void Orchestrator::stream_step() {
     if (w->alive && w->participating) w->channel->send(chunk);
   }
   metrics_.chunks_streamed.add();
+  frec(obs::FrEvent::kChunkStreamed, 0, chunk.seq);
   ++run.items_streamed;
   run.next_index += n;
 
@@ -423,6 +440,7 @@ void Orchestrator::sweep() {
 
     w->channel->send(Heartbeat{run_->spec.id, w->id});
     metrics_.heartbeats_sent.add();
+    frec(obs::FrEvent::kHeartbeat, static_cast<std::uint16_t>(w->id));
 
     // Stall detection: no ack progress across a whole sweep on items that
     // were already streamed by the previous sweep means frames were lost
@@ -451,6 +469,7 @@ void Orchestrator::sweep() {
 void Orchestrator::force_complete() {
   if (!run_ || run_->completed) return;
   metrics_.watchdog_fires.add();
+  frec(obs::FrEvent::kWatchdogFire, 1, run_->spec.id);
   auto& run = *run_;
   ++stream_generation_;  // stop the paced stream
   for (auto& w : workers_) {
@@ -463,6 +482,8 @@ void Orchestrator::force_complete() {
   run.completed = true;
   metrics_.measurements_completed.add();
   metrics_.measurements_degraded.add();
+  frec(obs::FrEvent::kMeasurementDegraded, 0, run.spec.id,
+       static_cast<std::uint32_t>(run.lost));
   cancel_run_timers();
   if (cli_ && cli_->is_open()) {
     MeasurementComplete done;
@@ -484,7 +505,11 @@ void Orchestrator::check_completion() {
   metrics_.measurements_completed.add();
   const RunStatus status =
       run_->lost > 0 ? RunStatus::kDegraded : RunStatus::kCompleted;
-  if (status == RunStatus::kDegraded) metrics_.measurements_degraded.add();
+  if (status == RunStatus::kDegraded) {
+    metrics_.measurements_degraded.add();
+    frec(obs::FrEvent::kMeasurementDegraded, 0, run_->spec.id,
+         static_cast<std::uint32_t>(run_->lost));
+  }
   cancel_run_timers();
   if (cli_ && cli_->is_open()) {
     MeasurementComplete done;
@@ -500,6 +525,7 @@ void Orchestrator::check_completion() {
 void Orchestrator::abort_run() {
   if (!run_) return;
   metrics_.measurements_aborted.add();
+  frec(obs::FrEvent::kMeasurementAborted, 0, run_->spec.id);
   ++stream_generation_;  // cancel pending stream steps
   cancel_run_timers();
   for (auto& w : workers_) {

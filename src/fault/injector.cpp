@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -131,6 +132,8 @@ void FaultInjector::bump(FaultKind kind) {
       .counter("laces_fault_injected_total",
                {{"kind", std::string(to_string(kind))}})
       .add();
+  obs::FlightRecorder::global().record(
+      obs::FrEvent::kFaultInjected, static_cast<std::uint16_t>(kind));
 }
 
 void FaultInjector::log(const char* what, int site) {

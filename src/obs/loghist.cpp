@@ -1,0 +1,136 @@
+#include "obs/loghist.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace laces::obs {
+namespace {
+
+// Fixed-point scale applied before bucketing: 10 extra bits below the
+// unit so fractional values (sub-millisecond latencies recorded in ms,
+// sub-microsecond in us) keep log resolution instead of collapsing into
+// the zero bucket.
+constexpr double kScale = 1024.0;
+constexpr int kScaleBits = 10;
+
+// Scaled values span 64 bits -> 64 octaves is always enough.
+constexpr int kOctaves = 64;
+
+std::uint64_t scale_value(double v) {
+  if (!std::isfinite(v) || v <= 0.0) return 0;
+  double scaled = v * kScale;
+  if (scaled >= 9.0e18) return std::uint64_t{9'000'000'000'000'000'000};
+  return static_cast<std::uint64_t>(std::llround(scaled));
+}
+
+double unscale(std::uint64_t scaled) {
+  return static_cast<double>(scaled) / kScale;
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(int sub_bits) : sub_bits_(sub_bits) {
+  if (sub_bits_ < 0) sub_bits_ = 0;
+  if (sub_bits_ > 12) sub_bits_ = 12;
+  bucket_count_ = static_cast<std::size_t>(kOctaves)
+                  << static_cast<unsigned>(sub_bits_);
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bucket_count_);
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t LogHistogram::bucket_index(std::uint64_t scaled) const {
+  const auto sub = static_cast<unsigned>(sub_bits_);
+  // Values small enough to be their own sub-bucket are exact: the first
+  // two octaves' worth of indices [0, 2^(sub+1)) are linear.
+  if (scaled < (std::uint64_t{2} << sub)) {
+    return static_cast<std::size_t>(scaled);
+  }
+  const int high = 63 - std::countl_zero(scaled);  // floor(log2), >= sub+1
+  const int shift = high - static_cast<int>(sub);
+  const std::uint64_t mantissa =
+      (scaled >> static_cast<unsigned>(shift)) & ((std::uint64_t{1} << sub) - 1);
+  // Octave `high` starts after the linear region plus the full octaves
+  // between sub_bits and high.
+  const std::size_t base =
+      (static_cast<std::size_t>(shift) + 1) << sub;
+  return base + static_cast<std::size_t>(mantissa);
+}
+
+double LogHistogram::bucket_upper_edge(std::size_t index) const {
+  const auto sub = static_cast<unsigned>(sub_bits_);
+  std::uint64_t upper;
+  if (index < (std::size_t{2} << sub)) {
+    upper = static_cast<std::uint64_t>(index);  // exact linear region
+  } else {
+    const std::size_t shift = (index >> sub) - 1;
+    const std::uint64_t mantissa =
+        (std::uint64_t{1} << sub) + (index & ((std::uint64_t{1} << sub) - 1));
+    // Largest scaled value mapping to this bucket.
+    upper = ((mantissa + 1) << shift) - 1;
+  }
+  return unscale(upper);
+}
+
+void LogHistogram::observe(double v) {
+  const std::uint64_t scaled = scale_value(v);
+  const std::size_t idx = bucket_index(scaled);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+
+  const double clamped = unscale(scaled);
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double next = std::bit_cast<double>(cur) + clamped;
+    if (sum_bits_.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(next),
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  std::uint64_t prev_max = max_scaled_.load(std::memory_order_relaxed);
+  while (scaled > prev_max &&
+         !max_scaled_.compare_exchange_weak(prev_max, scaled,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+double LogHistogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::max() const {
+  return unscale(max_scaled_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the order statistic percentile p points at (1-based,
+  // nearest-rank definition: smallest value with cumulative fraction
+  // >= p/100).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return bucket_upper_edge(i);
+  }
+  return max();
+}
+
+void LogHistogram::reset() {
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  max_scaled_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace laces::obs

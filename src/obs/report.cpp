@@ -213,7 +213,10 @@ std::string archive_section(const MetricsSnapshot& metrics) {
   return "Longitudinal archive (laces_store)\n" + table.render();
 }
 
-std::string routing_cache_section(const MetricsSnapshot& metrics) {
+/// Every read-path cache in one table: routing (simulation fast paths),
+/// the serve response cache, and the archive segment cache. Rows with no
+/// traffic are dropped.
+std::string cache_section(const MetricsSnapshot& metrics) {
   struct CacheRow {
     const char* label;
     const char* hits_metric;
@@ -224,6 +227,10 @@ std::string routing_cache_section(const MetricsSnapshot& metrics) {
        "laces_routing_delay_cache_misses_total"},
       {"catchment ranking", "laces_routing_catchment_cache_hits_total",
        "laces_routing_catchment_cache_misses_total"},
+      {"serve response", "laces_serve_response_cache_hits_total",
+       "laces_serve_response_cache_misses_total"},
+      {"archive segment", "laces_store_cache_hits_total",
+       "laces_store_cache_misses_total"},
   };
   TextTable table({"Cache", "Hits", "Misses", "Hit rate"});
   bool any = false;
@@ -237,7 +244,56 @@ std::string routing_cache_section(const MetricsSnapshot& metrics) {
                    pct(hits, hits + misses)});
   }
   if (!any) return "";
-  return "Routing cache effectiveness\n" + table.render();
+  return "Cache effectiveness\n" + table.render();
+}
+
+/// Threshold health rules over the run's metrics. Each rule prints its
+/// observed value against the threshold and an OK / ALERT verdict; rules
+/// whose subsystem saw no traffic are skipped, so a census-only run shows
+/// no serve rows and vice versa.
+std::string health_section(const MetricsSnapshot& metrics) {
+  TextTable table({"Health rule", "Observed", "Threshold", "Status"});
+  bool any = false;
+  bool alerts = false;
+  const auto add = [&](const std::string& rule, const std::string& observed,
+                       const std::string& threshold, bool ok) {
+    any = true;
+    alerts = alerts || !ok;
+    table.add_row({rule, observed, threshold, ok ? "OK" : "ALERT"});
+  };
+
+  const double executed = metrics.value("laces_serve_requests_executed_total");
+  const double shed = metrics.value("laces_serve_requests_shed_total");
+  if (executed + shed > 0) {
+    const double shed_rate = shed / (executed + shed);
+    add("serve shed rate", pct(shed, executed + shed), "<= 5%",
+        shed_rate <= 0.05);
+    const double p999_us = metrics.value("laces_serve_total_p999_us");
+    if (p999_us > 0) {
+      add("serve total p999", fixed(p999_us / 1000.0, 2) + "ms", "<= 50ms",
+          p999_us <= 50000.0);
+    }
+  }
+  const double days = metrics.value("laces_census_days_total");
+  if (days > 0) {
+    const double degraded = metrics.value("laces_census_degraded_days_total");
+    add("degraded census days",
+        with_commas(static_cast<std::int64_t>(degraded)), "0",
+        degraded == 0.0);
+    const double watchdogs =
+        metrics.value("laces_orchestrator_watchdog_fires_total");
+    add("watchdog fires", with_commas(static_cast<std::int64_t>(watchdogs)),
+        "0", watchdogs == 0.0);
+    const double aborted =
+        metrics.value("laces_orchestrator_measurements_aborted_total");
+    add("measurements aborted",
+        with_commas(static_cast<std::int64_t>(aborted)), "0",
+        aborted == 0.0);
+  }
+  if (!any) return "";
+  std::string head = alerts ? "Health rules (ALERTS PRESENT)\n"
+                            : "Health rules (all OK)\n";
+  return head + table.render();
 }
 
 }  // namespace
@@ -257,7 +313,8 @@ std::string render_run_report(const MetricsSnapshot& metrics,
        {stage_section(spans), probe_section(metrics), rate_section(metrics),
         classification_section(metrics), control_plane_section(metrics),
         fault_section(metrics), canary_section(metrics),
-        archive_section(metrics), routing_cache_section(metrics)}) {
+        archive_section(metrics), cache_section(metrics),
+        health_section(metrics)}) {
     if (!section.empty()) out += "\n" + section;
   }
   return out;

@@ -75,6 +75,15 @@ class Tracer {
     return records_.size();
   }
 
+  /// Spans currently open (begun but not yet ended) across all threads —
+  /// what the serve admin stats endpoint reports as in-flight work.
+  std::size_t active_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& [tid, stack] : stacks_) n += stack.size();
+    return n;
+  }
+
   /// Clear records, the span stack and the id sequence (clock and capacity
   /// are kept) so a fresh run starts from span id 1.
   void reset();

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/flightrec.hpp"
+
 namespace laces::serve {
 namespace {
 
@@ -120,6 +122,87 @@ std::string json_error(const ErrorResponse& error) {
   return out;
 }
 
+std::string json_stats(const ServeStats& s) {
+  std::string out = "{\"stats\":{";
+  out += "\"requests_executed\":" + std::to_string(s.requests_executed);
+  out += ",\"requests_shed\":" + std::to_string(s.requests_shed);
+  out += ",\"auth_failures\":" + std::to_string(s.auth_failures);
+  out += ",\"response_cache_hits\":" + std::to_string(s.response_cache_hits);
+  out += ",\"response_cache_misses\":" +
+         std::to_string(s.response_cache_misses);
+  out += ",\"response_cache_evictions\":" +
+         std::to_string(s.response_cache_evictions);
+  out += ",\"response_cache_entries\":" +
+         std::to_string(s.response_cache_entries);
+  out += ",\"segment_cache_hits\":" + std::to_string(s.segment_cache_hits);
+  out += ",\"segment_cache_misses\":" + std::to_string(s.segment_cache_misses);
+  out += ",\"flightrec_recorded\":" + std::to_string(s.flightrec_recorded);
+  out += ",\"flightrec_overwritten\":" +
+         std::to_string(s.flightrec_overwritten);
+  out += ",\"workers\":" + std::to_string(s.workers);
+  out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+  out += ",\"queue_capacity\":" + std::to_string(s.queue_capacity);
+  out += ",\"active_spans\":" + std::to_string(s.active_spans);
+  out += ",\"draining\":";
+  out += s.draining ? "true" : "false";
+  out += "}}\n";
+  return out;
+}
+
+std::string json_latency(const std::vector<StageLatency>& stages) {
+  std::string out = "{\"latency\":{\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto& s = stages[i];
+    if (i) out += ',';
+    out += "{\"stage\":\"" + escape(s.stage) + "\"";
+    out += ",\"count\":" + std::to_string(s.count);
+    out += ",\"p50_us\":" + num(s.p50_us);
+    out += ",\"p99_us\":" + num(s.p99_us);
+    out += ",\"p999_us\":" + num(s.p999_us);
+    out += ",\"max_us\":" + num(s.max_us);
+    out += '}';
+  }
+  out += "]}}\n";
+  return out;
+}
+
+std::string json_trace_tail(const TraceTailResponse& tail) {
+  std::string out = "{\"trace\":{\"dropped\":" + std::to_string(tail.dropped) +
+                    ",\"spans\":[";
+  for (std::size_t i = 0; i < tail.spans.size(); ++i) {
+    const auto& s = tail.spans[i];
+    if (i) out += ',';
+    out += "{\"id\":" + std::to_string(s.id);
+    out += ",\"parent\":" + std::to_string(s.parent);
+    out += ",\"name\":\"" + escape(s.name) + "\"";
+    out += ",\"start_ns\":" + std::to_string(s.start_ns);
+    out += ",\"end_ns\":" + std::to_string(s.end_ns);
+    out += '}';
+  }
+  out += "]}}\n";
+  return out;
+}
+
+std::string json_flightrec_tail(const std::vector<FlightEvent>& events) {
+  std::string out = "{\"flightrec\":{\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (i) out += ',';
+    out += "{\"wall_ns\":" + std::to_string(e.wall_ns);
+    out += ",\"sim_ns\":" + std::to_string(e.sim_ns);
+    out += ",\"kind\":\"";
+    out += obs::to_string(static_cast<obs::FrEvent>(e.kind));
+    out += "\",\"code\":" + std::to_string(e.code);
+    out += ",\"a\":" + std::to_string(e.a);
+    out += ",\"b\":" + std::to_string(e.b);
+    out += ",\"ring\":" + std::to_string(e.ring);
+    out += ",\"seq\":" + std::to_string(e.seq);
+    out += '}';
+  }
+  out += "]}}\n";
+  return out;
+}
+
 std::string json_response(const Response& response) {
   return std::visit(
       [](const auto& resp) -> std::string {
@@ -139,6 +222,14 @@ std::string json_response(const Response& response) {
           // JSON document per response like every other renderer.
           return "{\"export_day\":{\"day\":" + std::to_string(resp.day) +
                  ",\"csv\":\"" + escape(resp.csv) + "\"}}\n";
+        } else if constexpr (std::is_same_v<T, StatsResponse>) {
+          return json_stats(resp.stats);
+        } else if constexpr (std::is_same_v<T, LatencyResponse>) {
+          return json_latency(resp.stages);
+        } else if constexpr (std::is_same_v<T, TraceTailResponse>) {
+          return json_trace_tail(resp);
+        } else if constexpr (std::is_same_v<T, FlightRecTailResponse>) {
+          return json_flightrec_tail(resp.events);
         }
       },
       response);

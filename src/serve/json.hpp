@@ -22,6 +22,10 @@ std::string json_history(const net::Prefix& prefix,
 std::string json_intermittent(const std::vector<net::Prefix>& anycast_based,
                               const std::vector<net::Prefix>& gcd);
 std::string json_error(const ErrorResponse& error);
+std::string json_stats(const ServeStats& stats);
+std::string json_latency(const std::vector<StageLatency>& stages);
+std::string json_trace_tail(const TraceTailResponse& tail);
+std::string json_flightrec_tail(const std::vector<FlightEvent>& events);
 
 /// Dispatches a decoded response body to the renderer above.
 std::string json_response(const Response& response);

@@ -13,12 +13,19 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// One measured request: its class label (static storage from
+/// request_label) and the client-observed round-trip latency.
+struct Sample {
+  std::string_view cls;
+  double ms = 0.0;
+};
+
 struct ClientResult {
   std::uint64_t requests = 0;
   std::uint64_t ok = 0;
   std::uint64_t shed = 0;
   std::uint64_t errors = 0;
-  std::vector<double> latencies_ms;
+  std::vector<Sample> samples;
 };
 
 /// Deterministic weighted pick of the next request for one client.
@@ -46,13 +53,16 @@ Request next_request(Rng& rng, const LoadGenConfig& config,
   return req;
 }
 
+/// One client thread. `id_salt` keeps request ids distinct between the
+/// warm-up and measured rounds (both replay the same seed on purpose, so
+/// the warm-up faults in exactly the entries the measured round will hit).
 void run_client(Server& server, const LoadGenConfig& config,
                 const std::vector<net::Prefix>& prefixes,
                 const std::vector<std::uint32_t>& days, std::size_t index,
-                ClientResult& result) {
+                std::uint64_t id_salt, ClientResult& result) {
   auto connection = server.connect();
   Rng rng(config.seed * 0x9e37u + index);
-  result.latencies_ms.reserve(config.requests_per_client);
+  result.samples.reserve(config.requests_per_client);
   const double client_qps =
       config.target_qps > 0
           ? config.target_qps / static_cast<double>(config.clients)
@@ -68,13 +78,15 @@ void run_client(Server& server, const LoadGenConfig& config,
       std::this_thread::sleep_until(due);
     }
     const Request request = next_request(rng, config, prefixes, days);
-    const auto frame =
-        encode_frame(server.config().key, FrameKind::kRequest,
-                     /*request_id=*/index << 32 | i, encode_request(request));
+    const auto frame = encode_frame(
+        server.config().key, FrameKind::kRequest,
+        /*request_id=*/(id_salt + index) << 32 | i, encode_request(request));
     const auto t0 = Clock::now();
     const auto reply = connection->call(frame);
-    result.latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    result.samples.push_back(
+        {request_label(request),
+         std::chrono::duration<double, std::milli>(Clock::now() - t0)
+             .count()});
     ++result.requests;
     const Frame decoded = decode_frame(server.config().key, reply);
     const Response response = decode_response(decoded.payload);
@@ -91,15 +103,32 @@ void run_client(Server& server, const LoadGenConfig& config,
   }
 }
 
+/// Spawns one client thread per configured client and joins them all.
+void run_round(Server& server, const LoadGenConfig& config,
+               const std::vector<net::Prefix>& prefixes,
+               const std::vector<std::uint32_t>& days, std::uint64_t id_salt,
+               std::vector<ClientResult>& results) {
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    clients.emplace_back(
+        [&server, &config, &prefixes, &days, i, id_salt, &results] {
+          run_client(server, config, prefixes, days, i, id_salt, results[i]);
+        });
+  }
+  for (auto& client : clients) client.join();
+}
+
 }  // namespace
 
 std::string LoadGenReport::to_json() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof buf,
                 "{\n"
                 "  \"serve_requests_per_sec\": %.3f,\n"
                 "  \"serve_p50_ms\": %.6f,\n"
                 "  \"serve_p99_ms\": %.6f,\n"
+                "  \"serve_p999_ms\": %.6f,\n"
                 "  \"serve_shed_rate\": %.6f,\n"
                 "  \"serve_requests\": %llu,\n"
                 "  \"serve_ok\": %llu,\n"
@@ -107,7 +136,7 @@ std::string LoadGenReport::to_json() const {
                 "  \"serve_errors\": %llu,\n"
                 "  \"serve_elapsed_s\": %.3f\n"
                 "}\n",
-                requests_per_sec, p50_ms, p99_ms, shed_rate,
+                requests_per_sec, p50_ms, p99_ms, p999_ms, shed_rate,
                 static_cast<unsigned long long>(requests),
                 static_cast<unsigned long long>(ok),
                 static_cast<unsigned long long>(shed),
@@ -120,42 +149,71 @@ std::string LoadGenReport::describe() const {
   std::snprintf(buf, sizeof buf,
                 "requests: %llu (%llu ok, %llu shed, %llu errors)\n"
                 "throughput: %.0f req/s over %.2f s\n"
-                "latency: p50 %.3f ms, p99 %.3f ms\n"
+                "latency: p50 %.3f ms, p99 %.3f ms, p999 %.3f ms\n"
                 "shed rate: %.2f%%\n",
                 static_cast<unsigned long long>(requests),
                 static_cast<unsigned long long>(ok),
                 static_cast<unsigned long long>(shed),
                 static_cast<unsigned long long>(errors), requests_per_sec,
-                elapsed_s, p50_ms, p99_ms, 100.0 * shed_rate);
-  return buf;
+                elapsed_s, p50_ms, p99_ms, p999_ms, 100.0 * shed_rate);
+  std::string out = buf;
+  for (const auto& cls : classes) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s %8llu req  p50 %8.3f ms  p99 %8.3f ms  "
+                  "p999 %8.3f ms\n",
+                  cls.name.c_str(),
+                  static_cast<unsigned long long>(cls.requests), cls.p50_ms,
+                  cls.p99_ms, cls.p999_ms);
+    out += buf;
+  }
+  return out;
 }
 
 LoadGenReport run_load(Server& server,
                        const std::vector<net::Prefix>& prefixes,
                        const std::vector<std::uint32_t>& days,
                        const LoadGenConfig& config) {
-  std::vector<ClientResult> results(config.clients);
-  std::vector<std::thread> clients;
-  clients.reserve(config.clients);
-  const auto t0 = Clock::now();
-  for (std::size_t i = 0; i < config.clients; ++i) {
-    clients.emplace_back([&server, &config, &prefixes, &days, i, &results] {
-      run_client(server, config, prefixes, days, i, results[i]);
-    });
+  if (config.warmup_requests_per_client > 0) {
+    // Discarded round: same seed (so it touches exactly the cache entries
+    // the measured round will), distinct request-id space, no pacing.
+    LoadGenConfig warm = config;
+    warm.requests_per_client = config.warmup_requests_per_client;
+    warm.warmup_requests_per_client = 0;
+    warm.target_qps = 0.0;
+    std::vector<ClientResult> discard(warm.clients);
+    run_round(server, warm, prefixes, days, /*id_salt=*/warm.clients,
+              discard);
   }
-  for (auto& client : clients) client.join();
+
+  std::vector<ClientResult> results(config.clients);
+  const auto t0 = Clock::now();
+  run_round(server, config, prefixes, days, /*id_salt=*/0, results);
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
   LoadGenReport report;
   std::vector<double> latencies;
+  // Per-class buckets, keyed by the label's stable address; ordered by
+  // first appearance so describe() output is deterministic per seed.
+  std::vector<std::string_view> class_names;
+  std::vector<std::vector<double>> class_latencies;
   for (const auto& r : results) {
     report.requests += r.requests;
     report.ok += r.ok;
     report.shed += r.shed;
     report.errors += r.errors;
-    latencies.insert(latencies.end(), r.latencies_ms.begin(),
-                     r.latencies_ms.end());
+    for (const auto& sample : r.samples) {
+      latencies.push_back(sample.ms);
+      std::size_t slot = 0;
+      while (slot < class_names.size() && class_names[slot] != sample.cls) {
+        ++slot;
+      }
+      if (slot == class_names.size()) {
+        class_names.push_back(sample.cls);
+        class_latencies.emplace_back();
+      }
+      class_latencies[slot].push_back(sample.ms);
+    }
   }
   report.elapsed_s = elapsed;
   if (elapsed > 0) {
@@ -164,6 +222,16 @@ LoadGenReport run_load(Server& server,
   if (!latencies.empty()) {
     report.p50_ms = percentile(latencies, 50.0);
     report.p99_ms = percentile(latencies, 99.0);
+    report.p999_ms = percentile(latencies, 99.9);
+  }
+  for (std::size_t i = 0; i < class_names.size(); ++i) {
+    ClassLatency cls;
+    cls.name = std::string(class_names[i]);
+    cls.requests = class_latencies[i].size();
+    cls.p50_ms = percentile(class_latencies[i], 50.0);
+    cls.p99_ms = percentile(class_latencies[i], 99.0);
+    cls.p999_ms = percentile(class_latencies[i], 99.9);
+    report.classes.push_back(std::move(cls));
   }
   if (report.requests > 0) {
     report.shed_rate =

@@ -6,6 +6,12 @@
 // and bench/bench_serve.cpp so the CLI and the CI gate run the same
 // workload. The request *sequence* is deterministic per (seed, client);
 // only the timing varies with the machine.
+//
+// When `warmup_requests_per_client` is set, run_load first replays that
+// many requests per client from the same seed and discards every sample,
+// so the measured round starts against a warm response cache and its
+// percentiles are steady-state — warm-up latencies never pollute the
+// reported distribution.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,8 @@ namespace laces::serve {
 struct LoadGenConfig {
   std::size_t clients = 4;
   std::size_t requests_per_client = 2000;
+  /// Per-client requests issued (and discarded) before the measured round.
+  std::size_t warmup_requests_per_client = 0;
   /// Aggregate target rate; 0 means closed-loop (each client back-to-back).
   double target_qps = 0.0;
   std::uint64_t seed = 1;
@@ -30,6 +38,15 @@ struct LoadGenConfig {
   unsigned weight_export_day = 1;
 };
 
+/// Latency breakdown for one request class (request_label() name).
+struct ClassLatency {
+  std::string name;
+  std::uint64_t requests = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
 struct LoadGenReport {
   std::uint64_t requests = 0;
   std::uint64_t ok = 0;
@@ -39,7 +56,10 @@ struct LoadGenReport {
   double requests_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
   double shed_rate = 0.0;
+  /// Per-request-class percentiles, in first-issued order.
+  std::vector<ClassLatency> classes;
 
   /// BENCH_serve.json body (scripts/check_bench.py schema).
   std::string to_json() const;

@@ -13,6 +13,10 @@ enum class RequestTag : std::uint8_t {
   kHistory = 3,
   kIntermittent = 4,
   kExportDay = 5,
+  kStats = 6,
+  kLatency = 7,
+  kTraceTail = 8,
+  kFlightRecTail = 9,
 };
 
 enum class ResponseTag : std::uint8_t {
@@ -22,6 +26,10 @@ enum class ResponseTag : std::uint8_t {
   kHistory = 4,
   kIntermittent = 5,
   kExportDay = 6,
+  kStats = 7,
+  kLatency = 8,
+  kTraceTail = 9,
+  kFlightRecTail = 10,
 };
 
 void put_prefix(ByteWriter& w, const net::Prefix& prefix) {
@@ -111,6 +119,113 @@ store::HistoryDay get_history_day(ByteReader& r) {
   return h;
 }
 
+void put_serve_stats(ByteWriter& w, const ServeStats& s) {
+  w.varint(s.requests_executed);
+  w.varint(s.requests_shed);
+  w.varint(s.auth_failures);
+  w.varint(s.response_cache_hits);
+  w.varint(s.response_cache_misses);
+  w.varint(s.response_cache_evictions);
+  w.varint(s.response_cache_entries);
+  w.varint(s.segment_cache_hits);
+  w.varint(s.segment_cache_misses);
+  w.varint(s.flightrec_recorded);
+  w.varint(s.flightrec_overwritten);
+  w.u32(s.workers);
+  w.u32(s.queue_depth);
+  w.u32(s.queue_capacity);
+  w.u32(s.active_spans);
+  w.u8(s.draining ? 1 : 0);
+}
+
+ServeStats get_serve_stats(ByteReader& r) {
+  ServeStats s;
+  s.requests_executed = r.varint();
+  s.requests_shed = r.varint();
+  s.auth_failures = r.varint();
+  s.response_cache_hits = r.varint();
+  s.response_cache_misses = r.varint();
+  s.response_cache_evictions = r.varint();
+  s.response_cache_entries = r.varint();
+  s.segment_cache_hits = r.varint();
+  s.segment_cache_misses = r.varint();
+  s.flightrec_recorded = r.varint();
+  s.flightrec_overwritten = r.varint();
+  s.workers = r.u32();
+  s.queue_depth = r.u32();
+  s.queue_capacity = r.u32();
+  s.active_spans = r.u32();
+  const std::uint8_t draining = r.u8();
+  if (draining > 1) {
+    throw ProtocolError("stats: bad draining flag " +
+                        std::to_string(draining));
+  }
+  s.draining = draining != 0;
+  return s;
+}
+
+void put_stage(ByteWriter& w, const StageLatency& s) {
+  w.str(s.stage);
+  w.varint(s.count);
+  w.f64(s.p50_us);
+  w.f64(s.p99_us);
+  w.f64(s.p999_us);
+  w.f64(s.max_us);
+}
+
+StageLatency get_stage(ByteReader& r) {
+  StageLatency s;
+  s.stage = r.str();
+  s.count = r.varint();
+  s.p50_us = r.f64();
+  s.p99_us = r.f64();
+  s.p999_us = r.f64();
+  s.max_us = r.f64();
+  return s;
+}
+
+void put_span(ByteWriter& w, const SpanInfo& s) {
+  w.varint(s.id);
+  w.varint(s.parent);
+  w.str(s.name);
+  w.i64(s.start_ns);
+  w.i64(s.end_ns);
+}
+
+SpanInfo get_span(ByteReader& r) {
+  SpanInfo s;
+  s.id = r.varint();
+  s.parent = r.varint();
+  s.name = r.str();
+  s.start_ns = r.i64();
+  s.end_ns = r.i64();
+  return s;
+}
+
+void put_flight_event(ByteWriter& w, const FlightEvent& e) {
+  w.i64(e.wall_ns);
+  w.i64(e.sim_ns);
+  w.u64(e.a);
+  w.varint(e.seq);
+  w.u32(e.b);
+  w.u32(e.ring);
+  w.u16(e.code);
+  w.u8(e.kind);
+}
+
+FlightEvent get_flight_event(ByteReader& r) {
+  FlightEvent e;
+  e.wall_ns = r.i64();
+  e.sim_ns = r.i64();
+  e.a = r.u64();
+  e.seq = r.varint();
+  e.b = r.u32();
+  e.ring = r.u32();
+  e.code = r.u16();
+  e.kind = r.u8();
+  return e;
+}
+
 /// Rethrows byte-level underruns as protocol errors so callers see one
 /// exception type for "this payload is not a valid body".
 template <typename Fn>
@@ -157,6 +272,16 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
         } else if constexpr (std::is_same_v<T, ExportDayRequest>) {
           w.u8(static_cast<std::uint8_t>(RequestTag::kExportDay));
           w.u32(req.day);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kStats));
+        } else if constexpr (std::is_same_v<T, LatencyRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kLatency));
+        } else if constexpr (std::is_same_v<T, TraceTailRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kTraceTail));
+          w.u32(req.max);
+        } else if constexpr (std::is_same_v<T, FlightRecTailRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kFlightRecTail));
+          w.u32(req.max);
         }
       },
       request);
@@ -187,6 +312,24 @@ Request decode_request(std::span<const std::uint8_t> bytes) {
       case RequestTag::kExportDay: {
         ExportDayRequest req;
         req.day = r.u32();
+        request = req;
+        break;
+      }
+      case RequestTag::kStats:
+        request = StatsRequest{};
+        break;
+      case RequestTag::kLatency:
+        request = LatencyRequest{};
+        break;
+      case RequestTag::kTraceTail: {
+        TraceTailRequest req;
+        req.max = r.u32();
+        request = req;
+        break;
+      }
+      case RequestTag::kFlightRecTail: {
+        FlightRecTailRequest req;
+        req.max = r.u32();
         request = req;
         break;
       }
@@ -240,6 +383,22 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
           w.u8(static_cast<std::uint8_t>(ResponseTag::kExportDay));
           w.u32(resp.day);
           w.str(resp.csv);
+        } else if constexpr (std::is_same_v<T, StatsResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kStats));
+          put_serve_stats(w, resp.stats);
+        } else if constexpr (std::is_same_v<T, LatencyResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kLatency));
+          w.varint(resp.stages.size());
+          for (const auto& s : resp.stages) put_stage(w, s);
+        } else if constexpr (std::is_same_v<T, TraceTailResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kTraceTail));
+          w.varint(resp.spans.size());
+          for (const auto& s : resp.spans) put_span(w, s);
+          w.varint(resp.dropped);
+        } else if constexpr (std::is_same_v<T, FlightRecTailResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kFlightRecTail));
+          w.varint(resp.events.size());
+          for (const auto& e : resp.events) put_flight_event(w, e);
         }
       },
       response);
@@ -314,6 +473,39 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
         response = std::move(resp);
         break;
       }
+      case ResponseTag::kStats: {
+        StatsResponse resp;
+        resp.stats = get_serve_stats(r);
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kLatency: {
+        LatencyResponse resp;
+        const std::uint64_t n = r.varint();
+        resp.stages.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) resp.stages.push_back(get_stage(r));
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kTraceTail: {
+        TraceTailResponse resp;
+        const std::uint64_t n = r.varint();
+        resp.spans.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) resp.spans.push_back(get_span(r));
+        resp.dropped = r.varint();
+        response = std::move(resp);
+        break;
+      }
+      case ResponseTag::kFlightRecTail: {
+        FlightRecTailResponse resp;
+        const std::uint64_t n = r.varint();
+        resp.events.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+          resp.events.push_back(get_flight_event(r));
+        }
+        response = std::move(resp);
+        break;
+      }
       default:
         throw ProtocolError("response: unknown tag " +
                             std::to_string(static_cast<int>(tag)));
@@ -385,8 +577,21 @@ std::string_view request_label(const Request& request) {
           return "intermittent";
         }
         if constexpr (std::is_same_v<T, ExportDayRequest>) return "export-day";
+        if constexpr (std::is_same_v<T, StatsRequest>) return "stats";
+        if constexpr (std::is_same_v<T, LatencyRequest>) return "latency";
+        if constexpr (std::is_same_v<T, TraceTailRequest>) return "trace-tail";
+        if constexpr (std::is_same_v<T, FlightRecTailRequest>) {
+          return "flightrec-tail";
+        }
       },
       request);
+}
+
+bool is_admin_request(const Request& request) {
+  return std::holds_alternative<StatsRequest>(request) ||
+         std::holds_alternative<LatencyRequest>(request) ||
+         std::holds_alternative<TraceTailRequest>(request) ||
+         std::holds_alternative<FlightRecTailRequest>(request);
 }
 
 }  // namespace laces::serve

@@ -70,8 +70,44 @@ struct ExportDayRequest {
   bool operator==(const ExportDayRequest&) const = default;
 };
 
+// --- admin (introspection) requests ---
+//
+// Admin requests ride the same authenticated frames as data queries, but
+// the server answers them inline on the submitting thread: they never
+// enter the worker queue, are never cached, and are still served while
+// the server is draining — an overloaded or shutting-down server can
+// always be asked what is wrong with it.
+
+/// Worker-pool, admission, cache and flight-recorder counters.
+struct StatsRequest {
+  bool operator==(const StatsRequest&) const = default;
+};
+
+/// Per-stage latency percentiles (queue wait / archive read / render /
+/// total) from the server's LogHistograms.
+struct LatencyRequest {
+  bool operator==(const LatencyRequest&) const = default;
+};
+
+/// Most recent finished trace spans (0 = all retained).
+struct TraceTailRequest {
+  std::uint32_t max = 0;
+  bool operator==(const TraceTailRequest&) const = default;
+};
+
+/// Merged flight-recorder tail (0 = everything retained).
+struct FlightRecTailRequest {
+  std::uint32_t max = 0;
+  bool operator==(const FlightRecTailRequest&) const = default;
+};
+
 using Request = std::variant<SummaryRequest, StabilityRequest, HistoryRequest,
-                             IntermittentRequest, ExportDayRequest>;
+                             IntermittentRequest, ExportDayRequest,
+                             StatsRequest, LatencyRequest, TraceTailRequest,
+                             FlightRecTailRequest>;
+
+/// True for the introspection requests the server answers inline.
+bool is_admin_request(const Request& request);
 
 // --- responses ---
 
@@ -123,9 +159,90 @@ struct ExportDayResponse {
   bool operator==(const ExportDayResponse&) const = default;
 };
 
+// --- admin (introspection) responses ---
+
+/// A point-in-time operational snapshot of one server.
+struct ServeStats {
+  std::uint64_t requests_executed = 0;  // cache misses a worker answered
+  std::uint64_t requests_shed = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t response_cache_hits = 0;
+  std::uint64_t response_cache_misses = 0;
+  std::uint64_t response_cache_evictions = 0;
+  std::uint64_t response_cache_entries = 0;
+  std::uint64_t segment_cache_hits = 0;   // ArchiveReader decoded-segment LRU
+  std::uint64_t segment_cache_misses = 0;
+  std::uint64_t flightrec_recorded = 0;
+  std::uint64_t flightrec_overwritten = 0;
+  std::uint32_t workers = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t queue_capacity = 0;
+  std::uint32_t active_spans = 0;  // open (unfinished) trace spans
+  bool draining = false;
+  bool operator==(const ServeStats&) const = default;
+};
+
+struct StatsResponse {
+  ServeStats stats;
+  bool operator==(const StatsResponse&) const = default;
+};
+
+/// One instrumented request-path stage ("queue_wait", "archive_read",
+/// "render", "total"), percentiles in microseconds.
+struct StageLatency {
+  std::string stage;
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+  bool operator==(const StageLatency&) const = default;
+};
+
+struct LatencyResponse {
+  std::vector<StageLatency> stages;
+  bool operator==(const LatencyResponse&) const = default;
+};
+
+/// A finished trace span (obs::SpanRecord, flattened for the wire).
+struct SpanInfo {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::int64_t start_ns = 0;  // simulated time
+  std::int64_t end_ns = 0;
+  bool operator==(const SpanInfo&) const = default;
+};
+
+struct TraceTailResponse {
+  std::vector<SpanInfo> spans;
+  std::uint64_t dropped = 0;  // spans lost to the tracer's buffer bound
+  bool operator==(const TraceTailResponse&) const = default;
+};
+
+/// One flight-recorder event (obs::DecodedFlightEvent on the wire).
+struct FlightEvent {
+  std::int64_t wall_ns = 0;
+  std::int64_t sim_ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t b = 0;
+  std::uint32_t ring = 0;
+  std::uint16_t code = 0;
+  std::uint8_t kind = 0;
+  bool operator==(const FlightEvent&) const = default;
+};
+
+struct FlightRecTailResponse {
+  std::vector<FlightEvent> events;
+  bool operator==(const FlightRecTailResponse&) const = default;
+};
+
 using Response =
     std::variant<ErrorResponse, SummaryResponse, StabilityResponse,
-                 HistoryResponse, IntermittentResponse, ExportDayResponse>;
+                 HistoryResponse, IntermittentResponse, ExportDayResponse,
+                 StatsResponse, LatencyResponse, TraceTailResponse,
+                 FlightRecTailResponse>;
 
 // --- body codecs (canonical bytes) ---
 

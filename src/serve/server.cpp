@@ -4,6 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flightrec.hpp"
+#include "obs/trace.hpp"
+
 namespace laces::serve {
 namespace {
 
@@ -11,6 +14,23 @@ double micros_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Wire tag of a request (RequestTag in protocol.cpp is variant order + 1)
+/// — the flight recorder's per-event request-class code.
+std::uint16_t request_tag(const Request& request) {
+  return static_cast<std::uint16_t>(request.index() + 1);
+}
+
+StageLatency stage_of(const char* name, const obs::LogHistogram& h) {
+  StageLatency s;
+  s.stage = name;
+  s.count = h.count();
+  s.p50_us = h.p50();
+  s.p99_us = h.p99();
+  s.p999_us = h.p999();
+  s.max_us = h.max();
+  return s;
 }
 
 }  // namespace
@@ -60,6 +80,81 @@ void Server::start() {
   }
 }
 
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.requests_executed = requests_executed_.load(std::memory_order_relaxed);
+  s.requests_shed = requests_shed_.load(std::memory_order_relaxed);
+  s.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+  s.response_cache_hits = cache_.hits();
+  s.response_cache_misses = cache_.misses();
+  s.response_cache_evictions = cache_.evictions();
+  s.response_cache_entries = cache_.size();
+  s.segment_cache_hits = reader_.cache_hits();
+  s.segment_cache_misses = reader_.cache_misses();
+  const auto& frec = obs::FlightRecorder::global();
+  s.flightrec_recorded = frec.recorded();
+  s.flightrec_overwritten = frec.overwritten();
+  s.workers = static_cast<std::uint32_t>(config_.threads);
+  s.queue_capacity = static_cast<std::uint32_t>(config_.queue_capacity);
+  s.active_spans =
+      static_cast<std::uint32_t>(obs::Tracer::global().active_count());
+  {
+    std::lock_guard lock(queue_mutex_);
+    s.queue_depth = static_cast<std::uint32_t>(queue_.size());
+    s.draining = draining_;
+  }
+  return s;
+}
+
+std::vector<StageLatency> Server::latency_stages() const {
+  return {stage_of("queue_wait", queue_wait_us_),
+          stage_of("archive_read", archive_read_us_),
+          stage_of("render", render_us_), stage_of("total", total_us_)};
+}
+
+Response Server::admin_response(const Request& request) const {
+  if (std::holds_alternative<StatsRequest>(request)) {
+    return StatsResponse{stats()};
+  }
+  if (std::holds_alternative<LatencyRequest>(request)) {
+    return LatencyResponse{latency_stages()};
+  }
+  if (const auto* req = std::get_if<TraceTailRequest>(&request)) {
+    auto& tracer = obs::Tracer::global();
+    TraceTailResponse resp;
+    resp.dropped = tracer.dropped();
+    auto records = tracer.snapshot();
+    const std::size_t keep =
+        req->max == 0 ? records.size()
+                      : std::min<std::size_t>(req->max, records.size());
+    resp.spans.reserve(keep);
+    for (std::size_t i = records.size() - keep; i < records.size(); ++i) {
+      const auto& rec = records[i];
+      resp.spans.push_back(
+          {rec.id, rec.parent, rec.name, rec.start_ns, rec.end_ns});
+    }
+    return resp;
+  }
+  const auto* req = std::get_if<FlightRecTailRequest>(&request);
+  FlightRecTailResponse resp;
+  const auto tail =
+      obs::FlightRecorder::global().merged_tail(req ? req->max : 0);
+  resp.events.reserve(tail.size());
+  for (const auto& e : tail) {
+    FlightEvent out;
+    out.wall_ns = e.record.wall_ns;
+    out.sim_ns = e.record.sim_ns;
+    out.a = e.record.a;
+    out.seq = e.seq;
+    out.b = e.record.b;
+    out.ring = e.ring;
+    out.code = e.record.code;
+    out.kind = e.record.kind;
+    resp.events.push_back(out);
+  }
+  return resp;
+}
+
 void Server::drain() {
   std::lock_guard lifecycle(lifecycle_mutex_);
   {
@@ -84,6 +179,16 @@ void Server::drain() {
   }
   for (auto& worker : workers_) worker.join();
   workers_.clear();
+
+  // Publish final tail latencies as gauges so run reports (and their
+  // health rules) can see them after the server object is gone.
+  auto& reg = obs::Registry::global();
+  reg.gauge("laces_serve_total_p50_us").set(total_us_.p50());
+  reg.gauge("laces_serve_total_p99_us").set(total_us_.p99());
+  reg.gauge("laces_serve_total_p999_us").set(total_us_.p999());
+  reg.gauge("laces_serve_queue_wait_p999_us").set(queue_wait_us_.p999());
+  reg.gauge("laces_serve_archive_read_p999_us").set(archive_read_us_.p999());
+  reg.gauge("laces_serve_render_p999_us").set(render_us_.p999());
 }
 
 std::size_t Server::queue_depth() const {
@@ -133,8 +238,20 @@ std::future<std::vector<std::uint8_t>> Server::submit(
   } catch (const ProtocolError& e) {
     auth_failures_.fetch_add(1, std::memory_order_relaxed);
     auth_failure_counter_->add(1);
+    obs::FlightRecorder::global().record(obs::FrEvent::kAuthFailure);
     promise.set_value(
         error_frame(parsed.request_id, ErrorCode::kBadRequest, e.what()));
+    return future;
+  }
+
+  // Introspection requests are answered inline on the submitting thread,
+  // before cache, admission and drain checks: they never occupy a worker
+  // or a queue slot, are never cached (the answer is the current moment),
+  // and stay answerable while the server drains — an overloaded or
+  // shutting-down server can still be asked what is wrong with it.
+  if (is_admin_request(request)) {
+    promise.set_value(respond(
+        parsed.request_id, encode_response(admin_response(request))));
     return future;
   }
 
@@ -144,9 +261,13 @@ std::future<std::vector<std::uint8_t>> Server::submit(
 
   // Cache hits are answered right here on the client thread.
   if (auto body = cache_.lookup(canonical)) {
+    obs::FlightRecorder::global().record(obs::FrEvent::kCacheHit,
+                                         request_tag(request));
     promise.set_value(respond(parsed.request_id, *body));
     return future;
   }
+  obs::FlightRecorder::global().record(obs::FrEvent::kCacheMiss,
+                                       request_tag(request));
 
   // Admission control. Per-connection cap first (cheap, no lock), then the
   // bounded queue. Both failures shed with a retry-after hint.
@@ -156,6 +277,8 @@ std::future<std::vector<std::uint8_t>> Server::submit(
     connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
     requests_shed_.fetch_add(1, std::memory_order_relaxed);
     shed_counter_->add(1);
+    obs::FlightRecorder::global().record(obs::FrEvent::kRequestShed, 1,
+                                         parsed.request_id);
     promise.set_value(error_frame(
         parsed.request_id, ErrorCode::kOverloaded,
         "connection in-flight cap reached", config_.retry_after_ms));
@@ -168,6 +291,7 @@ std::future<std::vector<std::uint8_t>> Server::submit(
   job.canonical = std::move(canonical);
   job.request = std::move(request);
   job.promise = std::move(promise);
+  job.submitted = std::chrono::steady_clock::now();
   {
     std::lock_guard lock(queue_mutex_);
     if (draining_) {
@@ -181,11 +305,15 @@ std::future<std::vector<std::uint8_t>> Server::submit(
       job.connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
       requests_shed_.fetch_add(1, std::memory_order_relaxed);
       shed_counter_->add(1);
+      obs::FlightRecorder::global().record(obs::FrEvent::kRequestShed, 2,
+                                           job.request_id);
       job.promise.set_value(error_frame(job.request_id, ErrorCode::kOverloaded,
                                         "request queue full",
                                         config_.retry_after_ms));
       return future;
     }
+    obs::FlightRecorder::global().record(
+        obs::FrEvent::kRequestBegin, request_tag(job.request), job.request_id);
     queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
@@ -204,7 +332,12 @@ void Server::worker_loop() {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
+    queue_wait_us_.observe(
+        std::chrono::duration<double, std::micro>(t0 - job.submitted).count());
     Response response = execute(job.request);
+    const auto t1 = std::chrono::steady_clock::now();
+    archive_read_us_.observe(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
     std::vector<std::uint8_t> body = encode_response(response);
 
     // Only successful responses are cached; errors stay uncached so a
@@ -213,9 +346,19 @@ void Server::worker_loop() {
       cache_.insert(job.canonical,
                     std::make_shared<const std::vector<std::uint8_t>>(body));
     }
+    render_us_.observe(micros_since(t1));
     requests_executed_.fetch_add(1, std::memory_order_relaxed);
     executed_counter_->add(1);
     latency_us_->observe(micros_since(t0));
+    const double total_us = micros_since(job.submitted);
+    total_us_.observe(total_us);
+    std::uint16_t end_code = 0;
+    if (const auto* error = std::get_if<ErrorResponse>(&response)) {
+      end_code = static_cast<std::uint16_t>(error->code);
+    }
+    obs::FlightRecorder::global().record(
+        obs::FrEvent::kRequestEnd, end_code, job.request_id,
+        static_cast<std::uint32_t>(total_us));
 
     job.connection->inflight_.fetch_sub(1, std::memory_order_relaxed);
     job.promise.set_value(respond(job.request_id, body));
@@ -260,6 +403,11 @@ Response Server::execute(const Request& request) {
             reader_.export_csv(req.day, csv);
             resp.csv = csv.str();
             return resp;
+          } else {
+            // Admin requests are intercepted in submit() and never reach a
+            // worker; answering here too keeps execute() total over the
+            // Request variant.
+            return admin_response(Request(req));
           }
         },
         request);

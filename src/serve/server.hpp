@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/loghist.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "store/archive.hpp"
@@ -125,6 +127,16 @@ class Server {
   }
   std::size_t queue_depth() const;
 
+  /// The admin-endpoint snapshot (also answerable in-band via a signed
+  /// StatsRequest frame; see protocol.hpp).
+  ServeStats stats() const;
+
+  /// Per-stage latency percentiles: queue_wait / archive_read / render /
+  /// total, in microseconds, from the server's LogHistograms. `total` is
+  /// the submit-to-response time of worker-executed requests (cache hits
+  /// and shed requests are excluded so the stages decompose consistently).
+  std::vector<StageLatency> latency_stages() const;
+
  private:
   struct Job {
     std::shared_ptr<Connection> connection;
@@ -132,6 +144,7 @@ class Server {
     std::vector<std::uint8_t> canonical;  // cache key
     Request request;
     std::promise<std::vector<std::uint8_t>> promise;
+    std::chrono::steady_clock::time_point submitted;  // queue-wait stamp
   };
 
   friend class Connection;
@@ -147,6 +160,10 @@ class Server {
   void worker_loop();
   /// Executes one decoded request against the archive (worker thread).
   Response execute(const Request& request);
+  /// Answers an introspection request (stats/latency/trace/flightrec).
+  /// Runs inline on the submitting thread — see the admin section of
+  /// protocol.hpp for why these bypass the worker pool.
+  Response admin_response(const Request& request) const;
 
   store::ArchiveReader& reader_;
   ServerConfig config_;
@@ -177,6 +194,16 @@ class Server {
   obs::Counter* auth_failure_counter_ = nullptr;
   obs::Counter* error_counter_ = nullptr;
   obs::Histogram* latency_us_ = nullptr;
+
+  /// Per-stage request-path latency (microseconds). queue_wait is
+  /// submit -> worker dequeue, archive_read is execute(), render is
+  /// encode + cache insert, total is submit -> response. drain()
+  /// publishes their p999s as gauges so run reports can apply health
+  /// rules after the server is gone.
+  obs::LogHistogram queue_wait_us_;
+  obs::LogHistogram archive_read_us_;
+  obs::LogHistogram render_us_;
+  obs::LogHistogram total_us_;
 };
 
 }  // namespace laces::serve

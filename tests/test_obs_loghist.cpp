@@ -1,0 +1,162 @@
+// LogHistogram: the documented error bound checked against an exact
+// sorted reference over adversarial distributions, plus count/sum/max
+// accounting, clamping, reset, and concurrent observes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/loghist.hpp"
+#include "util/rng.hpp"
+
+namespace laces::obs {
+namespace {
+
+/// Exact nearest-rank order statistic, the quantity LogHistogram's
+/// percentile() approximates from above.
+double exact_nearest_rank(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::clamp<std::size_t>(rank, 1, xs.size());
+  return xs[rank - 1];
+}
+
+/// percentile() must bracket the exact order statistic: no lower, and at
+/// most relative_error() above — plus the 1/1024 fixed-point grain.
+void expect_within_bound(const LogHistogram& hist,
+                         const std::vector<double>& xs, double p) {
+  const double exact = exact_nearest_rank(xs, p);
+  const double got = hist.percentile(p);
+  const double grain = 1.0 / 1024.0;
+  EXPECT_GE(got, exact - grain) << "p" << p;
+  EXPECT_LE(got, exact * (1.0 + hist.relative_error()) + grain) << "p" << p;
+}
+
+TEST(LogHistogram, MatchesSortedReferenceOnLogUniformSamples) {
+  LogHistogram hist;
+  Rng rng(12345);
+  std::vector<double> xs;
+  // Log-uniform across nine decades: exercises many octaves, the shape
+  // real latency distributions (us to minutes) take.
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(std::pow(10.0, rng.uniform(-3.0, 6.0)));
+    hist.observe(xs.back());
+  }
+  EXPECT_EQ(hist.count(), 20000u);
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    expect_within_bound(hist, xs, p);
+  }
+}
+
+TEST(LogHistogram, MatchesSortedReferenceOnHeavyTail) {
+  LogHistogram hist;
+  Rng rng(777);
+  std::vector<double> xs;
+  // Mostly-fast-with-rare-stalls: the distribution p999 exists for.
+  for (int i = 0; i < 50000; ++i) {
+    double v = rng.exponential(0.5);
+    if (rng.chance(0.002)) v += rng.uniform(50.0, 500.0);
+    xs.push_back(v);
+    hist.observe(v);
+  }
+  for (const double p : {50.0, 99.0, 99.9, 99.99}) {
+    expect_within_bound(hist, xs, p);
+  }
+}
+
+TEST(LogHistogram, CoarserGeometryWidensTheBoundAccordingly) {
+  LogHistogram coarse(2);  // 25% relative error
+  EXPECT_DOUBLE_EQ(coarse.relative_error(), 0.25);
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.uniform(1.0, 10000.0));
+    coarse.observe(xs.back());
+  }
+  for (const double p : {50.0, 99.0}) {
+    expect_within_bound(coarse, xs, p);
+  }
+}
+
+TEST(LogHistogram, CountSumMaxAndClamping) {
+  LogHistogram hist;
+  hist.observe(2.0);
+  hist.observe(3.5);
+  hist.observe(100.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 105.5);
+  EXPECT_NEAR(hist.max(), 100.0, 100.0 / 1024.0);
+
+  // Negative and non-finite clamp to zero but still count.
+  hist.observe(-5.0);
+  hist.observe(std::numeric_limits<double>::quiet_NaN());
+  hist.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_NEAR(hist.max(), 100.0, 100.0 / 1024.0);  // inf clamped, not max
+}
+
+TEST(LogHistogram, EmptyAndSingleValue) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(50.0), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+
+  hist.observe(0.125);
+  for (const double p : {0.0, 50.0, 100.0}) {
+    EXPECT_NEAR(hist.percentile(p), 0.125, 1.0 / 1024.0) << "p" << p;
+  }
+}
+
+TEST(LogHistogram, ZeroIsRepresentable) {
+  LogHistogram hist;
+  hist.observe(0.0);
+  hist.observe(0.0);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_NEAR(hist.percentile(50.0), 0.0, 1.0 / 1024.0);
+}
+
+TEST(LogHistogram, ResetZeroesEverything) {
+  LogHistogram hist;
+  for (int i = 1; i <= 100; ++i) hist.observe(i);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+  EXPECT_EQ(hist.percentile(99.0), 0.0);
+  hist.observe(7.0);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_NEAR(hist.percentile(50.0), 7.0, 7.0 * hist.relative_error() + 0.01);
+}
+
+TEST(LogHistogram, ConcurrentObservesLoseNothing) {
+  LogHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.observe(rng.uniform(0.001, 1000.0));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Percentiles remain ordered and inside the observed range.
+  const double p50 = hist.percentile(50.0);
+  const double p99 = hist.percentile(99.0);
+  const double p999 = hist.percentile(99.9);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p999, 1000.0 * (1.0 + hist.relative_error()) + 1.0);
+}
+
+}  // namespace
+}  // namespace laces::obs

@@ -15,6 +15,7 @@
 // thread-pool server in-process and drives scripted request lines through
 // the framed protocol; `bench-serve` runs the load generator against it.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -25,6 +26,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "census/longitudinal.hpp"
@@ -33,6 +35,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/export.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -142,6 +145,25 @@ int cmd_census(const Args& args) {
   EventQueue events;
   topo::SimNetwork network(world, events);
   core::Session session(network, platform::make_production_deployment(world));
+
+  // Flight recorder: always on, bounded memory. The signal path means a
+  // census killed mid-run (SIGTERM/SIGINT, or a crash) still dumps the
+  // event tail before dying; `laces flightrec DUMP` decodes it.
+  auto& frec = obs::FlightRecorder::global();
+  frec.set_clock(&events);
+  if (args.has("flightrec-capacity")) {
+    frec.set_capacity(
+        static_cast<std::size_t>(args.get_int("flightrec-capacity", 4096)));
+  }
+  const std::string frec_path =
+      args.get("flightrec", args.get("out", "census-out") + "/flightrec.bin");
+  // The signal handler can only write(2), not mkdir: make sure the dump
+  // directory exists before arming.
+  const auto frec_parent = std::filesystem::path(frec_path).parent_path();
+  if (!frec_parent.empty()) std::filesystem::create_directories(frec_parent);
+  obs::FlightRecorder::arm_signal_dump(frec_path);
+  frec.record(obs::FrEvent::kMarker, 0,
+              static_cast<std::uint64_t>(args.get_int("seed", 42)));
 
   census::PipelineConfig config;
   config.ipv6 = args.has("v6");
@@ -270,6 +292,7 @@ int cmd_census(const Args& args) {
           cp.worker_rng.push_back(session.worker(i).rng_state());
         }
         archive->write_checkpoint(cp);
+        frec.record(obs::FrEvent::kCheckpoint, 0, daily.day);
         std::printf("  archived %s (%llu bytes, csv %llu, sha256 %.12s...)\n",
                     entry.file.c_str(),
                     static_cast<unsigned long long>(entry.segment_bytes),
@@ -299,11 +322,35 @@ int cmd_census(const Args& args) {
     }
   }
 
+  frec.record(obs::FrEvent::kMarker, 1, static_cast<std::uint64_t>(days));
+
   // Run telemetry: optional machine-readable exports plus the operator
   // report on stdout.
   const auto metrics = obs::Registry::global().snapshot();
   const auto spans = obs::Tracer::global().snapshot();
   int status = 0;
+
+  // Post-mortem capture: any sign of trouble — a watchdog fire, an aborted
+  // or degraded measurement, a degraded day — dumps the flight recorder,
+  // as does an explicit --flightrec FILE.
+  const bool troubled =
+      metrics.value("laces_orchestrator_watchdog_fires_total") > 0 ||
+      metrics.value("laces_orchestrator_measurements_aborted_total") > 0 ||
+      metrics.value("laces_orchestrator_measurements_degraded_total") > 0 ||
+      metrics.value("laces_census_degraded_days_total") > 0;
+  if (troubled || args.has("flightrec")) {
+    if (frec.dump(frec_path)) {
+      std::printf("flight recorder dump: %s (%llu events recorded, %llu "
+                  "overwritten)\n",
+                  frec_path.c_str(),
+                  static_cast<unsigned long long>(frec.recorded()),
+                  static_cast<unsigned long long>(frec.overwritten()));
+    } else {
+      std::fprintf(stderr, "laces census: cannot write %s\n",
+                   frec_path.c_str());
+      status = 1;
+    }
+  }
   const auto export_to = [&status](const std::string& path, auto writer) {
     std::ofstream out(path);
     if (out) writer(out);
@@ -561,6 +608,19 @@ std::optional<serve::Request> parse_request_line(const std::string& line,
     return serve::Request{
         serve::ExportDayRequest{static_cast<std::uint32_t>(day)}};
   }
+  if (verb == "stats") return serve::Request{serve::StatsRequest{}};
+  if (verb == "latency") return serve::Request{serve::LatencyRequest{}};
+  if (verb == "trace-tail" || verb == "flightrec-tail") {
+    long max = 0;
+    in >> max;  // optional; 0 = everything retained
+    if (max < 0) max = 0;
+    if (verb == "trace-tail") {
+      return serve::Request{
+          serve::TraceTailRequest{static_cast<std::uint32_t>(max)}};
+    }
+    return serve::Request{
+        serve::FlightRecTailRequest{static_cast<std::uint32_t>(max)}};
+  }
   *error = "unknown request '" + verb + "'";
   return std::nullopt;
 }
@@ -667,6 +727,29 @@ int cmd_serve(const Args& args) {
                  static_cast<unsigned long long>(server.cache_hits()),
                  static_cast<unsigned long long>(server.requests_shed()),
                  static_cast<unsigned long long>(server.auth_failures()));
+
+    // Served workloads export the same telemetry artifacts as `laces
+    // census`: Prometheus metrics and the span buffer.
+    if (args.has("metrics-out")) {
+      const auto path = args.get("metrics-out", "metrics.prom");
+      std::ofstream out(path);
+      if (out) obs::write_prometheus(out, obs::Registry::global().snapshot());
+      if (!out) {
+        std::fprintf(stderr, "laces serve: cannot write %s\n", path.c_str());
+        status = 1;
+      }
+    }
+    if (args.has("trace-out")) {
+      const auto path = args.get("trace-out", "trace.jsonl");
+      std::ofstream out(path);
+      if (out) {
+        obs::write_trace_jsonl(out, obs::Tracer::global().snapshot());
+      }
+      if (!out) {
+        std::fprintf(stderr, "laces serve: cannot write %s\n", path.c_str());
+        status = 1;
+      }
+    }
     return status;
   } catch (const store::ArchiveError& e) {
     std::fprintf(stderr, "laces serve: %s\n", e.what());
@@ -729,10 +812,176 @@ int cmd_bench_serve(const Args& args) {
   }
 }
 
+/// `laces flightrec DUMP`: decode a flight-recorder dump to JSONL on
+/// stdout (one event per line, merged deterministic order).
+int cmd_flightrec(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "laces flightrec: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  try {
+    const auto events = obs::decode_flight_dump(bytes);
+    std::ostringstream out;
+    obs::write_flight_jsonl(out, events);
+    std::fputs(out.str().c_str(), stdout);
+    std::fflush(stdout);
+    return 0;
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "laces flightrec: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// `laces stat`: live introspection client. Starts a server over the
+/// archive, drives background load through it, and polls the in-band
+/// admin endpoint — the same authenticated StatsRequest/LatencyRequest
+/// frames any remote client would send — rendering each snapshot.
+int cmd_stat(const Args& args) {
+  if (!args.has("archive")) {
+    std::fprintf(stderr, "laces stat: --archive DIR required\n");
+    return 2;
+  }
+  try {
+    store::ArchiveReader reader(
+        std::filesystem::path(args.get("archive", "archive")),
+        static_cast<std::size_t>(args.get_int("reader-cache", 8)));
+    if (reader.manifest().entries.empty()) {
+      std::fprintf(stderr, "laces stat: archive is empty\n");
+      return 2;
+    }
+    const auto config = server_config(args);
+    serve::Server server(reader, config);
+
+    const auto first_day = reader.manifest().entries.front().day;
+    const auto prefixes = reader.load_day(first_day)->published_prefixes();
+    std::vector<std::uint32_t> days;
+    for (const auto& entry : reader.manifest().entries) {
+      days.push_back(entry.day);
+    }
+
+    serve::LoadGenConfig load;
+    load.clients = static_cast<std::size_t>(args.get_int("clients", 2));
+    load.requests_per_client =
+        static_cast<std::size_t>(args.get_int("requests", 500));
+    load.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    std::thread load_thread(
+        [&server, &prefixes, &days, load] {
+          serve::run_load(server, prefixes, days, load);
+        });
+
+    const bool json = args.has("json");
+    const long polls = std::max(args.get_int("polls", 3), 1L);
+    const auto interval =
+        std::chrono::milliseconds(args.get_int("interval-ms", 100));
+    auto connection = server.connect();
+    std::uint64_t request_id = 0;
+    const auto ask = [&](const serve::Request& request) {
+      const auto frame = connection->call(serve::encode_frame(
+          config.key, serve::FrameKind::kRequest, ++request_id,
+          serve::encode_request(request)));
+      return serve::decode_response(
+          serve::decode_frame(config.key, frame).payload);
+    };
+
+    for (long poll = 0; poll < polls; ++poll) {
+      const auto stats_resp = ask(serve::Request{serve::StatsRequest{}});
+      const auto latency_resp = ask(serve::Request{serve::LatencyRequest{}});
+      if (json) {
+        std::fputs(serve::json_response(stats_resp).c_str(), stdout);
+        std::fputs(serve::json_response(latency_resp).c_str(), stdout);
+      } else {
+        const auto& s =
+            std::get<serve::StatsResponse>(stats_resp).stats;
+        std::printf(
+            "poll %ld: executed=%llu shed=%llu auth_failures=%llu "
+            "queue=%u/%u workers=%u spans=%u%s\n",
+            poll + 1, static_cast<unsigned long long>(s.requests_executed),
+            static_cast<unsigned long long>(s.requests_shed),
+            static_cast<unsigned long long>(s.auth_failures), s.queue_depth,
+            s.queue_capacity, s.workers, s.active_spans,
+            s.draining ? " DRAINING" : "");
+        std::printf(
+            "  caches: response %llu/%llu hits, segment %llu/%llu hits; "
+            "flightrec %llu events (%llu overwritten)\n",
+            static_cast<unsigned long long>(s.response_cache_hits),
+            static_cast<unsigned long long>(s.response_cache_hits +
+                                            s.response_cache_misses),
+            static_cast<unsigned long long>(s.segment_cache_hits),
+            static_cast<unsigned long long>(s.segment_cache_hits +
+                                            s.segment_cache_misses),
+            static_cast<unsigned long long>(s.flightrec_recorded),
+            static_cast<unsigned long long>(s.flightrec_overwritten));
+        TextTable table({"Stage", "Count", "p50 us", "p99 us", "p999 us",
+                         "max us"});
+        const auto& stages =
+            std::get<serve::LatencyResponse>(latency_resp).stages;
+        for (const auto& st : stages) {
+          char p50[32], p99[32], p999[32], mx[32];
+          std::snprintf(p50, sizeof p50, "%.1f", st.p50_us);
+          std::snprintf(p99, sizeof p99, "%.1f", st.p99_us);
+          std::snprintf(p999, sizeof p999, "%.1f", st.p999_us);
+          std::snprintf(mx, sizeof mx, "%.1f", st.max_us);
+          table.add_row({st.stage,
+                         with_commas(static_cast<long long>(st.count)), p50,
+                         p99, p999, mx});
+        }
+        std::printf("%s", table.render().c_str());
+      }
+      if (poll + 1 < polls) std::this_thread::sleep_for(interval);
+    }
+
+    // Final poll: the recent trace spans and flight-recorder tail.
+    const auto trace_resp =
+        ask(serve::Request{serve::TraceTailRequest{
+            static_cast<std::uint32_t>(args.get_int("spans", 10))}});
+    const auto frec_resp =
+        ask(serve::Request{serve::FlightRecTailRequest{
+            static_cast<std::uint32_t>(args.get_int("events", 20))}});
+    if (json) {
+      std::fputs(serve::json_response(trace_resp).c_str(), stdout);
+      std::fputs(serve::json_response(frec_resp).c_str(), stdout);
+    } else {
+      const auto& tail = std::get<serve::TraceTailResponse>(trace_resp);
+      std::printf("trace tail (%zu spans, %llu dropped):\n",
+                  tail.spans.size(),
+                  static_cast<unsigned long long>(tail.dropped));
+      for (const auto& span : tail.spans) {
+        std::printf("  #%llu %s [%lld..%lld]\n",
+                    static_cast<unsigned long long>(span.id),
+                    span.name.c_str(), static_cast<long long>(span.start_ns),
+                    static_cast<long long>(span.end_ns));
+      }
+      const auto& events =
+          std::get<serve::FlightRecTailResponse>(frec_resp).events;
+      std::printf("flight recorder tail (%zu events):\n", events.size());
+      for (const auto& e : events) {
+        std::printf("  %s code=%u a=%llu b=%u\n",
+                    std::string(obs::to_string(
+                                    static_cast<obs::FrEvent>(e.kind)))
+                        .c_str(),
+                    e.code, static_cast<unsigned long long>(e.a), e.b);
+      }
+    }
+
+    load_thread.join();
+    server.drain();
+    return 0;
+  } catch (const store::ArchiveError& e) {
+    std::fprintf(stderr, "laces stat: %s\n", e.what());
+    return 1;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "laces stat: %s\n", e.what());
+    return 1;
+  }
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: laces <world|census|probe|catchment|query|serve|"
-               "bench-serve> [options]\n"
+               "bench-serve|stat|flightrec> [options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
                "             --metrics-out FILE --trace-out FILE --canary\n"
@@ -740,6 +989,7 @@ void usage() {
                "             (SPEC: 'kind@start[+dur][:site=N|all|cli,p=X,"
                "mag=D]; ...')\n"
                "             --archive DIR [--resume]\n"
+               "             --flightrec FILE [--flightrec-capacity N]\n"
                "  probe      --prefix A.B.C.0/24 --day D\n"
                "  catchment  --seed N --scale K\n"
                "  query      --archive DIR [--summary] [--stability]\n"
@@ -749,9 +999,13 @@ void usage() {
                "             [--clients M] [--threads N] [--queue N]\n"
                "             [--inflight N] [--cache-shards N]\n"
                "             [--cache-entries N] [--key K]\n"
+               "             [--metrics-out FILE] [--trace-out FILE]\n"
                "  bench-serve --archive DIR [--clients M] [--requests N]\n"
                "             [--qps Q] [--seed N] [--out FILE]\n"
-               "             [--threads N] [--queue N] [--inflight N]\n");
+               "             [--threads N] [--queue N] [--inflight N]\n"
+               "  stat       --archive DIR [--polls N] [--interval-ms MS]\n"
+               "             [--clients M] [--requests N] [--json]\n"
+               "  flightrec  DUMP   (decode a flight-recorder dump to JSONL)\n");
 }
 
 }  // namespace
@@ -770,6 +1024,14 @@ int main(int argc, char** argv) {
   if (command == "query") return cmd_query(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "bench-serve") return cmd_bench_serve(args);
+  if (command == "stat") return cmd_stat(args);
+  if (command == "flightrec") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr, "usage: laces flightrec DUMP\n");
+      return 2;
+    }
+    return cmd_flightrec(argv[2]);
+  }
   usage();
   return 2;
 }
