@@ -35,6 +35,12 @@ METRICS = {
     "events_per_sec": "higher",
     "packets_per_sec": "higher",
     "census_day_wall_ms": "lower",
+    # Scaled-world tier (WorldConfig::scale): census-day wall time over the
+    # 10x world, plus 8-shard speedup when the runner has >= 8 cores (the
+    # bench omits it otherwise, so it is reported-not-gated on small boxes;
+    # bench_perf_pipeline itself enforces the 3x bar in-process).
+    "scaled_census_day_wall_ms": "lower",
+    "parallel_speedup_8": "higher",
     # bench_archive (laces_store): throughput up, compression ratio down.
     "archive_write_mb_s": "higher",
     "archive_read_mb_s": "higher",

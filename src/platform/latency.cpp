@@ -135,7 +135,7 @@ LatencyResults measure_latency(topo::SimNetwork& network,
     });
   }
 
-  events.run();
+  network.run_events();
 
   for (auto& state : *states) network.detach(state.interface_id);
   results.probes_sent =

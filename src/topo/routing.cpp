@@ -231,16 +231,18 @@ RoutingModel::Ranking RoutingModel::scan_pops(const AttachPoint& from,
   Ranking r;
   double best_score = std::numeric_limits<double>::infinity();
   double second_score = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < dep.pops.size(); ++i) {
-    const Pop& pop = dep.pops[i];
-    const std::uint16_t hops = hop_row[pop.attach.upstream];
+  const auto consider = [&](std::size_t i, std::uint64_t city,
+                            std::uint64_t upstream) {
+    const std::uint16_t hops = hop_row[upstream];
     const double hop_cost =
         hops == AsGraph::kUnreachable
             ? 1e9
             : static_cast<double>(hops) * config_.hop_weight_km;
-    const double geo_cost = dist_row[pop.attach.city];
+    const double geo_cost = dist_row[city];
     StableHash h = perturb_prefix;  // state after seed + sender key
-    h.mix(attach_key(pop.attach)).mix(dep_id).mix(std::uint64_t{0});
+    // Identical to attach_key(pop.attach): both ids fit 16 bits, so the
+    // widened SoA values reproduce the packed key exactly.
+    h.mix((city << 32) | upstream).mix(dep_id).mix(std::uint64_t{0});
     const double s = hop_cost + geo_cost + h.unit() * config_.perturb_km;
     if (s < best_score) {
       r.second = r.best;
@@ -250,6 +252,20 @@ RoutingModel::Ranking RoutingModel::scan_pops(const AttachPoint& from,
     } else if (s < second_score) {
       r.second = static_cast<std::uint32_t>(i);
       second_score = s;
+    }
+  };
+  if (dep.pop_city.size() == dep.pops.size()) {
+    // SoA fast path: 4 sequential bytes per PoP (see Deployment::pop_city).
+    const std::uint16_t* cities = dep.pop_city.data();
+    const std::uint16_t* upstreams = dep.pop_upstream.data();
+    for (std::size_t i = 0; i < dep.pops.size(); ++i) {
+      consider(i, cities[i], upstreams[i]);
+    }
+  } else {
+    // Layout not finalized (hand-built deployments in tests): same
+    // arithmetic over the AoS fields.
+    for (std::size_t i = 0; i < dep.pops.size(); ++i) {
+      consider(i, dep.pops[i].attach.city, dep.pops[i].attach.upstream);
     }
   }
   r.best_score = best_score;

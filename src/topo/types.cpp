@@ -24,6 +24,15 @@ bool Deployment::anycast_active(std::uint32_t day) const {
   return ((day + temp_phase) % temp_period_days) < temp_active_days;
 }
 
+void Deployment::finalize_layout() {
+  pop_city.resize(pops.size());
+  pop_upstream.resize(pops.size());
+  for (std::size_t i = 0; i < pops.size(); ++i) {
+    pop_city[i] = static_cast<std::uint16_t>(pops[i].attach.city);
+    pop_upstream[i] = static_cast<std::uint16_t>(pops[i].attach.upstream);
+  }
+}
+
 std::size_t Deployment::active_pop_count(std::uint32_t day) const {
   if (kind == DeploymentKind::kUnicast) return 1;
   if (kind == DeploymentKind::kTemporaryAnycast && !anycast_active(day)) {

@@ -73,6 +73,15 @@ struct Deployment {
   OrgId org = 0;
   DeploymentKind kind = DeploymentKind::kUnicast;
   std::vector<Pop> pops;
+  /// SoA mirror of pops[i].attach for the catchment scan hot loop
+  /// (RoutingModel::scan_pops): city and upstream ids packed into two
+  /// contiguous uint16 arrays (both id spaces fit 16 bits, asserted at
+  /// RoutingModel construction), so a scan over thousands of PoPs streams
+  /// 4 bytes per PoP instead of striding over Pop objects that drag each
+  /// chaos_values vector header through the cache. Rebuilt by
+  /// finalize_layout(); empty (and ignored by the scan) until then.
+  std::vector<std::uint16_t> pop_city;
+  std::vector<std::uint16_t> pop_upstream;
   /// kGlobalBgpUnicast: index into `pops` of the real (home) server site.
   std::size_t home_pop = 0;
   /// kTemporaryAnycast: period (days) and phase of the active window.
@@ -85,6 +94,9 @@ struct Deployment {
   /// PoPs announcing the prefix on `day` (temporary anycast collapses to
   /// its home PoP on inactive days).
   std::size_t active_pop_count(std::uint32_t day) const;
+  /// Rebuild the SoA attach arrays from `pops`. Call after the PoP set is
+  /// final (WorldBuilder does; SimNetwork does on attach/detach).
+  void finalize_layout();
 };
 
 /// An operator (Table 6 row): owns deployments, has a public ASN.

@@ -64,6 +64,10 @@ class WorldBuilder {
     make_backing_anycast_v6();
     make_unicast_bulk();
     make_unresponsive();
+
+    // PoP sets are final: build the SoA attach arrays the catchment scan
+    // streams over (Deployment::finalize_layout).
+    for (auto& dep : w_.deployments_) dep.finalize_layout();
   }
 
  private:
@@ -624,6 +628,10 @@ class WorldBuilder {
 
   void make_unicast_bulk() {
     const auto cities = geo::world_cities();
+    if (cfg_.scale > 1) {
+      make_unicast_bulk_scaled();
+      return;
+    }
     for (std::size_t i = 0; i < cfg_.v4_unicast; ++i) {
       const std::uint32_t base = alloc_v4_block(1);
       announce(base, 24, /*org=*/0);
@@ -654,12 +662,89 @@ class WorldBuilder {
     }
   }
 
+  /// Bulk generator for scale > 1: prefix-aggregated path models. Each
+  /// iteration emits `scale` consecutive census prefixes sharing ONE
+  /// covering BGP aggregate, attach city and deployment — the Leguay-style
+  /// aggregation that lets the world grow 10-100x while path state (and
+  /// routing-cache footprint) grows only with the aggregate count.
+  /// Responder behaviour still varies per member prefix.
+  void make_unicast_bulk_scaled() {
+    const auto cities = geo::world_cities();
+    const std::size_t scale = cfg_.scale;
+    for (std::size_t i = 0; i < cfg_.v4_unicast; ++i) {
+      const std::uint32_t base = alloc_v4_block(scale);
+      announce(base, block_prefix_len(scale), /*org=*/0);
+      const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      const auto dep =
+          add_deployment(0, DeploymentKind::kUnicast, pops_for({city}));
+      // One CHAOS identity flavour per aggregate (only visible on members
+      // that answer DNS).
+      if (rng_.chance(0.5)) {
+        w_.deployments_[dep].pops[0].chaos_values = {"auth1", "auth2"};
+      } else {
+        w_.deployments_[dep].pops[0].chaos_values = {"ns1"};
+      }
+      for (std::size_t m = 0; m < scale; ++m) {
+        auto r = responder_icmp_mix(cfg_.unicast_tcp_responsive,
+                                    cfg_.unicast_dns_responsive);
+        add_target(
+            net::Ipv4Address(base + static_cast<std::uint32_t>(m) * 256 + 1),
+            dep, r, true);
+      }
+    }
+    for (std::size_t i = 0; i < cfg_.v6_unicast; ++i) {
+      current_org_ = 0;
+      const auto base = alloc_v6_block(scale);
+      const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+      const auto dep =
+          add_deployment(0, DeploymentKind::kUnicast, pops_for({city}));
+      for (std::size_t m = 0; m < scale; ++m) {
+        net::ResponderConfig r;
+        r.icmp = true;
+        r.tcp = rng_.chance(cfg_.v6_tcp_responsive);
+        r.dns = rng_.chance(cfg_.unicast_dns_responsive);
+        add_target(
+            net::Ipv6Address(base.hi() + (static_cast<std::uint64_t>(m) << 16),
+                             1),
+            dep, r, true);
+      }
+    }
+  }
+
   void make_unresponsive() {
     const auto cities = geo::world_cities();
     net::ResponderConfig dead;
     dead.icmp = false;
     dead.tcp = false;
     dead.dns = false;
+    if (cfg_.scale > 1) {
+      const std::size_t scale = cfg_.scale;
+      for (std::size_t i = 0; i < cfg_.v4_unresponsive; ++i) {
+        const std::uint32_t base = alloc_v4_block(scale);
+        announce(base, block_prefix_len(scale), /*org=*/0);
+        const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+        const auto dep =
+            add_deployment(0, DeploymentKind::kUnicast, pops_for({city}));
+        for (std::size_t m = 0; m < scale; ++m) {
+          add_target(
+              net::Ipv4Address(base + static_cast<std::uint32_t>(m) * 256 + 1),
+              dep, dead, true);
+        }
+      }
+      for (std::size_t i = 0; i < cfg_.v6_unresponsive; ++i) {
+        current_org_ = 0;
+        const auto base = alloc_v6_block(scale);
+        const auto city = static_cast<geo::CityId>(rng_.index(cities.size()));
+        const auto dep =
+            add_deployment(0, DeploymentKind::kUnicast, pops_for({city}));
+        for (std::size_t m = 0; m < scale; ++m) {
+          add_target(net::Ipv6Address(
+                         base.hi() + (static_cast<std::uint64_t>(m) << 16), 1),
+                     dep, dead, true);
+        }
+      }
+      return;
+    }
     for (std::size_t i = 0; i < cfg_.v4_unresponsive; ++i) {
       const std::uint32_t base = alloc_v4_block(1);
       announce(base, 24, /*org=*/0);

@@ -40,6 +40,17 @@ struct WorldConfig {
   AsGraphConfig as_graph;
   RoutingConfig routing;
 
+  /// World scale multiplier (>= 1). Values above 1 multiply the unicast
+  /// and unresponsive bulk — the families that dominate prefix count — by
+  /// generating prefix-aggregated groups in the style of Leguay et al.
+  /// ("Describing and Simulating Internet Routes"): each group of `scale`
+  /// consecutive census prefixes shares one covering BGP aggregate, one
+  /// attach point and one deployment, so routes stay realistic with
+  /// O(groups) rather than O(prefixes) path state, and routing caches see
+  /// one entry per aggregate. scale == 1 reproduces the historical
+  /// generator byte for byte (it consumes the identical RNG stream).
+  std::size_t scale = 1;
+
   // --- IPv4 population (counts of /24 prefixes) ---
   std::size_t v4_unicast = 24000;
   std::size_t v4_unresponsive = 4000;

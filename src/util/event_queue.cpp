@@ -7,7 +7,7 @@
 namespace laces {
 
 EventId EventQueue::schedule_at(SimTime at, Callback cb) {
-  if (at < now_) at = now_;
+  if (at < now()) at = now();
 
   // Park the callback in the slot pool; only the 16-byte key enters the
   // heap, so the sift below never touches the callback.
@@ -90,7 +90,7 @@ std::size_t EventQueue::run() {
     // schedule new events.
     SimTime at;
     Callback cb = pop_min(at);
-    now_ = at;
+    now_ns_.store(at.ns(), std::memory_order_relaxed);
     cb();
     ++executed;
   }
@@ -103,12 +103,35 @@ std::size_t EventQueue::run_until(SimTime deadline) {
     if (discard_if_canceled()) continue;
     SimTime at;
     Callback cb = pop_min(at);
-    now_ = at;
+    now_ns_.store(at.ns(), std::memory_order_relaxed);
     cb();
     ++executed;
   }
-  if (now_ < deadline) now_ = deadline;
+  if (now() < deadline) now_ns_.store(deadline.ns(), std::memory_order_relaxed);
   return executed;
+}
+
+std::size_t EventQueue::run_window(SimTime end) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.front().at < end) {
+    if (discard_if_canceled()) continue;
+    SimTime at;
+    Callback cb = pop_min(at);
+    now_ns_.store(at.ns(), std::memory_order_relaxed);
+    cb();
+    ++executed;
+  }
+  // Deliberately no clamp of now() to `end`: an idle window must leave the
+  // shard clock where its last event ran, so messages merged afterwards
+  // (timestamped >= the window end by the lookahead contract) are always
+  // scheduled in this shard's future.
+  return executed;
+}
+
+SimTime EventQueue::next_event_time() {
+  while (!heap_.empty() && discard_if_canceled()) {
+  }
+  return heap_.empty() ? kSimTimeMax : heap_.front().at;
 }
 
 }  // namespace laces

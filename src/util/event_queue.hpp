@@ -18,6 +18,7 @@
 // previous std::priority_queue implementation regardless of heap shape.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -32,13 +33,21 @@ namespace laces {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+/// Sentinel "no pending event" timestamp (EventQueue::next_event_time).
+inline constexpr SimTime kSimTimeMax = SimTime(0x7fffffffffffffffLL);
+
 /// Timestamp-ordered callback queue driving simulated time.
 class EventQueue {
  public:
   using Callback = InlineCallback;
 
-  /// Current simulated time.
-  SimTime now() const { return now_; }
+  /// Current simulated time. Readable from any thread (relaxed; free on
+  /// mainstream ISAs): the flight recorder stamps sim_ns from whichever
+  /// thread records, including sharded-loop workers observing shard 0's
+  /// clock. All mutation stays on the thread driving the queue.
+  SimTime now() const {
+    return SimTime(now_ns_.load(std::memory_order_relaxed));
+  }
 
   /// Schedule `cb` to run at absolute time `at` (clamped to now()).
   /// The returned id stays valid until the event runs or is canceled.
@@ -46,7 +55,7 @@ class EventQueue {
 
   /// Schedule `cb` to run `delay` after now().
   EventId schedule_after(SimDuration delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+    return schedule_at(now() + delay, std::move(cb));
   }
 
   /// Cancel a pending event. A canceled event is discarded without running
@@ -62,6 +71,17 @@ class EventQueue {
   /// Run until the queue drains or simulated time would exceed `deadline`;
   /// events after the deadline stay queued. Returns events executed.
   std::size_t run_until(SimTime deadline);
+
+  /// Run every event with timestamp strictly before `end` (a barrier-epoch
+  /// window of the sharded loop). Unlike run_until(), now() is NOT advanced
+  /// when the window is idle: a shard's clock only moves when it executes,
+  /// so cross-shard messages merged later can never land in a shard's past.
+  std::size_t run_window(SimTime end);
+
+  /// Timestamp of the earliest live (non-canceled) pending event, or
+  /// kSimTimeMax when none; canceled stubs at the heap top are discarded.
+  /// The sharded loop uses this to pick the next epoch window start.
+  SimTime next_event_time();
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
@@ -112,7 +132,10 @@ class EventQueue {
   /// loops pay one empty() check per event while this is empty, so the
   /// fault-free hot path is unchanged.
   std::unordered_set<EventId> canceled_;
-  SimTime now_ = SimTime::epoch();
+  /// Sim clock in ns. Atomic only so concurrent now() readers (telemetry
+  /// stamping from other threads) are race-free; relaxed ops keep the
+  /// single-driver hot path at plain load/store cost.
+  std::atomic<std::int64_t> now_ns_{0};
   std::uint64_t next_seq_ = 0;
 };
 

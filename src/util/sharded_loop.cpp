@@ -1,0 +1,184 @@
+#include "util/sharded_loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+namespace laces {
+
+ShardedLoop::ShardedLoop(EventQueue& shard0, std::size_t shards,
+                         SimDuration epoch,
+                         std::function<void(std::size_t)> thread_init)
+    : epoch_(epoch), thread_init_(std::move(thread_init)) {
+  expects(shards >= 1 && shards <= 64, "1..64 shards");
+  expects(epoch.ns() > 0, "positive epoch (lookahead)");
+  queues_.reserve(shards);
+  queues_.push_back(&shard0);
+  for (std::size_t i = 1; i < shards; ++i) {
+    owned_.push_back(std::make_unique<EventQueue>());
+    queues_.push_back(owned_.back().get());
+  }
+  outboxes_.resize(shards * shards);
+  if (shards > 1) start_workers();
+}
+
+ShardedLoop::~ShardedLoop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+EventQueue& ShardedLoop::queue(std::size_t shard) {
+  expects(shard < queues_.size(), "valid shard");
+  return *queues_[shard];
+}
+
+void ShardedLoop::post(std::size_t src, std::size_t dst, SimTime at,
+                       EventQueue::Callback cb) {
+  expects(src < queues_.size() && dst < queues_.size(), "valid shard pair");
+  Outbox& box = outbox(src, dst);
+  box.messages.push_back(
+      Message{at, box.next_seq++, kInvalidEventId, std::move(cb)});
+}
+
+void ShardedLoop::post_cancel(std::size_t src, std::size_t dst, EventId id) {
+  expects(src < queues_.size() && dst < queues_.size(), "valid shard pair");
+  Outbox& box = outbox(src, dst);
+  box.messages.push_back(Message{SimTime::epoch(), box.next_seq++, id, {}});
+}
+
+void ShardedLoop::merge_mailboxes() {
+  const std::size_t n = queues_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    // Gather this destination's column. Cancels apply first (they name
+    // events scheduled in earlier epochs); schedules then land in the
+    // canonical (at, src, seq) order, so the FIFO sequence numbers the
+    // destination queue assigns — and therefore its pop order — are a pure
+    // function of simulated history.
+    merge_scratch_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      Outbox& box = outbox(src, dst);
+      for (auto& m : box.messages) {
+        merge_scratch_.push_back(Pending{src, &m});
+      }
+    }
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const Pending& a, const Pending& b) {
+                if (a.msg->at != b.msg->at) return a.msg->at < b.msg->at;
+                if (a.src != b.src) return a.src < b.src;
+                return a.msg->seq < b.msg->seq;
+              });
+    EventQueue& q = *queues_[dst];
+    for (const Pending& p : merge_scratch_) {
+      if (p.msg->cancel_id != kInvalidEventId) {
+        q.cancel(p.msg->cancel_id);
+        ++cross_shard_cancels_;
+        continue;
+      }
+      expects(p.msg->at >= merge_floor_,
+              "cross-shard post violates the epoch lookahead");
+      q.schedule_at(p.msg->at, std::move(p.msg->cb));
+      ++cross_shard_events_;
+    }
+    for (std::size_t src = 0; src < n; ++src) {
+      outbox(src, dst).messages.clear();
+    }
+  }
+}
+
+std::size_t ShardedLoop::run() {
+  if (queues_.size() == 1) {
+    // Degenerate mode: exactly the sequential loop.
+    return queues_[0]->run();
+  }
+
+  std::size_t executed = 0;
+  for (;;) {
+    merge_mailboxes();
+
+    SimTime m = kSimTimeMax;
+    for (EventQueue* q : queues_) {
+      m = std::min(m, q->next_event_time());
+    }
+    if (m == kSimTimeMax) break;  // all queues and outboxes drained
+
+    const SimTime end = m + epoch_;
+    merge_floor_ = end;
+    ++epochs_;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      window_end_ = end;
+      running_ = queues_.size() - 1;
+      ++epoch_signal_;
+    }
+    wake_cv_.notify_all();
+
+    executed += queues_[0]->run_window(end);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto stall_from = std::chrono::steady_clock::now();
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    barrier_stall_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - stall_from)
+            .count());
+    executed += worker_executed_;
+    worker_executed_ = 0;
+  }
+  return executed;
+}
+
+std::size_t ShardedLoop::pending() const {
+  std::size_t n = 0;
+  for (const EventQueue* q : queues_) n += q->pending();
+  return n;
+}
+
+std::size_t ShardedLoop::pending_live() const {
+  std::size_t n = 0;
+  for (const EventQueue* q : queues_) n += q->pending_live();
+  return n;
+}
+
+void ShardedLoop::start_workers() {
+  worker_seen_.assign(queues_.size(), 0);
+  workers_.reserve(queues_.size() - 1);
+  for (std::size_t shard = 1; shard < queues_.size(); ++shard) {
+    workers_.emplace_back([this, shard] { worker_main(shard); });
+  }
+}
+
+void ShardedLoop::worker_main(std::size_t shard) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Sequenced per-thread init: shard 1 first, then 2, ... so any state a
+  // caller registers per thread (flight-recorder rings) gets deterministic
+  // ids regardless of which thread the OS happens to start first.
+  init_cv_.wait(lock, [this, shard] { return init_turn_ == shard; });
+  if (thread_init_) {
+    lock.unlock();
+    thread_init_(shard);
+    lock.lock();
+  }
+  ++init_turn_;
+  init_cv_.notify_all();
+  for (;;) {
+    wake_cv_.wait(lock, [this, shard] {
+      return stop_ || epoch_signal_ > worker_seen_[shard];
+    });
+    if (stop_) return;
+    worker_seen_[shard] = epoch_signal_;
+    const SimTime end = window_end_;
+    lock.unlock();
+    const std::size_t n = queues_[shard]->run_window(end);
+    lock.lock();
+    worker_executed_ += n;
+    if (--running_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace laces

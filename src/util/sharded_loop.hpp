@@ -1,0 +1,149 @@
+// Deterministic parallel event loop: conservative barrier-epoch PDES.
+//
+// S event queues ("shards") advance together through bounded time epochs.
+// Every epoch the loop finds the globally earliest pending event time m and
+// lets each shard execute its events in [m, m + E) on its own thread, where
+// E (the epoch length) equals the minimum cross-shard latency of the model
+// — the classical conservative lookahead. Work crossing shards is never
+// scheduled directly on a foreign queue; it is posted into a per-(src, dst)
+// outbox and merged at the next barrier in the canonical order
+//
+//     (at, src_shard, issue_seq)
+//
+// which is a pure function of simulated history, not thread timing. Posts
+// must carry `at >= issue_time + E` (asserted at merge): combined with the
+// window bound this guarantees a merged event can never land in the
+// receiving shard's past, so executing shards in parallel is
+// indistinguishable from a sequential run — the property the 1/2/4/8-shard
+// byte-identity tests pin down. With one shard the loop degenerates to
+// EventQueue::run() exactly.
+//
+// Threading model: shard 0 runs on the caller's thread (it owns the
+// control plane in SimNetwork's use), shards 1..S-1 on persistent worker
+// threads woken per epoch through one mutex/condvar pair. Outboxes are
+// plain vectors: a worker only touches its own row during a window, and
+// the barrier's mutex hand-off sequences the main thread's merge against
+// all worker writes (TSan-clean by construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/event_queue.hpp"
+
+namespace laces {
+
+class ShardedLoop {
+ public:
+  /// `shard0` is the caller-owned queue that becomes shard 0; `shards - 1`
+  /// additional queues (and worker threads) are created here. `epoch` is
+  /// the conservative lookahead E: every cross-shard post must be
+  /// timestamped at least E after its issue time. `thread_init`, if set,
+  /// runs once on each worker thread in ascending shard order (1, 2, ...)
+  /// before any epoch — callers use it to register per-thread telemetry
+  /// state (flight-recorder rings) in a deterministic order.
+  ShardedLoop(EventQueue& shard0, std::size_t shards, SimDuration epoch,
+              std::function<void(std::size_t shard)> thread_init = {});
+  ~ShardedLoop();
+
+  ShardedLoop(const ShardedLoop&) = delete;
+  ShardedLoop& operator=(const ShardedLoop&) = delete;
+
+  std::size_t shards() const { return queues_.size(); }
+  SimDuration epoch() const { return epoch_; }
+
+  /// The shard's event queue. Outside run(), any shard's queue may be
+  /// inspected from the driving thread; during run(), shard k's queue must
+  /// only be touched by code executing on shard k.
+  EventQueue& queue(std::size_t shard);
+
+  /// Post a callback from code running on shard `src` to run on shard
+  /// `dst` at absolute time `at` (>= issue time + epoch, asserted at the
+  /// merge). Delivery order is canonical: (at, src, per-pair issue seq).
+  void post(std::size_t src, std::size_t dst, SimTime at,
+            EventQueue::Callback cb);
+
+  /// Post a cancellation of an event previously scheduled on shard `dst`
+  /// (its id was carried back across shards). Applied at the next barrier,
+  /// before that epoch's schedules.
+  void post_cancel(std::size_t src, std::size_t dst, EventId id);
+
+  /// Run epochs until every shard queue and outbox drains. Returns total
+  /// events executed across shards. Deterministic for a given schedule of
+  /// events and posts, independent of thread timing.
+  std::size_t run();
+
+  // --- accounting (valid between run() calls) ---
+  /// Sum of pending / pending_live over all shard queues.
+  std::size_t pending() const;
+  std::size_t pending_live() const;
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t cross_shard_events() const { return cross_shard_events_; }
+  std::uint64_t cross_shard_cancels() const { return cross_shard_cancels_; }
+  /// Wall time the driving thread spent blocked at epoch barriers.
+  std::uint64_t barrier_stall_ns() const { return barrier_stall_ns_; }
+
+ private:
+  struct Message {
+    SimTime at;
+    std::uint64_t seq = 0;  // per-(src, dst) issue order
+    EventId cancel_id = kInvalidEventId;
+    EventQueue::Callback cb;
+  };
+  /// One direction of a shard pair: written only by src's thread during a
+  /// window, drained only by the main thread at the barrier.
+  struct Outbox {
+    std::vector<Message> messages;
+    std::uint64_t next_seq = 0;
+  };
+
+  /// A message waiting to merge, tagged with its source shard (the merge
+  /// comparator's tiebreak between equal timestamps).
+  struct Pending {
+    std::size_t src = 0;
+    Message* msg = nullptr;
+  };
+
+  Outbox& outbox(std::size_t src, std::size_t dst) {
+    return outboxes_[src * queues_.size() + dst];
+  }
+  void merge_mailboxes();
+  void start_workers();
+  void worker_main(std::size_t shard);
+
+  const SimDuration epoch_;
+  std::vector<EventQueue*> queues_;  // [0] borrowed, rest owned below
+  std::vector<std::unique_ptr<EventQueue>> owned_;
+  std::vector<Outbox> outboxes_;  // S x S, row-major [src][dst]
+  std::vector<Pending> merge_scratch_;
+  /// Earliest admissible timestamp for the next merge: the previous
+  /// window's end. Posts below it would mean the lookahead was violated.
+  SimTime merge_floor_ = SimTime::epoch();
+
+  // Epoch hand-off (workers sleep between epochs and between runs).
+  std::function<void(std::size_t)> thread_init_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::condition_variable init_cv_;
+  std::size_t init_turn_ = 1;  // next shard allowed to run thread_init_
+  std::vector<std::thread> workers_;
+  std::vector<std::uint64_t> worker_seen_;  // last epoch signal each handled
+  std::uint64_t epoch_signal_ = 0;
+  SimTime window_end_ = SimTime::epoch();
+  std::size_t running_ = 0;
+  std::size_t worker_executed_ = 0;
+  bool stop_ = false;
+
+  std::uint64_t epochs_ = 0;
+  std::uint64_t cross_shard_events_ = 0;
+  std::uint64_t cross_shard_cancels_ = 0;
+  std::uint64_t barrier_stall_ns_ = 0;
+};
+
+}  // namespace laces

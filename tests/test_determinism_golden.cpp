@@ -32,19 +32,20 @@ namespace laces::census {
 namespace {
 
 /// Census CSV digest (updates when measurement behaviour changes — last:
-/// SimNetwork day-scopes its per-flow ECMP counters and loss salt, so each
-/// census day is a pure function of (world, day, carried state), the
-/// invariant laces_store checkpoint/resume depends on).
+/// per-packet loss/jitter salts became pure functions of packet identity
+/// (day, flow hash, per-flow counter) instead of a global send counter, the
+/// partition-invariance property the sharded event loop's byte-identical
+/// guarantee rests on).
 constexpr const char* kCensusDigest =
-    "d1888d806a5e5daa2bc1eeaa5bdcf85615a1cafc7981dab60b6a1c3a571486ec";
+    "0323fe22fa8ee449c2ec90ec520690fa7c469788d733dac658e93bdaa2595f72";
 /// Prometheus metrics digest (updates when the metric surface changes —
-/// last: day-scoped network flow state shifted the RTT-derived buckets).
+/// last: identity-based packet salts shifted the RTT-derived buckets).
 constexpr const char* kMetricsDigest =
-    "4731e488ab4d4ab96374028247d58bdc278b412499277e14ebefb393414f1176";
+    "0bc14608db1123065b21dd0cf13b00697576aa9c8e6fa6f26891b0b49c1f0079";
 /// Trace JSONL digest (updates with measurement behaviour; see
 /// kCensusDigest).
 constexpr const char* kTraceDigest =
-    "3a4289878abfd29e41b9a18efd095428355042f39e5fe9d71f651aa794c50f3a";
+    "a9b5240ea76cfe29a665482643fd88587ca51b043e4cb42c97b621310a5ddd8a";
 
 struct GoldenRun {
   std::string census_csv;   // render_census for both days, concatenated

@@ -1,0 +1,183 @@
+// Shard-count equivalence: the parallel simulator must be a pure
+// performance lever. For one seed, running the census on 1, 2, 4 and 8
+// event-loop shards must produce byte-identical census CSV, trace JSONL
+// and archive segment files — and a chaos-plan subset must replay with
+// identical result digests. Only the *metrics* export may differ across
+// shard counts (per-shard routing caches legitimately change hit/miss
+// counters), which is why it is not compared here.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "census/output.hpp"
+#include "census/pipeline.hpp"
+#include "core/session.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "hitlist/hitlist.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "platform/platform.hpp"
+#include "store/archive.hpp"
+#include "support.hpp"
+#include "util/rng.hpp"
+
+namespace laces::census {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CensusRun {
+  std::string census_csv;
+  std::string trace_jsonl;
+  std::uint64_t responses = 0;
+};
+
+/// A fixed-seed two-day census on `shards` event-loop shards, optionally
+/// archiving each day under `archive_dir`.
+CensusRun run_census(std::size_t shards, const fs::path& archive_dir = {}) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+
+  const auto& world = laces::testing::shared_tiny_world();
+  EventQueue events;
+  topo::SimNetwork network(world, events);
+  if (shards > 1) network.enable_sharding(shards);
+  core::Session session(network, platform::make_production_deployment(world));
+  PipelineConfig config;
+  config.targets_per_second = 50000;
+  Pipeline pipeline(network, session, platform::make_ark(world, 20, 0xa),
+                    platform::make_ark(world, 12, 0xb), config);
+
+  std::optional<store::ArchiveWriter> archive;
+  if (!archive_dir.empty()) archive.emplace(archive_dir);
+
+  CensusRun out;
+  for (std::uint32_t day = 1; day <= 2; ++day) {
+    const auto census = pipeline.run_day(day);
+    out.census_csv += render_census(census);
+    if (archive) archive->append(census);
+  }
+  out.trace_jsonl = obs::trace_to_jsonl(obs::Tracer::global().snapshot());
+  out.responses = network.responses_generated();
+  return out;
+}
+
+TEST(ShardedDeterminism, CensusAndTraceBytesIdenticalAtAnyShardCount) {
+  const auto baseline = run_census(1);
+  ASSERT_FALSE(baseline.census_csv.empty());
+  ASSERT_FALSE(baseline.trace_jsonl.empty());
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const auto sharded = run_census(shards);
+    EXPECT_EQ(sharded.census_csv, baseline.census_csv);
+    EXPECT_EQ(sharded.trace_jsonl, baseline.trace_jsonl);
+    EXPECT_EQ(sharded.responses, baseline.responses);
+  }
+}
+
+/// Every regular file under `dir`, relative path -> contents.
+std::map<std::string, std::string> read_tree(const fs::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    files.emplace(fs::relative(entry.path(), dir).string(),
+                  std::move(bytes));
+  }
+  return files;
+}
+
+TEST(ShardedDeterminism, ArchiveSegmentsIdenticalAcrossShardCounts) {
+  const fs::path base =
+      fs::temp_directory_path() / "laces_sharded_archive_eq";
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  run_census(1, base / "s1");
+  const auto golden = read_tree(base / "s1");
+  ASSERT_FALSE(golden.empty());
+  for (const std::size_t shards : {2u, 8u}) {
+    const fs::path dir = base / ("s" + std::to_string(shards));
+    run_census(shards, dir);
+    const auto tree = read_tree(dir);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ASSERT_EQ(tree.size(), golden.size());
+    for (const auto& [name, bytes] : golden) {
+      const auto it = tree.find(name);
+      ASSERT_NE(it, tree.end()) << name << " missing";
+      EXPECT_EQ(it->second, bytes) << name << " differs";
+    }
+  }
+  fs::remove_all(base);
+}
+
+std::uint64_t results_digest(const core::MeasurementResults& results) {
+  StableHash h(0xc4a05);
+  h.mix(static_cast<std::uint64_t>(results.status));
+  h.mix(results.probes_sent);
+  for (const auto& rec : results.records) {
+    h.mix(net::hash_value(rec.target));
+    h.mix(static_cast<std::uint64_t>(rec.rx_worker));
+    h.mix(rec.tx_worker ? static_cast<std::uint64_t>(*rec.tx_worker) + 1 : 0);
+    h.mix(static_cast<std::uint64_t>(rec.rx_time.ns()));
+  }
+  return h.value();
+}
+
+/// One faulted measurement on `shards` shards; the fault plane lives
+/// entirely on shard 0, so chaos runs must shard-partition cleanly too.
+std::uint64_t run_chaos_plan(const fault::FaultPlan& plan,
+                             std::size_t shards) {
+  EventQueue events;
+  topo::NetworkConfig cfg;
+  cfg.loss = 0.0;
+  topo::SimNetwork network(laces::testing::shared_small_world(), events, cfg);
+  network.set_day(1);
+  if (shards > 1) network.enable_sharding(shards);
+  const auto platform = platform::make_production_deployment(
+      laces::testing::shared_small_world());
+  core::Session session(network, platform);
+  fault::FaultInjector injector(plan);
+  injector.install(session);
+
+  core::MeasurementSpec spec;
+  spec.id = 77;
+  spec.targets_per_second = 2000;
+  spec.worker_offset = SimDuration::millis(250);
+  spec.deadline = SimDuration::seconds(60);
+  const auto targets =
+      hitlist::build_ping_hitlist(laces::testing::shared_small_world(),
+                                  net::IpVersion::kV4)
+          .head(150)
+          .addresses();
+  session.submit(spec, targets);
+  network.run_events();
+  return results_digest(session.cli().results());
+}
+
+TEST(ShardedDeterminism, ChaosPlansReplayIdenticallyWhenSharded) {
+  fault::GenerateOptions opts;
+  opts.sites = 32;
+  opts.horizon = SimDuration::seconds(10);
+  opts.min_events = 1;
+  opts.max_events = 5;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto plan = fault::FaultPlan::generate(seed, opts);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan:\n" +
+                 plan.describe());
+    const auto sequential = run_chaos_plan(plan, 1);
+    EXPECT_EQ(run_chaos_plan(plan, 4), sequential);
+  }
+}
+
+}  // namespace
+}  // namespace laces::census

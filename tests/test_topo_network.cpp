@@ -189,7 +189,11 @@ TEST_F(NetworkTest, WithdrawnSiteCatchmentMovesToSurvivors) {
   EXPECT_EQ(a_count + b_count, 1u);
 
   // Withdraw whichever won; the survivor absorbs the catchment (R5).
+  // Step past the ICMP rate-limit window first so the second probe's
+  // response never rides on a rate-limit dice roll.
   network().detach(iface_a);
+  events_.schedule_at(events_.now() + SimDuration::millis(10), [] {});
+  events_.run();
   network().send(icmp_probe(kMeasureAddr, target->address, 1), near_home);
   events_.run();
   EXPECT_EQ(b_count + a_count, 2u);

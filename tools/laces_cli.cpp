@@ -111,6 +111,12 @@ topo::WorldConfig world_config(const Args& args) {
     cfg.v6_backing_anycast /= s;
     cfg.as_graph.stub_count /= s;
   }
+  // --world-scale multiplies the unicast/unresponsive bulk via
+  // prefix-aggregated groups (WorldConfig::scale) — the opposite lever from
+  // the --scale shrink divisor above; 1 (default) is byte-identical to the
+  // historical generator.
+  cfg.scale = static_cast<std::size_t>(
+      std::max(args.get_int("world-scale", 1), 1L));
   return cfg;
 }
 
@@ -144,6 +150,12 @@ int cmd_census(const Args& args) {
   const auto world = topo::World::generate(world_config(args));
   EventQueue events;
   topo::SimNetwork network(world, events);
+  // --sim-threads N runs the simulator on N event-loop shards (target-side
+  // processing parallelised; outputs stay byte-identical to --sim-threads 1).
+  const long sim_threads = args.get_int("sim-threads", 1);
+  if (sim_threads > 1) {
+    network.enable_sharding(static_cast<std::size_t>(sim_threads));
+  }
   core::Session session(network, platform::make_production_deployment(world));
 
   // Flight recorder: always on, bounded memory. The signal path means a
@@ -230,7 +242,7 @@ int cmd_census(const Args& args) {
         // so draining one no-op parked at the checkpointed time advances
         // the queue exactly there.
         events.schedule_at(SimTime(cp.sim_time_ns), [] {});
-        events.run();
+        network.run_events();
         pipeline.restore_state(cp.pipeline);
         for (std::size_t i = 0;
              i < cp.worker_rng.size() && i < session.worker_count(); ++i) {
@@ -984,6 +996,7 @@ void usage() {
                "bench-serve|stat|flightrec> [options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
+               "             --sim-threads N --world-scale K\n"
                "             --metrics-out FILE --trace-out FILE --canary\n"
                "             --faults 'SPEC|random' --fault-seed N\n"
                "             (SPEC: 'kind@start[+dur][:site=N|all|cli,p=X,"
