@@ -119,6 +119,52 @@ std::vector<net::Prefix> LongitudinalStore::intermittent_gcd() const {
   return intermittent_of(gcd_days_, days_);
 }
 
+std::optional<std::string> LongitudinalStore::check_invariants() const {
+  const auto check = [this](const char* method, const CountMap& counts,
+                            std::uint64_t total, std::size_t every_day,
+                            const StabilityStats& incremental,
+                            const StabilityStats& truth)
+      -> std::optional<std::string> {
+    if (incremental != truth) {
+      return std::string(method) +
+             ": incremental stability diverged from recompute (every_day " +
+             std::to_string(incremental.every_day) + " vs " +
+             std::to_string(truth.every_day) + ")";
+    }
+    if (every_day > counts.size()) {
+      return std::string(method) + ": every_day " +
+             std::to_string(every_day) + " exceeds union " +
+             std::to_string(counts.size());
+    }
+    std::uint64_t sum = 0;
+    for (const auto& [prefix, n] : counts) {
+      if (n > days_) {
+        return std::string(method) + ": prefix counted " + std::to_string(n) +
+               " times over " + std::to_string(days_) +
+               " healthy days (degraded day leaked into a denominator)";
+      }
+      sum += n;
+    }
+    if (sum != total) {
+      return std::string(method) + ": total " + std::to_string(total) +
+             " != per-prefix sum " + std::to_string(sum);
+    }
+    if (days_ == 0 && !counts.empty()) {
+      return std::string(method) + ": detections recorded with zero healthy "
+                                   "days";
+    }
+    return std::nullopt;
+  };
+
+  if (auto bad = check("anycast", anycast_days_, anycast_total_,
+                       anycast_every_day_, anycast_based_stability(),
+                       recompute_anycast_based_stability())) {
+    return bad;
+  }
+  return check("gcd", gcd_days_, gcd_total_, gcd_every_day_, gcd_stability(),
+               recompute_gcd_stability());
+}
+
 LongitudinalSnapshot LongitudinalStore::snapshot() const {
   LongitudinalSnapshot snap;
   snap.days = days_;

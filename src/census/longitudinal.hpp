@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -80,6 +82,15 @@ class LongitudinalStore {
   /// Prefixes detected on some but not all days, per method (sorted).
   std::vector<net::Prefix> intermittent_anycast_based() const;
   std::vector<net::Prefix> intermittent_gcd() const;
+
+  /// Denominator self-check (the scenario fuzzer's census invariant):
+  /// verifies the O(1) incremental stability counters against the
+  /// recompute_* ground truth and basic accounting sanity (every-day
+  /// streaks bounded by the union, per-prefix counts bounded by healthy
+  /// days, totals equal to the count sums — degraded days must never leak
+  /// into any denominator). Returns nullopt when consistent, else a
+  /// one-line description of the first violation.
+  std::optional<std::string> check_invariants() const;
 
   /// Deterministic (sorted) dump of the full state, for checkpointing.
   LongitudinalSnapshot snapshot() const;

@@ -311,8 +311,22 @@ void Orchestrator::begin_run() {
     count = std::min(count, run.spec.max_participants);
   }
   for (auto& w : workers_) w->participating = false;
+  // Assign participant slots in worker-id order, not connection order. A
+  // reconnected worker's conn sits at the back of workers_ while its id is
+  // taken over from the dead conn — the probing schedule must be a function
+  // of the live worker set, never of how often a worker reconnected (a
+  // checkpointed series resumed in a fresh process has no reconnect
+  // history, and resume must stay byte-identical).
+  std::vector<WorkerConn*> eligible;
   for (auto& w : workers_) {
-    if (!w->alive || !w->registered || index >= count) continue;
+    if (w->alive && w->registered) eligible.push_back(w.get());
+  }
+  std::sort(eligible.begin(), eligible.end(),
+            [](const WorkerConn* a, const WorkerConn* b) {
+              return a->id < b->id;
+            });
+  for (WorkerConn* w : eligible) {
+    if (index >= count) break;
     w->participating = true;
     w->done = false;
     w->participant_index = index;

@@ -66,6 +66,26 @@ class Session {
   /// its last acked chunk.
   void reconnect_worker(std::size_t index);
 
+  // --- scenario availability regimes (forwarded to Worker) ---
+  void set_worker_capability_mask(std::size_t index, std::uint8_t mask) {
+    workers_[index]->set_capability_mask(mask);
+  }
+  void set_worker_throttle(std::size_t index, double skip_probability,
+                           std::uint64_t salt) {
+    workers_[index]->set_throttle(skip_probability, salt);
+  }
+  /// Clears every worker's throttle and capability mask (end of a
+  /// scenario day).
+  void clear_worker_limits() {
+    for (auto& w : workers_) w->clear_scenario_limits();
+  }
+  /// Probes suppressed by scenario throttling/skew, summed over workers.
+  std::uint64_t probes_suppressed() const {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) total += w->probes_suppressed();
+    return total;
+  }
+
  private:
   topo::SimNetwork& network_;
   platform::AnycastPlatform platform_;

@@ -153,11 +153,28 @@ void Worker::process_chunk(const TargetChunk& chunk) {
     const std::uint64_t generation = generation_;
     network_.events().schedule_at(when, [this, target, generation]() {
       if (generation != generation_ || !active_) return;
-      send_probe(target);
+      if (probe_allowed(target)) {
+        send_probe(target);
+      } else {
+        ++probes_suppressed_total_;
+      }
       --active_->scheduled_unsent;
       maybe_finish();
     });
   }
+}
+
+bool Worker::probe_allowed(const net::IpAddress& target) const {
+  const auto& spec = active_->start.spec;
+  const auto proto_bit =
+      std::uint8_t{1} << static_cast<std::uint8_t>(spec.protocol);
+  if ((capability_mask_ & proto_bit) == 0) return false;
+  if (throttle_skip_ <= 0.0) return true;
+  const double roll = StableHash(throttle_salt_)
+                          .mix(net::hash_value(target))
+                          .mix(std::uint64_t{spec.id})
+                          .unit();
+  return roll >= throttle_skip_;
 }
 
 void Worker::send_probe(const net::IpAddress& target) {

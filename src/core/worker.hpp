@@ -58,6 +58,27 @@ class Worker {
     rng_.set_state(s);
   }
 
+  // --- scenario availability regimes (laces_scenario) ---
+  //
+  // Version skew: a bit per net::Protocol ordinal; probes of masked-out
+  // protocols are suppressed (an old firmware that cannot send them).
+  // Throttling: each scheduled probe is independently suppressed with
+  // `skip_probability`, keyed on (salt, target, measurement) — pure packet
+  // identity, so suppression replays bit-for-bit at any shard count and
+  // across checkpoint/resume. Suppressed probes still count down
+  // `scheduled_unsent`, so the measurement completes normally with fewer
+  // packets (credit contention, not an outage). Defaults are exact no-ops.
+  void set_capability_mask(std::uint8_t mask) { capability_mask_ = mask; }
+  void set_throttle(double skip_probability, std::uint64_t salt) {
+    throttle_skip_ = skip_probability;
+    throttle_salt_ = salt;
+  }
+  void clear_scenario_limits() {
+    capability_mask_ = 0xff;
+    throttle_skip_ = 0.0;
+  }
+  std::uint64_t probes_suppressed() const { return probes_suppressed_total_; }
+
  private:
   struct Active {
     StartMeasurement start;
@@ -98,6 +119,7 @@ class Worker {
   void send_ack();
   void arm_heartbeat();
   void send_probe(const net::IpAddress& target);
+  bool probe_allowed(const net::IpAddress& target) const;
   void on_datagram(const net::Datagram& datagram, SimTime rx_time);
   void flush_results(bool force);
   void maybe_finish();
@@ -112,6 +134,10 @@ class Worker {
   std::unique_ptr<Active> active_;
   Rng rng_;
   std::uint64_t probes_sent_total_ = 0;
+  std::uint8_t capability_mask_ = 0xff;
+  double throttle_skip_ = 0.0;
+  std::uint64_t throttle_salt_ = 0;
+  std::uint64_t probes_suppressed_total_ = 0;
   std::uint64_t generation_ = 0;  // invalidates scheduled probes on teardown
   /// Monotonic across measurements AND reconnects, so the CLI can discard
   /// duplicated ResultBatch frames without dropping real records.

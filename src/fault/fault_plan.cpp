@@ -21,12 +21,44 @@ bool is_worker_lifecycle(FaultKind kind) {
          kind == FaultKind::kCrashRestartWorker;
 }
 
-[[noreturn]] void bad_spec(const std::string& what) {
-  throw std::invalid_argument("fault spec: " + what);
+}  // namespace
+
+std::pair<std::size_t, std::size_t> spec_position(std::string_view full,
+                                                  std::string_view token) {
+  // Only meaningful when `token` points into `full` (every parser below
+  // slices without copying, so it always does); 1:1 otherwise.
+  std::size_t line = 1, column = 1;
+  if (token.data() >= full.data() &&
+      token.data() <= full.data() + full.size()) {
+    const auto offset = static_cast<std::size_t>(token.data() - full.data());
+    for (std::size_t i = 0; i < offset; ++i) {
+      if (full[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  }
+  return {line, column};
+}
+
+namespace {
+
+/// Parse errors carry the offending token's line:column within the full
+/// spec, like the store's line-numbered manifest errors — hand-written
+/// multi-line plans point at the exact clause that is wrong.
+[[noreturn]] void bad_spec(const char* context, std::string_view full,
+                           std::string_view token, const std::string& what) {
+  const auto [line, column] = spec_position(full, token);
+  throw std::invalid_argument(std::string(context) + ":" +
+                              std::to_string(line) + ":" +
+                              std::to_string(column) + ": " + what);
 }
 
 /// Parses `2.5s`, `300ms`, `1500000ns`.
-SimDuration parse_dur(std::string_view s) {
+SimDuration parse_dur(const char* context, std::string_view full,
+                      std::string_view s) {
   double scale = 0.0;
   std::string_view digits;
   if (s.ends_with("ns")) {
@@ -39,7 +71,8 @@ SimDuration parse_dur(std::string_view s) {
     scale = 1e9;
     digits = s.substr(0, s.size() - 1);
   } else {
-    bad_spec("duration needs a ns/ms/s suffix: '" + std::string(s) + "'");
+    bad_spec(context, full, s,
+             "duration needs a ns/ms/s suffix: '" + std::string(s) + "'");
   }
   try {
     std::size_t used = 0;
@@ -47,15 +80,19 @@ SimDuration parse_dur(std::string_view s) {
     if (used != digits.size() || v < 0) throw std::invalid_argument("");
     return SimDuration(static_cast<std::int64_t>(std::llround(v * scale)));
   } catch (const std::exception&) {
-    bad_spec("bad duration '" + std::string(s) + "'");
+    bad_spec(context, full, s, "bad duration '" + std::string(s) + "'");
   }
 }
 
 std::string format_ns(std::int64_t ns) { return std::to_string(ns) + "ns"; }
 
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
 std::string_view trim(std::string_view s) {
-  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
-  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
   return s;
 }
 
@@ -148,85 +185,108 @@ FaultPlan FaultPlan::generate(std::uint64_t seed,
   return plan;
 }
 
+SimDuration parse_spec_duration(std::string_view full, std::string_view token,
+                                const char* context) {
+  return parse_dur(context, full, token);
+}
+
+FaultEvent parse_fault_event(std::string_view full, std::string_view clause,
+                             const char* context) {
+  const std::string_view part = trim(clause);
+
+  const std::size_t at_pos = part.find('@');
+  if (at_pos == std::string_view::npos) {
+    bad_spec(context, full, part, "missing '@' in event");
+  }
+  const auto kind = kind_from_string(trim(part.substr(0, at_pos)));
+  if (!kind) {
+    bad_spec(context, full, part,
+             "unknown kind '" + std::string(part.substr(0, at_pos)) + "'");
+  }
+
+  FaultEvent ev;
+  ev.kind = *kind;
+  std::string_view rest = part.substr(at_pos + 1);
+  std::string_view times = rest;
+  std::string_view params;
+  if (const std::size_t colon = rest.find(':');
+      colon != std::string_view::npos) {
+    times = rest.substr(0, colon);
+    params = rest.substr(colon + 1);
+  }
+  std::string_view start = times;
+  if (const std::size_t plus = times.find('+');
+      plus != std::string_view::npos) {
+    start = times.substr(0, plus);
+    ev.duration = parse_dur(context, full, trim(times.substr(plus + 1)));
+  }
+  ev.at = SimTime::epoch() + parse_dur(context, full, trim(start));
+
+  while (!params.empty()) {
+    const std::size_t comma = params.find(',');
+    std::string_view kv = trim(params.substr(0, comma));
+    params = comma == std::string_view::npos ? std::string_view{}
+                                             : params.substr(comma + 1);
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec(context, full, kv, "parameter needs '='");
+    }
+    const std::string_view key = trim(kv.substr(0, eq));
+    const std::string_view value = trim(kv.substr(eq + 1));
+    if (key == "site") {
+      if (value == "all") {
+        ev.site = kAllSites;
+      } else if (value == "cli") {
+        ev.site = kCliLink;
+      } else {
+        try {
+          ev.site = std::stoi(std::string(value));
+        } catch (const std::exception&) {
+          bad_spec(context, full, value, "bad site '" + std::string(value) +
+                                             "'");
+        }
+        if (ev.site < 0) {
+          bad_spec(context, full, value, "site index must be >= 0");
+        }
+      }
+    } else if (key == "p") {
+      try {
+        ev.probability = std::stod(std::string(value));
+      } catch (const std::exception&) {
+        bad_spec(context, full, value,
+                 "bad probability '" + std::string(value) + "'");
+      }
+      if (ev.probability < 0.0 || ev.probability > 1.0) {
+        bad_spec(context, full, value, "probability out of [0,1]");
+      }
+    } else if (key == "mag") {
+      ev.magnitude = parse_dur(context, full, value);
+    } else {
+      bad_spec(context, full, key,
+               "unknown parameter '" + std::string(key) + "'");
+    }
+  }
+
+  if (is_worker_lifecycle(ev.kind) && ev.site < 0) {
+    bad_spec(context, full, part, "crash/restart faults need site=<worker "
+                                  "index>");
+  }
+  return ev;
+}
+
 FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
   FaultPlan plan;
   plan.seed = seed;
 
-  while (!spec.empty()) {
-    const std::size_t semi = spec.find(';');
-    std::string_view part = trim(spec.substr(0, semi));
-    spec = semi == std::string_view::npos ? std::string_view{}
-                                          : spec.substr(semi + 1);
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view part = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
     if (part.empty()) continue;
-
-    const std::size_t at_pos = part.find('@');
-    if (at_pos == std::string_view::npos) bad_spec("missing '@' in event");
-    const auto kind = kind_from_string(trim(part.substr(0, at_pos)));
-    if (!kind) {
-      bad_spec("unknown kind '" + std::string(part.substr(0, at_pos)) + "'");
-    }
-
-    FaultEvent ev;
-    ev.kind = *kind;
-    std::string_view rest = part.substr(at_pos + 1);
-    std::string_view times = rest;
-    std::string_view params;
-    if (const std::size_t colon = rest.find(':');
-        colon != std::string_view::npos) {
-      times = rest.substr(0, colon);
-      params = rest.substr(colon + 1);
-    }
-    std::string_view start = times;
-    if (const std::size_t plus = times.find('+');
-        plus != std::string_view::npos) {
-      start = times.substr(0, plus);
-      ev.duration = parse_dur(trim(times.substr(plus + 1)));
-    }
-    ev.at = SimTime::epoch() + parse_dur(trim(start));
-
-    while (!params.empty()) {
-      const std::size_t comma = params.find(',');
-      std::string_view kv = trim(params.substr(0, comma));
-      params = comma == std::string_view::npos ? std::string_view{}
-                                               : params.substr(comma + 1);
-      if (kv.empty()) continue;
-      const std::size_t eq = kv.find('=');
-      if (eq == std::string_view::npos) bad_spec("parameter needs '='");
-      const std::string_view key = trim(kv.substr(0, eq));
-      const std::string_view value = trim(kv.substr(eq + 1));
-      if (key == "site") {
-        if (value == "all") {
-          ev.site = kAllSites;
-        } else if (value == "cli") {
-          ev.site = kCliLink;
-        } else {
-          try {
-            ev.site = std::stoi(std::string(value));
-          } catch (const std::exception&) {
-            bad_spec("bad site '" + std::string(value) + "'");
-          }
-          if (ev.site < 0) bad_spec("site index must be >= 0");
-        }
-      } else if (key == "p") {
-        try {
-          ev.probability = std::stod(std::string(value));
-        } catch (const std::exception&) {
-          bad_spec("bad probability '" + std::string(value) + "'");
-        }
-        if (ev.probability < 0.0 || ev.probability > 1.0) {
-          bad_spec("probability out of [0,1]");
-        }
-      } else if (key == "mag") {
-        ev.magnitude = parse_dur(value);
-      } else {
-        bad_spec("unknown parameter '" + std::string(key) + "'");
-      }
-    }
-
-    if (is_worker_lifecycle(ev.kind) && ev.site < 0) {
-      bad_spec("crash/restart faults need site=<worker index>");
-    }
-    plan.events.push_back(ev);
+    plan.events.push_back(parse_fault_event(spec, part));
   }
   return plan;
 }

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/simtime.hpp"
@@ -101,5 +102,23 @@ struct FaultPlan {
 
   bool operator==(const FaultPlan&) const = default;
 };
+
+/// 1-based (line, column) of `token` within `full`. `token` must be a
+/// slice of `full` (all spec parsers slice without copying); returns
+/// (1, 1) when it is not. Shared by the fault and scenario grammars so
+/// both report errors as "<context>:LINE:COL: <what>".
+std::pair<std::size_t, std::size_t> spec_position(std::string_view full,
+                                                  std::string_view token);
+
+/// Parses one `kind@start[+duration][:key=value,...]` clause. `clause`
+/// must be a slice of `full` so errors can carry line/column positions.
+/// Throws std::invalid_argument("<context>:LINE:COL: ...") on bad input.
+FaultEvent parse_fault_event(std::string_view full, std::string_view clause,
+                             const char* context = "fault spec");
+
+/// Parses a `2.5s` / `300ms` / `1500000ns` duration token (a slice of
+/// `full`), with positioned errors like parse_fault_event.
+SimDuration parse_spec_duration(std::string_view full, std::string_view token,
+                                const char* context = "fault spec");
 
 }  // namespace laces::fault

@@ -21,7 +21,8 @@ bool in_window(const FaultEvent& ev, SimTime now) {
 
 }  // namespace
 
-void FaultInjector::install(core::Session& session) {
+void FaultInjector::install(core::Session& session,
+                            SimTime skip_lifecycle_before) {
   session_ = &session;
   for (std::size_t i = 0; i < session.worker_count(); ++i) {
     hook_worker_link(i);
@@ -36,6 +37,7 @@ void FaultInjector::install(core::Session& session) {
       if (site < 0 || site >= static_cast<int>(session.worker_count())) {
         continue;
       }
+      if (ev.at < skip_lifecycle_before) continue;
       events.schedule_at(ev.at, [this, site]() {
         session_->worker(static_cast<std::size_t>(site)).disconnect();
         bump(FaultKind::kCrashWorker);
@@ -50,6 +52,7 @@ void FaultInjector::install(core::Session& session) {
       const SimTime when = ev.kind == FaultKind::kRestartWorker
                                ? ev.at
                                : ev.at + ev.duration;
+      if (when < skip_lifecycle_before) continue;
       events.schedule_at(when, [this, site]() {
         session_->reconnect_worker(static_cast<std::size_t>(site));
         hook_worker_link(static_cast<std::size_t>(site));  // fresh channels

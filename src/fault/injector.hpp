@@ -24,8 +24,16 @@ class FaultInjector {
 
   /// Hook the session's control links and schedule lifecycle faults. Call
   /// once, before driving measurements; the injector must outlive the
-  /// session's event processing.
-  void install(core::Session& session);
+  /// session's event processing. `skip_lifecycle_before` suppresses
+  /// crash/restart events strictly before that time — a resumed run
+  /// re-installs the injector but must not replay lifecycle faults that
+  /// already happened (and healed) before the checkpoint.
+  void install(core::Session& session,
+               SimTime skip_lifecycle_before = SimTime::epoch());
+
+  /// Re-arms the frame-fault filter on a worker link whose channels were
+  /// replaced (a scenario-driven reconnect creates fresh channels).
+  void rehook_worker_link(std::size_t index) { hook_worker_link(index); }
 
   const FaultPlan& plan() const { return plan_; }
 

@@ -147,6 +147,44 @@ std::string fault_section(const MetricsSnapshot& metrics) {
   return "Injected faults\n" + table.render();
 }
 
+/// Applied scenario regimes by kind, plus the churn/suppression gauges the
+/// ScenarioRunner publishes. Empty unless a scenario was installed (the
+/// laces_scenario_* metrics only exist then), so scenario-off reports are
+/// byte-identical to the historical format.
+std::string scenario_section(const MetricsSnapshot& metrics) {
+  TextTable table({"Scenario regime", "Applied"});
+  bool any = false;
+  for (const auto& sample : metrics.samples) {
+    if (sample.name != "laces_scenario_regimes_applied_total" ||
+        sample.value == 0.0) {
+      continue;
+    }
+    any = true;
+    table.add_row({label_of(sample, "regime"),
+                   with_commas(static_cast<std::int64_t>(sample.value))});
+  }
+  struct Extra {
+    const char* label;
+    const char* metric;
+  };
+  static constexpr Extra kExtras[] = {
+      {"worker outages", "laces_scenario_worker_outages_total"},
+      {"probes suppressed", "laces_scenario_probes_suppressed"},
+      {"catchment flips forced", "laces_scenario_overlay_flips"},
+      {"packets lost on path", "laces_scenario_overlay_path_lost"},
+      {"probes to withdrawn prefixes", "laces_scenario_overlay_withdrawn"},
+  };
+  for (const auto& extra : kExtras) {
+    const double value = metrics.value(extra.metric);
+    if (value == 0.0) continue;
+    any = true;
+    table.add_row({extra.label,
+                   with_commas(static_cast<std::int64_t>(value))});
+  }
+  if (!any) return "";
+  return "Scenario\n" + table.render();
+}
+
 /// Canary alarms: per (day, worker), baseline vs. observed catchment share.
 std::string canary_section(const MetricsSnapshot& metrics) {
   std::map<std::pair<std::string, std::string>, std::pair<double, double>>
@@ -346,7 +384,8 @@ std::string render_run_report(const MetricsSnapshot& metrics,
   for (const auto& section :
        {stage_section(spans), probe_section(metrics), rate_section(metrics),
         classification_section(metrics), control_plane_section(metrics),
-        fault_section(metrics), canary_section(metrics),
+        fault_section(metrics), scenario_section(metrics),
+        canary_section(metrics),
         archive_section(metrics), cache_section(metrics),
         parallelism_section(metrics), health_section(metrics)}) {
     if (!section.empty()) out += "\n" + section;

@@ -1,0 +1,227 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace laces::scenario {
+namespace {
+
+/// Exponential re-join delay with mean `mean`, from a unit roll. Capped at
+/// 5 means so one unlucky worker cannot stretch the tail of a storm
+/// unboundedly (it still fires within the day's drain either way).
+SimDuration exponential_delay(SimDuration mean, double unit) {
+  const double clamped = std::min(unit, 0.999999);
+  const double factor = std::min(-std::log(1.0 - clamped), 5.0);
+  return SimDuration(static_cast<std::int64_t>(
+      static_cast<double>(mean.ns()) * factor));
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(Scenario scenario, core::Session& session)
+    : scenario_(std::move(scenario)), session_(session) {
+  auto& registry = obs::Registry::global();
+  for (const RegimeKind kind :
+       {RegimeKind::kDiurnal, RegimeKind::kStorm, RegimeKind::kThrottle,
+        RegimeKind::kSkew, RegimeKind::kRouteFlip, RegimeKind::kPathLoss,
+        RegimeKind::kChurn}) {
+    applied_total_[static_cast<std::size_t>(kind)] =
+        &registry.counter("laces_scenario_regimes_applied_total",
+                          {{"regime", std::string(to_string(kind))}});
+  }
+  outages_counter_ = &registry.counter("laces_scenario_worker_outages_total");
+  suppressed_gauge_ = &registry.gauge("laces_scenario_probes_suppressed");
+  flips_gauge_ = &registry.gauge("laces_scenario_overlay_flips");
+  path_lost_gauge_ = &registry.gauge("laces_scenario_overlay_path_lost");
+  withdrawn_gauge_ = &registry.gauge("laces_scenario_overlay_withdrawn");
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  // Never leave a dangling overlay pointer on the network.
+  session_.network().set_day_overlay(nullptr);
+}
+
+void ScenarioRunner::install(SimTime skip_lifecycle_before) {
+  if (scenario_.faults.events.empty()) return;
+  injector_ = std::make_unique<fault::FaultInjector>(scenario_.faults);
+  injector_->install(session_, skip_lifecycle_before);
+  // Frame-fault rolls consume a per-injector frame counter, so a fault
+  // window still active at a checkpoint would replay differently after a
+  // resume (fresh injector, counter back at zero). Parking a no-op at each
+  // window's end forces the enclosing day's drain past the last active
+  // window — checkpoints then always sit in fault-quiet time.
+  auto& events = session_.network().events();
+  for (const auto& ev : scenario_.faults.events) {
+    if (ev.duration.ns() <= 0) continue;
+    events.schedule_at(ev.at + ev.duration + SimDuration::millis(1), [] {});
+  }
+}
+
+template <typename Fn>
+void ScenarioRunner::for_scoped_workers(int site, Fn&& fn) {
+  if (site == fault::kAllSites) {
+    for (std::size_t w = 0; w < session_.worker_count(); ++w) fn(w);
+  } else if (site >= 0 &&
+             site < static_cast<int>(session_.worker_count())) {
+    fn(static_cast<std::size_t>(site));
+  }
+}
+
+void ScenarioRunner::schedule_outage(std::size_t worker, SimTime down_at,
+                                     SimTime up_at) {
+  auto& events = session_.network().events();
+  events.schedule_at(down_at, [this, worker]() {
+    if (!session_.worker(worker).connected()) return;  // already down
+    session_.worker(worker).disconnect();
+    ++worker_outages_total_;
+    outages_counter_->add();
+  });
+  events.schedule_at(up_at, [this, worker]() {
+    if (session_.worker(worker).connected()) return;  // a fault beat us
+    session_.reconnect_worker(worker);
+    if (injector_) injector_->rehook_worker_link(worker);
+  });
+}
+
+void ScenarioRunner::begin_day(std::uint32_t day) {
+  const SimTime day_start = session_.network().now();
+
+  overlay_ = topo::DayOverlay{};
+  // Version-skew masks compose (a worker can miss several protocols);
+  // start from "everything enabled" and AND the skews in.
+  std::vector<std::uint8_t> masks(session_.worker_count(), 0xff);
+  bool limits_touched = false;
+
+  for (std::size_t i = 0; i < scenario_.regimes.size(); ++i) {
+    const Regime& regime = scenario_.regimes[i];
+    if (!regime.applies(day)) continue;
+    ++regimes_applied_total_;
+    applied_total_[static_cast<std::size_t>(regime.kind)]->add();
+
+    const std::uint64_t regime_salt = StableHash(scenario_.seed ^ 0x5ce9a)
+                                          .mix(std::uint64_t{day})
+                                          .mix(std::uint64_t{i})
+                                          .value();
+    // duration 0 means "the rest of the day": any horizon beyond the
+    // day's drain behaves identically, so one hour is plenty.
+    const SimDuration window = regime.duration.ns() > 0
+                                   ? regime.duration
+                                   : SimDuration::seconds(3600);
+
+    switch (regime.kind) {
+      case RegimeKind::kDiurnal: {
+        for_scoped_workers(regime.site, [&](std::size_t w) {
+          schedule_outage(w, day_start + regime.at,
+                          day_start + regime.at + window);
+        });
+        break;
+      }
+      case RegimeKind::kStorm: {
+        // Deterministic storm membership: rank workers by a day-keyed
+        // hash, hit the `count` smallest. Each victim drops with a small
+        // stable jitter and re-joins after an exponential delay — the
+        // trickle-back a real correlated outage shows.
+        std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+        ranked.reserve(session_.worker_count());
+        for (std::size_t w = 0; w < session_.worker_count(); ++w) {
+          ranked.emplace_back(
+              StableHash(regime_salt ^ 0x5702).mix(std::uint64_t{w}).value(),
+              w);
+        }
+        std::sort(ranked.begin(), ranked.end());
+        const std::size_t hit = std::min<std::size_t>(
+            static_cast<std::size_t>(std::max(regime.count, 1)),
+            ranked.size());
+        for (std::size_t k = 0; k < hit; ++k) {
+          const std::size_t w = ranked[k].second;
+          const double jitter_u =
+              StableHash(regime_salt ^ 0x5703).mix(std::uint64_t{w}).unit();
+          const double rejoin_u =
+              StableHash(regime_salt ^ 0x5704).mix(std::uint64_t{w}).unit();
+          const SimTime down = day_start + regime.at +
+                               SimDuration::from_seconds(jitter_u * 0.3);
+          const SimTime up =
+              down + SimDuration::millis(1) +
+              exponential_delay(regime.mag, rejoin_u);
+          schedule_outage(w, down, up);
+        }
+        break;
+      }
+      case RegimeKind::kThrottle: {
+        for_scoped_workers(regime.site, [&](std::size_t w) {
+          session_.set_worker_throttle(
+              w, regime.p,
+              StableHash(regime_salt ^ 0x7707).mix(std::uint64_t{w}).value());
+        });
+        limits_touched = true;
+        break;
+      }
+      case RegimeKind::kSkew: {
+        for_scoped_workers(regime.site, [&](std::size_t w) {
+          masks[w] &= static_cast<std::uint8_t>(~regime.proto_mask);
+        });
+        limits_touched = true;
+        break;
+      }
+      case RegimeKind::kRouteFlip: {
+        overlay_.route_flip.push_back(topo::OverlayWindow{
+            day_start + regime.at, day_start + regime.at + window,
+            regime.fraction, 1.0, regime_salt});
+        break;
+      }
+      case RegimeKind::kPathLoss: {
+        overlay_.path_loss.push_back(topo::OverlayWindow{
+            day_start + regime.at, day_start + regime.at + window,
+            regime.fraction, regime.p, regime_salt});
+        break;
+      }
+      case RegimeKind::kChurn: {
+        // Strongest churn wins when several overlap; target_withdrawn()
+        // keys on (salt, day, prefix), so membership reshuffles daily.
+        if (regime.fraction > overlay_.target_churn) {
+          overlay_.target_churn = regime.fraction;
+          overlay_.churn_salt = StableHash(scenario_.seed ^ 0xc417)
+                                    .mix(std::uint64_t{i})
+                                    .value();
+        }
+        break;
+      }
+    }
+  }
+
+  if (limits_touched) {
+    for (std::size_t w = 0; w < session_.worker_count(); ++w) {
+      if (masks[w] != 0xff) session_.set_worker_capability_mask(w, masks[w]);
+    }
+  }
+  session_.network().set_day_overlay(overlay_.empty() ? nullptr : &overlay_);
+}
+
+void ScenarioRunner::end_day() {
+  session_.network().set_day_overlay(nullptr);
+  session_.clear_worker_limits();
+  // Scheduled re-joins always fire within the day's drain (the queue runs
+  // dry before run_day returns), so this loop is a no-op unless a fault
+  // plan crashed a worker without restarting it — heal that too, so the
+  // post-day checkpoint state is connection-clean and resume-safe.
+  for (std::size_t w = 0; w < session_.worker_count(); ++w) {
+    if (session_.worker(w).connected()) continue;
+    session_.reconnect_worker(w);
+    if (injector_) injector_->rehook_worker_link(w);
+  }
+  publish_gauges();
+}
+
+void ScenarioRunner::publish_gauges() {
+  suppressed_gauge_->set(
+      static_cast<double>(session_.probes_suppressed()));
+  const auto& network = session_.network();
+  flips_gauge_->set(static_cast<double>(network.overlay_flips()));
+  path_lost_gauge_->set(static_cast<double>(network.overlay_path_lost()));
+  withdrawn_gauge_->set(static_cast<double>(network.overlay_withdrawn()));
+}
+
+}  // namespace laces::scenario

@@ -1,0 +1,80 @@
+// ScenarioRunner: applies a Scenario to a live census session, day by day.
+//
+// The runner is the bridge between the declarative Scenario grammar and
+// the moving parts it drives: the FaultInjector for control-plane faults,
+// the Session/Worker availability hooks for platform churn, and the
+// SimNetwork DayOverlay for data-plane regimes. Everything it schedules
+// is day-scoped — begin_day() arms the day's regimes relative to the
+// current sim clock, the day's event drain fires (and heals) all of them,
+// end_day() clears the rest — so a checkpoint written between days never
+// carries scenario state, and a resumed run that re-installs the runner
+// reproduces the uninterrupted byte stream exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/session.hpp"
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
+#include "topo/overlay.hpp"
+
+namespace laces::scenario {
+
+class ScenarioRunner {
+ public:
+  /// Registers the laces_scenario_* metrics — constructed only when a
+  /// scenario is active, so scenario-off runs keep their golden metric
+  /// surface byte-identical.
+  ScenarioRunner(Scenario scenario, core::Session& session);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Installs the scenario's fault plan (if any). On a resumed run pass
+  /// the restored clock so lifecycle faults that fired (and healed) before
+  /// the checkpoint are not replayed.
+  void install(SimTime skip_lifecycle_before = SimTime::epoch());
+
+  /// Arm the regimes applicable to `day`, relative to the current sim
+  /// clock. Call immediately before Pipeline::run_day(day).
+  void begin_day(std::uint32_t day);
+
+  /// Clear the day's overlay and worker limits and heal any worker still
+  /// down (defensive; scheduled re-joins always fire within the day's
+  /// drain). Call after run_day() returns, before the day's checkpoint.
+  void end_day();
+
+  const Scenario& scenario() const { return scenario_; }
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+  /// Regime applications so far (one per applicable regime per day).
+  std::uint64_t regimes_applied() const { return regimes_applied_total_; }
+  /// Scenario-driven worker disconnects so far (storms + diurnal windows).
+  std::uint64_t worker_outages() const { return worker_outages_total_; }
+
+ private:
+  /// Invoke `fn(worker_index)` for every worker in the regime's scope.
+  template <typename Fn>
+  void for_scoped_workers(int site, Fn&& fn);
+  /// Schedule a disconnect/reconnect pair for one worker.
+  void schedule_outage(std::size_t worker, SimTime down_at, SimTime up_at);
+  void publish_gauges();
+
+  Scenario scenario_;
+  core::Session& session_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  topo::DayOverlay overlay_;
+  std::uint64_t regimes_applied_total_ = 0;
+  std::uint64_t worker_outages_total_ = 0;
+
+  obs::Counter* applied_total_[7] = {};
+  obs::Counter* outages_counter_ = nullptr;
+  obs::Gauge* suppressed_gauge_ = nullptr;
+  obs::Gauge* flips_gauge_ = nullptr;
+  obs::Gauge* path_lost_gauge_ = nullptr;
+  obs::Gauge* withdrawn_gauge_ = nullptr;
+};
+
+}  // namespace laces::scenario

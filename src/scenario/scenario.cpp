@@ -1,0 +1,460 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "net/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace laces::scenario {
+namespace {
+
+constexpr RegimeKind kAllRegimeKinds[] = {
+    RegimeKind::kDiurnal,   RegimeKind::kStorm,    RegimeKind::kThrottle,
+    RegimeKind::kSkew,      RegimeKind::kRouteFlip, RegimeKind::kPathLoss,
+    RegimeKind::kChurn};
+
+constexpr const char* kContext = "scenario spec";
+
+[[noreturn]] void bad_spec(std::string_view full, std::string_view token,
+                           const std::string& what) {
+  const auto [line, column] = fault::spec_position(full, token);
+  throw std::invalid_argument(std::string(kContext) + ":" +
+                              std::to_string(line) + ":" +
+                              std::to_string(column) + ": " + what);
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+double parse_double(std::string_view full, std::string_view token,
+                    const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(token), &used);
+    if (used != token.size()) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    bad_spec(full, token,
+             std::string("bad ") + what + " '" + std::string(token) + "'");
+  }
+}
+
+long parse_long(std::string_view full, std::string_view token,
+                const char* what) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(std::string(token), &used);
+    if (used != token.size()) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    bad_spec(full, token,
+             std::string("bad ") + what + " '" + std::string(token) + "'");
+  }
+}
+
+/// `days=3`, `days=2-5`, `days=all`.
+void parse_days(std::string_view full, std::string_view value, Regime& regime) {
+  if (value == "all") {
+    regime.day_first = 1;
+    regime.day_last = kAllDays;
+    return;
+  }
+  std::string_view first = value;
+  std::string_view last = value;
+  if (const std::size_t dash = value.find('-');
+      dash != std::string_view::npos) {
+    first = value.substr(0, dash);
+    last = value.substr(dash + 1);
+  }
+  const long a = parse_long(full, first, "day");
+  const long b = parse_long(full, last, "day");
+  if (a < 1 || b < a) bad_spec(full, value, "days range must be 1 <= A <= B");
+  regime.day_first = static_cast<std::uint32_t>(a);
+  regime.day_last = static_cast<std::uint32_t>(b);
+}
+
+/// `proto=icmp+dns` — the protocols the skewed worker CANNOT send.
+std::uint8_t parse_proto_mask(std::string_view full, std::string_view value) {
+  std::uint8_t mask = 0;
+  std::string_view rest = value;
+  while (!rest.empty()) {
+    const std::size_t plus = rest.find('+');
+    const std::string_view name = trim(rest.substr(0, plus));
+    rest = plus == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(plus + 1);
+    if (name == "icmp") {
+      mask |= 1u << static_cast<std::uint8_t>(net::Protocol::kIcmp);
+    } else if (name == "tcp") {
+      mask |= 1u << static_cast<std::uint8_t>(net::Protocol::kTcp);
+    } else if (name == "dns") {
+      mask |= 1u << static_cast<std::uint8_t>(net::Protocol::kUdpDns);
+    } else {
+      bad_spec(full, name, "unknown protocol '" + std::string(name) +
+                               "' (icmp, tcp, dns)");
+    }
+  }
+  return mask;
+}
+
+std::string proto_mask_to_string(std::uint8_t mask) {
+  std::string out;
+  const auto append = [&out](const char* name) {
+    if (!out.empty()) out += '+';
+    out += name;
+  };
+  if (mask & (1u << static_cast<std::uint8_t>(net::Protocol::kIcmp))) {
+    append("icmp");
+  }
+  if (mask & (1u << static_cast<std::uint8_t>(net::Protocol::kTcp))) {
+    append("tcp");
+  }
+  if (mask & (1u << static_cast<std::uint8_t>(net::Protocol::kUdpDns))) {
+    append("dns");
+  }
+  return out;
+}
+
+std::string format_ns(std::int64_t ns) { return std::to_string(ns) + "ns"; }
+
+Regime parse_regime(std::string_view full, std::string_view clause,
+                    RegimeKind kind, std::size_t at_pos) {
+  Regime regime;
+  regime.kind = kind;
+
+  std::string_view rest = clause.substr(at_pos + 1);
+  std::string_view times = rest;
+  std::string_view params;
+  if (const std::size_t colon = rest.find(':');
+      colon != std::string_view::npos) {
+    times = rest.substr(0, colon);
+    params = rest.substr(colon + 1);
+  }
+  std::string_view start = times;
+  if (const std::size_t plus = times.find('+');
+      plus != std::string_view::npos) {
+    start = times.substr(0, plus);
+    regime.duration = fault::parse_spec_duration(
+        full, trim(times.substr(plus + 1)), kContext);
+  }
+  regime.at = fault::parse_spec_duration(full, trim(start), kContext);
+
+  while (!params.empty()) {
+    const std::size_t comma = params.find(',');
+    std::string_view kv = trim(params.substr(0, comma));
+    params = comma == std::string_view::npos ? std::string_view{}
+                                             : params.substr(comma + 1);
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) bad_spec(full, kv, "parameter needs '='");
+    const std::string_view key = trim(kv.substr(0, eq));
+    const std::string_view value = trim(kv.substr(eq + 1));
+    if (key == "days") {
+      parse_days(full, value, regime);
+    } else if (key == "site") {
+      if (value == "all") {
+        regime.site = fault::kAllSites;
+      } else {
+        const long site = parse_long(full, value, "site");
+        if (site < 0) bad_spec(full, value, "site index must be >= 0");
+        regime.site = static_cast<int>(site);
+      }
+    } else if (key == "count") {
+      const long count = parse_long(full, value, "count");
+      if (count < 1) bad_spec(full, value, "count must be >= 1");
+      regime.count = static_cast<int>(count);
+    } else if (key == "p") {
+      regime.p = parse_double(full, value, "probability");
+      if (regime.p < 0.0 || regime.p > 1.0) {
+        bad_spec(full, value, "probability out of [0,1]");
+      }
+    } else if (key == "frac") {
+      regime.fraction = parse_double(full, value, "fraction");
+      if (regime.fraction < 0.0 || regime.fraction > 1.0) {
+        bad_spec(full, value, "fraction out of [0,1]");
+      }
+    } else if (key == "mag") {
+      regime.mag = fault::parse_spec_duration(full, value, kContext);
+    } else if (key == "proto") {
+      regime.proto_mask = parse_proto_mask(full, value);
+    } else {
+      bad_spec(full, key, "unknown parameter '" + std::string(key) + "'");
+    }
+  }
+
+  if (kind == RegimeKind::kSkew && regime.proto_mask == 0) {
+    bad_spec(full, clause, "skew needs proto=<icmp|tcp|dns[+...]>");
+  }
+  if (kind == RegimeKind::kSkew &&
+      regime.proto_mask == 0x7) {
+    bad_spec(full, clause, "skew must leave at least one protocol enabled");
+  }
+  if (kind == RegimeKind::kStorm && regime.mag.ns() <= 0) {
+    bad_spec(full, clause, "storm needs mag=<mean re-join delay>");
+  }
+  if (kind == RegimeKind::kDiurnal && regime.duration.ns() <= 0) {
+    bad_spec(full, clause, "diurnal needs an explicit +duration window");
+  }
+  return regime;
+}
+
+void append_double(std::string& out, const char* key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  if (!out.empty()) out += ',';
+  out += key;
+  out += '=';
+  out += buf;
+}
+
+}  // namespace
+
+std::string_view to_string(RegimeKind kind) {
+  switch (kind) {
+    case RegimeKind::kDiurnal: return "diurnal";
+    case RegimeKind::kStorm: return "storm";
+    case RegimeKind::kThrottle: return "throttle";
+    case RegimeKind::kSkew: return "skew";
+    case RegimeKind::kRouteFlip: return "route-flip";
+    case RegimeKind::kPathLoss: return "path-loss";
+    case RegimeKind::kChurn: return "churn";
+  }
+  return "unknown";
+}
+
+std::optional<RegimeKind> regime_kind_from_string(std::string_view name) {
+  for (const RegimeKind kind : kAllRegimeKinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool Scenario::may_degrade(std::uint32_t day) const {
+  // Control-plane faults use absolute sim times the scenario cannot map to
+  // day numbers (day boundaries depend on measurement durations), so any
+  // fault plan licenses degradation on every day it could reach.
+  if (!faults.events.empty()) return true;
+  for (const auto& regime : regimes) {
+    if (!regime.applies(day)) continue;
+    if (regime.kind == RegimeKind::kStorm ||
+        regime.kind == RegimeKind::kDiurnal) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Scenario Scenario::parse(std::string_view spec, std::uint64_t seed) {
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.faults.seed = seed;
+
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view part = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (part.empty()) continue;
+
+    const std::size_t at_pos = part.find('@');
+    if (at_pos == std::string_view::npos) {
+      bad_spec(spec, part, "missing '@' in clause");
+    }
+    const std::string_view kind_name = trim(part.substr(0, at_pos));
+    if (const auto regime_kind = regime_kind_from_string(kind_name)) {
+      scenario.regimes.push_back(
+          parse_regime(spec, part, *regime_kind, at_pos));
+    } else if (fault::kind_from_string(kind_name)) {
+      scenario.faults.events.push_back(
+          fault::parse_fault_event(spec, part, kContext));
+    } else {
+      bad_spec(spec, part,
+               "unknown kind '" + std::string(kind_name) + "'");
+    }
+  }
+  return scenario;
+}
+
+std::string Scenario::to_spec() const {
+  std::string out = faults.to_spec();
+  for (const auto& regime : regimes) {
+    if (!out.empty()) out += ';';
+    out += to_string(regime.kind);
+    out += '@';
+    out += format_ns(regime.at.ns());
+    if (regime.duration.ns() > 0) {
+      out += '+';
+      out += format_ns(regime.duration.ns());
+    }
+    std::string params;
+    if (regime.day_first != 1 || regime.day_last != kAllDays) {
+      params += "days=" + std::to_string(regime.day_first);
+      if (regime.day_last != regime.day_first) {
+        params += '-' + std::to_string(regime.day_last);
+      }
+    }
+    if (regime.site != fault::kAllSites) {
+      if (!params.empty()) params += ',';
+      params += "site=" + std::to_string(regime.site);
+    }
+    if (regime.count != 1) {
+      if (!params.empty()) params += ',';
+      params += "count=" + std::to_string(regime.count);
+    }
+    if (regime.p != 1.0) append_double(params, "p", regime.p);
+    if (regime.fraction != 1.0) append_double(params, "frac", regime.fraction);
+    if (regime.mag.ns() > 0) {
+      if (!params.empty()) params += ',';
+      params += "mag=" + format_ns(regime.mag.ns());
+    }
+    if (regime.proto_mask != 0) {
+      if (!params.empty()) params += ',';
+      params += "proto=" + proto_mask_to_string(regime.proto_mask);
+    }
+    if (!params.empty()) {
+      out += ':';
+      out += params;
+    }
+  }
+  return out;
+}
+
+std::string Scenario::describe() const {
+  std::string out = faults.describe();
+  char buf[192];
+  for (const auto& regime : regimes) {
+    std::string days = regime.day_last == kAllDays
+                           ? (regime.day_first == 1
+                                  ? std::string("all")
+                                  : std::to_string(regime.day_first) + "+")
+                           : std::to_string(regime.day_first) + "-" +
+                                 std::to_string(regime.day_last);
+    std::string site = regime.site == fault::kAllSites
+                           ? "all"
+                           : std::to_string(regime.site);
+    std::snprintf(buf, sizeof(buf),
+                  "day+%.3fs %-10s days=%-5s site=%-3s count=%d dur=%.3fs "
+                  "p=%.2f frac=%.2f mag=%.0fms proto=%s\n",
+                  regime.at.to_seconds(),
+                  std::string(to_string(regime.kind)).c_str(), days.c_str(),
+                  site.c_str(), regime.count, regime.duration.to_seconds(),
+                  regime.p, regime.fraction, regime.mag.to_millis(),
+                  regime.proto_mask != 0
+                      ? proto_mask_to_string(regime.proto_mask).c_str()
+                      : "-");
+    out += buf;
+  }
+  return out;
+}
+
+Scenario Scenario::generate(std::uint64_t seed, const GenerateOptions& opts) {
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.faults.seed = seed;  // parse() sets it too: round-trip exactness
+  Rng rng(StableHash(0x5ce0).mix(seed).value());
+  const double span_s = opts.day_span.to_seconds();
+  const int sites = std::max(1, opts.sites);
+
+  // About half of generated scenarios layer a control-plane fault plan on
+  // top of the regimes (compound failures are the point). Bare crashes are
+  // promoted to crash-restart pairs so every generated lifecycle fault
+  // heals within the day it fires in — the property that keeps mid-series
+  // checkpoints free of scenario state.
+  if (opts.allow_faults && rng.uniform(0.0, 1.0) < 0.5) {
+    fault::GenerateOptions fopts;
+    fopts.horizon = opts.fault_horizon;
+    fopts.sites = opts.sites;
+    scenario.faults = fault::FaultPlan::generate(
+        StableHash(0xfab).mix(seed).value(), fopts);
+    scenario.faults.seed = seed;
+    for (auto& ev : scenario.faults.events) {
+      if (ev.kind == fault::FaultKind::kCrashWorker) {
+        ev.kind = fault::FaultKind::kCrashRestartWorker;
+        if (ev.duration.ns() <= 0) {
+          ev.duration = SimDuration::from_seconds(rng.uniform(0.5, 2.0));
+        }
+      }
+    }
+  }
+
+  const int n = static_cast<int>(rng.uniform_int(
+      static_cast<std::uint64_t>(std::max(0, opts.min_regimes)),
+      static_cast<std::uint64_t>(
+          std::max(opts.min_regimes, opts.max_regimes))));
+  for (int i = 0; i < n; ++i) {
+    Regime regime;
+    regime.kind = kAllRegimeKinds[rng.index(std::size(kAllRegimeKinds))];
+    // Most regimes run every day; some target a single early day.
+    if (rng.uniform(0.0, 1.0) < 0.3) {
+      regime.day_first = 1 + static_cast<std::uint32_t>(rng.index(2));
+      regime.day_last = regime.day_first;
+    }
+    switch (regime.kind) {
+      case RegimeKind::kDiurnal:
+        regime.site = static_cast<int>(rng.index(
+            static_cast<std::size_t>(sites)));
+        regime.at = SimDuration::from_seconds(rng.uniform(0.0, span_s * 0.5));
+        regime.duration =
+            SimDuration::from_seconds(rng.uniform(0.5, span_s * 0.3));
+        break;
+      case RegimeKind::kStorm:
+        regime.count = 1 + static_cast<int>(rng.index(
+                               static_cast<std::size_t>(sites)));
+        regime.at = SimDuration::from_seconds(rng.uniform(0.0, span_s * 0.4));
+        regime.mag = SimDuration::from_seconds(rng.uniform(0.5, 2.0));
+        break;
+      case RegimeKind::kThrottle:
+        regime.site = rng.uniform(0.0, 1.0) < 0.5
+                          ? fault::kAllSites
+                          : static_cast<int>(rng.index(
+                                static_cast<std::size_t>(sites)));
+        regime.p = rng.uniform(0.05, 0.5);
+        break;
+      case RegimeKind::kSkew: {
+        regime.site = static_cast<int>(rng.index(
+            static_cast<std::size_t>(sites)));
+        // Disable one or two protocols, never all three.
+        const std::uint8_t masks[] = {0x2, 0x4, 0x6, 0x1, 0x5};
+        regime.proto_mask = masks[rng.index(std::size(masks))];
+        break;
+      }
+      case RegimeKind::kRouteFlip:
+        regime.at = SimDuration::from_seconds(rng.uniform(0.0, span_s * 0.5));
+        regime.duration =
+            SimDuration::from_seconds(rng.uniform(1.0, span_s * 0.5));
+        regime.fraction = rng.uniform(0.05, 0.5);
+        break;
+      case RegimeKind::kPathLoss:
+        regime.at = SimDuration::from_seconds(rng.uniform(0.0, span_s * 0.5));
+        regime.duration =
+            SimDuration::from_seconds(rng.uniform(1.0, span_s * 0.5));
+        regime.fraction = rng.uniform(0.02, 0.3);
+        regime.p = rng.uniform(0.3, 1.0);
+        break;
+      case RegimeKind::kChurn:
+        regime.fraction = rng.uniform(0.01, 0.2);
+        break;
+    }
+    scenario.regimes.push_back(regime);
+  }
+
+  std::sort(scenario.regimes.begin(), scenario.regimes.end(),
+            [](const Regime& a, const Regime& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.site < b.site;
+            });
+  return scenario;
+}
+
+}  // namespace laces::scenario

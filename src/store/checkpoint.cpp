@@ -64,6 +64,8 @@ std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& cp) {
     for (const auto word : state) w.u64(word);
   }
 
+  w.str(cp.run_config);
+
   put_sha256_footer(w);
   return w.take();
 }
@@ -117,6 +119,8 @@ Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
       for (auto& word : state) word = r.u64();
       cp.worker_rng.push_back(state);
     }
+
+    cp.run_config = r.str();
 
     if (!r.done()) {
       throw ArchiveError("checkpoint: " + std::to_string(r.remaining()) +

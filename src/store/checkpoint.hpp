@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "census/longitudinal.hpp"
@@ -35,6 +36,12 @@ struct Checkpoint {
   /// sequence feeds ECMP flow hashing, so catchments — and therefore the
   /// census — only reproduce if the resumed workers continue it.
   std::vector<std::array<std::uint64_t, 4>> worker_rng;
+  /// Canonical run-identity string (world scale, seeds, fault and scenario
+  /// specs) stamped by the CLI. `--resume` refuses to continue when the
+  /// resuming invocation's identity differs — a different world or fault
+  /// plan would silently diverge from the archived prefix. Empty when the
+  /// writer did not record one (library users); then the guard is skipped.
+  std::string run_config;
 
   bool operator==(const Checkpoint&) const = default;
 };

@@ -25,7 +25,8 @@ namespace laces::store {
 /// "LACS" — leads every binary file of the archive.
 inline constexpr std::uint32_t kMagic = 0x4C414353;
 /// On-disk layout version, shared by segments, checkpoint and manifest.
-inline constexpr std::uint16_t kFormatVersion = 1;
+/// v2: checkpoint gained the run-identity string (the --resume guard).
+inline constexpr std::uint16_t kFormatVersion = 2;
 
 inline constexpr char kManifestFile[] = "MANIFEST";
 inline constexpr char kCheckpointFile[] = "checkpoint.bin";

@@ -154,6 +154,12 @@ std::uint64_t SimNetwork::responses_generated() const {
   return total;
 }
 
+std::uint64_t SimNetwork::overlay_flips() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shard_states_) total += s.overlay_flips;
+  return total;
+}
+
 bool SimNetwork::drop_packet(std::uint64_t salt) {
   if (config_.loss <= 0.0) return false;
   StableHash h(0x1055);
@@ -234,6 +240,21 @@ void SimNetwork::deliver_to_target(const net::Datagram& datagram,
   const Target* target = world_.find_target(datagram.dst);
   if (target == nullptr) return;
   if (world_.target_down(*target, day_)) return;
+  if (overlay_ != nullptr && !overlay_->empty()) {
+    // Scenario data-plane regimes, evaluated on shard 0 in send order so
+    // they are a pure function of packet identity: hitlist churn (the
+    // prefix is withdrawn all day) and path-scoped loss (the forward path
+    // eats the probe; the target looks unresponsive).
+    const std::uint64_t pfx = net::hash_value(net::Prefix::of(datagram.dst));
+    if (overlay_->target_withdrawn(pfx, day_)) {
+      ++overlay_withdrawn_;
+      return;
+    }
+    if (overlay_->path_loss_drop(pfx, events_.now(), salt)) {
+      ++overlay_path_lost_;
+      return;
+    }
+  }
 
   // Backing-anycast TE (§5.8.2): ASes filtering v6 specifics route via the
   // covering anycast prefix instead of the /48's unicast PoP.
@@ -274,9 +295,19 @@ void SimNetwork::target_ingress(const net::Datagram& datagram,
   const Deployment& dep = world_.deployment(dep_id);
   // `departed` (not now()) drives route-flip epochs: the choice belongs to
   // the moment the packet left, which on a cross-shard hop is earlier than
-  // the time this code runs.
-  const auto ingress = world_.routing().select_pop(
-      from, dep, day_, departed, flow_hash, packet_seq, state.caches);
+  // the time this code runs. A scenario route-flip window forces the
+  // second-best PoP for its scoped flows — keyed on (salt, flow, dep), so
+  // the flip is identical at any shard count.
+  const bool force_flip =
+      overlay_ != nullptr && overlay_->flip_forced(flow_hash, dep_id, departed);
+  const auto ingress =
+      force_flip ? world_.routing().select_pop_flipped(
+                       from, dep, day_, departed, flow_hash, packet_seq,
+                       state.caches)
+                 : world_.routing().select_pop(from, dep, day_, departed,
+                                               flow_hash, packet_seq,
+                                               state.caches);
+  if (force_flip && ingress.was_flipped) ++state.overlay_flips;
   const SimDuration d1 = world_.routing().one_way_delay(
       from, dep.pops[ingress.pop_index].attach, salt, state.caches);
   if (shard != 0) {

@@ -38,6 +38,7 @@
 
 #include "net/addr_map.hpp"
 #include "net/ip.hpp"
+#include "topo/overlay.hpp"
 #include "topo/world.hpp"
 #include "util/event_queue.hpp"
 #include "util/flat_map.hpp"
@@ -115,6 +116,14 @@ class SimNetwork {
   }
   std::uint32_t day() const { return day_; }
 
+  /// Install (or clear, with nullptr) the scenario data-plane overlay for
+  /// the current day. The overlay must outlive event processing and may
+  /// only be swapped between run_events() calls — it is read concurrently
+  /// from target shards during a run, and the barrier between runs is the
+  /// happens-before edge that makes the swap safe.
+  void set_day_overlay(const DayOverlay* overlay) { overlay_ = overlay; }
+  const DayOverlay* day_overlay() const { return overlay_; }
+
   SimTime now() const { return events_.now(); }
   EventQueue& events() { return events_; }
   const World& world() const { return world_; }
@@ -125,6 +134,11 @@ class SimNetwork {
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t responses_generated() const;
   std::uint64_t deliveries() const { return deliveries_; }
+
+  // --- scenario-overlay counters (run-report "Scenario" section) ---
+  std::uint64_t overlay_withdrawn() const { return overlay_withdrawn_; }
+  std::uint64_t overlay_path_lost() const { return overlay_path_lost_; }
+  std::uint64_t overlay_flips() const;
 
  private:
   struct Endpoint {
@@ -154,6 +168,7 @@ class SimNetwork {
     FlatMap64<SimTime> last_arrival;          // ICMP rate limiting, per target
     FlatMap64<std::uint64_t> chaos_rotation;  // per (target, pop)
     std::uint64_t responses_generated = 0;
+    std::uint64_t overlay_flips = 0;  // scenario route-flips on this shard
   };
 
   static void rebuild_view(LocalAddress& local);
@@ -210,6 +225,9 @@ class SimNetwork {
   FlatMap64<std::uint64_t> send_seq_;  // per-flow salt counter (shard 0)
   std::uint64_t packets_sent_ = 0;
   std::uint64_t deliveries_ = 0;
+  const DayOverlay* overlay_ = nullptr;
+  std::uint64_t overlay_withdrawn_ = 0;  // shard 0 only
+  std::uint64_t overlay_path_lost_ = 0;  // shard 0 only
 };
 
 /// Hash of the flow headers only (addresses, protocol, ports / ICMP id) —

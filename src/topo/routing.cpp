@@ -97,14 +97,15 @@ PopChoice RoutingModel::finish_choice(const AttachPoint& from,
                                       const Deployment& dep, SimTime when,
                                       std::uint64_t flow_hash,
                                       std::uint64_t packet_seq,
-                                      Ranking ranking) const {
+                                      Ranking ranking, bool force_flip) const {
   PopChoice choice;
   std::size_t best = ranking.best, second = ranking.second;
   double best_score = ranking.best_score;
   double second_score = ranking.second_score;
 
-  // Route flip: in affected windows the runner-up briefly wins.
-  if (flip_active(from, dep.id, when)) {
+  // Route flip: in affected windows the runner-up briefly wins. A
+  // scenario overlay can force the swap for its scoped flows.
+  if (force_flip || flip_active(from, dep.id, when)) {
     std::swap(best, second);
     std::swap(best_score, second_score);
     choice.was_flipped = true;
@@ -166,6 +167,25 @@ PopChoice RoutingModel::select_pop(const AttachPoint& from,
 
   return finish_choice(from, dep, when, flow_hash, packet_seq,
                        rank_pops(from, dep, caches));
+}
+
+PopChoice RoutingModel::select_pop_flipped(const AttachPoint& from,
+                                           const Deployment& dep,
+                                           std::uint32_t day, SimTime when,
+                                           std::uint64_t flow_hash,
+                                           std::uint64_t packet_seq,
+                                           Caches& caches) const {
+  expects(!dep.pops.empty(), "deployment has PoPs");
+  if (dep.kind == DeploymentKind::kTemporaryAnycast &&
+      !dep.anycast_active(day)) {
+    PopChoice choice;
+    choice.pop_index = dep.home_pop;
+    return choice;
+  }
+  if (dep.pops.size() == 1) return PopChoice{};
+
+  return finish_choice(from, dep, when, flow_hash, packet_seq,
+                       rank_pops(from, dep, caches), /*force_flip=*/true);
 }
 
 PopChoice RoutingModel::select_pop(const AttachPoint& from,

@@ -110,6 +110,16 @@ class RoutingModel {
                        std::uint32_t day, SimTime when, std::uint64_t flow_hash,
                        std::uint64_t packet_seq, Caches& caches) const;
 
+  /// select_pop with the top-2 swap forced (scenario route-flip overlay):
+  /// the runner-up PoP wins regardless of the model's own flip state, then
+  /// ECMP tie-breaking proceeds as usual. Single-PoP and inactive
+  /// temporary-anycast deployments are unaffected (there is nothing to
+  /// flip to), in which case was_flipped stays false.
+  PopChoice select_pop_flipped(const AttachPoint& from, const Deployment& dep,
+                               std::uint32_t day, SimTime when,
+                               std::uint64_t flow_hash,
+                               std::uint64_t packet_seq, Caches& caches) const;
+
   /// select_pop for a transient deployment (SimNetwork's view of a locally
   /// announced address), whose rankings cannot go into the per-DeploymentId
   /// cache: the caller owns `cache`, keyed by the sending attach point, and
@@ -156,10 +166,12 @@ class RoutingModel {
   Ranking rank_pops(const AttachPoint& from, const Deployment& dep,
                     Caches& caches) const;
   /// Flip + ECMP tie-breaking applied to a ranking (the shared tail of
-  /// all select_pop flavours).
+  /// all select_pop flavours). `force_flip` unconditionally swaps the
+  /// top 2 (scenario overlay); otherwise the model's own flip state rules.
   PopChoice finish_choice(const AttachPoint& from, const Deployment& dep,
                           SimTime when, std::uint64_t flow_hash,
-                          std::uint64_t packet_seq, Ranking ranking) const;
+                          std::uint64_t packet_seq, Ranking ranking,
+                          bool force_flip = false) const;
 
   const AsGraph& graph_;
   RoutingConfig config_;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "fault/fault_plan.hpp"
 
@@ -120,6 +121,45 @@ TEST(FaultPlan, BadSpecsThrow) {
   EXPECT_THROW(FaultPlan::parse("crash@1s:site=all", 1),
                std::invalid_argument);
   EXPECT_THROW(FaultPlan::parse("drop@-1s", 1), std::invalid_argument);
+}
+
+std::string parse_error(const char* spec) {
+  try {
+    FaultPlan::parse(spec, 1);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FaultPlan, ParseErrorsCarryLineAndColumn) {
+  // The offending token's 1-based line:column, prefixed with the grammar
+  // name, so a long multi-clause spec pinpoints its bad clause.
+  EXPECT_EQ(parse_error("drop@1s:p=1.5"),
+            "fault spec:1:11: probability out of [0,1]");
+  EXPECT_EQ(parse_error("explode@1s"),
+            "fault spec:1:1: unknown kind 'explode'");
+  EXPECT_EQ(parse_error("drop@1s:frobs=2"),
+            "fault spec:1:9: unknown parameter 'frobs'");
+  // Errors in later clauses point past the first clause...
+  EXPECT_EQ(parse_error("drop@1s:p=0.5;delay@2s:mag=40parsec"),
+            "fault spec:1:28: duration needs a ns/ms/s suffix: '40parsec'");
+  // ...and a newline separator bumps the line number and resets the column.
+  EXPECT_EQ(parse_error("drop@1s:p=0.5;\ndelay@2s:mag=oops"),
+            "fault spec:2:14: bad duration 'oops'");
+}
+
+TEST(FaultPlan, SpecPositionWalksLinesAndColumns) {
+  const std::string_view full = "abc;\ndef@1s;\n  ghi";
+  const auto first = spec_position(full, full.substr(0, 3));
+  EXPECT_EQ(first.first, 1u);
+  EXPECT_EQ(first.second, 1u);
+  const auto second = spec_position(full, full.substr(5, 3));
+  EXPECT_EQ(second.first, 2u);
+  EXPECT_EQ(second.second, 1u);
+  const auto third = spec_position(full, full.substr(15, 3));
+  EXPECT_EQ(third.first, 3u);
+  EXPECT_EQ(third.second, 3u);
 }
 
 TEST(FaultPlan, SpecRoundTripIsExact) {

@@ -171,6 +171,32 @@ TEST(StoreResume, ResumeAfterHealedFaultsMatchesUninterrupted) {
   expect_archives_identical(golden_dir, killed_dir, kDays);
 }
 
+TEST(StoreResume, DegradedDayAccountingSurvivesResume) {
+  // Worker 0 crashes 1s into day 1 and restarts 4s later: day 1 completes
+  // degraded, later days are healthy. After a kill + resume, the degraded
+  // day must stay degraded — stored, but excluded from every longitudinal
+  // denominator — and the whole series must stay byte-identical.
+  constexpr const char* kFaults = "crash-restart@1s+4s:site=0";
+  constexpr std::uint32_t kDays = 3;
+  const auto golden_dir = fresh_dir("resume_degraded_golden");
+  const auto killed_dir = fresh_dir("resume_degraded_killed");
+
+  const auto golden = run_series(golden_dir, kDays, /*resume=*/false, kFaults);
+  ASSERT_EQ(golden.anycast.degraded_days, 1u);
+  ASSERT_EQ(golden.anycast.days, kDays - 1);
+
+  // Kill after the degraded day 1; the resumed process does not reinstall
+  // the injector (the crash-restart healed before the checkpoint).
+  run_series(killed_dir, /*total_days=*/1, /*resume=*/false, kFaults);
+  const auto resumed = run_series(killed_dir, kDays, /*resume=*/true);
+
+  EXPECT_EQ(resumed.anycast.degraded_days, 1u);
+  EXPECT_EQ(resumed.anycast.days, kDays - 1);
+  EXPECT_EQ(resumed.anycast, golden.anycast);
+  EXPECT_EQ(resumed.gcd, golden.gcd);
+  expect_archives_identical(golden_dir, killed_dir, kDays);
+}
+
 // --- LongitudinalStore: incremental counters vs. the recompute reference ---
 
 net::Prefix p24(std::uint8_t c) {

@@ -46,6 +46,9 @@
 #include "platform/latency.hpp"
 #include "platform/platform.hpp"
 #include "platform/traceroute.hpp"
+#include "scenario/fuzzer.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "serve/json.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
@@ -146,6 +149,28 @@ int cmd_world(const Args& args) {
   return 0;
 }
 
+/// Canonical identity of a census run: every knob that changes the
+/// simulated byte stream. Stamped into each checkpoint so --resume can
+/// refuse a mismatched continuation instead of silently forking the
+/// series. --sim-threads is deliberately absent (sharding is
+/// byte-identical by contract), as are output paths.
+std::string census_run_identity(const Args& args) {
+  std::string id;
+  id += "seed=" + args.get("seed", "42");
+  id += ";scale=" + args.get("scale", "8");
+  id += ";world-scale=" + args.get("world-scale", "1");
+  id += ";rate=" + args.get("rate", "30000");
+  id += args.has("v6") ? ";v6" : "";
+  id += args.has("no-tcp") ? ";no-tcp" : "";
+  id += args.has("no-dns") ? ";no-dns" : "";
+  id += args.has("canary") ? ";canary" : "";
+  id += ";faults=" + args.get("faults", "");
+  id += ";fault-seed=" + args.get("fault-seed", "1");
+  id += ";scenario=" + args.get("scenario", "");
+  id += ";scenario-seed=" + args.get("scenario-seed", "0");
+  return id;
+}
+
 int cmd_census(const Args& args) {
   const auto world = topo::World::generate(world_config(args));
   EventQueue events;
@@ -216,6 +241,35 @@ int cmd_census(const Args& args) {
                 injector->plan().describe().c_str());
   }
 
+  // Optional operational-realism scenario: --scenario '<spec>' composes
+  // platform churn and data-plane regimes (plus an embedded fault plan) on
+  // one timeline; --scenario random generates one from --scenario-seed.
+  // Installation is deferred past the --resume block so a resumed run can
+  // skip lifecycle faults that healed before the checkpoint.
+  std::optional<scenario::ScenarioRunner> scenario_runner;
+  if (args.has("scenario")) {
+    const auto sseed =
+        static_cast<std::uint64_t>(args.get_int("scenario-seed", 0));
+    const auto sspec = args.get("scenario", "");
+    scenario::Scenario scen;
+    try {
+      if (sspec == "random" || sspec == "true") {
+        scenario::GenerateOptions opts;
+        opts.sites = static_cast<int>(session.worker_count());
+        scen = scenario::Scenario::generate(sseed, opts);
+      } else {
+        scen = scenario::Scenario::parse(sspec, sseed);
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "laces census: %s\n", e.what());
+      return 2;
+    }
+    scenario_runner.emplace(std::move(scen), session);
+    std::printf("scenario (seed %llu):\n%s",
+                static_cast<unsigned long long>(sseed),
+                scenario_runner->scenario().describe().c_str());
+  }
+
   const auto out_dir = std::filesystem::path(args.get("out", "census-out"));
   std::filesystem::create_directories(out_dir);
 
@@ -226,6 +280,8 @@ int cmd_census(const Args& args) {
   std::optional<store::ArchiveWriter> archive;
   census::LongitudinalStore longitudinal;
   long start_day = 1;
+  SimTime resumed_clock = SimTime::epoch();
+  const std::string run_identity = census_run_identity(args);
   if (args.has("archive")) {
     try {
       archive.emplace(std::filesystem::path(args.get("archive", "archive")));
@@ -238,6 +294,14 @@ int cmd_census(const Args& args) {
           return 2;
         }
         const store::Checkpoint cp = reader.load_checkpoint();
+        if (!cp.run_config.empty() && cp.run_config != run_identity) {
+          std::fprintf(stderr,
+                       "laces census: --resume refused: the archive was "
+                       "written with different options (archived '%s', "
+                       "requested '%s')\n",
+                       cp.run_config.c_str(), run_identity.c_str());
+          return 2;
+        }
         // Restore the simulated clock first: schedule_at clamps to now(),
         // so draining one no-op parked at the checkpointed time advances
         // the queue exactly there.
@@ -252,6 +316,7 @@ int cmd_census(const Args& args) {
         longitudinal =
             census::LongitudinalStore::from_snapshot(cp.longitudinal);
         start_day = static_cast<long>(cp.last_day) + 1;
+        resumed_clock = SimTime(cp.sim_time_ns);
         std::printf("resuming after day %u (sim clock %.1fs, %zu healthy "
                     "days archived)\n",
                     cp.last_day, SimTime(cp.sim_time_ns).to_seconds(),
@@ -270,9 +335,17 @@ int cmd_census(const Args& args) {
     }
   }
 
+  // Lifecycle faults that fired (and healed) before the checkpoint are in
+  // the resumed run's past and must not replay.
+  if (scenario_runner) scenario_runner->install(resumed_clock);
+
   const long days = args.get_int("days", 1);
   for (long day = start_day; day <= days; ++day) {
+    if (scenario_runner) {
+      scenario_runner->begin_day(static_cast<std::uint32_t>(day));
+    }
     const auto daily = pipeline.run_day(static_cast<std::uint32_t>(day));
+    if (scenario_runner) scenario_runner->end_day();
     const auto path =
         out_dir / ("census-day-" + std::to_string(day) + ".csv");
     std::ofstream file(path);
@@ -299,6 +372,7 @@ int cmd_census(const Args& args) {
         cp.next_span_id = obs::Tracer::global().next_id();
         cp.pipeline = pipeline.state();
         cp.longitudinal = longitudinal.snapshot();
+        cp.run_config = run_identity;
         cp.worker_rng.reserve(session.worker_count());
         for (std::size_t i = 0; i < session.worker_count(); ++i) {
           cp.worker_rng.push_back(session.worker(i).rng_state());
@@ -331,6 +405,21 @@ int cmd_census(const Args& args) {
     std::printf("faults applied:\n");
     for (const auto& line : injector->applied()) {
       std::printf("  %s\n", line.c_str());
+    }
+  }
+
+  if (scenario_runner) {
+    std::printf("scenario: %llu regime applications, %llu worker outages\n",
+                static_cast<unsigned long long>(
+                    scenario_runner->regimes_applied()),
+                static_cast<unsigned long long>(
+                    scenario_runner->worker_outages()));
+    const auto* sinj = scenario_runner->injector();
+    if (sinj != nullptr && !sinj->applied().empty()) {
+      std::printf("scenario faults applied:\n");
+      for (const auto& line : sinj->applied()) {
+        std::printf("  %s\n", line.c_str());
+      }
     }
   }
 
@@ -990,10 +1079,50 @@ int cmd_stat(const Args& args) {
   }
 }
 
+int cmd_fuzz_scenarios(const Args& args) {
+  scenario::FuzzOptions opts;
+  opts.start_seed = static_cast<std::uint64_t>(args.get_int("start-seed", 1));
+  opts.seeds = static_cast<int>(args.get_int("seeds", 20));
+  opts.days = static_cast<std::uint32_t>(
+      std::max(args.get_int("days", 2), 1L));
+  opts.timeout_seconds = static_cast<double>(args.get_int("timeout", 120));
+  opts.resume_check_every = static_cast<int>(args.get_int("resume-every", 5));
+  opts.shard_check_every = static_cast<int>(args.get_int("shard-every", 7));
+  opts.shard_count = static_cast<std::size_t>(
+      std::max(args.get_int("sim-threads", 4), 1L));
+  opts.work_dir =
+      std::filesystem::path(args.get("work-dir", "fuzz-scenarios-work"));
+  opts.verbose = args.has("verbose");
+  std::filesystem::create_directories(opts.work_dir);
+
+  const auto summary = scenario::run_fuzz(opts);
+  std::printf("fuzz-scenarios: %d seeds (%d resume checks, %d shard checks): "
+              "%llu regime applications, %llu degraded days, %llu worker "
+              "outages\n",
+              summary.ran, summary.resume_checks, summary.shard_checks,
+              static_cast<unsigned long long>(summary.regimes_applied),
+              static_cast<unsigned long long>(summary.degraded_days),
+              static_cast<unsigned long long>(summary.worker_outages));
+  if (summary.ok()) {
+    std::printf("fuzz-scenarios: OK\n");
+    return 0;
+  }
+  for (const auto& f : summary.failures) {
+    std::printf(
+        "fuzz-scenarios: seed %llu FAILED: %s\n"
+        "  spec: %s\n"
+        "  reproduce: laces fuzz-scenarios --start-seed %llu --seeds 1 "
+        "--days %u --resume-every 1 --shard-every 1\n",
+        static_cast<unsigned long long>(f.seed), f.what.c_str(),
+        f.spec.c_str(), static_cast<unsigned long long>(f.seed), opts.days);
+  }
+  return 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: laces <world|census|probe|catchment|query|serve|"
-               "bench-serve|stat|flightrec> [options]\n"
+               "bench-serve|stat|flightrec|fuzz-scenarios> [options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
                "             --sim-threads N --world-scale K\n"
@@ -1001,6 +1130,12 @@ void usage() {
                "             --faults 'SPEC|random' --fault-seed N\n"
                "             (SPEC: 'kind@start[+dur][:site=N|all|cli,p=X,"
                "mag=D]; ...')\n"
+               "             --scenario 'SPEC|random' --scenario-seed N\n"
+               "             (SPEC adds regimes diurnal|storm|throttle|skew|"
+               "route-flip|\n"
+               "              path-loss|churn: 'kind@at[+dur][:days=A-B,"
+               "site=N|all,count=K,\n"
+               "              p=X,frac=F,mag=D,proto=icmp+tcp+dns]; ...')\n"
                "             --archive DIR [--resume]\n"
                "             --flightrec FILE [--flightrec-capacity N]\n"
                "  probe      --prefix A.B.C.0/24 --day D\n"
@@ -1018,7 +1153,11 @@ void usage() {
                "             [--threads N] [--queue N] [--inflight N]\n"
                "  stat       --archive DIR [--polls N] [--interval-ms MS]\n"
                "             [--clients M] [--requests N] [--json]\n"
-               "  flightrec  DUMP   (decode a flight-recorder dump to JSONL)\n");
+               "  flightrec  DUMP   (decode a flight-recorder dump to JSONL)\n"
+               "  fuzz-scenarios [--seeds N] [--start-seed S] [--days D]\n"
+               "             [--timeout SECS] [--resume-every K] "
+               "[--shard-every K]\n"
+               "             [--sim-threads N] [--work-dir DIR] [--verbose]\n");
 }
 
 }  // namespace
@@ -1038,6 +1177,7 @@ int main(int argc, char** argv) {
   if (command == "serve") return cmd_serve(args);
   if (command == "bench-serve") return cmd_bench_serve(args);
   if (command == "stat") return cmd_stat(args);
+  if (command == "fuzz-scenarios") return cmd_fuzz_scenarios(args);
   if (command == "flightrec") {
     if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
       std::fprintf(stderr, "usage: laces flightrec DUMP\n");
