@@ -50,6 +50,11 @@ METRICS = {
     "serve_p50_ms": "lower",
     "serve_p99_ms": "lower",
     "serve_p999_ms": "lower",
+    # bench_mesh (laces_mesh): pub/sub fan-out chunk deliveries per second
+    # up, push tail latency (append start -> subscriber sink) down.
+    "mesh_deltas_per_sec": "higher",
+    "mesh_push_p50_ms": "lower",
+    "mesh_push_p999_ms": "lower",
 }
 
 

@@ -1,0 +1,175 @@
+// Mesh wire messages: the relay-to-relay plane carried in FrameKind::kMesh
+// frames (protocol version >= kMeshProtocolVersion).
+//
+// A mesh payload is a one-byte tag followed by a tagged body, encoded with
+// the same big-endian/varint conventions as the serve request/response
+// codecs. Three message families share the plane:
+//
+//   handshake   Hello / Welcome / Reject — peer identity, version range
+//               negotiation and feed advertisement. Handshake frames are
+//               always encoded at kMeshProtocolVersion; the *negotiation*
+//               rides in the payload's version_min/version_max fields (so a
+//               version-pinned relay can still say "no" in a well-formed
+//               frame instead of silently dropping).
+//   forwarding  Forward / ForwardReply — a canonical serve request body
+//               flooded through the mesh until a relay with an archive
+//               answers it. Loop suppression is the hop counter plus
+//               per-relay forward_id dedup.
+//   pub/sub     Subscribe / SubAck / DeltaChunk / DeltaAck — the census
+//               delta feed. A DeltaChunk is a slice of a store::DayDelta
+//               plus a (day, seq) cursor; `last` marks the day complete.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "store/delta.hpp"
+
+namespace laces::mesh {
+
+/// Message tags. Stable wire bytes; append only.
+enum class MeshTag : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kReject = 3,
+  kForward = 4,
+  kForwardReply = 5,
+  kSubscribe = 6,
+  kSubAck = 7,
+  kDelta = 8,
+  kDeltaAck = 9,
+};
+
+/// Connection opener: who I am and what I can speak.
+struct Hello {
+  std::uint64_t node_id = 0;
+  std::string name;
+  std::uint8_t version_min = serve::kProtocolVersionMin;
+  std::uint8_t version_max = serve::kProtocolVersionMax;
+  /// True when this relay originates or relays a census delta feed.
+  bool has_feed = false;
+  bool operator==(const Hello&) const = default;
+};
+
+/// Handshake accept: the responder's identity and the negotiated version
+/// (min of the two maxima; must cover both minima and the mesh floor).
+struct Welcome {
+  std::uint64_t node_id = 0;
+  std::string name;
+  std::uint8_t version = 0;
+  bool has_feed = false;
+  bool operator==(const Welcome&) const = default;
+};
+
+/// Typed handshake refusal (version mismatch, policy).
+struct Reject {
+  serve::ErrorCode code = serve::ErrorCode::kBadRequest;
+  std::string message;
+  bool operator==(const Reject&) const = default;
+};
+
+/// A serve request flooded into the mesh on behalf of a client. `request`
+/// is the canonical request body (the response-cache key), so any relay
+/// can answer from cache without re-canonicalizing.
+struct Forward {
+  std::uint64_t forward_id = 0;   // (origin node_id << 48) | counter
+  std::uint64_t origin_node = 0;
+  std::uint8_t hops_left = 0;
+  std::vector<std::uint8_t> request;
+  bool operator==(const Forward&) const = default;
+};
+
+/// The canonical response body, routed back along the forward path.
+struct ForwardReply {
+  std::uint64_t forward_id = 0;
+  std::vector<std::uint8_t> response;
+  bool operator==(const ForwardReply&) const = default;
+};
+
+/// Resumable feed position: the last fully applied (day, seq).
+struct Cursor {
+  std::uint32_t day = 0;
+  std::uint32_t seq = 0;
+  friend auto operator<=>(const Cursor&, const Cursor&) = default;
+};
+
+/// Feed registration. With `resume` set, `cursor` is the subscriber's
+/// resume point — the publisher replays everything strictly after it, so
+/// a reconnecting subscriber loses nothing and re-applies nothing. A
+/// fresh subscriber (resume = false) gets the feed from its beginning;
+/// the flag exists because cursor (0, 0) is a real feed position.
+struct Subscribe {
+  std::uint64_t subscription_id = 0;  // subscriber-assigned
+  std::uint8_t family = 0;            // 0 = both, 4, 6
+  std::uint8_t priority = 0;          // higher flushes first
+  std::vector<net::Prefix> prefixes;  // empty = all prefixes
+  bool resume = false;
+  Cursor cursor;
+  bool operator==(const Subscribe&) const = default;
+};
+
+struct SubAck {
+  std::uint64_t subscription_id = 0;
+  bool ok = false;
+  std::string message;
+  bool operator==(const SubAck&) const = default;
+};
+
+/// One slice of a day's delta. Every chunk repeats the day header (a
+/// subscriber may join mid-day); `last` marks the day's final chunk —
+/// the point where a follower's render() is the day's publication bytes.
+struct DeltaChunk {
+  std::uint32_t day = 0;
+  std::uint32_t seq = 0;
+  bool last = false;
+  bool degraded = false;
+  std::uint16_t lost_sites = 0;
+  std::uint32_t canary_alarms = 0;
+  std::vector<store::DeltaRow> upserts;
+  std::vector<net::Prefix> removals;
+  bool operator==(const DeltaChunk&) const = default;
+};
+
+/// Cursor advance: the subscriber has durably applied (day, seq).
+struct DeltaAck {
+  std::uint64_t subscription_id = 0;
+  Cursor cursor;
+  bool operator==(const DeltaAck&) const = default;
+};
+
+using MeshMessage =
+    std::variant<Hello, Welcome, Reject, Forward, ForwardReply, Subscribe,
+                 SubAck, DeltaChunk, DeltaAck>;
+
+/// Tagged-body codec. decode_mesh throws serve::ProtocolError on an
+/// unknown tag, malformed body, or trailing bytes.
+std::vector<std::uint8_t> encode_mesh(const MeshMessage& message);
+MeshMessage decode_mesh(std::span<const std::uint8_t> bytes);
+
+/// Splits a day's delta into chunks of at most `max_rows` rows (upserts +
+/// removals). Always yields at least one chunk — an unchanged day still
+/// advances every subscriber's cursor. Chunking is deterministic, so a
+/// replayed day re-chunks to identical (day, seq) coordinates.
+std::vector<DeltaChunk> chunk_delta(const store::DayDelta& delta,
+                                    std::size_t max_rows);
+
+/// Reassembles a chunk into the DayDelta slice a DeltaFollower applies.
+store::DayDelta to_delta(const DeltaChunk& chunk);
+
+/// True when subscription filter prefix `filter` covers census prefix `p`
+/// (same family, filter no longer than p, addresses nested).
+bool prefix_covers(const net::Prefix& filter, const net::Prefix& p);
+
+/// Applies a subscription's family/prefix filter to a chunk's rows. The
+/// (day, seq, last) header always survives — a fully filtered chunk is
+/// still delivered so the subscriber's cursor stays continuous.
+DeltaChunk filter_chunk(const DeltaChunk& chunk, std::uint8_t family,
+                        const std::vector<net::Prefix>& prefixes);
+
+std::string_view to_string(MeshTag tag);
+
+}  // namespace laces::mesh

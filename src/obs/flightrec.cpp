@@ -115,6 +115,13 @@ std::string_view to_string(FrEvent kind) {
     case FrEvent::kCacheMiss: return "cache-miss";
     case FrEvent::kRequestShed: return "request-shed";
     case FrEvent::kAuthFailure: return "auth-failure";
+    case FrEvent::kPeerConnected: return "peer-connected";
+    case FrEvent::kPeerDisconnected: return "peer-disconnected";
+    case FrEvent::kPeerRejected: return "peer-rejected";
+    case FrEvent::kDeltaPublished: return "delta-published";
+    case FrEvent::kDeltaPushed: return "delta-pushed";
+    case FrEvent::kDeltaDropped: return "delta-dropped";
+    case FrEvent::kForwarded: return "forwarded";
   }
   return "?";
 }

@@ -56,6 +56,14 @@ enum class FrEvent : std::uint8_t {
   kCacheMiss = 17,       // code = request tag
   kRequestShed = 18,     // code: 1 inflight cap, 2 queue full
   kAuthFailure = 19,
+  // Mesh relay lifecycle (src/mesh/).
+  kPeerConnected = 20,    // a = peer node id, b = negotiated version
+  kPeerDisconnected = 21,  // a = peer node id
+  kPeerRejected = 22,     // code = ErrorCode, a = peer node id
+  kDeltaPublished = 23,   // a = day, b = seq
+  kDeltaPushed = 24,      // a = day, b = seq
+  kDeltaDropped = 25,     // a = subscription id
+  kForwarded = 26,        // a = forward id, b = hops left
 };
 
 std::string_view to_string(FrEvent kind);

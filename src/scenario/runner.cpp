@@ -7,11 +7,7 @@
 #include "util/rng.hpp"
 
 namespace laces::scenario {
-namespace {
 
-/// Exponential re-join delay with mean `mean`, from a unit roll. Capped at
-/// 5 means so one unlucky worker cannot stretch the tail of a storm
-/// unboundedly (it still fires within the day's drain either way).
 SimDuration exponential_delay(SimDuration mean, double unit) {
   const double clamped = std::min(unit, 0.999999);
   const double factor = std::min(-std::log(1.0 - clamped), 5.0);
@@ -19,7 +15,39 @@ SimDuration exponential_delay(SimDuration mean, double unit) {
       static_cast<double>(mean.ns()) * factor));
 }
 
-}  // namespace
+std::vector<StormOutage> expand_storm(const Regime& regime,
+                                      std::uint64_t regime_salt,
+                                      std::size_t peers) {
+  // Deterministic storm membership: rank peers by a salted hash, hit the
+  // `count` smallest. Each victim drops with a small stable jitter and
+  // re-joins after an exponential delay — the trickle-back a real
+  // correlated outage shows.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  ranked.reserve(peers);
+  for (std::size_t w = 0; w < peers; ++w) {
+    ranked.emplace_back(
+        StableHash(regime_salt ^ 0x5702).mix(std::uint64_t{w}).value(), w);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  const std::size_t hit = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(regime.count, 1)), ranked.size());
+  std::vector<StormOutage> outages;
+  outages.reserve(hit);
+  for (std::size_t k = 0; k < hit; ++k) {
+    const std::size_t w = ranked[k].second;
+    const double jitter_u =
+        StableHash(regime_salt ^ 0x5703).mix(std::uint64_t{w}).unit();
+    const double rejoin_u =
+        StableHash(regime_salt ^ 0x5704).mix(std::uint64_t{w}).unit();
+    StormOutage outage;
+    outage.peer = w;
+    outage.down_after = SimDuration::from_seconds(jitter_u * 0.3);
+    outage.up_after = outage.down_after + SimDuration::millis(1) +
+                      exponential_delay(regime.mag, rejoin_u);
+    outages.push_back(outage);
+  }
+  return outages;
+}
 
 ScenarioRunner::ScenarioRunner(Scenario scenario, core::Session& session)
     : scenario_(std::move(scenario)), session_(session) {
@@ -120,33 +148,11 @@ void ScenarioRunner::begin_day(std::uint32_t day) {
         break;
       }
       case RegimeKind::kStorm: {
-        // Deterministic storm membership: rank workers by a day-keyed
-        // hash, hit the `count` smallest. Each victim drops with a small
-        // stable jitter and re-joins after an exponential delay — the
-        // trickle-back a real correlated outage shows.
-        std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
-        ranked.reserve(session_.worker_count());
-        for (std::size_t w = 0; w < session_.worker_count(); ++w) {
-          ranked.emplace_back(
-              StableHash(regime_salt ^ 0x5702).mix(std::uint64_t{w}).value(),
-              w);
-        }
-        std::sort(ranked.begin(), ranked.end());
-        const std::size_t hit = std::min<std::size_t>(
-            static_cast<std::size_t>(std::max(regime.count, 1)),
-            ranked.size());
-        for (std::size_t k = 0; k < hit; ++k) {
-          const std::size_t w = ranked[k].second;
-          const double jitter_u =
-              StableHash(regime_salt ^ 0x5703).mix(std::uint64_t{w}).unit();
-          const double rejoin_u =
-              StableHash(regime_salt ^ 0x5704).mix(std::uint64_t{w}).unit();
-          const SimTime down = day_start + regime.at +
-                               SimDuration::from_seconds(jitter_u * 0.3);
-          const SimTime up =
-              down + SimDuration::millis(1) +
-              exponential_delay(regime.mag, rejoin_u);
-          schedule_outage(w, down, up);
+        for (const StormOutage& outage :
+             expand_storm(regime, regime_salt, session_.worker_count())) {
+          schedule_outage(outage.peer,
+                          day_start + regime.at + outage.down_after,
+                          day_start + regime.at + outage.up_after);
         }
         break;
       }

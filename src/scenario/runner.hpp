@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/session.hpp"
 #include "fault/injector.hpp"
@@ -21,6 +22,28 @@
 #include "topo/overlay.hpp"
 
 namespace laces::scenario {
+
+/// Exponential re-join delay with mean `mean`, from a unit roll. Capped at
+/// 5 means so one unlucky peer cannot stretch the tail of a storm
+/// unboundedly.
+SimDuration exponential_delay(SimDuration mean, double unit);
+
+/// One deterministic storm outage: which peer drops, when (offset from the
+/// regime's `at` anchor), and when it re-joins.
+struct StormOutage {
+  std::size_t peer = 0;
+  SimDuration down_after;  // stable per-peer jitter within 0.3 s
+  SimDuration up_after;    // down_after + 1 ms + exponential re-join
+};
+
+/// Expands a kStorm regime over `peers` peers: ranks them by a salted
+/// stable hash, hits the `count` smallest, and derives each victim's
+/// down/up offsets. Pure in (regime, regime_salt, peers) — the
+/// ScenarioRunner drives census workers with it, and the mesh soak drives
+/// relay disconnect storms with the very same membership and timing.
+std::vector<StormOutage> expand_storm(const Regime& regime,
+                                      std::uint64_t regime_salt,
+                                      std::size_t peers);
 
 class ScenarioRunner {
  public:

@@ -7,6 +7,14 @@
 // different requests contend only 1/shards of the time. Hit, miss, insert
 // and eviction counts are exported through laces_obs
 // (laces_serve_response_cache_*_total).
+//
+// Each shard also carries a separately bounded *negative* LRU for typed
+// misses (e.g. the kUnknownDay error body for an absent day): repeated
+// lookups of something the archive does not have were previously a miss
+// every time, re-executing the query just to rediscover the absence. The
+// arena is separate so an attacker enumerating absent days can evict at
+// most negative entries, never real responses, and the whole arena can be
+// invalidated at once when an archive day commits and absences change.
 #pragma once
 
 #include <cstdint>
@@ -24,11 +32,16 @@ namespace laces::serve {
 
 class ResponseCache {
  public:
-  /// `shards` independent LRUs of `entries_per_shard` each. A zero for
-  /// either is bumped to one.
-  ResponseCache(std::size_t shards, std::size_t entries_per_shard);
+  /// `shards` independent LRUs of `entries_per_shard` each, plus a
+  /// negative arena of `negative_entries_per_shard` per shard. A zero for
+  /// shards or entries is bumped to one; zero negative entries disables
+  /// the negative arena.
+  ResponseCache(std::size_t shards, std::size_t entries_per_shard,
+                std::size_t negative_entries_per_shard = 0);
 
-  /// The cached response body, or nullptr on a miss.
+  /// The cached response body, or nullptr on a miss. Checks the positive
+  /// arena first, then the negative one (a cached typed miss is still an
+  /// answer — the caller cannot tell and does not need to).
   std::shared_ptr<const std::vector<std::uint8_t>> lookup(
       std::span<const std::uint8_t> key);
 
@@ -37,6 +50,18 @@ class ResponseCache {
   void insert(std::span<const std::uint8_t> key,
               std::shared_ptr<const std::vector<std::uint8_t>> value);
 
+  /// Inserts a typed-miss body (e.g. an encoded kUnknownDay error) into
+  /// the shard's negative arena. No-op when the arena is disabled.
+  void insert_negative(std::span<const std::uint8_t> key,
+                       std::shared_ptr<const std::vector<std::uint8_t>> value);
+
+  /// Drops every negative entry — call when the set of absences changes
+  /// (an archive day committed).
+  void invalidate_negative();
+
+  /// Drops everything, both arenas (mesh relays on a feed day roll).
+  void clear();
+
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
@@ -44,30 +69,42 @@ class ResponseCache {
   std::uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  std::uint64_t negative_hits() const {
+    return negative_hits_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const;
+  std::size_t negative_size() const;
   std::size_t shard_count() const { return shards_.size(); }
 
  private:
   using Key = std::string;  // canonical request bytes
+  using Lru =
+      std::list<std::pair<Key, std::shared_ptr<const std::vector<std::uint8_t>>>>;
   struct Shard {
     std::mutex mutex;
     /// Most-recent at front; evict from the back.
-    std::list<std::pair<Key, std::shared_ptr<const std::vector<std::uint8_t>>>>
-        lru;
-    std::unordered_map<std::string_view, decltype(lru)::iterator> by_key;
+    Lru lru;
+    std::unordered_map<std::string_view, Lru::iterator> by_key;
+    /// Negative arena: same shape, independent bound.
+    Lru neg_lru;
+    std::unordered_map<std::string_view, Lru::iterator> neg_by_key;
   };
 
   Shard& shard_for(std::span<const std::uint8_t> key);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t entries_per_shard_;
+  std::size_t negative_entries_per_shard_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> negative_hits_{0};
   obs::Counter* hits_counter_ = nullptr;
   obs::Counter* misses_counter_ = nullptr;
   obs::Counter* inserts_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* negative_hits_counter_ = nullptr;
+  obs::Counter* negative_inserts_counter_ = nullptr;
 };
 
 }  // namespace laces::serve

@@ -134,6 +134,9 @@ std::string json_stats(const ServeStats& s) {
          std::to_string(s.response_cache_evictions);
   out += ",\"response_cache_entries\":" +
          std::to_string(s.response_cache_entries);
+  out += ",\"negative_cache_hits\":" + std::to_string(s.negative_cache_hits);
+  out += ",\"negative_cache_entries\":" +
+         std::to_string(s.negative_cache_entries);
   out += ",\"segment_cache_hits\":" + std::to_string(s.segment_cache_hits);
   out += ",\"segment_cache_misses\":" + std::to_string(s.segment_cache_misses);
   out += ",\"flightrec_recorded\":" + std::to_string(s.flightrec_recorded);
@@ -203,6 +206,54 @@ std::string json_flightrec_tail(const std::vector<FlightEvent>& events) {
   return out;
 }
 
+std::string json_mesh_stats(const MeshStatsResponse& m) {
+  std::string out = "{\"mesh\":{";
+  out += "\"node_id\":" + std::to_string(m.node_id);
+  out += ",\"name\":\"" + escape(m.name) + "\"";
+  out += ",\"feed_day\":" + std::to_string(m.feed_day);
+  out += ",\"feed_seq\":" + std::to_string(m.feed_seq);
+  out += ",\"deltas_published\":" + std::to_string(m.deltas_published);
+  out += ",\"deltas_forwarded\":" + std::to_string(m.deltas_forwarded);
+  out += ",\"deltas_dropped\":" + std::to_string(m.deltas_dropped);
+  out += ",\"duplicate_deltas\":" + std::to_string(m.duplicate_deltas);
+  out += ",\"forwards_seen\":" + std::to_string(m.forwards_seen);
+  out += ",\"forward_dups_suppressed\":" +
+         std::to_string(m.forward_dups_suppressed);
+  out += ",\"forwards_answered\":" + std::to_string(m.forwards_answered);
+  out += ",\"negative_cache_hits\":" + std::to_string(m.negative_cache_hits);
+  out += ",\"peers\":[";
+  for (std::size_t i = 0; i < m.peers.size(); ++i) {
+    const auto& p = m.peers[i];
+    if (i) out += ',';
+    out += "{\"node_id\":" + std::to_string(p.node_id);
+    out += ",\"name\":\"" + escape(p.name) + "\"";
+    out += ",\"version\":" + std::to_string(p.version);
+    out += ",\"forwards_sent\":" + std::to_string(p.forwards_sent);
+    out += ",\"forwards_received\":" + std::to_string(p.forwards_received);
+    out += ",\"deltas_sent\":" + std::to_string(p.deltas_sent);
+    out += ",\"deltas_received\":" + std::to_string(p.deltas_received);
+    out += '}';
+  }
+  out += "],\"subscriptions\":[";
+  for (std::size_t i = 0; i < m.subscriptions.size(); ++i) {
+    const auto& s = m.subscriptions[i];
+    if (i) out += ',';
+    out += "{\"id\":" + std::to_string(s.id);
+    out += ",\"subscriber\":\"" + escape(s.subscriber) + "\"";
+    out += ",\"family\":" + std::to_string(s.family);
+    out += ",\"priority\":" + std::to_string(s.priority);
+    out += ",\"prefix_count\":" + std::to_string(s.prefix_count);
+    out += ",\"acked_day\":" + std::to_string(s.acked_day);
+    out += ",\"acked_seq\":" + std::to_string(s.acked_seq);
+    out += ",\"lag_days\":" + std::to_string(s.lag_days);
+    out += ",\"chunks_pushed\":" + std::to_string(s.chunks_pushed);
+    out += ",\"chunks_dropped\":" + std::to_string(s.chunks_dropped);
+    out += '}';
+  }
+  out += "]}}\n";
+  return out;
+}
+
 std::string json_response(const Response& response) {
   return std::visit(
       [](const auto& resp) -> std::string {
@@ -230,6 +281,8 @@ std::string json_response(const Response& response) {
           return json_trace_tail(resp);
         } else if constexpr (std::is_same_v<T, FlightRecTailResponse>) {
           return json_flightrec_tail(resp.events);
+        } else if constexpr (std::is_same_v<T, MeshStatsResponse>) {
+          return json_mesh_stats(resp);
         }
       },
       response);

@@ -26,6 +26,7 @@ std::string json_stats(const ServeStats& stats);
 std::string json_latency(const std::vector<StageLatency>& stages);
 std::string json_trace_tail(const TraceTailResponse& tail);
 std::string json_flightrec_tail(const std::vector<FlightEvent>& events);
+std::string json_mesh_stats(const MeshStatsResponse& mesh);
 
 /// Dispatches a decoded response body to the renderer above.
 std::string json_response(const Response& response);

@@ -17,6 +17,7 @@ enum class RequestTag : std::uint8_t {
   kLatency = 7,
   kTraceTail = 8,
   kFlightRecTail = 9,
+  kMeshStats = 10,
 };
 
 enum class ResponseTag : std::uint8_t {
@@ -30,6 +31,7 @@ enum class ResponseTag : std::uint8_t {
   kLatency = 8,
   kTraceTail = 9,
   kFlightRecTail = 10,
+  kMeshStats = 11,
 };
 
 void put_prefix(ByteWriter& w, const net::Prefix& prefix) {
@@ -127,6 +129,8 @@ void put_serve_stats(ByteWriter& w, const ServeStats& s) {
   w.varint(s.response_cache_misses);
   w.varint(s.response_cache_evictions);
   w.varint(s.response_cache_entries);
+  w.varint(s.negative_cache_hits);
+  w.varint(s.negative_cache_entries);
   w.varint(s.segment_cache_hits);
   w.varint(s.segment_cache_misses);
   w.varint(s.flightrec_recorded);
@@ -147,6 +151,8 @@ ServeStats get_serve_stats(ByteReader& r) {
   s.response_cache_misses = r.varint();
   s.response_cache_evictions = r.varint();
   s.response_cache_entries = r.varint();
+  s.negative_cache_hits = r.varint();
+  s.negative_cache_entries = r.varint();
   s.segment_cache_hits = r.varint();
   s.segment_cache_misses = r.varint();
   s.flightrec_recorded = r.varint();
@@ -202,6 +208,104 @@ SpanInfo get_span(ByteReader& r) {
   return s;
 }
 
+void put_mesh_peer(ByteWriter& w, const MeshPeerInfo& p) {
+  w.u64(p.node_id);
+  w.str(p.name);
+  w.u8(p.version);
+  w.varint(p.forwards_sent);
+  w.varint(p.forwards_received);
+  w.varint(p.deltas_sent);
+  w.varint(p.deltas_received);
+}
+
+MeshPeerInfo get_mesh_peer(ByteReader& r) {
+  MeshPeerInfo p;
+  p.node_id = r.u64();
+  p.name = r.str();
+  p.version = r.u8();
+  p.forwards_sent = r.varint();
+  p.forwards_received = r.varint();
+  p.deltas_sent = r.varint();
+  p.deltas_received = r.varint();
+  return p;
+}
+
+void put_mesh_subscription(ByteWriter& w, const MeshSubscriptionInfo& s) {
+  w.varint(s.id);
+  w.str(s.subscriber);
+  w.u8(s.family);
+  w.u8(s.priority);
+  w.u32(s.prefix_count);
+  w.u32(s.acked_day);
+  w.u32(s.acked_seq);
+  w.u32(s.lag_days);
+  w.varint(s.chunks_pushed);
+  w.varint(s.chunks_dropped);
+}
+
+MeshSubscriptionInfo get_mesh_subscription(ByteReader& r) {
+  MeshSubscriptionInfo s;
+  s.id = r.varint();
+  s.subscriber = r.str();
+  s.family = r.u8();
+  if (s.family != 0 && s.family != 4 && s.family != 6) {
+    throw ProtocolError("mesh subscription: bad family " +
+                        std::to_string(s.family));
+  }
+  s.priority = r.u8();
+  s.prefix_count = r.u32();
+  s.acked_day = r.u32();
+  s.acked_seq = r.u32();
+  s.lag_days = r.u32();
+  s.chunks_pushed = r.varint();
+  s.chunks_dropped = r.varint();
+  return s;
+}
+
+void put_mesh_stats(ByteWriter& w, const MeshStatsResponse& m) {
+  w.u64(m.node_id);
+  w.str(m.name);
+  w.u32(m.feed_day);
+  w.u32(m.feed_seq);
+  w.varint(m.deltas_published);
+  w.varint(m.deltas_forwarded);
+  w.varint(m.deltas_dropped);
+  w.varint(m.duplicate_deltas);
+  w.varint(m.forwards_seen);
+  w.varint(m.forward_dups_suppressed);
+  w.varint(m.forwards_answered);
+  w.varint(m.negative_cache_hits);
+  w.varint(m.peers.size());
+  for (const auto& p : m.peers) put_mesh_peer(w, p);
+  w.varint(m.subscriptions.size());
+  for (const auto& s : m.subscriptions) put_mesh_subscription(w, s);
+}
+
+MeshStatsResponse get_mesh_stats(ByteReader& r) {
+  MeshStatsResponse m;
+  m.node_id = r.u64();
+  m.name = r.str();
+  m.feed_day = r.u32();
+  m.feed_seq = r.u32();
+  m.deltas_published = r.varint();
+  m.deltas_forwarded = r.varint();
+  m.deltas_dropped = r.varint();
+  m.duplicate_deltas = r.varint();
+  m.forwards_seen = r.varint();
+  m.forward_dups_suppressed = r.varint();
+  m.forwards_answered = r.varint();
+  m.negative_cache_hits = r.varint();
+  const std::uint64_t peers = r.varint();
+  m.peers.reserve(static_cast<std::size_t>(peers));
+  for (std::uint64_t i = 0; i < peers; ++i) m.peers.push_back(get_mesh_peer(r));
+  const std::uint64_t subs = r.varint();
+  m.subscriptions.reserve(static_cast<std::size_t>(subs));
+  for (std::uint64_t i = 0; i < subs; ++i) {
+    m.subscriptions.push_back(get_mesh_subscription(r));
+  }
+  return m;
+}
+
 void put_flight_event(ByteWriter& w, const FlightEvent& e) {
   w.i64(e.wall_ns);
   w.i64(e.sim_ns);
@@ -251,6 +355,10 @@ std::string_view to_string(ErrorCode code) {
       return "overloaded";
     case ErrorCode::kShuttingDown:
       return "shutting-down";
+    case ErrorCode::kVersionMismatch:
+      return "version-mismatch";
+    case ErrorCode::kUnreachable:
+      return "unreachable";
   }
   return "?";
 }
@@ -282,6 +390,8 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
         } else if constexpr (std::is_same_v<T, FlightRecTailRequest>) {
           w.u8(static_cast<std::uint8_t>(RequestTag::kFlightRecTail));
           w.u32(req.max);
+        } else if constexpr (std::is_same_v<T, MeshStatsRequest>) {
+          w.u8(static_cast<std::uint8_t>(RequestTag::kMeshStats));
         }
       },
       request);
@@ -333,6 +443,9 @@ Request decode_request(std::span<const std::uint8_t> bytes) {
         request = req;
         break;
       }
+      case RequestTag::kMeshStats:
+        request = MeshStatsRequest{};
+        break;
       default:
         throw ProtocolError("request: unknown tag " +
                             std::to_string(static_cast<int>(tag)));
@@ -399,6 +512,9 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
           w.u8(static_cast<std::uint8_t>(ResponseTag::kFlightRecTail));
           w.varint(resp.events.size());
           for (const auto& e : resp.events) put_flight_event(w, e);
+        } else if constexpr (std::is_same_v<T, MeshStatsResponse>) {
+          w.u8(static_cast<std::uint8_t>(ResponseTag::kMeshStats));
+          put_mesh_stats(w, resp);
         }
       },
       response);
@@ -414,7 +530,7 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
       case ResponseTag::kError: {
         ErrorResponse resp;
         const std::uint8_t code = r.u8();
-        if (code < 1 || code > 5) {
+        if (code < 1 || code > 7) {
           throw ProtocolError("error response: unknown code " +
                               std::to_string(code));
         }
@@ -506,6 +622,9 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
         response = std::move(resp);
         break;
       }
+      case ResponseTag::kMeshStats:
+        response = get_mesh_stats(r);
+        break;
       default:
         throw ProtocolError("response: unknown tag " +
                             std::to_string(static_cast<int>(tag)));
@@ -517,10 +636,11 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> encode_frame(const std::string& key, FrameKind kind,
                                        std::uint64_t request_id,
-                                       std::span<const std::uint8_t> payload) {
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version) {
   ByteWriter w;
   w.u16(kFrameMagic);
-  w.u8(kProtocolVersion);
+  w.u8(version);
   w.u8(static_cast<std::uint8_t>(kind));
   w.u64(request_id);
   w.u32(static_cast<std::uint32_t>(payload.size()));
@@ -533,22 +653,30 @@ std::vector<std::uint8_t> encode_frame(const std::string& key, FrameKind kind,
   return w.take();
 }
 
-Frame decode_frame(const std::string& key,
-                   std::span<const std::uint8_t> bytes) {
+Frame decode_frame(const std::string& key, std::span<const std::uint8_t> bytes,
+                   std::uint8_t max_version) {
   return guarded("frame", [&]() -> Frame {
     ByteReader r(bytes);
     if (r.u16() != kFrameMagic) throw ProtocolError("frame: bad magic");
     const std::uint8_t version = r.u8();
-    if (version != kProtocolVersion) {
+    if (version < kProtocolVersionMin || version > max_version ||
+        version > kProtocolVersionMax) {
       throw ProtocolError("frame: unsupported protocol version " +
                           std::to_string(version));
     }
     const std::uint8_t kind = r.u8();
     if (kind != static_cast<std::uint8_t>(FrameKind::kRequest) &&
-        kind != static_cast<std::uint8_t>(FrameKind::kResponse)) {
+        kind != static_cast<std::uint8_t>(FrameKind::kResponse) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kMesh)) {
       throw ProtocolError("frame: unknown kind " + std::to_string(kind));
     }
+    if (kind == static_cast<std::uint8_t>(FrameKind::kMesh) &&
+        version < kMeshProtocolVersion) {
+      throw ProtocolError("frame: mesh frames require protocol version >= " +
+                          std::to_string(kMeshProtocolVersion));
+    }
     Frame frame;
+    frame.version = version;
     frame.kind = static_cast<FrameKind>(kind);
     frame.request_id = r.u64();
     const std::uint32_t len = r.u32();
@@ -583,6 +711,7 @@ std::string_view request_label(const Request& request) {
         if constexpr (std::is_same_v<T, FlightRecTailRequest>) {
           return "flightrec-tail";
         }
+        if constexpr (std::is_same_v<T, MeshStatsRequest>) return "mesh-stats";
       },
       request);
 }
@@ -591,7 +720,8 @@ bool is_admin_request(const Request& request) {
   return std::holds_alternative<StatsRequest>(request) ||
          std::holds_alternative<LatencyRequest>(request) ||
          std::holds_alternative<TraceTailRequest>(request) ||
-         std::holds_alternative<FlightRecTailRequest>(request);
+         std::holds_alternative<FlightRecTailRequest>(request) ||
+         std::holds_alternative<MeshStatsRequest>(request);
 }
 
 }  // namespace laces::serve

@@ -37,9 +37,24 @@ class ProtocolError : public std::runtime_error {
 };
 
 constexpr std::uint16_t kFrameMagic = 0x4c53;  // "LS"
+/// The v1 data plane: request/response frames. Unchanged since PR 5, so
+/// every existing client keeps working byte-for-byte.
 constexpr std::uint8_t kProtocolVersion = 1;
+/// Version 2 adds the mesh plane (FrameKind::kMesh). A decoder accepts
+/// [kProtocolVersionMin, kProtocolVersionMax]; relays negotiate the
+/// highest version both peers speak (serve/../mesh/wire.hpp).
+constexpr std::uint8_t kProtocolVersionMin = 1;
+constexpr std::uint8_t kProtocolVersionMax = 2;
+/// First frame version that carries mesh messages.
+constexpr std::uint8_t kMeshProtocolVersion = 2;
 
-enum class FrameKind : std::uint8_t { kRequest = 1, kResponse = 2 };
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  /// Relay-to-relay mesh message (v2 frames only): the payload is a
+  /// mesh::wire tagged body, not a Request/Response.
+  kMesh = 3,
+};
 
 // --- requests ---
 
@@ -101,10 +116,20 @@ struct FlightRecTailRequest {
   bool operator==(const FlightRecTailRequest&) const = default;
 };
 
+/// Per-peer mesh state: connected peers, subscriptions, cursor lag,
+/// dropped-delta counts (src/mesh/relay.hpp). Answered inline by a relay;
+/// a plain archive server answers with an empty snapshot.
+struct MeshStatsRequest {
+  bool operator==(const MeshStatsRequest&) const = default;
+};
+
+// New request types append at the END: RequestTag (protocol.cpp) is the
+// variant index + 1, so earlier tags — and every archived client — keep
+// their wire bytes.
 using Request = std::variant<SummaryRequest, StabilityRequest, HistoryRequest,
                              IntermittentRequest, ExportDayRequest,
                              StatsRequest, LatencyRequest, TraceTailRequest,
-                             FlightRecTailRequest>;
+                             FlightRecTailRequest, MeshStatsRequest>;
 
 /// True for the introspection requests the server answers inline.
 bool is_admin_request(const Request& request);
@@ -120,6 +145,8 @@ enum class ErrorCode : std::uint8_t {
   kCorruptArchive = 3,  // a segment failed its SHA-256 / digest check
   kOverloaded = 4,    // queue full or per-connection in-flight cap hit
   kShuttingDown = 5,  // server is draining
+  kVersionMismatch = 6,  // peers share no protocol version (mesh handshake)
+  kUnreachable = 7,   // no relay in reach could answer (forward dead-end)
 };
 
 std::string_view to_string(ErrorCode code);
@@ -170,6 +197,9 @@ struct ServeStats {
   std::uint64_t response_cache_misses = 0;
   std::uint64_t response_cache_evictions = 0;
   std::uint64_t response_cache_entries = 0;
+  /// Negative arena (cached typed misses, e.g. unknown-day errors).
+  std::uint64_t negative_cache_hits = 0;
+  std::uint64_t negative_cache_entries = 0;
   std::uint64_t segment_cache_hits = 0;   // ArchiveReader decoded-segment LRU
   std::uint64_t segment_cache_misses = 0;
   std::uint64_t flightrec_recorded = 0;
@@ -238,11 +268,58 @@ struct FlightRecTailResponse {
   bool operator==(const FlightRecTailResponse&) const = default;
 };
 
+/// One connected mesh peer as seen by the answering relay.
+struct MeshPeerInfo {
+  std::uint64_t node_id = 0;
+  std::string name;
+  std::uint8_t version = 0;  // negotiated frame version on this link
+  std::uint64_t forwards_sent = 0;
+  std::uint64_t forwards_received = 0;
+  std::uint64_t deltas_sent = 0;
+  std::uint64_t deltas_received = 0;
+  bool operator==(const MeshPeerInfo&) const = default;
+};
+
+/// One subscription registered at the answering relay.
+struct MeshSubscriptionInfo {
+  std::uint64_t id = 0;
+  std::string subscriber;  // peer name, or "local" for in-process sinks
+  std::uint8_t family = 0;  // 0 = both, 4, 6
+  std::uint8_t priority = 0;  // higher flushes first
+  std::uint32_t prefix_count = 0;  // 0 = all prefixes
+  std::uint32_t acked_day = 0;
+  std::uint32_t acked_seq = 0;
+  /// Feed-head distance: days the subscriber's ack trails the relay's feed.
+  std::uint32_t lag_days = 0;
+  std::uint64_t chunks_pushed = 0;
+  std::uint64_t chunks_dropped = 0;
+  bool operator==(const MeshSubscriptionInfo&) const = default;
+};
+
+struct MeshStatsResponse {
+  std::uint64_t node_id = 0;
+  std::string name;
+  std::uint32_t feed_day = 0;  // newest census day this relay has seen
+  std::uint32_t feed_seq = 0;
+  std::uint64_t deltas_published = 0;  // chunks originated here
+  std::uint64_t deltas_forwarded = 0;  // chunks pushed to subscribers
+  std::uint64_t deltas_dropped = 0;    // pushes to vanished peers
+  std::uint64_t duplicate_deltas = 0;  // chunks at-or-below our cursor
+  std::uint64_t forwards_seen = 0;     // forwards received (pre-dedup)
+  std::uint64_t forward_dups_suppressed = 0;
+  std::uint64_t forwards_answered = 0;  // answered from cache or archive
+  std::uint64_t negative_cache_hits = 0;
+  std::vector<MeshPeerInfo> peers;
+  std::vector<MeshSubscriptionInfo> subscriptions;
+  bool operator==(const MeshStatsResponse&) const = default;
+};
+
+// Appended at the END (see the Request variant note).
 using Response =
     std::variant<ErrorResponse, SummaryResponse, StabilityResponse,
                  HistoryResponse, IntermittentResponse, ExportDayResponse,
                  StatsResponse, LatencyResponse, TraceTailResponse,
-                 FlightRecTailResponse>;
+                 FlightRecTailResponse, MeshStatsResponse>;
 
 // --- body codecs (canonical bytes) ---
 
@@ -258,18 +335,25 @@ Response decode_response(std::span<const std::uint8_t> bytes);
 
 /// A parsed, authenticated frame.
 struct Frame {
+  std::uint8_t version = kProtocolVersion;
   FrameKind kind = FrameKind::kRequest;
   std::uint64_t request_id = 0;
   std::vector<std::uint8_t> payload;
 };
 
-/// Wraps a body in a signed frame.
+/// Wraps a body in a signed frame. `version` defaults to the v1 data
+/// plane; mesh frames pass kMeshProtocolVersion (kMesh is rejected below
+/// v2 at decode).
 std::vector<std::uint8_t> encode_frame(const std::string& key, FrameKind kind,
                                        std::uint64_t request_id,
-                                       std::span<const std::uint8_t> payload);
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version = kProtocolVersion);
 
 /// Verifies structure and MAC; throws ProtocolError on any mismatch.
-Frame decode_frame(const std::string& key, std::span<const std::uint8_t> bytes);
+/// `max_version` lets a version-pinned endpoint (e.g. a v1-only relay in a
+/// skewed mesh) structurally refuse newer frames instead of parsing them.
+Frame decode_frame(const std::string& key, std::span<const std::uint8_t> bytes,
+                   std::uint8_t max_version = kProtocolVersionMax);
 
 /// Human-readable request label ("summary", "history", ...) for metrics.
 std::string_view request_label(const Request& request);

@@ -45,7 +45,8 @@ std::future<std::vector<std::uint8_t>> Connection::submit(
 Server::Server(store::ArchiveReader& reader, ServerConfig config)
     : reader_(reader),
       config_(std::move(config)),
-      cache_(config_.cache_shards, config_.cache_entries_per_shard),
+      cache_(config_.cache_shards, config_.cache_entries_per_shard,
+             config_.negative_entries_per_shard),
       engine_(reader) {
   if (config_.threads == 0) config_.threads = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
@@ -89,6 +90,8 @@ ServeStats Server::stats() const {
   s.response_cache_misses = cache_.misses();
   s.response_cache_evictions = cache_.evictions();
   s.response_cache_entries = cache_.size();
+  s.negative_cache_hits = cache_.negative_hits();
+  s.negative_cache_entries = cache_.negative_size();
   s.segment_cache_hits = reader_.cache_hits();
   s.segment_cache_misses = reader_.cache_misses();
   const auto& frec = obs::FlightRecorder::global();
@@ -115,6 +118,11 @@ std::vector<StageLatency> Server::latency_stages() const {
 Response Server::admin_response(const Request& request) const {
   if (std::holds_alternative<StatsRequest>(request)) {
     return StatsResponse{stats()};
+  }
+  if (std::holds_alternative<MeshStatsRequest>(request)) {
+    // A plain archive server has no mesh: the empty snapshot is the honest
+    // answer, and a relay-backed server delegates to its relay.
+    return mesh_stats_provider_ ? mesh_stats_provider_() : MeshStatsResponse{};
   }
   if (std::holds_alternative<LatencyRequest>(request)) {
     return LatencyResponse{latency_stages()};
@@ -340,11 +348,21 @@ void Server::worker_loop() {
         std::chrono::duration<double, std::micro>(t1 - t0).count());
     std::vector<std::uint8_t> body = encode_response(response);
 
-    // Only successful responses are cached; errors stay uncached so a
-    // healed archive (or a drained overload) is retried at full fidelity.
+    // Only successful responses are cached positively; errors stay out so
+    // a healed archive (or a drained overload) is retried at full
+    // fidelity. The one exception is kUnknownDay: the day's absence is a
+    // durable fact of the (immutable) manifest, so its error body goes to
+    // the bounded negative arena — repeated absent-day lookups stop
+    // re-walking the archive. The arena is invalidated wholesale when an
+    // append changes what exists (mesh relays do this on day commit).
     if (!std::holds_alternative<ErrorResponse>(response)) {
       cache_.insert(job.canonical,
                     std::make_shared<const std::vector<std::uint8_t>>(body));
+    } else if (std::get<ErrorResponse>(response).code ==
+               ErrorCode::kUnknownDay) {
+      cache_.insert_negative(
+          job.canonical,
+          std::make_shared<const std::vector<std::uint8_t>>(body));
     }
     render_us_.observe(micros_since(t1));
     requests_executed_.fetch_add(1, std::memory_order_relaxed);

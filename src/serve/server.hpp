@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,9 @@ struct ServerConfig {
   /// Response cache geometry.
   std::size_t cache_shards = 8;
   std::size_t cache_entries_per_shard = 256;
+  /// Negative-result arena per shard (cached typed misses such as
+  /// unknown-day errors). 0 disables negative caching.
+  std::size_t negative_entries_per_shard = 64;
   /// Shared HMAC key; clients must present the same key (core::frame_mac).
   std::string key = "laces-serve";
   /// Backoff hint attached to kOverloaded shed responses.
@@ -110,6 +114,16 @@ class Server {
 
   const ServerConfig& config() const { return config_; }
   const ResponseCache& cache() const { return cache_; }
+  /// Mutable handle for the owning relay (day-roll invalidation).
+  ResponseCache& cache_mut() { return cache_; }
+
+  /// Lets a co-located mesh relay answer in-band MeshStatsRequest frames
+  /// with its live peer/subscription state. Unset, the server answers with
+  /// an empty snapshot (a plain archive server has no peers). Set before
+  /// serving traffic; the provider must be thread-safe.
+  void set_mesh_stats_provider(std::function<MeshStatsResponse()> provider) {
+    mesh_stats_provider_ = std::move(provider);
+  }
 
   /// Requests answered by a worker (cache misses that executed).
   std::uint64_t requests_executed() const {
@@ -168,6 +182,7 @@ class Server {
   store::ArchiveReader& reader_;
   ServerConfig config_;
   ResponseCache cache_;
+  std::function<MeshStatsResponse()> mesh_stats_provider_;
 
   /// Stability/intermittent queries share one QueryEngine so the expensive
   /// longitudinal replay happens once; the engine's lazy replay state is

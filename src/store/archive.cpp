@@ -111,6 +111,7 @@ const ManifestEntry& ArchiveWriter::append(const census::DailyCensus& census) {
   segment_bytes_->add(stored.segment_bytes);
   csv_bytes_->add(stored.csv_bytes);
   span.set_attr("segment_bytes", std::to_string(stored.segment_bytes));
+  if (commit_hook_) commit_hook_(stored, census);
   return stored;
 }
 

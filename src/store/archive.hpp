@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <shared_mutex>
@@ -41,12 +42,21 @@ class ArchiveWriter {
   /// Persists the resume checkpoint (atomic overwrite).
   void write_checkpoint(const Checkpoint& checkpoint);
 
+  /// Called at the end of every successful append(), after the segment and
+  /// manifest are durable — the day-commit hook the mesh pub/sub publisher
+  /// hangs off (src/mesh/). Runs on the appending thread; exceptions
+  /// propagate to the append() caller.
+  using CommitHook =
+      std::function<void(const ManifestEntry&, const census::DailyCensus&)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   const Manifest& manifest() const { return manifest_; }
   const std::filesystem::path& dir() const { return dir_; }
 
  private:
   std::filesystem::path dir_;
   Manifest manifest_;
+  CommitHook commit_hook_;
   obs::Counter* segments_written_ = nullptr;
   obs::Counter* segment_bytes_ = nullptr;
   obs::Counter* csv_bytes_ = nullptr;

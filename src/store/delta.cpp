@@ -1,0 +1,78 @@
+#include "store/delta.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "census/output.hpp"
+
+namespace laces::store {
+
+DayDelta compute_day_delta(const census::DailyCensus* prev,
+                           const census::DailyCensus& cur) {
+  DayDelta delta;
+  delta.day = cur.day;
+  delta.degraded = cur.degraded;
+  delta.lost_sites = cur.lost_sites;
+  delta.canary_alarms = cur.canary_alarms;
+
+  // Render the previous publication once; lines are compared, not records,
+  // so a record change invisible to the CSV is (correctly) not a delta.
+  std::map<net::Prefix, std::string> prev_lines;
+  if (prev != nullptr) {
+    for (const auto& prefix : prev->published_prefixes()) {
+      prev_lines.emplace(prefix, census::to_csv(*prev->find(prefix)));
+    }
+  }
+
+  for (const auto& prefix : cur.published_prefixes()) {
+    std::string line = census::to_csv(*cur.find(prefix));
+    const auto it = prev_lines.find(prefix);
+    if (it == prev_lines.end() || it->second != line) {
+      delta.upserts.push_back(DeltaRow{prefix, std::move(line)});
+    }
+    if (it != prev_lines.end()) prev_lines.erase(it);
+  }
+  // Whatever survived in prev_lines was published yesterday but not today.
+  delta.removals.reserve(prev_lines.size());
+  for (const auto& [prefix, line] : prev_lines) {
+    delta.removals.push_back(prefix);
+  }
+  // published_prefixes() is sorted and std::map iterates in order, so both
+  // lists are already sorted; std::sort here would be a no-op.
+  return delta;
+}
+
+void DeltaFollower::apply(const DayDelta& delta) {
+  if (delta.day < day_) {
+    throw std::runtime_error("delta follower: day " +
+                             std::to_string(delta.day) +
+                             " arrived after day " + std::to_string(day_));
+  }
+  day_ = delta.day;
+  degraded_ = delta.degraded;
+  lost_sites_ = delta.lost_sites;
+  canary_alarms_ = delta.canary_alarms;
+  for (const auto& row : delta.upserts) {
+    rows_[row.prefix] = row.line;
+  }
+  for (const auto& prefix : delta.removals) {
+    rows_.erase(prefix);
+  }
+}
+
+std::string DeltaFollower::render() const {
+  std::ostringstream out;
+  out << "# LACeS census day " << day_ << "\n";
+  if (degraded_) {
+    out << "# degraded: lost_sites=" << lost_sites_
+        << " canary_alarms=" << canary_alarms_ << "\n";
+  }
+  out << census::csv_header() << "\n";
+  for (const auto& [prefix, line] : rows_) {
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace laces::store

@@ -7,6 +7,8 @@
 //   laces query    --archive DIR ...             query an archived series
 //   laces serve    --archive DIR ...             concurrent query server
 //   laces bench-serve --archive DIR ...          query-server load test
+//   laces relay    --archive DIR ...             in-process relay mesh demo
+//   laces subscribe --archive DIR ...            follow a census delta feed
 //
 // Every subcommand builds its own deterministic world; --seed reproduces a
 // run exactly. `census --archive DIR` persists each day into a laces_store
@@ -14,6 +16,9 @@
 // continues a killed series byte-identically. `serve` runs the laces_serve
 // thread-pool server in-process and drives scripted request lines through
 // the framed protocol; `bench-serve` runs the load generator against it.
+// `relay` chains N laces_mesh relays over the archive, replays the census
+// delta feed down the chain, checks byte-identity at the tail, and answers
+// scripted queries forwarded hop-by-hop back to the origin server.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +48,7 @@
 #include "core/session.hpp"
 #include "gcd/classify.hpp"
 #include "hitlist/hitlist.hpp"
+#include "mesh/relay.hpp"
 #include "platform/latency.hpp"
 #include "platform/platform.hpp"
 #include "platform/traceroute.hpp"
@@ -677,8 +683,10 @@ int cmd_query(const Args& args) {
   }
 }
 
-/// Request-line grammar shared by `laces serve --script`:
+/// Request-line grammar shared by `laces serve --script` and
+/// `laces relay --script`:
 ///   summary | stability | intermittent | history A.B.C.0/24 | export-day N
+///   | stats | mesh-stats | latency | trace-tail N | flightrec-tail N
 std::optional<serve::Request> parse_request_line(const std::string& line,
                                                 std::string* error) {
   std::istringstream in(line);
@@ -710,6 +718,7 @@ std::optional<serve::Request> parse_request_line(const std::string& line,
         serve::ExportDayRequest{static_cast<std::uint32_t>(day)}};
   }
   if (verb == "stats") return serve::Request{serve::StatsRequest{}};
+  if (verb == "mesh-stats") return serve::Request{serve::MeshStatsRequest{}};
   if (verb == "latency") return serve::Request{serve::LatencyRequest{}};
   if (verb == "trace-tail" || verb == "flightrec-tail") {
     long max = 0;
@@ -936,6 +945,104 @@ int cmd_flightrec(const std::string& path) {
   }
 }
 
+/// Renders one relay's MeshStatsResponse: a counters line plus per-peer
+/// and per-subscription tables — the human form of the in-band
+/// `mesh-stats` answer.
+void print_mesh_stats(const serve::MeshStatsResponse& mesh) {
+  std::printf(
+      "mesh node %llu '%s': feed=(day %u, seq %u) published=%llu "
+      "pushed=%llu dropped=%llu dup=%llu\n"
+      "  forwards: seen=%llu suppressed=%llu answered=%llu "
+      "negative_cache_hits=%llu\n",
+      static_cast<unsigned long long>(mesh.node_id), mesh.name.c_str(),
+      mesh.feed_day, mesh.feed_seq,
+      static_cast<unsigned long long>(mesh.deltas_published),
+      static_cast<unsigned long long>(mesh.deltas_forwarded),
+      static_cast<unsigned long long>(mesh.deltas_dropped),
+      static_cast<unsigned long long>(mesh.duplicate_deltas),
+      static_cast<unsigned long long>(mesh.forwards_seen),
+      static_cast<unsigned long long>(mesh.forward_dups_suppressed),
+      static_cast<unsigned long long>(mesh.forwards_answered),
+      static_cast<unsigned long long>(mesh.negative_cache_hits));
+  if (!mesh.peers.empty()) {
+    TextTable peers({"Peer", "Node", "Ver", "Fwd out", "Fwd in", "Delta out",
+                     "Delta in"});
+    for (const auto& p : mesh.peers) {
+      peers.add_row({p.name, std::to_string(p.node_id),
+                     std::to_string(p.version),
+                     with_commas(static_cast<long long>(p.forwards_sent)),
+                     with_commas(static_cast<long long>(p.forwards_received)),
+                     with_commas(static_cast<long long>(p.deltas_sent)),
+                     with_commas(static_cast<long long>(p.deltas_received))});
+    }
+    std::printf("%s", peers.render().c_str());
+  }
+  if (!mesh.subscriptions.empty()) {
+    TextTable subs({"Sub", "Subscriber", "Fam", "Prio", "Prefixes", "Acked",
+                    "Lag", "Pushed", "Dropped"});
+    for (const auto& s : mesh.subscriptions) {
+      subs.add_row(
+          {std::to_string(s.id), s.subscriber,
+           s.family == 0 ? "both" : std::to_string(s.family),
+           std::to_string(s.priority),
+           s.prefix_count == 0 ? "all" : std::to_string(s.prefix_count),
+           "d" + std::to_string(s.acked_day) + "#" +
+               std::to_string(s.acked_seq),
+           std::to_string(s.lag_days),
+           with_commas(static_cast<long long>(s.chunks_pushed)),
+           with_commas(static_cast<long long>(s.chunks_dropped))});
+    }
+    std::printf("%s", subs.render().c_str());
+  }
+}
+
+/// The in-process relay chain `laces relay` and `laces stat --mesh` share:
+/// node 1 is the origin (co-located server, archive replay, an
+/// ArchiveWriter publisher hook), nodes 2..N are pure relays that
+/// auto-subscribe hop by hop at connect time — so building the chain
+/// already replays the archived feed to its tail.
+struct MeshChain {
+  std::unique_ptr<store::ArchiveWriter> writer;  // outlives the relays
+  std::vector<std::unique_ptr<mesh::Relay>> relays;
+  mesh::Relay& origin() { return *relays.front(); }
+  mesh::Relay& tail() { return *relays.back(); }
+};
+
+std::optional<MeshChain> build_mesh_chain(const std::filesystem::path& dir,
+                                          serve::Server* origin_server,
+                                          const std::string& key, long count,
+                                          long hop_limit, std::string* error) {
+  MeshChain chain;
+  mesh::RelayConfig base;
+  base.key = key;
+  base.hop_limit =
+      static_cast<std::uint8_t>(std::clamp(hop_limit, 1L, 255L));
+  {
+    auto rc = base;
+    rc.node_id = 1;
+    rc.name = "origin";
+    chain.relays.push_back(
+        std::make_unique<mesh::Relay>(rc, origin_server, dir));
+  }
+  chain.writer = std::make_unique<store::ArchiveWriter>(dir);
+  chain.origin().attach_publisher(*chain.writer);
+  for (long i = 2; i <= std::max(count, 1L); ++i) {
+    auto rc = base;
+    rc.node_id = static_cast<std::uint64_t>(i);
+    rc.name = "relay-" + std::to_string(i);
+    chain.relays.push_back(std::make_unique<mesh::Relay>(rc));
+    const auto link = mesh::connect(*chain.relays[static_cast<std::size_t>(i) - 2],
+                                    *chain.relays[static_cast<std::size_t>(i) - 1]);
+    if (!link.ok) {
+      *error = "connect " + chain.relays[static_cast<std::size_t>(i) - 2]->name() +
+               " <-> " + chain.relays[static_cast<std::size_t>(i) - 1]->name() +
+               ": " + link.message;
+      return std::nullopt;
+    }
+  }
+  return chain;
+}
+
 /// `laces stat`: live introspection client. Starts a server over the
 /// archive, drives background load through it, and polls the in-band
 /// admin endpoint — the same authenticated StatsRequest/LatencyRequest
@@ -955,6 +1062,24 @@ int cmd_stat(const Args& args) {
     }
     const auto config = server_config(args);
     serve::Server server(reader, config);
+
+    // --mesh N co-locates a relay chain: node 1 registers itself as this
+    // server's mesh-stats provider, nodes 2..N subscribe hop by hop, and
+    // a tail follower consumes the feed — so the in-band `mesh-stats`
+    // answer below carries real peers, subscriptions and cursors.
+    std::optional<MeshChain> chain;
+    std::unique_ptr<mesh::CensusFollower> follower;
+    if (const long mesh_relays = args.get_int("mesh", 0); mesh_relays > 0) {
+      std::string error;
+      chain = build_mesh_chain(
+          std::filesystem::path(args.get("archive", "archive")), &server,
+          config.key, mesh_relays, std::max(4L, mesh_relays), &error);
+      if (!chain) {
+        std::fprintf(stderr, "laces stat: %s\n", error.c_str());
+        return 1;
+      }
+      follower = std::make_unique<mesh::CensusFollower>(chain->tail());
+    }
 
     const auto first_day = reader.manifest().entries.front().day;
     const auto prefixes = reader.load_day(first_day)->published_prefixes();
@@ -1034,6 +1159,20 @@ int cmd_stat(const Args& args) {
       if (poll + 1 < polls) std::this_thread::sleep_for(interval);
     }
 
+    // Per-peer mesh state over the same in-band admin path. A plain
+    // archive server answers with the empty snapshot.
+    const auto mesh_resp = ask(serve::Request{serve::MeshStatsRequest{}});
+    if (json) {
+      std::fputs(serve::json_response(mesh_resp).c_str(), stdout);
+    } else {
+      const auto& mesh = std::get<serve::MeshStatsResponse>(mesh_resp);
+      if (mesh.node_id == 0 && mesh.peers.empty()) {
+        std::printf("mesh: no relay attached (run with --mesh N)\n");
+      } else {
+        print_mesh_stats(mesh);
+      }
+    }
+
     // Final poll: the recent trace spans and flight-recorder tail.
     const auto trace_resp =
         ask(serve::Request{serve::TraceTailRequest{
@@ -1075,6 +1214,191 @@ int cmd_stat(const Args& args) {
     return 1;
   } catch (const serve::ProtocolError& e) {
     std::fprintf(stderr, "laces stat: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// `laces relay`: in-process mesh demo. Chains N relays over an archive,
+/// replays the census delta feed down the chain (origin -> tail), proves
+/// the tail reconstructs every archived day byte-identically, then drives
+/// scripted queries into the TAIL relay — answered by flooding the mesh
+/// back to the origin's server — and dumps per-relay mesh stats.
+int cmd_relay(const Args& args) {
+  if (!args.has("archive")) {
+    std::fprintf(stderr, "laces relay: --archive DIR required\n");
+    return 2;
+  }
+  const std::filesystem::path dir(args.get("archive", "archive"));
+  try {
+    store::ArchiveReader reader(
+        dir, static_cast<std::size_t>(args.get_int("reader-cache", 8)));
+    if (reader.manifest().entries.empty()) {
+      std::fprintf(stderr, "laces relay: archive is empty\n");
+      return 2;
+    }
+    const auto config = server_config(args);
+    serve::Server server(reader, config);
+
+    const long count = std::max(args.get_int("relays", 3), 1L);
+    // Forwards flood hop by hop; the tail must be able to reach the origin.
+    const long hops = args.get_int("hop-limit", std::max(4L, count));
+    std::string error;
+    auto chain =
+        build_mesh_chain(dir, &server, config.key, count, hops, &error);
+    if (!chain) {
+      std::fprintf(stderr, "laces relay: %s\n", error.c_str());
+      return 1;
+    }
+    mesh::CensusFollower follower(chain->tail());
+
+    // Byte-identity audit: the feed that reached the tail through
+    // count-1 relay hops must reproduce every archived day exactly.
+    int status = 0;
+    for (const auto& entry : reader.manifest().entries) {
+      std::ostringstream want;
+      reader.export_csv(entry.day, want);
+      const bool ok = follower.has_day(entry.day) &&
+                      follower.day_csv(entry.day) == want.str();
+      std::printf("day %u: %s (%zu bytes over %ld hops)\n", entry.day,
+                  ok ? "byte-identical" : "MISMATCH", want.str().size(),
+                  count - 1);
+      if (!ok) status = 1;
+    }
+
+    // Scripted queries enter at the tail and are answered by the origin.
+    std::vector<std::string> lines = {"summary", "stability", "mesh-stats"};
+    if (args.has("script")) {
+      const auto path = args.get("script", "");
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "laces relay: cannot open script %s\n",
+                     path.c_str());
+        return 2;
+      }
+      lines.clear();
+      std::string line;
+      while (std::getline(in, line)) lines.push_back(line);
+    }
+    std::uint64_t request_id = 0;
+    for (const auto& line : lines) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      const auto request = parse_request_line(line.substr(first), &error);
+      if (!request) {
+        std::fprintf(stderr, "laces relay: %s\n", error.c_str());
+        return 2;
+      }
+      const auto frame = chain->tail().query(serve::encode_frame(
+          config.key, serve::FrameKind::kRequest, ++request_id,
+          serve::encode_request(*request)));
+      const auto response = serve::decode_response(
+          serve::decode_frame(config.key, frame).payload);
+      if (std::holds_alternative<serve::ErrorResponse>(response)) status = 1;
+      std::fputs(serve::json_response(response).c_str(), stdout);
+    }
+
+    for (const auto& relay : chain->relays) print_mesh_stats(relay->stats());
+    server.drain();
+    return status;
+  } catch (const store::ArchiveError& e) {
+    std::fprintf(stderr, "laces relay: %s\n", e.what());
+    return 1;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "laces relay: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// `laces subscribe`: leaf subscriber over an archive's delta feed with
+/// the wire filter grammar (--family 4|6, --prefix A.B.C.0/24). Prints one
+/// line per completed day; --export-day N dumps that day's reconstruction
+/// (CSV, or the served JSON envelope with --json).
+int cmd_subscribe(const Args& args) {
+  if (!args.has("archive")) {
+    std::fprintf(stderr, "laces subscribe: --archive DIR required\n");
+    return 2;
+  }
+  const std::filesystem::path dir(args.get("archive", "archive"));
+  try {
+    store::ArchiveReader reader(
+        dir, static_cast<std::size_t>(args.get_int("reader-cache", 8)));
+    if (reader.manifest().entries.empty()) {
+      std::fprintf(stderr, "laces subscribe: archive is empty\n");
+      return 2;
+    }
+    std::string error;
+    auto chain = build_mesh_chain(
+        dir, nullptr, args.get("key", "laces-serve"),
+        std::max(args.get_int("relays", 1), 1L),
+        args.get_int("hop-limit", 4), &error);
+    if (!chain) {
+      std::fprintf(stderr, "laces subscribe: %s\n", error.c_str());
+      return 1;
+    }
+
+    mesh::SubscriptionSpec spec;
+    const long family = args.get_int("family", 0);
+    if (family != 0 && family != 4 && family != 6) {
+      std::fprintf(stderr, "laces subscribe: --family must be 4 or 6\n");
+      return 2;
+    }
+    spec.family = static_cast<std::uint8_t>(family);
+    if (args.has("prefix")) {
+      const auto parsed = net::Ipv4Prefix::parse(args.get("prefix", ""));
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "laces subscribe: --prefix A.B.C.0/24 malformed\n");
+        return 2;
+      }
+      spec.prefixes.push_back(net::Prefix(*parsed));
+    }
+    const bool filtered = spec.family != 0 || !spec.prefixes.empty();
+    mesh::CensusFollower follower(chain->tail(), spec);
+
+    int status = 0;
+    for (const auto& entry : reader.manifest().entries) {
+      if (!follower.has_day(entry.day)) {
+        std::printf("day %u: MISSING\n", entry.day);
+        status = 1;
+        continue;
+      }
+      const auto csv = follower.day_csv(entry.day);
+      if (filtered) {
+        // A filtered feed reconstructs a subset; report its size only.
+        std::printf("day %u: %lld lines (filtered)\n", entry.day,
+                    static_cast<long long>(
+                        std::count(csv.begin(), csv.end(), '\n')));
+      } else {
+        std::ostringstream want;
+        reader.export_csv(entry.day, want);
+        const bool ok = csv == want.str();
+        std::printf("day %u: %s (%zu bytes)\n", entry.day,
+                    ok ? "byte-identical" : "MISMATCH", csv.size());
+        if (!ok) status = 1;
+      }
+    }
+    if (args.has("export-day")) {
+      const auto day =
+          static_cast<std::uint32_t>(args.get_int("export-day", 0));
+      if (!follower.has_day(day)) {
+        std::fprintf(stderr, "laces subscribe: day %u not in feed\n", day);
+        return 1;
+      }
+      std::fputs((args.has("json") ? follower.day_json(day)
+                                   : follower.day_csv(day))
+                     .c_str(),
+                 stdout);
+    }
+    const auto cursor = follower.cursor();
+    std::fprintf(stderr,
+                 "laces subscribe: %zu days, cursor=(day %u, seq %u)\n",
+                 follower.days(), cursor.day, cursor.seq);
+    return status;
+  } catch (const store::ArchiveError& e) {
+    std::fprintf(stderr, "laces subscribe: %s\n", e.what());
+    return 1;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "laces subscribe: %s\n", e.what());
     return 1;
   }
 }
@@ -1122,7 +1446,8 @@ int cmd_fuzz_scenarios(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: laces <world|census|probe|catchment|query|serve|"
-               "bench-serve|stat|flightrec|fuzz-scenarios> [options]\n"
+               "bench-serve|relay|subscribe|stat|flightrec|fuzz-scenarios> "
+               "[options]\n"
                "  world      --seed N --scale K\n"
                "  census     --days N --out DIR --v6 --no-tcp --no-dns --rate R\n"
                "             --sim-threads N --world-scale K\n"
@@ -1151,8 +1476,12 @@ void usage() {
                "  bench-serve --archive DIR [--clients M] [--requests N]\n"
                "             [--qps Q] [--seed N] [--out FILE]\n"
                "             [--threads N] [--queue N] [--inflight N]\n"
+               "  relay      --archive DIR [--relays N] [--hop-limit H]\n"
+               "             [--script FILE] [--key K]\n"
+               "  subscribe  --archive DIR [--relays N] [--family 4|6]\n"
+               "             [--prefix A.B.C.0/24] [--export-day N] [--json]\n"
                "  stat       --archive DIR [--polls N] [--interval-ms MS]\n"
-               "             [--clients M] [--requests N] [--json]\n"
+               "             [--clients M] [--requests N] [--mesh N] [--json]\n"
                "  flightrec  DUMP   (decode a flight-recorder dump to JSONL)\n"
                "  fuzz-scenarios [--seeds N] [--start-seed S] [--days D]\n"
                "             [--timeout SECS] [--resume-every K] "
@@ -1176,6 +1505,8 @@ int main(int argc, char** argv) {
   if (command == "query") return cmd_query(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "bench-serve") return cmd_bench_serve(args);
+  if (command == "relay") return cmd_relay(args);
+  if (command == "subscribe") return cmd_subscribe(args);
   if (command == "stat") return cmd_stat(args);
   if (command == "fuzz-scenarios") return cmd_fuzz_scenarios(args);
   if (command == "flightrec") {
